@@ -1,0 +1,317 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/cpa"
+	"repro/internal/monitor"
+	"repro/internal/rte"
+	"repro/internal/scenario"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/skills"
+)
+
+// ---------------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out, each isolated.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblation_Aggregation compares the ability-graph aggregation
+// functions: conservative min, graceful weighted mean, and redundant max,
+// under a 50%-degraded environment sensor. The choice decides how much
+// root-level performance a partial degradation costs.
+func BenchmarkAblation_Aggregation(b *testing.B) {
+	aggs := map[string]skills.Aggregate{
+		"min":       skills.MinAggregate,
+		"weighted":  skills.WeightedAggregate,
+		"redundant": skills.RedundantAggregate,
+	}
+	// Extend the ACC graph with a second, redundant perception source so
+	// the aggregates actually differ: one of two sensors degrades to 0.5.
+	build := func() (*skills.AbilityGraph, error) {
+		g, err := skills.BuildACC()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddSource("lidar"); err != nil {
+			return nil, err
+		}
+		if err := g.Depend(skills.PerceiveObjects, "lidar"); err != nil {
+			return nil, err
+		}
+		return skills.Instantiate(g)
+	}
+	want := map[string]skills.Level{"min": 0.5, "weighted": 0.75, "redundant": 1.0}
+	for name, agg := range aggs {
+		name, agg := name, agg
+		b.Run(name, func(b *testing.B) {
+			var root skills.Level
+			for i := 0; i < b.N; i++ {
+				ag, err := build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ag.SetAggregate(skills.PerceiveObjects, agg); err != nil {
+					b.Fatal(err)
+				}
+				if err := ag.SetHealth(skills.SrcEnvSensors, 0.5); err != nil {
+					b.Fatal(err)
+				}
+				root = ag.Level(skills.ACCDriving)
+			}
+			b.ReportMetric(float64(root), "root-level")
+			if root != want[name] {
+				b.Fatalf("root level %v, want %v", root, want[name])
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Coordination isolates the paper's central claim: the
+// same layer stack with and without the first-handler-wins protocol. The
+// uncoordinated variant produces conflicting claims on vehicle motion.
+func BenchmarkAblation_Coordination(b *testing.B) {
+	run := func(uncoordinated bool) (conflicts int) {
+		c := core.NewCoordinator(nil)
+		c.Uncoordinated = uncoordinated
+		must := func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		must(c.RegisterLayer(core.LayerSafety, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+			return core.Resolution{Action: "standby-takeover", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 1, SafeState: true}, true
+		}, core.LayerAbility))
+		must(c.RegisterLayer(core.LayerAbility, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+			return core.Resolution{Action: "derate-speed", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 0.7, SafeState: true}, true
+		}, core.LayerObjective))
+		must(c.RegisterLayer(core.LayerObjective, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+			return core.Resolution{Action: "safe-stop", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 0.05, SafeState: true}, true
+		}, ""))
+		if _, err := c.Report(&core.Problem{Kind: "component-lost", Origin: core.LayerSafety}); err != nil {
+			b.Fatal(err)
+		}
+		return len(c.Conflicts())
+	}
+	b.Run("coordinated", func(b *testing.B) {
+		var conflicts int
+		for i := 0; i < b.N; i++ {
+			conflicts = run(false)
+		}
+		b.ReportMetric(float64(conflicts), "conflicts")
+		if conflicts != 0 {
+			b.Fatal("coordinated run conflicted")
+		}
+	})
+	b.Run("uncoordinated", func(b *testing.B) {
+		var conflicts int
+		for i := 0; i < b.N; i++ {
+			conflicts = run(true)
+		}
+		b.ReportMetric(float64(conflicts), "conflicts")
+		if conflicts == 0 {
+			b.Fatal("uncoordinated run did not conflict")
+		}
+	})
+}
+
+// BenchmarkAblation_RateEnforcement compares detect-only and enforcing
+// rate monitors against a flooding source: enforcement caps the admitted
+// event rate at the contracted one.
+func BenchmarkAblation_RateEnforcement(b *testing.B) {
+	run := func(enforce bool) (admitted int) {
+		m := monitor.NewRateMonitor("src", 10*sim.Millisecond, 0, enforce)
+		// 10x contracted rate for one second.
+		for t := sim.Time(0); t < sim.Second; t += sim.Millisecond {
+			if m.Arrival(t) {
+				admitted++
+			}
+		}
+		return admitted
+	}
+	b.Run("detect-only", func(b *testing.B) {
+		var admitted int
+		for i := 0; i < b.N; i++ {
+			admitted = run(false)
+		}
+		b.ReportMetric(float64(admitted), "admitted/s")
+	})
+	b.Run("enforce", func(b *testing.B) {
+		var admitted int
+		for i := 0; i < b.N; i++ {
+			admitted = run(true)
+		}
+		b.ReportMetric(float64(admitted), "admitted/s")
+		if admitted > 105 {
+			b.Fatalf("enforcement admitted %d events against a 100/s contract", admitted)
+		}
+	})
+}
+
+// BenchmarkAblation_PlausibilityCheck shows that the sensor's own quality
+// self-assessment misses a freeze fault while the plausibility cross-check
+// catches it — the argument for layered monitoring (Section IV vs the
+// RACE/SAFER baselines).
+func BenchmarkAblation_PlausibilityCheck(b *testing.B) {
+	run := func(useChecker bool) (detected bool) {
+		rng := sim.NewRNG(11)
+		s := sensors.NewObjectSensor(rng)
+		c := sensors.NewPlausibilityChecker(80, 200)
+		// Warm up, then freeze.
+		for i := 0; i < 10; i++ {
+			m, _ := s.Measure(50-float64(i), -5, sim.Time(i)*100*sim.Millisecond)
+			c.Check(m)
+		}
+		s.InjectFault(sensors.FaultFreeze, 0)
+		for i := 10; i < 60; i++ {
+			m, ok := s.Measure(50-float64(i), -5, sim.Time(i)*100*sim.Millisecond)
+			if !ok {
+				continue
+			}
+			if useChecker {
+				c.Check(m)
+			}
+		}
+		health := s.Quality()
+		if useChecker {
+			health *= c.TrustScore()
+		}
+		return health < 0.8
+	}
+	b.Run("self-assessment-only", func(b *testing.B) {
+		var detected bool
+		for i := 0; i < b.N; i++ {
+			detected = run(false)
+		}
+		if detected {
+			b.Fatal("self-assessment alone detected the freeze (should be blind)")
+		}
+		b.ReportMetric(0, "detected")
+	})
+	b.Run("with-plausibility", func(b *testing.B) {
+		var detected bool
+		for i := 0; i < b.N; i++ {
+			detected = run(true)
+		}
+		if !detected {
+			b.Fatal("plausibility check missed the freeze")
+		}
+		b.ReportMetric(1, "detected")
+	})
+}
+
+// BenchmarkAblation_ThermalGovernorThreshold ablates the E6 design note
+// that the DVFS governor must trigger *below* the silicon throttle onset:
+// reactive-late (Hi=95) lets hardware throttling strike first.
+func BenchmarkAblation_ThermalGovernorThreshold(b *testing.B) {
+	// Reuse the cross-layer policy but compare against dvfs-only, whose
+	// governor reacts at the same proactive threshold; the "none" policy
+	// is the fully-late baseline.
+	var rs []scenario.ThermalResult
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.RunThermalComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs = r
+	}
+	for _, r := range rs {
+		b.ReportMetric(100*r.TotalMissRate(), "miss%-"+string(r.Config.Policy))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate microbenchmarks: the hot paths of the simulators.
+// ---------------------------------------------------------------------
+
+// BenchmarkKernel_EventThroughput measures raw event scheduling/dispatch.
+func BenchmarkKernel_EventThroughput(b *testing.B) {
+	s := sim.New()
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(sim.Time(i), func() { n++ })
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("fired %d/%d", n, b.N)
+	}
+}
+
+// BenchmarkKernel_CANFrames measures simulated CAN frame throughput.
+func BenchmarkKernel_CANFrames(b *testing.B) {
+	s := sim.New()
+	bus := can.NewBus(s, 1_000_000)
+	tx := bus.Attach("tx")
+	bus.Attach("rx")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(can.Frame{ID: uint32(i % 2048), Data: make([]byte, 8)}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernel_Scheduler measures scheduled job throughput (three-task
+// preemptive set over one simulated second per iteration unit).
+func BenchmarkKernel_Scheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		p := rte.NewProc(s, "cpu", 1.0)
+		specs := []rte.TaskSpec{
+			{Name: "a", Priority: 1, Period: sim.Millisecond, WCET: 200 * sim.Microsecond},
+			{Name: "b", Priority: 2, Period: 5 * sim.Millisecond, WCET: 1500 * sim.Microsecond},
+			{Name: "c", Priority: 3, Period: 20 * sim.Millisecond, WCET: 5 * sim.Millisecond},
+		}
+		for _, spec := range specs {
+			if err := p.AddTask(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.RunFor(sim.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernel_CPA measures the busy-window analysis on a 20-task set.
+func BenchmarkKernel_CPA(b *testing.B) {
+	var tasks []cpa.Task
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, cpa.Task{
+			Name:       benchName("t", i),
+			Priority:   i + 1,
+			WCETUS:     int64(100 + 40*i),
+			Event:      cpa.EventModel{PeriodUS: int64(5000 * (i + 1))},
+			DeadlineUS: int64(5000 * (i + 1)),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpa.AnalyzeSPP(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernel_AbilityPropagation measures one full propagate pass of
+// the ACC ability graph.
+func BenchmarkKernel_AbilityPropagation(b *testing.B) {
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ag.SetHealth(skills.SrcEnvSensors, skills.Level(float64(i%100)/100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command canbench runs the virtualized-CAN-controller experiments of
+// Section III: E1 (added round-trip latency vs native across VM counts and
+// payload sizes) and E2 (FPGA resource break-even vs stand-alone
+// controllers).
+//
+// Usage:
+//
+//	canbench -experiment e1 [-probes 200]
+//	canbench -experiment e2 [-maxvf 16]
+//	canbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/canvirt"
+)
+
+func main() {
+	log.SetFlags(0)
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, all")
+	probes := flag.Int("probes", 100, "round trips per E1 configuration")
+	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
+	flag.Parse()
+
+	switch *experiment {
+	case "e1":
+		runE1(*probes, *maxVF)
+	case "e2":
+		runE2(*maxVF)
+	case "all":
+		runE1(*probes, *maxVF)
+		fmt.Println()
+		runE2(*maxVF)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runE1(probes, maxVF int) {
+	fmt.Println("E1: virtualized CAN controller round-trip latency (paper: +7-11us added)")
+	fmt.Println("VMs  payload  native-RTT   virt-RTT    added")
+	for _, vms := range []int{1, 2, 4, 8, 12, maxVF} {
+		for _, payload := range []int{0, 4, 8} {
+			base := canvirt.ProbeConfig{Probes: probes, PayloadBytes: payload}
+			nat, err := canvirt.MeasureNative(base)
+			if err != nil {
+				log.Fatalf("native: %v", err)
+			}
+			cfg := base
+			cfg.VMs = vms
+			virt, err := canvirt.MeasureVirtualized(cfg)
+			if err != nil {
+				log.Fatalf("virtualized: %v", err)
+			}
+			fmt.Printf("%3d  %5dB  %9.2fus  %9.2fus  %+6.2fus\n",
+				vms, payload, nat.Mean().Micros(), virt.Mean().Micros(),
+				(virt.Mean() - nat.Mean()).Micros())
+		}
+	}
+}
+
+func runE2(maxVF int) {
+	fmt.Println("E2: FPGA resource model (paper: break-even with stand-alone controllers at four VMs)")
+	fmt.Println("VMs  standalone-LUT  virtualized-LUT  virtualized-cheaper")
+	for n := 1; n <= maxVF; n++ {
+		sa := canvirt.StandaloneController().Scale(n)
+		v := canvirt.VirtualizedController(n)
+		fmt.Printf("%3d  %14d  %15d  %v\n", n, sa.LUT, v.LUT, v.LUT <= sa.LUT)
+	}
+	fmt.Printf("break-even at %d VMs\n", canvirt.BreakEvenVFs())
+}

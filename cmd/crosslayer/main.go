@@ -1,0 +1,153 @@
+// Command crosslayer runs the Section V cross-layer self-awareness
+// scenarios: the rear-brake intrusion response comparison (E5), the
+// thermal-stress policy comparison (E6), platooning under byzantine
+// members plus the fog use case (E7), weather-aware routing (E8), the
+// monitoring-overhead check (E9), and the cross-layer dependency analysis
+// versus the manual FMEA baseline (E10).
+//
+// Usage:
+//
+//	crosslayer -scenario intrusion
+//	crosslayer -scenario thermal
+//	crosslayer -scenario platoon
+//	crosslayer -scenario routing
+//	crosslayer -scenario overhead
+//	crosslayer -scenario deps
+//	crosslayer -scenario mission
+//	crosslayer -scenario all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	which := flag.String("scenario", "all", "intrusion, thermal, platoon, routing, overhead, deps, mission, all")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"mission":   runMission,
+		"intrusion": runIntrusion,
+		"thermal":   runThermal,
+		"platoon":   runPlatoon,
+		"routing":   runRouting,
+		"overhead":  runOverhead,
+		"deps":      runDeps,
+	}
+	if *which == "all" {
+		for _, name := range []string{"intrusion", "thermal", "platoon", "routing", "overhead", "deps", "mission"} {
+			if err := runners[name](); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *which)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runMission() error {
+	fmt.Println("E11: end-to-end mission (weather + intrusion, cross-layer vs naive)")
+	rs, err := scenario.RunMissionComparison()
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		for _, row := range r.Rows() {
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runIntrusion() error {
+	fmt.Println("E5: rear-brake intrusion response (single-layer vs cross-layer)")
+	rs, err := scenario.RunIntrusionComparison()
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		for _, row := range r.Rows() {
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runThermal() error {
+	fmt.Println("E6: thermal stress (none vs dvfs-only vs cross-layer)")
+	rs, err := scenario.RunThermalComparison()
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		for _, row := range r.Rows() {
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runPlatoon() error {
+	fmt.Println("E7: platoon agreement with byzantine members + fog membership")
+	r, err := scenario.RunPlatoon(scenario.DefaultPlatoonConfig())
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runRouting() error {
+	fmt.Println("E8: weather-aware routing (alpine pass vs detour)")
+	r, err := scenario.RunRouting(scenario.DefaultRoutingConfig())
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runOverhead() error {
+	fmt.Println("E9: run-time monitoring overhead")
+	r, err := scenario.RunMonitorOverhead()
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runDeps() error {
+	fmt.Println("E10: cross-layer dependency analysis vs manual FMEA baseline")
+	r, err := scenario.RunDependencyAnalysis()
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	return nil
+}

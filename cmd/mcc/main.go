@@ -1,0 +1,115 @@
+// Command mcc runs the Multi-Change Controller integration process
+// (Section II.A, experiment E3).
+//
+// With -model it loads a JSON system model (model.SystemModel: platform +
+// functional architecture), integrates it, and prints the acceptance
+// report including the WCRT tables and the planned monitors. Without
+// -model it runs the built-in E3 update stream on the reference platform.
+//
+// Usage:
+//
+//	mcc                      # built-in E3 update stream
+//	mcc -model system.json   # integrate a system model from disk
+//	mcc -updates 48          # longer built-in stream
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	modelPath := flag.String("model", "", "path to a JSON system model")
+	updates := flag.Int("updates", 24, "number of proposals in the built-in stream")
+	flag.Parse()
+
+	if *modelPath != "" {
+		integrateFile(*modelPath)
+		return
+	}
+
+	res, err := scenario.RunMCCStream(scenario.MCCStreamConfig{Updates: *updates})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("E3: MCC in-field update stream")
+	for _, row := range res.Rows() {
+		fmt.Println(row)
+	}
+}
+
+func integrateFile(path string) {
+	rep, err := loadAndIntegrate(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	if !rep.Accepted {
+		os.Exit(1)
+	}
+}
+
+// loadAndIntegrate parses a JSON system model and runs it through a fresh
+// MCC, returning the integration report.
+func loadAndIntegrate(path string) (*mcc.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sm model.SystemModel
+	if err := json.Unmarshal(raw, &sm); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid model: %w", err)
+	}
+	m, err := mcc.New(sm.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return m.ProposeArchitecture(sm.Functional), nil
+}
+
+func printReport(rep *mcc.Report) {
+	if rep.Accepted {
+		fmt.Println("ACCEPTED")
+	} else {
+		fmt.Printf("REJECTED at stage %q\n", rep.RejectedAt)
+		for _, f := range rep.Findings {
+			fmt.Printf("  - %s\n", f)
+		}
+	}
+	if rep.Impl != nil {
+		fmt.Printf("tasks: %d, messages: %d, connections: %d\n",
+			len(rep.Impl.Tasks), len(rep.Impl.Messages), len(rep.Impl.Connections))
+	}
+	for _, tr := range rep.Timing {
+		fmt.Printf("timing on %s:\n", tr.Resource)
+		for _, r := range tr.Results {
+			status := "OK"
+			if !r.Schedulable {
+				status = "MISS"
+			}
+			fmt.Printf("  %-24s WCRT %8dus  deadline %8dus  %s\n", r.Name, r.WCRTUS, r.DeadlineUS, status)
+		}
+	}
+	if len(rep.Monitors) > 0 {
+		fmt.Printf("monitor plan: %d monitors\n", len(rep.Monitors))
+		for _, ms := range rep.Monitors {
+			fmt.Printf("  %-6s %-24s period %8dus\n", ms.Kind, ms.Target, ms.PeriodUS)
+		}
+	}
+	if rep.Accepted && rep.Impl != nil {
+		if order, err := mcc.StartupOrder(rep.Impl); err == nil {
+			fmt.Printf("startup order: %v\n", order)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command skillgraph works with the ACC skill graph of Section IV: it
+// prints the graph (or its run-time ability instantiation) as Graphviz DOT
+// and runs the development-process analyses — single points of failure,
+// redundancy proposals, error propagation.
+//
+// Usage:
+//
+//	skillgraph -dot                 # the skill graph as DOT
+//	skillgraph -dot -degrade environment-sensors=0.4
+//	skillgraph -analyze             # SPOFs + redundancy proposals
+//	skillgraph -propagate braking-system
+//	skillgraph -depgraph            # the cross-layer dependency graph as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/skills"
+)
+
+func main() {
+	log.SetFlags(0)
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	analyze := flag.Bool("analyze", false, "run development-process analyses")
+	degrade := flag.String("degrade", "", "node=health pairs, comma separated (with -dot: colour by level)")
+	propagate := flag.String("propagate", "", "show error propagation from this node")
+	depgraph := flag.Bool("depgraph", false, "emit the vehicle cross-layer dependency graph as DOT")
+	flag.Parse()
+
+	if *depgraph {
+		dg, err := scenario.BuildVehicleDependencyGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(dg.ToDOT("vehicle_dependencies"))
+		return
+	}
+
+	g, err := skills.BuildACC()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *propagate != "" {
+		affected := g.ErrorPropagation(*propagate)
+		if affected == nil {
+			fmt.Fprintf(os.Stderr, "unknown node %q\n", *propagate)
+			os.Exit(2)
+		}
+		fmt.Printf("failure of %q propagates to:\n", *propagate)
+		for _, n := range affected {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	if *analyze {
+		for _, root := range g.Roots() {
+			fmt.Printf("main skill: %s\n", root)
+			spofs := g.SinglePointsOfFailure(root)
+			if len(spofs) == 0 {
+				fmt.Println("  no single points of failure (structural redundancy present)")
+			}
+			for _, p := range g.ProposeRedundancies(root) {
+				fmt.Printf("  SPOF: %-30s kind=%-6s affects %d chain(s) -> add a redundant %s\n",
+					p.Node, p.Kind, p.AffectedChains, p.Kind)
+			}
+			// Per-subskill view.
+			for _, n := range g.Nodes() {
+				if k, _ := g.Kind(n); k != skills.Skill || n == root {
+					continue
+				}
+				if sp := g.SinglePointsOfFailure(n); len(sp) > 0 {
+					fmt.Printf("  %s depends critically on: %s\n", n, strings.Join(sp, ", "))
+				}
+			}
+		}
+		return
+	}
+
+	if *dot {
+		if *degrade == "" {
+			fmt.Print(g.ToDOT("acc_skill_graph"))
+			return
+		}
+		ag, err := skills.Instantiate(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pair := range strings.Split(*degrade, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				fmt.Fprintf(os.Stderr, "bad -degrade entry %q (want node=health)\n", pair)
+				os.Exit(2)
+			}
+			h, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad health %q: %v\n", kv[1], err)
+				os.Exit(2)
+			}
+			if err := ag.SetHealth(kv[0], skills.Level(h)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		fmt.Print(ag.ToDOTWithLevels("acc_ability_graph"))
+		return
+	}
+
+	flag.Usage()
+}

@@ -1,0 +1,75 @@
+// degraded_driving: ability-guided behaviour execution. The ability graph
+// monitors the vehicle's skills; the behaviour planner (objective layer)
+// turns the root ability level into maneuvers — normal driving, derated
+// operation, a minimal-risk safe stop, standstill — with hysteresis and
+// consequence-awareness (a safe stop, once begun, completes even if the
+// ability signal flickers back).
+//
+// Run with: go run ./examples/degraded_driving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/behavior"
+	"repro/internal/skills"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	log.SetFlags(0)
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	veh := vehicle.New(vehicle.DefaultParams())
+	veh.SetSpeed(25)
+	planner := behavior.New(behavior.DefaultConfig(25))
+
+	// A day in the life: sensor health over time (per 2s step).
+	profile := []struct {
+		t      int
+		health skills.Level
+		note   string
+	}{
+		{0, 1.0, "clear conditions"},
+		{10, 0.6, "heavy rain: sensor quality drops"},
+		{20, 0.45, "rain worsens"},
+		{30, 0.9, "rain passes"},
+		{40, 0.1, "sensor hardware fault!"},
+		{60, 1.0, "sensor replaced/recovered"},
+	}
+
+	const dt = 2.0
+	idx := 0
+	for step := 0; step <= 35; step++ {
+		tS := step * 2
+		for idx < len(profile) && profile[idx].t <= tS {
+			if err := ag.SetHealth(skills.SrcEnvSensors, profile[idx].health); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%3ds  %s (sensor health %.2f)\n", tS, profile[idx].note, float64(profile[idx].health))
+			idx++
+		}
+		root := ag.Level(skills.ACCDriving)
+		d := planner.Step(root, veh.Speed())
+
+		// Idealized speed tracking toward the target.
+		diff := d.TargetSpeed - veh.Speed()
+		accel := diff / dt
+		if accel > 2 {
+			accel = 2
+		}
+		if accel < -veh.MaxDeceleration() {
+			accel = -veh.MaxDeceleration()
+		}
+		veh.Step(accel, dt)
+
+		if step%2 == 0 {
+			fmt.Printf("t=%3ds  ability %.2f  maneuver %-10s  target %4.1f m/s  actual %4.1f m/s\n",
+				tS, float64(root), d.Maneuver, d.TargetSpeed, veh.Speed())
+		}
+	}
+	fmt.Printf("\nmaneuver transitions: %d\n", planner.Transitions)
+}

@@ -1,0 +1,67 @@
+// platooning: the fog scenario of Section V. A vehicle whose sensors are
+// not fog-rated cannot keep a useful speed alone; joining a platoon led by
+// a better-equipped vehicle lets it proceed — but agreement on the common
+// velocity must tolerate untrustworthy members.
+//
+// Run with: go run ./examples/platooning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/platoon"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Part 1: why join a platoon in fog at all.
+	pol := platoon.FogPolicy{
+		VisibilityM:     60,   // dense fog
+		SensorRangeFrac: 0.15, // camera-only perception, not fog-rated
+		ReactionS:       1.0,
+		MaxDecel:        6,
+	}
+	solo := pol.SoloSpeed()
+	inPlatoon := pol.PlatoonSpeed(1.0, 25)
+	fmt.Printf("dense fog (60 m visibility), own sensors at 15%%:\n")
+	fmt.Printf("  solo safe speed:     %5.1f m/s (%4.1f km/h) — effectively parked\n", solo, solo*3.6)
+	fmt.Printf("  in platoon (25 m gap behind fog-rated lead): %5.1f m/s (%4.1f km/h)\n\n", inPlatoon, inPlatoon*3.6)
+
+	// --- Part 2: agreeing on the common velocity with a liar on board.
+	rng := sim.NewRNG(42)
+	p := platoon.New()
+	for i := 0; i < 5; i++ {
+		r := rng.Split(uint64(i))
+		if _, err := p.Join(fmt.Sprintf("vehicle%d", i), func(int) float64 {
+			return 21 + r.Uniform(-0.4, 0.4)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := p.Join("compromised", func(round int) float64 {
+		return 120 // tries to drag the platoon to an unsafe speed
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("velocity agreement rounds (1 byzantine member among 6):")
+	for round := 1; round <= 6; round++ {
+		res, err := p.AgreeVelocity(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  round %d: agreed %.2f m/s, deviants %v, trust(compromised)=%.2f\n",
+			round, res.Agreed, res.Deviants, p.Trust("compromised"))
+	}
+	bad := p.Untrusted(0.5)
+	fmt.Printf("\nejection candidates (trust < 0.5): %v\n", bad)
+	for _, id := range bad {
+		if err := p.Leave(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("platoon members after ejection: %v\n", p.Members())
+}

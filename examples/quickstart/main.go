@@ -1,0 +1,64 @@
+// Quickstart: build the paper's ACC skill graph, instantiate it as an
+// ability graph, attach a degradation tactic, and watch performance
+// levels propagate when a sensor degrades.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/skills"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The development-time model: the ACC skill graph of Section IV.
+	graph, err := skills.BuildACC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ACC skill graph: %d nodes, main skill %q\n", len(graph.Nodes()), graph.Roots()[0])
+	for _, path := range graph.PathsToGround(skills.ACCDriving)[:3] {
+		fmt.Printf("  dependency chain: %v\n", path)
+	}
+
+	// 2. The run-time instantiation: an ability graph with performance
+	// levels, plus a graceful-degradation tactic on the main skill.
+	ag, err := skills.Instantiate(graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ag.OnChange(func(c skills.LevelChange) {
+		fmt.Printf("  [monitor] %-28s %v -> %v (level %.2f)\n", c.Node, c.Old, c.New, float64(c.Level))
+	})
+	if err := ag.RegisterTactic(&skills.Tactic{
+		Name:    "limit-speed",
+		Skill:   skills.ACCDriving,
+		Trigger: 0.8,
+		Apply: func(*skills.AbilityGraph) {
+			fmt.Println("  [tactic] ACC degraded: installing reduced speed limit")
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Monitors report degrading environment sensors (e.g. heavy rain).
+	fmt.Println("\nsensor quality drops to 0.5:")
+	if err := ag.SetHealth(skills.SrcEnvSensors, 0.5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroot ability %q now at %.2f (%v)\n",
+		skills.ACCDriving, float64(ag.Level(skills.ACCDriving)), ag.BandOf(skills.ACCDriving))
+	fmt.Printf("bottleneck chain: %v\n", ag.WeakestChain(skills.ACCDriving))
+
+	// 4. Recovery.
+	fmt.Println("\nsensor recovers:")
+	if err := ag.SetHealth(skills.SrcEnvSensors, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroot ability back at %.2f (%v)\n",
+		float64(ag.Level(skills.ACCDriving)), ag.BandOf(skills.ACCDriving))
+}

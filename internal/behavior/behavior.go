@@ -1,0 +1,181 @@
+// Package behavior implements ability-guided behaviour execution
+// (Section IV: "the ability level of the vehicle can then guide decision
+// making and the vehicle's behavior execution"; Section V: the objective
+// layer may "alter the driving objective of the system", e.g. "transition
+// the system into a safe state, i.e. stop driving").
+//
+// The planner is a maneuver state machine driven by the root ability band
+// of the vehicle's ability graph, with hysteresis so that noise in the
+// ability level does not cause mode flapping:
+//
+//	Normal      — full performance: drive at the requested speed.
+//	Derated     — degraded abilities: continue at a reduced speed cap.
+//	SafeStop    — abilities below the driving floor: controlled stop in a
+//	              safe place (the minimal-risk maneuver).
+//	Standstill  — stopped; only recovers to Normal after abilities return
+//	              to Full (no half-healthy restarts).
+package behavior
+
+import (
+	"fmt"
+
+	"repro/internal/skills"
+)
+
+// Maneuver is the active driving mode.
+type Maneuver int
+
+// Maneuvers in decreasing capability.
+const (
+	Normal Maneuver = iota
+	Derated
+	SafeStop
+	Standstill
+)
+
+var maneuverNames = [...]string{"normal", "derated", "safe-stop", "standstill"}
+
+func (m Maneuver) String() string {
+	if m < 0 || int(m) >= len(maneuverNames) {
+		return fmt.Sprintf("Maneuver(%d)", int(m))
+	}
+	return maneuverNames[m]
+}
+
+// Config parameterizes the planner.
+type Config struct {
+	// RequestedSpeed is the mission speed (m/s).
+	RequestedSpeed float64
+	// DeratedFraction scales the speed in Derated mode when no explicit
+	// cap is installed (default 0.6).
+	DeratedFraction float64
+	// DownThreshold is the ability level below which Normal degrades to
+	// Derated (default 0.8, the Full band edge).
+	DownThreshold skills.Level
+	// StopThreshold is the level below which driving stops (default 0.2,
+	// the Unavailable band edge).
+	StopThreshold skills.Level
+	// UpThreshold is the level required to recover one step (default
+	// 0.9 — hysteresis above DownThreshold).
+	UpThreshold skills.Level
+}
+
+// DefaultConfig returns the standard thresholds.
+func DefaultConfig(requestedSpeed float64) Config {
+	return Config{
+		RequestedSpeed:  requestedSpeed,
+		DeratedFraction: 0.6,
+		DownThreshold:   0.8,
+		StopThreshold:   0.2,
+		UpThreshold:     0.9,
+	}
+}
+
+// Decision is the planner's output for one cycle.
+type Decision struct {
+	Maneuver Maneuver
+	// TargetSpeed is the commanded speed (m/s); 0 for stop modes.
+	TargetSpeed float64
+	// Reason explains the choice.
+	Reason string
+}
+
+// Planner is the ability-guided behaviour state machine.
+type Planner struct {
+	cfg Config
+	cur Maneuver
+
+	// speedCap, if > 0, is an externally installed cap (from the ability
+	// layer's degradation tactic).
+	speedCap float64
+
+	// Transitions counts maneuver changes.
+	Transitions int
+}
+
+// New creates a planner in Normal mode.
+func New(cfg Config) *Planner {
+	if cfg.DeratedFraction <= 0 {
+		cfg.DeratedFraction = 0.6
+	}
+	if cfg.DownThreshold == 0 {
+		cfg.DownThreshold = 0.8
+	}
+	if cfg.StopThreshold == 0 {
+		cfg.StopThreshold = 0.2
+	}
+	if cfg.UpThreshold == 0 {
+		cfg.UpThreshold = 0.9
+	}
+	return &Planner{cfg: cfg}
+}
+
+// Maneuver returns the active maneuver.
+func (p *Planner) Maneuver() Maneuver { return p.cur }
+
+// SetSpeedCap installs (or clears, with 0) an external speed cap.
+func (p *Planner) SetSpeedCap(capMS float64) { p.speedCap = capMS }
+
+// Step feeds the current root ability level and the vehicle speed; it
+// returns the decision for this cycle.
+func (p *Planner) Step(rootLevel skills.Level, vehicleSpeed float64) Decision {
+	prev := p.cur
+	switch p.cur {
+	case Normal:
+		switch {
+		case rootLevel < p.cfg.StopThreshold:
+			p.cur = SafeStop
+		case rootLevel < p.cfg.DownThreshold:
+			p.cur = Derated
+		}
+	case Derated:
+		switch {
+		case rootLevel < p.cfg.StopThreshold:
+			p.cur = SafeStop
+		case rootLevel >= p.cfg.UpThreshold:
+			p.cur = Normal
+		}
+	case SafeStop:
+		if vehicleSpeed <= 0.1 {
+			p.cur = Standstill
+		}
+		// No recovery mid-maneuver: a safe stop, once begun, completes
+		// (consequence-awareness: aborting a minimal-risk maneuver on a
+		// flickering ability signal is worse than finishing it).
+	case Standstill:
+		if rootLevel >= p.cfg.UpThreshold {
+			p.cur = Normal
+		}
+	}
+	if p.cur != prev {
+		p.Transitions++
+	}
+	return p.decision(rootLevel)
+}
+
+func (p *Planner) decision(rootLevel skills.Level) Decision {
+	switch p.cur {
+	case Normal:
+		speed := p.cfg.RequestedSpeed
+		if p.speedCap > 0 && p.speedCap < speed {
+			speed = p.speedCap
+		}
+		return Decision{Maneuver: Normal, TargetSpeed: speed, Reason: "abilities nominal"}
+	case Derated:
+		speed := p.cfg.RequestedSpeed * p.cfg.DeratedFraction
+		if p.speedCap > 0 && p.speedCap < speed {
+			speed = p.speedCap
+		}
+		return Decision{
+			Maneuver: Derated, TargetSpeed: speed,
+			Reason: fmt.Sprintf("root ability %.2f below %.2f: derated operation", float64(rootLevel), float64(p.cfg.DownThreshold)),
+		}
+	case SafeStop:
+		return Decision{
+			Maneuver: SafeStop, TargetSpeed: 0,
+			Reason: fmt.Sprintf("root ability %.2f below driving floor %.2f: minimal-risk maneuver", float64(rootLevel), float64(p.cfg.StopThreshold)),
+		}
+	default:
+		return Decision{Maneuver: Standstill, TargetSpeed: 0, Reason: "stopped; waiting for full ability recovery"}
+	}
+}

@@ -1,0 +1,144 @@
+package behavior
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/skills"
+)
+
+func TestNormalOperation(t *testing.T) {
+	p := New(DefaultConfig(25))
+	d := p.Step(1.0, 25)
+	if d.Maneuver != Normal || d.TargetSpeed != 25 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if p.Transitions != 0 {
+		t.Fatalf("transitions = %d", p.Transitions)
+	}
+}
+
+func TestDegradeToDerated(t *testing.T) {
+	p := New(DefaultConfig(25))
+	d := p.Step(0.5, 25)
+	if d.Maneuver != Derated {
+		t.Fatalf("maneuver = %v", d.Maneuver)
+	}
+	if d.TargetSpeed != 15 { // 25 * 0.6
+		t.Fatalf("target = %v", d.TargetSpeed)
+	}
+	if d.Reason == "" {
+		t.Fatal("no reason")
+	}
+}
+
+func TestHysteresisOnRecovery(t *testing.T) {
+	p := New(DefaultConfig(25))
+	p.Step(0.5, 25) // -> Derated
+	// 0.85 is back in the Full band but below the Up threshold: stay.
+	if d := p.Step(0.85, 20); d.Maneuver != Derated {
+		t.Fatalf("recovered too eagerly: %v", d.Maneuver)
+	}
+	if d := p.Step(0.95, 20); d.Maneuver != Normal {
+		t.Fatalf("no recovery at 0.95: %v", d.Maneuver)
+	}
+}
+
+func TestSafeStopCompletesEvenIfAbilityFlickers(t *testing.T) {
+	p := New(DefaultConfig(25))
+	d := p.Step(0.1, 25) // -> SafeStop
+	if d.Maneuver != SafeStop || d.TargetSpeed != 0 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Ability flickers back up mid-maneuver: the stop continues.
+	if d := p.Step(1.0, 15); d.Maneuver != SafeStop {
+		t.Fatalf("aborted safe stop: %v", d.Maneuver)
+	}
+	// Vehicle reaches standstill.
+	if d := p.Step(1.0, 0); d.Maneuver != Standstill {
+		t.Fatalf("no standstill: %v", d.Maneuver)
+	}
+	// From standstill, full recovery resumes driving.
+	if d := p.Step(1.0, 0); d.Maneuver != Normal {
+		t.Fatalf("no restart: %v", d.Maneuver)
+	}
+}
+
+func TestStandstillRequiresFullRecovery(t *testing.T) {
+	p := New(DefaultConfig(25))
+	p.Step(0.1, 25)
+	p.Step(0.1, 0) // -> Standstill
+	if d := p.Step(0.5, 0); d.Maneuver != Standstill {
+		t.Fatalf("half-healthy restart: %v", d.Maneuver)
+	}
+}
+
+func TestDeratedToSafeStop(t *testing.T) {
+	p := New(DefaultConfig(25))
+	p.Step(0.5, 25) // Derated
+	if d := p.Step(0.05, 25); d.Maneuver != SafeStop {
+		t.Fatalf("no escalation to safe stop: %v", d.Maneuver)
+	}
+}
+
+func TestExternalSpeedCap(t *testing.T) {
+	p := New(DefaultConfig(25))
+	p.SetSpeedCap(18)
+	if d := p.Step(1.0, 25); d.TargetSpeed != 18 {
+		t.Fatalf("cap ignored in Normal: %v", d.TargetSpeed)
+	}
+	// In Derated the tighter of cap and derated speed wins.
+	p.SetSpeedCap(10)
+	if d := p.Step(0.5, 20); d.TargetSpeed != 10 {
+		t.Fatalf("cap ignored in Derated: %v", d.TargetSpeed)
+	}
+	p.SetSpeedCap(0)
+	if d := p.Step(0.5, 20); d.TargetSpeed != 15 {
+		t.Fatalf("cleared cap: %v", d.TargetSpeed)
+	}
+}
+
+func TestManeuverString(t *testing.T) {
+	if Normal.String() != "normal" || SafeStop.String() != "safe-stop" {
+		t.Fatal("names")
+	}
+}
+
+// Property: the target speed is always 0 in stop modes and never exceeds
+// the requested speed.
+func TestPropSpeedBounds(t *testing.T) {
+	f := func(levels []uint8) bool {
+		p := New(DefaultConfig(30))
+		speed := 30.0
+		for _, l := range levels {
+			d := p.Step(skills.Level(float64(l%101)/100), speed)
+			if d.TargetSpeed > 30 {
+				return false
+			}
+			if (d.Maneuver == SafeStop || d.Maneuver == Standstill) && d.TargetSpeed != 0 {
+				return false
+			}
+			speed = d.TargetSpeed // idealized tracking
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hysteresis prevents flapping — alternating levels just around
+// the Down threshold cause at most one transition.
+func TestPropNoFlapping(t *testing.T) {
+	p := New(DefaultConfig(30))
+	for i := 0; i < 100; i++ {
+		lvl := skills.Level(0.79)
+		if i%2 == 1 {
+			lvl = 0.84 // above Down (0.8) but below Up (0.9)
+		}
+		p.Step(lvl, 30)
+	}
+	if p.Transitions > 1 {
+		t.Fatalf("flapping: %d transitions", p.Transitions)
+	}
+}

@@ -1,0 +1,260 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// RxHandler receives a delivered frame with its delivery time.
+type RxHandler func(f Frame, at sim.Time)
+
+// AcceptanceFilter decides whether a received frame is passed to the node.
+// A nil filter accepts everything.
+type AcceptanceFilter func(f Frame) bool
+
+// MaskFilter returns the classic mask/match acceptance filter:
+// accepted iff id & mask == match & mask.
+func MaskFilter(mask, match uint32) AcceptanceFilter {
+	return func(f Frame) bool { return f.ID&mask == match&mask }
+}
+
+// txEntry is a queued transmission request.
+type txEntry struct {
+	frame    Frame
+	enqueued sim.Time
+	seq      uint64
+	onSent   func(sent sim.Time) // optional completion callback
+}
+
+// Node is a CAN controller attached to the bus. Its transmit queue is
+// priority-ordered by arbitration key (hardware message buffers behave
+// this way); reception applies the acceptance filter before the handler.
+type Node struct {
+	name   string
+	bus    *Bus
+	queue  []*txEntry
+	filter AcceptanceFilter
+	rx     RxHandler
+
+	// Fault confinement (see errors.go).
+	tec       int
+	rec       int
+	corruptTx int
+
+	// Stats
+	Sent     int
+	Received int
+	Filtered int
+	// TxErrors counts corrupted transmissions (error frames caused).
+	TxErrors int
+}
+
+// Name returns the node's identifier on the bus.
+func (n *Node) Name() string { return n.name }
+
+// SetFilter installs the acceptance filter (nil accepts all).
+func (n *Node) SetFilter(f AcceptanceFilter) { n.filter = f }
+
+// SetRx installs the receive handler.
+func (n *Node) SetRx(h RxHandler) { n.rx = h }
+
+// Pending returns the number of frames waiting in the TX queue.
+func (n *Node) Pending() int { return len(n.queue) }
+
+// Send enqueues a frame for transmission. onSent, if non-nil, runs when the
+// frame's transmission completes (EOF on the wire).
+func (n *Node) Send(f Frame, onSent func(sent sim.Time)) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	e := &txEntry{frame: f.Clone(), enqueued: n.bus.sim.Now(), seq: n.bus.nextSeq(), onSent: onSent}
+	n.queue = append(n.queue, e)
+	sort.SliceStable(n.queue, func(i, j int) bool {
+		ki, kj := n.queue[i].frame.arbitrationKey(), n.queue[j].frame.arbitrationKey()
+		if ki != kj {
+			return ki < kj
+		}
+		return n.queue[i].seq < n.queue[j].seq
+	})
+	n.bus.kick()
+	return nil
+}
+
+// head returns the highest-priority pending entry, or nil.
+func (n *Node) head() *txEntry {
+	if len(n.queue) == 0 {
+		return nil
+	}
+	return n.queue[0]
+}
+
+func (n *Node) popHead() *txEntry {
+	e := n.queue[0]
+	n.queue = n.queue[1:]
+	return e
+}
+
+// Delivery records one frame delivery for statistics.
+type Delivery struct {
+	Frame    Frame
+	Enqueued sim.Time
+	Sent     sim.Time // transmission complete
+	Source   string
+}
+
+// Latency returns the enqueue-to-EOF latency.
+func (d Delivery) Latency() sim.Time { return d.Sent - d.Enqueued }
+
+// Bus is the shared medium. One frame is on the wire at a time; when the
+// wire goes idle, the highest-priority head-of-queue frame across all
+// nodes wins arbitration (CSMA/CR).
+type Bus struct {
+	sim        *sim.Simulator
+	bitsPerSec int64
+	nodes      []*Node
+	busy       bool
+	seq        uint64
+
+	// Log collects all deliveries when Record is true.
+	Record bool
+	Log    []Delivery
+
+	// BusyTime accumulates wire occupancy for utilization.
+	BusyTime sim.Time
+	// FramesOnWire counts completed transmissions.
+	FramesOnWire int
+	// ErrorFrames counts error frames on the wire.
+	ErrorFrames int
+}
+
+// NewBus creates a bus on the given simulator at the given bitrate.
+func NewBus(s *sim.Simulator, bitsPerSec int64) *Bus {
+	if bitsPerSec <= 0 {
+		panic("can: non-positive bitrate")
+	}
+	return &Bus{sim: s, bitsPerSec: bitsPerSec}
+}
+
+// BitsPerSec returns the configured bitrate.
+func (b *Bus) BitsPerSec() int64 { return b.bitsPerSec }
+
+// Utilization returns the fraction of elapsed time the wire was busy.
+func (b *Bus) Utilization() float64 {
+	now := b.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(b.BusyTime) / float64(now)
+}
+
+// Attach adds a named node to the bus.
+func (b *Bus) Attach(name string) *Node {
+	n := &Node{name: name, bus: b}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *Bus) nextSeq() uint64 {
+	b.seq++
+	return b.seq
+}
+
+// kick starts arbitration if the wire is idle. Scheduled at the current
+// instant so that all frames enqueued in the same event round compete.
+func (b *Bus) kick() {
+	if b.busy {
+		return
+	}
+	b.busy = true
+	b.sim.Schedule(0, b.arbitrate)
+}
+
+// arbitrate picks the winning frame and simulates its transmission.
+func (b *Bus) arbitrate() {
+	var winner *Node
+	var best *txEntry
+	for _, n := range b.nodes {
+		if n.ErrorState() == BusOff {
+			continue
+		}
+		e := n.head()
+		if e == nil {
+			continue
+		}
+		if best == nil {
+			winner, best = n, e
+			continue
+		}
+		ki, kj := e.frame.arbitrationKey(), best.frame.arbitrationKey()
+		switch {
+		case ki < kj:
+			winner, best = n, e
+		case ki == kj && e.seq < best.seq:
+			// Identical identifiers from two nodes would be a protocol
+			// violation on real CAN; we resolve deterministically by
+			// enqueue order to keep the simulation total.
+			winner, best = n, e
+		}
+	}
+	if best == nil {
+		b.busy = false
+		return
+	}
+	e := winner.popHead()
+	if winner.corruptTx > 0 {
+		// The transmission is hit by an error: the wire carries a partial
+		// frame plus the error frame, the TEC rises, and the frame is
+		// retransmitted (unless the node just went bus-off).
+		winner.corruptTx--
+		winner.TxErrors++
+		b.ErrorFrames++
+		cost := e.frame.TransmissionTime(b.bitsPerSec)/2 + b.ErrorFrameTime()
+		b.BusyTime += cost
+		b.sim.Schedule(cost, func() {
+			winner.handleTxError(e)
+			b.arbitrate()
+		})
+		return
+	}
+	tx := e.frame.TransmissionTime(b.bitsPerSec)
+	b.BusyTime += tx
+	b.sim.Schedule(tx, func() {
+		b.complete(winner, e)
+	})
+}
+
+// complete delivers the frame to all other nodes and re-arbitrates.
+func (b *Bus) complete(src *Node, e *txEntry) {
+	now := b.sim.Now()
+	src.Sent++
+	src.onTxSuccess()
+	b.FramesOnWire++
+	if b.Record {
+		b.Log = append(b.Log, Delivery{Frame: e.frame, Enqueued: e.enqueued, Sent: now, Source: src.name})
+	}
+	for _, n := range b.nodes {
+		if n == src {
+			continue
+		}
+		if n.filter != nil && !n.filter(e.frame) {
+			n.Filtered++
+			continue
+		}
+		n.Received++
+		if n.rx != nil {
+			n.rx(e.frame.Clone(), now)
+		}
+	}
+	if e.onSent != nil {
+		e.onSent(now)
+	}
+	// Immediately arbitrate the next frame (IFS is part of frame length).
+	b.arbitrate()
+}
+
+// String summarizes bus state for debugging.
+func (b *Bus) String() string {
+	return fmt.Sprintf("can.Bus{%d nodes, %d frames, util %.1f%%}", len(b.nodes), b.FramesOnWire, 100*b.Utilization())
+}

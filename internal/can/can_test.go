@@ -1,0 +1,336 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFrameValidate(t *testing.T) {
+	if err := (Frame{ID: 0x123, Data: []byte{1, 2, 3}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Frame{ID: 0x800}).Validate(); err == nil {
+		t.Fatal("11-bit overflow accepted")
+	}
+	if err := (Frame{ID: 0x800, Extended: true}).Validate(); err != nil {
+		t.Fatal("extended id rejected")
+	}
+	if err := (Frame{ID: MaxExtendedID + 1, Extended: true}).Validate(); err == nil {
+		t.Fatal("29-bit overflow accepted")
+	}
+	if err := (Frame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Fatal("9-byte payload accepted")
+	}
+	if err := (Frame{ID: 1, RTR: true, Data: []byte{1}}).Validate(); err == nil {
+		t.Fatal("RTR with payload accepted")
+	}
+}
+
+func TestNominalBits(t *testing.T) {
+	// Standard 8-byte frame: 47 + 64 = 111 bits.
+	if got := (Frame{ID: 1, Data: make([]byte, 8)}).NominalBits(); got != 111 {
+		t.Fatalf("standard 8B = %d bits, want 111", got)
+	}
+	// Extended 8-byte frame: 67 + 64 = 131 bits.
+	if got := (Frame{ID: 1, Extended: true, Data: make([]byte, 8)}).NominalBits(); got != 131 {
+		t.Fatalf("extended 8B = %d bits, want 131", got)
+	}
+	// Empty standard frame: 47 bits.
+	if got := (Frame{ID: 1}).NominalBits(); got != 47 {
+		t.Fatalf("standard 0B = %d bits, want 47", got)
+	}
+}
+
+func TestWorstCaseBits(t *testing.T) {
+	// Standard 8-byte: 111 + floor((34+64-1)/4) = 111 + 24 = 135.
+	if got := (Frame{ID: 1, Data: make([]byte, 8)}).WorstCaseBits(); got != 135 {
+		t.Fatalf("stuffed standard 8B = %d, want 135", got)
+	}
+	// Standard 0-byte: 47 + floor(33/4)=8 -> 55.
+	if got := (Frame{ID: 1}).WorstCaseBits(); got != 55 {
+		t.Fatalf("stuffed standard 0B = %d, want 55", got)
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// At 1 Mbit/s a bit is 1us; stuffed 8-byte standard frame = 135us.
+	f := Frame{ID: 1, Data: make([]byte, 8)}
+	if got := f.TransmissionTime(1_000_000); got != 135*sim.Microsecond {
+		t.Fatalf("tx time = %v, want 135us", got)
+	}
+	// At 500 kbit/s twice as long.
+	if got := f.TransmissionTime(500_000); got != 270*sim.Microsecond {
+		t.Fatalf("tx time = %v, want 270us", got)
+	}
+}
+
+func TestArbitrationKeyOrdering(t *testing.T) {
+	lo := Frame{ID: 0x100}
+	hi := Frame{ID: 0x101}
+	if !lo.HigherPriority(hi) {
+		t.Fatal("lower ID must win")
+	}
+	// A standard frame beats an extended frame with the same 11-bit prefix.
+	std := Frame{ID: 0x100}
+	ext := Frame{ID: 0x100 << 18, Extended: true}
+	if !std.HigherPriority(ext) {
+		t.Fatal("standard must beat extended with same prefix")
+	}
+	// But an extended frame with a smaller prefix wins.
+	ext2 := Frame{ID: 0x0FF << 18, Extended: true}
+	if !ext2.HigherPriority(std) {
+		t.Fatal("extended with smaller prefix must win")
+	}
+}
+
+// Property: arbitration order is total and matches ID order for
+// same-format frames.
+func TestPropArbitrationMatchesIDOrder(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := Frame{ID: uint32(a) & MaxStandardID}
+		fb := Frame{ID: uint32(b) & MaxStandardID}
+		if fa.ID == fb.ID {
+			return !fa.HigherPriority(fb) && !fb.HigherPriority(fa)
+		}
+		return fa.HigherPriority(fb) == (fa.ID < fb.ID)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusSingleFrame(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	var got []Frame
+	b.SetRx(func(f Frame, at sim.Time) { got = append(got, f) })
+	if err := a.Send(Frame{ID: 0x10, Data: []byte{0xAA}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 0x10 || got[0].Data[0] != 0xAA {
+		t.Fatalf("delivery = %+v", got)
+	}
+	if a.Sent != 1 || b.Received != 1 {
+		t.Fatalf("stats: sent=%d recv=%d", a.Sent, b.Received)
+	}
+}
+
+func TestBusArbitrationOrder(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	sink := bus.Attach("sink")
+	var order []uint32
+	sink.SetRx(func(f Frame, at sim.Time) { order = append(order, f.ID) })
+
+	// Enqueue out of priority order at t=0 from two nodes.
+	if err := a.Send(Frame{ID: 0x300}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Frame{ID: 0x100}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(Frame{ID: 0x200}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0x100, 0x200, 0x300}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %#v, want %#v", order, want)
+		}
+	}
+}
+
+func TestBusNonPreemption(t *testing.T) {
+	// A high-priority frame enqueued while a low-priority frame is on the
+	// wire must wait for the wire to clear (non-preemptive arbitration).
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	sink := bus.Attach("sink")
+	var deliveries []sim.Time
+	sink.SetRx(func(f Frame, at sim.Time) { deliveries = append(deliveries, at) })
+
+	if err := a.Send(Frame{ID: 0x400, Data: make([]byte, 8)}, nil); err != nil { // 135us on wire
+		t.Fatal(err)
+	}
+	s.Schedule(10*sim.Microsecond, func() {
+		if err := a.Send(Frame{ID: 0x001}, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	if deliveries[0] != 135*sim.Microsecond {
+		t.Fatalf("first delivery at %v, want 135us", deliveries[0])
+	}
+	// Second frame (55 stuffed bits) starts at 135us, completes at 190us.
+	if deliveries[1] != 190*sim.Microsecond {
+		t.Fatalf("second delivery at %v, want 190us", deliveries[1])
+	}
+}
+
+func TestAcceptanceFilter(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 500_000)
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	b.SetFilter(MaskFilter(0x700, 0x100)) // accept 0x100-0x1FF
+	var got []uint32
+	b.SetRx(func(f Frame, at sim.Time) { got = append(got, f.ID) })
+	for _, id := range []uint32{0x100, 0x1FF, 0x200, 0x050} {
+		if err := a.Send(Frame{ID: id}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 0x050 wins arbitration first but is filtered out; only the 0x1xx
+	// frames pass, in arbitration order.
+	if len(got) != 2 || got[0] != 0x100 || got[1] != 0x1FF {
+		t.Fatalf("got = %#v, want [0x100 0x1FF]", got)
+	}
+	if b.Filtered != 2 {
+		t.Fatalf("filtered = %d, want 2", b.Filtered)
+	}
+}
+
+func TestBusUtilizationAndLog(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	bus.Record = true
+	a := bus.Attach("a")
+	bus.Attach("b")
+	for i := 0; i < 5; i++ {
+		if err := a.Send(Frame{ID: uint32(i + 1), Data: make([]byte, 8)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.FramesOnWire != 5 {
+		t.Fatalf("frames = %d", bus.FramesOnWire)
+	}
+	if len(bus.Log) != 5 {
+		t.Fatalf("log = %d entries", len(bus.Log))
+	}
+	// Wire was continuously busy: utilization 1.0.
+	if u := bus.Utilization(); u < 0.999 {
+		t.Fatalf("utilization = %v, want ~1", u)
+	}
+	// Latencies are monotonically increasing (queueing).
+	for i := 1; i < len(bus.Log); i++ {
+		if bus.Log[i].Latency() <= bus.Log[i-1].Latency() {
+			t.Fatalf("latencies not increasing: %v then %v", bus.Log[i-1].Latency(), bus.Log[i].Latency())
+		}
+	}
+}
+
+func TestOnSentCallback(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	bus.Attach("b")
+	var sentAt sim.Time = -1
+	if err := a.Send(Frame{ID: 5}, func(at sim.Time) { sentAt = at }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sentAt != 55*sim.Microsecond {
+		t.Fatalf("sentAt = %v, want 55us", sentAt)
+	}
+}
+
+func TestSendInvalidFrame(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	if err := a.Send(Frame{ID: 0x1000}, nil); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+}
+
+// Property: for any batch of same-time frames with distinct IDs, delivery
+// order equals sorted ID order (bitwise arbitration is a priority queue).
+func TestPropBusDeliveryOrder(t *testing.T) {
+	f := func(idsRaw []uint16) bool {
+		if len(idsRaw) == 0 || len(idsRaw) > 32 {
+			return true
+		}
+		seen := make(map[uint32]bool)
+		var ids []uint32
+		for _, r := range idsRaw {
+			id := uint32(r) & MaxStandardID
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		s := sim.New()
+		bus := NewBus(s, 1_000_000)
+		tx := bus.Attach("tx")
+		rx := bus.Attach("rx")
+		var order []uint32
+		rx.SetRx(func(fr Frame, at sim.Time) { order = append(order, fr.ID) })
+		for _, id := range ids {
+			if err := tx.Send(Frame{ID: id}, nil); err != nil {
+				return false
+			}
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(order) != len(ids) {
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i-1] >= order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	f := Frame{ID: 1, Data: []byte{1, 2}}
+	c := f.Clone()
+	c.Data[0] = 9
+	if f.Data[0] != 1 {
+		t.Fatal("Clone shares payload")
+	}
+}
+
+func TestBitTime(t *testing.T) {
+	if BitTime(1_000_000) != sim.Microsecond {
+		t.Fatalf("1Mbit bit time = %v", BitTime(1_000_000))
+	}
+	if BitTime(500_000) != 2*sim.Microsecond {
+		t.Fatalf("500k bit time = %v", BitTime(500_000))
+	}
+}

@@ -1,0 +1,125 @@
+package can
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Fault confinement after the CAN specification: every node carries a
+// transmit error counter (TEC) and a receive error counter (REC). Errors
+// increment them (TX errors by 8, RX errors by 1), successful operations
+// decrement. A node whose TEC exceeds 127 goes error-passive; beyond 255
+// it goes bus-off and stops participating until reset.
+//
+// The simulation does not model bit-level corruption on the wire; instead,
+// error injection (CorruptNextTx, InjectRxError) drives the counters so
+// platform monitors and the self-representation can observe a degrading
+// communication substrate — the "platform reliability" effect of
+// Section V.
+
+// ErrorState is a node's fault-confinement state.
+type ErrorState int
+
+// Error states in order of degradation.
+const (
+	// ErrorActive is normal operation.
+	ErrorActive ErrorState = iota
+	// ErrorPassive: the node may transmit but signals errors passively.
+	ErrorPassive
+	// BusOff: the node is disconnected from the bus.
+	BusOff
+)
+
+var errStateNames = [...]string{"error-active", "error-passive", "bus-off"}
+
+func (s ErrorState) String() string {
+	if s < 0 || int(s) >= len(errStateNames) {
+		return fmt.Sprintf("ErrorState(%d)", int(s))
+	}
+	return errStateNames[s]
+}
+
+// Error-counter thresholds from the CAN specification.
+const (
+	passiveThreshold = 127
+	busOffThreshold  = 255
+	txErrorIncrement = 8
+	rxErrorIncrement = 1
+)
+
+// counters extends Node with fault-confinement state; the fields live on
+// Node itself to keep the hot path flat.
+
+// ErrorState returns the node's fault-confinement state.
+func (n *Node) ErrorState() ErrorState {
+	switch {
+	case n.tec > busOffThreshold:
+		return BusOff
+	case n.tec > passiveThreshold || n.rec > passiveThreshold:
+		return ErrorPassive
+	default:
+		return ErrorActive
+	}
+}
+
+// TEC returns the transmit error counter.
+func (n *Node) TEC() int { return n.tec }
+
+// REC returns the receive error counter.
+func (n *Node) REC() int { return n.rec }
+
+// CorruptNextTx marks the node's next k transmissions as corrupted: each
+// costs a (worst-case) error-frame retransmission slot on the wire and
+// bumps the TEC by 8. After exhausting k, transmissions succeed again.
+func (n *Node) CorruptNextTx(k int) {
+	if k > 0 {
+		n.corruptTx += k
+	}
+}
+
+// InjectRxError bumps the receive error counter (a locally detected frame
+// error), as a CRC/stuff error on reception would.
+func (n *Node) InjectRxError() {
+	n.rec += rxErrorIncrement
+}
+
+// ResetErrors models the 128-occurrences-of-11-recessive-bits recovery:
+// counters clear and a bus-off node rejoins.
+func (n *Node) ResetErrors() {
+	n.tec = 0
+	n.rec = 0
+}
+
+// errorFrameBits is the worst-case cost of an error frame plus
+// retransmission overhead (error flag 6 + delimiter 8 + IFS 3, plus
+// suspend transmission when passive).
+const errorFrameBits = 17
+
+// handleTxError is called by the bus when the node's transmission was
+// marked corrupted: TEC increases, the wire is occupied by the error
+// frame, and the frame returns to the head of the queue for retransmission
+// — unless the node just went bus-off, in which case its queue is dropped.
+func (n *Node) handleTxError(e *txEntry) (retransmit bool) {
+	n.tec += txErrorIncrement
+	if n.ErrorState() == BusOff {
+		n.queue = nil
+		return false
+	}
+	// Retransmission: back to the head (it kept its arbitration rank).
+	n.queue = append([]*txEntry{e}, n.queue...)
+	return true
+}
+
+// onTxSuccess decrements the TEC (floor 0).
+func (n *Node) onTxSuccess() {
+	if n.tec > 0 {
+		n.tec--
+	}
+}
+
+// ErrorFrameTime returns the wire time of one error frame at the bus
+// bitrate.
+func (b *Bus) ErrorFrameTime() sim.Time {
+	return sim.Time(int64(errorFrameBits) * int64(BitTime(b.bitsPerSec)))
+}

@@ -1,0 +1,168 @@
+package can
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCorruptedTxRetransmitted(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	rx := bus.Attach("rx")
+	var got []uint32
+	rx.SetRx(func(f Frame, at sim.Time) { got = append(got, f.ID) })
+
+	a.CorruptNextTx(1)
+	if err := a.Send(Frame{ID: 0x10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The frame eventually arrives (retransmission).
+	if len(got) != 1 || got[0] != 0x10 {
+		t.Fatalf("got = %v", got)
+	}
+	if a.TxErrors != 1 || bus.ErrorFrames != 1 {
+		t.Fatalf("txErrors=%d errorFrames=%d", a.TxErrors, bus.ErrorFrames)
+	}
+	// TEC: +8 for the error, -1 for the success.
+	if a.TEC() != 7 {
+		t.Fatalf("TEC = %d, want 7", a.TEC())
+	}
+	if a.ErrorState() != ErrorActive {
+		t.Fatalf("state = %v", a.ErrorState())
+	}
+}
+
+func TestErrorPassiveThreshold(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	bus.Attach("rx")
+	// 16 consecutive errors: TEC = 16*8 = 128 > 127 -> error passive,
+	// then one success brings it to 127 (still passive until <= 127...
+	// 127 is not > 127, so back to active at exactly 127).
+	a.CorruptNextTx(16)
+	if err := a.Send(Frame{ID: 0x10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Drain exactly the 16 error slots (each occupies half a frame plus an
+	// error frame on the wire), stopping before the successful
+	// retransmission completes.
+	slot := Frame{ID: 0x10}.TransmissionTime(1_000_000)/2 + bus.ErrorFrameTime()
+	if err := s.RunFor(16 * slot); err != nil {
+		t.Fatal(err)
+	}
+	if a.TEC() != 128 {
+		t.Fatalf("TEC = %d, want 128 after 16 errors", a.TEC())
+	}
+	if a.ErrorState() != ErrorPassive {
+		t.Fatalf("state = %v at TEC %d", a.ErrorState(), a.TEC())
+	}
+	// Finish the run: the successful retransmission decrements the TEC
+	// back below the passive threshold.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TEC() != 127 || a.ErrorState() != ErrorActive {
+		t.Fatalf("after recovery: TEC=%d state=%v", a.TEC(), a.ErrorState())
+	}
+}
+
+func TestBusOffDropsNode(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	rx := bus.Attach("rx")
+	var got int
+	rx.SetRx(func(f Frame, at sim.Time) { got++ })
+
+	// 32 errors push TEC to 256 > 255: bus-off; the frame never arrives.
+	a.CorruptNextTx(32)
+	if err := a.Send(Frame{ID: 0x10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("bus-off node delivered %d frames", got)
+	}
+	if a.ErrorState() != BusOff {
+		t.Fatalf("state = %v (TEC %d)", a.ErrorState(), a.TEC())
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("bus-off node still queues %d frames", a.Pending())
+	}
+
+	// Other nodes keep communicating.
+	b := bus.Attach("b")
+	if err := b.Send(Frame{ID: 0x20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("healthy node blocked by bus-off peer (got %d)", got)
+	}
+
+	// Recovery: reset rejoins the bus.
+	a.ResetErrors()
+	if a.ErrorState() != ErrorActive {
+		t.Fatalf("state after reset = %v", a.ErrorState())
+	}
+	if err := a.Send(Frame{ID: 0x30}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("recovered node did not deliver (got %d)", got)
+	}
+}
+
+func TestRxErrorCounter(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	for i := 0; i < 128; i++ {
+		a.InjectRxError()
+	}
+	if a.REC() != 128 {
+		t.Fatalf("REC = %d", a.REC())
+	}
+	if a.ErrorState() != ErrorPassive {
+		t.Fatalf("state = %v", a.ErrorState())
+	}
+}
+
+func TestErrorStateString(t *testing.T) {
+	if ErrorActive.String() != "error-active" || BusOff.String() != "bus-off" {
+		t.Fatal("state names")
+	}
+}
+
+func TestErrorFramesOccupyWire(t *testing.T) {
+	s := sim.New()
+	bus := NewBus(s, 1_000_000)
+	a := bus.Attach("a")
+	bus.Attach("rx")
+	a.CorruptNextTx(1)
+	if err := a.Send(Frame{ID: 0x10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Wire time: half frame + error frame + full retransmission.
+	frame := Frame{ID: 0x10}.TransmissionTime(1_000_000)
+	want := frame/2 + bus.ErrorFrameTime() + frame
+	if bus.BusyTime != want {
+		t.Fatalf("busy = %v, want %v", bus.BusyTime, want)
+	}
+}

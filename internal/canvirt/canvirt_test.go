@@ -1,0 +1,474 @@
+package canvirt
+
+import (
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func newTestStack(t *testing.T, nVMs int) (*sim.Simulator, *can.Bus, *vm.Hypervisor, *Controller, *PF, []*VF) {
+	t.Helper()
+	s := sim.New()
+	bus := can.NewBus(s, 1_000_000)
+	hv := vm.NewHypervisor(s, vm.DefaultCostModel(), 1<<20)
+	dom0, err := hv.CreateVM("dom0", 1024, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, pf, err := New(s, hv, bus, "vcan", dom0, DefaultLayerCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vfs []*VF
+	for i := 0; i < nVMs; i++ {
+		g, err := hv.CreateVM("guest"+string(rune('A'+i)), 512, 0.05, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vf, err := pf.ProvisionVF(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vfs = append(vfs, vf)
+	}
+	return s, bus, hv, ctrl, pf, vfs
+}
+
+func TestPFRequiresPrivilegedVM(t *testing.T) {
+	s := sim.New()
+	bus := can.NewBus(s, 1_000_000)
+	hv := vm.NewHypervisor(s, vm.DefaultCostModel(), 1<<20)
+	guest, err := hv.CreateVM("guest", 512, 0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := New(s, hv, bus, "vcan", guest, DefaultLayerCosts()); err != ErrNotPrivileged {
+		t.Fatalf("err = %v, want ErrNotPrivileged", err)
+	}
+	if _, _, err := New(s, hv, bus, "vcan", nil, DefaultLayerCosts()); err != ErrNotPrivileged {
+		t.Fatalf("nil owner err = %v, want ErrNotPrivileged", err)
+	}
+}
+
+func TestVFSendReceive(t *testing.T) {
+	s, bus, _, _, _, vfs := newTestStack(t, 2)
+	peer := bus.Attach("peer")
+	var peerGot []can.Frame
+	peer.SetRx(func(f can.Frame, at sim.Time) { peerGot = append(peerGot, f) })
+
+	var vf1Got []can.Frame
+	vfs[1].SetRx(func(f can.Frame, at sim.Time) { vf1Got = append(vf1Got, f) })
+
+	if err := vfs[0].Send(can.Frame{ID: 0x123, Data: []byte{1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(peerGot) != 1 || peerGot[0].ID != 0x123 {
+		t.Fatalf("peer got %v", peerGot)
+	}
+	// The sibling VF receives the frame too (broadcast medium), but the
+	// sending VF does not hear its own frame.
+	if len(vf1Got) != 1 {
+		t.Fatalf("vf1 got %d frames", len(vf1Got))
+	}
+	if vfs[0].RxCount != 0 {
+		t.Fatalf("sender received its own frame")
+	}
+	if vfs[0].TxCount != 1 {
+		t.Fatalf("TxCount = %d", vfs[0].TxCount)
+	}
+}
+
+func TestVFIsolationByFilter(t *testing.T) {
+	s, bus, _, _, pf, vfs := newTestStack(t, 2)
+	// VM A sees only 0x1xx, VM B only 0x2xx.
+	if err := pf.SetFilter(0, can.MaskFilter(0x700, 0x100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.SetFilter(1, can.MaskFilter(0x700, 0x200)); err != nil {
+		t.Fatal(err)
+	}
+	var aGot, bGot []uint32
+	vfs[0].SetRx(func(f can.Frame, at sim.Time) { aGot = append(aGot, f.ID) })
+	vfs[1].SetRx(func(f can.Frame, at sim.Time) { bGot = append(bGot, f.ID) })
+
+	ext := bus.Attach("ext")
+	for _, id := range []uint32{0x110, 0x210, 0x310} {
+		if err := ext.Send(can.Frame{ID: id}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(aGot) != 1 || aGot[0] != 0x110 {
+		t.Fatalf("A got %#v", aGot)
+	}
+	if len(bGot) != 1 || bGot[0] != 0x210 {
+		t.Fatalf("B got %#v", bGot)
+	}
+}
+
+func TestDisabledVFDataPathCut(t *testing.T) {
+	s, bus, _, _, pf, vfs := newTestStack(t, 1)
+	if err := pf.EnableVF(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs[0].Send(can.Frame{ID: 1}, nil); err != ErrVFDisabled {
+		t.Fatalf("send on disabled VF: %v", err)
+	}
+	// RX is cut as well.
+	got := 0
+	vfs[0].SetRx(func(f can.Frame, at sim.Time) { got++ })
+	ext := bus.Attach("ext")
+	if err := ext.Send(can.Frame{ID: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("disabled VF received a frame")
+	}
+	// Re-enable restores the path.
+	if err := pf.EnableVF(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.Send(can.Frame{ID: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("re-enabled VF got %d frames", got)
+	}
+}
+
+func TestPFIndexValidation(t *testing.T) {
+	_, _, _, _, pf, _ := newTestStack(t, 1)
+	if err := pf.EnableVF(5, false); err != ErrNoSuchVF {
+		t.Fatalf("err = %v", err)
+	}
+	if err := pf.SetFilter(-1, nil); err != ErrNoSuchVF {
+		t.Fatalf("err = %v", err)
+	}
+	if pf.VFCount() != 1 {
+		t.Fatalf("VFCount = %d", pf.VFCount())
+	}
+}
+
+func TestCrossVMPriorityPreserved(t *testing.T) {
+	// Frames queued at the same instant from different VMs must reach the
+	// wire in CAN-ID order: the virtualization layer preserves bus priority.
+	s, bus, _, _, _, vfs := newTestStack(t, 3)
+	sink := bus.Attach("sink")
+	var order []uint32
+	sink.SetRx(func(f can.Frame, at sim.Time) { order = append(order, f.ID) })
+	if err := vfs[0].Send(can.Frame{ID: 0x300}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs[1].Send(can.Frame{ID: 0x100}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs[2].Send(can.Frame{ID: 0x200}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0x100, 0x200, 0x300}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %#v, want %#v", order, want)
+		}
+	}
+}
+
+func TestRxQueueBuffersWithoutHandler(t *testing.T) {
+	s, bus, _, _, _, vfs := newTestStack(t, 1)
+	ext := bus.Attach("ext")
+	for i := 0; i < 3; i++ {
+		if err := ext.Send(can.Frame{ID: uint32(i + 1)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vfs[0].RxQueueLen() != 3 {
+		t.Fatalf("rx queue = %d", vfs[0].RxQueueLen())
+	}
+	got := vfs[0].DrainRx()
+	if len(got) != 3 || vfs[0].RxQueueLen() != 0 {
+		t.Fatalf("drain = %d, remaining %d", len(got), vfs[0].RxQueueLen())
+	}
+}
+
+func TestTrapAccountingOnDataPath(t *testing.T) {
+	s, bus, hv, _, _, vfs := newTestStack(t, 1)
+	bus.Attach("peer")
+	if err := vfs[0].Send(can.Frame{ID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := vfs[0].VM()
+	if g.TrapCount[vm.TrapMMIO] != 1 || g.TrapCount[vm.TrapDoorbell] != 1 {
+		t.Fatalf("trap counts = %v", g.TrapCount)
+	}
+	if hv.TrapTime == 0 {
+		t.Fatal("no trap time accumulated")
+	}
+}
+
+// E1 shape: the added round-trip latency must land in the published
+// 7-11 µs band for 1..12 provisioned VFs and grow monotonically with the
+// VF count.
+func TestE1AddedLatencyBand(t *testing.T) {
+	var prev sim.Time
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		added, err := AddedLatency(n, 20, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := added.Micros()
+		if us < 7.0 || us > 11.0 {
+			t.Fatalf("added RTT with %d VFs = %.2fus, want within [7, 11]", n, us)
+		}
+		if added < prev {
+			t.Fatalf("added RTT not monotone in VF count: %v after %v", added, prev)
+		}
+		prev = added
+	}
+}
+
+// E1 shape: predicted overhead matches the measured difference.
+func TestE1PredictionMatchesMeasurement(t *testing.T) {
+	for _, n := range []int{1, 4, 8} {
+		added, err := AddedLatency(n, 10, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := AddedRoundTrip(vm.DefaultCostModel(), DefaultLayerCosts(), n)
+		diff := added - pred
+		if diff < 0 {
+			diff = -diff
+		}
+		// Native driver costs cancel except for sub-microsecond scheduling
+		// effects; allow 1.5us slack.
+		if diff > 1500*sim.Nanosecond {
+			t.Fatalf("n=%d: measured %v vs predicted %v", n, added, pred)
+		}
+	}
+}
+
+// Near-native throughput: with a single VF the virtualized controller must
+// sustain the same number of frames on a saturated wire (overheads are
+// pipelined with transmission, not serialized).
+func TestNearNativeThroughput(t *testing.T) {
+	run := func(virt bool) int {
+		s := sim.New()
+		bus := can.NewBus(s, 1_000_000)
+		if virt {
+			hv := vm.NewHypervisor(s, vm.DefaultCostModel(), 1<<20)
+			dom0, _ := hv.CreateVM("dom0", 1024, 0.1, true)
+			_, pf, err := New(s, hv, bus, "vcan", dom0, DefaultLayerCosts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, _ := hv.CreateVM("g", 512, 0.1, false)
+			vf, _ := pf.ProvisionVF(g, can.MaskFilter(0x7FF, 0x7FF)) // receive nothing
+			for i := 0; i < 200; i++ {
+				if err := vf.Send(can.Frame{ID: uint32(i%100 + 1), Data: make([]byte, 8)}, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			n := NewNative(s, bus, "host")
+			for i := 0; i < 200; i++ {
+				if err := n.Send(can.Frame{ID: uint32(i%100 + 1), Data: make([]byte, 8)}, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		bus.Attach("sink")
+		if err := s.RunFor(20 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return bus.FramesOnWire
+	}
+	nat := run(false)
+	virt := run(true)
+	if nat == 0 {
+		t.Fatal("no native frames")
+	}
+	ratio := float64(virt) / float64(nat)
+	if ratio < 0.98 {
+		t.Fatalf("virtualized throughput %.3f of native (nat=%d virt=%d)", ratio, nat, virt)
+	}
+}
+
+// Priority preservation under load: with every other VM flooding the bus
+// with lower-priority traffic, the probe's round trip grows by at most one
+// blocking frame per leg (non-preemptive arbitration), not by the queueing
+// the background VMs themselves suffer.
+func TestLoadedProbeBoundedBlocking(t *testing.T) {
+	base := ProbeConfig{Probes: 30, PayloadBytes: 8, VMs: 4}
+	unloaded, err := MeasureVirtualized(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := MeasureVirtualizedLoaded(base, 200*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 8-byte stuffed frame = 135us at 1 Mbit/s; two legs -> 270us of
+	// worst-case blocking, plus scheduling slack.
+	maxExtra := 2*135*sim.Microsecond + 20*sim.Microsecond
+	if loaded.Max() > unloaded.Max()+maxExtra {
+		t.Fatalf("loaded max RTT %v exceeds unloaded %v + blocking bound %v",
+			loaded.Max(), unloaded.Max(), maxExtra)
+	}
+	// And the load is real: the loaded mean is strictly larger.
+	if loaded.Mean() <= unloaded.Mean() {
+		t.Fatalf("background load had no effect: %v <= %v", loaded.Mean(), unloaded.Mean())
+	}
+}
+
+func TestLoadedProbeNeedsTwoVMs(t *testing.T) {
+	if _, err := MeasureVirtualizedLoaded(ProbeConfig{VMs: 1, Probes: 1}, sim.Millisecond); err == nil {
+		t.Fatal("single-VM loaded probe accepted")
+	}
+}
+
+// RX interrupt coalescing: batching cuts the interrupt count roughly by
+// the batch factor at the cost of added per-frame latency — the HW/SW
+// trade-off discussed in [8].
+func TestRxCoalescingTradeoff(t *testing.T) {
+	run := func(batch int) (irqs int, rx int, lastAt sim.Time) {
+		s := sim.New()
+		bus := can.NewBus(s, 1_000_000)
+		hv := vm.NewHypervisor(s, vm.DefaultCostModel(), 1<<20)
+		dom0, _ := hv.CreateVM("dom0", 1024, 0.1, true)
+		_, pf, err := New(s, hv, bus, "vcan", dom0, DefaultLayerCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := hv.CreateVM("g", 512, 0.1, false)
+		vf, _ := pf.ProvisionVF(g, nil)
+		vf.SetCoalescing(batch, 2*sim.Millisecond)
+		vf.SetRx(func(f can.Frame, at sim.Time) { lastAt = at })
+		ext := bus.Attach("ext")
+		for i := 0; i < 20; i++ {
+			if err := ext.Send(can.Frame{ID: uint32(i + 1), Data: make([]byte, 8)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return vf.IRQCount, vf.RxCount, lastAt
+	}
+	irqs1, rx1, _ := run(1)
+	irqs4, rx4, _ := run(4)
+	if rx1 != 20 || rx4 != 20 {
+		t.Fatalf("frames delivered: %d / %d", rx1, rx4)
+	}
+	if irqs1 != 20 {
+		t.Fatalf("uncoalesced IRQs = %d", irqs1)
+	}
+	if irqs4 != 5 {
+		t.Fatalf("coalesced IRQs = %d, want 5", irqs4)
+	}
+}
+
+func TestRxCoalescingTimeoutFlushesPartialBatch(t *testing.T) {
+	s := sim.New()
+	bus := can.NewBus(s, 1_000_000)
+	hv := vm.NewHypervisor(s, vm.DefaultCostModel(), 1<<20)
+	dom0, _ := hv.CreateVM("dom0", 1024, 0.1, true)
+	_, pf, err := New(s, hv, bus, "vcan", dom0, DefaultLayerCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := hv.CreateVM("g", 512, 0.1, false)
+	vf, _ := pf.ProvisionVF(g, nil)
+	vf.SetCoalescing(8, 1*sim.Millisecond)
+	var deliveredAt sim.Time
+	vf.SetRx(func(f can.Frame, at sim.Time) { deliveredAt = at })
+	ext := bus.Attach("ext")
+	if err := ext.Send(can.Frame{ID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vf.RxCount != 1 || vf.IRQCount != 1 {
+		t.Fatalf("rx=%d irq=%d", vf.RxCount, vf.IRQCount)
+	}
+	// Delivery waited for the coalescing timeout (wire ~55us + 1ms + rx path).
+	if deliveredAt < sim.Millisecond {
+		t.Fatalf("delivered at %v, before the timeout", deliveredAt)
+	}
+}
+
+// E2 shape: break-even at four VMs and virtualized strictly cheaper beyond.
+func TestE2BreakEven(t *testing.T) {
+	if got := BreakEvenVFs(); got != 4 {
+		t.Fatalf("break-even = %d VFs, want 4", got)
+	}
+	for n := 1; n < 4; n++ {
+		if VirtualizedController(n).LUT <= StandaloneController().Scale(n).LUT {
+			t.Fatalf("virtualized already cheaper at %d VFs", n)
+		}
+	}
+	for n := 4; n <= 16; n++ {
+		if VirtualizedController(n).LUT > StandaloneController().Scale(n).LUT {
+			t.Fatalf("virtualized more expensive at %d VFs", n)
+		}
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUT: 1, FF: 2, BRAM: 3}
+	b := Resources{LUT: 10, FF: 20, BRAM: 30}
+	if got := a.Add(b); got != (Resources{11, 22, 33}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Scale(3); got != (Resources{3, 6, 9}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("LessEq wrong")
+	}
+	if VirtualizedController(-1) != VirtualizedController(0) {
+		t.Fatal("negative VF count not clamped")
+	}
+}
+
+func TestRTTStats(t *testing.T) {
+	s := RTTStats{Samples: []sim.Time{30, 10, 20}}
+	if s.Min() != 10 || s.Max() != 30 || s.Mean() != 20 {
+		t.Fatalf("stats: min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+	var empty RTTStats
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestControllerString(t *testing.T) {
+	_, _, _, ctrl, _, _ := newTestStack(t, 2)
+	if ctrl.String() != "canvirt.Controller{2 VFs}" {
+		t.Fatalf("String = %q", ctrl.String())
+	}
+}

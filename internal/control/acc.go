@@ -1,0 +1,190 @@
+// Package control implements the Adaptive Cruise Control driving function
+// of the paper's Section IV example: target selection, distance and speed
+// control, driver-intent input, and — central to functional self-awareness
+// — a control-performance self-assessment: "each function must be able to
+// assess its current performance and be able to autonomously isolate
+// faults" ([21]: self-awareness of control applications, reacting "to
+// decreased control performance due to operating conditions that have not
+// been anticipated").
+package control
+
+import (
+	"math"
+
+	"repro/internal/sensors"
+)
+
+// Mode is the active ACC control mode.
+type Mode int
+
+// Control modes.
+const (
+	// SpeedMode: free driving, tracking the set speed.
+	SpeedMode Mode = iota
+	// DistanceMode: following a lead vehicle at the desired gap.
+	DistanceMode
+)
+
+func (m Mode) String() string {
+	if m == SpeedMode {
+		return "speed"
+	}
+	return "distance"
+}
+
+// DriverIntent is the HMI input: what the driver asked for.
+type DriverIntent struct {
+	// SetSpeed is the desired cruise speed (m/s).
+	SetSpeed float64
+	// HeadwayS is the desired time gap to the lead vehicle (s).
+	HeadwayS float64
+}
+
+// Config holds the controller gains and limits.
+type Config struct {
+	// StandstillGap is the minimum gap at rest (m).
+	StandstillGap float64
+	// MaxAccel and MaxDecel bound the commanded acceleration (m/s^2).
+	MaxAccel float64
+	MaxDecel float64
+	// KpSpeed is the speed-loop proportional gain.
+	KpSpeed float64
+	// KpGap and KdGap are the distance-loop gains.
+	KpGap float64
+	KdGap float64
+	// FollowRange: targets farther than this are ignored (m).
+	FollowRange float64
+	// PerfAlpha is the EWMA coefficient of the performance estimate.
+	PerfAlpha float64
+}
+
+// DefaultConfig returns well-damped gains for a passenger vehicle.
+func DefaultConfig() Config {
+	return Config{
+		StandstillGap: 4,
+		MaxAccel:      2.0,
+		MaxDecel:      3.5,
+		KpSpeed:       0.6,
+		KpGap:         0.25,
+		KdGap:         0.8,
+		FollowRange:   120,
+		PerfAlpha:     0.05,
+	}
+}
+
+// ACC is the adaptive cruise controller with performance self-assessment.
+type ACC struct {
+	cfg    Config
+	intent DriverIntent
+
+	mode Mode
+
+	// ewmaErr is the exponentially weighted normalized tracking error,
+	// the basis of the self-assessment.
+	ewmaErr float64
+
+	// Steps counts control cycles.
+	Steps int
+}
+
+// New creates an ACC with the given configuration and initial intent.
+func New(cfg Config, intent DriverIntent) *ACC {
+	return &ACC{cfg: cfg, intent: intent}
+}
+
+// SetIntent updates the driver's request (from the HMI data source).
+func (a *ACC) SetIntent(i DriverIntent) { a.intent = i }
+
+// Intent returns the current driver intent.
+func (a *ACC) Intent() DriverIntent { return a.intent }
+
+// Mode returns the active control mode.
+func (a *ACC) Mode() Mode { return a.mode }
+
+// SelectTarget implements the target-selection skill: from the candidate
+// measurements it picks the nearest in-range object, or none.
+func (a *ACC) SelectTarget(candidates []sensors.RangeMeasurement) (sensors.RangeMeasurement, bool) {
+	best := sensors.RangeMeasurement{Gap: math.Inf(1)}
+	found := false
+	for _, c := range candidates {
+		if c.Gap < 0 || c.Gap > a.cfg.FollowRange {
+			continue
+		}
+		if c.Gap < best.Gap {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// DesiredGap returns the gap the controller aims for at the given speed.
+func (a *ACC) DesiredGap(speed float64) float64 {
+	return a.cfg.StandstillGap + a.intent.HeadwayS*speed
+}
+
+// Step computes one acceleration command from the ego speed and the
+// selected target (nil when free driving). maxSpeed, if > 0, caps the
+// tracked speed below the driver's set speed — the ability layer installs
+// such a cap when braking is degraded.
+func (a *ACC) Step(egoSpeed float64, target *sensors.RangeMeasurement, maxSpeed float64) float64 {
+	a.Steps++
+	set := a.intent.SetSpeed
+	if maxSpeed > 0 && maxSpeed < set {
+		set = maxSpeed
+	}
+
+	// Speed loop.
+	speedCmd := a.cfg.KpSpeed * (set - egoSpeed)
+
+	cmd := speedCmd
+	a.mode = SpeedMode
+	var normErr float64
+	if set > 0 {
+		normErr = math.Abs(set-egoSpeed) / math.Max(set, 1)
+	}
+
+	if target != nil {
+		desired := a.DesiredGap(egoSpeed)
+		gapErr := target.Gap - desired
+		distCmd := a.cfg.KpGap*gapErr + a.cfg.KdGap*target.RelSpeed
+		// The more restrictive command wins (never accelerate into the
+		// lead vehicle to chase the set speed).
+		if distCmd < cmd {
+			cmd = distCmd
+			a.mode = DistanceMode
+			normErr = math.Abs(gapErr) / math.Max(desired, 1)
+		}
+	}
+
+	if cmd > a.cfg.MaxAccel {
+		cmd = a.cfg.MaxAccel
+	}
+	if cmd < -a.cfg.MaxDecel {
+		cmd = -a.cfg.MaxDecel
+	}
+
+	// Self-assessment update.
+	a.ewmaErr = (1-a.cfg.PerfAlpha)*a.ewmaErr + a.cfg.PerfAlpha*normErr
+	return cmd
+}
+
+// Performance returns the controller's self-assessed performance in [0,1]:
+// 1 when the tracking error vanishes, decaying as the normalized EWMA
+// error grows. This value drives the control-skill health in the ability
+// graph.
+func (a *ACC) Performance() float64 {
+	// Map EWMA error through a soft knee: err 0 -> 1.0, err 0.25 -> ~0.5,
+	// err >= 1 -> ~0.
+	p := 1 - 2*a.ewmaErr
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ResetPerformance clears the self-assessment (e.g. after reconfiguration).
+func (a *ACC) ResetPerformance() { a.ewmaErr = 0 }

@@ -1,0 +1,174 @@
+package control
+
+import (
+	"testing"
+
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func TestSpeedModeTracksSetSpeed(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 25, HeadwayS: 1.8})
+	v := vehicle.New(vehicle.DefaultParams())
+	for i := 0; i < 3000; i++ {
+		cmd := acc.Step(v.Speed(), nil, 0)
+		v.Step(cmd, 0.02)
+	}
+	if acc.Mode() != SpeedMode {
+		t.Fatalf("mode = %v", acc.Mode())
+	}
+	if v.Speed() < 23 || v.Speed() > 26 {
+		t.Fatalf("speed = %.2f, want ~25", v.Speed())
+	}
+	if p := acc.Performance(); p < 0.8 {
+		t.Fatalf("performance = %v after convergence", p)
+	}
+}
+
+func TestDistanceModeHoldsGap(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 30, HeadwayS: 1.8})
+	ego := vehicle.New(vehicle.DefaultParams())
+	ego.SetSpeed(25)
+	leadSpeed := 20.0
+	gap := 60.0
+	const dt = 0.02
+	for i := 0; i < 6000; i++ {
+		m := sensors.RangeMeasurement{Gap: gap, RelSpeed: leadSpeed - ego.Speed(), At: sim.Time(i)}
+		cmd := acc.Step(ego.Speed(), &m, 0)
+		before := ego.Position()
+		ego.Step(cmd, dt)
+		gap += leadSpeed*dt - (ego.Position() - before)
+	}
+	// Converged to lead speed at the desired gap.
+	if ego.Speed() < 18.5 || ego.Speed() > 21.5 {
+		t.Fatalf("ego speed = %.2f, want ~20", ego.Speed())
+	}
+	want := acc.DesiredGap(ego.Speed())
+	if gap < want-5 || gap > want+5 {
+		t.Fatalf("gap = %.1f, want ~%.1f", gap, want)
+	}
+	if acc.Mode() != DistanceMode {
+		t.Fatalf("mode = %v", acc.Mode())
+	}
+}
+
+func TestNeverAcceleratesIntoLead(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 30, HeadwayS: 1.8})
+	// Very close slow lead: command must be braking even though ego is
+	// below set speed.
+	m := sensors.RangeMeasurement{Gap: 5, RelSpeed: -10}
+	cmd := acc.Step(20, &m, 0)
+	if cmd >= 0 {
+		t.Fatalf("cmd = %.2f, want braking", cmd)
+	}
+}
+
+func TestSpeedCapFromAbilityLayer(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 30, HeadwayS: 1.8})
+	v := vehicle.New(vehicle.DefaultParams())
+	for i := 0; i < 3000; i++ {
+		cmd := acc.Step(v.Speed(), nil, 15) // ability layer caps at 15
+		v.Step(cmd, 0.02)
+	}
+	if v.Speed() > 16 {
+		t.Fatalf("speed = %.2f exceeds cap 15", v.Speed())
+	}
+}
+
+func TestSelectTargetNearestInRange(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 30})
+	cands := []sensors.RangeMeasurement{
+		{Gap: 80}, {Gap: 40}, {Gap: 200}, {Gap: -3},
+	}
+	got, ok := acc.SelectTarget(cands)
+	if !ok || got.Gap != 40 {
+		t.Fatalf("target = %v %v", got, ok)
+	}
+	_, ok = acc.SelectTarget([]sensors.RangeMeasurement{{Gap: 500}})
+	if ok {
+		t.Fatal("out-of-range target selected")
+	}
+	_, ok = acc.SelectTarget(nil)
+	if ok {
+		t.Fatal("target from empty set")
+	}
+}
+
+func TestCommandsBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	acc := New(cfg, DriverIntent{SetSpeed: 100, HeadwayS: 1})
+	if cmd := acc.Step(0, nil, 0); cmd > cfg.MaxAccel {
+		t.Fatalf("cmd %v exceeds MaxAccel", cmd)
+	}
+	m := sensors.RangeMeasurement{Gap: 1, RelSpeed: -30}
+	if cmd := acc.Step(40, &m, 0); cmd < -cfg.MaxDecel {
+		t.Fatalf("cmd %v exceeds MaxDecel", cmd)
+	}
+}
+
+func TestPerformanceDegradesUnderDisturbance(t *testing.T) {
+	// A noisy/biased measurement stream keeps the tracking error high:
+	// the self-assessment must notice.
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 25, HeadwayS: 1.8})
+	ego := vehicle.New(vehicle.DefaultParams())
+	ego.SetSpeed(20)
+	rng := sim.NewRNG(42)
+	gap := 40.0
+	leadSpeed := 20.0
+	const dt = 0.02
+	// Converge first.
+	for i := 0; i < 4000; i++ {
+		m := sensors.RangeMeasurement{Gap: gap, RelSpeed: leadSpeed - ego.Speed()}
+		cmd := acc.Step(ego.Speed(), &m, 0)
+		before := ego.Position()
+		ego.Step(cmd, dt)
+		gap += leadSpeed*dt - (ego.Position() - before)
+	}
+	good := acc.Performance()
+	// Now corrupt the measurements with a huge random bias.
+	for i := 0; i < 4000; i++ {
+		m := sensors.RangeMeasurement{
+			Gap:      gap + rng.Uniform(-25, 25),
+			RelSpeed: leadSpeed - ego.Speed() + rng.Uniform(-5, 5),
+		}
+		cmd := acc.Step(ego.Speed(), &m, 0)
+		before := ego.Position()
+		ego.Step(cmd, dt)
+		gap += leadSpeed*dt - (ego.Position() - before)
+	}
+	bad := acc.Performance()
+	if bad >= good {
+		t.Fatalf("performance did not degrade: %.3f -> %.3f", good, bad)
+	}
+}
+
+func TestResetPerformance(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 25})
+	// Large initial error.
+	acc.Step(0, nil, 0)
+	if acc.Performance() >= 1 {
+		t.Fatal("no error accumulated")
+	}
+	acc.ResetPerformance()
+	if acc.Performance() != 1 {
+		t.Fatalf("after reset = %v", acc.Performance())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SpeedMode.String() != "speed" || DistanceMode.String() != "distance" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestIntentUpdate(t *testing.T) {
+	acc := New(DefaultConfig(), DriverIntent{SetSpeed: 25, HeadwayS: 1.8})
+	acc.SetIntent(DriverIntent{SetSpeed: 10, HeadwayS: 2.5})
+	if acc.Intent().SetSpeed != 10 || acc.Intent().HeadwayS != 2.5 {
+		t.Fatalf("intent = %+v", acc.Intent())
+	}
+	if acc.DesiredGap(10) != 4+25 {
+		t.Fatalf("desired gap = %v", acc.DesiredGap(10))
+	}
+}

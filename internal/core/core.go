@@ -1,0 +1,322 @@
+// Package core implements the paper's primary contribution: coherent
+// cross-layer self-awareness (Section V). It provides
+//
+//   - a Layer abstraction with per-layer problem handlers and an explicit
+//     escalation topology ("the ability layer can forward the search for
+//     solutions to the objective layer");
+//
+//   - a Coordinator that routes detected problems to the most appropriate
+//     layer, bounds propagation so problems are never "forwarded ad
+//     infinitum", records the decision trace, and lets handlers raise
+//     follow-up problems on other layers (the rear-braking example: the
+//     security layer contains the component *and* notifies the ability
+//     layer to reassess available skills);
+//
+//   - conflict detection between layer decisions — the paper's core
+//     warning: "self-awareness mechanisms of all layers must be considered
+//     in combination in order to build a coherent vehicle self-awareness
+//     that does not cause conflicting decisions or even catastrophic
+//     effects". An uncoordinated mode lets every layer act independently,
+//     exposing exactly those conflicts (experiment E5);
+//
+//   - a SelfRepresentation aggregating metrics from all layers into one
+//     consistent system view.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/monitor"
+)
+
+// LayerID names a self-awareness layer.
+type LayerID string
+
+// The canonical layer stack, ordered from mechanism to mission.
+const (
+	LayerPlatform  LayerID = "platform"
+	LayerComm      LayerID = "comm"
+	LayerSecurity  LayerID = "security"
+	LayerSafety    LayerID = "safety"
+	LayerAbility   LayerID = "ability"
+	LayerObjective LayerID = "objective"
+)
+
+// Problem is a detected deviation requiring a decision. Problems originate
+// from monitors (package monitor), the IDS (package security), ability
+// degradation (package skills), or thermal/platform supervision.
+type Problem struct {
+	// Kind classifies the problem ("security-leak", "component-lost",
+	// "thermal-stress", "ability-degraded", ...).
+	Kind string
+	// Subject names the affected entity.
+	Subject string
+	// Origin is the layer that detected the problem.
+	Origin LayerID
+	// Severity grades urgency.
+	Severity monitor.Severity
+	// Data carries quantitative context (e.g. remaining braking fraction).
+	Data map[string]float64
+	// hops counts layer-to-layer forwards (bounded by the coordinator).
+	hops int
+}
+
+// Hops returns how many times the problem has been forwarded.
+func (p *Problem) Hops() int { return p.hops }
+
+// Resolution is a layer's decision on a problem.
+type Resolution struct {
+	// Action describes the chosen countermeasure.
+	Action string
+	// Layer is the layer that decided.
+	Layer LayerID
+	// Claims lists the entities the action manipulates; overlapping
+	// claims with different actions are conflicts.
+	Claims []string
+	// FunctionalityRetained estimates how much of the system's mission
+	// capability survives the countermeasure, in [0,1] (1 = full service,
+	// 0 = system off). E5 compares strategies on this metric.
+	FunctionalityRetained float64
+	// SafeState reports whether the action leaves the vehicle in a safe
+	// state (the non-negotiable invariant).
+	SafeState bool
+}
+
+// Handler is a layer's problem-solving strategy: it may resolve the
+// problem (handled = true), optionally raising follow-up problems through
+// the context, or decline so the coordinator escalates.
+type Handler func(p *Problem, ctx *Context) (Resolution, bool)
+
+// Context gives handlers access to the self-representation and lets them
+// raise follow-up problems on other layers.
+type Context struct {
+	Rep   *SelfRepresentation
+	coord *Coordinator
+	depth int
+}
+
+// Raise routes a follow-up problem (e.g. the security layer reporting
+// "component-lost" after a containment shutdown). The returned resolution
+// is the other layer's decision.
+func (c *Context) Raise(p *Problem) (Resolution, error) {
+	return c.coord.dispatch(p, c.depth+1)
+}
+
+// Trace records one step of the decision process, for explainability.
+type Trace struct {
+	Problem  Problem
+	Tried    LayerID
+	Handled  bool
+	Decision Resolution
+}
+
+// layerEntry is a registered layer.
+type layerEntry struct {
+	id      LayerID
+	handler Handler
+	next    LayerID // escalation target ("" = end of chain)
+}
+
+// Coordinator owns the layer stack and routes problems.
+type Coordinator struct {
+	layers map[LayerID]*layerEntry
+	rep    *SelfRepresentation
+
+	// MaxHops bounds escalation so that cooperation cannot recurse
+	// forever; when exceeded the coordinator imposes the fail-safe
+	// resolution. Default 8.
+	MaxHops int
+
+	// Uncoordinated disables the first-handler-wins protocol: every layer
+	// on the escalation chain acts independently. This reproduces the
+	// paper's warning about conflicting decisions and is used as the
+	// baseline in E5.
+	Uncoordinated bool
+
+	traces    []Trace
+	conflicts []Conflict
+}
+
+// Conflict is a pair of resolutions claiming the same entity with
+// different actions.
+type Conflict struct {
+	A, B    Resolution
+	Subject string
+}
+
+// NewCoordinator creates an empty coordinator bound to a
+// self-representation.
+func NewCoordinator(rep *SelfRepresentation) *Coordinator {
+	if rep == nil {
+		rep = NewSelfRepresentation()
+	}
+	return &Coordinator{
+		layers:  make(map[LayerID]*layerEntry),
+		rep:     rep,
+		MaxHops: 8,
+	}
+}
+
+// Rep returns the coordinator's self-representation.
+func (c *Coordinator) Rep() *SelfRepresentation { return c.rep }
+
+// RegisterLayer installs a layer with its escalation target (empty for
+// the last layer in a chain).
+func (c *Coordinator) RegisterLayer(id LayerID, handler Handler, next LayerID) error {
+	if handler == nil {
+		return fmt.Errorf("core: nil handler for layer %s", id)
+	}
+	if _, dup := c.layers[id]; dup {
+		return fmt.Errorf("core: duplicate layer %s", id)
+	}
+	c.layers[id] = &layerEntry{id: id, handler: handler, next: next}
+	return nil
+}
+
+// Layers returns the registered layer IDs, sorted.
+func (c *Coordinator) Layers() []LayerID {
+	out := make([]LayerID, 0, len(c.layers))
+	for id := range c.layers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Traces returns the decision log.
+func (c *Coordinator) Traces() []Trace { return c.traces }
+
+// Conflicts returns the detected decision conflicts.
+func (c *Coordinator) Conflicts() []Conflict { return c.conflicts }
+
+// failSafe is the imposed last resort when no layer handles a problem or
+// the hop bound is exceeded: transition to a safe state with the mission
+// aborted. The vehicle "must remain fail-operational at least until a safe
+// stop is reached".
+func failSafe(p *Problem) Resolution {
+	return Resolution{
+		Action:                "fail-safe: controlled stop in safe place, subsystem deactivation",
+		Layer:                 LayerObjective,
+		Claims:                []string{"vehicle-motion"},
+		FunctionalityRetained: 0.05,
+		SafeState:             true,
+	}
+}
+
+// Report routes a problem starting at its origin layer and returns the
+// final resolution.
+func (c *Coordinator) Report(p *Problem) (Resolution, error) {
+	return c.dispatch(p, 0)
+}
+
+func (c *Coordinator) dispatch(p *Problem, depth int) (Resolution, error) {
+	if p == nil {
+		return Resolution{}, fmt.Errorf("core: nil problem")
+	}
+	if depth > c.MaxHops {
+		res := failSafe(p)
+		c.traces = append(c.traces, Trace{Problem: *p, Tried: res.Layer, Handled: true, Decision: res})
+		return res, nil
+	}
+	entry, ok := c.layers[p.Origin]
+	if !ok {
+		return Resolution{}, fmt.Errorf("core: no layer %q registered", p.Origin)
+	}
+	ctx := &Context{Rep: c.rep, coord: c, depth: depth}
+
+	if c.Uncoordinated {
+		return c.dispatchUncoordinated(p, entry, ctx)
+	}
+
+	// Coordinated protocol: walk the escalation chain; the first layer
+	// that handles the problem decides.
+	cur := entry
+	for hop := 0; ; hop++ {
+		p.hops = hop
+		if depth+hop > c.MaxHops {
+			res := failSafe(p)
+			c.traces = append(c.traces, Trace{Problem: *p, Tried: res.Layer, Handled: true, Decision: res})
+			return res, nil
+		}
+		res, handled := cur.handler(p, ctx)
+		c.traces = append(c.traces, Trace{Problem: *p, Tried: cur.id, Handled: handled, Decision: res})
+		if handled {
+			// A handler that delegated via ctx.Raise reports the deciding
+			// layer in the sub-resolution; only fill it in when unset.
+			if res.Layer == "" {
+				res.Layer = cur.id
+			}
+			return res, nil
+		}
+		if cur.next == "" {
+			res := failSafe(p)
+			c.traces = append(c.traces, Trace{Problem: *p, Tried: res.Layer, Handled: true, Decision: res})
+			return res, nil
+		}
+		nxt, ok := c.layers[cur.next]
+		if !ok {
+			return Resolution{}, fmt.Errorf("core: escalation target %q of %q not registered", cur.next, cur.id)
+		}
+		cur = nxt
+	}
+}
+
+// dispatchUncoordinated lets every layer on the chain act; conflicting
+// claims are recorded. The returned resolution is the *last* layer's
+// (deepest escalation) — the point being that without coordination the
+// actions contradict each other.
+func (c *Coordinator) dispatchUncoordinated(p *Problem, entry *layerEntry, ctx *Context) (Resolution, error) {
+	var decisions []Resolution
+	cur := entry
+	for hop := 0; cur != nil; hop++ {
+		if hop > c.MaxHops {
+			break
+		}
+		p.hops = hop
+		res, handled := cur.handler(p, ctx)
+		c.traces = append(c.traces, Trace{Problem: *p, Tried: cur.id, Handled: handled, Decision: res})
+		if handled {
+			if res.Layer == "" {
+				res.Layer = cur.id
+			}
+			decisions = append(decisions, res)
+		}
+		if cur.next == "" {
+			break
+		}
+		cur = c.layers[cur.next]
+	}
+	if len(decisions) == 0 {
+		res := failSafe(p)
+		c.traces = append(c.traces, Trace{Problem: *p, Tried: res.Layer, Handled: true, Decision: res})
+		return res, nil
+	}
+	// Conflict detection across independent decisions.
+	for i := 0; i < len(decisions); i++ {
+		for j := i + 1; j < len(decisions); j++ {
+			if subj, clash := claimsConflict(decisions[i], decisions[j]); clash {
+				c.conflicts = append(c.conflicts, Conflict{A: decisions[i], B: decisions[j], Subject: subj})
+			}
+		}
+	}
+	return decisions[len(decisions)-1], nil
+}
+
+// claimsConflict reports whether two resolutions claim a common entity
+// with different actions.
+func claimsConflict(a, b Resolution) (string, bool) {
+	if a.Action == b.Action {
+		return "", false
+	}
+	set := make(map[string]bool, len(a.Claims))
+	for _, cl := range a.Claims {
+		set[cl] = true
+	}
+	for _, cl := range b.Claims {
+		if set[cl] {
+			return cl, true
+		}
+	}
+	return "", false
+}

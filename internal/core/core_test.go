@@ -1,0 +1,334 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/skills"
+)
+
+func TestReportHandledAtOrigin(t *testing.T) {
+	c := NewCoordinator(nil)
+	err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{Action: "switch-to-standby", FunctionalityRetained: 1, SafeState: true}, true
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "component-lost", Subject: "brake#0", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != "switch-to-standby" || res.Layer != LayerSafety {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(c.Traces()) != 1 || !c.Traces()[0].Handled {
+		t.Fatalf("traces = %+v", c.Traces())
+	}
+}
+
+func TestEscalationChain(t *testing.T) {
+	c := NewCoordinator(nil)
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{}, false // no redundancy available
+	}, LayerAbility); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerAbility, func(p *Problem, ctx *Context) (Resolution, bool) {
+		if p.Hops() != 1 {
+			t.Errorf("hops = %d at ability layer", p.Hops())
+		}
+		return Resolution{Action: "reduce-speed", FunctionalityRetained: 0.6, SafeState: true}, true
+	}, LayerObjective); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerObjective, func(p *Problem, ctx *Context) (Resolution, bool) {
+		t.Error("objective layer reached despite ability handling")
+		return Resolution{}, false
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "component-lost", Subject: "rear-brake", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layer != LayerAbility || res.Action != "reduce-speed" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(c.Traces()) != 2 {
+		t.Fatalf("traces = %d", len(c.Traces()))
+	}
+}
+
+func TestFailSafeWhenNobodyHandles(t *testing.T) {
+	c := NewCoordinator(nil)
+	decline := func(p *Problem, ctx *Context) (Resolution, bool) { return Resolution{}, false }
+	if err := c.RegisterLayer(LayerSafety, decline, LayerAbility); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerAbility, decline, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "x", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SafeState {
+		t.Fatal("fail-safe not safe")
+	}
+	if !strings.Contains(res.Action, "fail-safe") {
+		t.Fatalf("action = %q", res.Action)
+	}
+	if res.FunctionalityRetained > 0.1 {
+		t.Fatalf("fail-safe retains %v functionality", res.FunctionalityRetained)
+	}
+}
+
+func TestBoundedPropagationPingPong(t *testing.T) {
+	// Two layers that keep raising follow-up problems at each other: the
+	// hop bound must terminate the exchange with the fail-safe (the paper:
+	// the system "must ensure that these also cooperate and avoid
+	// situations in which the problem is forwarded ad infinitum").
+	c := NewCoordinator(nil)
+	c.MaxHops = 5
+	var aCalls int
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		aCalls++
+		res, err := ctx.Raise(&Problem{Kind: "ping", Origin: LayerAbility})
+		if err != nil {
+			t.Error(err)
+		}
+		return res, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerAbility, func(p *Problem, ctx *Context) (Resolution, bool) {
+		res, err := ctx.Raise(&Problem{Kind: "pong", Origin: LayerSafety})
+		if err != nil {
+			t.Error(err)
+		}
+		return res, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "ping", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SafeState {
+		t.Fatal("ping-pong did not end in a safe state")
+	}
+	if aCalls > c.MaxHops+1 {
+		t.Fatalf("unbounded recursion: %d calls", aCalls)
+	}
+}
+
+func TestFollowUpProblems(t *testing.T) {
+	// Security layer contains the component and raises a follow-up on the
+	// safety layer — the rear-braking example's propagation.
+	c := NewCoordinator(nil)
+	var safetyGot *Problem
+	if err := c.RegisterLayer(LayerSecurity, func(p *Problem, ctx *Context) (Resolution, bool) {
+		if _, err := ctx.Raise(&Problem{Kind: "component-lost", Subject: p.Subject, Origin: LayerSafety}); err != nil {
+			t.Error(err)
+		}
+		return Resolution{Action: "contain:" + p.Subject, Claims: []string{p.Subject}, FunctionalityRetained: 0.8, SafeState: true}, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		cp := *p
+		safetyGot = &cp
+		return Resolution{Action: "activate-standby", SafeState: true, FunctionalityRetained: 1}, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(&Problem{Kind: "security-leak", Subject: "rear-brake", Origin: LayerSecurity}); err != nil {
+		t.Fatal(err)
+	}
+	if safetyGot == nil || safetyGot.Kind != "component-lost" || safetyGot.Subject != "rear-brake" {
+		t.Fatalf("safety follow-up = %+v", safetyGot)
+	}
+}
+
+func TestUncoordinatedConflicts(t *testing.T) {
+	c := NewCoordinator(nil)
+	c.Uncoordinated = true
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{Action: "keep-driving-with-standby", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 1, SafeState: true}, true
+	}, LayerObjective); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerObjective, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{Action: "emergency-stop", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 0.05, SafeState: true}, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(&Problem{Kind: "component-lost", Origin: LayerSafety}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %+v", c.Conflicts())
+	}
+	if c.Conflicts()[0].Subject != "vehicle-motion" {
+		t.Fatalf("conflict subject = %q", c.Conflicts()[0].Subject)
+	}
+}
+
+func TestCoordinatedNoConflicts(t *testing.T) {
+	c := NewCoordinator(nil)
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{Action: "keep-driving-with-standby", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 1, SafeState: true}, true
+	}, LayerObjective); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerObjective, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{Action: "emergency-stop", Claims: []string{"vehicle-motion"}, FunctionalityRetained: 0.05, SafeState: true}, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "component-lost", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Conflicts()) != 0 {
+		t.Fatalf("coordinated run produced conflicts: %+v", c.Conflicts())
+	}
+	// First capable layer (safety) wins; full functionality retained.
+	if res.FunctionalityRetained != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestUncoordinatedFailSafeWhenNobodyHandles(t *testing.T) {
+	c := NewCoordinator(nil)
+	c.Uncoordinated = true
+	decline := func(p *Problem, ctx *Context) (Resolution, bool) { return Resolution{}, false }
+	if err := c.RegisterLayer(LayerSafety, decline, LayerAbility); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerAbility, decline, ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Report(&Problem{Kind: "x", Origin: LayerSafety})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SafeState || !strings.Contains(res.Action, "fail-safe") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	c := NewCoordinator(nil)
+	h := func(p *Problem, ctx *Context) (Resolution, bool) { return Resolution{}, true }
+	if err := c.RegisterLayer(LayerSafety, nil, ""); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := c.RegisterLayer(LayerSafety, h, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterLayer(LayerSafety, h, ""); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := c.Report(&Problem{Origin: "ghost"}); err == nil {
+		t.Fatal("unknown origin accepted")
+	}
+	if _, err := c.Report(nil); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	if got := c.Layers(); len(got) != 1 || got[0] != LayerSafety {
+		t.Fatalf("layers = %v", got)
+	}
+}
+
+func TestBrokenEscalationTarget(t *testing.T) {
+	c := NewCoordinator(nil)
+	if err := c.RegisterLayer(LayerSafety, func(p *Problem, ctx *Context) (Resolution, bool) {
+		return Resolution{}, false
+	}, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(&Problem{Origin: LayerSafety}); err == nil {
+		t.Fatal("broken escalation target accepted")
+	}
+}
+
+func TestSelfRepresentationStatusAndMetrics(t *testing.T) {
+	rep := NewSelfRepresentation()
+	rep.SetStatus(LayerSecurity, "rear-brake", "contained")
+	if got := rep.Status(LayerSecurity, "rear-brake"); got != "contained" {
+		t.Fatalf("status = %q", got)
+	}
+	if got := rep.Status(LayerSafety, "unset"); got != "" {
+		t.Fatalf("unset status = %q", got)
+	}
+	rep.Metrics().Record("cpu.temp", 88, 100)
+	snap := rep.Snapshot()
+	if snap.Metrics["cpu.temp"].Last != 88 {
+		t.Fatalf("snapshot metrics = %+v", snap.Metrics)
+	}
+	if snap.Status[LayerSecurity]["rear-brake"] != "contained" {
+		t.Fatalf("snapshot status = %+v", snap.Status)
+	}
+	// Snapshot is a copy.
+	snap.Status[LayerSecurity]["rear-brake"] = "mutated"
+	if rep.Status(LayerSecurity, "rear-brake") != "contained" {
+		t.Fatal("snapshot aliases live status")
+	}
+}
+
+func TestSelfRepresentationAbility(t *testing.T) {
+	rep := NewSelfRepresentation()
+	if rep.AbilityLevel(skills.ACCDriving) != 1 {
+		t.Fatal("default ability level")
+	}
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.AttachAbilityGraph(ag)
+	if err := ag.SetHealth(skills.SinkBrakingSystem, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.AbilityLevel(skills.ACCDriving); got != 0.4 {
+		t.Fatalf("ability level = %v", got)
+	}
+	snap := rep.Snapshot()
+	if snap.Ability[skills.ACCDriving] != 0.4 {
+		t.Fatalf("snapshot ability = %v", snap.Ability[skills.ACCDriving])
+	}
+}
+
+func TestConsistencyFindings(t *testing.T) {
+	rep := NewSelfRepresentation()
+	rep.StalenessBound = 100
+	rep.Metrics().Record("fresh", 1, 1000)
+	rep.Metrics().Record("stale", 1, 10)
+	findings := rep.ConsistencyFindings()
+	if len(findings) != 1 || !strings.Contains(findings[0], "stale") {
+		t.Fatalf("findings = %v", findings)
+	}
+	rep.StalenessBound = 0
+	if got := rep.ConsistencyFindings(); got != nil {
+		t.Fatalf("disabled check returned %v", got)
+	}
+}
+
+func TestProblemSeverityCarried(t *testing.T) {
+	c := NewCoordinator(nil)
+	var got monitor.Severity
+	if err := c.RegisterLayer(LayerPlatform, func(p *Problem, ctx *Context) (Resolution, bool) {
+		got = p.Severity
+		return Resolution{SafeState: true}, true
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(&Problem{Origin: LayerPlatform, Severity: monitor.Critical}); err != nil {
+		t.Fatal(err)
+	}
+	if got != monitor.Critical {
+		t.Fatalf("severity = %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/skills"
+)
+
+// SelfRepresentation is the coherent system view of Section V: "the
+// overall monitoring concept must ensure that metrics from different
+// layers can be aggregated to a consistent self-representation of the
+// system". It merges
+//
+//   - quantitative metrics from the monitor aggregator (execution times,
+//     utilizations, temperatures, bus statistics),
+//   - the ability graph's performance levels (functional layer), and
+//   - discrete per-layer status flags (e.g. "rear-brake: contained").
+type SelfRepresentation struct {
+	mu sync.Mutex
+
+	metrics *monitor.Aggregator
+	ability *skills.AbilityGraph
+
+	status map[LayerID]map[string]string
+
+	// StalenessBound: metrics older than this (relative to the latest
+	// observation) are reported inconsistent. 0 disables the check.
+	StalenessBound sim.Time
+}
+
+// NewSelfRepresentation creates an empty self-representation with a fresh
+// metric aggregator.
+func NewSelfRepresentation() *SelfRepresentation {
+	return &SelfRepresentation{
+		metrics: monitor.NewAggregator(),
+		status:  make(map[LayerID]map[string]string),
+	}
+}
+
+// Metrics returns the metric aggregator (monitors record into it).
+func (r *SelfRepresentation) Metrics() *monitor.Aggregator { return r.metrics }
+
+// AttachAbilityGraph links the functional layer's ability graph.
+func (r *SelfRepresentation) AttachAbilityGraph(ag *skills.AbilityGraph) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ability = ag
+}
+
+// AbilityLevel returns the propagated level of an ability (1 if no graph
+// is attached — optimistic default before the functional layer starts).
+func (r *SelfRepresentation) AbilityLevel(node string) skills.Level {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ability == nil {
+		return 1
+	}
+	return r.ability.Level(node)
+}
+
+// SetStatus records a discrete per-layer status flag.
+func (r *SelfRepresentation) SetStatus(layer LayerID, key, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.status[layer]
+	if m == nil {
+		m = make(map[string]string)
+		r.status[layer] = m
+	}
+	m[key] = value
+}
+
+// Status returns a layer's status flag ("" if unset).
+func (r *SelfRepresentation) Status(layer LayerID, key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.status[layer]; m != nil {
+		return m[key]
+	}
+	return ""
+}
+
+// Snapshot is a point-in-time copy of the whole self-representation.
+type Snapshot struct {
+	Metrics map[string]monitor.Stat
+	Ability map[string]skills.Level
+	Status  map[LayerID]map[string]string
+}
+
+// Snapshot captures the current system view.
+func (r *SelfRepresentation) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Metrics: r.metrics.Snapshot(),
+		Status:  make(map[LayerID]map[string]string, len(r.status)),
+	}
+	if r.ability != nil {
+		s.Ability = r.ability.Snapshot()
+	}
+	for l, m := range r.status {
+		cp := make(map[string]string, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		s.Status[l] = cp
+	}
+	return s
+}
+
+// ConsistencyFindings lists metrics whose last sample is older than the
+// staleness bound relative to the newest sample — an inconsistent
+// cross-layer view (one layer's data is outdated).
+func (r *SelfRepresentation) ConsistencyFindings() []string {
+	r.mu.Lock()
+	bound := r.StalenessBound
+	r.mu.Unlock()
+	if bound <= 0 {
+		return nil
+	}
+	snap := r.metrics.Snapshot()
+	var newest sim.Time
+	for _, st := range snap {
+		if st.LastAt > newest {
+			newest = st.LastAt
+		}
+	}
+	var out []string
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := snap[n]
+		if newest-st.LastAt > bound {
+			out = append(out, fmt.Sprintf("metric %q stale: last %v, newest %v", n, st.LastAt, newest))
+		}
+	}
+	return out
+}

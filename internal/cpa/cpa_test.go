@@ -1,0 +1,382 @@
+package cpa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEtaPlus(t *testing.T) {
+	e := EventModel{PeriodUS: 10, JitterUS: 0}
+	cases := []struct {
+		delta, want int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {10, 1}, {11, 2}, {20, 2}, {21, 3},
+	}
+	for _, c := range cases {
+		if got := e.EtaPlus(c.delta); got != c.want {
+			t.Fatalf("EtaPlus(%d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+	j := EventModel{PeriodUS: 10, JitterUS: 5}
+	if got := j.EtaPlus(6); got != 2 {
+		t.Fatalf("jittered EtaPlus(6) = %d, want 2", got)
+	}
+}
+
+func TestDeltaMinInverse(t *testing.T) {
+	f := func(pRaw, jRaw uint16, nRaw uint8) bool {
+		p := int64(pRaw%1000) + 1
+		j := int64(jRaw % 500)
+		n := int64(nRaw%50) + 1
+		e := EventModel{PeriodUS: p, JitterUS: j}
+		d := e.DeltaMin(n)
+		// EtaPlus over a window just above DeltaMin must admit at least n events.
+		return e.EtaPlus(d+1) >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Classic rate-monotonic example: three tasks, known response times.
+// T1: C=1 T=4, T2: C=2 T=6, T3: C=3 T=12 (priorities rate monotonic).
+// R1=1, R2=3, R3=10 (textbook busy-window result).
+func TestAnalyzeSPPTextbook(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", Priority: 1, WCETUS: 1, Event: EventModel{PeriodUS: 4}, DeadlineUS: 4},
+		{Name: "t2", Priority: 2, WCETUS: 2, Event: EventModel{PeriodUS: 6}, DeadlineUS: 6},
+		{Name: "t3", Priority: 3, WCETUS: 3, Event: EventModel{PeriodUS: 12}, DeadlineUS: 12},
+	}
+	res, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"t1": 1, "t2": 3, "t3": 10}
+	for _, r := range res {
+		if !r.Converged || !r.Schedulable {
+			t.Fatalf("%s not schedulable: %+v", r.Name, r)
+		}
+		if r.WCRTUS != want[r.Name] {
+			t.Fatalf("%s WCRT = %d, want %d", r.Name, r.WCRTUS, want[r.Name])
+		}
+	}
+}
+
+// A task set with utilization > 1 must be flagged, not loop forever.
+func TestAnalyzeSPPOverload(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Priority: 1, WCETUS: 6, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+		{Name: "b", Priority: 2, WCETUS: 6, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+	}
+	res, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Converged {
+		t.Fatal("highest priority task should converge")
+	}
+	if res[1].Converged {
+		t.Fatal("overloaded task reported converged")
+	}
+	if res[1].Schedulable {
+		t.Fatal("overloaded task reported schedulable")
+	}
+}
+
+// Jitter increases interference: t2's WCRT must not decrease when t1 gains jitter.
+func TestAnalyzeSPPJitterMonotone(t *testing.T) {
+	base := []Task{
+		{Name: "t1", Priority: 1, WCETUS: 2, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+		{Name: "t2", Priority: 2, WCETUS: 4, Event: EventModel{PeriodUS: 20}, DeadlineUS: 20},
+	}
+	r0, err := AnalyzeSPP(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := []Task{
+		{Name: "t1", Priority: 1, WCETUS: 2, Event: EventModel{PeriodUS: 10, JitterUS: 9}, DeadlineUS: 19},
+		{Name: "t2", Priority: 2, WCETUS: 4, Event: EventModel{PeriodUS: 20}, DeadlineUS: 20},
+	}
+	r1, err := AnalyzeSPP(jit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[1].WCRTUS < r0[1].WCRTUS {
+		t.Fatalf("jitter decreased WCRT: %d -> %d", r0[1].WCRTUS, r1[1].WCRTUS)
+	}
+}
+
+// SPNP: highest-priority message still suffers blocking from one
+// lower-priority frame.
+func TestAnalyzeSPNPBlocking(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", Priority: 1, WCETUS: 2, Event: EventModel{PeriodUS: 100}, DeadlineUS: 100},
+		{Name: "lo", Priority: 2, WCETUS: 9, Event: EventModel{PeriodUS: 100}, DeadlineUS: 100},
+	}
+	res, err := AnalyzeSPNP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hi: blocked by lo (9) then transmits (2) = 11.
+	if res[0].WCRTUS != 11 {
+		t.Fatalf("hi WCRT = %d, want 11", res[0].WCRTUS)
+	}
+	// lo: interference from hi once (2) then transmits (9) = 11.
+	if res[1].WCRTUS != 11 {
+		t.Fatalf("lo WCRT = %d, want 11", res[1].WCRTUS)
+	}
+}
+
+func TestAnalyzeSPNPNoPreemption(t *testing.T) {
+	// Once a low-priority frame started, a burst of high-priority frames
+	// cannot preempt it; but before start they all interfere.
+	tasks := []Task{
+		{Name: "hi", Priority: 1, WCETUS: 5, Event: EventModel{PeriodUS: 20}, DeadlineUS: 100},
+		{Name: "lo", Priority: 2, WCETUS: 10, Event: EventModel{PeriodUS: 50}, DeadlineUS: 100},
+	}
+	res, err := AnalyzeSPNP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lo q=1: w = 0 + eta_hi(w+1)*5; w=5 -> eta(6)=1 -> 5; resp = 5+10 = 15.
+	if res[1].WCRTUS != 15 {
+		t.Fatalf("lo WCRT = %d, want 15", res[1].WCRTUS)
+	}
+}
+
+func TestDuplicatePriorityRejected(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Priority: 1, WCETUS: 1, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+		{Name: "b", Priority: 1, WCETUS: 1, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+	}
+	if _, err := AnalyzeSPP(tasks); err == nil {
+		t.Fatal("duplicate priorities accepted")
+	}
+}
+
+func TestInvalidTaskRejected(t *testing.T) {
+	bad := []Task{{Name: "a", Priority: 1, WCETUS: 0, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10}}
+	if _, err := AnalyzeSPP(bad); err == nil {
+		t.Fatal("zero WCET accepted")
+	}
+	bad[0].WCETUS = 1
+	bad[0].Event.PeriodUS = 0
+	if _, err := AnalyzeSPP(bad); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad[0].Event.PeriodUS = 10
+	bad[0].DeadlineUS = 0
+	if _, err := AnalyzeSPP(bad); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+func TestEmptyTaskSet(t *testing.T) {
+	res, err := AnalyzeSPP(nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty set: %v %v", res, err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", WCETUS: 1, Event: EventModel{PeriodUS: 4}},
+		{Name: "b", WCETUS: 2, Event: EventModel{PeriodUS: 8}},
+	}
+	// 0.25 + 0.25 = 0.5 => 500000 ppm
+	if got := Utilization(tasks); got != 500000 {
+		t.Fatalf("Utilization = %d, want 500000", got)
+	}
+}
+
+// Property: WCRT of any converged task is at least its WCET, and the
+// highest-priority SPP task's WCRT equals its WCET.
+func TestPropWCRTLowerBound(t *testing.T) {
+	f := func(c1, c2, c3 uint8, p1, p2, p3 uint8) bool {
+		tasks := []Task{
+			{Name: "a", Priority: 1, WCETUS: int64(c1%20) + 1, Event: EventModel{PeriodUS: int64(p1%100) + 50}, DeadlineUS: 10000},
+			{Name: "b", Priority: 2, WCETUS: int64(c2%20) + 1, Event: EventModel{PeriodUS: int64(p2%100) + 50}, DeadlineUS: 10000},
+			{Name: "c", Priority: 3, WCETUS: int64(c3%20) + 1, Event: EventModel{PeriodUS: int64(p3%100) + 50}, DeadlineUS: 10000},
+		}
+		res, err := AnalyzeSPP(tasks)
+		if err != nil {
+			return false
+		}
+		if res[0].WCRTUS != tasks[0].WCETUS {
+			return false
+		}
+		for i, r := range res {
+			if r.Converged && r.WCRTUS < tasks[i].WCETUS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a higher-priority task never decreases a lower-priority
+// task's WCRT (interference monotonicity).
+func TestPropInterferenceMonotone(t *testing.T) {
+	f := func(cNew uint8, pNew uint8) bool {
+		lo := Task{Name: "lo", Priority: 10, WCETUS: 5, Event: EventModel{PeriodUS: 100}, DeadlineUS: 100000}
+		base, err := AnalyzeSPP([]Task{lo})
+		if err != nil {
+			return false
+		}
+		hi := Task{
+			Name: "hi", Priority: 1,
+			WCETUS:     int64(cNew%10) + 1,
+			Event:      EventModel{PeriodUS: int64(pNew%50) + 30},
+			DeadlineUS: 100000,
+		}
+		with, err := AnalyzeSPP([]Task{hi, lo})
+		if err != nil {
+			return false
+		}
+		var loRes Result
+		for _, r := range with {
+			if r.Name == "lo" {
+				loRes = r
+			}
+		}
+		if !loRes.Converged {
+			return true // overload is acceptable; nothing to compare
+		}
+		return loRes.WCRTUS >= base[0].WCRTUS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SPNP WCRT >= SPP WCRT never holds in general, but SPNP WCRT of
+// the highest-priority task is WCET + max lower blocking exactly when no
+// same-priority interference exists.
+func TestPropSPNPHighestBlocking(t *testing.T) {
+	f := func(cHi, cLo1, cLo2 uint8) bool {
+		hi := int64(cHi%10) + 1
+		lo1 := int64(cLo1%20) + 1
+		lo2 := int64(cLo2%20) + 1
+		tasks := []Task{
+			{Name: "hi", Priority: 1, WCETUS: hi, Event: EventModel{PeriodUS: 1000}, DeadlineUS: 100000},
+			{Name: "lo1", Priority: 2, WCETUS: lo1, Event: EventModel{PeriodUS: 1000}, DeadlineUS: 100000},
+			{Name: "lo2", Priority: 3, WCETUS: lo2, Event: EventModel{PeriodUS: 1000}, DeadlineUS: 100000},
+		}
+		res, err := AnalyzeSPNP(tasks)
+		if err != nil {
+			return false
+		}
+		maxLo := lo1
+		if lo2 > maxLo {
+			maxLo = lo2
+		}
+		return res[0].WCRTUS == hi+maxLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	stages := []PathStage{
+		{WCRTUS: 10, PeriodUS: 100},
+		{WCRTUS: 20, PeriodUS: 50, Sampling: true},
+		{WCRTUS: 5, PeriodUS: 10},
+	}
+	if got := PathLatency(stages); got != 10+20+50+5 {
+		t.Fatalf("PathLatency = %d", got)
+	}
+	if PathLatency(nil) != 0 {
+		t.Fatal("empty path latency non-zero")
+	}
+}
+
+func TestSpeedFloor(t *testing.T) {
+	// Utilization 0.5 at reference speed: schedulable down to ~0.5 where
+	// utilization hits 1 (single task: floor = C/D = 0.5).
+	tasks := []Task{
+		{Name: "a", Priority: 1, WCETUS: 5000, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+	}
+	floor, ok, err := SpeedFloor(tasks)
+	if err != nil || !ok {
+		t.Fatalf("floor err=%v ok=%v", err, ok)
+	}
+	if floor < 0.49 || floor > 0.52 {
+		t.Fatalf("floor = %v, want ~0.5", floor)
+	}
+	// The set is schedulable at the floor and not 5% below it.
+	if s, _ := allSchedulable(scaleWCETs(tasks, floor)); !s {
+		t.Fatal("unschedulable at its own floor")
+	}
+	if s, _ := allSchedulable(scaleWCETs(tasks, floor*0.95)); s {
+		t.Fatal("schedulable below the floor (not tight)")
+	}
+}
+
+func TestSpeedFloorUnschedulable(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Priority: 1, WCETUS: 9000, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+		{Name: "b", Priority: 2, WCETUS: 9000, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+	}
+	_, ok, err := SpeedFloor(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("overloaded set reported a floor")
+	}
+}
+
+// Property: removing a task never raises the speed floor (shedding load
+// only increases thermal headroom — E6's design rule).
+func TestPropSpeedFloorMonotoneInLoad(t *testing.T) {
+	f := func(c1, c2 uint8) bool {
+		full := []Task{
+			{Name: "crit", Priority: 1, WCETUS: int64(c1%40+10) * 100, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+			{Name: "bg", Priority: 2, WCETUS: int64(c2%40+10) * 100, Event: EventModel{PeriodUS: 40000}, DeadlineUS: 40000},
+		}
+		fFull, okFull, err := SpeedFloor(full)
+		if err != nil {
+			return false
+		}
+		fShed, okShed, err := SpeedFloor(full[:1])
+		if err != nil || !okShed {
+			return false
+		}
+		if !okFull {
+			return true // full set unschedulable at 1.0: nothing to compare
+		}
+		return fShed <= fFull+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyWindowMultipleActivations(t *testing.T) {
+	// High utilization (0.3 + 0.667 = 0.967) keeps the level-2 busy period
+	// open across several activations of t2:
+	// q=1: w = 8 + η(w)·3 → 14, resp 14; 14 > 12 keeps the window open.
+	// q=2: w = 16 + η(w)·3 → 25, resp 13; 25 > 24 keeps it open.
+	// q=3: w = 24 + η(w)·3 → 36, resp 12; 36 <= 36 closes it. WCRT = 14.
+	tasks := []Task{
+		{Name: "t1", Priority: 1, WCETUS: 3, Event: EventModel{PeriodUS: 10}, DeadlineUS: 10},
+		{Name: "t2", Priority: 2, WCETUS: 8, Event: EventModel{PeriodUS: 12}, DeadlineUS: 100},
+	}
+	res, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Converged {
+		t.Fatal("t2 did not converge")
+	}
+	if res[1].BusyWindows != 3 {
+		t.Fatalf("expected 3 busy-window activations, got %d", res[1].BusyWindows)
+	}
+	if res[1].WCRTUS != 14 {
+		t.Fatalf("t2 WCRT = %d, want 14", res[1].WCRTUS)
+	}
+}

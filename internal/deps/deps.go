@@ -1,0 +1,406 @@
+// Package deps implements the automated cross-layer dependency analysis of
+// Section V (after Möstl/Ernst [23], [24]): "In CCC, such dependency
+// analysis is automated to derive cross-layer dependency models describing
+// the effect of change and actions on the overall system."
+//
+// The model is a typed, directed dependency graph whose nodes live on
+// named system layers (platform, communication, OS, function, safety, ...).
+// The analysis derives:
+//
+//   - the impact set of a failing or changed node (the transitive closure
+//     of dependents), grouped per layer;
+//   - effect chains (failure propagation paths) into a target layer — the
+//     automated analogue of manually maintained FMEA effect columns;
+//   - a "manual baseline" traversal that only follows one cross-layer hop
+//     (what a per-layer FMEA review typically captures), used by experiment
+//     E10 to show how much a single-layer view underestimates impact.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layer names a system layer. Free-form, but the canonical vehicle stack
+// uses the constants below.
+type Layer string
+
+// Canonical layers of the automotive stack discussed in the paper.
+const (
+	LayerPlatform  Layer = "platform"  // hardware: CPUs, memory, power, thermal
+	LayerComm      Layer = "comm"      // networks and buses
+	LayerOS        Layer = "os"        // RTE, scheduling, hypervisor
+	LayerFunction  Layer = "function"  // driving functions and abilities
+	LayerSafety    Layer = "safety"    // safety mechanisms and argumentation
+	LayerSecurity  Layer = "security"  // security mechanisms
+	LayerObjective Layer = "objective" // driving objectives/mission
+)
+
+// NodeID identifies a node as layer/name.
+type NodeID struct {
+	Layer Layer
+	Name  string
+}
+
+func (n NodeID) String() string { return string(n.Layer) + "/" + n.Name }
+
+// EdgeKind types a dependency edge.
+type EdgeKind string
+
+// Edge kinds.
+const (
+	// DependsOn: From requires To to operate (failure of To affects From).
+	DependsOn EdgeKind = "depends-on"
+	// MapsTo: From is deployed on To (a deployment dependency).
+	MapsTo EdgeKind = "maps-to"
+	// Influences: To is physically or logically influenced by From
+	// (e.g. ambient temperature influences the platform).
+	Influences EdgeKind = "influences"
+)
+
+// Edge is a typed dependency.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+}
+
+// Graph is the cross-layer dependency model.
+type Graph struct {
+	nodes map[NodeID]bool
+	// fwd[a] lists edges a -> b; rev[b] lists edges a -> b.
+	fwd map[NodeID][]Edge
+	rev map[NodeID][]Edge
+}
+
+// NewGraph returns an empty dependency graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]bool),
+		fwd:   make(map[NodeID][]Edge),
+		rev:   make(map[NodeID][]Edge),
+	}
+}
+
+// AddNode registers a node (idempotent).
+func (g *Graph) AddNode(id NodeID) {
+	g.nodes[id] = true
+}
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id NodeID) bool { return g.nodes[id] }
+
+// AddEdge adds a typed dependency; endpoints are auto-registered.
+func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) error {
+	if from == to {
+		return fmt.Errorf("deps: self-dependency %v", from)
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	e := Edge{From: from, To: to, Kind: kind}
+	g.fwd[from] = append(g.fwd[from], e)
+	g.rev[to] = append(g.rev[to], e)
+	return nil
+}
+
+// Nodes returns all nodes in deterministic order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// NodesOn returns the nodes of one layer in deterministic order.
+func (g *Graph) NodesOn(l Layer) []NodeID {
+	var out []NodeID
+	for n := range g.nodes {
+		if n.Layer == l {
+			out = append(out, n)
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, es := range g.fwd {
+		n += len(es)
+	}
+	return n
+}
+
+func sortNodes(ns []NodeID) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Layer != ns[j].Layer {
+			return ns[i].Layer < ns[j].Layer
+		}
+		return ns[i].Name < ns[j].Name
+	})
+}
+
+// affected returns the direct dependents of id: nodes with a DependsOn or
+// MapsTo edge *to* id, plus nodes id Influences.
+func (g *Graph) affected(id NodeID) []NodeID {
+	var out []NodeID
+	for _, e := range g.rev[id] {
+		if e.Kind == DependsOn || e.Kind == MapsTo {
+			out = append(out, e.From)
+		}
+	}
+	for _, e := range g.fwd[id] {
+		if e.Kind == Influences {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Impact returns the full transitive impact set of a failure or change of
+// id (excluding id itself), grouped per layer with deterministic ordering.
+// This is the automated cross-layer analysis.
+func (g *Graph) Impact(id NodeID) map[Layer][]NodeID {
+	seen := map[NodeID]bool{id: true}
+	var order []NodeID
+	queue := []NodeID{id}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		deps := g.affected(cur)
+		sortNodes(deps)
+		for _, d := range deps {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			order = append(order, d)
+			queue = append(queue, d)
+		}
+	}
+	out := make(map[Layer][]NodeID)
+	for _, n := range order {
+		out[n.Layer] = append(out[n.Layer], n)
+	}
+	for l := range out {
+		sortNodes(out[l])
+	}
+	return out
+}
+
+// ImpactSize returns the total number of impacted nodes.
+func (g *Graph) ImpactSize(id NodeID) int {
+	total := 0
+	for _, ns := range g.Impact(id) {
+		total += len(ns)
+	}
+	return total
+}
+
+// ManualImpact models the traditional per-layer FMEA view: it follows
+// dependencies transitively *within* the failing node's layer but crosses
+// a layer boundary at most once (the reviewer lists direct effects on the
+// neighbouring layer and stops). E10 contrasts its result size with the
+// automated Impact.
+func (g *Graph) ManualImpact(id NodeID) map[Layer][]NodeID {
+	seen := map[NodeID]bool{id: true}
+	var order []NodeID
+	type item struct {
+		node    NodeID
+		crossed bool
+	}
+	queue := []item{{id, false}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		deps := g.affected(cur.node)
+		sortNodes(deps)
+		for _, d := range deps {
+			if seen[d] {
+				continue
+			}
+			crossing := d.Layer != cur.node.Layer
+			if cur.crossed && crossing {
+				continue // a manual review does not chain cross-layer hops
+			}
+			if cur.crossed && !crossing {
+				continue // nor does it continue within the foreign layer
+			}
+			seen[d] = true
+			order = append(order, d)
+			queue = append(queue, item{d, cur.crossed || crossing})
+		}
+	}
+	out := make(map[Layer][]NodeID)
+	for _, n := range order {
+		out[n.Layer] = append(out[n.Layer], n)
+	}
+	for l := range out {
+		sortNodes(out[l])
+	}
+	return out
+}
+
+// ManualImpactSize returns the total size of the manual baseline view.
+func (g *Graph) ManualImpactSize(id NodeID) int {
+	total := 0
+	for _, ns := range g.ManualImpact(id) {
+		total += len(ns)
+	}
+	return total
+}
+
+// EffectChain is one failure propagation path ending on the target layer.
+type EffectChain []NodeID
+
+func (c EffectChain) String() string {
+	s := ""
+	for i, n := range c {
+		if i > 0 {
+			s += " -> "
+		}
+		s += n.String()
+	}
+	return s
+}
+
+// EffectChains enumerates all simple failure-propagation paths from a
+// failing node to any node on the target layer (the automated FMEA
+// "effect" column). Paths are capped at maxLen hops to bound enumeration.
+func (g *Graph) EffectChains(from NodeID, target Layer, maxLen int) []EffectChain {
+	if maxLen <= 0 {
+		maxLen = 10
+	}
+	var out []EffectChain
+	var path []NodeID
+	onPath := map[NodeID]bool{}
+	var rec func(cur NodeID)
+	rec = func(cur NodeID) {
+		path = append(path, cur)
+		onPath[cur] = true
+		defer func() {
+			path = path[:len(path)-1]
+			delete(onPath, cur)
+		}()
+		if cur.Layer == target && len(path) > 1 {
+			chain := make(EffectChain, len(path))
+			copy(chain, path)
+			out = append(out, chain)
+			return
+		}
+		if len(path) > maxLen {
+			return
+		}
+		deps := g.affected(cur)
+		sortNodes(deps)
+		for _, d := range deps {
+			if !onPath[d] {
+				rec(d)
+			}
+		}
+	}
+	rec(from)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// ToDOT renders the dependency graph in Graphviz DOT format with one
+// cluster per layer and edge styles per kind (solid depends-on, dashed
+// maps-to, dotted influences). Deterministic output.
+func (g *Graph) ToDOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n  node [fontname=\"Helvetica\", shape=box];\n", name)
+	// Clusters per layer.
+	layers := map[Layer][]NodeID{}
+	for n := range g.nodes {
+		layers[n.Layer] = append(layers[n.Layer], n)
+	}
+	var layerNames []Layer
+	for l := range layers {
+		layerNames = append(layerNames, l)
+	}
+	sort.Slice(layerNames, func(i, j int) bool { return layerNames[i] < layerNames[j] })
+	for _, l := range layerNames {
+		ns := layers[l]
+		sortNodes(ns)
+		fmt.Fprintf(&b, "  subgraph \"cluster_%s\" {\n    label=%q;\n", l, string(l))
+		for _, n := range ns {
+			fmt.Fprintf(&b, "    %q;\n", n.String())
+		}
+		b.WriteString("  }\n")
+	}
+	// Edges, deterministic order.
+	var all []Edge
+	for _, es := range g.fwd {
+		all = append(all, es...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From.String() < all[j].From.String()
+		}
+		if all[i].To != all[j].To {
+			return all[i].To.String() < all[j].To.String()
+		}
+		return all[i].Kind < all[j].Kind
+	})
+	for _, e := range all {
+		style := "solid"
+		switch e.Kind {
+		case MapsTo:
+			style = "dashed"
+		case Influences:
+			style = "dotted"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", e.From.String(), e.To.String(), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// CommonCause returns the nodes whose failure impacts all of the given
+// targets — e.g. the shared power supply or the ambient temperature of the
+// paper's common-cause discussion. Results are deterministic.
+func (g *Graph) CommonCause(targets []NodeID) []NodeID {
+	if len(targets) == 0 {
+		return nil
+	}
+	var out []NodeID
+	for _, cand := range g.Nodes() {
+		skip := false
+		for _, t := range targets {
+			if cand == t {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		impact := g.Impact(cand)
+		flat := map[NodeID]bool{}
+		for _, ns := range impact {
+			for _, n := range ns {
+				flat[n] = true
+			}
+		}
+		all := true
+		for _, t := range targets {
+			if !flat[t] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// vehicleGraph builds the cross-layer model of the paper's examples:
+// ambient temperature influences the platform; functions map to ECUs;
+// the driving objective depends on functions.
+func vehicleGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	n := func(l Layer, name string) NodeID { return NodeID{Layer: l, Name: name} }
+	edges := []struct {
+		from, to NodeID
+		kind     EdgeKind
+	}{
+		// Deployment: functions map onto ECUs; ECUs depend on power.
+		{n(LayerFunction, "acc"), n(LayerPlatform, "ecu1"), MapsTo},
+		{n(LayerFunction, "brake-ctl"), n(LayerPlatform, "ecu2"), MapsTo},
+		{n(LayerPlatform, "ecu1"), n(LayerPlatform, "psu"), DependsOn},
+		{n(LayerPlatform, "ecu2"), n(LayerPlatform, "psu"), DependsOn},
+		// Communication: both functions depend on the CAN bus.
+		{n(LayerFunction, "acc"), n(LayerComm, "can0"), DependsOn},
+		{n(LayerFunction, "brake-ctl"), n(LayerComm, "can0"), DependsOn},
+		// OS: scheduling on ecu1 depends on ecu1.
+		{n(LayerOS, "sched1"), n(LayerPlatform, "ecu1"), MapsTo},
+		{n(LayerFunction, "acc"), n(LayerOS, "sched1"), DependsOn},
+		// Objective depends on functions.
+		{n(LayerObjective, "driving"), n(LayerFunction, "acc"), DependsOn},
+		{n(LayerObjective, "driving"), n(LayerFunction, "brake-ctl"), DependsOn},
+		// Environment influences platform (common cause).
+		{n(LayerPlatform, "ambient-temp"), n(LayerPlatform, "ecu1"), Influences},
+		{n(LayerPlatform, "ambient-temp"), n(LayerPlatform, "ecu2"), Influences},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.from, e.to, e.kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestImpactCrossLayer(t *testing.T) {
+	g := vehicleGraph(t)
+	psu := NodeID{LayerPlatform, "psu"}
+	impact := g.Impact(psu)
+	// psu failure -> ecu1, ecu2 -> sched1, acc, brake-ctl -> driving.
+	if len(impact[LayerPlatform]) != 2 {
+		t.Fatalf("platform impact = %v", impact[LayerPlatform])
+	}
+	if len(impact[LayerFunction]) != 2 {
+		t.Fatalf("function impact = %v", impact[LayerFunction])
+	}
+	if len(impact[LayerObjective]) != 1 || impact[LayerObjective][0].Name != "driving" {
+		t.Fatalf("objective impact = %v", impact[LayerObjective])
+	}
+	if len(impact[LayerOS]) != 1 {
+		t.Fatalf("os impact = %v", impact[LayerOS])
+	}
+	if g.ImpactSize(psu) != 6 {
+		t.Fatalf("impact size = %d, want 6", g.ImpactSize(psu))
+	}
+}
+
+func TestManualImpactUnderestimates(t *testing.T) {
+	g := vehicleGraph(t)
+	psu := NodeID{LayerPlatform, "psu"}
+	manual := g.ManualImpactSize(psu)
+	auto := g.ImpactSize(psu)
+	if manual >= auto {
+		t.Fatalf("manual %d >= automated %d; manual baseline should underestimate", manual, auto)
+	}
+	// Manual from psu: within-layer ecu1+ecu2, then one cross hop to
+	// sched1/acc/brake-ctl... but no further chaining to the objective.
+	m := g.ManualImpact(psu)
+	if len(m[LayerObjective]) != 0 {
+		t.Fatalf("manual view reached objective layer: %v", m[LayerObjective])
+	}
+}
+
+func TestInfluencesDirection(t *testing.T) {
+	g := vehicleGraph(t)
+	temp := NodeID{LayerPlatform, "ambient-temp"}
+	impact := g.Impact(temp)
+	// Temperature impacts both ECUs and everything above them.
+	if len(impact[LayerObjective]) != 1 {
+		t.Fatalf("temp impact misses objective: %v", impact)
+	}
+	total := g.ImpactSize(temp)
+	if total != 6 { // ecu1, ecu2, sched1, acc, brake-ctl, driving
+		t.Fatalf("temp impact size = %d, want 6", total)
+	}
+}
+
+func TestEffectChains(t *testing.T) {
+	g := vehicleGraph(t)
+	psu := NodeID{LayerPlatform, "psu"}
+	chains := g.EffectChains(psu, LayerObjective, 10)
+	if len(chains) == 0 {
+		t.Fatal("no effect chains to objective layer")
+	}
+	for _, c := range chains {
+		if c[0] != psu {
+			t.Fatalf("chain does not start at psu: %v", c)
+		}
+		if c[len(c)-1].Layer != LayerObjective {
+			t.Fatalf("chain does not end on objective: %v", c)
+		}
+	}
+	// Shortest chain: psu -> ecu -> function -> driving (4 nodes).
+	if len(chains[0]) != 4 {
+		t.Fatalf("shortest chain = %v", chains[0])
+	}
+	if !strings.Contains(chains[0].String(), " -> ") {
+		t.Fatalf("chain string = %q", chains[0].String())
+	}
+}
+
+func TestCommonCause(t *testing.T) {
+	g := vehicleGraph(t)
+	acc := NodeID{LayerFunction, "acc"}
+	brake := NodeID{LayerFunction, "brake-ctl"}
+	cc := g.CommonCause([]NodeID{acc, brake})
+	// psu, can0 and ambient-temp (and the ECUs individually do NOT
+	// qualify — each affects only one function).
+	names := map[string]bool{}
+	for _, n := range cc {
+		names[n.Name] = true
+	}
+	if !names["psu"] || !names["can0"] || !names["ambient-temp"] {
+		t.Fatalf("common causes = %v", cc)
+	}
+	if names["ecu1"] || names["ecu2"] {
+		t.Fatalf("single-function ECU listed as common cause: %v", cc)
+	}
+	if got := g.CommonCause(nil); got != nil {
+		t.Fatalf("CommonCause(nil) = %v", got)
+	}
+}
+
+func TestSelfDependencyRejected(t *testing.T) {
+	g := NewGraph()
+	n := NodeID{LayerPlatform, "x"}
+	if err := g.AddEdge(n, n, DependsOn); err == nil {
+		t.Fatal("self edge accepted")
+	}
+}
+
+func TestNodesOnAndCounts(t *testing.T) {
+	g := vehicleGraph(t)
+	fn := g.NodesOn(LayerFunction)
+	if len(fn) != 2 || fn[0].Name != "acc" || fn[1].Name != "brake-ctl" {
+		t.Fatalf("function nodes = %v", fn)
+	}
+	if g.EdgeCount() != 12 {
+		t.Fatalf("edges = %d", g.EdgeCount())
+	}
+	if !g.HasNode(NodeID{LayerComm, "can0"}) {
+		t.Fatal("can0 missing")
+	}
+}
+
+func TestImpactOfLeafIsEmpty(t *testing.T) {
+	g := vehicleGraph(t)
+	driving := NodeID{LayerObjective, "driving"}
+	if got := g.ImpactSize(driving); got != 0 {
+		t.Fatalf("objective impact = %d, want 0 (nothing depends on it)", got)
+	}
+}
+
+// Property: impact sets are monotone under edge addition — adding an edge
+// never shrinks any node's impact set.
+func TestPropImpactMonotone(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a small random DAG-ish graph from the seed.
+		names := []string{"a", "b", "c", "d", "e"}
+		layers := []Layer{LayerPlatform, LayerComm, LayerFunction}
+		g := NewGraph()
+		s := seed
+		next := func(n int) int {
+			s = s*1664525 + 1013904223
+			return int(s>>16) % n
+		}
+		var ids []NodeID
+		for _, l := range layers {
+			for _, n := range names {
+				id := NodeID{l, n}
+				g.AddNode(id)
+				ids = append(ids, id)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			from := ids[next(len(ids))]
+			to := ids[next(len(ids))]
+			if from != to {
+				_ = g.AddEdge(from, to, DependsOn)
+			}
+		}
+		target := ids[next(len(ids))]
+		before := g.ImpactSize(target)
+		// Add one more edge.
+		for i := 0; i < 10; i++ {
+			from := ids[next(len(ids))]
+			to := ids[next(len(ids))]
+			if from != to {
+				_ = g.AddEdge(from, to, DependsOn)
+				break
+			}
+		}
+		return g.ImpactSize(target) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	g := vehicleGraph(t)
+	dot := g.ToDOT("vehicle")
+	if !strings.HasPrefix(dot, "digraph \"vehicle\" {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	// Layer clusters present.
+	for _, cluster := range []string{"cluster_platform", "cluster_function", "cluster_objective"} {
+		if !strings.Contains(dot, cluster) {
+			t.Fatalf("missing %s", cluster)
+		}
+	}
+	// Edge styles per kind.
+	if !strings.Contains(dot, "[style=dashed]") { // maps-to
+		t.Fatal("no dashed maps-to edge")
+	}
+	if !strings.Contains(dot, "[style=dotted]") { // influences
+		t.Fatal("no dotted influences edge")
+	}
+	if !strings.Contains(dot, "[style=solid]") { // depends-on
+		t.Fatal("no solid depends-on edge")
+	}
+	// Deterministic.
+	if dot != g.ToDOT("vehicle") {
+		t.Fatal("non-deterministic DOT")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	n := NodeID{LayerPlatform, "ecu1"}
+	if n.String() != "platform/ecu1" {
+		t.Fatalf("String = %q", n.String())
+	}
+}

@@ -1,0 +1,618 @@
+// Package mcc implements the Multi-Change Controller of Section II.A: the
+// model-domain authority that "takes full control over the system and
+// platform configuration", performing the automated integration process
+// for in-field changes. Mirroring the paper, the MCC
+//
+//  1. collects per-component requirements in the contracting language
+//     (package model),
+//  2. fits new functionality to the target platform (mapping),
+//  3. transforms the technical architecture into an implementation model
+//     (tasks with priorities, messages, sessions),
+//  4. runs viewpoint analyses as acceptance tests — worst-case response
+//     time analysis (package cpa), safety checks (package safety), and
+//     security domain checks (package security),
+//  5. derives the monitor configuration for the execution domain, and
+//  6. commits the new configuration only if every acceptance test passes;
+//     otherwise the deployed configuration stays untouched (rollback).
+package mcc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpa"
+	"repro/internal/model"
+	"repro/internal/safety"
+	"repro/internal/security"
+)
+
+// Stage names the integration pipeline stages, used in rejection reports.
+type Stage string
+
+// Pipeline stages.
+const (
+	StageValidate Stage = "validate"
+	StageMapping  Stage = "mapping"
+	StageSynth    Stage = "synthesis"
+	StageSafety   Stage = "safety"
+	StageSecurity Stage = "security"
+	StageTiming   Stage = "timing"
+	StageCommit   Stage = "commit"
+)
+
+// MonitorKind labels entries of the monitor plan.
+type MonitorKind string
+
+// Monitor kinds emitted by the MCC for the execution domain.
+const (
+	MonitorBudget MonitorKind = "budget" // execution time + deadline
+	MonitorRate   MonitorKind = "rate"   // leaky-bucket event rate
+)
+
+// MonitorSpec is one monitor the MCC configures in the execution domain:
+// "it can configure the monitoring facilities to enforce, e.g., the access
+// policy to network resources or real-time behavior where necessary".
+type MonitorSpec struct {
+	Kind     MonitorKind
+	Target   string // task or message name
+	PeriodUS int64
+	JitterUS int64
+	WCETUS   int64
+	Enforce  bool
+}
+
+// TimingResult carries the per-resource WCRT table of the timing
+// acceptance test.
+type TimingResult struct {
+	Resource string
+	Results  []cpa.Result
+}
+
+// Report is the outcome of one integration attempt.
+type Report struct {
+	// Accepted reports whether the new configuration was committed.
+	Accepted bool
+	// RejectedAt names the stage that failed (empty when accepted).
+	RejectedAt Stage
+	// Findings lists human-readable acceptance failures.
+	Findings []string
+	// Impl is the synthesized implementation model (nil if rejected
+	// before synthesis).
+	Impl *model.ImplementationModel
+	// Timing is the WCRT table per resource.
+	Timing []TimingResult
+	// Monitors is the monitor plan for the execution domain.
+	Monitors []MonitorSpec
+}
+
+// MCC is the multi-change controller. It owns the deployed configuration.
+type MCC struct {
+	platform *model.Platform
+	deployed *model.FunctionalArchitecture
+	impl     *model.ImplementationModel
+
+	// History records all integration reports.
+	History []*Report
+
+	// observedWCETUS holds metric feedback from the execution domain:
+	// observed execution-time maxima per function, used to evolve
+	// contracts ("supervising certain run-time properties ... enables the
+	// model domain to detect deviations ... refine its models").
+	observedWCETUS map[string]int64
+}
+
+// New creates an MCC managing the given platform, with an empty deployed
+// configuration.
+func New(p *model.Platform) (*MCC, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &MCC{
+		platform:       p,
+		deployed:       &model.FunctionalArchitecture{},
+		observedWCETUS: make(map[string]int64),
+	}, nil
+}
+
+// Deployed returns the currently deployed functional architecture.
+func (m *MCC) Deployed() *model.FunctionalArchitecture { return m.deployed }
+
+// DeployedImpl returns the currently deployed implementation model (nil
+// until the first successful integration).
+func (m *MCC) DeployedImpl() *model.ImplementationModel { return m.impl }
+
+// ProposeUpdate attempts to integrate fn (a new function or a new version
+// of a deployed one) into the running configuration.
+func (m *MCC) ProposeUpdate(fn model.Function) *Report {
+	return m.integrate(m.deployed.WithFunction(fn))
+}
+
+// ProposeRemoval attempts to remove a function from the configuration.
+func (m *MCC) ProposeRemoval(name string) *Report {
+	return m.integrate(m.deployed.WithoutFunction(name))
+}
+
+// ProposeArchitecture attempts to integrate a whole architecture at once
+// (initial deployment).
+func (m *MCC) ProposeArchitecture(fa *model.FunctionalArchitecture) *Report {
+	return m.integrate(fa.Clone())
+}
+
+// RecordObservedWCET feeds an observed execution-time maximum (µs) for a
+// function back into the model domain. ReintegrateWithObservations uses
+// these to evolve the timing contracts.
+func (m *MCC) RecordObservedWCET(function string, observedUS int64) {
+	if observedUS > m.observedWCETUS[function] {
+		m.observedWCETUS[function] = observedUS
+	}
+}
+
+// ReintegrateWithObservations re-runs the integration with contracts
+// evolved to the observed WCET maxima where those exceed the modeled
+// values. It returns the report; on acceptance the evolved configuration
+// is deployed.
+func (m *MCC) ReintegrateWithObservations() *Report {
+	cand := m.deployed.Clone()
+	for i := range cand.Functions {
+		f := &cand.Functions[i]
+		if obs := m.observedWCETUS[f.Name]; obs > f.Contract.RealTime.WCETUS {
+			f.Contract.RealTime.WCETUS = obs
+		}
+	}
+	return m.integrate(cand)
+}
+
+// integrate runs the full pipeline on the candidate architecture.
+func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
+	rep := &Report{}
+	defer func() { m.History = append(m.History, rep) }()
+
+	// Stage 1: contract validation.
+	if err := cand.Validate(); err != nil {
+		rep.RejectedAt = StageValidate
+		rep.Findings = append(rep.Findings, err.Error())
+		return rep
+	}
+
+	// Stage 2: mapping.
+	tech, err := m.mapToPlatform(cand)
+	if err != nil {
+		rep.RejectedAt = StageMapping
+		rep.Findings = append(rep.Findings, err.Error())
+		return rep
+	}
+
+	// Stage 3: implementation synthesis.
+	impl, err := m.synthesize(tech)
+	if err != nil {
+		rep.RejectedAt = StageSynth
+		rep.Findings = append(rep.Findings, err.Error())
+		return rep
+	}
+	rep.Impl = impl
+
+	// Stage 4a: safety acceptance.
+	if findings := safety.Check(tech); len(findings) > 0 {
+		rep.RejectedAt = StageSafety
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, f.String())
+		}
+		return rep
+	}
+
+	// Stage 4b: security acceptance.
+	if findings := security.CheckDomains(impl); len(findings) > 0 {
+		rep.RejectedAt = StageSecurity
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, f.String())
+		}
+		return rep
+	}
+
+	// Stage 4c: timing acceptance.
+	timing, ok := m.analyzeTiming(impl)
+	rep.Timing = timing
+	if !ok {
+		rep.RejectedAt = StageTiming
+		for _, tr := range timing {
+			for _, r := range tr.Results {
+				if !r.Schedulable {
+					rep.Findings = append(rep.Findings,
+						fmt.Sprintf("timing: %s on %s misses deadline (WCRT %dus > %dus)",
+							r.Name, tr.Resource, r.WCRTUS, r.DeadlineUS))
+				}
+			}
+		}
+		return rep
+	}
+
+	// Stage 5: monitor plan.
+	rep.Monitors = m.planMonitors(impl)
+
+	// Stage 6: commit.
+	m.deployed = cand
+	m.impl = impl
+	rep.Accepted = true
+	return rep
+}
+
+// mapToPlatform assigns every function replica to a processor:
+// greedy best-fit ordered by (safety desc, utilization desc), honouring
+// safety certification, RAM budgets, and replica separation.
+func (m *MCC) mapToPlatform(fa *model.FunctionalArchitecture) (*model.TechnicalArchitecture, error) {
+	type load struct {
+		utilPPM int64
+		ramKiB  int64
+	}
+	loads := make(map[string]*load, len(m.platform.Processors))
+	for i := range m.platform.Processors {
+		loads[m.platform.Processors[i].Name] = &load{}
+	}
+
+	// Deterministic placement order: hardest constraints first.
+	order := make([]*model.Function, len(fa.Functions))
+	for i := range fa.Functions {
+		order[i] = &fa.Functions[i]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Contract.Safety != order[j].Contract.Safety {
+			return order[i].Contract.Safety > order[j].Contract.Safety
+		}
+		ui, uj := utilPPM(order[i]), utilPPM(order[j])
+		if ui != uj {
+			return ui > uj
+		}
+		return order[i].Name < order[j].Name
+	})
+
+	var instances []model.Instance
+	for _, f := range order {
+		usedProcs := make(map[string]bool)
+		for r := 0; r < f.EffectiveReplicas(); r++ {
+			best := ""
+			var bestUtil int64 = -1
+			for i := range m.platform.Processors {
+				p := &m.platform.Processors[i]
+				if p.MaxSafety < f.Contract.Safety {
+					continue
+				}
+				if f.EffectiveReplicas() > 1 && usedProcs[p.Name] {
+					continue // replica separation
+				}
+				l := loads[p.Name]
+				scaledUtil := scaleUtilPPM(utilPPM(f), p.SpeedFactor)
+				if l.utilPPM+scaledUtil > 1_000_000 {
+					continue
+				}
+				if l.ramKiB+f.Contract.Resources.RAMKiB > p.RAMKiB {
+					continue
+				}
+				// Best fit: lowest resulting utilization.
+				if bestUtil < 0 || l.utilPPM+scaledUtil < bestUtil {
+					best = p.Name
+					bestUtil = l.utilPPM + scaledUtil
+				}
+			}
+			if best == "" {
+				return nil, fmt.Errorf("mcc: no feasible processor for %s#%d (safety %v, util %.1f%%, ram %d KiB)",
+					f.Name, r, f.Contract.Safety, float64(utilPPM(f))/10000, f.Contract.Resources.RAMKiB)
+			}
+			l := loads[best]
+			p := m.platform.ProcessorByName(best)
+			l.utilPPM += scaleUtilPPM(utilPPM(f), p.SpeedFactor)
+			l.ramKiB += f.Contract.Resources.RAMKiB
+			usedProcs[best] = true
+			instances = append(instances, model.Instance{Function: f.Name, Replica: r, Processor: best})
+		}
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i].ID() < instances[j].ID() })
+	tech := &model.TechnicalArchitecture{Platform: m.platform, Func: fa, Instances: instances}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	return tech, nil
+}
+
+func utilPPM(f *model.Function) int64 {
+	rt := f.Contract.RealTime
+	if !rt.HasTiming() {
+		return 0
+	}
+	return rt.WCETUS * 1_000_000 / rt.PeriodUS
+}
+
+func scaleUtilPPM(ppm int64, speed float64) int64 {
+	return int64(float64(ppm) / speed)
+}
+
+// synthesize derives the implementation model: per-processor tasks with
+// deadline-monotonic priorities (WCET scaled by processor speed),
+// inter-processor messages from flows, and sessions from service
+// requirements.
+func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.ImplementationModel, error) {
+	impl := &model.ImplementationModel{Tech: tech}
+
+	// Tasks.
+	for _, pn := range procNames(m.platform) {
+		p := m.platform.ProcessorByName(pn)
+		insts := tech.InstancesOn(pn)
+		type cand struct {
+			inst model.Instance
+			fn   *model.Function
+		}
+		var cands []cand
+		for _, in := range insts {
+			f := tech.Func.FunctionByName(in.Function)
+			if f == nil || !f.Contract.RealTime.HasTiming() {
+				continue
+			}
+			cands = append(cands, cand{in, f})
+		}
+		// Deadline-monotonic order.
+		sort.Slice(cands, func(i, j int) bool {
+			di := cands[i].fn.Contract.RealTime.EffectiveDeadlineUS()
+			dj := cands[j].fn.Contract.RealTime.EffectiveDeadlineUS()
+			if di != dj {
+				return di < dj
+			}
+			return cands[i].inst.ID() < cands[j].inst.ID()
+		})
+		for i, c := range cands {
+			rt := c.fn.Contract.RealTime
+			impl.Tasks = append(impl.Tasks, model.Task{
+				Name:       c.inst.ID(),
+				Processor:  pn,
+				Priority:   i + 1,
+				PeriodUS:   rt.PeriodUS,
+				JitterUS:   rt.JitterUS,
+				WCETUS:     int64(float64(rt.WCETUS) / p.SpeedFactor),
+				DeadlineUS: rt.EffectiveDeadlineUS(),
+				Safety:     c.fn.Contract.Safety,
+			})
+		}
+	}
+
+	// Messages: one per flow whose endpoints are on different processors.
+	type msgCand struct {
+		flow model.Flow
+		net  string
+	}
+	var msgs []msgCand
+	for _, fl := range tech.Func.Flows {
+		if fl.PeriodUS <= 0 {
+			continue // sporadic flows handled by rate monitors only
+		}
+		fromInsts := tech.InstancesOf(fl.From)
+		toInsts := tech.InstancesOf(fl.To)
+		crossing := false
+		var netName string
+		for _, fi := range fromInsts {
+			for _, ti := range toInsts {
+				if fi.Processor == ti.Processor {
+					continue
+				}
+				n := m.platform.Connecting(fi.Processor, ti.Processor)
+				if n == nil {
+					return nil, fmt.Errorf("mcc: no network connects %s and %s for flow %s->%s",
+						fi.Processor, ti.Processor, fl.From, fl.To)
+				}
+				crossing = true
+				netName = n.Name
+			}
+		}
+		if crossing {
+			msgs = append(msgs, msgCand{fl, netName})
+		}
+	}
+	// Deadline(=period)-monotonic message priorities per network.
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].flow.PeriodUS != msgs[j].flow.PeriodUS {
+			return msgs[i].flow.PeriodUS < msgs[j].flow.PeriodUS
+		}
+		return msgs[i].flow.Service < msgs[j].flow.Service
+	})
+	prioByNet := make(map[string]int)
+	for _, mc := range msgs {
+		prioByNet[mc.net]++
+		impl.Messages = append(impl.Messages, model.Message{
+			Name:       fmt.Sprintf("%s:%s->%s", mc.flow.Service, mc.flow.From, mc.flow.To),
+			Network:    mc.net,
+			Priority:   prioByNet[mc.net],
+			Bytes:      mc.flow.MsgBytes,
+			PeriodUS:   mc.flow.PeriodUS,
+			DeadlineUS: mc.flow.PeriodUS,
+		})
+	}
+
+	// Connections: every requirer connects to the (first) provider.
+	for _, in := range tech.Instances {
+		f := tech.Func.FunctionByName(in.Function)
+		if f == nil {
+			continue
+		}
+		for _, svc := range f.Requires {
+			provs := tech.Func.Providers(svc)
+			if len(provs) == 0 {
+				return nil, fmt.Errorf("mcc: unprovided service %q", svc)
+			}
+			prov := tech.InstancesOf(provs[0])
+			if len(prov) == 0 {
+				return nil, fmt.Errorf("mcc: provider %q not deployed", provs[0])
+			}
+			client := tech.Func.FunctionByName(in.Function)
+			server := tech.Func.FunctionByName(provs[0])
+			impl.Connections = append(impl.Connections, model.Connection{
+				Client:      in.ID(),
+				Server:      prov[0].ID(),
+				Service:     svc,
+				CrossDomain: client.Contract.Domain != server.Contract.Domain,
+			})
+		}
+	}
+
+	if err := impl.Validate(); err != nil {
+		return nil, err
+	}
+	return impl, nil
+}
+
+// analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
+func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, bool) {
+	var out []TimingResult
+	allOK := true
+
+	for _, pn := range procNames(m.platform) {
+		tasks := impl.TasksOn(pn)
+		if len(tasks) == 0 {
+			continue
+		}
+		var ct []cpa.Task
+		for _, t := range tasks {
+			ct = append(ct, cpa.Task{
+				Name:       t.Name,
+				Priority:   t.Priority,
+				WCETUS:     t.WCETUS,
+				Event:      cpa.EventModel{PeriodUS: t.PeriodUS, JitterUS: t.JitterUS},
+				DeadlineUS: t.DeadlineUS,
+			})
+		}
+		res, err := cpa.AnalyzeSPP(ct)
+		if err != nil {
+			return out, false
+		}
+		for _, r := range res {
+			if !r.Schedulable {
+				allOK = false
+			}
+		}
+		out = append(out, TimingResult{Resource: pn, Results: res})
+	}
+
+	for i := range m.platform.Networks {
+		n := &m.platform.Networks[i]
+		msgs := impl.MessagesOn(n.Name)
+		if len(msgs) == 0 {
+			continue
+		}
+		var ct []cpa.Task
+		for _, msg := range msgs {
+			// Worst-case stuffed CAN frame time in µs.
+			wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
+			wcetUS := wcBits * 1_000_000 / n.BitsPerSec
+			if wcetUS < 1 {
+				wcetUS = 1
+			}
+			ct = append(ct, cpa.Task{
+				Name:       msg.Name,
+				Priority:   msg.Priority,
+				WCETUS:     wcetUS,
+				Event:      cpa.EventModel{PeriodUS: msg.PeriodUS},
+				DeadlineUS: msg.DeadlineUS,
+			})
+		}
+		res, err := cpa.AnalyzeSPNP(ct)
+		if err != nil {
+			return out, false
+		}
+		for _, r := range res {
+			if !r.Schedulable {
+				allOK = false
+			}
+		}
+		out = append(out, TimingResult{Resource: n.Name, Results: res})
+	}
+	return out, allOK
+}
+
+// planMonitors derives the execution-domain monitor configuration.
+func (m *MCC) planMonitors(impl *model.ImplementationModel) []MonitorSpec {
+	var out []MonitorSpec
+	for _, t := range impl.Tasks {
+		out = append(out, MonitorSpec{
+			Kind: MonitorBudget, Target: t.Name,
+			PeriodUS: t.PeriodUS, JitterUS: t.JitterUS, WCETUS: t.WCETUS,
+		})
+	}
+	for _, msg := range impl.Messages {
+		out = append(out, MonitorSpec{
+			Kind: MonitorRate, Target: msg.Name,
+			PeriodUS: msg.PeriodUS, Enforce: true,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// StartupOrder resolves the run-time dependencies between the software
+// components of an implementation model (after [3]: "resolve run-time
+// dependencies between software components"): servers start before their
+// clients so that every session can be established on first try. The
+// result is a total, deterministic order; an error is returned when the
+// session graph contains a cycle (mutually dependent components need a
+// different startup protocol).
+func StartupOrder(impl *model.ImplementationModel) ([]string, error) {
+	// Build client -> server edges over instance IDs.
+	ids := make([]string, 0, len(impl.Tech.Instances))
+	for _, in := range impl.Tech.Instances {
+		ids = append(ids, in.ID())
+	}
+	sort.Strings(ids)
+	deps := make(map[string][]string)       // client -> servers
+	indeg := make(map[string]int)           // number of unstarted servers
+	dependents := make(map[string][]string) // server -> clients
+	for _, id := range ids {
+		indeg[id] = 0
+	}
+	for _, c := range impl.Connections {
+		deps[c.Client] = append(deps[c.Client], c.Server)
+		dependents[c.Server] = append(dependents[c.Server], c.Client)
+		indeg[c.Client]++
+	}
+	// Kahn's algorithm with deterministic tie-break.
+	var queue []string
+	for _, id := range ids {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Strings(queue)
+	var order []string
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		var next []string
+		for _, cl := range dependents[id] {
+			indeg[cl]--
+			if indeg[cl] == 0 {
+				next = append(next, cl)
+			}
+		}
+		sort.Strings(next)
+		queue = append(queue, next...)
+	}
+	if len(order) != len(ids) {
+		var stuck []string
+		for _, id := range ids {
+			if indeg[id] > 0 {
+				stuck = append(stuck, id)
+			}
+		}
+		return nil, fmt.Errorf("mcc: cyclic session dependencies among %v", stuck)
+	}
+	return order, nil
+}
+
+func procNames(p *model.Platform) []string {
+	out := make([]string, 0, len(p.Processors))
+	for i := range p.Processors {
+		out = append(out, p.Processors[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}

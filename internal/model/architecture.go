@@ -1,0 +1,192 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Function is a node of the platform-independent functional (logical)
+// architecture: "a change to a system can be the addition of a new
+// functionality that is modeled in a logical or functional system
+// architecture in a platform-independent way" (Section II.A).
+type Function struct {
+	// Name uniquely identifies the function in the architecture.
+	Name string `json:"name"`
+	// Version distinguishes updates of the same function.
+	Version int `json:"version"`
+	// Provides lists service names the function offers to others.
+	Provides []string `json:"provides,omitempty"`
+	// Requires lists service names the function consumes.
+	Requires []string `json:"requires,omitempty"`
+	// Contract carries the viewpoint requirements.
+	Contract Contract `json:"contract"`
+	// Replicas > 1 requests redundant instantiation (safety viewpoint
+	// uses this for fail-operational functions). 0 means 1.
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// EffectiveReplicas returns the number of instances to deploy (minimum 1).
+func (f Function) EffectiveReplicas() int {
+	if f.Replicas < 1 {
+		return 1
+	}
+	return f.Replicas
+}
+
+// Flow is a directed data flow between two functions in the functional
+// architecture, realized over a service connection.
+type Flow struct {
+	// From and To name the producing and consuming functions.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Service is the service name carrying the flow; must be provided by
+	// From and required by To.
+	Service string `json:"service"`
+	// MsgBytes is the per-message payload size.
+	MsgBytes int `json:"msg_bytes,omitempty"`
+	// PeriodUS is the message period in microseconds (0 = sporadic).
+	PeriodUS int64 `json:"period_us,omitempty"`
+}
+
+// FunctionalArchitecture is the platform-independent model of what the
+// vehicle does: a set of functions and the data flows between them.
+type FunctionalArchitecture struct {
+	Functions []Function `json:"functions"`
+	Flows     []Flow     `json:"flows,omitempty"`
+}
+
+// FunctionByName returns the function with the given name, or nil.
+func (a *FunctionalArchitecture) FunctionByName(name string) *Function {
+	for i := range a.Functions {
+		if a.Functions[i].Name == name {
+			return &a.Functions[i]
+		}
+	}
+	return nil
+}
+
+// Providers returns the names of functions providing the given service,
+// sorted for determinism.
+func (a *FunctionalArchitecture) Providers(service string) []string {
+	var out []string
+	for i := range a.Functions {
+		for _, p := range a.Functions[i].Provides {
+			if p == service {
+				out = append(out, a.Functions[i].Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural consistency: unique names, resolvable service
+// requirements, well-formed contracts, and flow endpoints that exist.
+func (a *FunctionalArchitecture) Validate() error {
+	seen := make(map[string]bool, len(a.Functions))
+	provided := make(map[string]bool)
+	for i := range a.Functions {
+		f := &a.Functions[i]
+		if f.Name == "" {
+			return fmt.Errorf("model: function %d has empty name", i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("model: duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		if err := f.Contract.Validate(); err != nil {
+			return fmt.Errorf("model: function %q: %w", f.Name, err)
+		}
+		for _, p := range f.Provides {
+			provided[p] = true
+		}
+	}
+	for i := range a.Functions {
+		f := &a.Functions[i]
+		for _, r := range f.Requires {
+			if !provided[r] {
+				return fmt.Errorf("model: function %q requires unprovided service %q", f.Name, r)
+			}
+		}
+	}
+	for i, fl := range a.Flows {
+		from := a.FunctionByName(fl.From)
+		to := a.FunctionByName(fl.To)
+		if from == nil || to == nil {
+			return fmt.Errorf("model: flow %d references unknown function (%q -> %q)", i, fl.From, fl.To)
+		}
+		if !contains(from.Provides, fl.Service) {
+			return fmt.Errorf("model: flow %d: %q does not provide %q", i, fl.From, fl.Service)
+		}
+		if !contains(to.Requires, fl.Service) {
+			return fmt.Errorf("model: flow %d: %q does not require %q", i, fl.To, fl.Service)
+		}
+		if fl.MsgBytes < 0 || fl.PeriodUS < 0 {
+			return fmt.Errorf("model: flow %d has negative size/period", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the architecture, so the MCC can refine a
+// candidate configuration without mutating the deployed one.
+func (a *FunctionalArchitecture) Clone() *FunctionalArchitecture {
+	out := &FunctionalArchitecture{
+		Functions: make([]Function, len(a.Functions)),
+		Flows:     make([]Flow, len(a.Flows)),
+	}
+	copy(out.Flows, a.Flows)
+	for i, f := range a.Functions {
+		nf := f
+		nf.Provides = append([]string(nil), f.Provides...)
+		nf.Requires = append([]string(nil), f.Requires...)
+		nf.Contract.AllowedPeers = append([]string(nil), f.Contract.AllowedPeers...)
+		out.Functions[i] = nf
+	}
+	return out
+}
+
+// WithFunction returns a copy of the architecture where fn replaces any
+// existing function of the same name (an in-field update), or is appended
+// (a new functionality).
+func (a *FunctionalArchitecture) WithFunction(fn Function) *FunctionalArchitecture {
+	out := a.Clone()
+	for i := range out.Functions {
+		if out.Functions[i].Name == fn.Name {
+			out.Functions[i] = fn
+			return out
+		}
+	}
+	out.Functions = append(out.Functions, fn)
+	return out
+}
+
+// WithoutFunction returns a copy of the architecture with the named function
+// and all flows touching it removed.
+func (a *FunctionalArchitecture) WithoutFunction(name string) *FunctionalArchitecture {
+	out := a.Clone()
+	kept := out.Functions[:0]
+	for _, f := range out.Functions {
+		if f.Name != name {
+			kept = append(kept, f)
+		}
+	}
+	out.Functions = kept
+	flows := out.Flows[:0]
+	for _, fl := range out.Flows {
+		if fl.From != name && fl.To != name {
+			flows = append(flows, fl)
+		}
+	}
+	out.Flows = flows
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is one deployed replica of a function.
+type Instance struct {
+	// Function is the name of the function this instance realizes.
+	Function string `json:"function"`
+	// Replica is the replica index (0-based).
+	Replica int `json:"replica"`
+	// Processor is the processing resource the instance is mapped to.
+	Processor string `json:"processor"`
+}
+
+// ID returns a unique identifier for the instance ("name#replica").
+func (i Instance) ID() string { return fmt.Sprintf("%s#%d", i.Function, i.Replica) }
+
+// TechnicalArchitecture is the result of the first integration step:
+// "fitting this functionality to the target platform" (Section II.A) —
+// every function replica is assigned to a processor.
+type TechnicalArchitecture struct {
+	Platform  *Platform               `json:"platform"`
+	Func      *FunctionalArchitecture `json:"functional"`
+	Instances []Instance              `json:"instances"`
+}
+
+// InstancesOn returns the instances mapped to the given processor,
+// in deterministic order.
+func (t *TechnicalArchitecture) InstancesOn(proc string) []Instance {
+	var out []Instance
+	for _, in := range t.Instances {
+		if in.Processor == proc {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// InstancesOf returns all replicas of the named function.
+func (t *TechnicalArchitecture) InstancesOf(fn string) []Instance {
+	var out []Instance
+	for _, in := range t.Instances {
+		if in.Function == fn {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// Validate checks that every instance references existing entities and that
+// replica counts match the functional architecture.
+func (t *TechnicalArchitecture) Validate() error {
+	if t.Platform == nil || t.Func == nil {
+		return fmt.Errorf("model: technical architecture missing platform or functional model")
+	}
+	if err := t.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := t.Func.Validate(); err != nil {
+		return err
+	}
+	count := make(map[string]int)
+	for _, in := range t.Instances {
+		f := t.Func.FunctionByName(in.Function)
+		if f == nil {
+			return fmt.Errorf("model: instance of unknown function %q", in.Function)
+		}
+		if t.Platform.ProcessorByName(in.Processor) == nil {
+			return fmt.Errorf("model: instance %s mapped to unknown processor %q", in.ID(), in.Processor)
+		}
+		count[in.Function]++
+	}
+	for i := range t.Func.Functions {
+		f := &t.Func.Functions[i]
+		if got, want := count[f.Name], f.EffectiveReplicas(); got != want {
+			return fmt.Errorf("model: function %q deployed %d times, contract wants %d", f.Name, got, want)
+		}
+	}
+	return nil
+}
+
+// Task is a schedulable entity in the implementation model, derived from a
+// function instance, ready for timing analysis.
+type Task struct {
+	// Name is the instance ID it realizes.
+	Name string `json:"name"`
+	// Processor is the resource the task executes on.
+	Processor string `json:"processor"`
+	// Priority is the static priority (lower number = higher priority).
+	Priority int `json:"priority"`
+	// PeriodUS, JitterUS, WCETUS, DeadlineUS mirror the contract, with
+	// WCET already scaled by the processor speed factor.
+	PeriodUS   int64 `json:"period_us"`
+	JitterUS   int64 `json:"jitter_us"`
+	WCETUS     int64 `json:"wcet_us"`
+	DeadlineUS int64 `json:"deadline_us"`
+	// Safety is the integrity level inherited from the contract.
+	Safety SafetyLevel `json:"safety"`
+}
+
+// Message is a periodic network message in the implementation model.
+type Message struct {
+	// Name identifies the message (derived from the flow).
+	Name string `json:"name"`
+	// Network carries the message.
+	Network string `json:"network"`
+	// Priority is the arbitration priority (lower = higher priority;
+	// for CAN this is the identifier).
+	Priority int `json:"priority"`
+	// Bytes is the payload size.
+	Bytes int `json:"bytes"`
+	// PeriodUS is the transmission period.
+	PeriodUS int64 `json:"period_us"`
+	// DeadlineUS is the latency bound (0 = period).
+	DeadlineUS int64 `json:"deadline_us"`
+}
+
+// Connection is a client/server session in the component-based execution
+// domain: "micro servers provide services that can be granted to other
+// components that require these services" (Section II.B).
+type Connection struct {
+	// Client and Server are instance IDs.
+	Client string `json:"client"`
+	Server string `json:"server"`
+	// Service names the granted service.
+	Service string `json:"service"`
+	// CrossDomain marks connections spanning security domains; these
+	// require an explicit AllowedPeers entry in the client contract.
+	CrossDomain bool `json:"cross_domain,omitempty"`
+}
+
+// ImplementationModel is the fully refined configuration the MCC hands to
+// the execution domain: tasks with priorities, network messages, and the
+// session/capability wiring.
+type ImplementationModel struct {
+	Tech        *TechnicalArchitecture `json:"tech"`
+	Tasks       []Task                 `json:"tasks"`
+	Messages    []Message              `json:"messages"`
+	Connections []Connection           `json:"connections"`
+}
+
+// TasksOn returns the tasks on a processor sorted by priority (highest,
+// i.e. numerically lowest, first).
+func (m *ImplementationModel) TasksOn(proc string) []Task {
+	var out []Task
+	for _, t := range m.Tasks {
+		if t.Processor == proc {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MessagesOn returns messages on a network sorted by priority.
+func (m *ImplementationModel) MessagesOn(net string) []Message {
+	var out []Message
+	for _, msg := range m.Messages {
+		if msg.Network == net {
+			out = append(out, msg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Validate checks structural consistency of the implementation model.
+func (m *ImplementationModel) Validate() error {
+	if m.Tech == nil {
+		return fmt.Errorf("model: implementation model without technical architecture")
+	}
+	if err := m.Tech.Validate(); err != nil {
+		return err
+	}
+	prioSeen := make(map[string]map[int]string) // processor -> priority -> task
+	for _, t := range m.Tasks {
+		if m.Tech.Platform.ProcessorByName(t.Processor) == nil {
+			return fmt.Errorf("model: task %q on unknown processor %q", t.Name, t.Processor)
+		}
+		if t.WCETUS <= 0 && t.PeriodUS > 0 {
+			return fmt.Errorf("model: periodic task %q without WCET", t.Name)
+		}
+		byPrio := prioSeen[t.Processor]
+		if byPrio == nil {
+			byPrio = make(map[int]string)
+			prioSeen[t.Processor] = byPrio
+		}
+		if other, dup := byPrio[t.Priority]; dup {
+			return fmt.Errorf("model: tasks %q and %q share priority %d on %q", other, t.Name, t.Priority, t.Processor)
+		}
+		byPrio[t.Priority] = t.Name
+	}
+	for _, msg := range m.Messages {
+		if m.Tech.Platform.NetworkByName(msg.Network) == nil {
+			return fmt.Errorf("model: message %q on unknown network %q", msg.Name, msg.Network)
+		}
+		if msg.Bytes < 0 || msg.PeriodUS <= 0 {
+			return fmt.Errorf("model: message %q has invalid size/period", msg.Name)
+		}
+	}
+	ids := make(map[string]bool)
+	for _, in := range m.Tech.Instances {
+		ids[in.ID()] = true
+	}
+	for _, c := range m.Connections {
+		if !ids[c.Client] || !ids[c.Server] {
+			return fmt.Errorf("model: connection %s -> %s references unknown instance", c.Client, c.Server)
+		}
+	}
+	return nil
+}
+
+// SystemModel bundles the deployed configuration for (de)serialization;
+// this is the on-disk format consumed by cmd/mcc.
+type SystemModel struct {
+	Platform   *Platform               `json:"platform"`
+	Functional *FunctionalArchitecture `json:"functional"`
+}
+
+// Validate checks both halves of the system model.
+func (s *SystemModel) Validate() error {
+	if s.Platform == nil || s.Functional == nil {
+		return fmt.Errorf("model: system model missing platform or functional architecture")
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return err
+	}
+	return s.Functional.Validate()
+}

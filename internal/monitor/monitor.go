@@ -1,0 +1,372 @@
+// Package monitor implements the run-time monitoring capabilities of the
+// CCC execution domain (Section II.B): monitors that (a) enforce model
+// assumptions — event-rate enforcement after [6] — or (b) extract run-time
+// metrics that are fed back into the model domain, "supervising certain
+// run-time properties, such as execution times, access patterns, or sensor
+// values".
+//
+// Monitors emit Deviations when observed behaviour departs from the
+// contracted model; the aggregator maintains the metric statistics that
+// the cross-layer self-representation (package core) consumes.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Severity grades a deviation.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+var severityNames = [...]string{"info", "warning", "critical"}
+
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// Deviation is a detected departure from modeled behaviour.
+type Deviation struct {
+	// Kind labels the deviation class ("wcet-exceeded", "deadline-miss",
+	// "rate-violation", "range-violation", "heartbeat-lost", ...).
+	Kind string
+	// Source names the monitored entity.
+	Source string
+	// Severity grades the deviation.
+	Severity Severity
+	// At is the detection time.
+	At sim.Time
+	// Observed and Bound quantify the violation where applicable.
+	Observed float64
+	Bound    float64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Sink receives deviations.
+type Sink func(Deviation)
+
+// multiSink fans a deviation out to several sinks.
+func multiSink(sinks []Sink) Sink {
+	return func(d Deviation) {
+		for _, s := range sinks {
+			s(d)
+		}
+	}
+}
+
+// BudgetMonitor supervises execution times and deadlines of completed jobs
+// against the contracted WCET. It implements the "execution times" bullet
+// of Section II.B and feeds the model-refinement loop: observed maxima are
+// retained so the model domain can tighten or relax its WCET assumptions.
+type BudgetMonitor struct {
+	source string
+	wcet   sim.Time
+	sink   Sink
+
+	// ObservedMax is the largest execution demand seen.
+	ObservedMax sim.Time
+	// Violations counts WCET overruns.
+	Violations int
+	// Misses counts deadline misses.
+	Misses int
+	// Jobs counts observed completions.
+	Jobs int
+}
+
+// NewBudgetMonitor creates a monitor for one task's execution budget.
+func NewBudgetMonitor(source string, wcet sim.Time, sinks ...Sink) *BudgetMonitor {
+	return &BudgetMonitor{source: source, wcet: wcet, sink: multiSink(sinks)}
+}
+
+// ObserveJob checks one completed job (exec = consumed wall time at
+// reference speed, finish/deadline absolute) and emits deviations.
+func (m *BudgetMonitor) ObserveJob(exec sim.Time, finish, deadline sim.Time) {
+	m.Jobs++
+	if exec > m.ObservedMax {
+		m.ObservedMax = exec
+	}
+	if exec > m.wcet {
+		m.Violations++
+		m.sink(Deviation{
+			Kind: "wcet-exceeded", Source: m.source, Severity: Warning, At: finish,
+			Observed: float64(exec), Bound: float64(m.wcet),
+			Detail: fmt.Sprintf("execution %v exceeds contracted WCET %v", exec, m.wcet),
+		})
+	}
+	if finish > deadline {
+		m.Misses++
+		m.sink(Deviation{
+			Kind: "deadline-miss", Source: m.source, Severity: Critical, At: finish,
+			Observed: float64(finish - deadline), Bound: 0,
+			Detail: fmt.Sprintf("finish %v after deadline %v", finish, deadline),
+		})
+	}
+}
+
+// RateMonitor enforces an event-rate bound with a leaky bucket, after the
+// multi-mode monitoring of [6]: arrivals conforming to a periodic-with-
+// jitter model (P, J) are admitted; excess arrivals are flagged and, in
+// enforcement mode, dropped. The bucket holds 1 + J/P tokens refilled at
+// rate 1/P.
+type RateMonitor struct {
+	source  string
+	period  sim.Time
+	depth   float64
+	enforce bool
+	sink    Sink
+
+	tokens   float64
+	lastFill sim.Time
+
+	// Admitted and Dropped count arrivals.
+	Admitted int
+	Dropped  int
+}
+
+// NewRateMonitor creates a leaky-bucket monitor for the event model
+// (period, jitter). If enforce is true, non-conforming events are dropped
+// (Arrival returns false); otherwise they are admitted but flagged.
+func NewRateMonitor(source string, period, jitter sim.Time, enforce bool, sinks ...Sink) *RateMonitor {
+	if period <= 0 {
+		panic("monitor: non-positive period")
+	}
+	depth := 1 + float64(jitter)/float64(period)
+	return &RateMonitor{
+		source: source, period: period, depth: depth, enforce: enforce,
+		sink: multiSink(sinks), tokens: depth,
+	}
+}
+
+// Arrival registers an event at time now and reports whether it conforms
+// (and, under enforcement, whether it is admitted).
+func (m *RateMonitor) Arrival(now sim.Time) bool {
+	// Refill.
+	if now > m.lastFill {
+		m.tokens += float64(now-m.lastFill) / float64(m.period)
+		if m.tokens > m.depth {
+			m.tokens = m.depth
+		}
+		m.lastFill = now
+	}
+	if m.tokens >= 1 {
+		m.tokens--
+		m.Admitted++
+		return true
+	}
+	m.sink(Deviation{
+		Kind: "rate-violation", Source: m.source, Severity: Warning, At: now,
+		Observed: m.depth - m.tokens, Bound: m.depth,
+		Detail: fmt.Sprintf("arrival exceeds contracted rate (period %v)", m.period),
+	})
+	if m.enforce {
+		m.Dropped++
+		return false
+	}
+	m.Admitted++
+	return true
+}
+
+// RangeMonitor supervises a scalar value against contracted bounds
+// ("sensor values" in Section II.B).
+type RangeMonitor struct {
+	source string
+	lo, hi float64
+	sink   Sink
+
+	// Violations counts out-of-range observations.
+	Violations int
+	// Last is the most recent value.
+	Last float64
+	// Samples counts observations.
+	Samples int
+}
+
+// NewRangeMonitor creates a monitor admitting values in [lo, hi].
+func NewRangeMonitor(source string, lo, hi float64, sinks ...Sink) *RangeMonitor {
+	if lo > hi {
+		panic("monitor: lo > hi")
+	}
+	return &RangeMonitor{source: source, lo: lo, hi: hi, sink: multiSink(sinks)}
+}
+
+// Observe checks one value.
+func (m *RangeMonitor) Observe(v float64, now sim.Time) bool {
+	m.Samples++
+	m.Last = v
+	if v < m.lo || v > m.hi {
+		m.Violations++
+		bound := m.hi
+		if v < m.lo {
+			bound = m.lo
+		}
+		m.sink(Deviation{
+			Kind: "range-violation", Source: m.source, Severity: Warning, At: now,
+			Observed: v, Bound: bound,
+			Detail: fmt.Sprintf("value %.4g outside [%.4g, %.4g]", v, m.lo, m.hi),
+		})
+		return false
+	}
+	return true
+}
+
+// Heartbeat detects missing liveness signals: if no Beat arrives within
+// the timeout, a heartbeat-lost deviation fires. This models the baseline
+// failure detection of SAFER [17] ("any degradation strategy is only
+// activated if the heartbeat of a sensor goes missing").
+type Heartbeat struct {
+	source  string
+	timeout sim.Time
+	s       *sim.Simulator
+	sink    Sink
+	timer   *sim.Event
+	stopped bool
+
+	// Beats counts received heartbeats; Lost counts timeouts.
+	Beats int
+	Lost  int
+}
+
+// NewHeartbeat starts supervision immediately; the first beat is expected
+// within timeout.
+func NewHeartbeat(s *sim.Simulator, source string, timeout sim.Time, sinks ...Sink) *Heartbeat {
+	if timeout <= 0 {
+		panic("monitor: non-positive heartbeat timeout")
+	}
+	h := &Heartbeat{source: source, timeout: timeout, s: s, sink: multiSink(sinks)}
+	h.arm()
+	return h
+}
+
+func (h *Heartbeat) arm() {
+	h.timer = h.s.Schedule(h.timeout, func() {
+		if h.stopped {
+			return
+		}
+		h.Lost++
+		h.sink(Deviation{
+			Kind: "heartbeat-lost", Source: h.source, Severity: Critical, At: h.s.Now(),
+			Observed: float64(h.timeout), Bound: float64(h.timeout),
+			Detail: fmt.Sprintf("no heartbeat within %v", h.timeout),
+		})
+		h.arm() // keep supervising; repeated losses fire repeatedly
+	})
+}
+
+// Beat registers a liveness signal and re-arms the timer.
+func (h *Heartbeat) Beat() {
+	if h.stopped {
+		return
+	}
+	h.Beats++
+	h.timer.Cancel()
+	h.arm()
+}
+
+// Stop ends supervision.
+func (h *Heartbeat) Stop() {
+	h.stopped = true
+	if h.timer != nil {
+		h.timer.Cancel()
+	}
+}
+
+// Stat summarizes the samples of one metric.
+type Stat struct {
+	Count     int
+	Min, Max  float64
+	Sum       float64
+	Last      float64
+	LastAt    sim.Time
+	FirstSeen sim.Time
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s Stat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Aggregator collects metric samples from all monitors and layers into the
+// consistent statistics the self-representation is built from: "the overall
+// monitoring concept must ensure that metrics from different layers can be
+// aggregated to a consistent self-representation of the system" (Section V).
+// It is safe for concurrent use (monitors on different simulated resources
+// may share one aggregator).
+type Aggregator struct {
+	mu    sync.Mutex
+	stats map[string]*Stat
+}
+
+// NewAggregator creates an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{stats: make(map[string]*Stat)}
+}
+
+// Record adds a sample of the named metric.
+func (a *Aggregator) Record(name string, v float64, now sim.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats[name]
+	if st == nil {
+		st = &Stat{Min: v, Max: v, FirstSeen: now}
+		a.stats[name] = st
+	}
+	if v < st.Min {
+		st.Min = v
+	}
+	if v > st.Max {
+		st.Max = v
+	}
+	st.Count++
+	st.Sum += v
+	st.Last = v
+	st.LastAt = now
+}
+
+// Get returns the statistics of a metric (zero Stat if unseen).
+func (a *Aggregator) Get(name string) Stat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.stats[name]; st != nil {
+		return *st
+	}
+	return Stat{}
+}
+
+// Names returns all metric names in sorted order.
+func (a *Aggregator) Names() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.stats))
+	for n := range a.stats {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all statistics.
+func (a *Aggregator) Snapshot() map[string]Stat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]Stat, len(a.stats))
+	for n, st := range a.stats {
+		out[n] = *st
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func collect(devs *[]Deviation) Sink {
+	return func(d Deviation) { *devs = append(*devs, d) }
+}
+
+func TestBudgetMonitorWCET(t *testing.T) {
+	var devs []Deviation
+	m := NewBudgetMonitor("task", 10*sim.Millisecond, collect(&devs))
+	m.ObserveJob(8*sim.Millisecond, 100, 200)
+	if len(devs) != 0 || m.Violations != 0 {
+		t.Fatalf("conforming job flagged: %v", devs)
+	}
+	m.ObserveJob(12*sim.Millisecond, 100, 200)
+	if m.Violations != 1 || len(devs) != 1 || devs[0].Kind != "wcet-exceeded" {
+		t.Fatalf("overrun not flagged: %v", devs)
+	}
+	if m.ObservedMax != 12*sim.Millisecond {
+		t.Fatalf("ObservedMax = %v", m.ObservedMax)
+	}
+	if m.Jobs != 2 {
+		t.Fatalf("Jobs = %d", m.Jobs)
+	}
+}
+
+func TestBudgetMonitorDeadline(t *testing.T) {
+	var devs []Deviation
+	m := NewBudgetMonitor("task", 10*sim.Millisecond, collect(&devs))
+	m.ObserveJob(5*sim.Millisecond, 300, 200) // finish after deadline
+	if m.Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+	found := false
+	for _, d := range devs {
+		if d.Kind == "deadline-miss" && d.Severity == Critical {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no critical deadline-miss deviation: %v", devs)
+	}
+}
+
+func TestRateMonitorConforming(t *testing.T) {
+	var devs []Deviation
+	m := NewRateMonitor("sensor", 10*sim.Millisecond, 0, true, collect(&devs))
+	for i := 0; i < 10; i++ {
+		if !m.Arrival(sim.Time(i) * 10 * sim.Millisecond) {
+			t.Fatalf("conforming arrival %d dropped", i)
+		}
+	}
+	if len(devs) != 0 || m.Dropped != 0 {
+		t.Fatalf("devs=%v dropped=%d", devs, m.Dropped)
+	}
+}
+
+func TestRateMonitorBurstDropped(t *testing.T) {
+	var devs []Deviation
+	m := NewRateMonitor("sensor", 10*sim.Millisecond, 0, true, collect(&devs))
+	if !m.Arrival(0) {
+		t.Fatal("first arrival dropped")
+	}
+	// Immediate second arrival: bucket empty.
+	if m.Arrival(1 * sim.Millisecond) {
+		t.Fatal("burst arrival admitted under enforcement")
+	}
+	if m.Dropped != 1 || len(devs) != 1 || devs[0].Kind != "rate-violation" {
+		t.Fatalf("dropped=%d devs=%v", m.Dropped, devs)
+	}
+}
+
+func TestRateMonitorJitterTolerance(t *testing.T) {
+	// J = P: bucket depth 2 admits a back-to-back pair.
+	m := NewRateMonitor("sensor", 10*sim.Millisecond, 10*sim.Millisecond, true)
+	if !m.Arrival(0) || !m.Arrival(0) {
+		t.Fatal("jitter-tolerant pair rejected")
+	}
+	if m.Arrival(0) {
+		t.Fatal("third simultaneous arrival admitted")
+	}
+}
+
+func TestRateMonitorDetectOnly(t *testing.T) {
+	var devs []Deviation
+	m := NewRateMonitor("sensor", 10*sim.Millisecond, 0, false, collect(&devs))
+	m.Arrival(0)
+	if !m.Arrival(0) {
+		t.Fatal("detect-only monitor dropped an event")
+	}
+	if len(devs) != 1 {
+		t.Fatalf("violation not flagged: %v", devs)
+	}
+	if m.Admitted != 2 {
+		t.Fatalf("Admitted = %d", m.Admitted)
+	}
+}
+
+// Property: arrivals spaced at >= period are always admitted, regardless of
+// the pattern before them, once the bucket had time to refill.
+func TestPropRateMonitorPeriodicAlwaysConforms(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		m := NewRateMonitor("x", 100, 0, true)
+		now := sim.Time(0)
+		for _, g := range gaps {
+			now += sim.Time(g%100) + 100 // gap >= period
+			if !m.Arrival(now) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMonitor(t *testing.T) {
+	var devs []Deviation
+	m := NewRangeMonitor("temp", -40, 125, collect(&devs))
+	if !m.Observe(25, 0) {
+		t.Fatal("in-range rejected")
+	}
+	if m.Observe(150, 1) {
+		t.Fatal("out-of-range accepted")
+	}
+	if m.Observe(-41, 2) {
+		t.Fatal("below-range accepted")
+	}
+	if m.Violations != 2 || len(devs) != 2 {
+		t.Fatalf("violations=%d devs=%d", m.Violations, len(devs))
+	}
+	if m.Last != -41 || m.Samples != 3 {
+		t.Fatalf("last=%v samples=%d", m.Last, m.Samples)
+	}
+}
+
+func TestHeartbeatLostAndRecovered(t *testing.T) {
+	s := sim.New()
+	var devs []Deviation
+	h := NewHeartbeat(s, "sensor", 10*sim.Millisecond, collect(&devs))
+	// Beats at 5, 12, 19 keep it alive until 19; timeout at 29.
+	for _, at := range []sim.Time{5, 12, 19} {
+		at := at
+		s.Schedule(at*sim.Millisecond, func() { h.Beat() })
+	}
+	if err := s.RunFor(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if h.Beats != 3 {
+		t.Fatalf("beats=%d", h.Beats)
+	}
+	// Losses at 29, 39, 49.
+	if h.Lost != 3 {
+		t.Fatalf("lost=%d, want 3", h.Lost)
+	}
+	if len(devs) != 3 || devs[0].Kind != "heartbeat-lost" || devs[0].At != 29*sim.Millisecond {
+		t.Fatalf("devs=%v", devs)
+	}
+}
+
+func TestHeartbeatStop(t *testing.T) {
+	s := sim.New()
+	var devs []Deviation
+	h := NewHeartbeat(s, "sensor", 10*sim.Millisecond, collect(&devs))
+	s.Schedule(5*sim.Millisecond, func() { h.Stop() })
+	if err := s.RunFor(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 0 || h.Lost != 0 {
+		t.Fatalf("stopped heartbeat fired: %v", devs)
+	}
+	h.Beat() // no-op after stop
+	if h.Beats != 0 {
+		t.Fatal("beat counted after stop")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator()
+	a.Record("cpu.util", 0.5, 10)
+	a.Record("cpu.util", 0.7, 20)
+	a.Record("cpu.util", 0.3, 30)
+	st := a.Get("cpu.util")
+	if st.Count != 3 || st.Min != 0.3 || st.Max != 0.7 || st.Last != 0.3 || st.LastAt != 30 {
+		t.Fatalf("stat=%+v", st)
+	}
+	if mean := st.Mean(); mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if got := a.Get("unknown"); got.Count != 0 || got.Mean() != 0 {
+		t.Fatalf("unknown stat=%+v", got)
+	}
+	a.Record("temp", 80, 5)
+	names := a.Names()
+	if len(names) != 2 || names[0] != "cpu.util" || names[1] != "temp" {
+		t.Fatalf("names=%v", names)
+	}
+	snap := a.Snapshot()
+	if len(snap) != 2 || snap["temp"].Last != 80 {
+		t.Fatalf("snapshot=%v", snap)
+	}
+	// Snapshot is a copy.
+	a.Record("temp", 90, 6)
+	if snap["temp"].Last != 80 {
+		t.Fatal("snapshot aliases live data")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" {
+		t.Fatal("severity names wrong")
+	}
+}
+
+func TestMultiSinkFanOut(t *testing.T) {
+	var a, b []Deviation
+	m := NewRangeMonitor("x", 0, 1, collect(&a), collect(&b))
+	m.Observe(5, 0)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("fan-out failed: %d %d", len(a), len(b))
+	}
+}

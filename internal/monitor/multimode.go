@@ -1,0 +1,137 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Multi-mode monitoring after Neukirchner et al. [6] ("Multi-Mode
+// Monitoring for Mixed-Criticality Real-time Systems"): a system that
+// switches operating modes (e.g. normal driving, degraded driving,
+// emergency) has a different contracted event model per mode. A monitor
+// that only knows the union bound misses violations that are illegal in
+// the current mode; a multi-mode monitor switches its bounds with the
+// system and handles the transition phase, during which events conforming
+// to either the outgoing or the incoming mode are tolerated.
+
+// Mode is one operating mode's event bound.
+type Mode struct {
+	Name   string
+	Period sim.Time
+	Jitter sim.Time
+}
+
+// MultiModeMonitor supervises an event stream against per-mode rate
+// bounds with tolerant mode transitions.
+type MultiModeMonitor struct {
+	source  string
+	modes   map[string]Mode
+	cur     *RateMonitor
+	curName string
+	// prev remains active during the transition window after a switch.
+	prev     *RateMonitor
+	prevName string
+	prevTill sim.Time
+	// TransitionWindow is how long the outgoing mode's bound is still
+	// accepted after a switch.
+	TransitionWindow sim.Time
+	enforce          bool
+	sinks            []Sink
+
+	// Switches counts mode changes.
+	Switches int
+}
+
+// NewMultiModeMonitor creates a monitor with the given modes, starting in
+// initial. The transition window defaults to one period of the initial
+// mode.
+func NewMultiModeMonitor(source string, modes []Mode, initial string, enforce bool, sinks ...Sink) (*MultiModeMonitor, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("monitor: no modes")
+	}
+	m := &MultiModeMonitor{
+		source:  source,
+		modes:   make(map[string]Mode, len(modes)),
+		enforce: enforce,
+		sinks:   sinks,
+	}
+	for _, md := range modes {
+		if md.Period <= 0 {
+			return nil, fmt.Errorf("monitor: mode %q has non-positive period", md.Name)
+		}
+		if _, dup := m.modes[md.Name]; dup {
+			return nil, fmt.Errorf("monitor: duplicate mode %q", md.Name)
+		}
+		m.modes[md.Name] = md
+	}
+	init, ok := m.modes[initial]
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown initial mode %q", initial)
+	}
+	// The inner rate monitors carry no sinks and always enforce: an event
+	// rejected by the current mode may still be legitimate under the
+	// outgoing mode during a transition, so deviations (and, if enabled,
+	// enforcement) are decided only on final rejection.
+	m.cur = NewRateMonitor(source+"/"+initial, init.Period, init.Jitter, true)
+	m.curName = initial
+	m.TransitionWindow = init.Period
+	return m, nil
+}
+
+// Modes returns the configured mode names, sorted.
+func (m *MultiModeMonitor) Modes() []string {
+	out := make([]string, 0, len(m.modes))
+	for n := range m.modes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mode returns the active mode name.
+func (m *MultiModeMonitor) Mode() string { return m.curName }
+
+// Switch changes the active mode at time now. The outgoing mode's bound
+// remains acceptable for TransitionWindow.
+func (m *MultiModeMonitor) Switch(mode string, now sim.Time) error {
+	md, ok := m.modes[mode]
+	if !ok {
+		return fmt.Errorf("monitor: unknown mode %q", mode)
+	}
+	if mode == m.curName {
+		return nil
+	}
+	m.prev = m.cur
+	m.prevName = m.curName
+	m.prevTill = now + m.TransitionWindow
+	m.cur = NewRateMonitor(m.source+"/"+mode, md.Period, md.Jitter, true)
+	m.curName = mode
+	m.Switches++
+	return nil
+}
+
+// Arrival checks one event against the active mode (and, within the
+// transition window, the outgoing mode). It reports conformance; a
+// deviation is emitted only when the event conforms to neither bound.
+func (m *MultiModeMonitor) Arrival(now sim.Time) bool {
+	if m.prev != nil && now > m.prevTill {
+		m.prev = nil
+	}
+	// Check the current mode first; consume its token if conforming.
+	if m.cur.Arrival(now) {
+		return true
+	}
+	// During a transition, the old mode's bound still legitimizes events.
+	if m.prev != nil && m.prev.Arrival(now) {
+		return true
+	}
+	for _, s := range m.sinks {
+		s(Deviation{
+			Kind: "rate-violation", Source: m.source, Severity: Warning, At: now,
+			Detail: fmt.Sprintf("arrival conforms to neither mode %q nor outgoing bound", m.curName),
+		})
+	}
+	return !m.enforce // detect-only monitors admit flagged events
+}

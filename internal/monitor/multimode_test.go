@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testModes() []Mode {
+	return []Mode{
+		{Name: "normal", Period: 10 * sim.Millisecond},
+		{Name: "degraded", Period: 50 * sim.Millisecond},
+	}
+}
+
+func TestMultiModeConformingInMode(t *testing.T) {
+	var devs []Deviation
+	m, err := NewMultiModeMonitor("ctl", testModes(), "normal", true, collect(&devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !m.Arrival(sim.Time(i) * 10 * sim.Millisecond) {
+			t.Fatalf("conforming arrival %d rejected", i)
+		}
+	}
+	if len(devs) != 0 {
+		t.Fatalf("devs = %v", devs)
+	}
+	if m.Mode() != "normal" {
+		t.Fatalf("mode = %s", m.Mode())
+	}
+}
+
+func TestMultiModeStricterAfterSwitch(t *testing.T) {
+	var devs []Deviation
+	m, err := NewMultiModeMonitor("ctl", testModes(), "normal", true, collect(&devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run in normal (10ms) for a while.
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		m.Arrival(now)
+		now += 10 * sim.Millisecond
+	}
+	// Switch to degraded (50ms) at t=50ms.
+	if err := m.Switch("degraded", now); err != nil {
+		t.Fatal(err)
+	}
+	if m.Switches != 1 || m.Mode() != "degraded" {
+		t.Fatalf("switches=%d mode=%s", m.Switches, m.Mode())
+	}
+	// During the transition window (one normal period = 10ms), the old
+	// 10ms rate is still fine.
+	if !m.Arrival(now + 5*sim.Millisecond) {
+		t.Fatal("transition-window arrival rejected")
+	}
+	// Well past the window, 10ms-rate events violate the 50ms mode.
+	// The degraded bucket admitted the event at now+5ms... advance to
+	// refill once, then send a burst at the old fast rate.
+	base := now + 100*sim.Millisecond
+	ok1 := m.Arrival(base)
+	ok2 := m.Arrival(base + 10*sim.Millisecond) // too fast for 50ms mode
+	if !ok1 {
+		t.Fatal("refilled arrival rejected")
+	}
+	if ok2 {
+		t.Fatal("fast arrival admitted in degraded mode")
+	}
+	if len(devs) == 0 {
+		t.Fatal("no deviation on final rejection")
+	}
+}
+
+func TestMultiModeDetectOnlyAdmits(t *testing.T) {
+	var devs []Deviation
+	m, err := NewMultiModeMonitor("ctl", testModes(), "degraded", false, collect(&devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Arrival(0)
+	if !m.Arrival(1 * sim.Millisecond) {
+		t.Fatal("detect-only monitor rejected an event")
+	}
+	if len(devs) != 1 {
+		t.Fatalf("devs = %d", len(devs))
+	}
+}
+
+func TestMultiModeValidation(t *testing.T) {
+	if _, err := NewMultiModeMonitor("x", nil, "normal", true); err == nil {
+		t.Fatal("no modes accepted")
+	}
+	if _, err := NewMultiModeMonitor("x", testModes(), "ghost", true); err == nil {
+		t.Fatal("unknown initial accepted")
+	}
+	dup := []Mode{{Name: "a", Period: 1}, {Name: "a", Period: 2}}
+	if _, err := NewMultiModeMonitor("x", dup, "a", true); err == nil {
+		t.Fatal("duplicate mode accepted")
+	}
+	bad := []Mode{{Name: "a", Period: 0}}
+	if _, err := NewMultiModeMonitor("x", bad, "a", true); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	m, err := NewMultiModeMonitor("x", testModes(), "normal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Switch("ghost", 0); err == nil {
+		t.Fatal("switch to unknown mode accepted")
+	}
+	if err := m.Switch("normal", 0); err != nil || m.Switches != 0 {
+		t.Fatal("self-switch should be a no-op")
+	}
+	modes := m.Modes()
+	if len(modes) != 2 || modes[0] != "degraded" {
+		t.Fatalf("modes = %v", modes)
+	}
+}
+
+func TestMultiModeTransitionWindowExpires(t *testing.T) {
+	m, err := NewMultiModeMonitor("ctl", testModes(), "normal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TransitionWindow = 20 * sim.Millisecond
+	if err := m.Switch("degraded", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the window: old rate OK (new bucket absorbs the first, old
+	// bucket the second).
+	if !m.Arrival(1*sim.Millisecond) || !m.Arrival(11*sim.Millisecond) {
+		t.Fatal("window arrivals rejected")
+	}
+	// After the window, a burst beyond the degraded bound fails.
+	if !m.Arrival(100 * sim.Millisecond) {
+		t.Fatal("refilled arrival rejected")
+	}
+	if m.Arrival(101 * sim.Millisecond) {
+		t.Fatal("burst admitted after window expiry")
+	}
+}

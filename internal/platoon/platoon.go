@@ -1,0 +1,288 @@
+// Package platoon implements the cooperative-driving scenario of Section V:
+// vehicles agreeing "on a common velocity or a minimum distance between
+// vehicles in a platoon", where "the communication to or the platform of
+// another vehicle might not be fully trustworthy or even compromised".
+//
+// Agreement uses a trimmed-median consensus that tolerates up to f
+// byzantine members among n > 3f (arbitrary proposals cannot drag the
+// agreed value outside the honest range). Trust scores track each member's
+// deviation history, and persistently deviating members are identified for
+// ejection. The fog use case — a vehicle with degraded perception joining
+// a better-equipped platoon to keep driving — is modeled by FogPolicy.
+package platoon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Proposal is one member's claimed value in an agreement round.
+type Proposal struct {
+	Member string
+	Value  float64
+}
+
+// Member is a platoon participant. The Propose function produces its
+// claimed value for an agreement round (a compromised member may return
+// anything).
+type Member struct {
+	ID      string
+	Propose func(round int) float64
+	// Trust in [0,1]; starts at 1 and decays with observed deviation.
+	Trust float64
+}
+
+// Platoon is a set of members running agreement rounds.
+type Platoon struct {
+	members []*Member
+	// TrustDecay scales how fast deviation erodes trust. Default 0.3.
+	TrustDecay float64
+	// DeviationTolerance is the deviation (fraction of the agreed value)
+	// considered honest. Default 0.1.
+	DeviationTolerance float64
+
+	round int
+}
+
+// New creates an empty platoon.
+func New() *Platoon {
+	return &Platoon{TrustDecay: 0.3, DeviationTolerance: 0.1}
+}
+
+// Join adds a member with full initial trust.
+func (p *Platoon) Join(id string, propose func(round int) float64) (*Member, error) {
+	for _, m := range p.members {
+		if m.ID == id {
+			return nil, fmt.Errorf("platoon: duplicate member %q", id)
+		}
+	}
+	m := &Member{ID: id, Propose: propose, Trust: 1}
+	p.members = append(p.members, m)
+	return m, nil
+}
+
+// Leave removes a member.
+func (p *Platoon) Leave(id string) error {
+	for i, m := range p.members {
+		if m.ID == id {
+			p.members = append(p.members[:i], p.members[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("platoon: no member %q", id)
+}
+
+// Size returns the number of members.
+func (p *Platoon) Size() int { return len(p.members) }
+
+// Members returns the member IDs in join order.
+func (p *Platoon) Members() []string {
+	out := make([]string, len(p.members))
+	for i, m := range p.members {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// Trust returns a member's trust score (0 if unknown).
+func (p *Platoon) Trust(id string) float64 {
+	for _, m := range p.members {
+		if m.ID == id {
+			return m.Trust
+		}
+	}
+	return 0
+}
+
+// RoundResult is the outcome of one agreement round.
+type RoundResult struct {
+	Round     int
+	Agreed    float64
+	Proposals []Proposal
+	// Deviants lists members whose proposal deviated beyond tolerance.
+	Deviants []string
+}
+
+// AgreeVelocity runs one agreement round tolerating up to f byzantine
+// members: proposals are sorted and the f lowest and f highest are
+// trimmed; the agreed value is the median of the remainder. It requires
+// n >= 3f+1 members. Trust scores are updated from each member's
+// deviation.
+func (p *Platoon) AgreeVelocity(f int) (RoundResult, error) {
+	n := len(p.members)
+	if f < 0 {
+		return RoundResult{}, fmt.Errorf("platoon: negative fault bound")
+	}
+	if n < 3*f+1 {
+		return RoundResult{}, fmt.Errorf("platoon: %d members cannot tolerate %d byzantine (need >= %d)", n, f, 3*f+1)
+	}
+	p.round++
+	res := RoundResult{Round: p.round}
+	for _, m := range p.members {
+		res.Proposals = append(res.Proposals, Proposal{Member: m.ID, Value: m.Propose(p.round)})
+	}
+	vals := make([]float64, n)
+	for i, pr := range res.Proposals {
+		vals[i] = pr.Value
+	}
+	sort.Float64s(vals)
+	trimmed := vals[f : n-f]
+	res.Agreed = median(trimmed)
+
+	// Trust update.
+	for i := range p.members {
+		m := p.members[i]
+		dev := math.Abs(res.Proposals[i].Value - res.Agreed)
+		ref := math.Max(math.Abs(res.Agreed), 1)
+		rel := dev / ref
+		if rel > p.DeviationTolerance {
+			m.Trust -= p.TrustDecay * math.Min(rel, 1)
+			if m.Trust < 0 {
+				m.Trust = 0
+			}
+			res.Deviants = append(res.Deviants, m.ID)
+		} else if m.Trust < 1 {
+			m.Trust += 0.05 // slow recovery for honest behaviour
+			if m.Trust > 1 {
+				m.Trust = 1
+			}
+		}
+	}
+	sort.Strings(res.Deviants)
+	return res, nil
+}
+
+// Untrusted returns members whose trust fell below the threshold, sorted
+// ascending by trust (worst first) — the ejection candidates.
+func (p *Platoon) Untrusted(threshold float64) []string {
+	var out []*Member
+	for _, m := range p.members {
+		if m.Trust < threshold {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trust != out[j].Trust {
+			return out[i].Trust < out[j].Trust
+		}
+		return out[i].ID < out[j].ID
+	})
+	ids := make([]string, len(out))
+	for i, m := range out {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// AgreeGap runs one agreement round on the platoon's minimum inter-vehicle
+// distance. Unlike velocity (where the median is the natural choice), the
+// gap decision is safety-asymmetric: too small is dangerous, too large
+// merely inefficient. The agreed value is therefore the *maximum* of the
+// trimmed proposals — any honest member demanding a larger gap (e.g.
+// because its brakes are degraded) wins, while up to f byzantine members
+// can neither force a dangerously small gap nor inflate it beyond the
+// largest honest demand. Requires n >= 3f+1.
+func (p *Platoon) AgreeGap(f int) (RoundResult, error) {
+	n := len(p.members)
+	if f < 0 {
+		return RoundResult{}, fmt.Errorf("platoon: negative fault bound")
+	}
+	if n < 3*f+1 {
+		return RoundResult{}, fmt.Errorf("platoon: %d members cannot tolerate %d byzantine (need >= %d)", n, f, 3*f+1)
+	}
+	p.round++
+	res := RoundResult{Round: p.round}
+	for _, m := range p.members {
+		res.Proposals = append(res.Proposals, Proposal{Member: m.ID, Value: m.Propose(p.round)})
+	}
+	vals := make([]float64, n)
+	for i, pr := range res.Proposals {
+		vals[i] = pr.Value
+	}
+	sort.Float64s(vals)
+	trimmed := vals[f : n-f]
+	res.Agreed = trimmed[len(trimmed)-1] // conservative: largest surviving demand
+
+	for i := range p.members {
+		m := p.members[i]
+		dev := math.Abs(res.Proposals[i].Value - res.Agreed)
+		ref := math.Max(math.Abs(res.Agreed), 1)
+		if dev/ref > 0.5 { // gap proposals legitimately spread; only flag gross lies
+			m.Trust -= p.TrustDecay
+			if m.Trust < 0 {
+				m.Trust = 0
+			}
+			res.Deviants = append(res.Deviants, m.ID)
+		}
+	}
+	sort.Strings(res.Deviants)
+	return res, nil
+}
+
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// FogPolicy decides the safe speed of a vehicle in poor visibility —
+// Section V: "driving in dense fog with inappropriate or broken sensors
+// will not be possible by a single autonomous vehicle. Nevertheless,
+// building a platoon with better equipped vehicles could still be a
+// viable option."
+type FogPolicy struct {
+	// VisibilityM is the optical visibility.
+	VisibilityM float64
+	// SensorRangeFrac scales the vehicle's own effective sensor range in
+	// fog, in [0,1] (1 = fog-rated sensors).
+	SensorRangeFrac float64
+	// ReactionS is the worst-case reaction time budget.
+	ReactionS float64
+	// MaxDecel is the achievable deceleration (m/s^2).
+	MaxDecel float64
+}
+
+// SoloSpeed returns the speed at which the vehicle can stop within its own
+// perception range: solve v*t_r + v^2/(2a) = range.
+func (f FogPolicy) SoloSpeed() float64 {
+	r := f.VisibilityM * f.SensorRangeFrac
+	if r <= 0 || f.MaxDecel <= 0 {
+		return 0
+	}
+	// v^2/(2a) + v*tr - r = 0 -> v = a*(-tr + sqrt(tr^2 + 2r/a)).
+	tr := f.ReactionS
+	a := f.MaxDecel
+	v := a * (-tr + math.Sqrt(tr*tr+2*r/a))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PlatoonSpeed returns the speed achievable when following a lead vehicle
+// whose perception is leadRangeFrac fog-rated: the follower only needs to
+// track the immediate predecessor at gap gapM, relying on platoon-internal
+// communication rather than its own long-range perception. The platoon
+// travels at the *lead's* safe speed, bounded by what the follower can
+// manage from gap tracking.
+func (f FogPolicy) PlatoonSpeed(leadRangeFrac, gapM float64) float64 {
+	lead := FogPolicy{
+		VisibilityM:     f.VisibilityM,
+		SensorRangeFrac: leadRangeFrac,
+		ReactionS:       f.ReactionS,
+		MaxDecel:        f.MaxDecel,
+	}
+	leadSpeed := lead.SoloSpeed()
+	// Follower constraint: from the communicated braking signal it reacts
+	// within a short V2V latency; the gap must absorb the reaction
+	// distance (same decel assumed).
+	const v2vReactionS = 0.2
+	followerCap := gapM / v2vReactionS
+	return math.Min(leadSpeed, followerCap)
+}

@@ -1,0 +1,310 @@
+// Package routing implements weather-aware route planning under
+// uncertainty (Section V): "if the system was aware, that its systems may
+// degrade on a certain route due to possible weather influences, it could
+// plan alternative routes which avoid weather-related degradation. In this
+// case, a self-aware vehicle could determine whether it plans a (possibly
+// shorter) route across an alpine pass in winter or whether it is
+// advantageous to take a longer detour without risking degraded
+// performance."
+//
+// Roads carry a weather-dependent degradation risk; the planner minimizes
+// expected cost = travel time + risk-weighted degradation penalty. The
+// penalty weight expresses how much the vehicle values avoiding degraded
+// operation; sweeping it produces the crossover of experiment E8.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Road is a directed edge of the road network.
+type Road struct {
+	From, To string
+	// LengthKM is the road length.
+	LengthKM float64
+	// SpeedKMH is the nominal travel speed.
+	SpeedKMH float64
+	// DegradeProb is the probability (given current weather) that the
+	// vehicle's perception/traction degrades on this road.
+	DegradeProb float64
+	// DegradeSlowdown is the factor by which degraded operation inflates
+	// the travel time on this road (>= 1).
+	DegradeSlowdown float64
+}
+
+// NominalTimeH returns the undegraded travel time in hours.
+func (r Road) NominalTimeH() float64 { return r.LengthKM / r.SpeedKMH }
+
+// ExpectedTimeH returns the expected travel time including degradation.
+func (r Road) ExpectedTimeH() float64 {
+	slow := r.DegradeSlowdown
+	if slow < 1 {
+		slow = 1
+	}
+	return r.NominalTimeH() * (1 + r.DegradeProb*(slow-1))
+}
+
+// Validate checks the edge parameters.
+func (r Road) Validate() error {
+	if r.LengthKM <= 0 || r.SpeedKMH <= 0 {
+		return fmt.Errorf("routing: road %s->%s has non-positive length/speed", r.From, r.To)
+	}
+	if r.DegradeProb < 0 || r.DegradeProb > 1 {
+		return fmt.Errorf("routing: road %s->%s degrade probability %v outside [0,1]", r.From, r.To, r.DegradeProb)
+	}
+	if r.DegradeSlowdown < 1 && r.DegradeSlowdown != 0 {
+		return fmt.Errorf("routing: road %s->%s slowdown %v below 1", r.From, r.To, r.DegradeSlowdown)
+	}
+	return nil
+}
+
+// Network is the road graph.
+type Network struct {
+	edges map[string][]Road
+	nodes map[string]bool
+}
+
+// NewNetwork returns an empty road network.
+func NewNetwork() *Network {
+	return &Network{edges: make(map[string][]Road), nodes: make(map[string]bool)}
+}
+
+// AddRoad inserts a directed road.
+func (n *Network) AddRoad(r Road) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	n.edges[r.From] = append(n.edges[r.From], r)
+	n.nodes[r.From] = true
+	n.nodes[r.To] = true
+	return nil
+}
+
+// AddBidirectional inserts the road in both directions.
+func (n *Network) AddBidirectional(r Road) error {
+	if err := n.AddRoad(r); err != nil {
+		return err
+	}
+	back := r
+	back.From, back.To = r.To, r.From
+	return n.AddRoad(back)
+}
+
+// Nodes returns all junction names, sorted.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for k := range n.nodes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Route is a planned path with its cost breakdown.
+type Route struct {
+	Nodes []string
+	// TimeH is the expected travel time (hours).
+	TimeH float64
+	// RiskCost is the accumulated degradation penalty (hours-equivalent).
+	RiskCost float64
+	// ExpectedDegradations sums the per-road degradation probabilities
+	// (expected number of degraded segments).
+	ExpectedDegradations float64
+}
+
+// TotalCost returns TimeH + RiskCost.
+func (r Route) TotalCost() float64 { return r.TimeH + r.RiskCost }
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node string
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Plan finds the minimum-cost route from src to dst where each road costs
+//
+//	expectedTime + riskWeight * degradeProb * nominalTime
+//
+// riskWeight = 0 plans purely by expected time; larger values make the
+// planner increasingly degradation-averse (a self-aware vehicle that knows
+// its fog performance is poor chooses a large weight).
+func (n *Network) Plan(src, dst string, riskWeight float64) (Route, error) {
+	if !n.nodes[src] || !n.nodes[dst] {
+		return Route{}, fmt.Errorf("routing: unknown endpoint %q or %q", src, dst)
+	}
+	if riskWeight < 0 {
+		return Route{}, fmt.Errorf("routing: negative risk weight")
+	}
+	dist := map[string]float64{src: 0}
+	prev := map[string]string{}
+	done := map[string]bool{}
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		for _, e := range n.edges[it.node] {
+			c := e.ExpectedTimeH() + riskWeight*e.DegradeProb*e.NominalTimeH()
+			nd := it.cost + c
+			if old, seen := dist[e.To]; !seen || nd < old-1e-15 {
+				dist[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(q, pqItem{node: e.To, cost: nd})
+			}
+		}
+	}
+	if !done[dst] {
+		return Route{}, fmt.Errorf("routing: no route %s -> %s", src, dst)
+	}
+	// Reconstruct and compute the breakdown.
+	var nodes []string
+	for cur := dst; ; cur = prev[cur] {
+		nodes = append([]string{cur}, nodes...)
+		if cur == src {
+			break
+		}
+	}
+	route := Route{Nodes: nodes}
+	for i := 0; i+1 < len(nodes); i++ {
+		e, err := n.edgeBetween(nodes[i], nodes[i+1], riskWeight)
+		if err != nil {
+			return Route{}, err
+		}
+		route.TimeH += e.ExpectedTimeH()
+		route.RiskCost += riskWeight * e.DegradeProb * e.NominalTimeH()
+		route.ExpectedDegradations += e.DegradeProb
+	}
+	return route, nil
+}
+
+// edgeBetween returns the cheapest edge from a to b under the weight
+// (there may be parallel roads).
+func (n *Network) edgeBetween(a, b string, riskWeight float64) (Road, error) {
+	best := Road{}
+	bestCost := math.Inf(1)
+	for _, e := range n.edges[a] {
+		if e.To != b {
+			continue
+		}
+		c := e.ExpectedTimeH() + riskWeight*e.DegradeProb*e.NominalTimeH()
+		if c < bestCost {
+			best = e
+			bestCost = c
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Road{}, fmt.Errorf("routing: no edge %s -> %s", a, b)
+	}
+	return best, nil
+}
+
+// CrossoverWeight finds the smallest risk weight (by bisection over
+// [0, maxWeight]) at which the planner switches away from the route chosen
+// at weight 0, or -1 if it never switches. This locates the alpine-pass /
+// detour crossover of E8.
+func (n *Network) CrossoverWeight(src, dst string, maxWeight float64) (float64, error) {
+	base, err := n.Plan(src, dst, 0)
+	if err != nil {
+		return 0, err
+	}
+	high, err := n.Plan(src, dst, maxWeight)
+	if err != nil {
+		return 0, err
+	}
+	if samePath(base.Nodes, high.Nodes) {
+		return -1, nil
+	}
+	lo, hi := 0.0, maxWeight
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		r, err := n.Plan(src, dst, mid)
+		if err != nil {
+			return 0, err
+		}
+		if samePath(r.Nodes, base.Nodes) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightFromSelfAssessment derives the degradation-aversion weight from
+// the vehicle's self-assessed competence for the adverse condition (fog /
+// winter ability level in [0,1]): a fully competent vehicle (1.0) plans
+// nearly risk-neutrally; a vehicle that knows its sensors degrade in the
+// condition weighs degradation heavily. This is the cross-layer link of
+// Section V: the functional layer's self-assessment parameterizes the
+// objective layer's route planning.
+func WeightFromSelfAssessment(conditionAbility float64) float64 {
+	if conditionAbility < 0 {
+		conditionAbility = 0
+	}
+	if conditionAbility > 1 {
+		conditionAbility = 1
+	}
+	// ability 1.0 -> 0; 0.5 -> 8; 0.0 -> 16 (scaled so the alpine
+	// scenario's crossover (~4.3) falls around ability 0.73).
+	return 16 * (1 - conditionAbility)
+}
+
+// AlpineScenario builds the paper's worked example: a short pass route
+// with winter degradation risk versus a longer, safe valley detour.
+// passRisk is the degradation probability on the pass segments.
+func AlpineScenario(passRisk float64) *Network {
+	n := NewNetwork()
+	roads := []Road{
+		// The pass: 60 km over the mountain, scenic but risky in winter.
+		{From: "start", To: "pass", LengthKM: 30, SpeedKMH: 60, DegradeProb: passRisk, DegradeSlowdown: 3},
+		{From: "pass", To: "goal", LengthKM: 30, SpeedKMH: 60, DegradeProb: passRisk, DegradeSlowdown: 3},
+		// The detour: 120 km of valley highway, essentially risk-free.
+		{From: "start", To: "valley", LengthKM: 60, SpeedKMH: 100, DegradeProb: 0.02, DegradeSlowdown: 1.5},
+		{From: "valley", To: "goal", LengthKM: 60, SpeedKMH: 100, DegradeProb: 0.02, DegradeSlowdown: 1.5},
+	}
+	for _, r := range roads {
+		if err := n.AddBidirectional(r); err != nil {
+			panic(err) // static data; cannot fail
+		}
+	}
+	return n
+}

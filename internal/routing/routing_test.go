@@ -1,0 +1,232 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoadValidate(t *testing.T) {
+	ok := Road{From: "a", To: "b", LengthKM: 10, SpeedKMH: 50, DegradeProb: 0.1, DegradeSlowdown: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.LengthKM = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	bad = ok
+	bad.DegradeProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	bad = ok
+	bad.DegradeSlowdown = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("slowdown < 1 accepted")
+	}
+}
+
+func TestExpectedTime(t *testing.T) {
+	r := Road{LengthKM: 100, SpeedKMH: 50, DegradeProb: 0.5, DegradeSlowdown: 3}
+	if r.NominalTimeH() != 2 {
+		t.Fatalf("nominal = %v", r.NominalTimeH())
+	}
+	// expected = 2 * (1 + 0.5*2) = 4.
+	if r.ExpectedTimeH() != 4 {
+		t.Fatalf("expected = %v", r.ExpectedTimeH())
+	}
+}
+
+func TestPlanShortestByTime(t *testing.T) {
+	n := NewNetwork()
+	for _, r := range []Road{
+		{From: "a", To: "b", LengthKM: 10, SpeedKMH: 100},
+		{From: "b", To: "c", LengthKM: 10, SpeedKMH: 100},
+		{From: "a", To: "c", LengthKM: 50, SpeedKMH: 100},
+	} {
+		if err := n.AddRoad(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route, err := n.Plan("a", "c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route.Nodes) != 3 || route.Nodes[1] != "b" {
+		t.Fatalf("route = %v", route.Nodes)
+	}
+	if math.Abs(route.TimeH-0.2) > 1e-12 {
+		t.Fatalf("time = %v", route.TimeH)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddRoad(Road{From: "a", To: "b", LengthKM: 1, SpeedKMH: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Plan("a", "ghost", 0); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := n.Plan("b", "a", 0); err == nil {
+		t.Fatal("unreachable accepted (directed)")
+	}
+	if _, err := n.Plan("a", "b", -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestAlpineCrossover(t *testing.T) {
+	// Winter: pass risk 0.4.
+	n := AlpineScenario(0.4)
+	// Risk-neutral: the pass (1h nominal, expected 1h*(1+0.4*2)=1.8h) vs
+	// detour (1.2h * (1+0.02*0.5)=1.212h) — detour is already faster in
+	// expectation! Use lower risk so the pass wins at weight 0.
+	n = AlpineScenario(0.05)
+	fast, err := n.Plan("start", "goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Nodes[1] != "pass" {
+		t.Fatalf("risk-neutral route = %v, want pass", fast.Nodes)
+	}
+	// Strongly degradation-averse: takes the valley.
+	safe, err := n.Plan("start", "goal", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Nodes[1] != "valley" {
+		t.Fatalf("risk-averse route = %v, want valley", safe.Nodes)
+	}
+	if safe.ExpectedDegradations >= fast.ExpectedDegradations {
+		t.Fatalf("safe route not actually safer: %v vs %v",
+			safe.ExpectedDegradations, fast.ExpectedDegradations)
+	}
+	// Crossover exists and is inside (0, 10).
+	w, err := n.CrossoverWeight("start", "goal", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w >= 10 {
+		t.Fatalf("crossover = %v", w)
+	}
+	// Just below: pass; just above: valley.
+	below, _ := n.Plan("start", "goal", w*0.9)
+	above, _ := n.Plan("start", "goal", w*1.1)
+	if below.Nodes[1] != "pass" || above.Nodes[1] != "valley" {
+		t.Fatalf("crossover inconsistent: %v / %v", below.Nodes, above.Nodes)
+	}
+}
+
+func TestHighWinterRiskFlipsAtZero(t *testing.T) {
+	// With pass risk 0.4 the detour wins even risk-neutrally (expected
+	// time alone): no crossover.
+	n := AlpineScenario(0.4)
+	r, err := n.Plan("start", "goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes[1] != "valley" {
+		t.Fatalf("winter route = %v, want valley", r.Nodes)
+	}
+	w, err := n.CrossoverWeight("start", "goal", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != -1 {
+		t.Fatalf("crossover = %v, want -1 (never switches)", w)
+	}
+}
+
+func TestRouteTotalCost(t *testing.T) {
+	r := Route{TimeH: 1.5, RiskCost: 0.3}
+	if r.TotalCost() != 1.8 {
+		t.Fatalf("total = %v", r.TotalCost())
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := AlpineScenario(0.1)
+	nodes := n.Nodes()
+	if len(nodes) != 4 || nodes[0] != "goal" || nodes[3] != "valley" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestWeightFromSelfAssessment(t *testing.T) {
+	if WeightFromSelfAssessment(1) != 0 {
+		t.Fatal("competent vehicle not risk-neutral")
+	}
+	if WeightFromSelfAssessment(0) != 16 {
+		t.Fatalf("incompetent weight = %v", WeightFromSelfAssessment(0))
+	}
+	if WeightFromSelfAssessment(-1) != 16 || WeightFromSelfAssessment(2) != 0 {
+		t.Fatal("clamping failed")
+	}
+	// The cross-layer story: a fog-competent vehicle takes the pass, a
+	// fog-blind one the detour, on the same network with the same weather.
+	n := AlpineScenario(0.05)
+	competent, err := n.Plan("start", "goal", WeightFromSelfAssessment(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := n.Plan("start", "goal", WeightFromSelfAssessment(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if competent.Nodes[1] != "pass" {
+		t.Fatalf("competent via %v", competent.Nodes)
+	}
+	if blind.Nodes[1] != "valley" {
+		t.Fatalf("blind via %v", blind.Nodes)
+	}
+}
+
+// Property: the planned route's cost is monotone non-decreasing in the
+// risk weight (more aversion can only cost more in the combined metric).
+func TestPropCostMonotoneInWeight(t *testing.T) {
+	n := AlpineScenario(0.15)
+	f := func(w1Raw, w2Raw uint8) bool {
+		w1 := float64(w1Raw) / 16
+		w2 := float64(w2Raw) / 16
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		r1, err1 := n.Plan("start", "goal", w1)
+		r2, err2 := n.Plan("start", "goal", w2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Compare achievable optimum cost at w1 evaluated with weight w1
+		// vs optimum at w2 with weight w2: the latter cannot be smaller
+		// than the former (weights only add cost).
+		return r2.TotalCost() >= r1.TotalCost()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expected degradations on the chosen route are monotone
+// non-increasing in the risk weight.
+func TestPropRiskAversionReducesDegradation(t *testing.T) {
+	n := AlpineScenario(0.15)
+	f := func(w1Raw, w2Raw uint8) bool {
+		w1 := float64(w1Raw) / 16
+		w2 := float64(w2Raw) / 16
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		r1, err1 := n.Plan("start", "goal", w1)
+		r2, err2 := n.Plan("start", "goal", w2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.ExpectedDegradations <= r1.ExpectedDegradations+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

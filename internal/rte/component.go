@@ -1,0 +1,270 @@
+package rte
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Component is a hosted application or platform component. Components that
+// provide services act as micro servers; others are pure clients.
+// "micro servers provide services that can be granted to other components
+// that require these services" (Section II.B).
+type Component struct {
+	name     string
+	proc     *Proc
+	provides map[string]bool
+	killed   bool
+}
+
+// Name returns the component's identifier.
+func (c *Component) Name() string { return c.name }
+
+// Proc returns the processor hosting the component.
+func (c *Component) Proc() *Proc { return c.proc }
+
+// Provides reports whether the component serves the named service.
+func (c *Component) Provides(service string) bool { return c.provides[service] }
+
+// Killed reports whether the component has been terminated.
+func (c *Component) Killed() bool { return c.killed }
+
+// Session is an open client/server service connection.
+type Session struct {
+	Client  *Component
+	Server  *Component
+	Service string
+	open    bool
+}
+
+// Open reports whether the session is still usable.
+func (s *Session) Open() bool { return s.open && !s.Client.killed && !s.Server.killed }
+
+// Errors of the capability system.
+var (
+	ErrNoCapability = errors.New("rte: no capability for service")
+	ErrNoProvider   = errors.New("rte: no provider for service")
+	ErrKilled       = errors.New("rte: component killed")
+	ErrDupComponent = errors.New("rte: duplicate component")
+)
+
+// RTE is the run-time environment: processors, components, the service
+// registry, and the capability table enforcing least privilege — a client
+// may only open a session to a service it has explicitly been granted.
+type RTE struct {
+	sim        *sim.Simulator
+	procs      map[string]*Proc
+	components map[string]*Component
+	providers  map[string]string          // service -> component name
+	caps       map[string]map[string]bool // client -> service -> granted
+	sessions   []*Session
+
+	// DeniedOpens counts rejected session opens (least-privilege
+	// violations attempted), a security-relevant metric.
+	DeniedOpens int
+}
+
+// New creates an empty RTE on the simulator.
+func New(s *sim.Simulator) *RTE {
+	return &RTE{
+		sim:        s,
+		procs:      make(map[string]*Proc),
+		components: make(map[string]*Component),
+		providers:  make(map[string]string),
+		caps:       make(map[string]map[string]bool),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (r *RTE) Sim() *sim.Simulator { return r.sim }
+
+// AddProc creates a processor in the RTE.
+func (r *RTE) AddProc(name string, speed float64) (*Proc, error) {
+	if _, dup := r.procs[name]; dup {
+		return nil, fmt.Errorf("rte: duplicate processor %q", name)
+	}
+	p := NewProc(r.sim, name, speed)
+	r.procs[name] = p
+	return p, nil
+}
+
+// Proc returns the named processor, or nil.
+func (r *RTE) Proc(name string) *Proc { return r.procs[name] }
+
+// Procs returns processor names in deterministic order.
+func (r *RTE) Procs() []string {
+	out := make([]string, 0, len(r.procs))
+	for n := range r.procs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddComponent hosts a component on a processor, registering the services
+// it provides.
+func (r *RTE) AddComponent(name, proc string, provides []string) (*Component, error) {
+	if _, dup := r.components[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDupComponent, name)
+	}
+	p, ok := r.procs[proc]
+	if !ok {
+		return nil, fmt.Errorf("rte: no processor %q", proc)
+	}
+	c := &Component{name: name, proc: p, provides: make(map[string]bool)}
+	for _, s := range provides {
+		if other, taken := r.providers[s]; taken {
+			return nil, fmt.Errorf("rte: service %q already provided by %q", s, other)
+		}
+		c.provides[s] = true
+		r.providers[s] = name
+	}
+	r.components[name] = c
+	return c, nil
+}
+
+// Component returns the named component, or nil.
+func (r *RTE) Component(name string) *Component { return r.components[name] }
+
+// Components returns component names in deterministic order.
+func (r *RTE) Components() []string {
+	out := make([]string, 0, len(r.components))
+	for n := range r.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grant gives client the capability to open sessions to service. The MCC
+// computes these grants from the implementation model's connections.
+func (r *RTE) Grant(client, service string) error {
+	if _, ok := r.components[client]; !ok {
+		return fmt.Errorf("rte: no component %q", client)
+	}
+	m := r.caps[client]
+	if m == nil {
+		m = make(map[string]bool)
+		r.caps[client] = m
+	}
+	m[service] = true
+	return nil
+}
+
+// Revoke removes a capability and closes any session using it.
+func (r *RTE) Revoke(client, service string) {
+	if m := r.caps[client]; m != nil {
+		delete(m, service)
+	}
+	for _, s := range r.sessions {
+		if s.Client.name == client && s.Service == service {
+			s.open = false
+		}
+	}
+}
+
+// HasCap reports whether client holds a capability for service.
+func (r *RTE) HasCap(client, service string) bool {
+	m := r.caps[client]
+	return m != nil && m[service]
+}
+
+// OpenSession opens a client session to the provider of service. It fails
+// without a capability (default deny — principle of least privilege).
+func (r *RTE) OpenSession(client, service string) (*Session, error) {
+	c, ok := r.components[client]
+	if !ok {
+		return nil, fmt.Errorf("rte: no component %q", client)
+	}
+	if c.killed {
+		return nil, ErrKilled
+	}
+	if !r.HasCap(client, service) {
+		r.DeniedOpens++
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoCapability, client, service)
+	}
+	provName, ok := r.providers[service]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoProvider, service)
+	}
+	server := r.components[provName]
+	if server.killed {
+		return nil, fmt.Errorf("%w: provider %s", ErrKilled, provName)
+	}
+	s := &Session{Client: c, Server: server, Service: service, open: true}
+	r.sessions = append(r.sessions, s)
+	return s, nil
+}
+
+// Sessions returns all sessions (open and closed) for inspection.
+func (r *RTE) Sessions() []*Session { return r.sessions }
+
+// OpenSessionsOf returns the open sessions where the component is client
+// or server.
+func (r *RTE) OpenSessionsOf(name string) []*Session {
+	var out []*Session
+	for _, s := range r.sessions {
+		if s.Open() && (s.Client.name == name || s.Server.name == name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Kill terminates a component: its sessions close, its services vanish
+// from the registry, and its tasks (by convention named after the
+// component) are removed from its processor. This is the containment
+// primitive the intrusion scenario uses.
+func (r *RTE) Kill(name string) error {
+	c, ok := r.components[name]
+	if !ok {
+		return fmt.Errorf("rte: no component %q", name)
+	}
+	if c.killed {
+		return nil
+	}
+	c.killed = true
+	for svc := range c.provides {
+		delete(r.providers, svc)
+	}
+	for _, s := range r.sessions {
+		if s.Client == c || s.Server == c {
+			s.open = false
+		}
+	}
+	// Remove any tasks named after the component.
+	for _, tn := range c.proc.Tasks() {
+		if tn == name {
+			if err := c.proc.RemoveTask(tn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restart revives a killed component (recovery on the safety layer:
+// "recovery mechanisms such as restarting the service with a different
+// software setup may count as a countermeasure"). Services it provided
+// are re-registered; capabilities and sessions must be re-established.
+func (r *RTE) Restart(name string) error {
+	c, ok := r.components[name]
+	if !ok {
+		return fmt.Errorf("rte: no component %q", name)
+	}
+	if !c.killed {
+		return nil
+	}
+	for svc := range c.provides {
+		if other, taken := r.providers[svc]; taken {
+			return fmt.Errorf("rte: service %q meanwhile provided by %q", svc, other)
+		}
+	}
+	for svc := range c.provides {
+		r.providers[svc] = name
+	}
+	c.killed = false
+	return nil
+}

@@ -1,0 +1,397 @@
+// Package rte simulates the CCC execution domain of Section II.B: a
+// microkernel-based run-time environment hosting application components as
+// micro servers with capability-protected service sessions, scheduled by a
+// static-priority preemptive dispatcher, and dynamically reconfigurable by
+// the model domain (the MCC).
+package rte
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TaskSpec describes a periodic task to be scheduled on a processor.
+type TaskSpec struct {
+	// Name identifies the task.
+	Name string
+	// Priority: numerically lower = higher priority; unique per processor.
+	Priority int
+	// Period is the activation period (> 0).
+	Period sim.Time
+	// WCET is the modeled worst-case execution time at reference speed.
+	WCET sim.Time
+	// Deadline is the relative deadline (0 = period).
+	Deadline sim.Time
+	// Exec, if non-nil, draws the actual execution time of each job (at
+	// reference speed). Nil means every job takes exactly WCET. Jobs may
+	// exceed WCET (a model deviation) — the monitors exist to catch that.
+	Exec func() sim.Time
+	// Offset delays the first release.
+	Offset sim.Time
+	// Jitter delays each release by a uniform amount in [0, Jitter],
+	// matching the CPA periodic-with-jitter event model. Requires Rng.
+	Jitter sim.Time
+	// Rng draws the jitter; required when Jitter > 0 (determinism: the
+	// caller owns the seed).
+	Rng *sim.RNG
+}
+
+func (t TaskSpec) effectiveDeadline() sim.Time {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// JobRecord describes one completed job, delivered to completion listeners.
+type JobRecord struct {
+	Task     string
+	Release  sim.Time
+	Finish   sim.Time
+	Exec     sim.Time // actual execution time consumed (wall, at current speeds)
+	Demand   sim.Time // execution demand at reference speed
+	Deadline sim.Time // absolute deadline
+	Missed   bool
+}
+
+// Response returns the job's response time.
+func (j JobRecord) Response() sim.Time { return j.Finish - j.Release }
+
+// CompletionListener observes completed jobs (monitors hook in here).
+type CompletionListener func(JobRecord)
+
+type job struct {
+	task      *taskState
+	release   sim.Time
+	deadline  sim.Time
+	remaining float64 // remaining demand at reference speed, in ns
+	consumed  sim.Time
+}
+
+type taskState struct {
+	spec    TaskSpec
+	proc    *Proc
+	ticker  *sim.Event
+	enabled bool
+
+	// Stats
+	Released  int
+	Completed int
+	Missed    int
+	MaxResp   sim.Time
+	SumResp   sim.Time
+}
+
+// Proc is a simulated processor with static-priority preemptive dispatch.
+// Speed scales execution: demand d takes d/Speed wall time; the thermal
+// experiment (E6) lowers Speed to model DVFS and thermal throttling.
+type Proc struct {
+	sim   *sim.Simulator
+	name  string
+	speed float64
+
+	// CtxSwitch is an optional dispatch overhead charged at every context
+	// switch (used by the monitor-overhead experiment E9).
+	CtxSwitch sim.Time
+
+	tasks     map[string]*taskState
+	ready     []*job
+	running   *job
+	runStart  sim.Time
+	complEv   *sim.Event
+	listeners []CompletionListener
+
+	// BusyTime accumulates execution (for utilization accounting).
+	BusyTime sim.Time
+	// CtxSwitches counts dispatches that changed the running job.
+	CtxSwitches int
+}
+
+// NewProc creates a processor with the given reference speed (1.0 nominal).
+func NewProc(s *sim.Simulator, name string, speed float64) *Proc {
+	if speed <= 0 {
+		panic("rte: non-positive speed")
+	}
+	return &Proc{sim: s, name: name, speed: speed, tasks: make(map[string]*taskState)}
+}
+
+// Name returns the processor name.
+func (p *Proc) Name() string { return p.name }
+
+// Speed returns the current speed factor.
+func (p *Proc) Speed() float64 { return p.speed }
+
+// SetSpeed changes the speed factor (DVFS). The running job's remaining
+// demand is preserved; its completion is rescheduled at the new speed.
+func (p *Proc) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic("rte: non-positive speed")
+	}
+	p.chargeRunning()
+	p.speed = speed
+	p.redispatch()
+}
+
+// OnCompletion registers a completion listener.
+func (p *Proc) OnCompletion(l CompletionListener) {
+	p.listeners = append(p.listeners, l)
+}
+
+// AddTask installs and starts a periodic task. It returns an error on
+// duplicate names or priorities.
+func (p *Proc) AddTask(spec TaskSpec) error {
+	if spec.Period <= 0 {
+		return fmt.Errorf("rte: task %q has non-positive period", spec.Name)
+	}
+	if spec.WCET <= 0 {
+		return fmt.Errorf("rte: task %q has non-positive WCET", spec.Name)
+	}
+	if _, dup := p.tasks[spec.Name]; dup {
+		return fmt.Errorf("rte: duplicate task %q", spec.Name)
+	}
+	if spec.Jitter < 0 {
+		return fmt.Errorf("rte: task %q has negative jitter", spec.Name)
+	}
+	if spec.Jitter > 0 && spec.Rng == nil {
+		return fmt.Errorf("rte: task %q has jitter but no RNG", spec.Name)
+	}
+	for _, t := range p.tasks {
+		if t.spec.Priority == spec.Priority {
+			return fmt.Errorf("rte: tasks %q and %q share priority %d", t.spec.Name, spec.Name, spec.Priority)
+		}
+	}
+	ts := &taskState{spec: spec, proc: p, enabled: true}
+	p.tasks[spec.Name] = ts
+	release := func() {
+		if !ts.enabled {
+			return
+		}
+		if spec.Jitter > 0 {
+			// Delay the release within the jitter window; the nominal
+			// activation grid stays periodic.
+			d := sim.Time(spec.Rng.Uniform(0, float64(spec.Jitter)))
+			p.sim.Schedule(d, func() {
+				if ts.enabled {
+					p.release(ts)
+				}
+			})
+			return
+		}
+		p.release(ts)
+	}
+	// First release after Offset, then periodic.
+	p.sim.Schedule(spec.Offset, func() {
+		release()
+		ts.ticker = p.sim.Every(spec.Period, func() bool {
+			if _, live := p.tasks[spec.Name]; !live {
+				return false
+			}
+			release()
+			return true
+		})
+	})
+	return nil
+}
+
+// RemoveTask stops and removes a task; queued jobs of the task are dropped.
+func (p *Proc) RemoveTask(name string) error {
+	ts, ok := p.tasks[name]
+	if !ok {
+		return fmt.Errorf("rte: no task %q", name)
+	}
+	ts.enabled = false
+	if ts.ticker != nil {
+		ts.ticker.Cancel()
+	}
+	delete(p.tasks, name)
+	// Drop queued jobs.
+	kept := p.ready[:0]
+	for _, j := range p.ready {
+		if j.task != ts {
+			kept = append(kept, j)
+		}
+	}
+	p.ready = kept
+	if p.running != nil && p.running.task == ts {
+		p.chargeRunning()
+		if p.complEv != nil {
+			p.complEv.Cancel()
+			p.complEv = nil
+		}
+		p.running = nil
+		p.redispatch()
+	}
+	return nil
+}
+
+// SetTaskEnabled pauses or resumes releases of a task without removing it.
+func (p *Proc) SetTaskEnabled(name string, enabled bool) error {
+	ts, ok := p.tasks[name]
+	if !ok {
+		return fmt.Errorf("rte: no task %q", name)
+	}
+	ts.enabled = enabled
+	return nil
+}
+
+// TaskStats returns (released, completed, missed, maxResponse) for a task.
+func (p *Proc) TaskStats(name string) (released, completed, missed int, maxResp sim.Time, err error) {
+	ts, ok := p.tasks[name]
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("rte: no task %q", name)
+	}
+	return ts.Released, ts.Completed, ts.Missed, ts.MaxResp, nil
+}
+
+// Utilization returns BusyTime / elapsed.
+func (p *Proc) Utilization() float64 {
+	now := p.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(p.BusyTime) / float64(now)
+}
+
+// release creates a job for the task and dispatches.
+func (p *Proc) release(ts *taskState) {
+	demand := ts.spec.WCET
+	if ts.spec.Exec != nil {
+		demand = ts.spec.Exec()
+	}
+	if demand <= 0 {
+		demand = 1
+	}
+	now := p.sim.Now()
+	j := &job{
+		task:      ts,
+		release:   now,
+		deadline:  now + ts.spec.effectiveDeadline(),
+		remaining: float64(demand),
+	}
+	ts.Released++
+	p.ready = append(p.ready, j)
+	p.chargeRunning()
+	p.redispatch()
+}
+
+// chargeRunning books the work done by the running job up to now and
+// cancels its completion event, leaving the job in p.running.
+func (p *Proc) chargeRunning() {
+	if p.running == nil {
+		return
+	}
+	now := p.sim.Now()
+	elapsed := now - p.runStart
+	if elapsed > 0 {
+		done := float64(elapsed) * p.speed
+		p.running.remaining -= done
+		if p.running.remaining < 0 {
+			p.running.remaining = 0
+		}
+		p.running.consumed += elapsed
+		p.BusyTime += elapsed
+		p.runStart = now
+	}
+	if p.complEv != nil {
+		p.complEv.Cancel()
+		p.complEv = nil
+	}
+}
+
+// redispatch selects the highest-priority job among ready + running and
+// (re)schedules its completion.
+func (p *Proc) redispatch() {
+	// A running job whose demand is already exhausted (preempted at its
+	// exact completion instant) finishes now rather than being requeued.
+	if p.running != nil && p.running.remaining <= 0 {
+		j := p.running
+		p.complEv = nil
+		p.complete(j) // complete() redispatches
+		return
+	}
+	// Gather candidates.
+	best := p.running
+	bestIdx := -1
+	for i, j := range p.ready {
+		if best == nil || j.task.spec.Priority < best.task.spec.Priority {
+			best = j
+			bestIdx = i
+		}
+	}
+	if best == nil {
+		p.running = nil
+		return
+	}
+	if bestIdx >= 0 {
+		// Preemption or idle pickup: move best out of ready; push old
+		// running back.
+		p.ready = append(p.ready[:bestIdx], p.ready[bestIdx+1:]...)
+		if p.running != nil {
+			p.ready = append(p.ready, p.running)
+		}
+		p.CtxSwitches++
+		if p.CtxSwitch > 0 {
+			// Charge dispatch overhead as extra demand on the incoming job.
+			best.remaining += float64(p.CtxSwitch) * p.speed
+		}
+		p.running = best
+	}
+	p.runStart = p.sim.Now()
+	wall := sim.Time(math.Ceil(p.running.remaining / p.speed))
+	if wall < 1 {
+		wall = 1
+	}
+	run := p.running
+	p.complEv = p.sim.Schedule(wall, func() { p.complete(run) })
+}
+
+// complete finishes the running job and dispatches the next one.
+func (p *Proc) complete(j *job) {
+	if p.running != j {
+		return // stale event (job was preempted and rescheduled)
+	}
+	now := p.sim.Now()
+	elapsed := now - p.runStart
+	p.BusyTime += elapsed
+	j.consumed += elapsed
+	j.remaining = 0
+	p.running = nil
+	p.complEv = nil
+
+	ts := j.task
+	rec := JobRecord{
+		Task:     ts.spec.Name,
+		Release:  j.release,
+		Finish:   now,
+		Exec:     j.consumed,
+		Demand:   sim.Time(float64(j.consumed) * p.speed), // approximation at final speed
+		Deadline: j.deadline,
+		Missed:   now > j.deadline,
+	}
+	ts.Completed++
+	resp := rec.Response()
+	if resp > ts.MaxResp {
+		ts.MaxResp = resp
+	}
+	ts.SumResp += resp
+	if rec.Missed {
+		ts.Missed++
+	}
+	for _, l := range p.listeners {
+		l(rec)
+	}
+	p.redispatch()
+}
+
+// Tasks returns the task names in deterministic order.
+func (p *Proc) Tasks() []string {
+	out := make([]string, 0, len(p.tasks))
+	for n := range p.tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

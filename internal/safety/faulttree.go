@@ -1,0 +1,280 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GateKind is the logic of a fault-tree gate.
+type GateKind int
+
+// Gate kinds.
+const (
+	// AND: the output event occurs only if all inputs occur.
+	AND GateKind = iota
+	// OR: the output event occurs if any input occurs.
+	OR
+	// KofN: the output occurs if at least K inputs occur.
+	KofN
+)
+
+// FTNode is a node in a fault tree: either a basic event with a failure
+// probability, or a gate over child nodes.
+type FTNode struct {
+	Name string
+	// Basic marks a leaf; Prob is its failure probability.
+	Basic bool
+	Prob  float64
+	// Gate fields (non-basic nodes).
+	Kind     GateKind
+	K        int // for KofN
+	Children []*FTNode
+}
+
+// BasicEvent returns a leaf with the given failure probability.
+func BasicEvent(name string, prob float64) *FTNode {
+	return &FTNode{Name: name, Basic: true, Prob: prob}
+}
+
+// Gate returns an internal node of the given kind.
+func Gate(name string, kind GateKind, children ...*FTNode) *FTNode {
+	return &FTNode{Name: name, Kind: kind, Children: children}
+}
+
+// VoteGate returns a K-of-N gate.
+func VoteGate(name string, k int, children ...*FTNode) *FTNode {
+	return &FTNode{Name: name, Kind: KofN, K: k, Children: children}
+}
+
+// Validate checks probabilities and gate arities.
+func (n *FTNode) Validate() error {
+	if n.Basic {
+		if n.Prob < 0 || n.Prob > 1 {
+			return fmt.Errorf("safety: event %q probability %v outside [0,1]", n.Name, n.Prob)
+		}
+		return nil
+	}
+	if len(n.Children) == 0 {
+		return fmt.Errorf("safety: gate %q has no children", n.Name)
+	}
+	if n.Kind == KofN && (n.K < 1 || n.K > len(n.Children)) {
+		return fmt.Errorf("safety: gate %q K=%d outside 1..%d", n.Name, n.K, len(n.Children))
+	}
+	for _, c := range n.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Probability evaluates the top-event probability assuming independent
+// basic events (the standard bottom-up evaluation).
+func (n *FTNode) Probability() float64 {
+	if n.Basic {
+		return n.Prob
+	}
+	probs := make([]float64, len(n.Children))
+	for i, c := range n.Children {
+		probs[i] = c.Probability()
+	}
+	switch n.Kind {
+	case AND:
+		p := 1.0
+		for _, q := range probs {
+			p *= q
+		}
+		return p
+	case OR:
+		p := 1.0
+		for _, q := range probs {
+			p *= 1 - q
+		}
+		return 1 - p
+	case KofN:
+		return kOfNProb(probs, n.K)
+	}
+	return math.NaN()
+}
+
+// kOfNProb computes P(at least k of the independent events occur) by
+// dynamic programming over the exact distribution of the count.
+func kOfNProb(probs []float64, k int) float64 {
+	// dist[i] = P(exactly i events occurred so far)
+	dist := make([]float64, len(probs)+1)
+	dist[0] = 1
+	for _, p := range probs {
+		for i := len(dist) - 1; i >= 1; i-- {
+			dist[i] = dist[i]*(1-p) + dist[i-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	var sum float64
+	for i := k; i < len(dist); i++ {
+		sum += dist[i]
+	}
+	return sum
+}
+
+// MinimalCutSets returns the minimal cut sets of the tree (sets of basic
+// events whose joint occurrence causes the top event), via the classical
+// top-down expansion with absorption. Exponential in the worst case; fine
+// for the vehicle-scale trees used here.
+func (n *FTNode) MinimalCutSets() [][]string {
+	sets := n.cutSets()
+	return minimize(sets)
+}
+
+func (n *FTNode) cutSets() [][]string {
+	if n.Basic {
+		return [][]string{{n.Name}}
+	}
+	switch n.Kind {
+	case OR:
+		var out [][]string
+		for _, c := range n.Children {
+			out = append(out, c.cutSets()...)
+		}
+		return out
+	case AND:
+		out := [][]string{{}}
+		for _, c := range n.Children {
+			out = cross(out, c.cutSets())
+		}
+		return out
+	case KofN:
+		// Expand as OR over all K-subsets ANDed.
+		var out [][]string
+		idx := make([]int, n.K)
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if depth == n.K {
+				acc := [][]string{{}}
+				for _, i := range idx {
+					acc = cross(acc, n.Children[i].cutSets())
+				}
+				out = append(out, acc...)
+				return
+			}
+			for i := start; i < len(n.Children); i++ {
+				idx[depth] = i
+				rec(i+1, depth+1)
+			}
+		}
+		rec(0, 0)
+		return out
+	}
+	return nil
+}
+
+// cross combines every set in a with every set in b (union, deduplicated).
+func cross(a, b [][]string) [][]string {
+	var out [][]string
+	for _, x := range a {
+		for _, y := range b {
+			seen := make(map[string]bool, len(x)+len(y))
+			var u []string
+			for _, e := range x {
+				if !seen[e] {
+					seen[e] = true
+					u = append(u, e)
+				}
+			}
+			for _, e := range y {
+				if !seen[e] {
+					seen[e] = true
+					u = append(u, e)
+				}
+			}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// minimize removes duplicate sets and supersets (absorption law), returning
+// canonically sorted sets in deterministic order.
+func minimize(sets [][]string) [][]string {
+	// Canonicalize: sort members, drop duplicates.
+	uniq := make(map[string][]string)
+	var keys []string
+	for _, s := range sets {
+		c := append([]string(nil), s...)
+		sort.Strings(c)
+		k := strings.Join(c, "\x00")
+		if _, dup := uniq[k]; !dup {
+			uniq[k] = c
+			keys = append(keys, k)
+		}
+	}
+	// Keep a set iff no other distinct set is a subset of it.
+	var out [][]string
+	for _, k := range keys {
+		s := uniq[k]
+		minimal := true
+		for _, k2 := range keys {
+			if k2 == k {
+				continue
+			}
+			if subset(uniq[k2], s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// subset reports whether every element of a is in b.
+func subset(a, b []string) bool {
+	in := make(map[string]bool, len(b))
+	for _, e := range b {
+		in[e] = true
+	}
+	for _, e := range a {
+		if !in[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// StandbyKind distinguishes redundancy concepts (Section IV baselines:
+// SAFER uses hot and cold stand-by nodes).
+type StandbyKind int
+
+// Standby kinds.
+const (
+	// HotStandby runs in parallel and takes over instantly.
+	HotStandby StandbyKind = iota
+	// ColdStandby must boot first: longer takeover, no steady-state cost.
+	ColdStandby
+)
+
+// Standby models a redundancy pair's takeover behaviour.
+type Standby struct {
+	Kind StandbyKind
+	// BootTimeMS is the cold-start time.
+	BootTimeMS int64
+	// SwitchTimeMS is the detection-to-switchover time.
+	SwitchTimeMS int64
+}
+
+// TakeoverMS returns the total service gap on a primary failure.
+func (s Standby) TakeoverMS() int64 {
+	if s.Kind == HotStandby {
+		return s.SwitchTimeMS
+	}
+	return s.SwitchTimeMS + s.BootTimeMS
+}

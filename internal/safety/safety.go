@@ -1,0 +1,192 @@
+// Package safety implements the safety viewpoint of the CCC model domain:
+// ASIL placement and redundancy acceptance checks used by the MCC
+// (Section II.A), FMEA tables and fault-tree evaluation as the classical
+// baseline the paper contrasts with automated cross-layer dependency
+// analysis (Section V: "in traditional design, such dependencies are
+// identified with semiformal methods, such as a Failure Mode and Effects
+// Analysis"), and the redundancy concepts (hot/cold standby) of the
+// RACE/SAFER baselines discussed in Section IV.
+package safety
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Finding is one safety-viewpoint analysis result.
+type Finding struct {
+	// Rule names the violated check.
+	Rule string
+	// Subject names the offending entity.
+	Subject string
+	// Detail explains the violation.
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Subject, f.Detail)
+}
+
+// CheckPlacement verifies that every instance runs on a processor certified
+// for the function's safety level.
+func CheckPlacement(t *model.TechnicalArchitecture) []Finding {
+	var out []Finding
+	for _, in := range t.Instances {
+		f := t.Func.FunctionByName(in.Function)
+		p := t.Platform.ProcessorByName(in.Processor)
+		if f == nil || p == nil {
+			continue // structural validation reports these
+		}
+		if f.Contract.Safety > p.MaxSafety {
+			out = append(out, Finding{
+				Rule:    "asil-placement",
+				Subject: in.ID(),
+				Detail: fmt.Sprintf("requires %v but processor %q is certified for %v only",
+					f.Contract.Safety, p.Name, p.MaxSafety),
+			})
+		}
+	}
+	return out
+}
+
+// CheckRedundancy verifies that fail-operational functions are replicated
+// on disjoint processors (no single point of failure).
+func CheckRedundancy(t *model.TechnicalArchitecture) []Finding {
+	var out []Finding
+	for i := range t.Func.Functions {
+		f := &t.Func.Functions[i]
+		if !f.Contract.FailOperational {
+			continue
+		}
+		inst := t.InstancesOf(f.Name)
+		if len(inst) < 2 {
+			out = append(out, Finding{
+				Rule:    "fail-operational-redundancy",
+				Subject: f.Name,
+				Detail:  fmt.Sprintf("fail-operational but deployed %d time(s); need >= 2 replicas", len(inst)),
+			})
+			continue
+		}
+		procs := make(map[string]bool)
+		for _, in := range inst {
+			procs[in.Processor] = true
+		}
+		if len(procs) < 2 {
+			out = append(out, Finding{
+				Rule:    "fail-operational-redundancy",
+				Subject: f.Name,
+				Detail:  "all replicas share one processor: single point of failure",
+			})
+		}
+	}
+	return out
+}
+
+// CheckMemoryBudgets verifies that per-processor RAM demands fit capacity.
+func CheckMemoryBudgets(t *model.TechnicalArchitecture) []Finding {
+	var out []Finding
+	demand := make(map[string]int64)
+	for _, in := range t.Instances {
+		f := t.Func.FunctionByName(in.Function)
+		if f == nil {
+			continue
+		}
+		demand[in.Processor] += f.Contract.Resources.RAMKiB
+	}
+	procs := make([]string, 0, len(demand))
+	for p := range demand {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for _, pn := range procs {
+		p := t.Platform.ProcessorByName(pn)
+		if p == nil {
+			continue
+		}
+		if demand[pn] > p.RAMKiB {
+			out = append(out, Finding{
+				Rule:    "memory-budget",
+				Subject: pn,
+				Detail:  fmt.Sprintf("demand %d KiB exceeds capacity %d KiB", demand[pn], p.RAMKiB),
+			})
+		}
+	}
+	return out
+}
+
+// Check runs all structural safety checks.
+func Check(t *model.TechnicalArchitecture) []Finding {
+	var out []Finding
+	out = append(out, CheckPlacement(t)...)
+	out = append(out, CheckRedundancy(t)...)
+	out = append(out, CheckMemoryBudgets(t)...)
+	return out
+}
+
+// FailureMode is one FMEA row.
+type FailureMode struct {
+	Component string
+	Mode      string
+	Effect    string
+	// Severity, Occurrence, Detection on the usual 1..10 scales.
+	Severity   int
+	Occurrence int
+	Detection  int
+}
+
+// RPN returns the risk priority number S*O*D.
+func (f FailureMode) RPN() int { return f.Severity * f.Occurrence * f.Detection }
+
+// Validate checks the 1..10 scales.
+func (f FailureMode) Validate() error {
+	for _, v := range []int{f.Severity, f.Occurrence, f.Detection} {
+		if v < 1 || v > 10 {
+			return fmt.Errorf("safety: FMEA scale value %d outside 1..10 for %s/%s", v, f.Component, f.Mode)
+		}
+	}
+	return nil
+}
+
+// FMEA is a failure mode and effects analysis table.
+type FMEA struct {
+	Modes []FailureMode
+}
+
+// Add appends a validated failure mode.
+func (f *FMEA) Add(m FailureMode) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	f.Modes = append(f.Modes, m)
+	return nil
+}
+
+// RankedByRPN returns modes sorted by descending RPN (ties by component,
+// then mode, for determinism).
+func (f *FMEA) RankedByRPN() []FailureMode {
+	out := make([]FailureMode, len(f.Modes))
+	copy(out, f.Modes)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RPN() != out[j].RPN() {
+			return out[i].RPN() > out[j].RPN()
+		}
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
+}
+
+// Above returns the modes with RPN >= threshold.
+func (f *FMEA) Above(threshold int) []FailureMode {
+	var out []FailureMode
+	for _, m := range f.RankedByRPN() {
+		if m.RPN() >= threshold {
+			out = append(out, m)
+		}
+	}
+	return out
+}

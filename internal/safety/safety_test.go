@@ -1,0 +1,246 @@
+package safety
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func testTech() *model.TechnicalArchitecture {
+	return &model.TechnicalArchitecture{
+		Platform: &model.Platform{
+			Processors: []model.Processor{
+				{Name: "lockstep", Policy: model.SPP, SpeedFactor: 1, RAMKiB: 1024, MaxSafety: model.ASILD},
+				{Name: "plain", Policy: model.SPP, SpeedFactor: 1, RAMKiB: 512, MaxSafety: model.ASILB},
+			},
+		},
+		Func: &model.FunctionalArchitecture{
+			Functions: []model.Function{
+				{Name: "brake", Contract: model.Contract{Safety: model.ASILD, FailOperational: true, Resources: model.ResourceContract{RAMKiB: 128}}, Replicas: 2},
+				{Name: "infotainment", Contract: model.Contract{Safety: model.QM, Resources: model.ResourceContract{RAMKiB: 256}}},
+			},
+		},
+		Instances: []model.Instance{
+			{Function: "brake", Replica: 0, Processor: "lockstep"},
+			{Function: "brake", Replica: 1, Processor: "lockstep"},
+			{Function: "infotainment", Replica: 0, Processor: "plain"},
+		},
+	}
+}
+
+func TestCheckPlacement(t *testing.T) {
+	tech := testTech()
+	if f := CheckPlacement(tech); len(f) != 0 {
+		t.Fatalf("unexpected findings: %v", f)
+	}
+	// Move an ASIL-D replica to the plain core.
+	tech.Instances[1].Processor = "plain"
+	f := CheckPlacement(tech)
+	if len(f) != 1 || f[0].Rule != "asil-placement" {
+		t.Fatalf("findings = %v", f)
+	}
+}
+
+func TestCheckRedundancyDistinctProcs(t *testing.T) {
+	tech := testTech()
+	// Both brake replicas on one processor: single point of failure.
+	f := CheckRedundancy(tech)
+	if len(f) != 1 || f[0].Rule != "fail-operational-redundancy" {
+		t.Fatalf("findings = %v", f)
+	}
+	// Spread them: passes (placement check would flag ASIL, separately).
+	tech.Instances[1].Processor = "plain"
+	if f := CheckRedundancy(tech); len(f) != 0 {
+		t.Fatalf("findings after spread = %v", f)
+	}
+}
+
+func TestCheckRedundancySingleReplica(t *testing.T) {
+	tech := testTech()
+	tech.Func.Functions[0].Replicas = 1
+	tech.Instances = tech.Instances[:1]
+	tech.Instances = append(tech.Instances, model.Instance{Function: "infotainment", Replica: 0, Processor: "plain"})
+	f := CheckRedundancy(tech)
+	if len(f) != 1 {
+		t.Fatalf("findings = %v", f)
+	}
+}
+
+func TestCheckMemoryBudgets(t *testing.T) {
+	tech := testTech()
+	if f := CheckMemoryBudgets(tech); len(f) != 0 {
+		t.Fatalf("findings = %v", f)
+	}
+	tech.Func.Functions[1].Contract.Resources.RAMKiB = 4096
+	f := CheckMemoryBudgets(tech)
+	if len(f) != 1 || f[0].Subject != "plain" {
+		t.Fatalf("findings = %v", f)
+	}
+}
+
+func TestCheckAggregates(t *testing.T) {
+	tech := testTech()
+	// Redundancy finding (shared proc) is present in the aggregate.
+	if f := Check(tech); len(f) != 1 {
+		t.Fatalf("findings = %v", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "r", Subject: "s", Detail: "d"}
+	if f.String() != "[r] s: d" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestFMEA(t *testing.T) {
+	var f FMEA
+	rows := []FailureMode{
+		{Component: "radar", Mode: "blind", Effect: "no objects", Severity: 8, Occurrence: 3, Detection: 4},
+		{Component: "brake-ecu", Mode: "stuck", Effect: "no braking", Severity: 10, Occurrence: 2, Detection: 2},
+		{Component: "hmi", Mode: "frozen", Effect: "no driver info", Severity: 4, Occurrence: 5, Detection: 3},
+	}
+	for _, r := range rows {
+		if err := f.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranked := f.RankedByRPN()
+	// RPNs: radar 96, brake 40, hmi 60 -> order radar, hmi, brake.
+	if ranked[0].Component != "radar" || ranked[1].Component != "hmi" || ranked[2].Component != "brake-ecu" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if got := f.Above(60); len(got) != 2 {
+		t.Fatalf("Above(60) = %v", got)
+	}
+	if err := f.Add(FailureMode{Component: "x", Mode: "y", Severity: 11, Occurrence: 1, Detection: 1}); err == nil {
+		t.Fatal("out-of-scale severity accepted")
+	}
+}
+
+func TestFaultTreeORAND(t *testing.T) {
+	// Dual-channel brake: system fails if both channels fail, or the
+	// shared power supply fails.
+	tree := Gate("brake-loss", OR,
+		Gate("both-channels", AND,
+			BasicEvent("ch1", 1e-3),
+			BasicEvent("ch2", 1e-3),
+		),
+		BasicEvent("psu", 1e-5),
+	)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := tree.Probability()
+	want := 1 - (1-1e-6)*(1-1e-5)
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("P = %v, want %v", p, want)
+	}
+}
+
+func TestFaultTreeKofN(t *testing.T) {
+	// 2-of-3 voter fails if >= 2 sensors fail.
+	tree := VoteGate("voter", 2,
+		BasicEvent("s1", 0.1),
+		BasicEvent("s2", 0.1),
+		BasicEvent("s3", 0.1),
+	)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// P(>=2 of 3, p=0.1) = 3*0.01*0.9 + 0.001 = 0.028.
+	if p := tree.Probability(); math.Abs(p-0.028) > 1e-12 {
+		t.Fatalf("P = %v, want 0.028", p)
+	}
+}
+
+func TestFaultTreeValidate(t *testing.T) {
+	if err := BasicEvent("x", 1.5).Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := Gate("g", AND).Validate(); err == nil {
+		t.Fatal("childless gate accepted")
+	}
+	if err := VoteGate("v", 5, BasicEvent("a", 0.1)).Validate(); err == nil {
+		t.Fatal("K > N accepted")
+	}
+}
+
+func TestMinimalCutSets(t *testing.T) {
+	// top = psu OR (ch1 AND ch2): cut sets {psu}, {ch1, ch2}.
+	tree := Gate("top", OR,
+		BasicEvent("psu", 0.1),
+		Gate("channels", AND, BasicEvent("ch1", 0.1), BasicEvent("ch2", 0.1)),
+	)
+	cs := tree.MinimalCutSets()
+	if len(cs) != 2 {
+		t.Fatalf("cut sets = %v", cs)
+	}
+	if len(cs[0]) != 1 || cs[0][0] != "psu" {
+		t.Fatalf("first cut set = %v", cs[0])
+	}
+	if len(cs[1]) != 2 || cs[1][0] != "ch1" || cs[1][1] != "ch2" {
+		t.Fatalf("second cut set = %v", cs[1])
+	}
+}
+
+func TestMinimalCutSetsAbsorption(t *testing.T) {
+	// top = a OR (a AND b): minimal cut sets = {a} only.
+	tree := Gate("top", OR,
+		BasicEvent("a", 0.1),
+		Gate("g", AND, BasicEvent("a", 0.1), BasicEvent("b", 0.1)),
+	)
+	cs := tree.MinimalCutSets()
+	if len(cs) != 1 || len(cs[0]) != 1 || cs[0][0] != "a" {
+		t.Fatalf("cut sets = %v", cs)
+	}
+}
+
+// Property: OR probability >= max child; AND probability <= min child.
+func TestPropGateBounds(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65536
+		b := float64(bRaw) / 65536
+		or := Gate("or", OR, BasicEvent("a", a), BasicEvent("b", b)).Probability()
+		and := Gate("and", AND, BasicEvent("a", a), BasicEvent("b", b)).Probability()
+		maxP := math.Max(a, b)
+		minP := math.Min(a, b)
+		return or >= maxP-1e-12 && or <= 1+1e-12 && and <= minP+1e-12 && and >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: K-of-N probability is monotone decreasing in K.
+func TestPropKofNMonotone(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := float64(pRaw) / 65536
+		events := []*FTNode{BasicEvent("a", p), BasicEvent("b", p), BasicEvent("c", p), BasicEvent("d", p)}
+		prev := 2.0
+		for k := 1; k <= 4; k++ {
+			cur := VoteGate("v", k, events...).Probability()
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandbyTakeover(t *testing.T) {
+	hot := Standby{Kind: HotStandby, BootTimeMS: 500, SwitchTimeMS: 10}
+	cold := Standby{Kind: ColdStandby, BootTimeMS: 500, SwitchTimeMS: 10}
+	if hot.TakeoverMS() != 10 {
+		t.Fatalf("hot takeover = %d", hot.TakeoverMS())
+	}
+	if cold.TakeoverMS() != 510 {
+		t.Fatalf("cold takeover = %d", cold.TakeoverMS())
+	}
+}

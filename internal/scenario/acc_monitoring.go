@@ -1,0 +1,206 @@
+// Package scenario wires the substrate packages into the paper's
+// experiments (E3–E10 in DESIGN.md). Each harness is deterministic,
+// parameterized, and returns a result struct whose Rows method prints the
+// table the corresponding experiment reports. cmd/crosslayer,
+// cmd/vehiclesim and the repository-level benchmarks all call into this
+// package, so the numbers in EXPERIMENTS.md are regenerated from exactly
+// one implementation.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/skills"
+	"repro/internal/vehicle"
+)
+
+// ACCConfig parameterizes the E4 closed-loop ability-monitoring run.
+type ACCConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// DurationS is the simulated time.
+	DurationS float64
+	// FaultAtS injects the sensor fault at this time (0 = no fault).
+	FaultAtS float64
+	// Fault is the injected fault kind.
+	Fault sensors.FaultKind
+	// FaultMagnitude parameterizes the fault.
+	FaultMagnitude float64
+	// SetSpeed is the driver's cruise request (m/s).
+	SetSpeed float64
+	// LeadSpeed is the lead vehicle's speed (m/s).
+	LeadSpeed float64
+	// InitialGap is the starting gap (m).
+	InitialGap float64
+}
+
+// DefaultACCConfig returns the baseline E4 configuration.
+func DefaultACCConfig() ACCConfig {
+	return ACCConfig{
+		Seed:           1,
+		DurationS:      120,
+		FaultAtS:       60,
+		Fault:          sensors.FaultNoisy,
+		FaultMagnitude: 6,
+		SetSpeed:       25,
+		LeadSpeed:      20,
+		InitialGap:     50,
+	}
+}
+
+// ACCResult is the outcome of one E4 run.
+type ACCResult struct {
+	Config ACCConfig
+	// DetectionS is when the root ability left the Full band after the
+	// fault (-1 = never detected).
+	DetectionS float64
+	// TacticFired reports whether the degradation tactic activated.
+	TacticFired bool
+	// SpeedCap is the cap the tactic installed (0 = none).
+	SpeedCap float64
+	// MinGap is the smallest gap observed (collision if <= 0).
+	MinGap float64
+	// Collision reports whether the gap closed completely.
+	Collision bool
+	// FinalRootLevel is the root ability level at the end.
+	FinalRootLevel skills.Level
+	// FinalRootBand is its band.
+	FinalRootBand skills.Band
+	// RootLevelAtFault is the level just before injection.
+	RootLevelAtFault skills.Level
+}
+
+// Rows renders the experiment table.
+func (r ACCResult) Rows() []string {
+	det := "never"
+	if r.DetectionS >= 0 {
+		det = fmt.Sprintf("%.1fs after fault", r.DetectionS)
+	}
+	return []string{
+		fmt.Sprintf("fault=%v mag=%.1f at t=%.0fs", r.Config.Fault, r.Config.FaultMagnitude, r.Config.FaultAtS),
+		fmt.Sprintf("detection: %s", det),
+		fmt.Sprintf("tactic fired: %v (speed cap %.1f m/s)", r.TacticFired, r.SpeedCap),
+		fmt.Sprintf("min gap: %.1f m (collision: %v)", r.MinGap, r.Collision),
+		fmt.Sprintf("root ability: %.2f (%v)", float64(r.FinalRootLevel), r.FinalRootBand),
+	}
+}
+
+// RunACC executes the E4 scenario: a closed ACC loop whose sensor quality,
+// plausibility trust, controller self-assessment and brake health feed the
+// ACC ability graph; a degradation tactic caps the speed when the root
+// ability degrades.
+func RunACC(cfg ACCConfig) (ACCResult, error) {
+	rng := sim.NewRNG(cfg.Seed)
+	res := ACCResult{Config: cfg, DetectionS: -1, MinGap: cfg.InitialGap}
+
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		return res, err
+	}
+	ego := vehicle.New(vehicle.DefaultParams())
+	ego.SetSpeed(cfg.LeadSpeed)
+	sensor := sensors.NewObjectSensor(rng.Split(1))
+	checker := sensors.NewPlausibilityChecker(80, 200)
+	acc := control.New(control.DefaultConfig(), control.DriverIntent{SetSpeed: cfg.SetSpeed, HeadwayS: 1.8})
+
+	// Degradation tactic: when ACC driving degrades, cap the speed to
+	// what the current braking capability can stop within the sensor's
+	// trustworthy range.
+	var speedCap float64
+	tactic := &skills.Tactic{
+		Name:    "cap-speed-on-degradation",
+		Skill:   skills.ACCDriving,
+		Trigger: 0.8,
+		Apply: func(*skills.AbilityGraph) {
+			res.TacticFired = true
+			// Trustworthy perception range shrinks with sensor health.
+			rangeM := 100 * float64(ag.Level(skills.SrcEnvSensors))
+			if rangeM < 10 {
+				rangeM = 10
+			}
+			speedCap = ego.SafeSpeedForStoppingDistance(rangeM)
+			res.SpeedCap = speedCap
+		},
+	}
+	if err := ag.RegisterTactic(tactic); err != nil {
+		return res, err
+	}
+
+	gap := cfg.InitialGap
+	const dt = 0.02
+	// warmupS lets the control loop settle before its self-assessment is
+	// trusted (the startup transient is not a fault).
+	const warmupS = 10.0
+	steps := int(cfg.DurationS / dt)
+	warmupSteps := int(warmupS / dt)
+	faultStep := -1
+	if cfg.FaultAtS > 0 {
+		faultStep = int(cfg.FaultAtS / dt)
+	}
+
+	// Short-term target memory: object tracking holds the last plausible
+	// target briefly across measurement dropouts.
+	var lastGood sensors.RangeMeasurement
+	var lastGoodAt sim.Time = -sim.Second
+	const trackHold = 500 * sim.Millisecond
+
+	for i := 0; i < steps; i++ {
+		now := sim.FromSeconds(float64(i) * dt)
+		if i == faultStep {
+			res.RootLevelAtFault = ag.Level(skills.ACCDriving)
+			sensor.InjectFault(cfg.Fault, cfg.FaultMagnitude)
+		}
+
+		// Sense.
+		var target *sensors.RangeMeasurement
+		m, ok := sensor.Measure(gap, cfg.LeadSpeed-ego.Speed(), now)
+		if ok && checker.Check(m) {
+			target = &m
+			lastGood = m
+			lastGoodAt = now
+		} else if now-lastGoodAt <= trackHold {
+			held := lastGood
+			target = &held
+		}
+
+		// Monitors -> ability health (every 10 cycles = 200 ms).
+		if i%10 == 0 && i >= warmupSteps {
+			q := sensor.Quality() * checker.TrustScore()
+			if err := ag.SetHealth(skills.SrcEnvSensors, skills.Level(q)); err != nil {
+				return res, err
+			}
+			if err := ag.SetHealth(skills.SinkBrakingSystem, skills.Level(ego.BrakingFraction())); err != nil {
+				return res, err
+			}
+			perfSkill := skills.Level(acc.Performance())
+			if err := ag.SetHealth(skills.ControlDistance, perfSkill); err != nil {
+				return res, err
+			}
+			if err := ag.SetHealth(skills.ControlSpeed, perfSkill); err != nil {
+				return res, err
+			}
+			if res.DetectionS < 0 && faultStep >= 0 && i > faultStep && ag.BandOf(skills.ACCDriving) != skills.Full {
+				res.DetectionS = float64(i-faultStep) * dt
+			}
+		}
+
+		// Control and plant.
+		cmd := acc.Step(ego.Speed(), target, speedCap)
+		before := ego.Position()
+		ego.Step(cmd, dt)
+		gap += cfg.LeadSpeed*dt - (ego.Position() - before)
+		if gap < res.MinGap {
+			res.MinGap = gap
+		}
+		if gap <= 0 {
+			res.Collision = true
+			break
+		}
+	}
+	res.FinalRootLevel = ag.Level(skills.ACCDriving)
+	res.FinalRootBand = ag.BandOf(skills.ACCDriving)
+	return res, nil
+}

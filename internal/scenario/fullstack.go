@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/rte"
+	"repro/internal/security"
+	"repro/internal/sim"
+)
+
+// FullStack wires the complete CCC loop of Fig. 1 in one object:
+//
+//	contracts → MCC integration → execution-domain deployment (RTE
+//	components, capabilities, tasks) → monitor configuration → run →
+//	metrics feedback → model refinement → reintegration.
+//
+// It exists so integration tests and the update_integration example can
+// exercise the whole architecture rather than each package in isolation.
+type FullStack struct {
+	Sim  *sim.Simulator
+	MCC  *mcc.MCC
+	RTE  *rte.RTE
+	Rep  *core.SelfRepresentation
+	IDS  *security.IDS
+	Devs []monitor.Deviation
+
+	// budgets holds the per-task budget monitors of the active config.
+	budgets map[string]*monitor.BudgetMonitor
+	// execOverride lets tests inject actual execution-time behaviour per
+	// function name (deviations from the contract).
+	execOverride map[string]func() sim.Time
+
+	deployGen int
+}
+
+// NewFullStack creates the stack for a platform.
+func NewFullStack(p *model.Platform) (*FullStack, error) {
+	m, err := mcc.New(p)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	fs := &FullStack{
+		Sim:          s,
+		MCC:          m,
+		RTE:          rte.New(s),
+		Rep:          core.NewSelfRepresentation(),
+		IDS:          security.NewIDS(),
+		budgets:      make(map[string]*monitor.BudgetMonitor),
+		execOverride: make(map[string]func() sim.Time),
+	}
+	for i := range p.Processors {
+		pr := &p.Processors[i]
+		if _, err := fs.RTE.AddProc(pr.Name, pr.SpeedFactor); err != nil {
+			return nil, err
+		}
+		proc := fs.RTE.Proc(pr.Name)
+		proc.OnCompletion(fs.onJob)
+	}
+	return fs, nil
+}
+
+// SetExecBehaviour overrides the actual execution time of a function's
+// jobs (at reference speed). Used to inject model deviations.
+func (fs *FullStack) SetExecBehaviour(function string, exec func() sim.Time) {
+	fs.execOverride[function] = exec
+}
+
+// Deploy proposes the architecture to the MCC and, if accepted, applies
+// the implementation model to the execution domain: components and
+// services, capability grants derived from the modeled connections, tasks
+// with the synthesized priorities, budget monitors from the monitor plan,
+// and the IDS whitelist.
+func (fs *FullStack) Deploy(fa *model.FunctionalArchitecture) (*mcc.Report, error) {
+	rep := fs.MCC.ProposeArchitecture(fa)
+	if !rep.Accepted {
+		return rep, nil
+	}
+	if err := fs.apply(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// apply tears down the previous execution-domain configuration and
+// installs the new one. (A real system would migrate; for the experiments
+// a clean re-install keeps the semantics obvious.)
+func (fs *FullStack) apply(rep *mcc.Report) error {
+	fs.deployGen++
+	impl := rep.Impl
+
+	// Fresh component/task namespace per generation would complicate
+	// bookkeeping; instead remove all known tasks first.
+	for _, pn := range fs.RTE.Procs() {
+		proc := fs.RTE.Proc(pn)
+		for _, tn := range proc.Tasks() {
+			if err := proc.RemoveTask(tn); err != nil {
+				return err
+			}
+		}
+	}
+	fs.budgets = make(map[string]*monitor.BudgetMonitor)
+
+	// Components and services.
+	for _, in := range impl.Tech.Instances {
+		f := impl.Tech.Func.FunctionByName(in.Function)
+		name := in.ID()
+		if fs.RTE.Component(name) == nil {
+			var provides []string
+			if in.Replica == 0 {
+				provides = f.Provides
+			}
+			if _, err := fs.RTE.AddComponent(name, in.Processor, provides); err != nil {
+				return err
+			}
+		}
+	}
+	// Capability grants and sessions from the modeled connections; the
+	// IDS learns the same whitelist ("the modeled connections are the
+	// ground truth of permitted communication").
+	for _, c := range impl.Connections {
+		if err := fs.RTE.Grant(c.Client, c.Service); err != nil {
+			return err
+		}
+		if _, err := fs.RTE.OpenSession(c.Client, c.Service); err != nil {
+			return err
+		}
+		fs.IDS.Allow(c.Client, c.Service)
+	}
+	if fs.IDS.Learning() {
+		fs.IDS.EndLearning()
+	}
+
+	// Tasks and their budget monitors.
+	sink := func(d monitor.Deviation) {
+		fs.Devs = append(fs.Devs, d)
+		fs.Rep.Metrics().Record("deviations."+d.Kind, 1, d.At)
+	}
+	for _, t := range impl.Tasks {
+		spec := rte.TaskSpec{
+			Name:     t.Name,
+			Priority: t.Priority,
+			Period:   sim.Time(t.PeriodUS) * sim.Microsecond,
+			WCET:     sim.Time(t.WCETUS) * sim.Microsecond,
+			Deadline: sim.Time(t.DeadlineUS) * sim.Microsecond,
+		}
+		fnName := functionOfInstance(t.Name)
+		if exec := fs.execOverride[fnName]; exec != nil {
+			spec.Exec = exec
+		}
+		if err := fs.RTE.Proc(t.Processor).AddTask(spec); err != nil {
+			return err
+		}
+	}
+	for _, ms := range rep.Monitors {
+		if ms.Kind == mcc.MonitorBudget {
+			fs.budgets[ms.Target] = monitor.NewBudgetMonitor(
+				ms.Target, sim.Time(ms.WCETUS)*sim.Microsecond, sink)
+		}
+	}
+	return nil
+}
+
+// onJob feeds every completed job through its budget monitor and records
+// the execution-time metric; observed maxima flow back into the MCC.
+func (fs *FullStack) onJob(j rte.JobRecord) {
+	fs.Rep.Metrics().Record("exec."+j.Task, float64(j.Exec/sim.Microsecond), j.Finish)
+	if bm := fs.budgets[j.Task]; bm != nil {
+		bm.ObserveJob(j.Exec, j.Finish, j.Deadline)
+		fs.MCC.RecordObservedWCET(functionOfInstance(j.Task), int64(bm.ObservedMax/sim.Microsecond))
+	}
+}
+
+// Run advances the execution domain by d virtual time.
+func (fs *FullStack) Run(d sim.Time) error { return fs.Sim.RunFor(d) }
+
+// Refine performs the model-refinement step of the loop: reintegrate with
+// the observed execution-time maxima; on acceptance the evolved
+// configuration is redeployed to the execution domain.
+func (fs *FullStack) Refine() (*mcc.Report, error) {
+	rep := fs.MCC.ReintegrateWithObservations()
+	if !rep.Accepted {
+		return rep, nil
+	}
+	if err := fs.apply(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// WCETViolations counts wcet-exceeded deviations observed so far.
+func (fs *FullStack) WCETViolations() int {
+	n := 0
+	for _, d := range fs.Devs {
+		if d.Kind == "wcet-exceeded" {
+			n++
+		}
+	}
+	return n
+}
+
+// functionOfInstance strips the "#replica" suffix of an instance ID.
+func functionOfInstance(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '#' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// String summarizes the stack state.
+func (fs *FullStack) String() string {
+	return fmt.Sprintf("fullstack{gen %d, %d components, %d deviations}",
+		fs.deployGen, len(fs.RTE.Components()), len(fs.Devs))
+}

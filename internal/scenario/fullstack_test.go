@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rte"
+	"repro/internal/security"
+	"repro/internal/sim"
+)
+
+func fullStackArch() *model.FunctionalArchitecture {
+	return &model.FunctionalArchitecture{
+		Functions: []model.Function{
+			{
+				Name:     "perception",
+				Provides: []string{"objects"},
+				Contract: model.Contract{
+					Safety:    model.ASILB,
+					RealTime:  model.RealTimeContract{PeriodUS: 50000, WCETUS: 8000},
+					Resources: model.ResourceContract{RAMKiB: 1024},
+				},
+			},
+			{
+				Name:     "acc",
+				Requires: []string{"objects"},
+				Provides: []string{"accel_cmd"},
+				Contract: model.Contract{
+					Safety:    model.ASILC,
+					RealTime:  model.RealTimeContract{PeriodUS: 20000, WCETUS: 2000},
+					Resources: model.ResourceContract{RAMKiB: 256},
+				},
+			},
+			{
+				Name:     "brake",
+				Requires: []string{"accel_cmd"},
+				Contract: model.Contract{
+					Safety:    model.ASILD,
+					RealTime:  model.RealTimeContract{PeriodUS: 10000, WCETUS: 900},
+					Resources: model.ResourceContract{RAMKiB: 128},
+				},
+			},
+		},
+	}
+}
+
+func TestFullStackDeployAndRun(t *testing.T) {
+	fs, err := NewFullStack(ReferencePlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Deploy(fullStackArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("deploy rejected at %s: %v", rep.RejectedAt, rep.Findings)
+	}
+	// Execution domain mirrors the implementation model.
+	if got := len(fs.RTE.Components()); got != 3 {
+		t.Fatalf("components = %d", got)
+	}
+	// Capability wiring: acc can reach objects, brake cannot.
+	if !fs.RTE.HasCap("acc#0", "objects") {
+		t.Fatal("acc capability missing")
+	}
+	if fs.RTE.HasCap("brake#0", "objects") {
+		t.Fatal("brake has an unmodeled capability")
+	}
+	// Run one second of the deployed system: tasks execute, no deviations
+	// (contract WCETs hold by default).
+	if err := fs.Run(1 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fs.WCETViolations() != 0 {
+		t.Fatalf("nominal run produced %d WCET violations", fs.WCETViolations())
+	}
+	st := fs.Rep.Metrics().Get("exec.brake#0")
+	if st.Count == 0 {
+		t.Fatal("no execution metrics recorded")
+	}
+	// 1s / 10ms = 100 jobs (first release at t=0 via Offset 0: the task
+	// starts at Offset then ticks; expect ~100).
+	if st.Count < 90 || st.Count > 110 {
+		t.Fatalf("brake jobs = %d", st.Count)
+	}
+}
+
+func TestFullStackDeviationAndRefinement(t *testing.T) {
+	fs, err := NewFullStack(ReferencePlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acc implementation misbehaves: actual exec up to 3ms vs the
+	// contracted 2ms.
+	rng := sim.NewRNG(5)
+	fs.SetExecBehaviour("acc", func() sim.Time {
+		return sim.Time(rng.Uniform(1500, 3000)) * sim.Microsecond
+	})
+	rep, err := fs.Deploy(fullStackArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("deploy rejected: %v", rep.Findings)
+	}
+	if err := fs.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The budget monitor catches the WCET overruns...
+	if fs.WCETViolations() == 0 {
+		t.Fatal("no WCET violations detected despite misbehaving exec")
+	}
+	// ...and the model-refinement loop evolves the contract.
+	ref, err := fs.Refine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Accepted {
+		t.Fatalf("refinement rejected: %v (%s)", ref.Findings, ref.RejectedAt)
+	}
+	evolved := fs.MCC.Deployed().FunctionByName("acc").Contract.RealTime.WCETUS
+	if evolved <= 2000 {
+		t.Fatalf("contract not evolved: WCET %dus", evolved)
+	}
+	if evolved > 3100 {
+		t.Fatalf("evolved WCET %dus exceeds plausible observation", evolved)
+	}
+	// After refinement the deployed tasks carry the evolved WCET: further
+	// violations against the *new* budget should be rare (the budget now
+	// covers the observed behaviour).
+	before := fs.WCETViolations()
+	if err := fs.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.WCETViolations() - before
+	if after > 5 {
+		t.Fatalf("still %d violations after refinement", after)
+	}
+}
+
+func TestFullStackLeastPrivilege(t *testing.T) {
+	fs, err := NewFullStack(ReferencePlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Deploy(fullStackArch()); err != nil {
+		t.Fatal(err)
+	}
+	// An unmodeled session open is denied by the capability system AND
+	// flagged by the IDS.
+	if _, err := fs.RTE.OpenSession("brake#0", "objects"); !errors.Is(err, rte.ErrNoCapability) {
+		t.Fatalf("unmodeled open: %v", err)
+	}
+	if fs.RTE.DeniedOpens != 1 {
+		t.Fatalf("denied opens = %d", fs.RTE.DeniedOpens)
+	}
+	if fs.IDS.Observe(security.CommEvent{Source: "brake#0", Service: "objects", At: fs.Sim.Now(), Bytes: 8}) {
+		t.Fatal("IDS admitted unmodeled communication")
+	}
+	if len(fs.IDS.Alerts()) != 1 {
+		t.Fatalf("alerts = %d", len(fs.IDS.Alerts()))
+	}
+}
+
+func TestFullStackRejectedDeployLeavesRTEEmpty(t *testing.T) {
+	fs, err := NewFullStack(ReferencePlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := fullStackArch()
+	bad.Functions[0].Contract.RealTime.WCETUS = 10_000_000 // infeasible
+	rep, err := fs.Deploy(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("infeasible deploy accepted")
+	}
+	if got := len(fs.RTE.Components()); got != 0 {
+		t.Fatalf("rejected deploy left %d components", got)
+	}
+}
+
+func TestFunctionOfInstance(t *testing.T) {
+	if functionOfInstance("acc#0") != "acc" {
+		t.Fatal("suffix strip failed")
+	}
+	if functionOfInstance("plain") != "plain" {
+		t.Fatal("no-suffix case failed")
+	}
+}

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/skills"
+	"repro/internal/vehicle"
+)
+
+// IntrusionStrategy selects how the system responds to the compromised
+// rear-braking component (the Section V worked example).
+type IntrusionStrategy string
+
+// Strategies compared by E5.
+const (
+	// StrategySafetyOnly treats the shutdown purely as a component
+	// failure on the safety layer; with no standby for the rear brake,
+	// the only safe decision left is the fail-safe stop.
+	StrategySafetyOnly IntrusionStrategy = "safety-only"
+	// StrategyCrossLayer propagates the loss to the ability layer, which
+	// reassesses skills: reduced speed + drivetrain braking keep the
+	// driving objective alive within safe margins.
+	StrategyCrossLayer IntrusionStrategy = "cross-layer"
+	// StrategyObjectiveStop escalates directly to the objective layer:
+	// transition to a safe state, then deactivate the component.
+	StrategyObjectiveStop IntrusionStrategy = "objective-stop"
+	// StrategyUncoordinated lets every layer decide independently,
+	// exposing conflicting decisions (the paper's warning).
+	StrategyUncoordinated IntrusionStrategy = "uncoordinated"
+)
+
+// IntrusionConfig parameterizes E5.
+type IntrusionConfig struct {
+	Strategy IntrusionStrategy
+	// CruiseSpeed is the speed when the leak is detected (m/s).
+	CruiseSpeed float64
+	// AttackFloodPeriod is the compromised component's message flood
+	// period fed to the IDS (smaller = more aggressive).
+	AttackFloodPeriod sim.Time
+}
+
+// DefaultIntrusionConfig returns the baseline: cross-layer response at
+// motorway speed.
+func DefaultIntrusionConfig() IntrusionConfig {
+	return IntrusionConfig{
+		Strategy:          StrategyCrossLayer,
+		CruiseSpeed:       25,
+		AttackFloodPeriod: 1 * sim.Millisecond,
+	}
+}
+
+// IntrusionResult is the outcome of one E5 run.
+type IntrusionResult struct {
+	Config IntrusionConfig
+	// Detected reports whether the IDS identified the compromised source.
+	Detected bool
+	// DetectionAlerts counts IDS alerts until containment.
+	DetectionAlerts int
+	// Resolution is the final cross-layer decision.
+	Resolution core.Resolution
+	// FunctionalityRetained mirrors the resolution metric.
+	FunctionalityRetained float64
+	// DrivingContinues reports whether the vehicle keeps driving.
+	DrivingContinues bool
+	// SpeedCap is the installed maximum speed (m/s; 0 if stopped or
+	// unlimited).
+	SpeedCap float64
+	// StoppingDistanceM is the worst-case stopping distance from the
+	// operating speed *after* the response (safe margin evidence).
+	StoppingDistanceM float64
+	// Conflicts counts contradictory layer decisions (uncoordinated
+	// baseline only).
+	Conflicts int
+	// PropagationHops counts layer hops until the decision.
+	PropagationHops int
+}
+
+// Rows renders the E5 table row for this strategy.
+func (r IntrusionResult) Rows() []string {
+	return []string{
+		fmt.Sprintf("strategy=%s", r.Config.Strategy),
+		fmt.Sprintf("IDS detected: %v (%d alerts)", r.Detected, r.DetectionAlerts),
+		fmt.Sprintf("decision: %s @ %s", r.Resolution.Action, r.Resolution.Layer),
+		fmt.Sprintf("functionality retained: %.2f, driving continues: %v, speed cap: %.1f m/s",
+			r.FunctionalityRetained, r.DrivingContinues, r.SpeedCap),
+		fmt.Sprintf("stopping distance after response: %.1f m", r.StoppingDistanceM),
+		fmt.Sprintf("conflicting decisions: %d, propagation hops: %d", r.Conflicts, r.PropagationHops),
+	}
+}
+
+// RunIntrusion executes the E5 scenario: a security flaw in the rear
+// braking software component is detected by communication monitoring; the
+// selected strategy decides the response.
+func RunIntrusion(cfg IntrusionConfig) (IntrusionResult, error) {
+	res := IntrusionResult{Config: cfg}
+
+	// --- Detection: the compromised component floods an unauthorized
+	// service; the IDS (trained on the modeled communication) flags it.
+	ids := security.NewIDS()
+	ids.Allow("rear-brake-ctl", "brake-actuator")
+	ids.Allow("acc", "brake-actuator")
+	ids.EndLearning()
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * cfg.AttackFloodPeriod
+		ids.Observe(security.CommEvent{Source: "rear-brake-ctl", Service: "telemetry-exfil", At: at, Bytes: 64})
+	}
+	suspects := ids.SuspectSources(3)
+	res.Detected = len(suspects) > 0 && suspects[0] == "rear-brake-ctl"
+	res.DetectionAlerts = len(ids.Alerts())
+	if !res.Detected {
+		return res, fmt.Errorf("scenario: IDS failed to detect the compromised component")
+	}
+
+	// --- Plant state shared by the layer handlers.
+	veh := vehicle.New(vehicle.DefaultParams())
+	veh.SetSpeed(cfg.CruiseSpeed)
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		return res, err
+	}
+	rep := core.NewSelfRepresentation()
+	rep.AttachAbilityGraph(ag)
+
+	coord := core.NewCoordinator(rep)
+	coord.Uncoordinated = cfg.Strategy == StrategyUncoordinated
+
+	// Security layer: contain the component (cut its VF / kill it), then
+	// raise "component-lost" for the next layer.
+	securityHandler := func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		// Containment: rear braking is gone.
+		veh.SetRearBrakeHealth(0)
+		if err := ag.SetHealth(skills.SinkBrakingSystem, skills.Level(veh.BrakingFraction())); err != nil {
+			return core.Resolution{}, false
+		}
+		rep.SetStatus(core.LayerSecurity, p.Subject, "contained")
+		follow := &core.Problem{
+			Kind: "component-lost", Subject: p.Subject,
+			Origin:   core.LayerSafety,
+			Severity: monitor.Critical,
+			Data:     map[string]float64{"braking_fraction": veh.BrakingFraction()},
+		}
+		sub, err := ctx.Raise(follow)
+		if err != nil {
+			return core.Resolution{}, false
+		}
+		// The security layer's own action is the containment; the overall
+		// outcome is the follow-up decision.
+		sub.Claims = append(sub.Claims, p.Subject)
+		return sub, true
+	}
+
+	// Safety layer: no standby exists for the rear brake circuit in this
+	// vehicle; decline so the problem escalates (or, under safety-only,
+	// the chain ends and fail-safe applies).
+	safetyHandler := func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		if cfg.Strategy == StrategyUncoordinated {
+			// Independent decision: pretend redundancy allows continuing.
+			return core.Resolution{
+				Action: "continue-driving-assuming-redundancy",
+				Claims: []string{"vehicle-motion"}, FunctionalityRetained: 1, SafeState: false,
+			}, true
+		}
+		return core.Resolution{}, false
+	}
+
+	// Ability layer: reassess skills — keep driving with reduced speed
+	// and drivetrain braking.
+	abilityHandler := func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		if cfg.Strategy == StrategyObjectiveStop {
+			return core.Resolution{}, false // forward the search for solutions
+		}
+		veh.SetDrivetrainBraking(true)
+		const demandedStopM = 40 // stopping distance the objective demands
+		cap := veh.SafeSpeedForStoppingDistance(demandedStopM)
+		res.SpeedCap = cap
+		rep.SetStatus(core.LayerAbility, "max-speed", fmt.Sprintf("%.1f", cap))
+		functionality := cap / cfg.CruiseSpeed
+		if functionality > 1 {
+			functionality = 1
+		}
+		return core.Resolution{
+			Action:                "reduce-max-speed+drivetrain-braking",
+			Claims:                []string{"vehicle-motion"},
+			FunctionalityRetained: functionality,
+			SafeState:             true,
+		}, true
+	}
+
+	// Objective layer: transition to a safe state (stop), then deactivate.
+	objectiveHandler := func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		rep.SetStatus(core.LayerObjective, "mission", "safe-stop")
+		return core.Resolution{
+			Action:                "safe-stop-then-deactivate",
+			Claims:                []string{"vehicle-motion"},
+			FunctionalityRetained: 0.05,
+			SafeState:             true,
+		}, true
+	}
+
+	// Escalation topology depends on the strategy.
+	switch cfg.Strategy {
+	case StrategySafetyOnly:
+		if err := coord.RegisterLayer(core.LayerSecurity, securityHandler, ""); err != nil {
+			return res, err
+		}
+		if err := coord.RegisterLayer(core.LayerSafety, safetyHandler, ""); err != nil {
+			return res, err
+		}
+	default:
+		if err := coord.RegisterLayer(core.LayerSecurity, securityHandler, ""); err != nil {
+			return res, err
+		}
+		if err := coord.RegisterLayer(core.LayerSafety, safetyHandler, core.LayerAbility); err != nil {
+			return res, err
+		}
+		if err := coord.RegisterLayer(core.LayerAbility, abilityHandler, core.LayerObjective); err != nil {
+			return res, err
+		}
+		if err := coord.RegisterLayer(core.LayerObjective, objectiveHandler, ""); err != nil {
+			return res, err
+		}
+	}
+
+	decision, err := coord.Report(&core.Problem{
+		Kind: "security-leak", Subject: "rear-brake-ctl",
+		Origin: core.LayerSecurity, Severity: monitor.Critical,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Resolution = decision
+	res.FunctionalityRetained = decision.FunctionalityRetained
+	res.DrivingContinues = decision.FunctionalityRetained > 0.1 && decision.SafeState
+	res.Conflicts = len(coord.Conflicts())
+	res.PropagationHops = len(coord.Traces())
+	// Post-response stopping distance from the operating speed.
+	opSpeed := cfg.CruiseSpeed
+	if res.SpeedCap > 0 && res.SpeedCap < opSpeed {
+		opSpeed = res.SpeedCap
+	}
+	if !res.DrivingContinues {
+		opSpeed = 0
+	}
+	res.StoppingDistanceM = veh.StoppingDistance(opSpeed)
+	return res, nil
+}
+
+// RunIntrusionComparison executes all four strategies (the E5 table).
+func RunIntrusionComparison() ([]IntrusionResult, error) {
+	var out []IntrusionResult
+	for _, s := range []IntrusionStrategy{StrategySafetyOnly, StrategyObjectiveStop, StrategyCrossLayer, StrategyUncoordinated} {
+		cfg := DefaultIntrusionConfig()
+		cfg.Strategy = s
+		r, err := RunIntrusion(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/mcc"
+	"repro/internal/model"
+)
+
+// MCCStreamConfig parameterizes E3: a stream of in-field updates proposed
+// to the MCC on a reference platform.
+type MCCStreamConfig struct {
+	// Updates is the number of proposals (a deterministic mix of feasible
+	// and infeasible ones is generated).
+	Updates int
+}
+
+// DefaultMCCStreamConfig returns the baseline E3 parameters.
+func DefaultMCCStreamConfig() MCCStreamConfig { return MCCStreamConfig{Updates: 24} }
+
+// MCCStreamResult is the E3 outcome.
+type MCCStreamResult struct {
+	Config   MCCStreamConfig
+	Accepted int
+	Rejected int
+	// RejectedByStage counts rejections per pipeline stage.
+	RejectedByStage map[mcc.Stage]int
+	// FinalTasks is the deployed task count at the end.
+	FinalTasks int
+	// FinalMonitors is the planned monitor count at the end.
+	FinalMonitors int
+	// WorstWCRTUS is the largest accepted WCRT in the final config.
+	WorstWCRTUS int64
+}
+
+// Rows renders the E3 table.
+func (r MCCStreamResult) Rows() []string {
+	out := []string{
+		fmt.Sprintf("proposals: %d, accepted: %d, rejected: %d", r.Config.Updates, r.Accepted, r.Rejected),
+	}
+	for _, st := range []mcc.Stage{mcc.StageValidate, mcc.StageMapping, mcc.StageSafety, mcc.StageSecurity, mcc.StageTiming} {
+		if n := r.RejectedByStage[st]; n > 0 {
+			out = append(out, fmt.Sprintf("  rejected at %-9s: %d", st, n))
+		}
+	}
+	out = append(out,
+		fmt.Sprintf("deployed tasks: %d, configured monitors: %d", r.FinalTasks, r.FinalMonitors),
+		fmt.Sprintf("worst accepted WCRT: %dus", r.WorstWCRTUS),
+	)
+	return out
+}
+
+// ReferencePlatform returns the E3 target platform: two ASIL-D lockstep
+// ECUs, one fast QM/B core, one CAN bus.
+func ReferencePlatform() *model.Platform {
+	return &model.Platform{
+		Processors: []model.Processor{
+			{Name: "lockstep-a", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "lockstep-b", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "perf", Policy: model.SPP, SpeedFactor: 2.5, RAMKiB: 16384, MaxSafety: model.ASILB},
+		},
+		Networks: []model.Network{
+			{Name: "can0", BitsPerSec: 500_000, Attached: []string{"lockstep-a", "lockstep-b", "perf"}, Kind: "can"},
+		},
+	}
+}
+
+// RunMCCStream executes E3: propose a deterministic mix of updates —
+// growing workload, occasional contract violations, an unmappable ASIL-D
+// giant, a security violation — and collect the acceptance statistics.
+func RunMCCStream(cfg MCCStreamConfig) (MCCStreamResult, error) {
+	res := MCCStreamResult{Config: cfg, RejectedByStage: make(map[mcc.Stage]int)}
+	m, err := mcc.New(ReferencePlatform())
+	if err != nil {
+		return res, err
+	}
+
+	for i := 0; i < cfg.Updates; i++ {
+		fn := generateUpdate(i)
+		rep := m.ProposeUpdate(fn)
+		if rep.Accepted {
+			res.Accepted++
+		} else {
+			res.Rejected++
+			res.RejectedByStage[rep.RejectedAt]++
+		}
+	}
+
+	impl := m.DeployedImpl()
+	if impl != nil {
+		res.FinalTasks = len(impl.Tasks)
+	}
+	if len(m.History) > 0 {
+		for i := len(m.History) - 1; i >= 0; i-- {
+			if m.History[i].Accepted {
+				res.FinalMonitors = len(m.History[i].Monitors)
+				for _, tr := range m.History[i].Timing {
+					for _, r := range tr.Results {
+						if r.WCRTUS > res.WorstWCRTUS {
+							res.WorstWCRTUS = r.WCRTUS
+						}
+					}
+				}
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// generateUpdate produces the i-th proposal of the deterministic stream.
+func generateUpdate(i int) model.Function {
+	switch i % 8 {
+	case 0: // feasible ASIL-D control function
+		return model.Function{
+			Name: fmt.Sprintf("ctl%d", i),
+			Contract: model.Contract{
+				Safety:    model.ASILD,
+				RealTime:  model.RealTimeContract{PeriodUS: 20000, WCETUS: 1200},
+				Resources: model.ResourceContract{RAMKiB: 128},
+			},
+		}
+	case 1: // feasible QM comfort function
+		return model.Function{
+			Name: fmt.Sprintf("comfort%d", i),
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000},
+				Resources: model.ResourceContract{RAMKiB: 512},
+			},
+		}
+	case 2: // contract violation: WCET exceeds deadline
+		return model.Function{
+			Name: fmt.Sprintf("broken%d", i),
+			Contract: model.Contract{
+				Safety:   model.QM,
+				RealTime: model.RealTimeContract{PeriodUS: 1000, WCETUS: 5000},
+			},
+		}
+	case 3: // feasible ASIL-B perception function
+		return model.Function{
+			Name: fmt.Sprintf("perc%d", i),
+			Contract: model.Contract{
+				Safety:    model.ASILB,
+				RealTime:  model.RealTimeContract{PeriodUS: 50000, WCETUS: 9000},
+				Resources: model.ResourceContract{RAMKiB: 1024},
+			},
+		}
+	case 4: // unmappable: ASIL-D with absurd utilization
+		return model.Function{
+			Name: fmt.Sprintf("giant%d", i),
+			Contract: model.Contract{
+				Safety:    model.ASILD,
+				RealTime:  model.RealTimeContract{PeriodUS: 10000, WCETUS: 9500},
+				Resources: model.ResourceContract{RAMKiB: 64},
+			},
+		}
+	case 5: // fail-operational replicated function (feasible)
+		return model.Function{
+			Name:     fmt.Sprintf("failop%d", i),
+			Replicas: 2,
+			Contract: model.Contract{
+				Safety:          model.ASILD,
+				RealTime:        model.RealTimeContract{PeriodUS: 40000, WCETUS: 1500},
+				Resources:       model.ResourceContract{RAMKiB: 128},
+				FailOperational: true,
+			},
+		}
+	case 6: // memory hog: exceeds every processor's RAM
+		return model.Function{
+			Name: fmt.Sprintf("memhog%d", i),
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 100},
+				Resources: model.ResourceContract{RAMKiB: 1 << 20},
+			},
+		}
+	default: // feasible light telemetry function
+		return model.Function{
+			Name: fmt.Sprintf("telem%d", i),
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 200000, WCETUS: 2000},
+				Resources: model.ResourceContract{RAMKiB: 64},
+			},
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/behavior"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/skills"
+	"repro/internal/vehicle"
+)
+
+// MissionConfig parameterizes the end-to-end mission run (the capstone
+// integration: every layer of the repository acting together over one
+// drive).
+type MissionConfig struct {
+	// DistanceM is the mission length.
+	DistanceM float64
+	// CruiseSpeed is the requested speed (m/s).
+	CruiseSpeed float64
+	// CrossLayer selects the coordinated response; false = any detected
+	// compromise forces an immediate safe stop (the naive baseline).
+	CrossLayer bool
+	// RainAtS / RainClearsAtS bound a weather-degradation window.
+	RainAtS       float64
+	RainClearsAtS float64
+	// IntrusionAtS is when the rear-brake compromise is detected.
+	IntrusionAtS float64
+	// TimeoutS aborts the run.
+	TimeoutS float64
+}
+
+// DefaultMissionConfig returns the baseline mission.
+func DefaultMissionConfig() MissionConfig {
+	return MissionConfig{
+		DistanceM:     10_000,
+		CruiseSpeed:   25,
+		CrossLayer:    true,
+		RainAtS:       60,
+		RainClearsAtS: 150,
+		IntrusionAtS:  240,
+		TimeoutS:      1800,
+	}
+}
+
+// MissionEvent is one entry of the mission log.
+type MissionEvent struct {
+	AtS  float64
+	What string
+}
+
+// MissionResult is the outcome of one mission run.
+type MissionResult struct {
+	Config MissionConfig
+	// Completed reports whether the full distance was covered.
+	Completed bool
+	// DurationS is the time driven (to completion or standstill).
+	DurationS float64
+	// DistanceM is the distance actually covered.
+	DistanceM float64
+	// Maneuvers lists the distinct maneuvers visited, in order.
+	Maneuvers []string
+	// Conflicts counts cross-layer decision conflicts (must be 0).
+	Conflicts int
+	// Events is the annotated timeline.
+	Events []MissionEvent
+	// FinalSpeedCap is the cap in force at the end (0 = none).
+	FinalSpeedCap float64
+}
+
+// Rows renders the mission summary.
+func (r MissionResult) Rows() []string {
+	out := []string{
+		fmt.Sprintf("cross-layer=%v: completed=%v, %.1f km in %.0fs",
+			r.Config.CrossLayer, r.Completed, r.DistanceM/1000, r.DurationS),
+		fmt.Sprintf("maneuvers: %v, conflicts: %d, final speed cap: %.1f m/s",
+			r.Maneuvers, r.Conflicts, r.FinalSpeedCap),
+	}
+	for _, e := range r.Events {
+		out = append(out, fmt.Sprintf("  t=%4.0fs  %s", e.AtS, e.What))
+	}
+	return out
+}
+
+// RunMission executes the capstone scenario: ability-guided behaviour
+// execution with weather degradation and a mid-mission intrusion, handled
+// either cross-layer (derate and continue) or naively (stop).
+func RunMission(cfg MissionConfig) (MissionResult, error) {
+	res := MissionResult{Config: cfg}
+	logEvent := func(t float64, what string) {
+		res.Events = append(res.Events, MissionEvent{AtS: t, What: what})
+	}
+
+	veh := vehicle.New(vehicle.DefaultParams())
+	veh.SetSpeed(cfg.CruiseSpeed)
+	ag, err := skills.InstantiateACC()
+	if err != nil {
+		return res, err
+	}
+	rep := core.NewSelfRepresentation()
+	rep.AttachAbilityGraph(ag)
+	planner := behavior.New(behavior.DefaultConfig(cfg.CruiseSpeed))
+	coord := core.NewCoordinator(rep)
+
+	// Layer stack for the intrusion (mirrors E5's coordinated topology).
+	if err := coord.RegisterLayer(core.LayerSecurity, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		veh.SetRearBrakeHealth(0)
+		if err := ag.SetHealth(skills.SinkBrakingSystem, skills.Level(veh.BrakingFraction())); err != nil {
+			return core.Resolution{}, false
+		}
+		rep.SetStatus(core.LayerSecurity, p.Subject, "contained")
+		sub, err := ctx.Raise(&core.Problem{Kind: "component-lost", Subject: p.Subject, Origin: core.LayerSafety, Severity: monitor.Critical})
+		if err != nil {
+			return core.Resolution{}, false
+		}
+		return sub, true
+	}, ""); err != nil {
+		return res, err
+	}
+	if err := coord.RegisterLayer(core.LayerSafety, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		return core.Resolution{}, false // no rear-brake standby
+	}, core.LayerAbility); err != nil {
+		return res, err
+	}
+	if err := coord.RegisterLayer(core.LayerAbility, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		if !cfg.CrossLayer {
+			return core.Resolution{}, false // naive: no ability reassessment
+		}
+		veh.SetDrivetrainBraking(true)
+		cap := veh.SafeSpeedForStoppingDistance(40)
+		planner.SetSpeedCap(cap)
+		res.FinalSpeedCap = cap
+		return core.Resolution{
+			Action: "derate+drivetrain-braking", Claims: []string{"vehicle-motion"},
+			FunctionalityRetained: cap / cfg.CruiseSpeed, SafeState: true,
+		}, true
+	}, core.LayerObjective); err != nil {
+		return res, err
+	}
+	if err := coord.RegisterLayer(core.LayerObjective, func(p *core.Problem, ctx *core.Context) (core.Resolution, bool) {
+		// Naive endpoint: force the planner into a safe stop by zeroing
+		// the braking ability view.
+		if err := ag.SetHealth(skills.ACCDriving, 0); err != nil {
+			return core.Resolution{}, false
+		}
+		return core.Resolution{
+			Action: "safe-stop", Claims: []string{"vehicle-motion"},
+			FunctionalityRetained: 0.05, SafeState: true,
+		}, true
+	}, ""); err != nil {
+		return res, err
+	}
+
+	const dt = 0.1
+	var lastManeuver string
+	rained, cleared, intruded := false, false, false
+	t := 0.0
+	for ; t < cfg.TimeoutS; t += dt {
+		// Timeline events.
+		if !rained && cfg.RainAtS > 0 && t >= cfg.RainAtS {
+			rained = true
+			if err := ag.SetHealth(skills.SrcEnvSensors, 0.6); err != nil {
+				return res, err
+			}
+			logEvent(t, "heavy rain: sensor quality 0.60")
+		}
+		if !cleared && cfg.RainClearsAtS > 0 && t >= cfg.RainClearsAtS {
+			cleared = true
+			if err := ag.SetHealth(skills.SrcEnvSensors, 1.0); err != nil {
+				return res, err
+			}
+			logEvent(t, "rain clears: sensor quality 1.00")
+		}
+		if !intruded && cfg.IntrusionAtS > 0 && t >= cfg.IntrusionAtS {
+			intruded = true
+			decision, err := coord.Report(&core.Problem{
+				Kind: "security-leak", Subject: "rear-brake-ctl",
+				Origin: core.LayerSecurity, Severity: monitor.Critical,
+			})
+			if err != nil {
+				return res, err
+			}
+			logEvent(t, fmt.Sprintf("intrusion contained; decision: %s @ %s", decision.Action, decision.Layer))
+		}
+
+		// Behaviour execution.
+		d := planner.Step(ag.Level(skills.ACCDriving), veh.Speed())
+		if d.Maneuver.String() != lastManeuver {
+			lastManeuver = d.Maneuver.String()
+			res.Maneuvers = append(res.Maneuvers, lastManeuver)
+			logEvent(t, fmt.Sprintf("maneuver -> %s (%s)", d.Maneuver, d.Reason))
+		}
+
+		// Idealized speed tracking.
+		diff := d.TargetSpeed - veh.Speed()
+		accel := diff / 2
+		if accel > 2 {
+			accel = 2
+		}
+		if accel < -veh.MaxDeceleration() {
+			accel = -veh.MaxDeceleration()
+		}
+		veh.Step(accel, dt)
+
+		if veh.Position() >= cfg.DistanceM {
+			res.Completed = true
+			break
+		}
+		if d.Maneuver == behavior.Standstill && veh.Speed() == 0 {
+			logEvent(t, "standstill: mission aborted")
+			break
+		}
+	}
+	res.DurationS = t
+	res.DistanceM = veh.Position()
+	res.Conflicts = len(coord.Conflicts())
+	return res, nil
+}
+
+// RunMissionComparison runs the mission with and without cross-layer
+// coordination.
+func RunMissionComparison() ([]MissionResult, error) {
+	var out []MissionResult
+	for _, cl := range []bool{true, false} {
+		cfg := DefaultMissionConfig()
+		cfg.CrossLayer = cl
+		r, err := RunMission(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

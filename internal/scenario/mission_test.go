@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/behavior"
+)
+
+func TestMissionCrossLayerCompletes(t *testing.T) {
+	r, err := RunMission(DefaultMissionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatalf("mission incomplete: %.0fm of %.0fm", r.DistanceM, r.Config.DistanceM)
+	}
+	if r.Conflicts != 0 {
+		t.Fatalf("conflicts = %d", r.Conflicts)
+	}
+	// The timeline visits normal -> derated (rain) -> normal -> derated
+	// or normal-with-cap (intrusion); never a safe stop.
+	for _, m := range r.Maneuvers {
+		if m == behavior.SafeStop.String() || m == behavior.Standstill.String() {
+			t.Fatalf("cross-layer mission stopped: %v", r.Maneuvers)
+		}
+	}
+	if r.FinalSpeedCap <= 0 || r.FinalSpeedCap >= r.Config.CruiseSpeed {
+		t.Fatalf("final speed cap = %.1f", r.FinalSpeedCap)
+	}
+	if len(r.Events) == 0 || len(r.Rows()) == 0 {
+		t.Fatal("no events/rows")
+	}
+}
+
+func TestMissionNaiveAborts(t *testing.T) {
+	cfg := DefaultMissionConfig()
+	cfg.CrossLayer = false
+	r, err := RunMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Fatal("naive mission completed despite forced stop")
+	}
+	found := false
+	for _, m := range r.Maneuvers {
+		if m == behavior.SafeStop.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no safe stop in naive run: %v", r.Maneuvers)
+	}
+	// It stopped around the intrusion, well short of the goal.
+	if r.DistanceM >= cfg.DistanceM {
+		t.Fatalf("distance = %.0f", r.DistanceM)
+	}
+}
+
+func TestMissionComparisonShape(t *testing.T) {
+	rs, err := RunMissionComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("runs = %d", len(rs))
+	}
+	cross, naive := rs[0], rs[1]
+	if !cross.Completed || naive.Completed {
+		t.Fatalf("completion: cross=%v naive=%v", cross.Completed, naive.Completed)
+	}
+	if cross.DistanceM <= naive.DistanceM {
+		t.Fatal("cross-layer did not cover more distance")
+	}
+}
+
+func TestMissionWithoutIntrusion(t *testing.T) {
+	cfg := DefaultMissionConfig()
+	cfg.IntrusionAtS = 0
+	r, err := RunMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("clean mission incomplete")
+	}
+	if r.FinalSpeedCap != 0 {
+		t.Fatalf("speed cap without intrusion: %.1f", r.FinalSpeedCap)
+	}
+}
+
+func TestMissionDeterministic(t *testing.T) {
+	a, err := RunMission(DefaultMissionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMission(DefaultMissionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DurationS != b.DurationS || a.DistanceM != b.DistanceM {
+		t.Fatal("mission not deterministic")
+	}
+}

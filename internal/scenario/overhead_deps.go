@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/monitor"
+	"repro/internal/rte"
+	"repro/internal/sim"
+)
+
+// OverheadResult is the E9 outcome: the cost of run-time monitoring,
+// which the paper claims "is actually implemented with very little
+// interference on the actual functionality".
+type OverheadResult struct {
+	// BaselineMaxRespUS is the critical task's max response without
+	// monitoring.
+	BaselineMaxRespUS int64
+	// MonitoredMaxRespUS is the same with budget+rate monitors attached.
+	MonitoredMaxRespUS int64
+	// OverheadPct is the relative increase.
+	OverheadPct float64
+	// Deviations counts monitor findings during the run (sanity: the
+	// monitors actually observed the workload).
+	Deviations int
+	// Jobs counts supervised completions.
+	Jobs int
+}
+
+// Rows renders the E9 table.
+func (r OverheadResult) Rows() []string {
+	return []string{
+		fmt.Sprintf("max response unmonitored: %dus", r.BaselineMaxRespUS),
+		fmt.Sprintf("max response monitored:   %dus", r.MonitoredMaxRespUS),
+		fmt.Sprintf("monitoring overhead: %.2f%% over %d jobs", r.OverheadPct, r.Jobs),
+	}
+}
+
+// RunMonitorOverhead executes E9: the same task set with and without
+// monitoring; monitoring costs one extra context-switch-equivalent per
+// supervised completion (charged as dispatch overhead).
+func RunMonitorOverhead() (OverheadResult, error) {
+	var res OverheadResult
+	run := func(monitored bool) (int64, int, int, error) {
+		s := sim.New()
+		p := rte.NewProc(s, "ecu", 1.0)
+		rng := sim.NewRNG(3)
+		spec := rte.TaskSpec{
+			Name: "ctl", Priority: 1, Period: 10 * sim.Millisecond, WCET: 4 * sim.Millisecond,
+			Exec: func() sim.Time { return sim.Time(rng.Uniform(2000, 4200)) * sim.Microsecond },
+		}
+		if err := p.AddTask(spec); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := p.AddTask(rte.TaskSpec{
+			Name: "bg", Priority: 2, Period: 50 * sim.Millisecond, WCET: 20 * sim.Millisecond,
+		}); err != nil {
+			return 0, 0, 0, err
+		}
+		devs := 0
+		jobs := 0
+		if monitored {
+			// The monitor itself: a budget check per completion plus a
+			// rate check; its execution cost is modeled as 20us of
+			// dispatch overhead per context switch.
+			p.CtxSwitch = 20 * sim.Microsecond
+			var sink monitor.Sink = func(monitor.Deviation) { devs++ }
+			bm := monitor.NewBudgetMonitor("ctl", 4*sim.Millisecond, sink)
+			rm := monitor.NewRateMonitor("ctl", 10*sim.Millisecond, sim.Millisecond, false, sink)
+			p.OnCompletion(func(j rte.JobRecord) {
+				if j.Task != "ctl" {
+					return
+				}
+				jobs++
+				bm.ObserveJob(j.Exec, j.Finish, j.Deadline)
+				rm.Arrival(j.Release)
+			})
+		}
+		if err := s.RunFor(10 * sim.Second); err != nil {
+			return 0, 0, 0, err
+		}
+		_, _, _, maxResp, err := p.TaskStats("ctl")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return int64(maxResp / sim.Microsecond), devs, jobs, nil
+	}
+
+	base, _, _, err := run(false)
+	if err != nil {
+		return res, err
+	}
+	mon, devs, jobs, err := run(true)
+	if err != nil {
+		return res, err
+	}
+	res.BaselineMaxRespUS = base
+	res.MonitoredMaxRespUS = mon
+	res.Deviations = devs
+	res.Jobs = jobs
+	if base > 0 {
+		res.OverheadPct = 100 * float64(mon-base) / float64(base)
+	}
+	return res, nil
+}
+
+// DepsResult is the E10 outcome: automated cross-layer dependency
+// analysis versus the manual per-layer FMEA baseline.
+type DepsResult struct {
+	// RowsData lists, per analyzed failure source, the impact set sizes.
+	RowsData []DepsRow
+	// ChainsToObjective counts effect chains from the power supply into
+	// the objective layer.
+	ChainsToObjective int
+	// CommonCauses lists nodes impacting both driving functions.
+	CommonCauses []string
+}
+
+// DepsRow compares automated and manual impact sizes for one source.
+type DepsRow struct {
+	Source    string
+	Manual    int
+	Automated int
+	MissedPct float64
+}
+
+// Rows renders the E10 table.
+func (r DepsResult) Rows() []string {
+	out := []string{"failure source      manual  automated  missed-by-manual"}
+	for _, row := range r.RowsData {
+		out = append(out, fmt.Sprintf("%-18s %6d %10d %16.0f%%", row.Source, row.Manual, row.Automated, row.MissedPct))
+	}
+	out = append(out,
+		fmt.Sprintf("effect chains psu -> objective layer: %d", r.ChainsToObjective),
+		fmt.Sprintf("common causes of both driving functions: %v", r.CommonCauses),
+	)
+	return out
+}
+
+// BuildVehicleDependencyGraph constructs a vehicle-scale cross-layer
+// dependency model: 2 ECUs + power + thermal environment, CAN, OS
+// schedulers, 4 functions, safety mechanisms, and the driving objective.
+func BuildVehicleDependencyGraph() (*deps.Graph, error) {
+	g := deps.NewGraph()
+	n := func(l deps.Layer, name string) deps.NodeID { return deps.NodeID{Layer: l, Name: name} }
+	type e struct {
+		from, to deps.NodeID
+		kind     deps.EdgeKind
+	}
+	edges := []e{
+		// Platform.
+		{n(deps.LayerPlatform, "ecu1"), n(deps.LayerPlatform, "psu"), deps.DependsOn},
+		{n(deps.LayerPlatform, "ecu2"), n(deps.LayerPlatform, "psu"), deps.DependsOn},
+		{n(deps.LayerPlatform, "ambient-temp"), n(deps.LayerPlatform, "ecu1"), deps.Influences},
+		{n(deps.LayerPlatform, "ambient-temp"), n(deps.LayerPlatform, "ecu2"), deps.Influences},
+		// Comm.
+		{n(deps.LayerComm, "can0"), n(deps.LayerPlatform, "psu"), deps.DependsOn},
+		// OS.
+		{n(deps.LayerOS, "rte1"), n(deps.LayerPlatform, "ecu1"), deps.MapsTo},
+		{n(deps.LayerOS, "rte2"), n(deps.LayerPlatform, "ecu2"), deps.MapsTo},
+		// Functions.
+		{n(deps.LayerFunction, "perception"), n(deps.LayerOS, "rte2"), deps.MapsTo},
+		{n(deps.LayerFunction, "perception"), n(deps.LayerComm, "can0"), deps.DependsOn},
+		{n(deps.LayerFunction, "acc"), n(deps.LayerOS, "rte1"), deps.MapsTo},
+		{n(deps.LayerFunction, "acc"), n(deps.LayerFunction, "perception"), deps.DependsOn},
+		{n(deps.LayerFunction, "acc"), n(deps.LayerComm, "can0"), deps.DependsOn},
+		{n(deps.LayerFunction, "brake-ctl"), n(deps.LayerOS, "rte1"), deps.MapsTo},
+		{n(deps.LayerFunction, "brake-ctl"), n(deps.LayerComm, "can0"), deps.DependsOn},
+		{n(deps.LayerFunction, "hmi"), n(deps.LayerOS, "rte2"), deps.MapsTo},
+		// Safety mechanisms.
+		{n(deps.LayerSafety, "brake-monitor"), n(deps.LayerFunction, "brake-ctl"), deps.DependsOn},
+		{n(deps.LayerSafety, "brake-monitor"), n(deps.LayerOS, "rte1"), deps.MapsTo},
+		// Objective.
+		{n(deps.LayerObjective, "driving"), n(deps.LayerFunction, "acc"), deps.DependsOn},
+		{n(deps.LayerObjective, "driving"), n(deps.LayerFunction, "brake-ctl"), deps.DependsOn},
+		{n(deps.LayerObjective, "driving"), n(deps.LayerSafety, "brake-monitor"), deps.DependsOn},
+	}
+	for _, ed := range edges {
+		if err := g.AddEdge(ed.from, ed.to, ed.kind); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RunDependencyAnalysis executes E10.
+func RunDependencyAnalysis() (DepsResult, error) {
+	var res DepsResult
+	g, err := BuildVehicleDependencyGraph()
+	if err != nil {
+		return res, err
+	}
+	sources := []deps.NodeID{
+		{Layer: deps.LayerPlatform, Name: "psu"},
+		{Layer: deps.LayerPlatform, Name: "ecu1"},
+		{Layer: deps.LayerPlatform, Name: "ambient-temp"},
+		{Layer: deps.LayerComm, Name: "can0"},
+	}
+	for _, src := range sources {
+		man := g.ManualImpactSize(src)
+		auto := g.ImpactSize(src)
+		missed := 0.0
+		if auto > 0 {
+			missed = 100 * float64(auto-man) / float64(auto)
+		}
+		res.RowsData = append(res.RowsData, DepsRow{
+			Source: src.String(), Manual: man, Automated: auto, MissedPct: missed,
+		})
+	}
+	chains := g.EffectChains(deps.NodeID{Layer: deps.LayerPlatform, Name: "psu"}, deps.LayerObjective, 10)
+	res.ChainsToObjective = len(chains)
+	cc := g.CommonCause([]deps.NodeID{
+		{Layer: deps.LayerFunction, Name: "acc"},
+		{Layer: deps.LayerFunction, Name: "brake-ctl"},
+	})
+	for _, c := range cc {
+		res.CommonCauses = append(res.CommonCauses, c.String())
+	}
+	return res, nil
+}

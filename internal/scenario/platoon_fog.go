@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/platoon"
+	"repro/internal/sim"
+)
+
+// PlatoonConfig parameterizes E7.
+type PlatoonConfig struct {
+	Seed uint64
+	// Honest is the number of honest members.
+	Honest int
+	// Byzantine is the number of compromised members.
+	Byzantine int
+	// Rounds is the number of agreement rounds.
+	Rounds int
+	// TargetVelocity is the honest members' intended velocity (m/s).
+	TargetVelocity float64
+	// VisibilityM is the fog visibility for the fog sub-scenario.
+	VisibilityM float64
+	// BlindSensorFrac is the degraded vehicle's fog sensor fraction.
+	BlindSensorFrac float64
+}
+
+// DefaultPlatoonConfig returns the baseline E7 parameters.
+func DefaultPlatoonConfig() PlatoonConfig {
+	return PlatoonConfig{
+		Seed: 7, Honest: 6, Byzantine: 1, Rounds: 20,
+		TargetVelocity: 22, VisibilityM: 60, BlindSensorFrac: 0.15,
+	}
+}
+
+// PlatoonResult is the outcome of one E7 run.
+type PlatoonResult struct {
+	Config PlatoonConfig
+	// MaxAgreementError is the largest |agreed - honest target| across
+	// rounds.
+	MaxAgreementError float64
+	// ByzantineEjectedRound is the round at which the last byzantine
+	// member's trust fell below 0.5 (-1 = never).
+	ByzantineEjectedRound int
+	// HonestMinTrust is the lowest honest trust at the end.
+	HonestMinTrust float64
+	// SoloSpeed and PlatoonSpeed are the fog sub-scenario speeds (m/s).
+	SoloSpeed    float64
+	PlatoonSpeed float64
+}
+
+// Rows renders the E7 table.
+func (r PlatoonResult) Rows() []string {
+	ej := "never"
+	if r.ByzantineEjectedRound >= 0 {
+		ej = fmt.Sprintf("round %d", r.ByzantineEjectedRound)
+	}
+	return []string{
+		fmt.Sprintf("n=%d honest + %d byzantine, %d rounds", r.Config.Honest, r.Config.Byzantine, r.Config.Rounds),
+		fmt.Sprintf("max agreement error: %.2f m/s", r.MaxAgreementError),
+		fmt.Sprintf("byzantine identified (trust<0.5): %s; honest min trust: %.2f", ej, r.HonestMinTrust),
+		fmt.Sprintf("fog (visibility %.0fm, own sensors %.0f%%): solo %.1f m/s vs platoon %.1f m/s",
+			r.Config.VisibilityM, 100*r.Config.BlindSensorFrac, r.SoloSpeed, r.PlatoonSpeed),
+	}
+}
+
+// RunPlatoon executes E7: agreement under byzantine members plus the fog
+// membership benefit.
+func RunPlatoon(cfg PlatoonConfig) (PlatoonResult, error) {
+	res := PlatoonResult{Config: cfg, ByzantineEjectedRound: -1}
+	rng := sim.NewRNG(cfg.Seed)
+	p := platoon.New()
+
+	var byzIDs []string
+	for i := 0; i < cfg.Honest; i++ {
+		r := rng.Split(uint64(i + 1))
+		if _, err := p.Join(fmt.Sprintf("honest%d", i), func(int) float64 {
+			return cfg.TargetVelocity + r.Uniform(-0.5, 0.5)
+		}); err != nil {
+			return res, err
+		}
+	}
+	for i := 0; i < cfg.Byzantine; i++ {
+		r := rng.Split(uint64(100 + i))
+		id := fmt.Sprintf("byz%d", i)
+		byzIDs = append(byzIDs, id)
+		if _, err := p.Join(id, func(int) float64 {
+			return r.Uniform(-500, 500) // arbitrary lies
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		rr, err := p.AgreeVelocity(cfg.Byzantine)
+		if err != nil {
+			return res, err
+		}
+		errV := rr.Agreed - cfg.TargetVelocity
+		if errV < 0 {
+			errV = -errV
+		}
+		if errV > res.MaxAgreementError {
+			res.MaxAgreementError = errV
+		}
+		if res.ByzantineEjectedRound < 0 {
+			allBelow := true
+			for _, id := range byzIDs {
+				if p.Trust(id) >= 0.5 {
+					allBelow = false
+					break
+				}
+			}
+			if allBelow && len(byzIDs) > 0 {
+				res.ByzantineEjectedRound = round
+			}
+		}
+	}
+	res.HonestMinTrust = 1
+	for i := 0; i < cfg.Honest; i++ {
+		if tr := p.Trust(fmt.Sprintf("honest%d", i)); tr < res.HonestMinTrust {
+			res.HonestMinTrust = tr
+		}
+	}
+
+	// Fog sub-scenario.
+	pol := platoon.FogPolicy{
+		VisibilityM:     cfg.VisibilityM,
+		SensorRangeFrac: cfg.BlindSensorFrac,
+		ReactionS:       1.0,
+		MaxDecel:        6,
+	}
+	res.SoloSpeed = pol.SoloSpeed()
+	res.PlatoonSpeed = pol.PlatoonSpeed(1.0, 25)
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+)
+
+// RoutingConfig parameterizes E8.
+type RoutingConfig struct {
+	// PassRisk is the degradation probability on the alpine pass.
+	PassRisk float64
+	// Weights is the risk-weight sweep.
+	Weights []float64
+}
+
+// DefaultRoutingConfig returns a shoulder-season pass risk where the
+// planner's choice genuinely depends on its degradation aversion.
+func DefaultRoutingConfig() RoutingConfig {
+	return RoutingConfig{
+		PassRisk: 0.05,
+		Weights:  []float64{0, 0.5, 1, 2, 4, 8},
+	}
+}
+
+// RoutingRow is one sweep point of E8.
+type RoutingRow struct {
+	Weight               float64
+	Via                  string
+	TimeH                float64
+	ExpectedDegradations float64
+}
+
+// RoutingResult is the E8 outcome.
+type RoutingResult struct {
+	Config    RoutingConfig
+	RowsData  []RoutingRow
+	Crossover float64 // -1 when the choice never flips
+}
+
+// Rows renders the E8 table.
+func (r RoutingResult) Rows() []string {
+	out := []string{fmt.Sprintf("pass degradation risk = %.2f", r.Config.PassRisk)}
+	for _, row := range r.RowsData {
+		out = append(out, fmt.Sprintf("weight %.2f: via %-6s time %.2fh expected degradations %.3f",
+			row.Weight, row.Via, row.TimeH, row.ExpectedDegradations))
+	}
+	if r.Crossover >= 0 {
+		out = append(out, fmt.Sprintf("crossover weight: %.3f", r.Crossover))
+	} else {
+		out = append(out, "crossover: none (one route dominates)")
+	}
+	return out
+}
+
+// RunRouting executes E8: sweep the degradation-aversion weight over the
+// alpine scenario and locate the crossover.
+func RunRouting(cfg RoutingConfig) (RoutingResult, error) {
+	res := RoutingResult{Config: cfg}
+	n := routing.AlpineScenario(cfg.PassRisk)
+	for _, w := range cfg.Weights {
+		route, err := n.Plan("start", "goal", w)
+		if err != nil {
+			return res, err
+		}
+		via := "?"
+		if len(route.Nodes) >= 2 {
+			via = route.Nodes[1]
+		}
+		res.RowsData = append(res.RowsData, RoutingRow{
+			Weight: w, Via: via, TimeH: route.TimeH,
+			ExpectedDegradations: route.ExpectedDegradations,
+		})
+	}
+	cw, err := n.CrossoverWeight("start", "goal", 16)
+	if err != nil {
+		return res, err
+	}
+	res.Crossover = cw
+	return res, nil
+}

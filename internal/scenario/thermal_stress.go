@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rte"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// ThermalPolicy selects the awareness level of the E6 run.
+type ThermalPolicy string
+
+// Policies compared by E6.
+const (
+	// PolicyNone: no thermal awareness; only silicon-enforced throttling
+	// acts, abruptly and late — the critical task misses deadlines and
+	// the chip spends time above the damage threshold.
+	PolicyNone ThermalPolicy = "none"
+	// PolicyDVFS: platform-local awareness; a reactive governor steps the
+	// frequency down on heat. The chip stays healthy and the critical
+	// task survives, but the slowed processor can no longer serve the
+	// best-effort load, which misses uncontrolledly.
+	PolicyDVFS ThermalPolicy = "dvfs-only"
+	// PolicyCrossLayer: DVFS plus a model-domain reaction — the QM task
+	// is shed (a controlled, model-based decision) so the remaining set
+	// is schedulable and cool at the reduced level; the load returns
+	// after the heat wave.
+	PolicyCrossLayer ThermalPolicy = "cross-layer"
+)
+
+// ThermalConfig parameterizes E6.
+type ThermalConfig struct {
+	Policy ThermalPolicy
+	// DurationS is the simulated time (s).
+	DurationS float64
+	// HeatWaveC is the ambient rise during the wave.
+	HeatWaveC float64
+}
+
+// DefaultThermalConfig returns the baseline heat-soak scenario.
+func DefaultThermalConfig() ThermalConfig {
+	return ThermalConfig{Policy: PolicyCrossLayer, DurationS: 600, HeatWaveC: 40}
+}
+
+// ThermalResult is the outcome of one E6 run.
+type ThermalResult struct {
+	Config ThermalConfig
+	// CriticalMisses / CriticalJobs: the safety-critical control task.
+	CriticalMisses int
+	CriticalJobs   int
+	// TotalMisses / TotalJobs: all completed jobs, including best-effort.
+	TotalMisses int
+	TotalJobs   int
+	// PeakTempC is the maximum junction temperature reached.
+	PeakTempC float64
+	// TimeAboveCriticalS is the time spent above the damage threshold.
+	TimeAboveCriticalS float64
+	// ShedQMTask reports whether the cross-layer reaction shed load.
+	ShedQMTask bool
+	// GovernorTransitions counts DVFS level changes.
+	GovernorTransitions int
+}
+
+// MissRate returns critical misses / jobs.
+func (r ThermalResult) MissRate() float64 {
+	if r.CriticalJobs == 0 {
+		return 0
+	}
+	return float64(r.CriticalMisses) / float64(r.CriticalJobs)
+}
+
+// TotalMissRate returns all misses / all jobs.
+func (r ThermalResult) TotalMissRate() float64 {
+	if r.TotalJobs == 0 {
+		return 0
+	}
+	return float64(r.TotalMisses) / float64(r.TotalJobs)
+}
+
+// Rows renders the E6 table row.
+func (r ThermalResult) Rows() []string {
+	return []string{
+		fmt.Sprintf("policy=%s", r.Config.Policy),
+		fmt.Sprintf("critical task: %d/%d misses (%.2f%%); all tasks: %d/%d (%.2f%%)",
+			r.CriticalMisses, r.CriticalJobs, 100*r.MissRate(),
+			r.TotalMisses, r.TotalJobs, 100*r.TotalMissRate()),
+		fmt.Sprintf("peak temperature: %.1f C, time above critical: %.1f s", r.PeakTempC, r.TimeAboveCriticalS),
+		fmt.Sprintf("DVFS transitions: %d, QM load shed: %v", r.GovernorTransitions, r.ShedQMTask),
+	}
+}
+
+// scenarioLevels are the E6 operating points: the eco level is chosen such
+// that the critical task alone remains schedulable (6ms/0.65 = 9.2ms
+// < 10ms) but the full set does not fit.
+func scenarioLevels() []thermal.OperatingPoint {
+	return []thermal.OperatingPoint{
+		{Name: "turbo", Speed: 1.0, PowerW: 18},
+		{Name: "nominal", Speed: 0.8, PowerW: 11},
+		{Name: "eco", Speed: 0.65, PowerW: 6},
+	}
+}
+
+// RunThermal executes the E6 scenario: an ECU running a critical control
+// task (60% utilization) plus a best-effort QM task (25%) is exposed to an
+// ambient heat wave.
+func RunThermal(cfg ThermalConfig) (ThermalResult, error) {
+	res := ThermalResult{Config: cfg}
+	s := sim.New()
+	proc := rte.NewProc(s, "ecu", 1.0)
+
+	infotainment := rte.TaskSpec{
+		Name: "infotainment", Priority: 2, Period: 40 * sim.Millisecond, WCET: 10 * sim.Millisecond,
+	}
+	if err := proc.AddTask(rte.TaskSpec{
+		Name: "ctl", Priority: 1, Period: 10 * sim.Millisecond, WCET: 6 * sim.Millisecond,
+	}); err != nil {
+		return res, err
+	}
+	if err := proc.AddTask(infotainment); err != nil {
+		return res, err
+	}
+	// Count misses through the listener so shedding/reinstating the QM
+	// task does not reset the statistics.
+	proc.OnCompletion(func(j rte.JobRecord) {
+		res.TotalJobs++
+		if j.Missed {
+			res.TotalMisses++
+		}
+		if j.Task == "ctl" {
+			res.CriticalJobs++
+			if j.Missed {
+				res.CriticalMisses++
+			}
+		}
+	})
+
+	model := thermal.NewModel(2.0, 40, 30)
+	// The governor reacts at 84°C — just below the silicon throttle onset
+	// (85°C) — so the controlled DVFS response preempts the uncontrolled
+	// hardware one.
+	gov, err := thermal.NewGovernor(scenarioLevels(), 84, 75)
+	if err != nil {
+		return res, err
+	}
+	throttle := thermal.DefaultThrottle()
+	profile := thermal.AmbientProfile{
+		BaseC: 30, SwingC: 3, PeriodS: 1200,
+		HeatWaveStartS: 120, HeatWaveEndS: cfg.DurationS - 120, HeatWaveC: cfg.HeatWaveC,
+	}
+
+	shed := false
+	everShed := false
+	const tickS = 0.1
+	s.Every(sim.FromSeconds(tickS), func() bool {
+		tS := s.Now().Seconds()
+		model.SetAmbient(profile.At(tS))
+
+		// Dissipated power follows the active operating point scaled by
+		// the measured utilization (shedding load cools the chip).
+		util := proc.Utilization()
+		if util > 1 {
+			util = 1
+		}
+		level := gov.Current()
+		powerBase := level.PowerW
+		if cfg.Policy == PolicyNone {
+			powerBase = scenarioLevels()[0].PowerW
+		}
+		model.Step(powerBase*(0.2+0.8*util), tickS)
+
+		if model.TempC > res.PeakTempC {
+			res.PeakTempC = model.TempC
+		}
+		if model.TempC >= throttle.CriticalC {
+			res.TimeAboveCriticalS += tickS
+		}
+
+		// Platform reaction: silicon throttling always acts; the governor
+		// only under the aware policies.
+		speed := throttle.Factor(model.TempC)
+		if cfg.Policy != PolicyNone {
+			gov.Update(model.TempC)
+			speed *= gov.Current().Speed
+		}
+		proc.SetSpeed(speed)
+
+		// Cross-layer reaction: when the governor leaves turbo, the model
+		// domain sheds the QM task so the critical task stays schedulable
+		// at the lower level and the chip cools further.
+		if cfg.Policy == PolicyCrossLayer {
+			if !shed && gov.Current().Speed < 1.0 {
+				if err := proc.RemoveTask("infotainment"); err == nil {
+					shed = true
+					everShed = true
+				}
+			}
+			if shed && gov.Current().Speed >= 1.0 && model.TempC < 70 {
+				if err := proc.AddTask(infotainment); err == nil {
+					shed = false
+				}
+			}
+		}
+		return s.Now() < sim.FromSeconds(cfg.DurationS)
+	})
+
+	if err := s.RunFor(sim.FromSeconds(cfg.DurationS)); err != nil {
+		return res, err
+	}
+	res.ShedQMTask = everShed
+	res.GovernorTransitions = gov.Transitions
+	return res, nil
+}
+
+// RunThermalComparison executes all three policies (the E6 table).
+func RunThermalComparison() ([]ThermalResult, error) {
+	var out []ThermalResult
+	for _, pol := range []ThermalPolicy{PolicyNone, PolicyDVFS, PolicyCrossLayer} {
+		cfg := DefaultThermalConfig()
+		cfg.Policy = pol
+		r, err := RunThermal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package security
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// CommEvent is one observed communication act: component src invoked
+// service svc (or transmitted on a channel labelled svc).
+type CommEvent struct {
+	Source  string
+	Service string
+	At      sim.Time
+	Bytes   int
+}
+
+// Alert is an intrusion detection finding.
+type Alert struct {
+	Kind    string // "unauthorized-communication", "rate-anomaly", "payload-anomaly"
+	Source  string
+	Service string
+	At      sim.Time
+	Detail  string
+}
+
+// pairKey identifies a (source, service) communication relation.
+type pairKey struct{ src, svc string }
+
+type pairProfile struct {
+	// minGap is the smallest inter-arrival observed during learning.
+	minGap sim.Time
+	// maxBytes is the largest payload observed during learning.
+	maxBytes int
+	last     sim.Time
+	seen     int
+}
+
+// IDS is a communication-behaviour intrusion detector after [5]: during a
+// learning phase it records which (source, service) pairs communicate and
+// their rate/payload envelope; in detection mode any unauthorized pair or
+// out-of-envelope behaviour raises an alert. The allowed-pair table can
+// also be installed directly from the MCC's implementation model (the
+// modeled connections are the ground truth of permitted communication).
+type IDS struct {
+	learning bool
+	profiles map[pairKey]*pairProfile
+	allowed  map[pairKey]bool
+	alerts   []Alert
+	sinks    []func(Alert)
+
+	// RateSlack loosens the learned minimum gap: an arrival is anomalous
+	// only if the gap is shorter than minGap/RateSlack. Default 2.
+	RateSlack float64
+	// PayloadSlack loosens the learned max payload. Default 1.5.
+	PayloadSlack float64
+}
+
+// NewIDS returns a detector in learning mode.
+func NewIDS() *IDS {
+	return &IDS{
+		learning:     true,
+		profiles:     make(map[pairKey]*pairProfile),
+		allowed:      make(map[pairKey]bool),
+		RateSlack:    2,
+		PayloadSlack: 1.5,
+	}
+}
+
+// OnAlert registers an alert callback.
+func (d *IDS) OnAlert(fn func(Alert)) { d.sinks = append(d.sinks, fn) }
+
+// Allow whitelists a (source, service) pair, e.g. from the MCC's modeled
+// connections.
+func (d *IDS) Allow(source, service string) {
+	d.allowed[pairKey{source, service}] = true
+}
+
+// Learning reports whether the detector is still in the learning phase.
+func (d *IDS) Learning() bool { return d.learning }
+
+// EndLearning freezes the learned profiles and switches to detection.
+func (d *IDS) EndLearning() {
+	d.learning = false
+	for k := range d.profiles {
+		d.allowed[k] = true
+	}
+}
+
+// Alerts returns all raised alerts.
+func (d *IDS) Alerts() []Alert { return d.alerts }
+
+// AlertsBySource returns alerts grouped per source, sorted by source name.
+func (d *IDS) AlertsBySource() map[string][]Alert {
+	out := make(map[string][]Alert)
+	for _, a := range d.alerts {
+		out[a.Source] = append(out[a.Source], a)
+	}
+	return out
+}
+
+// SuspectSources returns sources with at least threshold alerts, sorted by
+// descending alert count — the containment candidates of the intrusion
+// scenario.
+func (d *IDS) SuspectSources(threshold int) []string {
+	counts := d.AlertsBySource()
+	var out []string
+	for src, as := range counts {
+		if len(as) >= threshold {
+			out = append(out, src)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(counts[out[i]]) != len(counts[out[j]]) {
+			return len(counts[out[i]]) > len(counts[out[j]])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func (d *IDS) raise(a Alert) {
+	d.alerts = append(d.alerts, a)
+	for _, s := range d.sinks {
+		s(a)
+	}
+}
+
+// Observe feeds one communication event; it returns true if the event is
+// considered benign.
+func (d *IDS) Observe(e CommEvent) bool {
+	k := pairKey{e.Source, e.Service}
+	p := d.profiles[k]
+	if d.learning {
+		if p == nil {
+			p = &pairProfile{minGap: -1, last: e.At}
+			d.profiles[k] = p
+			p.seen = 1
+			if e.Bytes > p.maxBytes {
+				p.maxBytes = e.Bytes
+			}
+			return true
+		}
+		gap := e.At - p.last
+		if p.minGap < 0 || (gap > 0 && gap < p.minGap) {
+			p.minGap = gap
+		}
+		if e.Bytes > p.maxBytes {
+			p.maxBytes = e.Bytes
+		}
+		p.last = e.At
+		p.seen++
+		return true
+	}
+
+	// Detection mode.
+	if !d.allowed[k] {
+		d.raise(Alert{
+			Kind: "unauthorized-communication", Source: e.Source, Service: e.Service, At: e.At,
+			Detail: fmt.Sprintf("%s never communicates with %s in the model", e.Source, e.Service),
+		})
+		return false
+	}
+	benign := true
+	if p != nil {
+		if p.minGap > 0 && d.RateSlack > 0 {
+			gap := e.At - p.last
+			if gap >= 0 && float64(gap) < float64(p.minGap)/d.RateSlack {
+				d.raise(Alert{
+					Kind: "rate-anomaly", Source: e.Source, Service: e.Service, At: e.At,
+					Detail: fmt.Sprintf("gap %v below learned floor %v", gap, p.minGap),
+				})
+				benign = false
+			}
+		}
+		if p.maxBytes > 0 && float64(e.Bytes) > float64(p.maxBytes)*d.PayloadSlack {
+			d.raise(Alert{
+				Kind: "payload-anomaly", Source: e.Source, Service: e.Service, At: e.At,
+				Detail: fmt.Sprintf("payload %dB exceeds learned envelope %dB", e.Bytes, p.maxBytes),
+			})
+			benign = false
+		}
+		p.last = e.At
+	}
+	return benign
+}

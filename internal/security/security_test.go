@@ -1,0 +1,267 @@
+package security
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func buildThreatModel(t *testing.T) *ThreatModel {
+	t.Helper()
+	m := NewThreatModel()
+	checks := []error{
+		m.AddEntry(EntryPoint{Name: "telematics", Exposure: 8}),
+		m.AddEntry(EntryPoint{Name: "obd", Exposure: 3}),
+		m.AddAsset(Asset{Name: "rear-brake-ctl", Kind: AssetService, Criticality: 10}),
+		m.AddAsset(Asset{Name: "trip-log", Kind: AssetData, Criticality: 3}),
+		m.AddEdge(Edge{From: "telematics", To: "gateway", Difficulty: 4}),
+		m.AddEdge(Edge{From: "gateway", To: "rear-brake-ctl", Difficulty: 6}),
+		m.AddEdge(Edge{From: "gateway", To: "trip-log", Difficulty: 1}),
+		m.AddEdge(Edge{From: "obd", To: "trip-log", Difficulty: 2}),
+	}
+	for _, err := range checks {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestReachableAssets(t *testing.T) {
+	m := buildThreatModel(t)
+	got := m.ReachableAssets("telematics")
+	if len(got) != 2 || got[0] != "rear-brake-ctl" || got[1] != "trip-log" {
+		t.Fatalf("reachable = %v", got)
+	}
+	got = m.ReachableAssets("obd")
+	if len(got) != 1 || got[0] != "trip-log" {
+		t.Fatalf("reachable from obd = %v", got)
+	}
+}
+
+func TestShortestPaths(t *testing.T) {
+	m := buildThreatModel(t)
+	paths := m.ShortestPaths("telematics")
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	var brakePath AttackPath
+	for _, p := range paths {
+		if p.Asset == "rear-brake-ctl" {
+			brakePath = p
+		}
+	}
+	if brakePath.Effort != 10 {
+		t.Fatalf("effort = %d, want 10", brakePath.Effort)
+	}
+	if len(brakePath.Steps) != 3 || brakePath.Steps[1] != "gateway" {
+		t.Fatalf("steps = %v", brakePath.Steps)
+	}
+	// Risk: criticality 10 * exposure 8 / effort 10 = 8.
+	if r := brakePath.Risk(m); r != 8 {
+		t.Fatalf("risk = %v", r)
+	}
+}
+
+func TestThreatModelValidation(t *testing.T) {
+	m := NewThreatModel()
+	if err := m.AddAsset(Asset{Name: "x", Criticality: 0}); err == nil {
+		t.Fatal("criticality 0 accepted")
+	}
+	if err := m.AddEntry(EntryPoint{Name: "x", Exposure: 11}); err == nil {
+		t.Fatal("exposure 11 accepted")
+	}
+	if err := m.AddEdge(Edge{From: "a", To: "b", Difficulty: 0}); err == nil {
+		t.Fatal("difficulty 0 accepted")
+	}
+}
+
+func TestHardenAndTotalRisk(t *testing.T) {
+	m := buildThreatModel(t)
+	before := m.TotalRisk("telematics")
+	if before <= 0 {
+		t.Fatalf("base risk = %v", before)
+	}
+	// Harden the telematics->gateway hop (e.g. authenticated tunnel).
+	if err := m.Harden("telematics", "gateway", 9); err != nil {
+		t.Fatal(err)
+	}
+	after := m.TotalRisk("telematics")
+	if after >= before {
+		t.Fatalf("hardening did not reduce risk: %v -> %v", before, after)
+	}
+	// Hardening cannot lower difficulty, reject bad ranges and ghosts.
+	if err := m.Harden("telematics", "gateway", 2); err == nil {
+		t.Fatal("difficulty lowering accepted")
+	}
+	if err := m.Harden("telematics", "gateway", 11); err == nil {
+		t.Fatal("out-of-range difficulty accepted")
+	}
+	if err := m.Harden("ghost", "gateway", 9); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+}
+
+func TestBestMitigation(t *testing.T) {
+	m := buildThreatModel(t)
+	base := m.TotalRisk("telematics")
+	edge, residual, err := m.BestMitigation("telematics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual >= base {
+		t.Fatalf("best mitigation does not reduce risk: %v -> %v", base, residual)
+	}
+	// The choke point from telematics is the telematics->gateway hop
+	// (hardening it degrades every downstream path).
+	if edge.From != "telematics" || edge.To != "gateway" {
+		t.Fatalf("best mitigation = %+v", edge)
+	}
+	// The evaluation must not have mutated the model.
+	if got := m.TotalRisk("telematics"); got != base {
+		t.Fatalf("model mutated: %v -> %v", base, got)
+	}
+}
+
+func testIM() *model.ImplementationModel {
+	fa := &model.FunctionalArchitecture{
+		Functions: []model.Function{
+			{Name: "acc", Provides: []string{"accel_cmd"}, Contract: model.Contract{Domain: "drive"}},
+			{Name: "brake", Requires: []string{"accel_cmd"}, Contract: model.Contract{Domain: "drive"}},
+			{Name: "telematics", Requires: []string{"accel_cmd"}, Contract: model.Contract{Domain: "connectivity"}},
+		},
+	}
+	plat := &model.Platform{Processors: []model.Processor{{Name: "ecu", Policy: model.SPP, SpeedFactor: 1, RAMKiB: 1024, MaxSafety: model.ASILD}}}
+	tech := &model.TechnicalArchitecture{
+		Platform: plat, Func: fa,
+		Instances: []model.Instance{
+			{Function: "acc", Processor: "ecu"},
+			{Function: "brake", Processor: "ecu"},
+			{Function: "telematics", Processor: "ecu"},
+		},
+	}
+	return &model.ImplementationModel{
+		Tech: tech,
+		Connections: []model.Connection{
+			{Client: "brake#0", Server: "acc#0", Service: "accel_cmd"},
+			{Client: "telematics#0", Server: "acc#0", Service: "accel_cmd", CrossDomain: true},
+		},
+	}
+}
+
+func TestCheckDomains(t *testing.T) {
+	im := testIM()
+	f := CheckDomains(im)
+	if len(f) != 1 || f[0].Rule != "cross-domain-connection" {
+		t.Fatalf("findings = %v", f)
+	}
+	// Whitelist the peer: passes.
+	im.Tech.Func.Functions[2].Contract.AllowedPeers = []string{"accel_cmd"}
+	if f := CheckDomains(im); len(f) != 0 {
+		t.Fatalf("findings after allow = %v", f)
+	}
+}
+
+func TestIDSLearnsAndDetectsUnauthorized(t *testing.T) {
+	d := NewIDS()
+	// Learning: acc talks to brake every 10ms.
+	for i := 0; i < 10; i++ {
+		d.Observe(CommEvent{Source: "acc", Service: "braking", At: sim.Time(i) * 10 * sim.Millisecond, Bytes: 8})
+	}
+	d.EndLearning()
+	if d.Learning() {
+		t.Fatal("still learning")
+	}
+	// Authorized pair at learned rate: benign.
+	if !d.Observe(CommEvent{Source: "acc", Service: "braking", At: 110 * sim.Millisecond, Bytes: 8}) {
+		t.Fatal("benign event flagged")
+	}
+	// Unknown pair: alert.
+	if d.Observe(CommEvent{Source: "infotainment", Service: "braking", At: 120 * sim.Millisecond, Bytes: 8}) {
+		t.Fatal("unauthorized pair admitted")
+	}
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != "unauthorized-communication" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestIDSRateAnomaly(t *testing.T) {
+	d := NewIDS()
+	for i := 0; i < 10; i++ {
+		d.Observe(CommEvent{Source: "acc", Service: "braking", At: sim.Time(i) * 10 * sim.Millisecond, Bytes: 8})
+	}
+	d.EndLearning()
+	// Gap 1ms << learned floor 10ms / slack 2 = 5ms: anomaly.
+	d.Observe(CommEvent{Source: "acc", Service: "braking", At: 100 * sim.Millisecond, Bytes: 8})
+	if d.Observe(CommEvent{Source: "acc", Service: "braking", At: 101 * sim.Millisecond, Bytes: 8}) {
+		t.Fatal("flooding admitted")
+	}
+	found := false
+	for _, a := range d.Alerts() {
+		if a.Kind == "rate-anomaly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rate-anomaly alert: %v", d.Alerts())
+	}
+}
+
+func TestIDSPayloadAnomaly(t *testing.T) {
+	d := NewIDS()
+	for i := 0; i < 5; i++ {
+		d.Observe(CommEvent{Source: "acc", Service: "braking", At: sim.Time(i) * 10 * sim.Millisecond, Bytes: 8})
+	}
+	d.EndLearning()
+	if d.Observe(CommEvent{Source: "acc", Service: "braking", At: 60 * sim.Millisecond, Bytes: 64}) {
+		t.Fatal("oversized payload admitted")
+	}
+	found := false
+	for _, a := range d.Alerts() {
+		if a.Kind == "payload-anomaly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no payload-anomaly alert: %v", d.Alerts())
+	}
+}
+
+func TestIDSAllowFromModel(t *testing.T) {
+	d := NewIDS()
+	d.Allow("acc", "braking")
+	d.EndLearning()
+	if !d.Observe(CommEvent{Source: "acc", Service: "braking", At: 0, Bytes: 8}) {
+		t.Fatal("model-allowed pair flagged")
+	}
+}
+
+func TestIDSSuspectSources(t *testing.T) {
+	d := NewIDS()
+	d.EndLearning()
+	var cbAlerts int
+	d.OnAlert(func(Alert) { cbAlerts++ })
+	for i := 0; i < 5; i++ {
+		d.Observe(CommEvent{Source: "mallory", Service: "braking", At: sim.Time(i), Bytes: 8})
+	}
+	d.Observe(CommEvent{Source: "oops", Service: "braking", At: 10, Bytes: 8})
+	suspects := d.SuspectSources(3)
+	if len(suspects) != 1 || suspects[0] != "mallory" {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	if got := d.AlertsBySource(); len(got["mallory"]) != 5 || len(got["oops"]) != 1 {
+		t.Fatalf("by source = %v", got)
+	}
+	if cbAlerts != 6 {
+		t.Fatalf("callback alerts = %d", cbAlerts)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "r", Subject: "s", Detail: "d"}
+	if f.String() != "[r] s: d" {
+		t.Fatalf("String = %q", f.String())
+	}
+}

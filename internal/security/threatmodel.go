@@ -1,0 +1,326 @@
+// Package security implements the security viewpoint of the CCC model
+// domain: a vehicle threat model after "Towards Comprehensive Threat
+// Modeling for Vehicles" [4] (assets, entry points, attack paths with
+// reachability/risk analysis), the MCC's cross-domain communication
+// acceptance check, and a communication-behaviour intrusion detection
+// system after [5], which the cross-layer intrusion scenario (Section V)
+// builds on: "by monitoring communication behavior, the system itself is
+// capable of detecting components or subsystems affected by a security
+// leak".
+package security
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// AssetKind classifies what an attacker could compromise.
+type AssetKind int
+
+// Asset kinds.
+const (
+	// AssetService is a software service (e.g. rear braking control).
+	AssetService AssetKind = iota
+	// AssetData is stored or transmitted data.
+	AssetData
+	// AssetActuation is a physical actuation capability.
+	AssetActuation
+)
+
+// Asset is something of value in the threat model.
+type Asset struct {
+	Name string
+	Kind AssetKind
+	// Criticality in 1..10 (impact of compromise).
+	Criticality int
+}
+
+// EntryPoint is an attack surface (OBD port, telematics unit, V2X radio).
+type EntryPoint struct {
+	Name string
+	// Exposure in 1..10 (ease of initial access).
+	Exposure int
+}
+
+// Edge is a potential lateral movement: an attacker at From can pivot to
+// To with the given difficulty (1 = trivial .. 10 = very hard).
+type Edge struct {
+	From, To   string
+	Difficulty int
+}
+
+// ThreatModel is the attack graph over entry points, intermediate
+// components and assets.
+type ThreatModel struct {
+	Assets  map[string]Asset
+	Entries map[string]EntryPoint
+	edges   map[string][]Edge
+}
+
+// NewThreatModel returns an empty model.
+func NewThreatModel() *ThreatModel {
+	return &ThreatModel{
+		Assets:  make(map[string]Asset),
+		Entries: make(map[string]EntryPoint),
+		edges:   make(map[string][]Edge),
+	}
+}
+
+// AddAsset registers an asset node.
+func (m *ThreatModel) AddAsset(a Asset) error {
+	if a.Criticality < 1 || a.Criticality > 10 {
+		return fmt.Errorf("security: asset %q criticality %d outside 1..10", a.Name, a.Criticality)
+	}
+	m.Assets[a.Name] = a
+	return nil
+}
+
+// AddEntry registers an entry point.
+func (m *ThreatModel) AddEntry(e EntryPoint) error {
+	if e.Exposure < 1 || e.Exposure > 10 {
+		return fmt.Errorf("security: entry %q exposure %d outside 1..10", e.Name, e.Exposure)
+	}
+	m.Entries[e.Name] = e
+	return nil
+}
+
+// AddEdge registers a pivot edge.
+func (m *ThreatModel) AddEdge(e Edge) error {
+	if e.Difficulty < 1 || e.Difficulty > 10 {
+		return fmt.Errorf("security: edge %s->%s difficulty %d outside 1..10", e.From, e.To, e.Difficulty)
+	}
+	m.edges[e.From] = append(m.edges[e.From], e)
+	return nil
+}
+
+// AttackPath is a concrete route from an entry point to an asset.
+type AttackPath struct {
+	Entry string
+	Asset string
+	Steps []string // node names including entry and asset
+	// Effort is the sum of edge difficulties along the path.
+	Effort int
+}
+
+// Risk scores the path: criticality * exposure scaled down by effort.
+// Higher = more urgent.
+func (p AttackPath) Risk(m *ThreatModel) float64 {
+	a, okA := m.Assets[p.Asset]
+	e, okE := m.Entries[p.Entry]
+	if !okA || !okE || p.Effort == 0 {
+		return 0
+	}
+	return float64(a.Criticality*e.Exposure) / float64(p.Effort)
+}
+
+// ReachableAssets returns the assets reachable from the given entry point,
+// sorted by name.
+func (m *ThreatModel) ReachableAssets(entry string) []string {
+	seen := map[string]bool{entry: true}
+	stack := []string{entry}
+	var out []string
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.edges[n] {
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			if _, isAsset := m.Assets[e.To]; isAsset {
+				out = append(out, e.To)
+			}
+			stack = append(stack, e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShortestPaths returns, for every reachable asset, the minimum-effort
+// attack path from the entry (Dijkstra over edge difficulty).
+func (m *ThreatModel) ShortestPaths(entry string) []AttackPath {
+	const inf = int(^uint(0) >> 1)
+	dist := map[string]int{entry: 0}
+	prev := map[string]string{}
+	visited := map[string]bool{}
+	for {
+		// Extract min unvisited (deterministic tie-break by name).
+		cur, curD := "", inf
+		var names []string
+		for n := range dist {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if !visited[n] && dist[n] < curD {
+				cur, curD = n, dist[n]
+			}
+		}
+		if cur == "" {
+			break
+		}
+		visited[cur] = true
+		for _, e := range m.edges[cur] {
+			nd := curD + e.Difficulty
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = cur
+			}
+		}
+	}
+	var out []AttackPath
+	var assets []string
+	for a := range m.Assets {
+		assets = append(assets, a)
+	}
+	sort.Strings(assets)
+	for _, a := range assets {
+		d, ok := dist[a]
+		if !ok || a == entry {
+			continue
+		}
+		// Reconstruct.
+		var steps []string
+		for n := a; ; n = prev[n] {
+			steps = append([]string{n}, steps...)
+			if n == entry {
+				break
+			}
+		}
+		out = append(out, AttackPath{Entry: entry, Asset: a, Steps: steps, Effort: d})
+	}
+	return out
+}
+
+// Harden raises the difficulty of the pivot edge from->to (installing a
+// mitigation: authentication on a diagnostic interface, a filtering
+// gateway, ...). It returns an error if no such edge exists.
+func (m *ThreatModel) Harden(from, to string, newDifficulty int) error {
+	if newDifficulty < 1 || newDifficulty > 10 {
+		return fmt.Errorf("security: difficulty %d outside 1..10", newDifficulty)
+	}
+	found := false
+	for i := range m.edges[from] {
+		if m.edges[from][i].To == to {
+			if newDifficulty < m.edges[from][i].Difficulty {
+				return fmt.Errorf("security: hardening cannot lower difficulty (%d -> %d)",
+					m.edges[from][i].Difficulty, newDifficulty)
+			}
+			m.edges[from][i].Difficulty = newDifficulty
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("security: no edge %s -> %s", from, to)
+	}
+	return nil
+}
+
+// TotalRisk sums the risk of the minimum-effort path to every asset
+// reachable from the entry — the metric a mitigation campaign drives down.
+func (m *ThreatModel) TotalRisk(entry string) float64 {
+	var sum float64
+	for _, p := range m.ShortestPaths(entry) {
+		sum += p.Risk(m)
+	}
+	return sum
+}
+
+// BestMitigation evaluates hardening every single edge to maxDifficulty
+// (10) and returns the edge whose hardening reduces TotalRisk from the
+// entry the most, with the residual risk. It does not mutate the model.
+func (m *ThreatModel) BestMitigation(entry string) (Edge, float64, error) {
+	base := m.TotalRisk(entry)
+	var best Edge
+	bestRisk := base
+	found := false
+	// Deterministic edge order.
+	var froms []string
+	for f := range m.edges {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	for _, f := range froms {
+		for _, e := range m.edges[f] {
+			if e.Difficulty >= 10 {
+				continue
+			}
+			// Trial-harden on a copy of the difficulty.
+			old := e.Difficulty
+			if err := m.Harden(e.From, e.To, 10); err != nil {
+				return Edge{}, 0, err
+			}
+			risk := m.TotalRisk(entry)
+			// Restore.
+			for i := range m.edges[e.From] {
+				if m.edges[e.From][i].To == e.To {
+					m.edges[e.From][i].Difficulty = old
+				}
+			}
+			if risk < bestRisk {
+				bestRisk = risk
+				best = e
+				found = true
+			}
+		}
+	}
+	if !found {
+		return Edge{}, base, fmt.Errorf("security: no mitigation reduces risk from %q", entry)
+	}
+	return best, bestRisk, nil
+}
+
+// Finding is a security-viewpoint acceptance result.
+type Finding struct {
+	Rule    string
+	Subject string
+	Detail  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Subject, f.Detail) }
+
+// CheckDomains verifies the implementation model's sessions against the
+// contracting language's security domains: a connection crossing domains
+// requires an explicit AllowedPeers entry on the client's contract
+// (default-deny, mirroring the capability system of the execution domain).
+func CheckDomains(im *model.ImplementationModel) []Finding {
+	var out []Finding
+	fa := im.Tech.Func
+	fnOf := func(instanceID string) *model.Function {
+		for _, in := range im.Tech.Instances {
+			if in.ID() == instanceID {
+				return fa.FunctionByName(in.Function)
+			}
+		}
+		return nil
+	}
+	for _, c := range im.Connections {
+		client := fnOf(c.Client)
+		server := fnOf(c.Server)
+		if client == nil || server == nil {
+			continue // structural validation reports these
+		}
+		if client.Contract.Domain == server.Contract.Domain {
+			continue
+		}
+		allowed := false
+		for _, p := range client.Contract.AllowedPeers {
+			if p == c.Service {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			out = append(out, Finding{
+				Rule:    "cross-domain-connection",
+				Subject: fmt.Sprintf("%s -> %s", c.Client, c.Server),
+				Detail: fmt.Sprintf("client domain %q, server domain %q, service %q not in allowed peers",
+					client.Contract.Domain, server.Contract.Domain, c.Service),
+			})
+		}
+	}
+	return out
+}

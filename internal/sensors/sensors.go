@@ -1,0 +1,282 @@
+// Package sensors simulates the environmental and vehicle sensors whose
+// data-quality assessment Section IV calls for: "these self-diagnostic
+// capabilities need to be extended towards the data quality assessment for
+// environmental sensors (e.g. cameras, LiDAR-, RADAR-sensors)".
+//
+// Each sensor produces noisy measurements of ground truth, supports fault
+// injection (dropout, bias, freeze, noise inflation), and — crucially —
+// carries a *self-assessment*: a quality estimate in [0,1] derived from
+// internal indicators, which feeds the corresponding data-source node of
+// the ability graph. A plain heartbeat check (the SAFER baseline) only
+// notices total dropout; the quality signal also exposes silent
+// degradation.
+package sensors
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// FaultKind enumerates injectable sensor faults.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone: nominal operation.
+	FaultNone FaultKind = iota
+	// FaultDropout: measurements are lost with the configured probability.
+	FaultDropout
+	// FaultBias: a constant offset corrupts the measurement.
+	FaultBias
+	// FaultFreeze: the sensor repeats its last measurement.
+	FaultFreeze
+	// FaultNoisy: measurement noise is inflated by the magnitude factor.
+	FaultNoisy
+)
+
+var faultNames = [...]string{"none", "dropout", "bias", "freeze", "noisy"}
+
+func (k FaultKind) String() string {
+	if k < 0 || int(k) >= len(faultNames) {
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+	return faultNames[k]
+}
+
+// RangeMeasurement is one object-sensor reading.
+type RangeMeasurement struct {
+	// Gap is the measured distance to the lead object (m).
+	Gap float64
+	// RelSpeed is the measured relative speed (lead - ego, m/s).
+	RelSpeed float64
+	// At is the measurement time.
+	At sim.Time
+}
+
+// ObjectSensor is a radar-like range sensor measuring gap and relative
+// speed to a lead object.
+type ObjectSensor struct {
+	rng *sim.RNG
+
+	// NoiseGapM and NoiseRelMS are the nominal 1-sigma noises.
+	NoiseGapM  float64
+	NoiseRelMS float64
+
+	fault     FaultKind
+	magnitude float64
+
+	haveLast bool
+	last     RangeMeasurement
+
+	// Self-assessment bookkeeping.
+	attempts int
+	drops    int
+}
+
+// NewObjectSensor creates a sensor with the given deterministic RNG.
+func NewObjectSensor(rng *sim.RNG) *ObjectSensor {
+	return &ObjectSensor{rng: rng, NoiseGapM: 0.3, NoiseRelMS: 0.2}
+}
+
+// InjectFault sets the active fault. magnitude means: dropout probability
+// for FaultDropout, offset in metres for FaultBias, noise multiplier for
+// FaultNoisy; it is ignored for FaultFreeze/FaultNone.
+func (s *ObjectSensor) InjectFault(k FaultKind, magnitude float64) {
+	s.fault = k
+	s.magnitude = magnitude
+}
+
+// Fault returns the active fault kind.
+func (s *ObjectSensor) Fault() FaultKind { return s.fault }
+
+// Measure produces a reading of the true gap and relative speed. ok is
+// false when the measurement is lost (dropout).
+func (s *ObjectSensor) Measure(trueGap, trueRel float64, now sim.Time) (m RangeMeasurement, ok bool) {
+	s.attempts++
+	switch s.fault {
+	case FaultDropout:
+		if s.rng.Bool(s.magnitude) {
+			s.drops++
+			return RangeMeasurement{}, false
+		}
+	case FaultFreeze:
+		if s.haveLast {
+			frozen := s.last
+			frozen.At = now
+			return frozen, true
+		}
+	}
+	noiseScale := 1.0
+	if s.fault == FaultNoisy && s.magnitude > 1 {
+		noiseScale = s.magnitude
+	}
+	m = RangeMeasurement{
+		Gap:      trueGap + s.rng.Norm(0, s.NoiseGapM*noiseScale),
+		RelSpeed: trueRel + s.rng.Norm(0, s.NoiseRelMS*noiseScale),
+		At:       now,
+	}
+	if s.fault == FaultBias {
+		m.Gap += s.magnitude
+	}
+	s.haveLast = true
+	s.last = m
+	return m, true
+}
+
+// Quality is the sensor's self-assessment in [0,1], derived from internal
+// indicators: observed drop rate and the noise level relative to nominal.
+// A frozen or biased sensor cannot see its own fault through these
+// indicators (quality stays high) — that blindness is what plausibility
+// cross-checks (below) exist for.
+func (s *ObjectSensor) Quality() float64 {
+	q := 1.0
+	if s.attempts > 0 {
+		q *= 1 - float64(s.drops)/float64(s.attempts)
+	}
+	if s.fault == FaultNoisy && s.magnitude > 1 {
+		q /= s.magnitude
+	}
+	if s.fault == FaultDropout {
+		// The dropout rate itself is the indicator; blend in the
+		// configured probability for fast detection on few samples.
+		q = math.Min(q, 1-s.magnitude)
+	}
+	return clamp01(q)
+}
+
+// PlausibilityChecker cross-checks consecutive range measurements against
+// physical limits — the mechanism that catches freeze and bias faults that
+// self-assessment alone misses (Section IV contrasts this with the
+// boundary checks of RACE [16]).
+type PlausibilityChecker struct {
+	// MaxGapRate is the largest physically plausible gap change rate
+	// (m/s), i.e. |dGap/dt| bound.
+	MaxGapRate float64
+	// MaxGap is the sensor's specified range (m).
+	MaxGap float64
+
+	havePrev bool
+	prev     RangeMeasurement
+
+	// Violations counts implausible transitions; Checks counts all.
+	Violations int
+	Checks     int
+	// consecutiveStatic counts identical consecutive readings (freeze
+	// indicator).
+	consecutiveStatic int
+}
+
+// NewPlausibilityChecker returns a checker with the given physical bounds.
+func NewPlausibilityChecker(maxGapRate, maxGap float64) *PlausibilityChecker {
+	return &PlausibilityChecker{MaxGapRate: maxGapRate, MaxGap: maxGap}
+}
+
+// Check examines one measurement; false means implausible.
+func (c *PlausibilityChecker) Check(m RangeMeasurement) bool {
+	c.Checks++
+	ok := true
+	if m.Gap < 0 || m.Gap > c.MaxGap {
+		ok = false
+	}
+	if c.havePrev {
+		dt := (m.At - c.prev.At).Seconds()
+		if dt > 0 {
+			rate := math.Abs(m.Gap-c.prev.Gap) / dt
+			if rate > c.MaxGapRate {
+				ok = false
+			}
+			// Freeze detection: gap must evolve roughly with relative
+			// speed; a perfectly static reading while relative speed is
+			// large is implausible.
+			if m.Gap == c.prev.Gap && m.RelSpeed == c.prev.RelSpeed {
+				c.consecutiveStatic++
+				if c.consecutiveStatic >= 5 && math.Abs(m.RelSpeed) > 0.5 {
+					ok = false
+				}
+			} else {
+				c.consecutiveStatic = 0
+			}
+		}
+	}
+	c.havePrev = true
+	c.prev = m
+	if !ok {
+		c.Violations++
+	}
+	return ok
+}
+
+// TrustScore returns 1 - violation rate, the checker's contribution to the
+// data-source health.
+func (c *PlausibilityChecker) TrustScore() float64 {
+	if c.Checks == 0 {
+		return 1
+	}
+	return clamp01(1 - float64(c.Violations)/float64(c.Checks))
+}
+
+// WheelSpeedSensor measures ego speed with multiplicative noise.
+type WheelSpeedSensor struct {
+	rng *sim.RNG
+	// NoiseFrac is the 1-sigma relative error.
+	NoiseFrac float64
+	fault     FaultKind
+	magnitude float64
+}
+
+// NewWheelSpeedSensor creates a wheel-speed sensor.
+func NewWheelSpeedSensor(rng *sim.RNG) *WheelSpeedSensor {
+	return &WheelSpeedSensor{rng: rng, NoiseFrac: 0.01}
+}
+
+// InjectFault sets the active fault (FaultBias offset in m/s, FaultNoisy
+// multiplier).
+func (s *WheelSpeedSensor) InjectFault(k FaultKind, magnitude float64) {
+	s.fault = k
+	s.magnitude = magnitude
+}
+
+// Measure returns the measured speed.
+func (s *WheelSpeedSensor) Measure(trueSpeed float64) float64 {
+	scale := 1.0
+	if s.fault == FaultNoisy && s.magnitude > 1 {
+		scale = s.magnitude
+	}
+	v := trueSpeed * (1 + s.rng.Norm(0, s.NoiseFrac*scale))
+	if s.fault == FaultBias {
+		v += s.magnitude
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// TemperatureSensor reads a temperature source with additive noise.
+type TemperatureSensor struct {
+	rng *sim.RNG
+	// NoiseC is the 1-sigma error in °C.
+	NoiseC float64
+}
+
+// NewTemperatureSensor creates a temperature sensor.
+func NewTemperatureSensor(rng *sim.RNG) *TemperatureSensor {
+	return &TemperatureSensor{rng: rng, NoiseC: 0.5}
+}
+
+// Measure returns the measured temperature for a true value.
+func (s *TemperatureSensor) Measure(trueC float64) float64 {
+	return trueC + s.rng.Norm(0, s.NoiseC)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

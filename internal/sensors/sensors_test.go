@@ -1,0 +1,204 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNominalMeasurementNearTruth(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(1))
+	var sumGap, sumRel float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		m, ok := s.Measure(50, -3, sim.Time(i))
+		if !ok {
+			t.Fatal("nominal dropout")
+		}
+		sumGap += m.Gap
+		sumRel += m.RelSpeed
+	}
+	if math.Abs(sumGap/n-50) > 0.1 {
+		t.Fatalf("mean gap = %v", sumGap/n)
+	}
+	if math.Abs(sumRel/n+3) > 0.1 {
+		t.Fatalf("mean rel = %v", sumRel/n)
+	}
+	if q := s.Quality(); q < 0.99 {
+		t.Fatalf("nominal quality = %v", q)
+	}
+}
+
+func TestDropoutFault(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(2))
+	s.InjectFault(FaultDropout, 0.5)
+	drops := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, ok := s.Measure(50, 0, sim.Time(i)); !ok {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drops = %d, want ~500", drops)
+	}
+	if q := s.Quality(); q > 0.6 {
+		t.Fatalf("dropout quality = %v, want <= 0.5ish", q)
+	}
+}
+
+func TestBiasFaultInvisibleToSelfAssessment(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(3))
+	s.InjectFault(FaultBias, 10)
+	m, ok := s.Measure(50, 0, 0)
+	if !ok {
+		t.Fatal("bias dropout")
+	}
+	if m.Gap < 58 || m.Gap > 62 {
+		t.Fatalf("biased gap = %v, want ~60", m.Gap)
+	}
+	// Self-assessment is blind to bias — this is by design; the
+	// plausibility checker catches it.
+	if q := s.Quality(); q < 0.99 {
+		t.Fatalf("bias quality = %v, want ~1 (blind)", q)
+	}
+}
+
+func TestFreezeFault(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(4))
+	m0, _ := s.Measure(50, -5, 0)
+	s.InjectFault(FaultFreeze, 0)
+	m1, ok := s.Measure(40, -5, sim.Second)
+	if !ok {
+		t.Fatal("freeze dropout")
+	}
+	if m1.Gap != m0.Gap || m1.RelSpeed != m0.RelSpeed {
+		t.Fatalf("frozen measurement changed: %v vs %v", m1, m0)
+	}
+	if m1.At != sim.Second {
+		t.Fatal("frozen timestamp not updated")
+	}
+}
+
+func TestNoisyFaultDegradesQuality(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(5))
+	s.InjectFault(FaultNoisy, 5)
+	if q := s.Quality(); math.Abs(q-0.2) > 1e-9 {
+		t.Fatalf("noisy quality = %v, want 0.2", q)
+	}
+	// Spread is actually larger.
+	var dev float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m, _ := s.Measure(50, 0, sim.Time(i))
+		dev += (m.Gap - 50) * (m.Gap - 50)
+	}
+	sigma := math.Sqrt(dev / n)
+	if sigma < 1.0 { // nominal 0.3 * 5 = 1.5
+		t.Fatalf("noisy sigma = %v, want ~1.5", sigma)
+	}
+}
+
+func TestPlausibilityCatchesJump(t *testing.T) {
+	c := NewPlausibilityChecker(60, 200)
+	if !c.Check(RangeMeasurement{Gap: 50, At: 0}) {
+		t.Fatal("first measurement rejected")
+	}
+	// 100 m jump in 10 ms: impossible.
+	if c.Check(RangeMeasurement{Gap: 150, At: 10 * sim.Millisecond}) {
+		t.Fatal("teleporting object accepted")
+	}
+	if c.TrustScore() >= 1 {
+		t.Fatal("trust unchanged after violation")
+	}
+}
+
+func TestPlausibilityCatchesFreeze(t *testing.T) {
+	c := NewPlausibilityChecker(60, 200)
+	// Identical readings with large relative speed: implausible after 5.
+	bad := 0
+	for i := 0; i < 10; i++ {
+		m := RangeMeasurement{Gap: 50, RelSpeed: -8, At: sim.Time(i) * 100 * sim.Millisecond}
+		if !c.Check(m) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("freeze never flagged")
+	}
+}
+
+func TestPlausibilityCatchesOutOfRange(t *testing.T) {
+	c := NewPlausibilityChecker(60, 200)
+	if c.Check(RangeMeasurement{Gap: 300, At: 0}) {
+		t.Fatal("beyond-range gap accepted")
+	}
+	if c.Check(RangeMeasurement{Gap: -5, At: sim.Second}) {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestPlausibilityAcceptsNominal(t *testing.T) {
+	c := NewPlausibilityChecker(60, 200)
+	for i := 0; i < 100; i++ {
+		gap := 50 - float64(i)*0.3 // closing at 3 m/s with 100ms period
+		if !c.Check(RangeMeasurement{Gap: gap, RelSpeed: -3, At: sim.Time(i) * 100 * sim.Millisecond}) {
+			t.Fatalf("nominal measurement %d rejected", i)
+		}
+	}
+	if c.TrustScore() != 1 {
+		t.Fatalf("trust = %v", c.TrustScore())
+	}
+}
+
+func TestWheelSpeedSensor(t *testing.T) {
+	s := NewWheelSpeedSensor(sim.NewRNG(6))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += s.Measure(20)
+	}
+	if math.Abs(sum/n-20) > 0.1 {
+		t.Fatalf("mean speed = %v", sum/n)
+	}
+	s.InjectFault(FaultBias, 5)
+	if v := s.Measure(20); v < 23 {
+		t.Fatalf("biased speed = %v", v)
+	}
+	// Never negative.
+	s.InjectFault(FaultBias, -100)
+	if v := s.Measure(20); v != 0 {
+		t.Fatalf("negative speed = %v", v)
+	}
+}
+
+func TestTemperatureSensor(t *testing.T) {
+	s := NewTemperatureSensor(sim.NewRNG(7))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += s.Measure(85)
+	}
+	if math.Abs(sum/n-85) > 0.2 {
+		t.Fatalf("mean temp = %v", sum/n)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultNone.String() != "none" || FaultFreeze.String() != "freeze" {
+		t.Fatal("fault names")
+	}
+}
+
+func TestQualityRecoversAfterFaultCleared(t *testing.T) {
+	s := NewObjectSensor(sim.NewRNG(8))
+	s.InjectFault(FaultNoisy, 10)
+	if q := s.Quality(); q > 0.2 {
+		t.Fatalf("faulty quality = %v", q)
+	}
+	s.InjectFault(FaultNone, 0)
+	if q := s.Quality(); q < 0.99 {
+		t.Fatalf("cleared quality = %v", q)
+	}
+}

@@ -1,0 +1,255 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// shared by all simulators in this repository (the run-time environment,
+// the CAN bus, the vehicle dynamics loop, the thermal model, ...).
+//
+// The kernel is intentionally minimal: a virtual clock, a priority queue of
+// events, and a deterministic random number source. All higher-level
+// simulators compose these primitives. Determinism is a hard requirement —
+// the experiments in EXPERIMENTS.md must be exactly reproducible — so all
+// randomness must flow through RNG and event ordering is total (time, then
+// insertion sequence).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+// It is deliberately distinct from time.Time: simulations never consult
+// the wall clock.
+type Time int64
+
+// Common virtual durations, mirroring time package granularity.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the virtual time using time.Duration notation.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns t expressed in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts seconds to a virtual Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Micros returns t expressed in microseconds as a float64.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. The callback runs with the simulator
+// clock set to the event's due time.
+type Event struct {
+	due    Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// Cancel marks the event so that its callback will not run. Cancelling an
+// already-fired event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+// Due returns the virtual time at which the event fires.
+func (e *Event) Due() Time { return e.due }
+
+// eventQueue implements heap.Interface with (due, seq) total order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns a virtual clock and an event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	limit  uint64 // safety valve against runaway simulations; 0 = unlimited
+	halted bool
+}
+
+// ErrEventLimit is returned by Run variants when the configured event limit
+// is exceeded, which almost always indicates a scheduling loop.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// New returns an empty simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// SetEventLimit installs a safety valve: Run variants return ErrEventLimit
+// after firing n events. n == 0 disables the limit.
+func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of queued (uncancelled and cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues fn to run after delay. A negative delay schedules at the
+// current time (events never run in the past).
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at absolute virtual time at. Times before Now are
+// clamped to Now.
+func (s *Simulator) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{due: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Halt stops the current Run variant after the in-flight event completes.
+func (s *Simulator) Halt() { s.halted = true }
+
+// step fires the earliest event. Returns false when the queue is empty.
+func (s *Simulator) step() (bool, error) {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.due < s.now {
+			return false, fmt.Errorf("sim: event due %v before now %v", e.due, s.now)
+		}
+		s.now = e.due
+		s.fired++
+		e.fn()
+		if s.limit != 0 && s.fired > s.limit {
+			return false, ErrEventLimit
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (s *Simulator) Run() error {
+	s.halted = false
+	for !s.halted {
+		ok, err := s.step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events with due time <= deadline, then advances the clock
+// to the deadline (if it is in the future) and returns.
+func (s *Simulator) RunUntil(deadline Time) error {
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek at the earliest live event.
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.due > deadline {
+			break
+		}
+		if _, err := s.step(); err != nil {
+			return err
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d virtual time units.
+func (s *Simulator) RunFor(d Time) error {
+	if d < 0 {
+		d = 0
+	}
+	return s.RunUntil(s.now + d)
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// after one period. Returning false from fn stops the recurrence.
+// The returned Event is the *first* occurrence; cancelling it before it
+// fires stops the series.
+func (s *Simulator) Every(period Time, fn func() bool) *Event {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if !fn() {
+			return
+		}
+		ev = s.Schedule(period, tick)
+	}
+	ev = s.Schedule(period, tick)
+	return ev
+}

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(10, func() { ran = true })
+	e.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	s.Schedule(100, func() {
+		s.Schedule(-50, func() {
+			if s.Now() != 100 {
+				t.Errorf("negative delay ran at %v, want 100", s.Now())
+			}
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Schedule(1000, func() {})
+	if err := s.RunUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("Now = %v, want 500", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("Now = %v, want 1000", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Every(10, func() bool { ticks++; return true })
+	if err := s.RunFor(105); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestEveryStops(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Every(10, func() bool {
+		ticks++
+		return ticks < 3
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestEveryCancelFirst(t *testing.T) {
+	s := New()
+	ticks := 0
+	e := s.Every(10, func() bool { ticks++; return true })
+	e.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 0 {
+		t.Fatalf("ticks = %d, want 0 after cancelling first occurrence", ticks)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	n := 0
+	s.Every(1, func() bool {
+		n++
+		if n == 5 {
+			s.Halt()
+		}
+		return true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New()
+	s.SetEventLimit(100)
+	s.Every(1, func() bool { return true }) // never stops
+	if err := s.Run(); err != ErrEventLimit {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestPropEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, d := range delays {
+			s.Schedule(Time(d), func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fired times equal the sorted multiset of scheduled times.
+func TestPropFiredTimesMatchScheduled(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fired []int
+		for _, d := range delays {
+			s.Schedule(Time(d), func() { fired = append(fired, int(s.Now())) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		want := make([]int, len(delays))
+		for i, d := range delays {
+			want[i] = int(d)
+		}
+		sort.Ints(want)
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedZeroRemapped(t *testing.T) {
+	a := NewRNG(0)
+	b := NewRNG(0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("seed-0 streams differ")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) did not cover all values: %v", seen)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("mean = %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(0.5)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Exp(0.5) mean = %v, want ~2", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(21)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look identical (%d/100 collisions)", same)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRNG(23)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) = true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) = false")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds = %v, want 2", got)
+	}
+	if got := (5 * Microsecond).Micros(); got != 5 {
+		t.Fatalf("Micros = %v, want 5", got)
+	}
+	if (1500 * Millisecond).String() != "1.5s" {
+		t.Fatalf("String = %q", (1500 * Millisecond).String())
+	}
+}

@@ -1,0 +1,304 @@
+package skills
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level grades an ability's current performance in [0, 1]:
+// 1.0 full performance, 0 unavailable. The discrete bands used by decision
+// making are derived via Classify.
+type Level float64
+
+// Band is a discrete ability classification for decision making.
+type Band int
+
+// Bands, in increasing availability.
+const (
+	Unavailable Band = iota
+	Degraded
+	Full
+)
+
+var bandNames = [...]string{"unavailable", "degraded", "full"}
+
+func (b Band) String() string {
+	if b < 0 || int(b) >= len(bandNames) {
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+	return bandNames[b]
+}
+
+// Classify maps a level to a band: < 0.2 unavailable, < 0.8 degraded,
+// otherwise full.
+func Classify(l Level) Band {
+	switch {
+	case l < 0.2:
+		return Unavailable
+	case l < 0.8:
+		return Degraded
+	default:
+		return Full
+	}
+}
+
+// Aggregate combines a node's own health with its dependencies' levels.
+// The default (MinAggregate) is conservative: an ability performs no
+// better than its weakest dependency.
+type Aggregate func(self Level, deps []Level) Level
+
+// MinAggregate returns min(self, min(deps)).
+func MinAggregate(self Level, deps []Level) Level {
+	out := self
+	for _, d := range deps {
+		if d < out {
+			out = d
+		}
+	}
+	return out
+}
+
+// WeightedAggregate returns self scaled by the mean of the dependency
+// levels — for abilities that degrade gracefully with partial inputs
+// (e.g. object tracking quality with a subset of sensors).
+func WeightedAggregate(self Level, deps []Level) Level {
+	if len(deps) == 0 {
+		return self
+	}
+	var sum Level
+	for _, d := range deps {
+		sum += d
+	}
+	return self * (sum / Level(len(deps)))
+}
+
+// RedundantAggregate returns min(self, max(deps)) — for abilities backed
+// by redundant alternatives where any one dependency suffices.
+func RedundantAggregate(self Level, deps []Level) Level {
+	if len(deps) == 0 {
+		return self
+	}
+	best := deps[0]
+	for _, d := range deps[1:] {
+		if d > best {
+			best = d
+		}
+	}
+	if self < best {
+		return self
+	}
+	return best
+}
+
+// Tactic is a graceful degradation action registered on a skill: when the
+// propagated level falls below Trigger, Apply runs (once per activation;
+// it re-arms after the level recovers above Trigger). "In case of a
+// reduced ability level it is possible for the system to apply graceful
+// degradation tactics, e.g. by switching to different software modules or
+// by performing self-reconfiguration."
+type Tactic struct {
+	Name    string
+	Skill   string
+	Trigger Level
+	Apply   func(ag *AbilityGraph)
+	armed   bool
+	// Fired counts activations.
+	Fired int
+}
+
+// LevelChange notifies observers about a band transition of an ability.
+type LevelChange struct {
+	Node     string
+	Old, New Band
+	Level    Level
+}
+
+// AbilityGraph is the run-time instantiation of a skill graph: every node
+// carries its own health (set by monitors) and a propagated level.
+type AbilityGraph struct {
+	g         *Graph
+	health    map[string]Level
+	level     map[string]Level
+	agg       map[string]Aggregate
+	tactics   []*Tactic
+	listeners []func(LevelChange)
+	lastBand  map[string]Band
+}
+
+// Instantiate derives an ability graph from a validated skill graph. All
+// healths start at 1.0 (full performance).
+func Instantiate(g *Graph) (*AbilityGraph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ag := &AbilityGraph{
+		g:        g,
+		health:   make(map[string]Level),
+		level:    make(map[string]Level),
+		agg:      make(map[string]Aggregate),
+		lastBand: make(map[string]Band),
+	}
+	for _, n := range g.Nodes() {
+		ag.health[n] = 1
+		ag.level[n] = 1
+		ag.lastBand[n] = Full
+	}
+	return ag, nil
+}
+
+// Graph returns the underlying skill graph.
+func (ag *AbilityGraph) Graph() *Graph { return ag.g }
+
+// SetAggregate overrides the aggregation function of a node (default
+// MinAggregate).
+func (ag *AbilityGraph) SetAggregate(node string, f Aggregate) error {
+	if _, ok := ag.g.Kind(node); !ok {
+		return fmt.Errorf("skills: unknown node %q", node)
+	}
+	ag.agg[node] = f
+	return nil
+}
+
+// SetHealth sets a node's own health (clamped to [0,1]) and repropagates.
+// Monitors drive this: sensor data-quality assessments set source health,
+// actuator diagnoses set sink health, control-performance self-assessments
+// set skill health.
+func (ag *AbilityGraph) SetHealth(node string, v Level) error {
+	if _, ok := ag.g.Kind(node); !ok {
+		return fmt.Errorf("skills: unknown node %q", node)
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	ag.health[node] = v
+	ag.Propagate()
+	return nil
+}
+
+// Health returns a node's own health.
+func (ag *AbilityGraph) Health(node string) Level { return ag.health[node] }
+
+// Level returns a node's propagated performance level.
+func (ag *AbilityGraph) Level(node string) Level { return ag.level[node] }
+
+// BandOf returns a node's current discrete band.
+func (ag *AbilityGraph) BandOf(node string) Band { return Classify(ag.level[node]) }
+
+// OnChange registers a band-transition listener.
+func (ag *AbilityGraph) OnChange(fn func(LevelChange)) {
+	ag.listeners = append(ag.listeners, fn)
+}
+
+// RegisterTactic installs a degradation tactic.
+func (ag *AbilityGraph) RegisterTactic(t *Tactic) error {
+	if k, ok := ag.g.Kind(t.Skill); !ok || k != Skill {
+		return fmt.Errorf("skills: tactic %q targets non-skill %q", t.Name, t.Skill)
+	}
+	if t.Trigger <= 0 || t.Trigger > 1 {
+		return fmt.Errorf("skills: tactic %q trigger %v outside (0,1]", t.Name, t.Trigger)
+	}
+	t.armed = true
+	ag.tactics = append(ag.tactics, t)
+	return nil
+}
+
+// Tactics returns the registered tactics.
+func (ag *AbilityGraph) Tactics() []*Tactic { return ag.tactics }
+
+// Propagate recomputes all levels bottom-up and fires band-change
+// listeners and degradation tactics.
+func (ag *AbilityGraph) Propagate() {
+	for _, n := range ag.g.Topo() {
+		deps := ag.g.Dependencies(n)
+		depLevels := make([]Level, len(deps))
+		for i, d := range deps {
+			depLevels[i] = ag.level[d]
+		}
+		f := ag.agg[n]
+		if f == nil {
+			f = MinAggregate
+		}
+		ag.level[n] = f(ag.health[n], depLevels)
+	}
+	// Band transitions.
+	for _, n := range ag.g.Nodes() {
+		nb := Classify(ag.level[n])
+		if ob := ag.lastBand[n]; nb != ob {
+			ag.lastBand[n] = nb
+			for _, l := range ag.listeners {
+				l(LevelChange{Node: n, Old: ob, New: nb, Level: ag.level[n]})
+			}
+		}
+	}
+	// Tactics.
+	for _, t := range ag.tactics {
+		lvl := ag.level[t.Skill]
+		if t.armed && lvl < t.Trigger {
+			t.armed = false
+			t.Fired++
+			if t.Apply != nil {
+				t.Apply(ag)
+			}
+		} else if !t.armed && lvl >= t.Trigger {
+			t.armed = true
+		}
+	}
+}
+
+// Snapshot returns all levels, for the self-representation.
+func (ag *AbilityGraph) Snapshot() map[string]Level {
+	out := make(map[string]Level, len(ag.level))
+	for n, l := range ag.level {
+		out[n] = l
+	}
+	return out
+}
+
+// WeakestChain returns, for a root skill, the grounded dependency chain
+// whose own-health minimum is lowest — the bottleneck explaining the
+// root's current performance (error propagation visualization). Own
+// health, not the propagated level, is compared: propagated levels are
+// contaminated by the bottleneck itself and would make every chain
+// through the root look equally weak.
+func (ag *AbilityGraph) WeakestChain(root string) []string {
+	paths := ag.g.PathsToGround(root)
+	if len(paths) == 0 {
+		return nil
+	}
+	best := -1
+	bestMin := Level(2)
+	for i, p := range paths {
+		m := Level(2)
+		for _, n := range p {
+			if ag.health[n] < m {
+				m = ag.health[n]
+			}
+		}
+		if m < bestMin {
+			bestMin = m
+			best = i
+		}
+	}
+	return paths[best]
+}
+
+// Degraded returns all nodes currently below Full, sorted by level then
+// name (worst first).
+func (ag *AbilityGraph) Degraded() []string {
+	var out []string
+	for _, n := range ag.g.Nodes() {
+		if Classify(ag.level[n]) != Full {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ag.level[out[i]] != ag.level[out[j]] {
+			return ag.level[out[i]] < ag.level[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

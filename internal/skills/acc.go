@@ -1,0 +1,92 @@
+package skills
+
+// Node names of the ACC skill graph, the paper's worked example
+// (Section IV): "for realizing ACC driving, the abilities to control
+// distance, to control speed and to keep the vehicle controllable for the
+// driver are required..."
+const (
+	ACCDriving        = "acc-driving"
+	ControlDistance   = "control-distance"
+	ControlSpeed      = "control-speed"
+	KeepControllable  = "keep-vehicle-controllable"
+	EstimateIntent    = "estimate-driver-intent"
+	AccelDecel        = "accelerate-decelerate"
+	SelectTarget      = "select-target-object"
+	PerceiveObjects   = "perceive-track-objects"
+	SrcEnvSensors     = "environment-sensors"
+	SrcHMI            = "hmi"
+	SinkPowertrain    = "powertrain"
+	SinkBrakingSystem = "braking-system"
+)
+
+// BuildACC constructs the ACC skill graph exactly as described in
+// Section IV:
+//
+//   - ACC driving is the main skill, refined into controlling distance,
+//     controlling speed, and keeping the vehicle controllable.
+//   - Keeping the vehicle controllable requires estimating the driver's
+//     intent and being able to decelerate.
+//   - Controlling distance and speed require selecting a target object,
+//     estimating driver intent, and accelerating/decelerating.
+//   - Target selection requires perceiving and tracking dynamic objects,
+//     which depends on the environment sensors (data source).
+//   - Intent estimation requires the HMI (data source).
+//   - Acceleration/deceleration requires the powertrain (data sink) and
+//     the braking system (data sink).
+func BuildACC() (*Graph, error) {
+	g := NewGraph()
+	steps := []error{
+		g.AddSkill(ACCDriving),
+		g.AddSkill(ControlDistance),
+		g.AddSkill(ControlSpeed),
+		g.AddSkill(KeepControllable),
+		g.AddSkill(EstimateIntent),
+		g.AddSkill(AccelDecel),
+		g.AddSkill(SelectTarget),
+		g.AddSkill(PerceiveObjects),
+		g.AddSource(SrcEnvSensors),
+		g.AddSource(SrcHMI),
+		g.AddSink(SinkPowertrain),
+		g.AddSink(SinkBrakingSystem),
+
+		g.Depend(ACCDriving, ControlDistance),
+		g.Depend(ACCDriving, ControlSpeed),
+		g.Depend(ACCDriving, KeepControllable),
+
+		g.Depend(ControlDistance, SelectTarget),
+		g.Depend(ControlDistance, EstimateIntent),
+		g.Depend(ControlDistance, AccelDecel),
+
+		g.Depend(ControlSpeed, SelectTarget),
+		g.Depend(ControlSpeed, EstimateIntent),
+		g.Depend(ControlSpeed, AccelDecel),
+
+		g.Depend(KeepControllable, EstimateIntent),
+		g.Depend(KeepControllable, AccelDecel),
+
+		g.Depend(SelectTarget, PerceiveObjects),
+		g.Depend(PerceiveObjects, SrcEnvSensors),
+		g.Depend(EstimateIntent, SrcHMI),
+
+		g.Depend(AccelDecel, SinkPowertrain),
+		g.Depend(AccelDecel, SinkBrakingSystem),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// InstantiateACC builds the ACC ability graph ready for monitoring.
+func InstantiateACC() (*AbilityGraph, error) {
+	g, err := BuildACC()
+	if err != nil {
+		return nil, err
+	}
+	return Instantiate(g)
+}

@@ -1,0 +1,111 @@
+package skills
+
+import "sort"
+
+// Development-process analyses (Section IV: "skill graphs may guide the
+// development process by revealing necessary redundancies in the system to
+// achieve identified safety goals. It can also be employed to visualize
+// error propagation and performance degradation in the system.")
+
+// SinglePointsOfFailure returns the nodes (other than the root itself)
+// that appear on *every* grounded dependency chain of the root skill.
+// Under pure min-aggregation every dependency is critical; the chain-based
+// notion identifies the nodes that remain critical even in the best case —
+// when every skill exploits redundant alternatives (RedundantAggregate).
+// These are exactly the places where adding a parallel chain (another
+// sensor, another actuator, a diverse implementation) buys robustness.
+func (g *Graph) SinglePointsOfFailure(root string) []string {
+	paths := g.PathsToGround(root)
+	if len(paths) == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, p := range paths {
+		seen := make(map[string]bool, len(p))
+		for _, n := range p {
+			if n == root || seen[n] {
+				continue
+			}
+			seen[n] = true
+			counts[n]++
+		}
+	}
+	var out []string
+	for n, c := range counts {
+		if c == len(paths) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RedundancyProposal suggests, per single point of failure, the node to
+// duplicate — the analysis a safety engineer performs on the skill graph
+// during development.
+type RedundancyProposal struct {
+	// Node is the single point of failure.
+	Node string
+	// Kind is the node's kind (a redundant source means another sensor;
+	// a redundant sink means another actuator; a redundant skill means a
+	// diverse implementation).
+	Kind NodeKind
+	// AffectedChains is how many of the root's grounded chains pass
+	// through the node.
+	AffectedChains int
+}
+
+// ProposeRedundancies lists redundancy proposals for a root skill, most
+// critical (most chains affected) first.
+func (g *Graph) ProposeRedundancies(root string) []RedundancyProposal {
+	paths := g.PathsToGround(root)
+	spofs := g.SinglePointsOfFailure(root)
+	var out []RedundancyProposal
+	for _, n := range spofs {
+		k, _ := g.Kind(n)
+		affected := 0
+		for _, p := range paths {
+			for _, pn := range p {
+				if pn == n {
+					affected++
+					break
+				}
+			}
+		}
+		out = append(out, RedundancyProposal{Node: n, Kind: k, AffectedChains: affected})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AffectedChains != out[j].AffectedChains {
+			return out[i].AffectedChains > out[j].AffectedChains
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// ErrorPropagation returns, for a failing node, the set of skills whose
+// level would be pulled down under pure min-aggregation — the paper's
+// "visualize error propagation" use case, computed statically on the skill
+// graph (no instantiation needed).
+func (g *Graph) ErrorPropagation(failing string) []string {
+	if _, ok := g.kinds[failing]; !ok {
+		return nil
+	}
+	affected := map[string]bool{}
+	var mark func(n string)
+	mark = func(n string) {
+		for _, parent := range g.parents[n] {
+			if !affected[parent] {
+				affected[parent] = true
+				mark(parent)
+			}
+		}
+	}
+	mark(failing)
+	out := make([]string, 0, len(affected))
+	for n := range affected {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,71 @@
+package skills
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the skill graph in Graphviz DOT format: skills as boxes,
+// data sources as ellipses, data sinks as inverted houses, dependency
+// edges top-down. The output is deterministic.
+func (g *Graph) ToDOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		k, _ := g.Kind(n)
+		switch k {
+		case Skill:
+			fmt.Fprintf(&b, "  %q [shape=box];\n", n)
+		case DataSource:
+			fmt.Fprintf(&b, "  %q [shape=ellipse, style=filled, fillcolor=lightblue];\n", n)
+		case DataSink:
+			fmt.Fprintf(&b, "  %q [shape=invhouse, style=filled, fillcolor=lightgrey];\n", n)
+		}
+	}
+	for _, n := range g.Nodes() {
+		for _, d := range g.Dependencies(n) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n, d)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ToDOTWithLevels renders the ability graph with current levels: node
+// labels carry the level, and fill colour encodes the band (green full,
+// orange degraded, red unavailable).
+func (ag *AbilityGraph) ToDOTWithLevels(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\", style=filled];\n")
+	nodes := ag.g.Nodes()
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		lvl := ag.Level(n)
+		color := "palegreen"
+		switch Classify(lvl) {
+		case Degraded:
+			color = "orange"
+		case Unavailable:
+			color = "tomato"
+		}
+		k, _ := ag.g.Kind(n)
+		shape := "box"
+		switch k {
+		case DataSource:
+			shape = "ellipse"
+		case DataSink:
+			shape = "invhouse"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, fillcolor=%s, label=\"%s\\n%.2f\"];\n", n, shape, color, n, float64(lvl))
+	}
+	for _, n := range nodes {
+		for _, d := range ag.g.Dependencies(n) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n, d)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package skills
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOT(t *testing.T) {
+	g, err := BuildACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.ToDOT("acc")
+	if !strings.HasPrefix(dot, "digraph \"acc\" {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	// All nodes and a known edge appear.
+	for _, n := range g.Nodes() {
+		if !strings.Contains(dot, "\""+n+"\"") {
+			t.Fatalf("node %q missing", n)
+		}
+	}
+	if !strings.Contains(dot, "\"accelerate-decelerate\" -> \"powertrain\"") {
+		t.Fatal("edge missing")
+	}
+	// Shapes by kind.
+	if !strings.Contains(dot, "\"hmi\" [shape=ellipse") {
+		t.Fatal("source shape wrong")
+	}
+	if !strings.Contains(dot, "\"braking-system\" [shape=invhouse") {
+		t.Fatal("sink shape wrong")
+	}
+	// Deterministic.
+	if dot != g.ToDOT("acc") {
+		t.Fatal("non-deterministic output")
+	}
+}
+
+func TestToDOTWithLevels(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcEnvSensors, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcHMI, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	dot := ag.ToDOTWithLevels("abilities")
+	if !strings.Contains(dot, "fillcolor=orange") {
+		t.Fatal("no degraded colouring")
+	}
+	if !strings.Contains(dot, "fillcolor=tomato") {
+		t.Fatal("no unavailable colouring")
+	}
+	if !strings.Contains(dot, "fillcolor=palegreen") {
+		t.Fatal("no full colouring")
+	}
+	if !strings.Contains(dot, "0.50") || !strings.Contains(dot, "0.10") {
+		t.Fatal("levels missing from labels")
+	}
+}

@@ -1,0 +1,277 @@
+// Package skills implements skill graphs and ability graphs for functional
+// self-awareness (Section IV, after Reschka et al. [22]):
+//
+//   - A skill graph is a directed acyclic graph of skill nodes, data source
+//     nodes, data sink nodes, and dependency relations — a development-time
+//     model of the driving task ("a path in this DAG, starting with a main
+//     skill and ending at a data source or data sink, represents a chain of
+//     dependencies between abilities").
+//
+//   - An ability graph instantiates the skill graph for run-time
+//     monitoring: every node carries a current performance level; levels
+//     propagate from sources/sinks up to the main skills, and degradation
+//     tactics fire when an ability drops below its required level.
+//
+// The package also ships the paper's worked example, the ACC skill graph
+// (BuildACC), which experiment E4 exercises.
+package skills
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind distinguishes the three node types of a skill graph.
+type NodeKind int
+
+// Node kinds.
+const (
+	// Skill is an abstract capability (e.g. "control distance").
+	Skill NodeKind = iota
+	// DataSource is an information input (e.g. environment sensors).
+	DataSource
+	// DataSink is an actuation output (e.g. the braking system).
+	DataSink
+)
+
+var kindNames = [...]string{"skill", "source", "sink"}
+
+func (k NodeKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Graph is a skill graph: a DAG over skills, sources and sinks.
+type Graph struct {
+	kinds map[string]NodeKind
+	// deps[s] lists the nodes skill s depends on.
+	deps map[string][]string
+	// parents[c] lists the skills depending on c.
+	parents map[string][]string
+}
+
+// NewGraph returns an empty skill graph.
+func NewGraph() *Graph {
+	return &Graph{
+		kinds:   make(map[string]NodeKind),
+		deps:    make(map[string][]string),
+		parents: make(map[string][]string),
+	}
+}
+
+// AddSkill adds a skill node.
+func (g *Graph) AddSkill(name string) error { return g.add(name, Skill) }
+
+// AddSource adds a data source node.
+func (g *Graph) AddSource(name string) error { return g.add(name, DataSource) }
+
+// AddSink adds a data sink node.
+func (g *Graph) AddSink(name string) error { return g.add(name, DataSink) }
+
+func (g *Graph) add(name string, k NodeKind) error {
+	if name == "" {
+		return fmt.Errorf("skills: empty node name")
+	}
+	if _, dup := g.kinds[name]; dup {
+		return fmt.Errorf("skills: duplicate node %q", name)
+	}
+	g.kinds[name] = k
+	return nil
+}
+
+// Kind returns a node's kind and whether it exists.
+func (g *Graph) Kind(name string) (NodeKind, bool) {
+	k, ok := g.kinds[name]
+	return k, ok
+}
+
+// Depend records that skill parent requires child (a skill, source or
+// sink). Sources and sinks are terminal: they cannot depend on anything.
+// Cycles are rejected.
+func (g *Graph) Depend(parent, child string) error {
+	pk, ok := g.kinds[parent]
+	if !ok {
+		return fmt.Errorf("skills: unknown node %q", parent)
+	}
+	if pk != Skill {
+		return fmt.Errorf("skills: %s %q cannot have dependencies", pk, parent)
+	}
+	if _, ok := g.kinds[child]; !ok {
+		return fmt.Errorf("skills: unknown node %q", child)
+	}
+	if parent == child {
+		return fmt.Errorf("skills: self-dependency %q", parent)
+	}
+	for _, d := range g.deps[parent] {
+		if d == child {
+			return nil // idempotent
+		}
+	}
+	if g.reaches(child, parent) {
+		return fmt.Errorf("skills: dependency %q -> %q would create a cycle", parent, child)
+	}
+	g.deps[parent] = append(g.deps[parent], child)
+	g.parents[child] = append(g.parents[child], parent)
+	return nil
+}
+
+// reaches reports whether from can reach to along dependency edges.
+func (g *Graph) reaches(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.deps[n] {
+			if d == to {
+				return true
+			}
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
+// Dependencies returns the direct dependencies of a node, sorted.
+func (g *Graph) Dependencies(name string) []string {
+	out := append([]string(nil), g.deps[name]...)
+	sort.Strings(out)
+	return out
+}
+
+// Parents returns the skills directly depending on a node, sorted.
+func (g *Graph) Parents(name string) []string {
+	out := append([]string(nil), g.parents[name]...)
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns all node names, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.kinds))
+	for n := range g.kinds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Roots returns the main skills: skill nodes no other skill depends on.
+func (g *Graph) Roots() []string {
+	var out []string
+	for n, k := range g.kinds {
+		if k == Skill && len(g.parents[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the structural rules of a skill graph: at least one main
+// skill, every skill eventually grounded in a source or sink, and sources/
+// sinks actually used.
+func (g *Graph) Validate() error {
+	if len(g.kinds) == 0 {
+		return fmt.Errorf("skills: empty graph")
+	}
+	if len(g.Roots()) == 0 {
+		return fmt.Errorf("skills: no main skill (every skill has a parent)")
+	}
+	for n, k := range g.kinds {
+		switch k {
+		case Skill:
+			if !g.grounded(n, map[string]bool{}) {
+				return fmt.Errorf("skills: skill %q has no path to a data source or sink", n)
+			}
+		case DataSource, DataSink:
+			if len(g.parents[n]) == 0 {
+				return fmt.Errorf("skills: %s %q is unused", k, n)
+			}
+		}
+	}
+	return nil
+}
+
+// grounded reports whether a path from n reaches a source or sink.
+func (g *Graph) grounded(n string, seen map[string]bool) bool {
+	if k := g.kinds[n]; k == DataSource || k == DataSink {
+		return true
+	}
+	seen[n] = true
+	for _, d := range g.deps[n] {
+		if seen[d] {
+			continue
+		}
+		if g.grounded(d, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Topo returns the nodes in dependency order (dependencies before
+// dependents), deterministic.
+func (g *Graph) Topo() []string {
+	indeg := make(map[string]int, len(g.kinds))
+	for n := range g.kinds {
+		indeg[n] = len(g.deps[n])
+	}
+	var queue []string
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	sort.Strings(queue)
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		var next []string
+		for _, p := range g.parents[n] {
+			indeg[p]--
+			if indeg[p] == 0 {
+				next = append(next, p)
+			}
+		}
+		sort.Strings(next)
+		queue = append(queue, next...)
+	}
+	return out
+}
+
+// PathsToGround enumerates all dependency chains from a skill to any
+// source or sink (the paper's "chain of dependencies between abilities").
+func (g *Graph) PathsToGround(from string) [][]string {
+	var out [][]string
+	var path []string
+	var rec func(n string)
+	rec = func(n string) {
+		path = append(path, n)
+		defer func() { path = path[:len(path)-1] }()
+		if k := g.kinds[n]; k == DataSource || k == DataSink {
+			cp := make([]string, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return
+		}
+		deps := g.Dependencies(n)
+		for _, d := range deps {
+			rec(d)
+		}
+	}
+	if _, ok := g.kinds[from]; ok {
+		rec(from)
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+package skills
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddSkill("drive"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddSkill("drive"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := g.AddSource("sensor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("drive", "sensor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("sensor", "drive"); err == nil {
+		t.Fatal("source with dependency accepted")
+	}
+	if err := g.Depend("drive", "drive"); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if err := g.Depend("drive", "ghost"); err == nil {
+		t.Fatal("unknown child accepted")
+	}
+	if k, ok := g.Kind("sensor"); !ok || k != DataSource {
+		t.Fatalf("Kind = %v %v", k, ok)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"a", "b", "c"} {
+		if err := g.AddSkill(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Depend("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("c", "a"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestDependIdempotent(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddSkill("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddSource("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Dependencies("a")) != 1 {
+		t.Fatalf("deps = %v", g.Dependencies("a"))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewGraph()
+	if err := g.Validate(); err == nil {
+		t.Fatal("empty graph valid")
+	}
+	if err := g.AddSkill("floating"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("ungrounded skill valid")
+	}
+	if err := g.AddSource("unused"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Depend("floating", "unused"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildACC(t *testing.T) {
+	g, err := BuildACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != ACCDriving {
+		t.Fatalf("roots = %v", roots)
+	}
+	if len(g.Nodes()) != 12 {
+		t.Fatalf("nodes = %d", len(g.Nodes()))
+	}
+	// Paper: acceleration/deceleration requires powertrain AND braking.
+	deps := g.Dependencies(AccelDecel)
+	if len(deps) != 2 || deps[0] != SinkBrakingSystem || deps[1] != SinkPowertrain {
+		t.Fatalf("accel-decel deps = %v", deps)
+	}
+	// Every grounded path from the root ends at a source or sink.
+	paths := g.PathsToGround(ACCDriving)
+	if len(paths) == 0 {
+		t.Fatal("no grounded paths")
+	}
+	for _, p := range paths {
+		last := p[len(p)-1]
+		if k, _ := g.Kind(last); k == Skill {
+			t.Fatalf("path ends on a skill: %v", p)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g, err := BuildACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := g.Topo()
+	if len(order) != 12 {
+		t.Fatalf("topo covers %d nodes", len(order))
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	// Every dependency precedes its dependent.
+	for _, n := range g.Nodes() {
+		for _, d := range g.Dependencies(n) {
+			if pos[d] >= pos[n] {
+				t.Fatalf("topo violation: %s (dep of %s) at %d >= %d", d, n, pos[d], pos[n])
+			}
+		}
+	}
+}
+
+func TestPropagationMinAggregate(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Level(ACCDriving) != 1 {
+		t.Fatalf("initial level = %v", ag.Level(ACCDriving))
+	}
+	// Degrade the environment sensors: the whole chain up to the root
+	// takes the min.
+	if err := ag.SetHealth(SrcEnvSensors, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{PerceiveObjects, SelectTarget, ControlDistance, ControlSpeed, ACCDriving} {
+		if ag.Level(n) != 0.5 {
+			t.Fatalf("%s level = %v, want 0.5", n, ag.Level(n))
+		}
+	}
+	// Intent estimation unaffected (separate chain).
+	if ag.Level(EstimateIntent) != 1 {
+		t.Fatalf("intent level = %v", ag.Level(EstimateIntent))
+	}
+	// KeepControllable does not depend on sensors: unaffected.
+	if ag.Level(KeepControllable) != 1 {
+		t.Fatalf("keep-controllable level = %v", ag.Level(KeepControllable))
+	}
+}
+
+func TestBandTransitionsAndListeners(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changes []LevelChange
+	ag.OnChange(func(c LevelChange) { changes = append(changes, c) })
+	if err := ag.SetHealth(SinkBrakingSystem, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// braking-system, accel-decel, all three mid skills and the root
+	// transition Full -> Degraded.
+	if len(changes) == 0 {
+		t.Fatal("no change notifications")
+	}
+	for _, c := range changes {
+		if c.Old != Full || c.New != Degraded {
+			t.Fatalf("unexpected transition: %+v", c)
+		}
+	}
+	if ag.BandOf(ACCDriving) != Degraded {
+		t.Fatalf("root band = %v", ag.BandOf(ACCDriving))
+	}
+	// Recovery.
+	changes = nil
+	if err := ag.SetHealth(SinkBrakingSystem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ag.BandOf(ACCDriving) != Full {
+		t.Fatal("root did not recover")
+	}
+	if len(changes) == 0 {
+		t.Fatal("no recovery notifications")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Level]Band{0: Unavailable, 0.19: Unavailable, 0.2: Degraded, 0.5: Degraded, 0.8: Full, 1: Full}
+	for l, want := range cases {
+		if got := Classify(l); got != want {
+			t.Fatalf("Classify(%v) = %v, want %v", l, got, want)
+		}
+	}
+	if Unavailable.String() != "unavailable" || Full.String() != "full" {
+		t.Fatal("band names")
+	}
+}
+
+func TestTacticFiresOnceAndRearms(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	tac := &Tactic{
+		Name: "limit-speed", Skill: ACCDriving, Trigger: 0.8,
+		Apply: func(*AbilityGraph) { fired++ },
+	}
+	if err := ag.RegisterTactic(tac); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcEnvSensors, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Further degradation does not re-fire while below trigger.
+	if err := ag.SetHealth(SrcEnvSensors, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after further degradation", fired)
+	}
+	// Recovery re-arms; next degradation fires again.
+	if err := ag.SetHealth(SrcEnvSensors, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcEnvSensors, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if tac.Fired != 2 {
+		t.Fatalf("tactic counter = %d", tac.Fired)
+	}
+}
+
+func TestTacticValidation(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.RegisterTactic(&Tactic{Name: "x", Skill: SrcHMI, Trigger: 0.5}); err == nil {
+		t.Fatal("tactic on source accepted")
+	}
+	if err := ag.RegisterTactic(&Tactic{Name: "x", Skill: ACCDriving, Trigger: 0}); err == nil {
+		t.Fatal("zero trigger accepted")
+	}
+}
+
+func TestRedundantAggregate(t *testing.T) {
+	// Perception backed by two redundant sensors: one failing does not
+	// degrade the ability.
+	g := NewGraph()
+	for _, e := range []error{
+		g.AddSkill("perceive"), g.AddSource("radar"), g.AddSource("lidar"),
+		g.Depend("perceive", "radar"), g.Depend("perceive", "lidar"),
+	} {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	ag, err := Instantiate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetAggregate("perceive", RedundantAggregate); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth("radar", 0); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Level("perceive") != 1 {
+		t.Fatalf("redundant perceive = %v, want 1", ag.Level("perceive"))
+	}
+	if err := ag.SetHealth("lidar", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Level("perceive") != 0.3 {
+		t.Fatalf("perceive = %v, want 0.3", ag.Level("perceive"))
+	}
+}
+
+func TestWeightedAggregate(t *testing.T) {
+	got := WeightedAggregate(1, []Level{0.5, 1})
+	if got != 0.75 {
+		t.Fatalf("weighted = %v", got)
+	}
+	if WeightedAggregate(0.8, nil) != 0.8 {
+		t.Fatal("weighted with no deps")
+	}
+}
+
+func TestWeakestChain(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcHMI, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	chain := ag.WeakestChain(ACCDriving)
+	if len(chain) == 0 || chain[len(chain)-1] != SrcHMI {
+		t.Fatalf("weakest chain = %v, want ending at hmi", chain)
+	}
+}
+
+func TestDegradedSorted(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcEnvSensors, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	d := ag.Degraded()
+	if len(d) == 0 {
+		t.Fatal("no degraded nodes")
+	}
+	// Worst first.
+	for i := 1; i < len(d); i++ {
+		if ag.Level(d[i-1]) > ag.Level(d[i]) {
+			t.Fatalf("not sorted: %v", d)
+		}
+	}
+}
+
+func TestSetHealthClamped(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetHealth(SrcHMI, -5); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Health(SrcHMI) != 0 {
+		t.Fatal("not clamped to 0")
+	}
+	if err := ag.SetHealth(SrcHMI, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Health(SrcHMI) != 1 {
+		t.Fatal("not clamped to 1")
+	}
+	if err := ag.SetHealth("ghost", 1); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+// Property: propagation is monotone — lowering any single node's health
+// never raises any node's level.
+func TestPropPropagationMonotone(t *testing.T) {
+	f := func(nodeIdx uint8, healthRaw uint16) bool {
+		ag, err := InstantiateACC()
+		if err != nil {
+			return false
+		}
+		nodes := ag.Graph().Nodes()
+		target := nodes[int(nodeIdx)%len(nodes)]
+		before := ag.Snapshot()
+		h := Level(float64(healthRaw) / 65536)
+		if err := ag.SetHealth(target, h); err != nil {
+			return false
+		}
+		after := ag.Snapshot()
+		for n := range before {
+			if after[n] > before[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: root level always equals the min over its grounded chains'
+// minimum under pure MinAggregate.
+func TestPropRootEqualsWeakestChainMin(t *testing.T) {
+	f := func(h1, h2, h3 uint16) bool {
+		ag, err := InstantiateACC()
+		if err != nil {
+			return false
+		}
+		_ = ag.SetHealth(SrcEnvSensors, Level(float64(h1)/65536))
+		_ = ag.SetHealth(SrcHMI, Level(float64(h2)/65536))
+		_ = ag.SetHealth(SinkBrakingSystem, Level(float64(h3)/65536))
+		chain := ag.WeakestChain(ACCDriving)
+		m := Level(2)
+		for _, n := range chain {
+			if ag.Health(n) < m {
+				m = ag.Health(n)
+			}
+		}
+		return ag.Level(ACCDriving) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	ag, err := InstantiateACC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ag.Snapshot()
+	snap[ACCDriving] = 0
+	if ag.Level(ACCDriving) != 1 {
+		t.Fatal("snapshot aliases live levels")
+	}
+}

@@ -1,0 +1,192 @@
+// Package thermal models the temperature regime of Section V's
+// common-cause example: "ambient temperatures are a source of common cause
+// faults ... it can cause performance degradation of the (hardware)
+// platform, which, in a self-aware system, may influence the error model
+// and/or require voltage or frequency scaling to prevent permanent
+// damage."
+//
+// The package provides a lumped RC thermal model of a processor, DVFS
+// operating points, a reactive governor, and the temperature-dependent
+// slowdown that couples back into the RTE scheduler (experiment E6).
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a lumped-parameter (single RC) thermal model:
+//
+//	C * dT/dt = P - (T - T_ambient) / R
+type Model struct {
+	// RthCW is the junction-to-ambient thermal resistance (°C/W).
+	RthCW float64
+	// CthJC is the thermal capacitance (J/°C).
+	CthJC float64
+	// TempC is the current junction temperature.
+	TempC float64
+	// AmbientC is the current ambient temperature.
+	AmbientC float64
+}
+
+// NewModel returns a model in equilibrium with the ambient.
+func NewModel(rth, cth, ambientC float64) *Model {
+	if rth <= 0 || cth <= 0 {
+		panic("thermal: non-positive RC parameters")
+	}
+	return &Model{RthCW: rth, CthJC: cth, TempC: ambientC, AmbientC: ambientC}
+}
+
+// SetAmbient changes the ambient temperature (environment interference).
+func (m *Model) SetAmbient(c float64) { m.AmbientC = c }
+
+// Step advances the model by dt seconds with the given dissipated power.
+func (m *Model) Step(powerW, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	dT := (powerW - (m.TempC-m.AmbientC)/m.RthCW) / m.CthJC
+	m.TempC += dT * dt
+}
+
+// SteadyState returns the equilibrium temperature at constant power.
+func (m *Model) SteadyState(powerW float64) float64 {
+	return m.AmbientC + powerW*m.RthCW
+}
+
+// OperatingPoint is one DVFS level.
+type OperatingPoint struct {
+	// Name labels the level ("nominal", "eco", ...).
+	Name string
+	// Speed is the relative execution speed (1.0 nominal).
+	Speed float64
+	// PowerW is the dissipated power at full utilization.
+	PowerW float64
+}
+
+// Governor is a reactive DVFS governor with hysteresis: above HiC it steps
+// down one level; below LoC it steps back up.
+type Governor struct {
+	// Levels are ordered fastest (hottest) first.
+	Levels []OperatingPoint
+	// HiC and LoC are the hysteresis thresholds.
+	HiC, LoC float64
+
+	cur int
+
+	// Transitions counts level changes.
+	Transitions int
+}
+
+// NewGovernor creates a governor starting at the fastest level.
+func NewGovernor(levels []OperatingPoint, hiC, loC float64) (*Governor, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("thermal: no operating points")
+	}
+	if hiC <= loC {
+		return nil, fmt.Errorf("thermal: HiC %v must exceed LoC %v", hiC, loC)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Speed > levels[i-1].Speed {
+			return nil, fmt.Errorf("thermal: levels must be ordered fastest first")
+		}
+	}
+	return &Governor{Levels: levels, HiC: hiC, LoC: loC}, nil
+}
+
+// DefaultLevels returns three representative operating points.
+func DefaultLevels() []OperatingPoint {
+	return []OperatingPoint{
+		{Name: "turbo", Speed: 1.0, PowerW: 18},
+		{Name: "nominal", Speed: 0.8, PowerW: 11},
+		{Name: "eco", Speed: 0.6, PowerW: 6},
+	}
+}
+
+// Current returns the active operating point.
+func (g *Governor) Current() OperatingPoint { return g.Levels[g.cur] }
+
+// Update reacts to a temperature reading; it returns true if the level
+// changed.
+func (g *Governor) Update(tempC float64) bool {
+	switch {
+	case tempC > g.HiC && g.cur < len(g.Levels)-1:
+		g.cur++
+		g.Transitions++
+		return true
+	case tempC < g.LoC && g.cur > 0:
+		g.cur--
+		g.Transitions++
+		return true
+	}
+	return false
+}
+
+// ThrottleCurve returns the intrinsic hardware slowdown at a junction
+// temperature: 1.0 below the throttle onset, decaying linearly to the
+// floor at the critical temperature. This models silicon-enforced
+// throttling that happens regardless of the governor — "the deteriorated
+// hardware performance can still cause deadline misses".
+type ThrottleCurve struct {
+	// OnsetC is where throttling begins.
+	OnsetC float64
+	// CriticalC is where the floor is reached (and damage accrues).
+	CriticalC float64
+	// Floor is the minimum speed factor.
+	Floor float64
+}
+
+// DefaultThrottle returns a curve with onset 85°C, critical 105°C,
+// floor 0.4.
+func DefaultThrottle() ThrottleCurve {
+	return ThrottleCurve{OnsetC: 85, CriticalC: 105, Floor: 0.4}
+}
+
+// Factor returns the hardware speed factor at the given temperature.
+func (c ThrottleCurve) Factor(tempC float64) float64 {
+	if tempC <= c.OnsetC {
+		return 1
+	}
+	if tempC >= c.CriticalC {
+		return c.Floor
+	}
+	frac := (tempC - c.OnsetC) / (c.CriticalC - c.OnsetC)
+	return 1 - frac*(1-c.Floor)
+}
+
+// AmbientProfile produces ambient temperature over time (s): a sinusoidal
+// day/heat-soak profile plus a configurable heat wave window.
+type AmbientProfile struct {
+	// BaseC is the mean ambient.
+	BaseC float64
+	// SwingC is the day/night half-amplitude.
+	SwingC float64
+	// PeriodS is the oscillation period.
+	PeriodS float64
+	// HeatWaveStartS/HeatWaveEndS bound an additive heat wave.
+	HeatWaveStartS float64
+	HeatWaveEndS   float64
+	// HeatWaveC is the additional temperature during the wave.
+	HeatWaveC float64
+}
+
+// At returns the ambient temperature at time t (seconds).
+func (p AmbientProfile) At(tS float64) float64 {
+	c := p.BaseC
+	if p.PeriodS > 0 {
+		c += p.SwingC * math.Sin(2*math.Pi*tS/p.PeriodS)
+	}
+	if tS >= p.HeatWaveStartS && tS < p.HeatWaveEndS {
+		c += p.HeatWaveC
+	}
+	return c
+}
+
+// PlantDrift returns the multiplicative drift of a controlled plant's
+// parameters with temperature — Section V: "temperature can alter the
+// physical properties of the system such that the anticipated plant models
+// for control software no longer apply". The drift is 1.0 at 20°C and
+// grows by coeff per °C of deviation.
+func PlantDrift(tempC, coeff float64) float64 {
+	return 1 + coeff*math.Abs(tempC-20)
+}

@@ -1,0 +1,183 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelConvergesToSteadyState(t *testing.T) {
+	m := NewModel(2.0, 50, 25) // R=2°C/W, C=50J/°C
+	const power = 15.0
+	for i := 0; i < 200000; i++ {
+		m.Step(power, 0.01)
+	}
+	want := m.SteadyState(power) // 25 + 30 = 55
+	if math.Abs(m.TempC-want) > 0.5 {
+		t.Fatalf("T = %.2f, want ~%.2f", m.TempC, want)
+	}
+}
+
+func TestModelCoolsWithoutPower(t *testing.T) {
+	m := NewModel(2.0, 50, 25)
+	m.TempC = 80
+	for i := 0; i < 100000; i++ {
+		m.Step(0, 0.01)
+	}
+	if math.Abs(m.TempC-25) > 0.5 {
+		t.Fatalf("T = %.2f, want ~25", m.TempC)
+	}
+}
+
+func TestAmbientChangeShiftsEquilibrium(t *testing.T) {
+	m := NewModel(2.0, 50, 25)
+	m.SetAmbient(45)
+	if got := m.SteadyState(10); got != 65 {
+		t.Fatalf("steady = %v", got)
+	}
+}
+
+func TestGovernorHysteresis(t *testing.T) {
+	g, err := NewGovernor(DefaultLevels(), 90, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Current().Name != "turbo" {
+		t.Fatalf("initial = %s", g.Current().Name)
+	}
+	if !g.Update(95) {
+		t.Fatal("no step down above HiC")
+	}
+	if g.Current().Name != "nominal" {
+		t.Fatalf("after hot = %s", g.Current().Name)
+	}
+	// Within band: no change.
+	if g.Update(80) {
+		t.Fatal("changed within hysteresis band")
+	}
+	if !g.Update(60) {
+		t.Fatal("no step up below LoC")
+	}
+	if g.Current().Name != "turbo" {
+		t.Fatalf("after cool = %s", g.Current().Name)
+	}
+	if g.Transitions != 2 {
+		t.Fatalf("transitions = %d", g.Transitions)
+	}
+}
+
+func TestGovernorSaturates(t *testing.T) {
+	g, err := NewGovernor(DefaultLevels(), 90, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Update(120)
+	}
+	if g.Current().Name != "eco" {
+		t.Fatalf("hottest level = %s", g.Current().Name)
+	}
+	// One more hot update: stays (no panic, no change).
+	if g.Update(120) {
+		t.Fatal("stepped below slowest level")
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	if _, err := NewGovernor(nil, 90, 70); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := NewGovernor(DefaultLevels(), 70, 90); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	bad := []OperatingPoint{{Speed: 0.5}, {Speed: 1.0}}
+	if _, err := NewGovernor(bad, 90, 70); err == nil {
+		t.Fatal("unordered levels accepted")
+	}
+}
+
+func TestThrottleCurve(t *testing.T) {
+	c := DefaultThrottle()
+	if c.Factor(50) != 1 {
+		t.Fatal("throttle below onset")
+	}
+	if c.Factor(105) != 0.4 || c.Factor(150) != 0.4 {
+		t.Fatal("floor wrong")
+	}
+	mid := c.Factor(95) // halfway: 1 - 0.5*0.6 = 0.7
+	if math.Abs(mid-0.7) > 1e-9 {
+		t.Fatalf("mid factor = %v", mid)
+	}
+}
+
+// Property: throttle factor is monotone non-increasing in temperature.
+func TestPropThrottleMonotone(t *testing.T) {
+	c := DefaultThrottle()
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw)
+		b := float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return c.Factor(a) >= c.Factor(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmbientProfile(t *testing.T) {
+	p := AmbientProfile{
+		BaseC: 20, SwingC: 10, PeriodS: 86400,
+		HeatWaveStartS: 1000, HeatWaveEndS: 2000, HeatWaveC: 15,
+	}
+	if got := p.At(0); got != 20 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := p.At(1500); got < 35-1 {
+		t.Fatalf("heat wave At(1500) = %v", got)
+	}
+	if got := p.At(2500); got > 32 {
+		t.Fatalf("after wave At(2500) = %v", got)
+	}
+	// Quarter period: base + swing.
+	if got := p.At(86400.0 / 4); math.Abs(got-30) > 0.01 {
+		t.Fatalf("peak = %v", got)
+	}
+}
+
+func TestPlantDrift(t *testing.T) {
+	if PlantDrift(20, 0.01) != 1 {
+		t.Fatal("drift at reference temp")
+	}
+	if got := PlantDrift(40, 0.01); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("drift = %v", got)
+	}
+	if got := PlantDrift(-20, 0.005); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("cold drift = %v", got)
+	}
+}
+
+// Property: with constant power, temperature approaches steady state
+// monotonically from either side.
+func TestPropMonotoneApproach(t *testing.T) {
+	f := func(initRaw, powRaw uint8) bool {
+		m := NewModel(2, 50, 25)
+		m.TempC = float64(initRaw)
+		p := float64(powRaw % 30)
+		target := m.SteadyState(p)
+		prevDist := math.Abs(m.TempC - target)
+		for i := 0; i < 1000; i++ {
+			m.Step(p, 0.1)
+			d := math.Abs(m.TempC - target)
+			if d > prevDist+1e-9 {
+				return false
+			}
+			prevDist = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

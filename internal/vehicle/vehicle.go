@@ -1,0 +1,245 @@
+// Package vehicle provides a longitudinal dynamics model of an x-by-wire
+// experimental vehicle (standing in for MOBILE, the paper's testbed): mass,
+// aerodynamic drag, rolling resistance, engine propulsion, per-axle brake
+// circuits with fault injection, and drivetrain (regenerative/engine)
+// braking. The intrusion scenario of Section V manipulates exactly these
+// levers: "the objective of driving can be kept operational although the
+// ability to brake is only partially available by reducing the maximum
+// speed and generating additional brake torque from the drive train".
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the physical parameters of the vehicle.
+type Params struct {
+	// MassKG is the vehicle mass.
+	MassKG float64
+	// DragArea is 0.5 * rho * cd * A (N per (m/s)^2).
+	DragArea float64
+	// RollCoef is the rolling resistance coefficient (fraction of weight).
+	RollCoef float64
+	// MaxEngineAccel is the peak propulsive acceleration (m/s^2).
+	MaxEngineAccel float64
+	// FrontBrakeDecel and RearBrakeDecel are the per-circuit peak
+	// decelerations (m/s^2) when the circuit is healthy.
+	FrontBrakeDecel float64
+	RearBrakeDecel  float64
+	// DrivetrainDecel is the peak deceleration available from the drive
+	// train (engine braking / regeneration), usable even with failed
+	// hydraulic circuits.
+	DrivetrainDecel float64
+}
+
+// DefaultParams returns parameters of a mid-size automated research
+// vehicle.
+func DefaultParams() Params {
+	return Params{
+		MassKG:          1600,
+		DragArea:        0.40, // 0.5 * 1.2 kg/m3 * 0.31 cd * 2.2 m2
+		RollCoef:        0.012,
+		MaxEngineAccel:  3.0,
+		FrontBrakeDecel: 5.5,
+		RearBrakeDecel:  3.0,
+		DrivetrainDecel: 1.5,
+	}
+}
+
+const gravity = 9.81
+
+// Vehicle is the simulated plant.
+type Vehicle struct {
+	p Params
+
+	// Health of the actuation paths in [0,1]; 1 = nominal.
+	frontBrakeHealth float64
+	rearBrakeHealth  float64
+	engineHealth     float64
+	drivetrainOK     bool
+
+	// State.
+	pos   float64 // m
+	speed float64 // m/s
+
+	// DistanceBraked accumulates distance travelled while decelerating,
+	// for stopping-distance measurements.
+	DistanceBraked float64
+}
+
+// New creates a vehicle at rest with nominal actuators.
+func New(p Params) *Vehicle {
+	return &Vehicle{
+		p:                p,
+		frontBrakeHealth: 1,
+		rearBrakeHealth:  1,
+		engineHealth:     1,
+		drivetrainOK:     true,
+	}
+}
+
+// Params returns the physical parameters.
+func (v *Vehicle) Params() Params { return v.p }
+
+// Position returns the travelled distance (m).
+func (v *Vehicle) Position() float64 { return v.pos }
+
+// Speed returns the current speed (m/s).
+func (v *Vehicle) Speed() float64 { return v.speed }
+
+// SetSpeed initializes the speed (test/scenario setup).
+func (v *Vehicle) SetSpeed(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	v.speed = s
+}
+
+// SetFrontBrakeHealth sets the front hydraulic circuit health in [0,1].
+func (v *Vehicle) SetFrontBrakeHealth(h float64) { v.frontBrakeHealth = clamp01(h) }
+
+// SetRearBrakeHealth sets the rear hydraulic circuit health in [0,1].
+// The intrusion scenario sets this to 0 when the rear braking component
+// is shut down.
+func (v *Vehicle) SetRearBrakeHealth(h float64) { v.rearBrakeHealth = clamp01(h) }
+
+// SetEngineHealth sets the propulsion health in [0,1].
+func (v *Vehicle) SetEngineHealth(h float64) { v.engineHealth = clamp01(h) }
+
+// SetDrivetrainBraking enables or disables drivetrain braking.
+func (v *Vehicle) SetDrivetrainBraking(ok bool) { v.drivetrainOK = ok }
+
+// BrakeHealthFront returns the front circuit health.
+func (v *Vehicle) BrakeHealthFront() float64 { return v.frontBrakeHealth }
+
+// BrakeHealthRear returns the rear circuit health.
+func (v *Vehicle) BrakeHealthRear() float64 { return v.rearBrakeHealth }
+
+// MaxDeceleration returns the currently achievable service deceleration
+// (m/s^2, positive), combining both brake circuits and — if enabled — the
+// drivetrain.
+func (v *Vehicle) MaxDeceleration() float64 {
+	d := v.p.FrontBrakeDecel*v.frontBrakeHealth + v.p.RearBrakeDecel*v.rearBrakeHealth
+	if v.drivetrainOK {
+		d += v.p.DrivetrainDecel
+	}
+	return d
+}
+
+// MaxAcceleration returns the currently achievable propulsive acceleration.
+func (v *Vehicle) MaxAcceleration() float64 {
+	return v.p.MaxEngineAccel * v.engineHealth
+}
+
+// BrakingFraction returns achievable / nominal deceleration — the health
+// signal the ability graph's braking-system sink consumes.
+func (v *Vehicle) BrakingFraction() float64 {
+	nominal := v.p.FrontBrakeDecel + v.p.RearBrakeDecel + v.p.DrivetrainDecel
+	if nominal <= 0 {
+		return 0
+	}
+	return v.MaxDeceleration() / nominal
+}
+
+// Step advances the vehicle by dt seconds under the commanded acceleration
+// (m/s^2; negative = braking). The command is clamped to the achievable
+// envelope; resistive forces (drag, rolling) always apply. It returns the
+// realized acceleration.
+func (v *Vehicle) Step(accelCmd, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	cmd := accelCmd
+	if cmd > v.MaxAcceleration() {
+		cmd = v.MaxAcceleration()
+	}
+	if cmd < -v.MaxDeceleration() {
+		cmd = -v.MaxDeceleration()
+	}
+	// Resistive decelerations (only while moving).
+	resist := 0.0
+	if v.speed > 0 {
+		drag := v.p.DragArea * v.speed * v.speed / v.p.MassKG
+		roll := v.p.RollCoef * gravity
+		resist = drag + roll
+	}
+	a := cmd - resist
+	newSpeed := v.speed + a*dt
+	if newSpeed < 0 {
+		// The vehicle stops within the step; integrate the stopping ramp.
+		if a < 0 {
+			tStop := v.speed / -a
+			v.pos += v.speed*tStop + 0.5*a*tStop*tStop
+			if cmd < 0 {
+				v.DistanceBraked += v.speed*tStop + 0.5*a*tStop*tStop
+			}
+		}
+		v.speed = 0
+		return a
+	}
+	dist := v.speed*dt + 0.5*a*dt*dt
+	v.pos += dist
+	if cmd < 0 {
+		v.DistanceBraked += dist
+	}
+	v.speed = newSpeed
+	return a
+}
+
+// StoppingDistance simulates a full braking maneuver from the given speed
+// with the current actuator health and returns the distance travelled
+// until standstill.
+func (v *Vehicle) StoppingDistance(fromSpeed float64) float64 {
+	if fromSpeed <= 0 {
+		return 0
+	}
+	clone := *v
+	clone.pos = 0
+	clone.speed = fromSpeed
+	clone.DistanceBraked = 0
+	const dt = 0.001
+	for i := 0; clone.speed > 0; i++ {
+		clone.Step(-clone.MaxDeceleration(), dt)
+		if i > 10_000_000 {
+			return math.Inf(1) // cannot stop (no brakes at all)
+		}
+	}
+	return clone.pos
+}
+
+// SafeSpeedForStoppingDistance returns the highest speed from which the
+// vehicle can stop within the given distance under its *current* actuator
+// health — the quantity the ability layer uses to derive a speed cap when
+// braking is partially available (bisection over StoppingDistance).
+func (v *Vehicle) SafeSpeedForStoppingDistance(maxDist float64) float64 {
+	if maxDist <= 0 || v.MaxDeceleration() <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 100.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if v.StoppingDistance(mid) <= maxDist {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// String summarizes the vehicle state.
+func (v *Vehicle) String() string {
+	return fmt.Sprintf("vehicle{v=%.1fm/s, x=%.1fm, brakes=%.0f%%/%.0f%%}",
+		v.speed, v.pos, 100*v.frontBrakeHealth, 100*v.rearBrakeHealth)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

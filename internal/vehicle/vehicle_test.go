@@ -1,0 +1,181 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccelerateFromRest(t *testing.T) {
+	v := New(DefaultParams())
+	for i := 0; i < 100; i++ {
+		v.Step(2.0, 0.1) // 10 s at 2 m/s^2 minus resistances
+	}
+	if v.Speed() <= 10 || v.Speed() >= 20 {
+		t.Fatalf("speed after 10s = %.2f, want ~17-19", v.Speed())
+	}
+	if v.Position() <= 0 {
+		t.Fatal("no distance covered")
+	}
+}
+
+func TestCommandClampedToEnvelope(t *testing.T) {
+	v := New(DefaultParams())
+	v.SetSpeed(20)
+	a := v.Step(-100, 0.01) // demand far beyond capability
+	if -a > v.MaxDeceleration()+0.5 {
+		t.Fatalf("realized decel %.2f exceeds envelope %.2f", -a, v.MaxDeceleration())
+	}
+	v2 := New(DefaultParams())
+	a2 := v2.Step(100, 0.01)
+	if a2 > v2.MaxAcceleration() {
+		t.Fatalf("realized accel %.2f exceeds envelope %.2f", a2, v2.MaxAcceleration())
+	}
+}
+
+func TestRearBrakeFailureReducesDecel(t *testing.T) {
+	v := New(DefaultParams())
+	full := v.MaxDeceleration()
+	v.SetRearBrakeHealth(0)
+	reduced := v.MaxDeceleration()
+	if reduced >= full {
+		t.Fatalf("decel with failed rear = %.2f, full = %.2f", reduced, full)
+	}
+	want := DefaultParams().FrontBrakeDecel + DefaultParams().DrivetrainDecel
+	if math.Abs(reduced-want) > 1e-9 {
+		t.Fatalf("reduced = %.2f, want %.2f", reduced, want)
+	}
+}
+
+func TestDrivetrainBrakingCompensates(t *testing.T) {
+	p := DefaultParams()
+	v := New(p)
+	v.SetRearBrakeHealth(0)
+	v.SetDrivetrainBraking(false)
+	without := v.MaxDeceleration()
+	v.SetDrivetrainBraking(true)
+	with := v.MaxDeceleration()
+	if with-without != p.DrivetrainDecel {
+		t.Fatalf("drivetrain adds %.2f, want %.2f", with-without, p.DrivetrainDecel)
+	}
+}
+
+func TestStoppingDistanceGrowsWithFailure(t *testing.T) {
+	v := New(DefaultParams())
+	healthy := v.StoppingDistance(30)
+	v.SetRearBrakeHealth(0)
+	degraded := v.StoppingDistance(30)
+	if degraded <= healthy {
+		t.Fatalf("degraded stop %.1fm <= healthy %.1fm", degraded, healthy)
+	}
+	// Ballpark: v^2/(2a) with a≈10 -> ~45 m healthy at 30 m/s.
+	if healthy < 30 || healthy > 60 {
+		t.Fatalf("healthy stopping distance %.1fm implausible", healthy)
+	}
+}
+
+func TestStoppingDistanceZeroSpeed(t *testing.T) {
+	v := New(DefaultParams())
+	if d := v.StoppingDistance(0); d != 0 {
+		t.Fatalf("stop from 0 = %v", d)
+	}
+}
+
+func TestSafeSpeedForStoppingDistance(t *testing.T) {
+	v := New(DefaultParams())
+	safe := v.SafeSpeedForStoppingDistance(50)
+	// Must actually stop within 50 m from that speed.
+	if d := v.StoppingDistance(safe); d > 50.5 {
+		t.Fatalf("stopping from safe speed %.1f takes %.1fm > 50m", safe, d)
+	}
+	// And the bound must be tight-ish: 10% more speed exceeds the distance.
+	if d := v.StoppingDistance(safe * 1.1); d <= 50 {
+		t.Fatalf("safe speed not tight: %.1f m/s stops in %.1fm", safe*1.1, d)
+	}
+	// Degraded brakes lower the safe speed.
+	v.SetRearBrakeHealth(0)
+	if got := v.SafeSpeedForStoppingDistance(50); got >= safe {
+		t.Fatalf("degraded safe speed %.1f >= healthy %.1f", got, safe)
+	}
+}
+
+func TestBrakingFraction(t *testing.T) {
+	v := New(DefaultParams())
+	if f := v.BrakingFraction(); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("nominal fraction = %v", f)
+	}
+	v.SetRearBrakeHealth(0)
+	f := v.BrakingFraction()
+	want := (5.5 + 1.5) / (5.5 + 3.0 + 1.5)
+	if math.Abs(f-want) > 1e-9 {
+		t.Fatalf("fraction = %v, want %v", f, want)
+	}
+}
+
+func TestStopWithinStep(t *testing.T) {
+	v := New(DefaultParams())
+	v.SetSpeed(0.5)
+	v.Step(-v.MaxDeceleration(), 1.0) // stops mid-step
+	if v.Speed() != 0 {
+		t.Fatalf("speed = %v after full brake", v.Speed())
+	}
+	if v.Position() <= 0 {
+		t.Fatal("no distance during stopping ramp")
+	}
+}
+
+func TestHealthClamped(t *testing.T) {
+	v := New(DefaultParams())
+	v.SetRearBrakeHealth(2)
+	if v.BrakeHealthRear() != 1 {
+		t.Fatal("health not clamped high")
+	}
+	v.SetFrontBrakeHealth(-1)
+	if v.BrakeHealthFront() != 0 {
+		t.Fatal("health not clamped low")
+	}
+}
+
+// Property: stopping distance is monotone in initial speed and in brake
+// health.
+func TestPropStoppingDistanceMonotone(t *testing.T) {
+	f := func(sRaw, hRaw uint8) bool {
+		s := 5 + float64(sRaw%40)
+		h := float64(hRaw%101) / 100
+		v1 := New(DefaultParams())
+		v2 := New(DefaultParams())
+		d1 := v1.StoppingDistance(s)
+		d2 := v2.StoppingDistance(s + 5)
+		if d2 <= d1 {
+			return false
+		}
+		v3 := New(DefaultParams())
+		v3.SetRearBrakeHealth(h)
+		d3 := v3.StoppingDistance(s)
+		return d3 >= d1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoastingSlowsDown(t *testing.T) {
+	v := New(DefaultParams())
+	v.SetSpeed(30)
+	for i := 0; i < 100; i++ {
+		v.Step(0, 0.1)
+	}
+	if v.Speed() >= 30 {
+		t.Fatal("no resistive deceleration while coasting")
+	}
+	if v.Speed() <= 0 {
+		t.Fatal("resistances implausibly strong")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	v := New(DefaultParams())
+	if s := v.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

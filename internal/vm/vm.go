@@ -1,0 +1,198 @@
+// Package vm models the hypervisor layer of Section III: "hypervisor- or
+// VMM-based process virtualization, interconnect and memory virtualization
+// methods are layered underneath the MCC services". It provides virtual
+// machines with spatial isolation (memory budgets), temporal isolation
+// (CPU share accounting), a privileged/unprivileged distinction used by
+// the virtualized CAN controller's PF/VF split, and a trap cost model.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TrapKind distinguishes the virtualization events whose costs the
+// experiments account for.
+type TrapKind int
+
+// Trap kinds.
+const (
+	// TrapMMIO is a guest access to emulated device memory.
+	TrapMMIO TrapKind = iota
+	// TrapDoorbell is a guest-initiated notification to the device.
+	TrapDoorbell
+	// TrapIRQInject is interrupt delivery into a guest.
+	TrapIRQInject
+	// TrapHypercall is an explicit guest->hypervisor call.
+	TrapHypercall
+)
+
+var trapNames = [...]string{"mmio", "doorbell", "irq-inject", "hypercall"}
+
+func (k TrapKind) String() string {
+	if k < 0 || int(k) >= len(trapNames) {
+		return fmt.Sprintf("TrapKind(%d)", int(k))
+	}
+	return trapNames[k]
+}
+
+// CostModel carries the virtualization overhead constants. The defaults
+// are calibrated so the virtualized CAN controller's added round-trip
+// latency lands in the 7-11us band reported in the paper (Section III /
+// reference [8], Intel i7-3770T + Virtex-7 prototype).
+type CostModel struct {
+	MMIOAccess sim.Time // guest access to a VF register
+	Doorbell   sim.Time // doorbell write causing a VM exit
+	IRQInject  sim.Time // injecting an interrupt into a guest vCPU
+	Hypercall  sim.Time // synchronous hypercall round trip
+}
+
+// DefaultCostModel returns the calibrated cost constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MMIOAccess: 800 * sim.Nanosecond,
+		Doorbell:   2000 * sim.Nanosecond,
+		IRQInject:  2200 * sim.Nanosecond,
+		Hypercall:  2500 * sim.Nanosecond,
+	}
+}
+
+// Cost returns the cost of one trap of the given kind.
+func (c CostModel) Cost(k TrapKind) sim.Time {
+	switch k {
+	case TrapMMIO:
+		return c.MMIOAccess
+	case TrapDoorbell:
+		return c.Doorbell
+	case TrapIRQInject:
+		return c.IRQInject
+	case TrapHypercall:
+		return c.Hypercall
+	}
+	return 0
+}
+
+// VM is one guest execution domain.
+type VM struct {
+	name       string
+	privileged bool
+	memKiB     int64
+	cpuShare   float64
+
+	// TrapCount tallies traps by kind, for overhead accounting.
+	TrapCount map[TrapKind]int
+}
+
+// Name returns the VM's identifier.
+func (v *VM) Name() string { return v.name }
+
+// Privileged reports whether the VM may perform privileged device
+// operations (access the PF of a virtualized controller).
+func (v *VM) Privileged() bool { return v.privileged }
+
+// MemKiB returns the VM's memory budget.
+func (v *VM) MemKiB() int64 { return v.memKiB }
+
+// CPUShare returns the VM's guaranteed CPU fraction.
+func (v *VM) CPUShare() float64 { return v.cpuShare }
+
+// Hypervisor owns the guests and enforces that the sum of budgets does not
+// exceed the physical resources (freedom from interference: "modifications
+// made on one virtual machine will not affect other VMs").
+type Hypervisor struct {
+	sim   *sim.Simulator
+	costs CostModel
+	vms   []*VM
+
+	totalMemKiB int64
+	usedMemKiB  int64
+	usedCPU     float64
+
+	// TrapTime accumulates total virtual time spent in traps.
+	TrapTime sim.Time
+}
+
+// Errors returned by VM creation.
+var (
+	ErrMemExhausted = errors.New("vm: memory budget exhausted")
+	ErrCPUExhausted = errors.New("vm: CPU share exhausted")
+	ErrDupName      = errors.New("vm: duplicate VM name")
+)
+
+// NewHypervisor creates a hypervisor with the given physical memory.
+func NewHypervisor(s *sim.Simulator, costs CostModel, totalMemKiB int64) *Hypervisor {
+	return &Hypervisor{sim: s, costs: costs, totalMemKiB: totalMemKiB}
+}
+
+// Costs returns the trap cost model.
+func (h *Hypervisor) Costs() CostModel { return h.costs }
+
+// VMs returns the created guests.
+func (h *Hypervisor) VMs() []*VM { return h.vms }
+
+// FindVM returns the named VM, or nil.
+func (h *Hypervisor) FindVM(name string) *VM {
+	for _, v := range h.vms {
+		if v.name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// CreateVM allocates a guest with the given budgets. The privileged flag
+// marks the management domain (hosting the MCC per Section III: "the PF
+// shall only be accessible to privileged SW components, e.g. the
+// hypervisor running an MCC").
+func (h *Hypervisor) CreateVM(name string, memKiB int64, cpuShare float64, privileged bool) (*VM, error) {
+	if h.FindVM(name) != nil {
+		return nil, fmt.Errorf("%w: %q", ErrDupName, name)
+	}
+	if memKiB < 0 || cpuShare < 0 || cpuShare > 1 {
+		return nil, fmt.Errorf("vm: invalid budgets mem=%d cpu=%v", memKiB, cpuShare)
+	}
+	if h.usedMemKiB+memKiB > h.totalMemKiB {
+		return nil, fmt.Errorf("%w: need %d, free %d", ErrMemExhausted, memKiB, h.totalMemKiB-h.usedMemKiB)
+	}
+	if h.usedCPU+cpuShare > 1.0+1e-9 {
+		return nil, fmt.Errorf("%w: need %v, free %v", ErrCPUExhausted, cpuShare, 1-h.usedCPU)
+	}
+	v := &VM{name: name, privileged: privileged, memKiB: memKiB, cpuShare: cpuShare, TrapCount: make(map[TrapKind]int)}
+	h.vms = append(h.vms, v)
+	h.usedMemKiB += memKiB
+	h.usedCPU += cpuShare
+	return v, nil
+}
+
+// DestroyVM releases a guest's budgets.
+func (h *Hypervisor) DestroyVM(name string) error {
+	for i, v := range h.vms {
+		if v.name == name {
+			h.usedMemKiB -= v.memKiB
+			h.usedCPU -= v.cpuShare
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("vm: no VM %q", name)
+}
+
+// Trap accounts one trap of kind k taken by v, schedules fn after the trap
+// cost, and returns the cost.
+func (h *Hypervisor) Trap(v *VM, k TrapKind, fn func()) sim.Time {
+	cost := h.costs.Cost(k)
+	v.TrapCount[k]++
+	h.TrapTime += cost
+	if fn != nil {
+		h.sim.Schedule(cost, fn)
+	}
+	return cost
+}
+
+// FreeMemKiB returns the unallocated physical memory.
+func (h *Hypervisor) FreeMemKiB() int64 { return h.totalMemKiB - h.usedMemKiB }
+
+// FreeCPU returns the unallocated CPU share.
+func (h *Hypervisor) FreeCPU() float64 { return 1 - h.usedCPU }

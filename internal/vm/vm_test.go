@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCreateVMBudgets(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 1024)
+	v1, err := h.CreateVM("dom0", 512, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Privileged() || v1.MemKiB() != 512 || v1.CPUShare() != 0.5 {
+		t.Fatalf("vm fields: %+v", v1)
+	}
+	if _, err := h.CreateVM("domU", 512, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeMemKiB() != 0 || h.FreeCPU() > 1e-9 {
+		t.Fatalf("free = %d KiB, %v CPU", h.FreeMemKiB(), h.FreeCPU())
+	}
+	if _, err := h.CreateVM("overflow", 1, 0, false); !errors.Is(err, ErrMemExhausted) {
+		t.Fatalf("err = %v, want ErrMemExhausted", err)
+	}
+}
+
+func TestCreateVMCPUExhausted(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 10000)
+	if _, err := h.CreateVM("a", 10, 0.9, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateVM("b", 10, 0.2, false); !errors.Is(err, ErrCPUExhausted) {
+		t.Fatalf("err = %v, want ErrCPUExhausted", err)
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 10000)
+	if _, err := h.CreateVM("a", 10, 0.1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateVM("a", 10, 0.1, false); !errors.Is(err, ErrDupName) {
+		t.Fatalf("err = %v, want ErrDupName", err)
+	}
+}
+
+func TestInvalidBudgets(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 10000)
+	if _, err := h.CreateVM("a", -1, 0.1, false); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+	if _, err := h.CreateVM("b", 1, 1.5, false); err == nil {
+		t.Fatal("CPU share > 1 accepted")
+	}
+}
+
+func TestDestroyVMReleases(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 1000)
+	if _, err := h.CreateVM("a", 1000, 1.0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyVM("a"); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeMemKiB() != 1000 || h.FreeCPU() != 1.0 {
+		t.Fatal("budgets not released")
+	}
+	if err := h.DestroyVM("a"); err == nil {
+		t.Fatal("double destroy accepted")
+	}
+	if h.FindVM("a") != nil {
+		t.Fatal("destroyed VM still found")
+	}
+}
+
+func TestTrapAccounting(t *testing.T) {
+	s := sim.New()
+	h := NewHypervisor(s, DefaultCostModel(), 1000)
+	v, err := h.CreateVM("a", 100, 0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	cost := h.Trap(v, TrapDoorbell, func() { fired = true })
+	if cost != DefaultCostModel().Doorbell {
+		t.Fatalf("cost = %v", cost)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("trap continuation not fired")
+	}
+	if v.TrapCount[TrapDoorbell] != 1 {
+		t.Fatalf("trap count = %d", v.TrapCount[TrapDoorbell])
+	}
+	if h.TrapTime != cost {
+		t.Fatalf("TrapTime = %v", h.TrapTime)
+	}
+	if s.Now() != cost {
+		t.Fatalf("clock = %v, want %v", s.Now(), cost)
+	}
+}
+
+func TestTrapKindString(t *testing.T) {
+	if TrapDoorbell.String() != "doorbell" || TrapIRQInject.String() != "irq-inject" {
+		t.Fatalf("names: %s %s", TrapDoorbell, TrapIRQInject)
+	}
+}
+
+func TestCostModelCost(t *testing.T) {
+	c := DefaultCostModel()
+	if c.Cost(TrapMMIO) != c.MMIOAccess || c.Cost(TrapHypercall) != c.Hypercall {
+		t.Fatal("Cost mapping wrong")
+	}
+	if c.Cost(TrapKind(99)) != 0 {
+		t.Fatal("unknown kind should cost 0")
+	}
+}
