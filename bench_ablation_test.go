@@ -281,6 +281,69 @@ func BenchmarkKernel_Scheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkCPAIncremental ablates the cpa.Analyzer memoization that the
+// incremental MCC timing engine is built on. full-reanalysis is the seed
+// behavior (busy-window fixed point every call); cache-hit re-analyzes an
+// unchanged task set through the Analyzer, which must be O(digest + map
+// lookup); invalidated changes one task's WCET every call, so every call
+// digests to a fresh key and pays the full analysis plus the cache fill.
+func BenchmarkCPAIncremental(b *testing.B) {
+	mkTasks := func() []cpa.Task {
+		var tasks []cpa.Task
+		for i := 0; i < 24; i++ {
+			tasks = append(tasks, cpa.Task{
+				Name:       benchName("t", i),
+				Priority:   i + 1,
+				WCETUS:     int64(100 + 40*i),
+				Event:      cpa.EventModel{PeriodUS: int64(5000 * (i + 1)), JitterUS: int64(1000 * (i % 5))},
+				DeadlineUS: int64(5000 * (i + 1)),
+			})
+		}
+		return tasks
+	}
+	b.Run("full-reanalysis", func(b *testing.B) {
+		tasks := mkTasks()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cpa.AnalyzeSPP(tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		tasks := mkTasks()
+		a := cpa.NewAnalyzer()
+		if _, err := a.AnalyzeSPP(tasks); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AnalyzeSPP(tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := a.Stats()
+		if st.Hits < int64(b.N) {
+			b.Fatalf("cache hits %d < %d iterations: unchanged task set was re-analyzed", st.Hits, b.N)
+		}
+		b.ReportMetric(float64(st.Hits), "cache-hits")
+	})
+	b.Run("invalidated", func(b *testing.B) {
+		tasks := mkTasks()
+		a := cpa.NewAnalyzer()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh deadline each call changes the digest (cache miss
+			// every iteration) without changing the fixed-point workload
+			// or pushing the set into overload.
+			tasks[0].DeadlineUS = int64(5000 + i)
+			if _, err := a.AnalyzeSPP(tasks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkKernel_CPA measures the busy-window analysis on a 20-task set.
 func BenchmarkKernel_CPA(b *testing.B) {
 	var tasks []cpa.Task

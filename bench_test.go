@@ -69,6 +69,42 @@ func BenchmarkE3_MCCIntegration(b *testing.B) {
 	logRows(b, res.Rows())
 }
 
+// BenchmarkMCCThroughput measures the MCC's change-request throughput on
+// the fleet-scale E12 stream under the three integration strategies. The
+// serial sub-benchmark is the seed baseline (per-change integration, full
+// re-analysis, one worker); parallel adds the incremental timing engine;
+// batched coalesces change windows on top of it. The tentpole acceptance
+// is batched ≥3× the serial changes/s.
+func BenchmarkMCCThroughput(b *testing.B) {
+	modes := []scenario.MCCThroughputMode{
+		scenario.ThroughputSerial,
+		scenario.ThroughputParallel,
+		scenario.ThroughputBatched,
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(string(mode), func(b *testing.B) {
+			cfg := scenario.DefaultMCCThroughputConfig()
+			cfg.Mode = mode
+			var res scenario.MCCThroughputResult
+			for i := 0; i < b.N; i++ {
+				r, err := scenario.RunMCCThroughput(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			if res.Accepted+res.Rejected != cfg.Updates {
+				b.Fatalf("decided %d/%d changes", res.Accepted+res.Rejected, cfg.Updates)
+			}
+			b.ReportMetric(float64(cfg.Updates)*float64(b.N)/b.Elapsed().Seconds(), "changes/s")
+			b.ReportMetric(float64(res.Evaluations), "evaluations")
+			b.ReportMetric(float64(res.CacheHits), "cache-hits")
+			logRows(b, res.Rows())
+		})
+	}
+}
+
 // BenchmarkE4_AbilityPropagation runs the ACC closed loop with a sensor
 // fault (Section IV): detection via ability-graph propagation, graceful
 // degradation instead of failure.

@@ -8,9 +8,11 @@
 //	canbench -experiment e1 [-probes 200]
 //	canbench -experiment e2 [-maxvf 16]
 //	canbench -experiment all
+//	canbench -experiment all -json   # machine-readable, for BENCH_*.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,58 +21,132 @@ import (
 	"repro/internal/canvirt"
 )
 
+// e1Row is one E1 configuration's latency measurement.
+type e1Row struct {
+	VMs          int     `json:"vms"`
+	PayloadBytes int     `json:"payload_bytes"`
+	NativeUS     float64 `json:"native_rtt_us"`
+	VirtUS       float64 `json:"virt_rtt_us"`
+	AddedUS      float64 `json:"added_us"`
+}
+
+// e2Row is one E2 resource-model point.
+type e2Row struct {
+	VMs            int  `json:"vms"`
+	StandaloneLUT  int  `json:"standalone_lut"`
+	VirtualizedLUT int  `json:"virtualized_lut"`
+	VirtCheaper    bool `json:"virtualized_cheaper"`
+}
+
+// benchReport is the -json output document.
+type benchReport struct {
+	E1        []e1Row `json:"e1,omitempty"`
+	E2        []e2Row `json:"e2,omitempty"`
+	BreakEven int     `json:"e2_break_even_vms,omitempty"`
+}
+
 func main() {
 	log.SetFlags(0)
 	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, all")
 	probes := flag.Int("probes", 100, "round trips per E1 configuration")
 	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
+	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
 
-	switch *experiment {
-	case "e1":
-		runE1(*probes, *maxVF)
-	case "e2":
-		runE2(*maxVF)
-	case "all":
-		runE1(*probes, *maxVF)
-		fmt.Println()
-		runE2(*maxVF)
-	default:
+	var rep benchReport
+	runE1 := *experiment == "e1" || *experiment == "all"
+	runE2 := *experiment == "e2" || *experiment == "all"
+	if !runE1 && !runE2 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+	if runE1 {
+		rows, err := measureE1(*probes, *maxVF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.E1 = rows
+	}
+	if runE2 {
+		rep.E2 = measureE2(*maxVF)
+		rep.BreakEven = canvirt.BreakEvenVFs()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if runE1 {
+		printE1(rep.E1)
+	}
+	if runE1 && runE2 {
+		fmt.Println()
+	}
+	if runE2 {
+		printE2(rep.E2, rep.BreakEven)
+	}
 }
 
-func runE1(probes, maxVF int) {
-	fmt.Println("E1: virtualized CAN controller round-trip latency (paper: +7-11us added)")
-	fmt.Println("VMs  payload  native-RTT   virt-RTT    added")
+func measureE1(probes, maxVF int) ([]e1Row, error) {
+	var rows []e1Row
 	for _, vms := range []int{1, 2, 4, 8, 12, maxVF} {
 		for _, payload := range []int{0, 4, 8} {
 			base := canvirt.ProbeConfig{Probes: probes, PayloadBytes: payload}
 			nat, err := canvirt.MeasureNative(base)
 			if err != nil {
-				log.Fatalf("native: %v", err)
+				return nil, fmt.Errorf("native: %w", err)
 			}
 			cfg := base
 			cfg.VMs = vms
 			virt, err := canvirt.MeasureVirtualized(cfg)
 			if err != nil {
-				log.Fatalf("virtualized: %v", err)
+				return nil, fmt.Errorf("virtualized: %w", err)
 			}
-			fmt.Printf("%3d  %5dB  %9.2fus  %9.2fus  %+6.2fus\n",
-				vms, payload, nat.Mean().Micros(), virt.Mean().Micros(),
-				(virt.Mean() - nat.Mean()).Micros())
+			rows = append(rows, e1Row{
+				VMs:          vms,
+				PayloadBytes: payload,
+				NativeUS:     nat.Mean().Micros(),
+				VirtUS:       virt.Mean().Micros(),
+				AddedUS:      (virt.Mean() - nat.Mean()).Micros(),
+			})
 		}
 	}
+	return rows, nil
 }
 
-func runE2(maxVF int) {
-	fmt.Println("E2: FPGA resource model (paper: break-even with stand-alone controllers at four VMs)")
-	fmt.Println("VMs  standalone-LUT  virtualized-LUT  virtualized-cheaper")
+func measureE2(maxVF int) []e2Row {
+	var rows []e2Row
 	for n := 1; n <= maxVF; n++ {
 		sa := canvirt.StandaloneController().Scale(n)
 		v := canvirt.VirtualizedController(n)
-		fmt.Printf("%3d  %14d  %15d  %v\n", n, sa.LUT, v.LUT, v.LUT <= sa.LUT)
+		rows = append(rows, e2Row{
+			VMs:            n,
+			StandaloneLUT:  sa.LUT,
+			VirtualizedLUT: v.LUT,
+			VirtCheaper:    v.LUT <= sa.LUT,
+		})
 	}
-	fmt.Printf("break-even at %d VMs\n", canvirt.BreakEvenVFs())
+	return rows
+}
+
+func printE1(rows []e1Row) {
+	fmt.Println("E1: virtualized CAN controller round-trip latency (paper: +7-11us added)")
+	fmt.Println("VMs  payload  native-RTT   virt-RTT    added")
+	for _, r := range rows {
+		fmt.Printf("%3d  %5dB  %9.2fus  %9.2fus  %+6.2fus\n",
+			r.VMs, r.PayloadBytes, r.NativeUS, r.VirtUS, r.AddedUS)
+	}
+}
+
+func printE2(rows []e2Row, breakEven int) {
+	fmt.Println("E2: FPGA resource model (paper: break-even with stand-alone controllers at four VMs)")
+	fmt.Println("VMs  standalone-LUT  virtualized-LUT  virtualized-cheaper")
+	for _, r := range rows {
+		fmt.Printf("%3d  %14d  %15d  %v\n", r.VMs, r.StandaloneLUT, r.VirtualizedLUT, r.VirtCheaper)
+	}
+	fmt.Printf("break-even at %d VMs\n", breakEven)
 }

@@ -11,6 +11,7 @@
 //	mcc                      # built-in E3 update stream
 //	mcc -model system.json   # integrate a system model from disk
 //	mcc -updates 48          # longer built-in stream
+//	mcc -throughput -mode batched   # fleet-scale E12 throughput run
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/mcc"
 	"repro/internal/model"
@@ -29,10 +31,39 @@ func main() {
 	log.SetFlags(0)
 	modelPath := flag.String("model", "", "path to a JSON system model")
 	updates := flag.Int("updates", 24, "number of proposals in the built-in stream")
+	throughput := flag.Bool("throughput", false, "run the fleet-scale E12 throughput scenario instead of E3")
+	mode := flag.String("mode", string(scenario.ThroughputBatched), "E12 integration strategy: serial, parallel, batched")
+	batch := flag.Int("batch", 0, "E12 coalescing window (0 = default)")
 	flag.Parse()
 
 	if *modelPath != "" {
 		integrateFile(*modelPath)
+		return
+	}
+
+	if *throughput {
+		cfg := scenario.DefaultMCCThroughputConfig()
+		cfg.Mode = scenario.MCCThroughputMode(*mode)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "updates" {
+				cfg.Updates = *updates
+			}
+		})
+		if *batch > 0 {
+			cfg.BatchSize = *batch
+		}
+		start := time.Now()
+		res, err := scenario.RunMCCThroughput(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Println("E12: MCC fleet-scale change-stream throughput")
+		for _, row := range res.Rows() {
+			fmt.Println(row)
+		}
+		fmt.Printf("  wall time: %v (%.0f changes/s)\n",
+			elapsed.Round(time.Microsecond), float64(cfg.Updates)/elapsed.Seconds())
 		return
 	}
 

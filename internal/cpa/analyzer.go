@@ -1,0 +1,155 @@
+package cpa
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Analyzer memoizes busy-window analyses per task set. The MCC re-runs the
+// timing acceptance test on every proposed change, but most resources are
+// untouched by any single change: their task sets hash to the same digest
+// and the cached []Result is returned without re-running the fixed-point
+// iterations. The Analyzer is safe for concurrent use, so the MCC can fan
+// resources out over a worker pool sharing one cache.
+type Analyzer struct {
+	mu    sync.Mutex
+	cache map[uint64][]Result
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// maxCacheEntries bounds the memoization table. A fleet-scale change stream
+// produces one new digest per touched resource per accepted change; when
+// the table exceeds the bound, arbitrary entries are evicted (the cache is
+// a pure performance artifact, correctness never depends on residency).
+const maxCacheEntries = 4096
+
+// AnalyzerStats reports cache effectiveness counters.
+type AnalyzerStats struct {
+	// Hits counts analyses served from the cache.
+	Hits int64
+	// Misses counts analyses that ran the busy-window iteration.
+	Misses int64
+	// Entries is the current number of cached task sets.
+	Entries int
+}
+
+// NewAnalyzer returns an empty memoizing analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{cache: make(map[uint64][]Result)}
+}
+
+// AnalyzeSPP is the memoized equivalent of the package-level AnalyzeSPP.
+func (a *Analyzer) AnalyzeSPP(tasks []Task) ([]Result, error) {
+	return a.analyze(tasks, false)
+}
+
+// AnalyzeSPNP is the memoized equivalent of the package-level AnalyzeSPNP.
+func (a *Analyzer) AnalyzeSPNP(tasks []Task) ([]Result, error) {
+	return a.analyze(tasks, true)
+}
+
+// Stats returns the current cache counters.
+func (a *Analyzer) Stats() AnalyzerStats {
+	a.mu.Lock()
+	n := len(a.cache)
+	a.mu.Unlock()
+	return AnalyzerStats{Hits: a.hits.Load(), Misses: a.misses.Load(), Entries: n}
+}
+
+// Reset drops every cached result and zeroes the counters.
+func (a *Analyzer) Reset() {
+	a.mu.Lock()
+	a.cache = make(map[uint64][]Result)
+	a.mu.Unlock()
+	a.hits.Store(0)
+	a.misses.Store(0)
+}
+
+func (a *Analyzer) analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
+	key := TaskSetDigest(tasks)
+	if nonPreemptive {
+		// The same message set analyzed as SPNP must not alias an SPP entry.
+		key = mix64(key ^ 0x5350_4e50) // "SPNP"
+	}
+	a.mu.Lock()
+	cached, ok := a.cache[key]
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		out := make([]Result, len(cached))
+		copy(out, cached)
+		return out, nil
+	}
+	a.misses.Add(1)
+	res, err := analyze(tasks, nonPreemptive)
+	if err != nil {
+		return nil, err
+	}
+	stored := make([]Result, len(res))
+	copy(stored, res)
+	a.mu.Lock()
+	if len(a.cache) >= maxCacheEntries {
+		for k := range a.cache {
+			delete(a.cache, k)
+			if len(a.cache) < maxCacheEntries {
+				break
+			}
+		}
+	}
+	a.cache[key] = stored
+	a.mu.Unlock()
+	return res, nil
+}
+
+// TaskSetDigest returns a digest of the task set that is independent of
+// the order tasks are listed in: each task is hashed individually through a
+// strong 64-bit mixer and the per-task hashes are folded with a commutative
+// combine (no sort, no allocation — the digest must stay far cheaper than
+// the analysis it short-circuits). Two task sets digest equally iff they
+// contain the same tasks (modulo 64-bit collisions), which is what keys the
+// Analyzer cache and the MCC's dirty-resource tracking.
+func TaskSetDigest(tasks []Task) uint64 {
+	sum := mix64(uint64(len(tasks)))
+	var xor uint64
+	for i := range tasks {
+		h := taskHash(&tasks[i])
+		sum += h
+		xor ^= mix64(h)
+	}
+	return mix64(sum ^ xor)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func taskHash(t *Task) uint64 {
+	h := fnvString(fnvOffset64, t.Name)
+	h = mix64(h ^ uint64(int64(t.Priority)))
+	h = mix64(h ^ uint64(t.WCETUS))
+	h = mix64(h ^ uint64(t.Event.PeriodUS))
+	h = mix64(h ^ uint64(t.Event.JitterUS))
+	h = mix64(h ^ uint64(t.DeadlineUS))
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h ^ uint64(len(s)))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

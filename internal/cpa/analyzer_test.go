@@ -1,0 +1,157 @@
+package cpa
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func analyzerTaskSet() []Task {
+	return []Task{
+		{Name: "a", Priority: 1, WCETUS: 500, Event: EventModel{PeriodUS: 5000, JitterUS: 1000}, DeadlineUS: 5000},
+		{Name: "b", Priority: 2, WCETUS: 1500, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+		{Name: "c", Priority: 3, WCETUS: 4000, Event: EventModel{PeriodUS: 20000, JitterUS: 2000}, DeadlineUS: 20000},
+	}
+}
+
+func TestAnalyzerMatchesDirectAnalysis(t *testing.T) {
+	tasks := analyzerTaskSet()
+	want, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer()
+	for i := 0; i < 3; i++ {
+		got, err := a.AnalyzeSPP(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: analyzer results diverge from direct analysis:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+	st := a.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss then 2 hits", st)
+	}
+}
+
+func TestAnalyzerCacheInvalidatedByTaskChange(t *testing.T) {
+	tasks := analyzerTaskSet()
+	a := NewAnalyzer()
+	first, err := a.AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A WCET change must produce a fresh analysis, not a stale table.
+	tasks[1].WCETUS = 3000
+	second, err := a.AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("changed task set served from cache: stats %+v", st)
+	}
+	want, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Fatalf("post-invalidation results wrong:\ngot  %+v\nwant %+v", second, want)
+	}
+	if reflect.DeepEqual(first, second) {
+		t.Fatal("WCET change did not affect results; invalidation untestable")
+	}
+}
+
+func TestAnalyzerSPPAndSPNPDoNotAlias(t *testing.T) {
+	tasks := analyzerTaskSet()
+	a := NewAnalyzer()
+	spp, err := a.AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spnp, err := a.AnalyzeSPNP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(spp, spnp) {
+		t.Fatal("SPP and SPNP analyses returned identical tables; cache keys alias")
+	}
+	if st := a.Stats(); st.Misses != 2 {
+		t.Fatalf("expected two distinct cache entries, stats %+v", st)
+	}
+}
+
+func TestAnalyzerCachedResultsAreIsolated(t *testing.T) {
+	tasks := analyzerTaskSet()
+	a := NewAnalyzer()
+	first, err := a.AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0].WCRTUS = -1 // caller scribbles on its copy
+	second, err := a.AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].WCRTUS == -1 {
+		t.Fatal("cache returned a shared slice; caller mutation leaked")
+	}
+}
+
+func TestTaskSetDigestOrderIndependent(t *testing.T) {
+	tasks := analyzerTaskSet()
+	perm := []Task{tasks[2], tasks[0], tasks[1]}
+	if TaskSetDigest(tasks) != TaskSetDigest(perm) {
+		t.Fatal("digest depends on task order")
+	}
+	changed := analyzerTaskSet()
+	changed[0].Event.JitterUS++
+	if TaskSetDigest(tasks) == TaskSetDigest(changed) {
+		t.Fatal("jitter change did not change the digest")
+	}
+	if TaskSetDigest(nil) == TaskSetDigest(tasks[:1]) {
+		t.Fatal("empty and singleton sets digest equally")
+	}
+}
+
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	tasks := analyzerTaskSet()
+	want, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer()
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := a.AnalyzeSPP(tasks)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errc <- errDiverged
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errDiverged = errorString("concurrent analyzer result diverged")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

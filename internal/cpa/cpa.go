@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // EventModel is the standard periodic-with-jitter activation model.
@@ -155,35 +156,66 @@ func AnalyzeSPNP(tasks []Task) ([]Result, error) {
 	return analyze(tasks, true)
 }
 
+// scratch holds the per-call working buffers of analyze. Pooling them keeps
+// the hot path allocation-free apart from the returned result slice.
+type scratch struct {
+	sorted   []Task
+	cumUtil  []int64
+	blockMax []int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
 func analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
-	sorted := make([]Task, len(tasks))
-	copy(sorted, tasks)
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.sorted = append(s.sorted[:0], tasks...)
+	sorted := s.sorted
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Priority < sorted[j].Priority })
-	prios := make(map[int]string, len(sorted))
-	for _, t := range sorted {
-		if err := t.Validate(); err != nil {
+	for i := range sorted {
+		if err := sorted[i].Validate(); err != nil {
 			return nil, err
 		}
-		if other, dup := prios[t.Priority]; dup {
-			return nil, fmt.Errorf("cpa: tasks %q and %q share priority %d", other, t.Name, t.Priority)
+		if i > 0 && sorted[i].Priority == sorted[i-1].Priority {
+			return nil, fmt.Errorf("cpa: tasks %q and %q share priority %d",
+				sorted[i-1].Name, sorted[i].Name, sorted[i].Priority)
 		}
-		prios[t.Priority] = t.Name
+	}
+
+	// Prefix sums of utilization: cumUtil[i] covers the task and everything
+	// at higher priority, so the termination check is O(1) per task.
+	s.cumUtil = s.cumUtil[:0]
+	var cum int64
+	for _, t := range sorted {
+		cum += taskUtilPPM(t)
+		s.cumUtil = append(s.cumUtil, cum)
+	}
+
+	// Suffix maximum of WCETs: blockMax[i] is the largest lower-priority
+	// WCET, i.e. the SPNP blocking term, precomputed in one reverse pass.
+	if nonPreemptive {
+		if cap(s.blockMax) < len(sorted) {
+			s.blockMax = make([]int64, len(sorted))
+		}
+		s.blockMax = s.blockMax[:len(sorted)]
+		var mx int64
+		for i := len(sorted) - 1; i >= 0; i-- {
+			s.blockMax[i] = mx
+			if sorted[i].WCETUS > mx {
+				mx = sorted[i].WCETUS
+			}
+		}
 	}
 
 	results := make([]Result, 0, len(sorted))
 	for i, t := range sorted {
-		hp := sorted[:i]
+		res := Result{Name: t.Name, DeadlineUS: t.DeadlineUS, UtilizationPPM: taskUtilPPM(t)}
 		// Utilization of the task and all higher-priority tasks must be
 		// below 1 for the busy window to terminate.
-		util := taskUtilPPM(t)
-		for _, j := range hp {
-			util += taskUtilPPM(j)
-		}
-		res := Result{Name: t.Name, DeadlineUS: t.DeadlineUS, UtilizationPPM: taskUtilPPM(t)}
-		if util >= 1_000_000 {
+		if s.cumUtil[i] >= 1_000_000 {
 			res.Converged = false
 			results = append(results, res)
 			continue
@@ -191,14 +223,10 @@ func analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
 
 		var blocking int64
 		if nonPreemptive {
-			for _, l := range sorted[i+1:] {
-				if l.WCETUS > blocking {
-					blocking = l.WCETUS
-				}
-			}
+			blocking = s.blockMax[i]
 		}
 
-		wcrt, qmax, ok := busyWindow(t, hp, blocking, nonPreemptive)
+		wcrt, qmax, ok := busyWindow(t, sorted[:i], blocking, nonPreemptive)
 		res.WCRTUS = wcrt
 		res.BusyWindows = qmax
 		res.Converged = ok
@@ -213,6 +241,9 @@ func analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
 func busyWindow(t Task, hp []Task, blocking int64, nonPreemptive bool) (int64, int, bool) {
 	var wcrt int64
 	for q := int64(1); ; q++ {
+		if q > iterationCap {
+			return 0, int(q), false
+		}
 		w, ok := fixedPoint(t, hp, blocking, nonPreemptive, q)
 		if !ok {
 			return 0, int(q), false
@@ -236,9 +267,6 @@ func busyWindow(t Task, hp []Task, blocking int64, nonPreemptive bool) (int64, i
 		}
 		if busyEnd <= q*t.Event.PeriodUS-t.Event.JitterUS {
 			return wcrt, int(q), true
-		}
-		if q > iterationCap {
-			return 0, int(q), false
 		}
 	}
 }

@@ -380,3 +380,76 @@ func TestBusyWindowMultipleActivations(t *testing.T) {
 		t.Fatalf("t2 WCRT = %d, want 14", res[1].WCRTUS)
 	}
 }
+
+func TestJitterLargerThanPeriod(t *testing.T) {
+	// J > P means a burst of activations can arrive back-to-back: the
+	// busy window must span several activations even for a lone task,
+	// and the WCRT of the first burst activation is J + C.
+	tasks := []Task{
+		{Name: "bursty", Priority: 1, WCETUS: 2000,
+			Event: EventModel{PeriodUS: 10000, JitterUS: 25000}, DeadlineUS: 30000},
+	}
+	res, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if r.WCRTUS != 27000 {
+		t.Fatalf("WCRT = %d, want 27000 (J + C)", r.WCRTUS)
+	}
+	if r.BusyWindows != 4 {
+		t.Fatalf("busy window examined %d activations, want 4", r.BusyWindows)
+	}
+	if !r.Schedulable {
+		t.Fatal("27000us WCRT should meet the 30000us deadline")
+	}
+}
+
+func TestSPNPBlockingFromLoneLowerPriorityTask(t *testing.T) {
+	// A single lower-priority frame blocks the highest-priority one for
+	// its full transmission time: WCRT = B + C exactly.
+	tasks := []Task{
+		{Name: "hi", Priority: 1, WCETUS: 1000,
+			Event: EventModel{PeriodUS: 100000}, DeadlineUS: 100000},
+		{Name: "lo", Priority: 2, WCETUS: 50000,
+			Event: EventModel{PeriodUS: 1000000}, DeadlineUS: 1000000},
+	}
+	res, err := AnalyzeSPNP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Name != "hi" {
+		t.Fatalf("results not priority-ordered: %+v", res)
+	}
+	if res[0].WCRTUS != 51000 {
+		t.Fatalf("hi WCRT = %d, want 51000 (B 50000 + C 1000)", res[0].WCRTUS)
+	}
+	if !res[0].Schedulable || !res[1].Schedulable {
+		t.Fatalf("both frames should be schedulable: %+v", res)
+	}
+}
+
+func TestExactFullUtilizationRejected(t *testing.T) {
+	// Utilization of exactly 100% must be rejected (busy window would
+	// never close over the integer time base).
+	tasks := []Task{
+		{Name: "a", Priority: 1, WCETUS: 5000, Event: EventModel{PeriodUS: 10000}, DeadlineUS: 10000},
+		{Name: "b", Priority: 2, WCETUS: 10000, Event: EventModel{PeriodUS: 20000}, DeadlineUS: 20000},
+	}
+	if got := Utilization(tasks); got != 1_000_000 {
+		t.Fatalf("utilization = %d ppm, want exactly 1000000", got)
+	}
+	res, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Converged || !res[0].Schedulable {
+		t.Fatalf("task a alone is at 50%%, should converge: %+v", res[0])
+	}
+	if res[1].Converged || res[1].Schedulable {
+		t.Fatalf("task b at cumulative 100%% must not converge: %+v", res[1])
+	}
+}

@@ -1,0 +1,124 @@
+package mcc
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Change is one pending modification to the deployed functional
+// architecture: either an update (add/replace a function) or a removal.
+type Change struct {
+	// Update, when non-nil, adds the function or replaces the deployed
+	// version of the same name.
+	Update *model.Function
+	// Remove, when non-empty, removes the named function and its flows.
+	Remove string
+}
+
+func (c Change) String() string {
+	if c.Update != nil {
+		return fmt.Sprintf("update %s", c.Update.Name)
+	}
+	return fmt.Sprintf("remove %s", c.Remove)
+}
+
+// Batch coalesces pending change requests so the MCC can amortize one
+// integration run over a whole change window instead of paying the full
+// acceptance-test pipeline per request. Fleet change streams are mostly
+// feasible, so the common case is a single evaluation for N changes;
+// ProposeBatch bisects on rejection to isolate the offending requests.
+type Batch struct {
+	changes []Change
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Update queues an add-or-replace of fn.
+func (b *Batch) Update(fn model.Function) *Batch {
+	b.changes = append(b.changes, Change{Update: &fn})
+	return b
+}
+
+// Remove queues the removal of the named function.
+func (b *Batch) Remove(name string) *Batch {
+	b.changes = append(b.changes, Change{Remove: name})
+	return b
+}
+
+// Len returns the number of queued changes.
+func (b *Batch) Len() int { return len(b.changes) }
+
+// BatchOutcome records the decision for one change of a batch.
+type BatchOutcome struct {
+	Change   Change
+	Accepted bool
+	// Report is the integration report of the evaluation that decided this
+	// change; changes decided by the same evaluation share it.
+	Report *Report
+}
+
+// BatchReport aggregates the per-change outcomes of one ProposeBatch call.
+type BatchReport struct {
+	// Outcomes lists every change in its original batch order.
+	Outcomes []BatchOutcome
+	Accepted int
+	Rejected int
+	// Evaluations counts integration-pipeline runs spent deciding the
+	// batch: 1 when the coalesced candidate is accepted outright, up to
+	// O(k log n) when k of n changes must be isolated by bisection.
+	Evaluations int
+}
+
+// ProposeBatch coalesces the queued changes into one candidate
+// architecture, evaluates it through the full acceptance pipeline once
+// and, on rejection, bisects: each half is re-evaluated against whatever
+// configuration the preceding half committed, preserving the request
+// order. Every change ends up individually accepted or rejected, and
+// feasible streams cost ~1/N the pipeline runs. Note that changes within
+// one accepted evaluation are admitted as a group: a change that depends
+// on another one in the same window (e.g. a consumer batched with the
+// provider it requires) can be accepted where strictly serial proposals
+// would reject it — batching windows are atomic in that direction.
+func (m *MCC) ProposeBatch(b *Batch) *BatchReport {
+	br := &BatchReport{}
+	m.decideChanges(b.changes, br)
+	return br
+}
+
+func (m *MCC) decideChanges(changes []Change, br *BatchReport) {
+	if len(changes) == 0 {
+		return
+	}
+	cand := m.deployed.Clone()
+	for _, c := range changes {
+		cand = applyChange(cand, c)
+	}
+	br.Evaluations++
+	rep := m.integrate(cand)
+	if rep.Accepted || len(changes) == 1 {
+		for _, c := range changes {
+			br.Outcomes = append(br.Outcomes, BatchOutcome{Change: c, Accepted: rep.Accepted, Report: rep})
+		}
+		if rep.Accepted {
+			br.Accepted += len(changes)
+		} else {
+			br.Rejected += len(changes)
+		}
+		return
+	}
+	mid := len(changes) / 2
+	m.decideChanges(changes[:mid], br)
+	m.decideChanges(changes[mid:], br)
+}
+
+func applyChange(fa *model.FunctionalArchitecture, c Change) *model.FunctionalArchitecture {
+	switch {
+	case c.Update != nil:
+		return fa.WithFunction(*c.Update)
+	case c.Remove != "":
+		return fa.WithoutFunction(c.Remove)
+	}
+	return fa
+}

@@ -18,7 +18,9 @@ package mcc
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cpa"
 	"repro/internal/model"
@@ -99,20 +101,70 @@ type MCC struct {
 	// contracts ("supervising certain run-time properties ... enables the
 	// model domain to detect deviations ... refine its models").
 	observedWCETUS map[string]int64
+
+	// analyzer memoizes busy-window analyses across proposals; with
+	// incremental integration the timing acceptance test of an unchanged
+	// resource is a digest lookup instead of a fixed-point iteration.
+	analyzer    *cpa.Analyzer
+	incremental bool
+	// workers bounds the goroutines analyzing dirty resources in parallel.
+	workers int
+	// deployedDigest/deployedTiming hold the per-resource task-set digests
+	// and WCRT tables of the currently committed configuration; a candidate
+	// resource whose digest matches is clean and reuses the deployed table.
+	deployedDigest map[string]uint64
+	deployedTiming map[string]TimingResult
+}
+
+// Option configures an MCC at construction time.
+type Option func(*MCC)
+
+// WithTimingWorkers bounds the worker pool that analyzes dirty resources
+// during the timing acceptance test. 1 forces serial analysis; the default
+// is runtime.GOMAXPROCS(0).
+func WithTimingWorkers(n int) Option {
+	return func(m *MCC) {
+		if n > 0 {
+			m.workers = n
+		}
+	}
+}
+
+// WithoutIncrementalTiming disables the memoized analyzer and the
+// dirty-resource tracking, re-running the full busy-window analysis over
+// every resource on every proposal. This is the seed behavior, kept as the
+// measurable baseline for BenchmarkMCCThroughput.
+func WithoutIncrementalTiming() Option {
+	return func(m *MCC) { m.incremental = false }
 }
 
 // New creates an MCC managing the given platform, with an empty deployed
-// configuration.
-func New(p *model.Platform) (*MCC, error) {
+// configuration. By default the timing acceptance test is incremental
+// (per-resource memoization plus dirty tracking) and fans dirty resources
+// out over a GOMAXPROCS-sized worker pool; see WithoutIncrementalTiming
+// and WithTimingWorkers.
+func New(p *model.Platform, opts ...Option) (*MCC, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &MCC{
+	m := &MCC{
 		platform:       p,
 		deployed:       &model.FunctionalArchitecture{},
 		observedWCETUS: make(map[string]int64),
-	}, nil
+		analyzer:       cpa.NewAnalyzer(),
+		incremental:    true,
+		workers:        runtime.GOMAXPROCS(0),
+		deployedDigest: make(map[string]uint64),
+		deployedTiming: make(map[string]TimingResult),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
 }
+
+// TimingCacheStats exposes the analyzer's memoization counters.
+func (m *MCC) TimingCacheStats() cpa.AnalyzerStats { return m.analyzer.Stats() }
 
 // Deployed returns the currently deployed functional architecture.
 func (m *MCC) Deployed() *model.FunctionalArchitecture { return m.deployed }
@@ -210,7 +262,7 @@ func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 	}
 
 	// Stage 4c: timing acceptance.
-	timing, ok := m.analyzeTiming(impl)
+	timing, digests, ok := m.analyzeTiming(impl)
 	rep.Timing = timing
 	if !ok {
 		rep.RejectedAt = StageTiming
@@ -232,6 +284,11 @@ func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 	// Stage 6: commit.
 	m.deployed = cand
 	m.impl = impl
+	m.deployedDigest = digests
+	m.deployedTiming = make(map[string]TimingResult, len(timing))
+	for _, tr := range timing {
+		m.deployedTiming[tr.Resource] = tr
+	}
 	rep.Accepted = true
 	return rep
 }
@@ -305,7 +362,7 @@ func (m *MCC) mapToPlatform(fa *model.FunctionalArchitecture) (*model.TechnicalA
 			instances = append(instances, model.Instance{Function: f.Name, Replica: r, Processor: best})
 		}
 	}
-	sort.Slice(instances, func(i, j int) bool { return instances[i].ID() < instances[j].ID() })
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Less(instances[j]) })
 	tech := &model.TechnicalArchitecture{Platform: m.platform, Func: fa, Instances: instances}
 	if err := tech.Validate(); err != nil {
 		return nil, err
@@ -332,6 +389,22 @@ func scaleUtilPPM(ppm int64, speed float64) int64 {
 func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.ImplementationModel, error) {
 	impl := &model.ImplementationModel{Tech: tech}
 
+	// One pass of lookup tables instead of linear scans per instance: the
+	// synthesis loops below are quadratic otherwise and dominate the
+	// integration pipeline on fleet-sized architectures.
+	fnByName := make(map[string]*model.Function, len(tech.Func.Functions))
+	for i := range tech.Func.Functions {
+		f := &tech.Func.Functions[i]
+		fnByName[f.Name] = f
+	}
+	instancesOf := make(map[string][]model.Instance, len(tech.Func.Functions))
+	for _, in := range tech.Instances {
+		instancesOf[in.Function] = append(instancesOf[in.Function], in)
+	}
+	for _, ins := range instancesOf {
+		sort.Slice(ins, func(i, j int) bool { return ins[i].Replica < ins[j].Replica })
+	}
+
 	// Tasks.
 	for _, pn := range procNames(m.platform) {
 		p := m.platform.ProcessorByName(pn)
@@ -342,7 +415,7 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 		}
 		var cands []cand
 		for _, in := range insts {
-			f := tech.Func.FunctionByName(in.Function)
+			f := fnByName[in.Function]
 			if f == nil || !f.Contract.RealTime.HasTiming() {
 				continue
 			}
@@ -355,7 +428,7 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 			if di != dj {
 				return di < dj
 			}
-			return cands[i].inst.ID() < cands[j].inst.ID()
+			return cands[i].inst.Less(cands[j].inst)
 		})
 		for i, c := range cands {
 			rt := c.fn.Contract.RealTime
@@ -382,8 +455,8 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 		if fl.PeriodUS <= 0 {
 			continue // sporadic flows handled by rate monitors only
 		}
-		fromInsts := tech.InstancesOf(fl.From)
-		toInsts := tech.InstancesOf(fl.To)
+		fromInsts := instancesOf[fl.From]
+		toInsts := instancesOf[fl.To]
 		crossing := false
 		var netName string
 		for _, fi := range fromInsts {
@@ -425,22 +498,30 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 	}
 
 	// Connections: every requirer connects to the (first) provider.
+	providerOf := make(map[string]string) // service -> first provider name
+	for i := range tech.Func.Functions {
+		f := &tech.Func.Functions[i]
+		for _, svc := range f.Provides {
+			if cur, ok := providerOf[svc]; !ok || f.Name < cur {
+				providerOf[svc] = f.Name
+			}
+		}
+	}
 	for _, in := range tech.Instances {
-		f := tech.Func.FunctionByName(in.Function)
-		if f == nil {
+		client := fnByName[in.Function]
+		if client == nil {
 			continue
 		}
-		for _, svc := range f.Requires {
-			provs := tech.Func.Providers(svc)
-			if len(provs) == 0 {
+		for _, svc := range client.Requires {
+			provName, ok := providerOf[svc]
+			if !ok {
 				return nil, fmt.Errorf("mcc: unprovided service %q", svc)
 			}
-			prov := tech.InstancesOf(provs[0])
+			prov := instancesOf[provName]
 			if len(prov) == 0 {
-				return nil, fmt.Errorf("mcc: provider %q not deployed", provs[0])
+				return nil, fmt.Errorf("mcc: provider %q not deployed", provName)
 			}
-			client := tech.Func.FunctionByName(in.Function)
-			server := tech.Func.FunctionByName(provs[0])
+			server := fnByName[provName]
 			impl.Connections = append(impl.Connections, model.Connection{
 				Client:      in.ID(),
 				Server:      prov[0].ID(),
@@ -456,17 +537,26 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 	return impl, nil
 }
 
-// analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
-func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, bool) {
-	var out []TimingResult
-	allOK := true
+// timingJob is one resource's share of the timing acceptance test.
+type timingJob struct {
+	resource string
+	spnp     bool
+	tasks    []cpa.Task
+	digest   uint64
+}
+
+// timingJobs derives the per-resource CPA task sets of the implementation
+// model in deterministic order: processors (sorted by name), then networks
+// (platform order). Resources without load are skipped.
+func (m *MCC) timingJobs(impl *model.ImplementationModel) []timingJob {
+	var jobs []timingJob
 
 	for _, pn := range procNames(m.platform) {
 		tasks := impl.TasksOn(pn)
 		if len(tasks) == 0 {
 			continue
 		}
-		var ct []cpa.Task
+		ct := make([]cpa.Task, 0, len(tasks))
 		for _, t := range tasks {
 			ct = append(ct, cpa.Task{
 				Name:       t.Name,
@@ -476,16 +566,7 @@ func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, bo
 				DeadlineUS: t.DeadlineUS,
 			})
 		}
-		res, err := cpa.AnalyzeSPP(ct)
-		if err != nil {
-			return out, false
-		}
-		for _, r := range res {
-			if !r.Schedulable {
-				allOK = false
-			}
-		}
-		out = append(out, TimingResult{Resource: pn, Results: res})
+		jobs = append(jobs, timingJob{resource: pn, tasks: ct, digest: cpa.TaskSetDigest(ct)})
 	}
 
 	for i := range m.platform.Networks {
@@ -494,7 +575,7 @@ func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, bo
 		if len(msgs) == 0 {
 			continue
 		}
-		var ct []cpa.Task
+		ct := make([]cpa.Task, 0, len(msgs))
 		for _, msg := range msgs {
 			// Worst-case stuffed CAN frame time in µs.
 			wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
@@ -510,18 +591,95 @@ func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, bo
 				DeadlineUS: msg.DeadlineUS,
 			})
 		}
-		res, err := cpa.AnalyzeSPNP(ct)
-		if err != nil {
-			return out, false
+		jobs = append(jobs, timingJob{resource: n.Name, spnp: true, tasks: ct, digest: cpa.TaskSetDigest(ct)})
+	}
+	return jobs
+}
+
+// analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
+// With incremental integration, resources whose task-set digest matches the
+// deployed configuration are clean and reuse the committed WCRT table;
+// dirty resources are fanned out over the worker pool and the results are
+// merged back in deterministic resource order. The returned digest map
+// covers every analyzed resource and is committed by integrate on accept.
+func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, map[string]uint64, bool) {
+	jobs := m.timingJobs(impl)
+	digests := make(map[string]uint64, len(jobs))
+	results := make([]TimingResult, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var dirty []int
+	for i, j := range jobs {
+		digests[j.resource] = j.digest
+		if m.incremental && m.deployedDigest[j.resource] == j.digest {
+			if tr, ok := m.deployedTiming[j.resource]; ok {
+				results[i] = tr
+				continue
+			}
 		}
-		for _, r := range res {
+		dirty = append(dirty, i)
+	}
+
+	workers := m.workers
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers <= 1 {
+		for _, i := range dirty {
+			results[i], errs[i] = m.runTimingJob(jobs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = m.runTimingJob(jobs[i])
+				}
+			}()
+		}
+		for _, i := range dirty {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	allOK := true
+	out := make([]TimingResult, 0, len(jobs))
+	for i := range jobs {
+		if errs[i] != nil {
+			allOK = false
+			continue
+		}
+		for _, r := range results[i].Results {
 			if !r.Schedulable {
 				allOK = false
 			}
 		}
-		out = append(out, TimingResult{Resource: n.Name, Results: res})
+		out = append(out, results[i])
 	}
-	return out, allOK
+	return out, digests, allOK
+}
+
+// runTimingJob analyzes one resource, through the memoizing analyzer when
+// incremental integration is on, or from scratch for the serial baseline.
+func (m *MCC) runTimingJob(j timingJob) (TimingResult, error) {
+	var res []cpa.Result
+	var err error
+	switch {
+	case m.incremental && j.spnp:
+		res, err = m.analyzer.AnalyzeSPNP(j.tasks)
+	case m.incremental:
+		res, err = m.analyzer.AnalyzeSPP(j.tasks)
+	case j.spnp:
+		res, err = cpa.AnalyzeSPNP(j.tasks)
+	default:
+		res, err = cpa.AnalyzeSPP(j.tasks)
+	}
+	return TimingResult{Resource: j.resource, Results: res}, err
 }
 
 // planMonitors derives the execution-domain monitor configuration.

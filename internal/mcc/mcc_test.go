@@ -1,6 +1,7 @@
 package mcc
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -468,5 +469,160 @@ func TestNewRejectsInvalidPlatform(t *testing.T) {
 	bad := &model.Platform{Processors: []model.Processor{{Name: "x", Policy: "bogus", SpeedFactor: 1}}}
 	if _, err := New(bad); err == nil {
 		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestProposeBatchAllFeasibleSingleEvaluation(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch().
+		Update(fn("brake", model.ASILD, 5000, 500, 128)).
+		Update(fn("acc", model.ASILC, 10000, 1500, 256)).
+		Update(fn("infotainment", model.QM, 50000, 10000, 1024)).
+		Update(fn("telemetry", model.QM, 100000, 2000, 64))
+	br := m.ProposeBatch(b)
+	if br.Evaluations != 1 {
+		t.Fatalf("feasible batch took %d evaluations, want 1", br.Evaluations)
+	}
+	if br.Accepted != 4 || br.Rejected != 0 {
+		t.Fatalf("accepted %d rejected %d, want 4/0", br.Accepted, br.Rejected)
+	}
+	for _, name := range []string{"brake", "acc", "infotainment", "telemetry"} {
+		if m.Deployed().FunctionByName(name) == nil {
+			t.Fatalf("%s not deployed after batch accept", name)
+		}
+	}
+}
+
+func TestProposeBatchBisectsToIsolateInfeasible(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := model.Function{
+		Name: "broken",
+		Contract: model.Contract{
+			Safety:   model.QM,
+			RealTime: model.RealTimeContract{PeriodUS: 1000, WCETUS: 5000},
+		},
+	}
+	b := NewBatch().
+		Update(fn("brake", model.ASILD, 5000, 500, 128)).
+		Update(fn("acc", model.ASILC, 10000, 1500, 256)).
+		Update(broken).
+		Update(fn("telemetry", model.QM, 100000, 2000, 64))
+	br := m.ProposeBatch(b)
+	if br.Accepted != 3 || br.Rejected != 1 {
+		t.Fatalf("accepted %d rejected %d, want 3/1", br.Accepted, br.Rejected)
+	}
+	if br.Evaluations <= 1 {
+		t.Fatalf("bisection should cost extra evaluations, got %d", br.Evaluations)
+	}
+	if len(br.Outcomes) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(br.Outcomes))
+	}
+	for _, o := range br.Outcomes {
+		wantAccept := o.Change.Update.Name != "broken"
+		if o.Accepted != wantAccept {
+			t.Fatalf("outcome %s accepted=%v, want %v", o.Change, o.Accepted, wantAccept)
+		}
+		if !o.Accepted && o.Report.RejectedAt != StageValidate {
+			t.Fatalf("broken change rejected at %s, want validate", o.Report.RejectedAt)
+		}
+	}
+	if m.Deployed().FunctionByName("broken") != nil {
+		t.Fatal("broken function deployed")
+	}
+	if m.Deployed().FunctionByName("telemetry") == nil {
+		t.Fatal("feasible change after the broken one was lost")
+	}
+}
+
+func TestProposeBatchMixedUpdateAndRemoval(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := m.ProposeUpdate(fn("old", model.QM, 50000, 1000, 64)); !rep.Accepted {
+		t.Fatalf("seed rejected: %v", rep.Findings)
+	}
+	br := m.ProposeBatch(NewBatch().
+		Update(fn("new", model.QM, 50000, 1000, 64)).
+		Remove("old"))
+	if br.Accepted != 2 {
+		t.Fatalf("accepted %d, want 2: %+v", br.Accepted, br)
+	}
+	if m.Deployed().FunctionByName("old") != nil {
+		t.Fatal("removal not applied")
+	}
+	if m.Deployed().FunctionByName("new") == nil {
+		t.Fatal("update not applied")
+	}
+}
+
+// TestIncrementalMatchesSerialBaseline drives the same proposal stream
+// through the incremental parallel engine and the seed-equivalent serial
+// baseline; every report must be identical — the optimizations may only
+// change how fast the answer arrives, never the answer.
+func TestIncrementalMatchesSerialBaseline(t *testing.T) {
+	stream := []model.Function{
+		fn("brake", model.ASILD, 5000, 500, 128),
+		fn("acc", model.ASILC, 10000, 1500, 256),
+		fn("infotainment", model.QM, 50000, 10000, 1024),
+		fn("hog", model.ASILD, 10000, 9800, 64), // timing/mapping trouble
+		fn("telemetry", model.QM, 100000, 2000, 64),
+		fn("acc", model.ASILC, 10000, 1800, 256), // update in place
+	}
+	inc, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := New(testPlatform(), WithoutIncrementalTiming(), WithTimingWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range stream {
+		ri := inc.ProposeUpdate(f)
+		rs := ser.ProposeUpdate(f)
+		if ri.Accepted != rs.Accepted || ri.RejectedAt != rs.RejectedAt {
+			t.Fatalf("proposal %d (%s): incremental %v/%s vs serial %v/%s",
+				i, f.Name, ri.Accepted, ri.RejectedAt, rs.Accepted, rs.RejectedAt)
+		}
+		if !reflect.DeepEqual(ri.Findings, rs.Findings) {
+			t.Fatalf("proposal %d findings diverge:\nincremental %v\nserial      %v", i, ri.Findings, rs.Findings)
+		}
+		if !reflect.DeepEqual(ri.Timing, rs.Timing) {
+			t.Fatalf("proposal %d timing tables diverge:\nincremental %+v\nserial      %+v", i, ri.Timing, rs.Timing)
+		}
+	}
+	if st := ser.TimingCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("serial baseline used the analyzer: %+v", st)
+	}
+}
+
+// TestDirtyTrackingSkipsUntouchedResources verifies that re-proposing a
+// configuration identical to the deployed one performs no new analysis.
+func TestDirtyTrackingSkipsUntouchedResources(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fn("brake", model.ASILD, 5000, 500, 128)
+	if rep := m.ProposeUpdate(f); !rep.Accepted {
+		t.Fatalf("rejected: %v", rep.Findings)
+	}
+	before := m.TimingCacheStats()
+	rep := m.ProposeUpdate(f) // identical contract: every resource clean
+	if !rep.Accepted {
+		t.Fatalf("identical re-proposal rejected: %v", rep.Findings)
+	}
+	if len(rep.Timing) == 0 {
+		t.Fatal("clean re-proposal lost its timing tables")
+	}
+	after := m.TimingCacheStats()
+	if after.Misses != before.Misses || after.Hits != before.Hits {
+		t.Fatalf("clean re-proposal touched the analyzer: before %+v after %+v", before, after)
 	}
 }

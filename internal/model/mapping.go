@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Instance is one deployed replica of a function.
@@ -15,8 +16,22 @@ type Instance struct {
 	Processor string `json:"processor"`
 }
 
-// ID returns a unique identifier for the instance ("name#replica").
-func (i Instance) ID() string { return fmt.Sprintf("%s#%d", i.Function, i.Replica) }
+// ID returns a unique identifier for the instance ("name#replica"). It is
+// called inside sort comparators on the MCC hot path, so it avoids the
+// fmt machinery.
+func (i Instance) ID() string { return i.Function + "#" + strconv.Itoa(i.Replica) }
+
+// Less is the canonical deterministic instance order: by function name,
+// then numeric replica index. Replicas order numerically (2 before 10),
+// unlike lexicographic ordering of ID() strings; every sort of instances
+// must go through this one comparator so the order stays consistent
+// across mapping, synthesis, and analysis.
+func (i Instance) Less(j Instance) bool {
+	if i.Function != j.Function {
+		return i.Function < j.Function
+	}
+	return i.Replica < j.Replica
+}
 
 // TechnicalArchitecture is the result of the first integration step:
 // "fitting this functionality to the target platform" (Section II.A) —
@@ -36,7 +51,7 @@ func (t *TechnicalArchitecture) InstancesOn(proc string) []Instance {
 			out = append(out, in)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -64,13 +79,20 @@ func (t *TechnicalArchitecture) Validate() error {
 	if err := t.Func.Validate(); err != nil {
 		return err
 	}
+	fnNames := make(map[string]bool, len(t.Func.Functions))
+	for i := range t.Func.Functions {
+		fnNames[t.Func.Functions[i].Name] = true
+	}
+	procNames := make(map[string]bool, len(t.Platform.Processors))
+	for i := range t.Platform.Processors {
+		procNames[t.Platform.Processors[i].Name] = true
+	}
 	count := make(map[string]int)
 	for _, in := range t.Instances {
-		f := t.Func.FunctionByName(in.Function)
-		if f == nil {
+		if !fnNames[in.Function] {
 			return fmt.Errorf("model: instance of unknown function %q", in.Function)
 		}
-		if t.Platform.ProcessorByName(in.Processor) == nil {
+		if !procNames[in.Processor] {
 			return fmt.Errorf("model: instance %s mapped to unknown processor %q", in.ID(), in.Processor)
 		}
 		count[in.Function]++

@@ -108,6 +108,233 @@ func RunMCCStream(cfg MCCStreamConfig) (MCCStreamResult, error) {
 	return res, nil
 }
 
+// MCCThroughputMode selects the integration strategy of the throughput
+// scenario (E12).
+type MCCThroughputMode string
+
+// Throughput modes, from seed baseline to the full engine.
+const (
+	// ThroughputSerial is the seed behavior: every change integrated on
+	// its own, full busy-window re-analysis of every resource, one worker.
+	ThroughputSerial MCCThroughputMode = "serial"
+	// ThroughputParallel still integrates per change but runs the
+	// incremental timing engine: memoized analyses, dirty-resource
+	// tracking, and a GOMAXPROCS-sized worker pool.
+	ThroughputParallel MCCThroughputMode = "parallel"
+	// ThroughputBatched coalesces changes into batches on top of the
+	// incremental parallel engine, bisecting on rejection.
+	ThroughputBatched MCCThroughputMode = "batched"
+)
+
+// MCCThroughputConfig parameterizes E12: a fleet-scale stream of change
+// requests against a pre-deployed reference workload.
+type MCCThroughputConfig struct {
+	// Updates is the number of streamed change requests.
+	Updates int
+	// BatchSize is the coalescing window of ThroughputBatched.
+	BatchSize int
+	// Mode selects the integration strategy.
+	Mode MCCThroughputMode
+}
+
+// DefaultMCCThroughputConfig returns the baseline E12 parameters.
+func DefaultMCCThroughputConfig() MCCThroughputConfig {
+	return MCCThroughputConfig{Updates: 64, BatchSize: 8, Mode: ThroughputBatched}
+}
+
+// MCCThroughputResult is the E12 outcome.
+type MCCThroughputResult struct {
+	Config   MCCThroughputConfig
+	Accepted int
+	Rejected int
+	// Evaluations is the number of integration-pipeline runs spent on the
+	// stream (excluding the initial fleet deployment).
+	Evaluations int
+	// CacheHits/CacheMisses are the timing-analyzer memoization counters.
+	CacheHits   int64
+	CacheMisses int64
+	// FinalTasks is the deployed task count after the stream.
+	FinalTasks int
+}
+
+// Rows renders the E12 table.
+func (r MCCThroughputResult) Rows() []string {
+	return []string{
+		fmt.Sprintf("mode: %s, changes: %d, accepted: %d, rejected: %d",
+			r.Config.Mode, r.Config.Updates, r.Accepted, r.Rejected),
+		fmt.Sprintf("  pipeline evaluations: %d (%.2f changes/evaluation)",
+			r.Evaluations, float64(r.Config.Updates)/float64(max(r.Evaluations, 1))),
+		fmt.Sprintf("  timing cache: %d hits, %d misses", r.CacheHits, r.CacheMisses),
+		fmt.Sprintf("  deployed tasks: %d", r.FinalTasks),
+	}
+}
+
+// FleetPlatform returns the E12 target: four ASIL-D lockstep ECUs, four
+// fast QM/B cores, one CAN-FD backbone attaching all of them.
+func FleetPlatform() *model.Platform {
+	p := &model.Platform{
+		Networks: []model.Network{
+			{Name: "canfd0", BitsPerSec: 1_000_000, Kind: "can"},
+		},
+	}
+	for i := 0; i < 4; i++ {
+		p.Processors = append(p.Processors, model.Processor{
+			Name: fmt.Sprintf("lockstep-%d", i), Policy: model.SPP,
+			SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		p.Processors = append(p.Processors, model.Processor{
+			Name: fmt.Sprintf("perf-%d", i), Policy: model.SPP,
+			SpeedFactor: 2.5, RAMKiB: 16384, MaxSafety: model.ASILB,
+		})
+	}
+	for i := range p.Processors {
+		p.Networks[0].Attached = append(p.Networks[0].Attached, p.Processors[i].Name)
+	}
+	return p
+}
+
+// fleetBaseline returns the pre-deployed E12 workload: eight perception/
+// control pairs communicating over the backbone plus twelve QM
+// applications. Release jitter beyond one period (with correspondingly
+// relaxed explicit deadlines) forces multi-activation busy windows, so the
+// per-resource analysis that the incremental engine memoizes away is real
+// work, as it is on production timing models.
+func fleetBaseline() *model.FunctionalArchitecture {
+	fa := &model.FunctionalArchitecture{}
+	for i := 0; i < 8; i++ {
+		obj := fmt.Sprintf("obj%d", i)
+		fa.Functions = append(fa.Functions,
+			model.Function{
+				Name:     fmt.Sprintf("perc%d", i),
+				Provides: []string{obj},
+				Contract: model.Contract{
+					Safety:    model.ASILB,
+					RealTime:  model.RealTimeContract{PeriodUS: 50000, WCETUS: 9000, JitterUS: 70000, DeadlineUS: 150000},
+					Resources: model.ResourceContract{RAMKiB: 1024},
+				},
+			},
+			model.Function{
+				Name:     fmt.Sprintf("ctl%d", i),
+				Requires: []string{obj},
+				Contract: model.Contract{
+					Safety:    model.ASILD,
+					RealTime:  model.RealTimeContract{PeriodUS: 20000, WCETUS: 1500, JitterUS: 30000, DeadlineUS: 60000},
+					Resources: model.ResourceContract{RAMKiB: 128},
+				},
+			},
+		)
+		fa.Flows = append(fa.Flows, model.Flow{
+			From: fmt.Sprintf("perc%d", i), To: fmt.Sprintf("ctl%d", i),
+			Service: obj, MsgBytes: 8, PeriodUS: 50000,
+		})
+	}
+	for i := 0; i < 12; i++ {
+		fa.Functions = append(fa.Functions, model.Function{
+			Name: fmt.Sprintf("app%d", i),
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000, JitterUS: 150000, DeadlineUS: 400000},
+				Resources: model.ResourceContract{RAMKiB: 256},
+			},
+		})
+	}
+	return fa
+}
+
+// generateFleetChange produces the i-th change request of the E12 stream:
+// mostly new lightweight telemetry functions, periodically an update to a
+// deployed application, and the occasional malformed contract a fleet
+// backend would let through.
+func generateFleetChange(i int) model.Function {
+	switch {
+	case i%32 == 13: // broken contract: WCET exceeds the deadline
+		return model.Function{
+			Name: fmt.Sprintf("broken%d", i),
+			Contract: model.Contract{
+				Safety:   model.QM,
+				RealTime: model.RealTimeContract{PeriodUS: 1000, WCETUS: 5000},
+			},
+		}
+	case i%5 == 2: // update of a deployed application (new WCET estimate)
+		return model.Function{
+			Name:    fmt.Sprintf("app%d", i%12),
+			Version: i,
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000 + int64(i%7)*100, JitterUS: 150000, DeadlineUS: 400000},
+				Resources: model.ResourceContract{RAMKiB: 256},
+			},
+		}
+	default: // new telemetry function
+		return model.Function{
+			Name: fmt.Sprintf("telem%d", i),
+			Contract: model.Contract{
+				Safety:    model.QM,
+				RealTime:  model.RealTimeContract{PeriodUS: 200000, WCETUS: 1500 + int64(i%4)*250, JitterUS: int64(i%3) * 5000},
+				Resources: model.ResourceContract{RAMKiB: 64},
+			},
+		}
+	}
+}
+
+// RunMCCThroughput executes E12: deploy the fleet baseline, then stream
+// cfg.Updates change requests through the MCC using the selected
+// integration strategy, and collect throughput statistics. All three modes
+// decide every change identically; only the pipeline cost differs.
+func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
+	res := MCCThroughputResult{Config: cfg}
+	var opts []mcc.Option
+	if cfg.Mode == ThroughputSerial {
+		opts = append(opts, mcc.WithoutIncrementalTiming(), mcc.WithTimingWorkers(1))
+	}
+	m, err := mcc.New(FleetPlatform(), opts...)
+	if err != nil {
+		return res, err
+	}
+	if rep := m.ProposeArchitecture(fleetBaseline()); !rep.Accepted {
+		return res, fmt.Errorf("scenario: fleet baseline rejected at %s: %v", rep.RejectedAt, rep.Findings)
+	}
+	baselineEvals := len(m.History)
+
+	switch cfg.Mode {
+	case ThroughputBatched:
+		bs := cfg.BatchSize
+		if bs < 1 {
+			bs = 1
+		}
+		for lo := 0; lo < cfg.Updates; lo += bs {
+			b := mcc.NewBatch()
+			for i := lo; i < lo+bs && i < cfg.Updates; i++ {
+				b.Update(generateFleetChange(i))
+			}
+			br := m.ProposeBatch(b)
+			res.Accepted += br.Accepted
+			res.Rejected += br.Rejected
+		}
+	case ThroughputSerial, ThroughputParallel:
+		for i := 0; i < cfg.Updates; i++ {
+			rep := m.ProposeUpdate(generateFleetChange(i))
+			if rep.Accepted {
+				res.Accepted++
+			} else {
+				res.Rejected++
+			}
+		}
+	default:
+		return res, fmt.Errorf("scenario: unknown throughput mode %q", cfg.Mode)
+	}
+
+	res.Evaluations = len(m.History) - baselineEvals
+	stats := m.TimingCacheStats()
+	res.CacheHits, res.CacheMisses = stats.Hits, stats.Misses
+	if impl := m.DeployedImpl(); impl != nil {
+		res.FinalTasks = len(impl.Tasks)
+	}
+	return res, nil
+}
+
 // generateUpdate produces the i-th proposal of the deterministic stream.
 func generateUpdate(i int) model.Function {
 	switch i % 8 {

@@ -408,3 +408,55 @@ func TestScenariosDeterministic(t *testing.T) {
 		t.Fatal("E7 not deterministic")
 	}
 }
+
+func TestE12ThroughputModesAgree(t *testing.T) {
+	// The three integration strategies may only differ in cost, never in
+	// which changes the fleet accepts.
+	var results []MCCThroughputResult
+	for _, mode := range []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched} {
+		cfg := DefaultMCCThroughputConfig()
+		cfg.Mode = mode
+		r, err := RunMCCThroughput(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if r.Accepted+r.Rejected != cfg.Updates {
+			t.Fatalf("%s: decided %d of %d changes", mode, r.Accepted+r.Rejected, cfg.Updates)
+		}
+		if r.Rejected == 0 {
+			t.Fatalf("%s: stream contains malformed contracts, expected rejections", mode)
+		}
+		results = append(results, r)
+	}
+	base := results[0]
+	for _, r := range results[1:] {
+		if r.Accepted != base.Accepted || r.Rejected != base.Rejected || r.FinalTasks != base.FinalTasks {
+			t.Fatalf("modes disagree: %s %d/%d/%d vs %s %d/%d/%d",
+				base.Config.Mode, base.Accepted, base.Rejected, base.FinalTasks,
+				r.Config.Mode, r.Accepted, r.Rejected, r.FinalTasks)
+		}
+	}
+	serial, batched := results[0], results[2]
+	if serial.Evaluations != serial.Config.Updates {
+		t.Fatalf("serial mode ran %d evaluations for %d changes", serial.Evaluations, serial.Config.Updates)
+	}
+	if batched.Evaluations*2 >= serial.Evaluations {
+		t.Fatalf("batching saved too little: %d vs %d evaluations", batched.Evaluations, serial.Evaluations)
+	}
+}
+
+func TestE12ThroughputDeterministic(t *testing.T) {
+	cfg := DefaultMCCThroughputConfig()
+	a, err := RunMCCThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMCCThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepted != b.Accepted || a.Rejected != b.Rejected ||
+		a.Evaluations != b.Evaluations || a.FinalTasks != b.FinalTasks {
+		t.Fatalf("throughput scenario nondeterministic: %+v vs %+v", a, b)
+	}
+}
