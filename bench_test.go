@@ -70,18 +70,15 @@ func BenchmarkE3_MCCIntegration(b *testing.B) {
 }
 
 // BenchmarkMCCThroughput measures the MCC's change-request throughput on
-// the fleet-scale E12 stream under the three integration strategies. The
-// serial sub-benchmark is the seed baseline (per-change integration, full
-// re-analysis, one worker); parallel adds the incremental timing engine;
-// batched coalesces change windows on top of it. The tentpole acceptance
-// is batched ≥3× the serial changes/s.
+// the fleet-scale E12 stream under the four integration strategies. The
+// serial sub-benchmark is the seed baseline (per-change integration, every
+// stage from scratch, one worker); parallel adds the incremental timing
+// engine (PR 1); batched coalesces change windows on top of it;
+// full-incremental makes every pre-timing stage incremental too (scoped
+// validation, warm-started mapping, partial synthesis) and must beat the
+// parallel mode's changes/s.
 func BenchmarkMCCThroughput(b *testing.B) {
-	modes := []scenario.MCCThroughputMode{
-		scenario.ThroughputSerial,
-		scenario.ThroughputParallel,
-		scenario.ThroughputBatched,
-	}
-	for _, mode := range modes {
+	for _, mode := range scenario.ThroughputModes() {
 		mode := mode
 		b.Run(string(mode), func(b *testing.B) {
 			cfg := scenario.DefaultMCCThroughputConfig()

@@ -1,12 +1,14 @@
 // Command canbench runs the virtualized-CAN-controller experiments of
-// Section III: E1 (added round-trip latency vs native across VM counts and
-// payload sizes) and E2 (FPGA resource break-even vs stand-alone
-// controllers).
+// Section III — E1 (added round-trip latency vs native across VM counts
+// and payload sizes) and E2 (FPGA resource break-even vs stand-alone
+// controllers) — plus E12, the MCC change-stream throughput comparison
+// across the integration strategies of the staged acceptance pipeline.
 //
 // Usage:
 //
 //	canbench -experiment e1 [-probes 200]
 //	canbench -experiment e2 [-maxvf 16]
+//	canbench -experiment e12 [-changes 64]
 //	canbench -experiment all
 //	canbench -experiment all -json   # machine-readable, for BENCH_*.json
 package main
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/canvirt"
+	"repro/internal/scenario"
 )
 
 // e1Row is one E1 configuration's latency measurement.
@@ -38,25 +41,42 @@ type e2Row struct {
 	VirtCheaper    bool `json:"virtualized_cheaper"`
 }
 
+// e12Row is one E12 integration strategy's throughput measurement.
+type e12Row struct {
+	Mode          string           `json:"mode"`
+	Changes       int              `json:"changes"`
+	Accepted      int              `json:"accepted"`
+	Rejected      int              `json:"rejected"`
+	Evaluations   int              `json:"evaluations"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	WallUS        int64            `json:"wall_us"`
+	ChangesPerSec float64          `json:"changes_per_sec"`
+	StageWallUS   map[string]int64 `json:"stage_wall_us"`
+}
+
 // benchReport is the -json output document.
 type benchReport struct {
-	E1        []e1Row `json:"e1,omitempty"`
-	E2        []e2Row `json:"e2,omitempty"`
-	BreakEven int     `json:"e2_break_even_vms,omitempty"`
+	E1        []e1Row  `json:"e1,omitempty"`
+	E2        []e2Row  `json:"e2,omitempty"`
+	BreakEven int      `json:"e2_break_even_vms,omitempty"`
+	E12       []e12Row `json:"e12,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
-	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e12, all")
 	probes := flag.Int("probes", 100, "round trips per E1 configuration")
 	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
+	changes := flag.Int("changes", 64, "streamed change requests per E12 strategy")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
 
 	var rep benchReport
 	runE1 := *experiment == "e1" || *experiment == "all"
 	runE2 := *experiment == "e2" || *experiment == "all"
-	if !runE1 && !runE2 {
+	runE12 := *experiment == "e12" || *experiment == "all"
+	if !runE1 && !runE2 && !runE12 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
@@ -70,6 +90,13 @@ func main() {
 	if runE2 {
 		rep.E2 = measureE2(*maxVF)
 		rep.BreakEven = canvirt.BreakEvenVFs()
+	}
+	if runE12 {
+		rows, err := measureE12(*changes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.E12 = rows
 	}
 
 	if *asJSON {
@@ -89,6 +116,49 @@ func main() {
 	if runE2 {
 		printE2(rep.E2, rep.BreakEven)
 	}
+	if runE12 {
+		if runE1 || runE2 {
+			fmt.Println()
+		}
+		printE12(rep.E12)
+	}
+}
+
+// measureE12 streams the fleet-scale change requests through every MCC
+// integration strategy and records throughput plus the per-stage wall
+// clock, so the BENCH_*.json trajectory tracks which pipeline stages each
+// optimization step actually removes.
+func measureE12(changes int) ([]e12Row, error) {
+	var rows []e12Row
+	for _, mode := range scenario.ThroughputModes() {
+		cfg := scenario.DefaultMCCThroughputConfig()
+		cfg.Mode = mode
+		cfg.Updates = changes
+		res, err := scenario.RunMCCThroughput(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("e12 %s: %w", mode, err)
+		}
+		// StreamWall excludes the fleet-baseline deployment every mode
+		// pays identically, so the per-mode ratios are honest.
+		elapsed := res.StreamWall
+		row := e12Row{
+			Mode:          string(mode),
+			Changes:       cfg.Updates,
+			Accepted:      res.Accepted,
+			Rejected:      res.Rejected,
+			Evaluations:   res.Evaluations,
+			CacheHits:     res.CacheHits,
+			CacheMisses:   res.CacheMisses,
+			WallUS:        elapsed.Microseconds(),
+			ChangesPerSec: float64(cfg.Updates) / elapsed.Seconds(),
+			StageWallUS:   make(map[string]int64, len(res.StageWall)),
+		}
+		for st, d := range res.StageWall {
+			row.StageWallUS[string(st)] = d.Microseconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func measureE1(probes, maxVF int) ([]e1Row, error) {
@@ -149,4 +219,13 @@ func printE2(rows []e2Row, breakEven int) {
 		fmt.Printf("%3d  %14d  %15d  %v\n", r.VMs, r.StandaloneLUT, r.VirtualizedLUT, r.VirtCheaper)
 	}
 	fmt.Printf("break-even at %d VMs\n", breakEven)
+}
+
+func printE12(rows []e12Row) {
+	fmt.Println("E12: MCC change-stream throughput across integration strategies")
+	fmt.Println("mode              changes  acc  rej  evals  cache-hits   wall       changes/s")
+	for _, r := range rows {
+		fmt.Printf("%-17s %7d  %3d  %3d  %5d  %10d  %8dus  %9.0f\n",
+			r.Mode, r.Changes, r.Accepted, r.Rejected, r.Evaluations, r.CacheHits, r.WallUS, r.ChangesPerSec)
+	}
 }

@@ -32,7 +32,7 @@ func main() {
 	modelPath := flag.String("model", "", "path to a JSON system model")
 	updates := flag.Int("updates", 24, "number of proposals in the built-in stream")
 	throughput := flag.Bool("throughput", false, "run the fleet-scale E12 throughput scenario instead of E3")
-	mode := flag.String("mode", string(scenario.ThroughputBatched), "E12 integration strategy: serial, parallel, batched")
+	mode := flag.String("mode", string(scenario.ThroughputBatched), "E12 integration strategy: serial, parallel, batched, full-incremental")
 	batch := flag.Int("batch", 0, "E12 coalescing window (0 = default)")
 	flag.Parse()
 
@@ -52,18 +52,16 @@ func main() {
 		if *batch > 0 {
 			cfg.BatchSize = *batch
 		}
-		start := time.Now()
 		res, err := scenario.RunMCCThroughput(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(start)
 		fmt.Println("E12: MCC fleet-scale change-stream throughput")
 		for _, row := range res.Rows() {
 			fmt.Println(row)
 		}
-		fmt.Printf("  wall time: %v (%.0f changes/s)\n",
-			elapsed.Round(time.Microsecond), float64(cfg.Updates)/elapsed.Seconds())
+		fmt.Printf("  stream wall time: %v (%.0f changes/s)\n",
+			res.StreamWall.Round(time.Microsecond), float64(cfg.Updates)/res.StreamWall.Seconds())
 		return
 	}
 
@@ -116,6 +114,16 @@ func printReport(rep *mcc.Report) {
 		fmt.Printf("REJECTED at stage %q\n", rep.RejectedAt)
 		for _, f := range rep.Findings {
 			fmt.Printf("  - %s\n", f)
+		}
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Println("pipeline stages:")
+		for _, tr := range rep.Stages {
+			line := fmt.Sprintf("  %-10s %10v", tr.Stage, tr.Wall.Round(time.Microsecond))
+			if tr.Note != "" {
+				line += "  (" + tr.Note + ")"
+			}
+			fmt.Println(line)
 		}
 	}
 	if rep.Impl != nil {

@@ -2,6 +2,7 @@ package mcc
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/model"
 )
@@ -65,10 +66,15 @@ type BatchReport struct {
 	Outcomes []BatchOutcome
 	Accepted int
 	Rejected int
-	// Evaluations counts integration-pipeline runs spent deciding the
+	// Evaluations counts integration-pipeline passes spent deciding the
 	// batch: 1 when the coalesced candidate is accepted outright, up to
-	// O(k log n) when k of n changes must be isolated by bisection.
+	// O(k log n) when k of n changes must be isolated by bisection (cold
+	// retries of rejected warm-start attempts count as passes).
 	Evaluations int
+	// StageWall sums the per-stage wall-clock time over every pipeline
+	// evaluation spent deciding the batch (bisection retries included),
+	// exposing which stages the batch actually paid for.
+	StageWall map[Stage]time.Duration
 }
 
 // ProposeBatch coalesces the queued changes into one candidate
@@ -82,7 +88,7 @@ type BatchReport struct {
 // provider it requires) can be accepted where strictly serial proposals
 // would reject it — batching windows are atomic in that direction.
 func (m *MCC) ProposeBatch(b *Batch) *BatchReport {
-	br := &BatchReport{}
+	br := &BatchReport{StageWall: make(map[Stage]time.Duration)}
 	m.decideChanges(b.changes, br)
 	return br
 }
@@ -95,8 +101,11 @@ func (m *MCC) decideChanges(changes []Change, br *BatchReport) {
 	for _, c := range changes {
 		cand = applyChange(cand, c)
 	}
-	br.Evaluations++
 	rep := m.integrate(cand)
+	br.Evaluations += rep.Passes
+	for st, d := range rep.StageWall() {
+		br.StageWall[st] += d
+	}
 	if rep.Accepted || len(changes) == 1 {
 		for _, c := range changes {
 			br.Outcomes = append(br.Outcomes, BatchOutcome{Change: c, Accepted: rep.Accepted, Report: rep})

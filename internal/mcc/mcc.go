@@ -14,78 +14,69 @@
 //  5. derives the monitor configuration for the execution domain, and
 //  6. commits the new configuration only if every acceptance test passes;
 //     otherwise the deployed configuration stays untouched (rollback).
+//
+// The integration process is organized as a staged acceptance-test
+// pipeline (package pipeline): every step above is a pipeline.Stage
+// operating on a shared pipeline.Context, and additional viewpoints
+// (e.g. a thermal budget backed by package thermal) plug in via
+// WithStage. By default every stage works incrementally against the
+// deployed configuration — validation re-checks only the changed
+// functions and their flow neighborhoods, mapping warm-starts from the
+// deployed placement, synthesis rebuilds only affected processors and
+// services, and the timing test memoizes per-resource busy-window
+// analyses — while WithoutIncremental restores the from-scratch seed
+// behavior as a measurable baseline.
 package mcc
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/cpa"
+	"repro/internal/mcc/pipeline"
 	"repro/internal/model"
-	"repro/internal/safety"
-	"repro/internal/security"
 )
 
 // Stage names the integration pipeline stages, used in rejection reports.
-type Stage string
+// It aliases pipeline.StageName so custom stages and MCC reports share one
+// namespace.
+type Stage = pipeline.StageName
 
 // Pipeline stages.
 const (
-	StageValidate Stage = "validate"
-	StageMapping  Stage = "mapping"
-	StageSynth    Stage = "synthesis"
-	StageSafety   Stage = "safety"
-	StageSecurity Stage = "security"
-	StageTiming   Stage = "timing"
-	StageCommit   Stage = "commit"
+	StageValidate = pipeline.StageValidate
+	StageMapping  = pipeline.StageMapping
+	StageSynth    = pipeline.StageSynth
+	StageSafety   = pipeline.StageSafety
+	StageSecurity = pipeline.StageSecurity
+	StageTiming   = pipeline.StageTiming
+	StageMonitors = pipeline.StageMonitors
+	StageCommit   = pipeline.StageCommit
 )
 
 // MonitorKind labels entries of the monitor plan.
-type MonitorKind string
+type MonitorKind = pipeline.MonitorKind
 
 // Monitor kinds emitted by the MCC for the execution domain.
 const (
-	MonitorBudget MonitorKind = "budget" // execution time + deadline
-	MonitorRate   MonitorKind = "rate"   // leaky-bucket event rate
+	MonitorBudget = pipeline.MonitorBudget // execution time + deadline
+	MonitorRate   = pipeline.MonitorRate   // leaky-bucket event rate
 )
 
-// MonitorSpec is one monitor the MCC configures in the execution domain:
-// "it can configure the monitoring facilities to enforce, e.g., the access
-// policy to network resources or real-time behavior where necessary".
-type MonitorSpec struct {
-	Kind     MonitorKind
-	Target   string // task or message name
-	PeriodUS int64
-	JitterUS int64
-	WCETUS   int64
-	Enforce  bool
-}
+// MonitorSpec is one monitor the MCC configures in the execution domain.
+type MonitorSpec = pipeline.MonitorSpec
 
 // TimingResult carries the per-resource WCRT table of the timing
 // acceptance test.
-type TimingResult struct {
-	Resource string
-	Results  []cpa.Result
-}
+type TimingResult = pipeline.TimingResult
 
-// Report is the outcome of one integration attempt.
-type Report struct {
-	// Accepted reports whether the new configuration was committed.
-	Accepted bool
-	// RejectedAt names the stage that failed (empty when accepted).
-	RejectedAt Stage
-	// Findings lists human-readable acceptance failures.
-	Findings []string
-	// Impl is the synthesized implementation model (nil if rejected
-	// before synthesis).
-	Impl *model.ImplementationModel
-	// Timing is the WCRT table per resource.
-	Timing []TimingResult
-	// Monitors is the monitor plan for the execution domain.
-	Monitors []MonitorSpec
-}
+// Report is the outcome of one integration attempt, including per-stage
+// wall-clock telemetry (Report.Stages).
+type Report = pipeline.Report
+
+// StageTrace is the per-stage telemetry entry of a Report.
+type StageTrace = pipeline.StageTrace
 
 // MCC is the multi-change controller. It owns the deployed configuration.
 type MCC struct {
@@ -105,8 +96,13 @@ type MCC struct {
 	// analyzer memoizes busy-window analyses across proposals; with
 	// incremental integration the timing acceptance test of an unchanged
 	// resource is a digest lookup instead of a fixed-point iteration.
-	analyzer    *cpa.Analyzer
-	incremental bool
+	analyzer *cpa.Analyzer
+	// incTiming enables the memoized analyzer and dirty-resource tracking.
+	incTiming bool
+	// incPre enables the incremental pre-timing stages: scoped validation,
+	// warm-started mapping, and partial synthesis against the deployed
+	// implementation model.
+	incPre bool
 	// workers bounds the goroutines analyzing dirty resources in parallel.
 	workers int
 	// deployedDigest/deployedTiming hold the per-resource task-set digests
@@ -114,6 +110,12 @@ type MCC struct {
 	// resource whose digest matches is clean and reuses the deployed table.
 	deployedDigest map[string]uint64
 	deployedTiming map[string]TimingResult
+
+	// custom holds acceptance stages registered via WithStage; they run
+	// between the security and timing stages.
+	custom []pipeline.Stage
+	// pipe is the assembled integration pipeline.
+	pipe *pipeline.Pipeline
 }
 
 // Option configures an MCC at construction time.
@@ -132,17 +134,46 @@ func WithTimingWorkers(n int) Option {
 
 // WithoutIncrementalTiming disables the memoized analyzer and the
 // dirty-resource tracking, re-running the full busy-window analysis over
-// every resource on every proposal. This is the seed behavior, kept as the
-// measurable baseline for BenchmarkMCCThroughput.
+// every resource on every proposal. The pre-timing stages stay
+// incremental; see WithoutIncremental for the full from-scratch baseline.
 func WithoutIncrementalTiming() Option {
-	return func(m *MCC) { m.incremental = false }
+	return func(m *MCC) { m.incTiming = false }
+}
+
+// WithoutIncremental disables every incremental stage: validation,
+// mapping, synthesis, and timing all run from scratch on every proposal.
+// This is the seed behavior, kept as the measurable baseline for
+// BenchmarkMCCThroughput.
+func WithoutIncremental() Option {
+	return func(m *MCC) {
+		m.incTiming = false
+		m.incPre = false
+	}
+}
+
+// WithTimingOnlyIncremental keeps the memoized, dirty-tracked timing
+// acceptance test but runs validation, mapping, and synthesis from
+// scratch. This is the PR 1 engine, kept as the measurable intermediate
+// between the serial baseline and full incremental integration.
+func WithTimingOnlyIncremental() Option {
+	return func(m *MCC) { m.incPre = false }
+}
+
+// WithStage registers a custom acceptance stage (an additional viewpoint
+// analysis); it runs after the built-in security stage and before the
+// timing stage. Stages run in registration order. A rejection by a custom
+// stage rolls back the candidate exactly like a built-in one.
+func WithStage(s pipeline.Stage) Option {
+	return func(m *MCC) { m.custom = append(m.custom, s) }
 }
 
 // New creates an MCC managing the given platform, with an empty deployed
-// configuration. By default the timing acceptance test is incremental
-// (per-resource memoization plus dirty tracking) and fans dirty resources
-// out over a GOMAXPROCS-sized worker pool; see WithoutIncrementalTiming
-// and WithTimingWorkers.
+// configuration. By default the whole acceptance pipeline is incremental
+// (scoped validation, warm-started mapping, partial synthesis, memoized
+// timing with dirty tracking) and dirty resources fan out over a
+// GOMAXPROCS-sized worker pool; see WithoutIncremental,
+// WithTimingOnlyIncremental, WithoutIncrementalTiming, WithTimingWorkers,
+// and WithStage.
 func New(p *model.Platform, opts ...Option) (*MCC, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -152,7 +183,8 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 		deployed:       &model.FunctionalArchitecture{},
 		observedWCETUS: make(map[string]int64),
 		analyzer:       cpa.NewAnalyzer(),
-		incremental:    true,
+		incTiming:      true,
+		incPre:         true,
 		workers:        runtime.GOMAXPROCS(0),
 		deployedDigest: make(map[string]uint64),
 		deployedTiming: make(map[string]TimingResult),
@@ -160,8 +192,23 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 	for _, o := range opts {
 		o(m)
 	}
+	m.pipe = pipeline.New(
+		&validateStage{m},
+		&mappingStage{m},
+		&synthStage{m},
+		&safetyStage{},
+		&securityStage{},
+		&timingStage{m},
+		&monitorStage{m},
+		&commitStage{m},
+	).Insert(StageTiming, m.custom...)
 	return m, nil
 }
+
+// Pipeline exposes the assembled stage sequence (for introspection and
+// tooling; the stages themselves hold MCC state and must not be run
+// outside integrate).
+func (m *MCC) Pipeline() *pipeline.Pipeline { return m.pipe }
 
 // TimingCacheStats exposes the analyzer's memoization counters.
 func (m *MCC) TimingCacheStats() cpa.AnalyzerStats { return m.analyzer.Stats() }
@@ -214,160 +261,62 @@ func (m *MCC) ReintegrateWithObservations() *Report {
 	return m.integrate(cand)
 }
 
-// integrate runs the full pipeline on the candidate architecture.
+// integrate runs the staged acceptance-test pipeline on the candidate
+// architecture. With incremental integration enabled, the pre-timing
+// stages work from the diff against the deployed configuration. A
+// warm-started attempt that any acceptance stage rejects is re-decided
+// from scratch, so the warm-start heuristic can never cause a spurious
+// rejection; an accepted warm-start placement is committed as-is — it
+// passed every acceptance test, which is what the paper's integration
+// process certifies, but it may be a different (equally valid) placement
+// than the full best-fit would have produced, so on marginal workloads
+// the two engines can in principle accept different configurations.
+// TestRunMCCThroughput asserts decision equality over the E12 stream.
 func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 	rep := &Report{}
 	defer func() { m.History = append(m.History, rep) }()
 
-	// Stage 1: contract validation.
-	if err := cand.Validate(); err != nil {
-		rep.RejectedAt = StageValidate
-		rep.Findings = append(rep.Findings, err.Error())
-		return rep
-	}
+	ctx := m.newContext(cand, rep, m.incPre)
+	m.pipe.Run(ctx)
 
-	// Stage 2: mapping.
-	tech, err := m.mapToPlatform(cand)
-	if err != nil {
-		rep.RejectedAt = StageMapping
-		rep.Findings = append(rep.Findings, err.Error())
-		return rep
+	if !rep.Accepted && ctx.WarmMapped && placementDependent(rep.RejectedAt) {
+		// The rejected placement came from the warm-start heuristic; a
+		// full best-fit might still find a feasible configuration.
+		// Re-decide cold, keeping both passes' telemetry.
+		coldRep := &Report{Stages: rep.Stages, Passes: rep.Passes}
+		coldCtx := m.newContext(cand, coldRep, false)
+		m.pipe.Run(coldCtx)
+		*rep = *coldRep
 	}
-
-	// Stage 3: implementation synthesis.
-	impl, err := m.synthesize(tech)
-	if err != nil {
-		rep.RejectedAt = StageSynth
-		rep.Findings = append(rep.Findings, err.Error())
-		return rep
-	}
-	rep.Impl = impl
-
-	// Stage 4a: safety acceptance.
-	if findings := safety.Check(tech); len(findings) > 0 {
-		rep.RejectedAt = StageSafety
-		for _, f := range findings {
-			rep.Findings = append(rep.Findings, f.String())
-		}
-		return rep
-	}
-
-	// Stage 4b: security acceptance.
-	if findings := security.CheckDomains(impl); len(findings) > 0 {
-		rep.RejectedAt = StageSecurity
-		for _, f := range findings {
-			rep.Findings = append(rep.Findings, f.String())
-		}
-		return rep
-	}
-
-	// Stage 4c: timing acceptance.
-	timing, digests, ok := m.analyzeTiming(impl)
-	rep.Timing = timing
-	if !ok {
-		rep.RejectedAt = StageTiming
-		for _, tr := range timing {
-			for _, r := range tr.Results {
-				if !r.Schedulable {
-					rep.Findings = append(rep.Findings,
-						fmt.Sprintf("timing: %s on %s misses deadline (WCRT %dus > %dus)",
-							r.Name, tr.Resource, r.WCRTUS, r.DeadlineUS))
-				}
-			}
-		}
-		return rep
-	}
-
-	// Stage 5: monitor plan.
-	rep.Monitors = m.planMonitors(impl)
-
-	// Stage 6: commit.
-	m.deployed = cand
-	m.impl = impl
-	m.deployedDigest = digests
-	m.deployedTiming = make(map[string]TimingResult, len(timing))
-	for _, tr := range timing {
-		m.deployedTiming[tr.Resource] = tr
-	}
-	rep.Accepted = true
 	return rep
 }
 
-// mapToPlatform assigns every function replica to a processor:
-// greedy best-fit ordered by (safety desc, utilization desc), honouring
-// safety certification, RAM budgets, and replica separation.
-func (m *MCC) mapToPlatform(fa *model.FunctionalArchitecture) (*model.TechnicalArchitecture, error) {
-	type load struct {
-		utilPPM int64
-		ramKiB  int64
-	}
-	loads := make(map[string]*load, len(m.platform.Processors))
-	for i := range m.platform.Processors {
-		loads[m.platform.Processors[i].Name] = &load{}
-	}
+// placementDependent reports whether a stage's verdict can depend on the
+// instance placement, and hence on the warm-start heuristic. Validation
+// and the security domain check decide on contracts and function/replica
+// identities alone, so their rejections stand without a cold re-decision;
+// everything else — including custom stages, whose inputs are unknown —
+// is conservatively re-decided.
+func placementDependent(s Stage) bool {
+	return s != StageValidate && s != StageSecurity
+}
 
-	// Deterministic placement order: hardest constraints first.
-	order := make([]*model.Function, len(fa.Functions))
-	for i := range fa.Functions {
-		order[i] = &fa.Functions[i]
+// newContext assembles the pipeline context for one integration attempt.
+func (m *MCC) newContext(cand *model.FunctionalArchitecture, rep *Report, incremental bool) *pipeline.Context {
+	ctx := &pipeline.Context{
+		Platform:     m.platform,
+		Candidate:    cand,
+		Deployed:     m.deployed,
+		DeployedImpl: m.impl,
+		Report:       rep,
+		Incremental:  incremental,
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Contract.Safety != order[j].Contract.Safety {
-			return order[i].Contract.Safety > order[j].Contract.Safety
-		}
-		ui, uj := utilPPM(order[i]), utilPPM(order[j])
-		if ui != uj {
-			return ui > uj
-		}
-		return order[i].Name < order[j].Name
-	})
-
-	var instances []model.Instance
-	for _, f := range order {
-		usedProcs := make(map[string]bool)
-		for r := 0; r < f.EffectiveReplicas(); r++ {
-			best := ""
-			var bestUtil int64 = -1
-			for i := range m.platform.Processors {
-				p := &m.platform.Processors[i]
-				if p.MaxSafety < f.Contract.Safety {
-					continue
-				}
-				if f.EffectiveReplicas() > 1 && usedProcs[p.Name] {
-					continue // replica separation
-				}
-				l := loads[p.Name]
-				scaledUtil := scaleUtilPPM(utilPPM(f), p.SpeedFactor)
-				if l.utilPPM+scaledUtil > 1_000_000 {
-					continue
-				}
-				if l.ramKiB+f.Contract.Resources.RAMKiB > p.RAMKiB {
-					continue
-				}
-				// Best fit: lowest resulting utilization.
-				if bestUtil < 0 || l.utilPPM+scaledUtil < bestUtil {
-					best = p.Name
-					bestUtil = l.utilPPM + scaledUtil
-				}
-			}
-			if best == "" {
-				return nil, fmt.Errorf("mcc: no feasible processor for %s#%d (safety %v, util %.1f%%, ram %d KiB)",
-					f.Name, r, f.Contract.Safety, float64(utilPPM(f))/10000, f.Contract.Resources.RAMKiB)
-			}
-			l := loads[best]
-			p := m.platform.ProcessorByName(best)
-			l.utilPPM += scaleUtilPPM(utilPPM(f), p.SpeedFactor)
-			l.ramKiB += f.Contract.Resources.RAMKiB
-			usedProcs[best] = true
-			instances = append(instances, model.Instance{Function: f.Name, Replica: r, Processor: best})
-		}
+	if incremental {
+		ctx.Diff = pipeline.ComputeDiff(m.deployed, cand)
+	} else {
+		ctx.Diff = pipeline.FullDiff()
 	}
-	sort.Slice(instances, func(i, j int) bool { return instances[i].Less(instances[j]) })
-	tech := &model.TechnicalArchitecture{Platform: m.platform, Func: fa, Instances: instances}
-	if err := tech.Validate(); err != nil {
-		return nil, err
-	}
-	return tech, nil
+	return ctx
 }
 
 func utilPPM(f *model.Function) int64 {
@@ -380,330 +329,6 @@ func utilPPM(f *model.Function) int64 {
 
 func scaleUtilPPM(ppm int64, speed float64) int64 {
 	return int64(float64(ppm) / speed)
-}
-
-// synthesize derives the implementation model: per-processor tasks with
-// deadline-monotonic priorities (WCET scaled by processor speed),
-// inter-processor messages from flows, and sessions from service
-// requirements.
-func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.ImplementationModel, error) {
-	impl := &model.ImplementationModel{Tech: tech}
-
-	// One pass of lookup tables instead of linear scans per instance: the
-	// synthesis loops below are quadratic otherwise and dominate the
-	// integration pipeline on fleet-sized architectures.
-	fnByName := make(map[string]*model.Function, len(tech.Func.Functions))
-	for i := range tech.Func.Functions {
-		f := &tech.Func.Functions[i]
-		fnByName[f.Name] = f
-	}
-	instancesOf := make(map[string][]model.Instance, len(tech.Func.Functions))
-	for _, in := range tech.Instances {
-		instancesOf[in.Function] = append(instancesOf[in.Function], in)
-	}
-	for _, ins := range instancesOf {
-		sort.Slice(ins, func(i, j int) bool { return ins[i].Replica < ins[j].Replica })
-	}
-
-	// Tasks.
-	for _, pn := range procNames(m.platform) {
-		p := m.platform.ProcessorByName(pn)
-		insts := tech.InstancesOn(pn)
-		type cand struct {
-			inst model.Instance
-			fn   *model.Function
-		}
-		var cands []cand
-		for _, in := range insts {
-			f := fnByName[in.Function]
-			if f == nil || !f.Contract.RealTime.HasTiming() {
-				continue
-			}
-			cands = append(cands, cand{in, f})
-		}
-		// Deadline-monotonic order.
-		sort.Slice(cands, func(i, j int) bool {
-			di := cands[i].fn.Contract.RealTime.EffectiveDeadlineUS()
-			dj := cands[j].fn.Contract.RealTime.EffectiveDeadlineUS()
-			if di != dj {
-				return di < dj
-			}
-			return cands[i].inst.Less(cands[j].inst)
-		})
-		for i, c := range cands {
-			rt := c.fn.Contract.RealTime
-			impl.Tasks = append(impl.Tasks, model.Task{
-				Name:       c.inst.ID(),
-				Processor:  pn,
-				Priority:   i + 1,
-				PeriodUS:   rt.PeriodUS,
-				JitterUS:   rt.JitterUS,
-				WCETUS:     int64(float64(rt.WCETUS) / p.SpeedFactor),
-				DeadlineUS: rt.EffectiveDeadlineUS(),
-				Safety:     c.fn.Contract.Safety,
-			})
-		}
-	}
-
-	// Messages: one per flow whose endpoints are on different processors.
-	type msgCand struct {
-		flow model.Flow
-		net  string
-	}
-	var msgs []msgCand
-	for _, fl := range tech.Func.Flows {
-		if fl.PeriodUS <= 0 {
-			continue // sporadic flows handled by rate monitors only
-		}
-		fromInsts := instancesOf[fl.From]
-		toInsts := instancesOf[fl.To]
-		crossing := false
-		var netName string
-		for _, fi := range fromInsts {
-			for _, ti := range toInsts {
-				if fi.Processor == ti.Processor {
-					continue
-				}
-				n := m.platform.Connecting(fi.Processor, ti.Processor)
-				if n == nil {
-					return nil, fmt.Errorf("mcc: no network connects %s and %s for flow %s->%s",
-						fi.Processor, ti.Processor, fl.From, fl.To)
-				}
-				crossing = true
-				netName = n.Name
-			}
-		}
-		if crossing {
-			msgs = append(msgs, msgCand{fl, netName})
-		}
-	}
-	// Deadline(=period)-monotonic message priorities per network.
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].flow.PeriodUS != msgs[j].flow.PeriodUS {
-			return msgs[i].flow.PeriodUS < msgs[j].flow.PeriodUS
-		}
-		return msgs[i].flow.Service < msgs[j].flow.Service
-	})
-	prioByNet := make(map[string]int)
-	for _, mc := range msgs {
-		prioByNet[mc.net]++
-		impl.Messages = append(impl.Messages, model.Message{
-			Name:       fmt.Sprintf("%s:%s->%s", mc.flow.Service, mc.flow.From, mc.flow.To),
-			Network:    mc.net,
-			Priority:   prioByNet[mc.net],
-			Bytes:      mc.flow.MsgBytes,
-			PeriodUS:   mc.flow.PeriodUS,
-			DeadlineUS: mc.flow.PeriodUS,
-		})
-	}
-
-	// Connections: every requirer connects to the (first) provider.
-	providerOf := make(map[string]string) // service -> first provider name
-	for i := range tech.Func.Functions {
-		f := &tech.Func.Functions[i]
-		for _, svc := range f.Provides {
-			if cur, ok := providerOf[svc]; !ok || f.Name < cur {
-				providerOf[svc] = f.Name
-			}
-		}
-	}
-	for _, in := range tech.Instances {
-		client := fnByName[in.Function]
-		if client == nil {
-			continue
-		}
-		for _, svc := range client.Requires {
-			provName, ok := providerOf[svc]
-			if !ok {
-				return nil, fmt.Errorf("mcc: unprovided service %q", svc)
-			}
-			prov := instancesOf[provName]
-			if len(prov) == 0 {
-				return nil, fmt.Errorf("mcc: provider %q not deployed", provName)
-			}
-			server := fnByName[provName]
-			impl.Connections = append(impl.Connections, model.Connection{
-				Client:      in.ID(),
-				Server:      prov[0].ID(),
-				Service:     svc,
-				CrossDomain: client.Contract.Domain != server.Contract.Domain,
-			})
-		}
-	}
-
-	if err := impl.Validate(); err != nil {
-		return nil, err
-	}
-	return impl, nil
-}
-
-// timingJob is one resource's share of the timing acceptance test.
-type timingJob struct {
-	resource string
-	spnp     bool
-	tasks    []cpa.Task
-	digest   uint64
-}
-
-// timingJobs derives the per-resource CPA task sets of the implementation
-// model in deterministic order: processors (sorted by name), then networks
-// (platform order). Resources without load are skipped.
-func (m *MCC) timingJobs(impl *model.ImplementationModel) []timingJob {
-	var jobs []timingJob
-
-	for _, pn := range procNames(m.platform) {
-		tasks := impl.TasksOn(pn)
-		if len(tasks) == 0 {
-			continue
-		}
-		ct := make([]cpa.Task, 0, len(tasks))
-		for _, t := range tasks {
-			ct = append(ct, cpa.Task{
-				Name:       t.Name,
-				Priority:   t.Priority,
-				WCETUS:     t.WCETUS,
-				Event:      cpa.EventModel{PeriodUS: t.PeriodUS, JitterUS: t.JitterUS},
-				DeadlineUS: t.DeadlineUS,
-			})
-		}
-		jobs = append(jobs, timingJob{resource: pn, tasks: ct, digest: cpa.TaskSetDigest(ct)})
-	}
-
-	for i := range m.platform.Networks {
-		n := &m.platform.Networks[i]
-		msgs := impl.MessagesOn(n.Name)
-		if len(msgs) == 0 {
-			continue
-		}
-		ct := make([]cpa.Task, 0, len(msgs))
-		for _, msg := range msgs {
-			// Worst-case stuffed CAN frame time in µs.
-			wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
-			wcetUS := wcBits * 1_000_000 / n.BitsPerSec
-			if wcetUS < 1 {
-				wcetUS = 1
-			}
-			ct = append(ct, cpa.Task{
-				Name:       msg.Name,
-				Priority:   msg.Priority,
-				WCETUS:     wcetUS,
-				Event:      cpa.EventModel{PeriodUS: msg.PeriodUS},
-				DeadlineUS: msg.DeadlineUS,
-			})
-		}
-		jobs = append(jobs, timingJob{resource: n.Name, spnp: true, tasks: ct, digest: cpa.TaskSetDigest(ct)})
-	}
-	return jobs
-}
-
-// analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
-// With incremental integration, resources whose task-set digest matches the
-// deployed configuration are clean and reuse the committed WCRT table;
-// dirty resources are fanned out over the worker pool and the results are
-// merged back in deterministic resource order. The returned digest map
-// covers every analyzed resource and is committed by integrate on accept.
-func (m *MCC) analyzeTiming(impl *model.ImplementationModel) ([]TimingResult, map[string]uint64, bool) {
-	jobs := m.timingJobs(impl)
-	digests := make(map[string]uint64, len(jobs))
-	results := make([]TimingResult, len(jobs))
-	errs := make([]error, len(jobs))
-
-	var dirty []int
-	for i, j := range jobs {
-		digests[j.resource] = j.digest
-		if m.incremental && m.deployedDigest[j.resource] == j.digest {
-			if tr, ok := m.deployedTiming[j.resource]; ok {
-				results[i] = tr
-				continue
-			}
-		}
-		dirty = append(dirty, i)
-	}
-
-	workers := m.workers
-	if workers > len(dirty) {
-		workers = len(dirty)
-	}
-	if workers <= 1 {
-		for _, i := range dirty {
-			results[i], errs[i] = m.runTimingJob(jobs[i])
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i], errs[i] = m.runTimingJob(jobs[i])
-				}
-			}()
-		}
-		for _, i := range dirty {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-
-	allOK := true
-	out := make([]TimingResult, 0, len(jobs))
-	for i := range jobs {
-		if errs[i] != nil {
-			allOK = false
-			continue
-		}
-		for _, r := range results[i].Results {
-			if !r.Schedulable {
-				allOK = false
-			}
-		}
-		out = append(out, results[i])
-	}
-	return out, digests, allOK
-}
-
-// runTimingJob analyzes one resource, through the memoizing analyzer when
-// incremental integration is on, or from scratch for the serial baseline.
-func (m *MCC) runTimingJob(j timingJob) (TimingResult, error) {
-	var res []cpa.Result
-	var err error
-	switch {
-	case m.incremental && j.spnp:
-		res, err = m.analyzer.AnalyzeSPNP(j.tasks)
-	case m.incremental:
-		res, err = m.analyzer.AnalyzeSPP(j.tasks)
-	case j.spnp:
-		res, err = cpa.AnalyzeSPNP(j.tasks)
-	default:
-		res, err = cpa.AnalyzeSPP(j.tasks)
-	}
-	return TimingResult{Resource: j.resource, Results: res}, err
-}
-
-// planMonitors derives the execution-domain monitor configuration.
-func (m *MCC) planMonitors(impl *model.ImplementationModel) []MonitorSpec {
-	var out []MonitorSpec
-	for _, t := range impl.Tasks {
-		out = append(out, MonitorSpec{
-			Kind: MonitorBudget, Target: t.Name,
-			PeriodUS: t.PeriodUS, JitterUS: t.JitterUS, WCETUS: t.WCETUS,
-		})
-	}
-	for _, msg := range impl.Messages {
-		out = append(out, MonitorSpec{
-			Kind: MonitorRate, Target: msg.Name,
-			PeriodUS: msg.PeriodUS, Enforce: true,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
-		}
-		return out[i].Target < out[j].Target
-	})
-	return out
 }
 
 // StartupOrder resolves the run-time dependencies between the software

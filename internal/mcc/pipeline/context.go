@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Context is the shared state one integration attempt threads through the
+// pipeline. Early stages fill in artifacts (technical architecture,
+// implementation model) that later stages consume; incremental stages
+// additionally read the deployed configuration and the precomputed Diff to
+// restrict their work to what the change actually touches.
+type Context struct {
+	// Platform is the target platform the MCC manages.
+	Platform *model.Platform
+	// Candidate is the functional architecture under test.
+	Candidate *model.FunctionalArchitecture
+	// Deployed is the committed functional architecture (empty on first
+	// deployment) the candidate is diffed against.
+	Deployed *model.FunctionalArchitecture
+	// DeployedImpl is the committed implementation model (nil until the
+	// first successful integration); incremental mapping warm-starts from
+	// its instance placement and incremental synthesis copies its
+	// untouched tasks/messages/connections.
+	DeployedImpl *model.ImplementationModel
+	// Diff is the candidate-vs-deployed function diff, computed once by
+	// the caller and shared by every incremental stage.
+	Diff Diff
+	// Incremental selects whether stages may work incrementally from the
+	// deployed configuration. When false every stage runs from scratch
+	// (the seed-equivalent baseline, and the cold retry after a rejected
+	// warm-start attempt).
+	Incremental bool
+
+	// Tech is the mapping stage's artifact: every replica placed.
+	Tech *model.TechnicalArchitecture
+	// Impl is the synthesis stage's artifact: tasks, messages, sessions.
+	Impl *model.ImplementationModel
+	// WarmMapped reports that the mapping stage reused the deployed
+	// placement and placed only the diff. The MCC re-runs a rejected
+	// warm-started attempt cold so that rejection verdicts never depend
+	// on the warm-start heuristic.
+	WarmMapped bool
+	// TimingDigests is the timing stage's artifact: the per-resource
+	// task-set digests the commit stage persists for dirty tracking.
+	TimingDigests map[string]uint64
+
+	// Report is the report under construction.
+	Report *Report
+
+	artifacts map[string]any
+	note      string
+}
+
+// Put stores a named artifact for later stages (or the caller) to pick up.
+// Custom stages use this to pass results without widening Context.
+func (c *Context) Put(key string, v any) {
+	if c.artifacts == nil {
+		c.artifacts = make(map[string]any)
+	}
+	c.artifacts[key] = v
+}
+
+// Get returns a named artifact stored by an earlier stage.
+func (c *Context) Get(key string) (any, bool) {
+	v, ok := c.artifacts[key]
+	return v, ok
+}
+
+// Note attaches a short telemetry note to the currently running stage's
+// trace (e.g. "warm-start: placed 1/41 instances", "5/6 resources clean").
+// Each Run of a stage records at most one note; the last call wins.
+func (c *Context) Note(format string, args ...any) {
+	c.note = fmt.Sprintf(format, args...)
+}
+
+// takeNote returns and clears the pending stage note.
+func (c *Context) takeNote() string {
+	n := c.note
+	c.note = ""
+	return n
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Diff is the function-level difference between the deployed and the
+// candidate functional architecture, computed once per integration attempt
+// and shared by every incremental stage: validation re-checks only touched
+// functions and their flow neighborhoods, mapping re-places only touched
+// functions, synthesis rebuilds only the artifacts of affected processors
+// and services.
+type Diff struct {
+	// Added, Removed, Changed list function names, each sorted. A function
+	// counts as changed when any part of it (version, contract, services,
+	// replicas) differs from the deployed one.
+	Added   []string
+	Removed []string
+	Changed []string
+	// FlowsChanged reports that the candidate's flow set differs from the
+	// deployed one.
+	FlowsChanged bool
+	// full marks a from-scratch diff (nothing deployed yet, or the caller
+	// opted out of incremental integration).
+	full bool
+
+	touched map[string]bool
+}
+
+// ComputeDiff diffs the candidate against the deployed architecture. A nil
+// or empty deployed architecture yields a full diff.
+func ComputeDiff(deployed, cand *model.FunctionalArchitecture) Diff {
+	d := Diff{touched: make(map[string]bool)}
+	if deployed == nil || len(deployed.Functions) == 0 {
+		d.full = true
+	}
+	var old map[string]*model.Function
+	if deployed != nil {
+		old = make(map[string]*model.Function, len(deployed.Functions))
+		for i := range deployed.Functions {
+			old[deployed.Functions[i].Name] = &deployed.Functions[i]
+		}
+	}
+	seen := make(map[string]bool, len(cand.Functions))
+	for i := range cand.Functions {
+		f := &cand.Functions[i]
+		seen[f.Name] = true
+		prev, ok := old[f.Name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, f.Name)
+			d.touched[f.Name] = true
+		case !prev.Equal(*f):
+			d.Changed = append(d.Changed, f.Name)
+			d.touched[f.Name] = true
+		}
+	}
+	if deployed != nil {
+		for i := range deployed.Functions {
+			name := deployed.Functions[i].Name
+			if !seen[name] {
+				d.Removed = append(d.Removed, name)
+				d.touched[name] = true
+			}
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	d.FlowsChanged = flowsDiffer(deployed, cand)
+	return d
+}
+
+// FullDiff returns a diff that forces every stage to run from scratch.
+func FullDiff() Diff { return Diff{full: true} }
+
+func flowsDiffer(deployed, cand *model.FunctionalArchitecture) bool {
+	var oldFlows []model.Flow
+	if deployed != nil {
+		oldFlows = deployed.Flows
+	}
+	if len(oldFlows) != len(cand.Flows) {
+		return true
+	}
+	// Flow is a comparable struct; multiset comparison via counting.
+	counts := make(map[model.Flow]int, len(oldFlows))
+	for _, fl := range oldFlows {
+		counts[fl]++
+	}
+	for _, fl := range cand.Flows {
+		counts[fl]--
+		if counts[fl] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Full reports whether the diff covers the whole architecture (first
+// deployment or forced from-scratch run).
+func (d Diff) Full() bool { return d.full }
+
+// Empty reports whether the candidate is function- and flow-identical to
+// the deployed configuration.
+func (d Diff) Empty() bool {
+	return !d.full && len(d.touched) == 0 && !d.FlowsChanged
+}
+
+// Touched reports whether the named function was added, removed, or
+// changed by this diff.
+func (d Diff) Touched(name string) bool { return d.touched[name] }
+
+// TouchedCount returns the number of added+removed+changed functions.
+func (d Diff) TouchedCount() int { return len(d.touched) }
+
+// Neighborhood returns the touched functions plus every function connected
+// to a touched one by a flow of the candidate architecture, as a membership
+// set. This is the scope incremental validation re-checks: a change can
+// only invalidate its own contract, its flow endpoints, and the service
+// relationships it participates in (plus requirers of removed services,
+// which the validation stage handles separately).
+func (d Diff) Neighborhood(cand *model.FunctionalArchitecture) map[string]bool {
+	out := make(map[string]bool, len(d.touched)*2)
+	for name := range d.touched {
+		out[name] = true
+	}
+	for _, fl := range cand.Flows {
+		if d.touched[fl.From] || d.touched[fl.To] {
+			out[fl.From] = true
+			out[fl.To] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package pipeline is the staged acceptance-test engine of the
+// Multi-Change Controller. The paper's integration process (Section II.A)
+// is a fixed sequence of viewpoint analyses — contract validation,
+// mapping, synthesis, safety, security, timing — each acting as an
+// acceptance test for an in-field change. This package makes that
+// sequence first-class: a Stage is one viewpoint, a Pipeline is an
+// ordered list of stages, and a Context carries the candidate
+// configuration, the diff against the deployed configuration (computed
+// once, shared by every incremental stage), intermediate artifacts, and
+// the report under construction.
+//
+// The pipeline itself is policy-free: it runs stages in order, records
+// per-stage wall-clock telemetry into the Report, and stops at the first
+// stage that rejects. Which stages run — and whether they work
+// incrementally from the deployed configuration or from scratch — is
+// decided by the caller (package mcc) when it assembles the Pipeline.
+// Custom viewpoints (thermal budgets, dependency checks, routing
+// feasibility) plug in by implementing Stage; they need no changes here.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StageName identifies a pipeline stage in reports and telemetry.
+type StageName string
+
+// Built-in stage names, in pipeline order.
+const (
+	StageValidate StageName = "validate"
+	StageMapping  StageName = "mapping"
+	StageSynth    StageName = "synthesis"
+	StageSafety   StageName = "safety"
+	StageSecurity StageName = "security"
+	StageTiming   StageName = "timing"
+	StageMonitors StageName = "monitors"
+	StageCommit   StageName = "commit"
+)
+
+// Stage is one acceptance-test stage of the integration pipeline. Run
+// inspects and extends the Context; returning a non-nil error rejects the
+// candidate at this stage. Return a *Reject to attach structured findings;
+// any other error is reported verbatim as a single finding.
+type Stage interface {
+	// Name identifies the stage in reports, telemetry, and rejections.
+	Name() StageName
+	// Run executes the stage against the shared context.
+	Run(*Context) error
+}
+
+// Reject is the error a stage returns to fail the acceptance test with
+// one or more human-readable findings.
+type Reject struct {
+	// Findings lists the acceptance failures, one per line.
+	Findings []string
+}
+
+// Rejectf builds a single-finding rejection.
+func Rejectf(format string, args ...any) *Reject {
+	return &Reject{Findings: []string{fmt.Sprintf(format, args...)}}
+}
+
+// Error implements the error interface.
+func (r *Reject) Error() string { return strings.Join(r.Findings, "; ") }
+
+// Func adapts a plain function into a Stage; useful for small custom
+// viewpoints registered via mcc.WithStage.
+type Func struct {
+	// StageName is the name reported for this stage.
+	StageName StageName
+	// RunFunc is invoked as the stage body.
+	RunFunc func(*Context) error
+}
+
+// Name implements Stage.
+func (f Func) Name() StageName { return f.StageName }
+
+// Run implements Stage.
+func (f Func) Run(ctx *Context) error { return f.RunFunc(ctx) }
+
+// Pipeline is an ordered sequence of stages.
+type Pipeline struct {
+	stages []Stage
+}
+
+// New builds a pipeline running the given stages in order.
+func New(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Insert returns a new pipeline with extra stages spliced in immediately
+// before the stage named at. If no stage has that name, the extras are
+// appended at the end.
+func (p *Pipeline) Insert(at StageName, extra ...Stage) *Pipeline {
+	if len(extra) == 0 {
+		return p
+	}
+	out := make([]Stage, 0, len(p.stages)+len(extra))
+	inserted := false
+	for _, s := range p.stages {
+		if !inserted && s.Name() == at {
+			out = append(out, extra...)
+			inserted = true
+		}
+		out = append(out, s)
+	}
+	if !inserted {
+		out = append(out, extra...)
+	}
+	return &Pipeline{stages: out}
+}
+
+// StageNames lists the stages in execution order.
+func (p *Pipeline) StageNames() []StageName {
+	out := make([]StageName, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Run executes the stages in order against ctx, recording one StageTrace
+// per executed stage into ctx.Report. The first stage returning an error
+// marks the report rejected at that stage and stops the pipeline; if every
+// stage passes, the report is marked accepted.
+func (p *Pipeline) Run(ctx *Context) {
+	rep := ctx.Report
+	rep.Passes++
+	for _, s := range p.stages {
+		start := time.Now()
+		err := s.Run(ctx)
+		rep.Stages = append(rep.Stages, StageTrace{
+			Stage: s.Name(),
+			Wall:  time.Since(start),
+			Note:  ctx.takeNote(),
+		})
+		if err != nil {
+			rep.RejectedAt = s.Name()
+			if rej, ok := err.(*Reject); ok {
+				rep.Findings = append(rep.Findings, rej.Findings...)
+			} else {
+				rep.Findings = append(rep.Findings, err.Error())
+			}
+			return
+		}
+	}
+	rep.Accepted = true
+}

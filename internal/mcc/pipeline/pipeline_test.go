@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func fa(fns ...model.Function) *model.FunctionalArchitecture {
+	return &model.FunctionalArchitecture{Functions: fns}
+}
+
+func pfn(name string, wcetUS int64) model.Function {
+	return model.Function{
+		Name: name,
+		Contract: model.Contract{
+			RealTime: model.RealTimeContract{PeriodUS: 10000, WCETUS: wcetUS},
+		},
+	}
+}
+
+func TestPipelineRunsStagesInOrderAndRecordsTraces(t *testing.T) {
+	var order []StageName
+	mk := func(n StageName) Stage {
+		return Func{StageName: n, RunFunc: func(ctx *Context) error {
+			order = append(order, n)
+			ctx.Note("ran %s", n)
+			return nil
+		}}
+	}
+	p := New(mk("a"), mk("b"), mk("c"))
+	ctx := &Context{Report: &Report{}}
+	p.Run(ctx)
+	if !ctx.Report.Accepted {
+		t.Fatalf("pipeline rejected: %+v", ctx.Report)
+	}
+	want := []StageName{"a", "b", "c"}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if len(ctx.Report.Stages) != 3 {
+		t.Fatalf("traces = %d, want 3", len(ctx.Report.Stages))
+	}
+	for i, tr := range ctx.Report.Stages {
+		if tr.Stage != want[i] {
+			t.Fatalf("trace %d = %s, want %s", i, tr.Stage, want[i])
+		}
+		if tr.Note != "ran "+string(want[i]) {
+			t.Fatalf("trace %d note = %q", i, tr.Note)
+		}
+		if tr.Wall < 0 {
+			t.Fatalf("trace %d wall negative", i)
+		}
+	}
+}
+
+func TestPipelineStopsAtFirstRejection(t *testing.T) {
+	var ran []StageName
+	ok := func(n StageName) Stage {
+		return Func{StageName: n, RunFunc: func(*Context) error { ran = append(ran, n); return nil }}
+	}
+	fail := Func{StageName: "gate", RunFunc: func(*Context) error {
+		ran = append(ran, "gate")
+		return &Reject{Findings: []string{"finding one", "finding two"}}
+	}}
+	p := New(ok("a"), fail, ok("c"))
+	ctx := &Context{Report: &Report{}}
+	p.Run(ctx)
+	rep := ctx.Report
+	if rep.Accepted {
+		t.Fatal("rejected pipeline reported accepted")
+	}
+	if rep.RejectedAt != "gate" {
+		t.Fatalf("rejected at %s, want gate", rep.RejectedAt)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("stages ran after rejection: %v", ran)
+	}
+	if len(rep.Findings) != 2 || rep.Findings[0] != "finding one" {
+		t.Fatalf("findings = %v", rep.Findings)
+	}
+	// A trace is still recorded for the failing stage.
+	if tr := rep.StageTraceFor("gate"); tr == nil {
+		t.Fatal("no trace for rejecting stage")
+	}
+}
+
+func TestPipelinePlainErrorBecomesSingleFinding(t *testing.T) {
+	p := New(Func{StageName: "x", RunFunc: func(*Context) error { return errors.New("boom") }})
+	ctx := &Context{Report: &Report{}}
+	p.Run(ctx)
+	if ctx.Report.RejectedAt != "x" || len(ctx.Report.Findings) != 1 || ctx.Report.Findings[0] != "boom" {
+		t.Fatalf("report = %+v", ctx.Report)
+	}
+}
+
+func TestPipelineInsert(t *testing.T) {
+	mk := func(n StageName) Stage { return Func{StageName: n, RunFunc: func(*Context) error { return nil }} }
+	p := New(mk("a"), mk("c"))
+	p2 := p.Insert("c", mk("b1"), mk("b2"))
+	got := p2.StageNames()
+	want := []StageName{"a", "b1", "b2", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("stages = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", got, want)
+		}
+	}
+	// Unknown anchor appends.
+	p3 := p.Insert("nope", mk("z"))
+	names := p3.StageNames()
+	if names[len(names)-1] != "z" {
+		t.Fatalf("stages = %v", names)
+	}
+	// Original untouched.
+	if len(p.StageNames()) != 2 {
+		t.Fatalf("insert mutated the original pipeline: %v", p.StageNames())
+	}
+}
+
+func TestContextArtifacts(t *testing.T) {
+	ctx := &Context{}
+	if _, ok := ctx.Get("missing"); ok {
+		t.Fatal("missing artifact found")
+	}
+	ctx.Put("k", 42)
+	v, ok := ctx.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("artifact = %v, %v", v, ok)
+	}
+}
+
+func TestComputeDiff(t *testing.T) {
+	dep := fa(pfn("a", 100), pfn("b", 200), pfn("c", 300))
+	dep.Flows = []model.Flow{}
+
+	// Added + changed + removed.
+	cand := fa(pfn("a", 100), pfn("b", 999), pfn("d", 400))
+	d := ComputeDiff(dep, cand)
+	if d.Full() {
+		t.Fatal("partial diff reported full")
+	}
+	if len(d.Added) != 1 || d.Added[0] != "d" {
+		t.Fatalf("added = %v", d.Added)
+	}
+	if len(d.Changed) != 1 || d.Changed[0] != "b" {
+		t.Fatalf("changed = %v", d.Changed)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "c" {
+		t.Fatalf("removed = %v", d.Removed)
+	}
+	for _, name := range []string{"b", "c", "d"} {
+		if !d.Touched(name) {
+			t.Fatalf("%s not touched", name)
+		}
+	}
+	if d.Touched("a") {
+		t.Fatal("untouched function reported touched")
+	}
+	if d.TouchedCount() != 3 {
+		t.Fatalf("touched count = %d", d.TouchedCount())
+	}
+
+	// Identical candidate: empty diff.
+	d2 := ComputeDiff(dep, dep.Clone())
+	if !d2.Empty() {
+		t.Fatalf("identical clone not empty: %+v", d2)
+	}
+
+	// Empty deployed: full diff.
+	d3 := ComputeDiff(&model.FunctionalArchitecture{}, cand)
+	if !d3.Full() {
+		t.Fatal("first deployment not a full diff")
+	}
+	if FullDiff().Empty() {
+		t.Fatal("full diff reported empty")
+	}
+}
+
+func TestComputeDiffFlows(t *testing.T) {
+	src := pfn("src", 100)
+	src.Provides = []string{"s"}
+	dst := pfn("dst", 100)
+	dst.Requires = []string{"s"}
+	dep := fa(src, dst)
+	dep.Flows = []model.Flow{{From: "src", To: "dst", Service: "s", PeriodUS: 10000}}
+
+	same := dep.Clone()
+	if d := ComputeDiff(dep, same); d.FlowsChanged {
+		t.Fatal("identical flows reported changed")
+	}
+	noFlows := dep.Clone()
+	noFlows.Flows = nil
+	if d := ComputeDiff(dep, noFlows); !d.FlowsChanged {
+		t.Fatal("dropped flow not detected")
+	}
+	extra := dep.Clone()
+	extra.Flows = append(extra.Flows, model.Flow{From: "dst", To: "src", Service: "s", PeriodUS: 5000})
+	if d := ComputeDiff(dep, extra); !d.FlowsChanged {
+		t.Fatal("added flow not detected")
+	}
+}
+
+func TestDiffNeighborhood(t *testing.T) {
+	src := pfn("src", 100)
+	src.Provides = []string{"s"}
+	dst := pfn("dst", 100)
+	dst.Requires = []string{"s"}
+	other := pfn("other", 100)
+	dep := fa(src, dst, other)
+	cand := dep.Clone()
+	cand.Functions[0].Contract.RealTime.WCETUS = 123 // change src
+	cand.Flows = []model.Flow{{From: "src", To: "dst", Service: "s", PeriodUS: 10000}}
+	// Flow set changed too, but the neighborhood must pull in flow peers
+	// of touched functions regardless.
+	d := ComputeDiff(dep, cand)
+	nb := d.Neighborhood(cand)
+	if !nb["src"] || !nb["dst"] {
+		t.Fatalf("neighborhood = %v", nb)
+	}
+	if nb["other"] {
+		t.Fatal("unrelated function in neighborhood")
+	}
+}
+
+func TestRejectf(t *testing.T) {
+	r := Rejectf("bad thing %d", 7)
+	if len(r.Findings) != 1 || r.Findings[0] != "bad thing 7" {
+		t.Fatalf("findings = %v", r.Findings)
+	}
+	if !strings.Contains(r.Error(), "bad thing 7") {
+		t.Fatalf("error = %q", r.Error())
+	}
+}
+
+func TestReportStageWall(t *testing.T) {
+	rep := &Report{Stages: []StageTrace{
+		{Stage: "a", Wall: 10},
+		{Stage: "b", Wall: 20},
+		{Stage: "a", Wall: 5},
+	}}
+	w := rep.StageWall()
+	if w["a"] != 15 || w["b"] != 20 {
+		t.Fatalf("wall = %v", w)
+	}
+	if tr := rep.StageTraceFor("a"); tr == nil || tr.Wall != 5 {
+		t.Fatalf("last trace for a = %+v", tr)
+	}
+	if rep.StageTraceFor("zz") != nil {
+		t.Fatal("trace for unknown stage")
+	}
+}
+
+func TestRunCountsPasses(t *testing.T) {
+	p := New(Func{StageName: "a", RunFunc: func(*Context) error { return nil }})
+	ctx := &Context{Report: &Report{}}
+	p.Run(ctx)
+	if ctx.Report.Passes != 1 {
+		t.Fatalf("passes = %d after one run", ctx.Report.Passes)
+	}
+	// A retry sharing the report (warm-start fallback) counts both passes.
+	ctx2 := &Context{Report: ctx.Report}
+	p.Run(ctx2)
+	if ctx.Report.Passes != 2 {
+		t.Fatalf("passes = %d after retry", ctx.Report.Passes)
+	}
+}

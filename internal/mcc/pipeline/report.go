@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/cpa"
+	"repro/internal/model"
+)
+
+// MonitorKind labels entries of the monitor plan.
+type MonitorKind string
+
+// Monitor kinds emitted by the MCC for the execution domain.
+const (
+	MonitorBudget MonitorKind = "budget" // execution time + deadline
+	MonitorRate   MonitorKind = "rate"   // leaky-bucket event rate
+)
+
+// MonitorSpec is one monitor the MCC configures in the execution domain:
+// "it can configure the monitoring facilities to enforce, e.g., the access
+// policy to network resources or real-time behavior where necessary".
+type MonitorSpec struct {
+	Kind     MonitorKind
+	Target   string // task or message name
+	PeriodUS int64
+	JitterUS int64
+	WCETUS   int64
+	Enforce  bool
+}
+
+// TimingResult carries the per-resource WCRT table of the timing
+// acceptance test.
+type TimingResult struct {
+	Resource string
+	Results  []cpa.Result
+}
+
+// StageTrace is the telemetry of one executed pipeline stage.
+type StageTrace struct {
+	// Stage names the stage.
+	Stage StageName
+	// Wall is the stage's wall-clock duration.
+	Wall time.Duration
+	// Note is an optional stage-specific telemetry line, e.g.
+	// "warm-start: placed 1/41 instances" or "timing: 1/2 resources dirty".
+	Note string
+}
+
+// Report is the outcome of one integration attempt.
+type Report struct {
+	// Accepted reports whether the new configuration was committed.
+	Accepted bool
+	// RejectedAt names the stage that failed (empty when accepted).
+	RejectedAt StageName
+	// Findings lists human-readable acceptance failures.
+	Findings []string
+	// Impl is the synthesized implementation model (nil if rejected
+	// before synthesis).
+	Impl *model.ImplementationModel
+	// Timing is the WCRT table per resource.
+	Timing []TimingResult
+	// Monitors is the monitor plan for the execution domain.
+	Monitors []MonitorSpec
+	// Stages is the per-stage wall-clock/cache telemetry of every stage
+	// that ran, in execution order. A rejected attempt that was retried
+	// from scratch (warm-start fallback) accumulates the traces of both
+	// passes.
+	Stages []StageTrace
+	// Passes counts the pipeline passes this report accumulated:
+	// incremented by every Pipeline.Run, so 1 normally and 2 when a
+	// rejected warm-start attempt was re-decided from scratch.
+	Passes int
+}
+
+// StageTraceFor returns the last recorded trace of the named stage, or nil.
+func (r *Report) StageTraceFor(name StageName) *StageTrace {
+	for i := len(r.Stages) - 1; i >= 0; i-- {
+		if r.Stages[i].Stage == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// StageWall sums the recorded wall-clock time per stage.
+func (r *Report) StageWall() map[StageName]time.Duration {
+	out := make(map[StageName]time.Duration, len(r.Stages))
+	for _, tr := range r.Stages {
+		out[tr.Stage] += tr.Wall
+	}
+	return out
+}
+

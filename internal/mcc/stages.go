@@ -1,0 +1,870 @@
+package mcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cpa"
+	"repro/internal/mcc/pipeline"
+	"repro/internal/model"
+	"repro/internal/safety"
+	"repro/internal/security"
+)
+
+// This file implements the built-in pipeline stages of the MCC. Each stage
+// holds a pointer back to the controller for its caches (deployed digests,
+// WCRT tables, memoizing analyzer); the pure viewpoint checks (safety,
+// security) are stateless. Stages work incrementally when the context says
+// so and fall back to the from-scratch path otherwise — the from-scratch
+// path is also the cold retry that re-decides rejected warm-start attempts.
+
+// --- Stage 1: contract validation -----------------------------------------
+
+type validateStage struct{ m *MCC }
+
+func (s *validateStage) Name() Stage { return StageValidate }
+
+func (s *validateStage) Run(ctx *pipeline.Context) error {
+	if !ctx.Incremental || ctx.Diff.Full() {
+		if err := ctx.Candidate.Validate(); err != nil {
+			return pipeline.Rejectf("%s", err)
+		}
+		return nil
+	}
+	return s.runIncremental(ctx)
+}
+
+// runIncremental re-checks only what the diff can have invalidated: the
+// contracts of changed functions and their flow neighborhoods, plus the
+// global invariants (unique names, resolvable services) that a removal
+// anywhere can break. The rule set itself lives in
+// model.ValidateScoped — the same code path as the full validation — so
+// the two can never drift apart.
+func (s *validateStage) runIncremental(ctx *pipeline.Context) error {
+	cand, d := ctx.Candidate, ctx.Diff
+	if d.Empty() {
+		ctx.Note("no-op: candidate identical to deployed")
+		return nil
+	}
+	nb := d.Neighborhood(cand)
+	err := cand.ValidateScoped(
+		// Contracts of untouched functions were validated when they were
+		// committed; only the diff neighborhood needs a re-check.
+		func(name string) bool { return nb[name] },
+		// Likewise for flows: only flows touching changed functions (or a
+		// changed flow set) can have become invalid.
+		func(fl model.Flow) bool { return d.FlowsChanged || nb[fl.From] || nb[fl.To] },
+	)
+	if err != nil {
+		return pipeline.Rejectf("%s", err)
+	}
+	ctx.Note("re-checked %d/%d function scopes", len(nb), len(cand.Functions))
+	return nil
+}
+
+// --- Stage 2: mapping ------------------------------------------------------
+
+type mappingStage struct{ m *MCC }
+
+func (s *mappingStage) Name() Stage { return StageMapping }
+
+func (s *mappingStage) Run(ctx *pipeline.Context) error {
+	if ctx.Incremental && !ctx.Diff.Full() && ctx.DeployedImpl != nil {
+		if tech, kept, placed, ok := s.m.mapWarmStart(ctx); ok {
+			ctx.Tech = tech
+			ctx.WarmMapped = true
+			ctx.Note("warm-start: kept %d instances, placed %d", kept, placed)
+			return nil
+		}
+		ctx.Note("warm-start infeasible, fell back to full best-fit")
+	}
+	tech, err := s.m.mapToPlatform(ctx.Candidate)
+	if err != nil {
+		return pipeline.Rejectf("%s", err)
+	}
+	ctx.Tech = tech
+	return nil
+}
+
+// placer tracks per-processor residual capacity during best-fit mapping.
+// Both the full mapping and the warm-start share it, so the placement
+// constraints (safety certification, utilization cap, RAM budget, replica
+// separation) live in exactly one place.
+type placer struct {
+	m     *MCC
+	loads map[string]*procLoad
+}
+
+type procLoad struct {
+	utilPPM int64
+	ramKiB  int64
+}
+
+func (m *MCC) newPlacer() *placer {
+	loads := make(map[string]*procLoad, len(m.platform.Processors))
+	for i := range m.platform.Processors {
+		loads[m.platform.Processors[i].Name] = &procLoad{}
+	}
+	return &placer{m: m, loads: loads}
+}
+
+// account charges one replica of f to the named processor.
+func (p *placer) account(f *model.Function, proc string) bool {
+	pr := p.m.platform.ProcessorByName(proc)
+	l := p.loads[proc]
+	if pr == nil || l == nil {
+		return false
+	}
+	l.utilPPM += scaleUtilPPM(utilPPM(f), pr.SpeedFactor)
+	l.ramKiB += f.Contract.Resources.RAMKiB
+	return true
+}
+
+// place assigns every replica of f best-fit (lowest resulting utilization)
+// over the remaining capacity, honouring safety certification, the 100%
+// utilization cap, RAM budgets, and replica separation. It reports
+// ok=false when a replica has no feasible processor, returning the
+// replicas placed so far (their index names the failing one).
+func (p *placer) place(f *model.Function) ([]model.Instance, bool) {
+	var out []model.Instance
+	usedProcs := make(map[string]bool)
+	for r := 0; r < f.EffectiveReplicas(); r++ {
+		best := ""
+		var bestUtil int64 = -1
+		for i := range p.m.platform.Processors {
+			proc := &p.m.platform.Processors[i]
+			if proc.MaxSafety < f.Contract.Safety {
+				continue
+			}
+			if f.EffectiveReplicas() > 1 && usedProcs[proc.Name] {
+				continue // replica separation
+			}
+			l := p.loads[proc.Name]
+			scaledUtil := scaleUtilPPM(utilPPM(f), proc.SpeedFactor)
+			if l.utilPPM+scaledUtil > 1_000_000 {
+				continue
+			}
+			if l.ramKiB+f.Contract.Resources.RAMKiB > proc.RAMKiB {
+				continue
+			}
+			// Best fit: lowest resulting utilization.
+			if bestUtil < 0 || l.utilPPM+scaledUtil < bestUtil {
+				best = proc.Name
+				bestUtil = l.utilPPM + scaledUtil
+			}
+		}
+		if best == "" {
+			return out, false
+		}
+		p.account(f, best)
+		usedProcs[best] = true
+		out = append(out, model.Instance{Function: f.Name, Replica: r, Processor: best})
+	}
+	return out, true
+}
+
+// sortByConstraint orders functions for placement: hardest constraints
+// first (safety desc, utilization desc, name).
+func sortByConstraint(fns []*model.Function) {
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].Contract.Safety != fns[j].Contract.Safety {
+			return fns[i].Contract.Safety > fns[j].Contract.Safety
+		}
+		ui, uj := utilPPM(fns[i]), utilPPM(fns[j])
+		if ui != uj {
+			return ui > uj
+		}
+		return fns[i].Name < fns[j].Name
+	})
+}
+
+// mapWarmStart maps the candidate starting from the deployed placement:
+// instances of untouched functions stay where they are, only the diff is
+// placed (best-fit over the residual capacity). It reports ok=false when
+// the diff cannot be placed on the residual capacity — the caller then
+// falls back to the full best-fit over all functions, which reshuffles
+// untouched instances too.
+func (m *MCC) mapWarmStart(ctx *pipeline.Context) (tech *model.TechnicalArchitecture, kept, placed int, ok bool) {
+	cand, d := ctx.Candidate, ctx.Diff
+	depTech := ctx.DeployedImpl.Tech
+
+	fnByName := make(map[string]*model.Function, len(cand.Functions))
+	for i := range cand.Functions {
+		fnByName[cand.Functions[i].Name] = &cand.Functions[i]
+	}
+
+	// Keep untouched instances in place and account their load.
+	p := m.newPlacer()
+	instances := make([]model.Instance, 0, len(depTech.Instances))
+	for _, in := range depTech.Instances {
+		if d.Touched(in.Function) {
+			continue // re-placed below (changed) or dropped (removed)
+		}
+		f := fnByName[in.Function]
+		if f == nil || !p.account(f, in.Processor) {
+			return nil, 0, 0, false // stale placement; decide cold
+		}
+		instances = append(instances, in)
+	}
+	kept = len(instances)
+
+	// Place the diff best-fit over the residual capacity, hardest
+	// constraints first (same order as the full mapping).
+	var todo []*model.Function
+	for _, names := range [][]string{d.Added, d.Changed} {
+		for _, name := range names {
+			if f := fnByName[name]; f != nil {
+				todo = append(todo, f)
+			}
+		}
+	}
+	sortByConstraint(todo)
+	for _, f := range todo {
+		ins, ok := p.place(f)
+		if !ok {
+			return nil, 0, 0, false // no room on residual capacity
+		}
+		instances = append(instances, ins...)
+		placed += len(ins)
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Less(instances[j]) })
+	// The warm-start placement is correct by construction (every kept
+	// instance was validated at commit time, every new one against the
+	// live constraints); the full structural re-validation is what the
+	// incremental path exists to avoid.
+	return &model.TechnicalArchitecture{Platform: m.platform, Func: cand, Instances: instances}, kept, placed, true
+}
+
+// mapToPlatform assigns every function replica to a processor:
+// greedy best-fit ordered by (safety desc, utilization desc), honouring
+// safety certification, RAM budgets, and replica separation.
+func (m *MCC) mapToPlatform(fa *model.FunctionalArchitecture) (*model.TechnicalArchitecture, error) {
+	// Deterministic placement order: hardest constraints first.
+	order := make([]*model.Function, len(fa.Functions))
+	for i := range fa.Functions {
+		order[i] = &fa.Functions[i]
+	}
+	sortByConstraint(order)
+
+	p := m.newPlacer()
+	var instances []model.Instance
+	for _, f := range order {
+		ins, ok := p.place(f)
+		if !ok {
+			return nil, fmt.Errorf("mcc: no feasible processor for %s#%d (safety %v, util %.1f%%, ram %d KiB)",
+				f.Name, len(ins), f.Contract.Safety, float64(utilPPM(f))/10000, f.Contract.Resources.RAMKiB)
+		}
+		instances = append(instances, ins...)
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Less(instances[j]) })
+	tech := &model.TechnicalArchitecture{Platform: m.platform, Func: fa, Instances: instances}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	return tech, nil
+}
+
+// --- Stage 3: implementation synthesis ------------------------------------
+
+type synthStage struct{ m *MCC }
+
+func (s *synthStage) Name() Stage { return StageSynth }
+
+func (s *synthStage) Run(ctx *pipeline.Context) error {
+	var impl *model.ImplementationModel
+	var err error
+	if ctx.Incremental && ctx.WarmMapped && ctx.DeployedImpl != nil {
+		impl, err = s.m.synthesizeIncremental(ctx)
+	} else {
+		impl, err = s.m.synthesize(ctx.Tech)
+	}
+	if err != nil {
+		return pipeline.Rejectf("%s", err)
+	}
+	ctx.Impl = impl
+	ctx.Report.Impl = impl
+	return nil
+}
+
+// synthLookups builds the function and instance lookup tables the
+// synthesis helpers share.
+func synthLookups(tech *model.TechnicalArchitecture) (map[string]*model.Function, map[string][]model.Instance) {
+	fnByName := make(map[string]*model.Function, len(tech.Func.Functions))
+	for i := range tech.Func.Functions {
+		f := &tech.Func.Functions[i]
+		fnByName[f.Name] = f
+	}
+	instancesOf := make(map[string][]model.Instance, len(tech.Func.Functions))
+	for _, in := range tech.Instances {
+		instancesOf[in.Function] = append(instancesOf[in.Function], in)
+	}
+	for _, ins := range instancesOf {
+		sort.Slice(ins, func(i, j int) bool { return ins[i].Replica < ins[j].Replica })
+	}
+	return fnByName, instancesOf
+}
+
+// synthesizeTasksOn derives the deadline-monotonic task set of one
+// processor (WCET scaled by the processor speed).
+func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, fnByName map[string]*model.Function, pn string) []model.Task {
+	p := m.platform.ProcessorByName(pn)
+	insts := tech.InstancesOn(pn)
+	type cand struct {
+		inst model.Instance
+		fn   *model.Function
+	}
+	var cands []cand
+	for _, in := range insts {
+		f := fnByName[in.Function]
+		if f == nil || !f.Contract.RealTime.HasTiming() {
+			continue
+		}
+		cands = append(cands, cand{in, f})
+	}
+	// Deadline-monotonic order.
+	sort.Slice(cands, func(i, j int) bool {
+		di := cands[i].fn.Contract.RealTime.EffectiveDeadlineUS()
+		dj := cands[j].fn.Contract.RealTime.EffectiveDeadlineUS()
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].inst.Less(cands[j].inst)
+	})
+	tasks := make([]model.Task, 0, len(cands))
+	for i, c := range cands {
+		rt := c.fn.Contract.RealTime
+		tasks = append(tasks, model.Task{
+			Name:       c.inst.ID(),
+			Processor:  pn,
+			Priority:   i + 1,
+			PeriodUS:   rt.PeriodUS,
+			JitterUS:   rt.JitterUS,
+			WCETUS:     int64(float64(rt.WCETUS) / p.SpeedFactor),
+			DeadlineUS: rt.EffectiveDeadlineUS(),
+			Safety:     c.fn.Contract.Safety,
+		})
+	}
+	return tasks
+}
+
+// synthesizeMessages derives the network messages: for every periodic flow
+// whose replica pairs land on different processors, one message per
+// distinct network crossed (deterministic order). A flow whose replica
+// pairs cross several networks loads each of them — charging only one bus
+// would leave the others' real load out of the timing acceptance test.
+func (m *MCC) synthesizeMessages(tech *model.TechnicalArchitecture, instancesOf map[string][]model.Instance) ([]model.Message, error) {
+	type msgCand struct {
+		flow model.Flow
+		nets []string // distinct crossed networks, sorted
+	}
+	var msgs []msgCand
+	for _, fl := range tech.Func.Flows {
+		if fl.PeriodUS <= 0 {
+			continue // sporadic flows handled by rate monitors only
+		}
+		fromInsts := instancesOf[fl.From]
+		toInsts := instancesOf[fl.To]
+		netSet := make(map[string]bool)
+		for _, fi := range fromInsts {
+			for _, ti := range toInsts {
+				if fi.Processor == ti.Processor {
+					continue
+				}
+				n := m.platform.Connecting(fi.Processor, ti.Processor)
+				if n == nil {
+					return nil, fmt.Errorf("mcc: no network connects %s and %s for flow %s->%s",
+						fi.Processor, ti.Processor, fl.From, fl.To)
+				}
+				netSet[n.Name] = true
+			}
+		}
+		if len(netSet) == 0 {
+			continue
+		}
+		nets := make([]string, 0, len(netSet))
+		for nn := range netSet {
+			nets = append(nets, nn)
+		}
+		sort.Strings(nets)
+		msgs = append(msgs, msgCand{fl, nets})
+	}
+	// Deadline(=period)-monotonic message priorities per network.
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].flow.PeriodUS != msgs[j].flow.PeriodUS {
+			return msgs[i].flow.PeriodUS < msgs[j].flow.PeriodUS
+		}
+		if msgs[i].flow.Service != msgs[j].flow.Service {
+			return msgs[i].flow.Service < msgs[j].flow.Service
+		}
+		if msgs[i].flow.From != msgs[j].flow.From {
+			return msgs[i].flow.From < msgs[j].flow.From
+		}
+		return msgs[i].flow.To < msgs[j].flow.To
+	})
+	var out []model.Message
+	prioByNet := make(map[string]int)
+	for _, mc := range msgs {
+		for _, nn := range mc.nets {
+			prioByNet[nn]++
+			name := fmt.Sprintf("%s:%s->%s", mc.flow.Service, mc.flow.From, mc.flow.To)
+			if len(mc.nets) > 1 {
+				name += "@" + nn // disambiguate the per-network copies
+			}
+			out = append(out, model.Message{
+				Name:       name,
+				Network:    nn,
+				Priority:   prioByNet[nn],
+				Bytes:      mc.flow.MsgBytes,
+				PeriodUS:   mc.flow.PeriodUS,
+				DeadlineUS: mc.flow.PeriodUS,
+			})
+		}
+	}
+	return out, nil
+}
+
+// synthesizeConnections wires every requirer to the (first) provider.
+func synthesizeConnections(tech *model.TechnicalArchitecture, fnByName map[string]*model.Function, instancesOf map[string][]model.Instance) ([]model.Connection, error) {
+	providerOf := make(map[string]string) // service -> first provider name
+	for i := range tech.Func.Functions {
+		f := &tech.Func.Functions[i]
+		for _, svc := range f.Provides {
+			if cur, ok := providerOf[svc]; !ok || f.Name < cur {
+				providerOf[svc] = f.Name
+			}
+		}
+	}
+	var out []model.Connection
+	for _, in := range tech.Instances {
+		client := fnByName[in.Function]
+		if client == nil {
+			continue
+		}
+		for _, svc := range client.Requires {
+			provName, ok := providerOf[svc]
+			if !ok {
+				return nil, fmt.Errorf("mcc: unprovided service %q", svc)
+			}
+			prov := instancesOf[provName]
+			if len(prov) == 0 {
+				return nil, fmt.Errorf("mcc: provider %q not deployed", provName)
+			}
+			server := fnByName[provName]
+			out = append(out, model.Connection{
+				Client:      in.ID(),
+				Server:      prov[0].ID(),
+				Service:     svc,
+				CrossDomain: client.Contract.Domain != server.Contract.Domain,
+			})
+		}
+	}
+	return out, nil
+}
+
+// synthesize derives the full implementation model: per-processor tasks
+// with deadline-monotonic priorities (WCET scaled by processor speed),
+// inter-processor messages from flows, and sessions from service
+// requirements.
+func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.ImplementationModel, error) {
+	impl := &model.ImplementationModel{Tech: tech}
+	fnByName, instancesOf := synthLookups(tech)
+
+	for _, pn := range procNames(m.platform) {
+		impl.Tasks = append(impl.Tasks, m.synthesizeTasksOn(tech, fnByName, pn)...)
+	}
+	msgs, err := m.synthesizeMessages(tech, instancesOf)
+	if err != nil {
+		return nil, err
+	}
+	impl.Messages = msgs
+	conns, err := synthesizeConnections(tech, fnByName, instancesOf)
+	if err != nil {
+		return nil, err
+	}
+	impl.Connections = conns
+
+	if err := impl.Validate(); err != nil {
+		return nil, err
+	}
+	return impl, nil
+}
+
+// synthesizeIncremental rebuilds only the parts of the implementation
+// model the diff can have changed, against the cached deployed model:
+// tasks of processors hosting a touched instance (old or new placement),
+// messages only when the flow topology or a flow endpoint changed, and
+// connections only when a touched function participates in the service
+// graph. Everything else is copied from the deployed implementation.
+// Callers guarantee the placement of untouched instances is unchanged
+// (warm-started mapping), which is what makes the copies valid.
+func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.ImplementationModel, error) {
+	tech, d := ctx.Tech, ctx.Diff
+	dep := ctx.DeployedImpl
+	impl := &model.ImplementationModel{Tech: tech}
+	fnByName, instancesOf := synthLookups(tech)
+
+	// Processors affected by the diff: wherever a touched function's
+	// instances were, or now are.
+	affected := make(map[string]bool)
+	for _, in := range dep.Tech.Instances {
+		if d.Touched(in.Function) {
+			affected[in.Processor] = true
+		}
+	}
+	for _, in := range tech.Instances {
+		if d.Touched(in.Function) {
+			affected[in.Processor] = true
+		}
+	}
+
+	depTasks := make(map[string][]model.Task, len(m.platform.Processors))
+	for _, t := range dep.Tasks {
+		depTasks[t.Processor] = append(depTasks[t.Processor], t)
+	}
+	reusedProcs := 0
+	for _, pn := range procNames(m.platform) {
+		if affected[pn] {
+			rebuilt := m.synthesizeTasksOn(tech, fnByName, pn)
+			// Scoped validation of the rebuilt task set (the copied ones
+			// were validated at commit time), through the same Task
+			// invariant the full impl.Validate enforces — without it, a
+			// WCET that rounds to zero under speed scaling would sail
+			// through here while the from-scratch path rejects it.
+			for _, t := range rebuilt {
+				if err := t.Validate(); err != nil {
+					return nil, err
+				}
+			}
+			impl.Tasks = append(impl.Tasks, rebuilt...)
+		} else {
+			impl.Tasks = append(impl.Tasks, depTasks[pn]...)
+			reusedProcs++
+		}
+	}
+
+	// Messages change only when the flow set changed or a flow endpoint
+	// was touched (untouched endpoints keep their placement under the
+	// warm-started mapping).
+	rebuildMsgs := d.FlowsChanged
+	if !rebuildMsgs {
+		for _, fl := range ctx.Candidate.Flows {
+			if d.Touched(fl.From) || d.Touched(fl.To) {
+				rebuildMsgs = true
+				break
+			}
+		}
+	}
+	if rebuildMsgs {
+		msgs, err := m.synthesizeMessages(tech, instancesOf)
+		if err != nil {
+			return nil, err
+		}
+		impl.Messages = msgs
+	} else {
+		impl.Messages = append([]model.Message(nil), dep.Messages...)
+	}
+
+	// Connections change only when a touched function (in its old or new
+	// version) participates in the service graph.
+	rebuildConns := false
+	for _, names := range [][]string{d.Added, d.Changed} {
+		for _, name := range names {
+			if f := fnByName[name]; f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
+				rebuildConns = true
+			}
+		}
+	}
+	for _, names := range [][]string{d.Removed, d.Changed} {
+		for _, name := range names {
+			if f := ctx.Deployed.FunctionByName(name); f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
+				rebuildConns = true
+			}
+		}
+	}
+	if rebuildConns {
+		conns, err := synthesizeConnections(tech, fnByName, instancesOf)
+		if err != nil {
+			return nil, err
+		}
+		impl.Connections = conns
+	} else {
+		impl.Connections = append([]model.Connection(nil), dep.Connections...)
+	}
+
+	ctx.Note("reused %d/%d processors, messages %s, connections %s",
+		reusedProcs, len(m.platform.Processors), reusedWord(!rebuildMsgs), reusedWord(!rebuildConns))
+	return impl, nil
+}
+
+func reusedWord(reused bool) string {
+	if reused {
+		return "reused"
+	}
+	return "rebuilt"
+}
+
+// --- Stage 4a: safety acceptance ------------------------------------------
+
+type safetyStage struct{}
+
+func (s *safetyStage) Name() Stage { return StageSafety }
+
+func (s *safetyStage) Run(ctx *pipeline.Context) error {
+	if findings := safety.Check(ctx.Tech); len(findings) > 0 {
+		rej := &pipeline.Reject{}
+		for _, f := range findings {
+			rej.Findings = append(rej.Findings, f.String())
+		}
+		return rej
+	}
+	return nil
+}
+
+// --- Stage 4b: security acceptance ----------------------------------------
+
+type securityStage struct{}
+
+func (s *securityStage) Name() Stage { return StageSecurity }
+
+func (s *securityStage) Run(ctx *pipeline.Context) error {
+	if findings := security.CheckDomains(ctx.Impl); len(findings) > 0 {
+		rej := &pipeline.Reject{}
+		for _, f := range findings {
+			rej.Findings = append(rej.Findings, f.String())
+		}
+		return rej
+	}
+	return nil
+}
+
+// --- Stage 4c: timing acceptance ------------------------------------------
+
+type timingStage struct{ m *MCC }
+
+func (s *timingStage) Name() Stage { return StageTiming }
+
+func (s *timingStage) Run(ctx *pipeline.Context) error {
+	out := s.m.analyzeTiming(ctx.Impl)
+	ctx.Report.Timing = out.results
+	ctx.TimingDigests = out.digests
+	ctx.Note("%d/%d resources dirty", out.dirty, out.total)
+	if len(out.findings) > 0 {
+		return &pipeline.Reject{Findings: out.findings}
+	}
+	return nil
+}
+
+// timingJob is one resource's share of the timing acceptance test.
+type timingJob struct {
+	resource string
+	spnp     bool
+	tasks    []cpa.Task
+	digest   uint64
+}
+
+// timingOutcome aggregates the timing stage's results: the per-resource
+// WCRT tables, the digests to commit, the acceptance findings (deadline
+// misses and analysis errors), and the dirty/total telemetry counts.
+type timingOutcome struct {
+	results  []TimingResult
+	digests  map[string]uint64
+	findings []string
+	dirty    int
+	total    int
+}
+
+// timingJobs derives the per-resource CPA task sets of the implementation
+// model in deterministic order: processors (sorted by name), then networks
+// (platform order). Resources without load are skipped.
+func (m *MCC) timingJobs(impl *model.ImplementationModel) []timingJob {
+	var jobs []timingJob
+
+	for _, pn := range procNames(m.platform) {
+		tasks := impl.TasksOn(pn)
+		if len(tasks) == 0 {
+			continue
+		}
+		ct := make([]cpa.Task, 0, len(tasks))
+		for _, t := range tasks {
+			ct = append(ct, cpa.Task{
+				Name:       t.Name,
+				Priority:   t.Priority,
+				WCETUS:     t.WCETUS,
+				Event:      cpa.EventModel{PeriodUS: t.PeriodUS, JitterUS: t.JitterUS},
+				DeadlineUS: t.DeadlineUS,
+			})
+		}
+		jobs = append(jobs, timingJob{resource: pn, tasks: ct, digest: cpa.TaskSetDigest(ct)})
+	}
+
+	for i := range m.platform.Networks {
+		n := &m.platform.Networks[i]
+		msgs := impl.MessagesOn(n.Name)
+		if len(msgs) == 0 {
+			continue
+		}
+		ct := make([]cpa.Task, 0, len(msgs))
+		for _, msg := range msgs {
+			// Worst-case stuffed CAN frame time in µs.
+			wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
+			wcetUS := wcBits * 1_000_000 / n.BitsPerSec
+			if wcetUS < 1 {
+				wcetUS = 1
+			}
+			ct = append(ct, cpa.Task{
+				Name:       msg.Name,
+				Priority:   msg.Priority,
+				WCETUS:     wcetUS,
+				Event:      cpa.EventModel{PeriodUS: msg.PeriodUS},
+				DeadlineUS: msg.DeadlineUS,
+			})
+		}
+		jobs = append(jobs, timingJob{resource: n.Name, spnp: true, tasks: ct, digest: cpa.TaskSetDigest(ct)})
+	}
+	return jobs
+}
+
+// analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
+// With incremental integration, resources whose task-set digest matches the
+// deployed configuration are clean and reuse the committed WCRT table;
+// dirty resources are fanned out over the worker pool and the results are
+// merged back in deterministic resource order. A resource whose analysis
+// fails (e.g. utilization >= 1, where the busy window does not terminate)
+// is surfaced as a finding naming the resource — never dropped silently.
+func (m *MCC) analyzeTiming(impl *model.ImplementationModel) timingOutcome {
+	jobs := m.timingJobs(impl)
+	digests := make(map[string]uint64, len(jobs))
+	results := make([]TimingResult, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var dirty []int
+	for i, j := range jobs {
+		digests[j.resource] = j.digest
+		if m.incTiming && m.deployedDigest[j.resource] == j.digest {
+			if tr, ok := m.deployedTiming[j.resource]; ok {
+				results[i] = tr
+				continue
+			}
+		}
+		dirty = append(dirty, i)
+	}
+
+	workers := m.workers
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	if workers <= 1 {
+		for _, i := range dirty {
+			results[i], errs[i] = m.runTimingJob(jobs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = m.runTimingJob(jobs[i])
+				}
+			}()
+		}
+		for _, i := range dirty {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	out := timingOutcome{digests: digests, dirty: len(dirty), total: len(jobs)}
+	for i := range jobs {
+		if errs[i] != nil {
+			out.findings = append(out.findings,
+				fmt.Sprintf("timing: analysis of %s failed: %v", jobs[i].resource, errs[i]))
+			continue
+		}
+		for _, r := range results[i].Results {
+			if !r.Schedulable {
+				out.findings = append(out.findings,
+					fmt.Sprintf("timing: %s on %s misses deadline (WCRT %dus > %dus)",
+						r.Name, jobs[i].resource, r.WCRTUS, r.DeadlineUS))
+			}
+		}
+		out.results = append(out.results, results[i])
+	}
+	return out
+}
+
+// runTimingJob analyzes one resource, through the memoizing analyzer when
+// incremental timing is on, or from scratch for the serial baseline.
+func (m *MCC) runTimingJob(j timingJob) (TimingResult, error) {
+	var res []cpa.Result
+	var err error
+	switch {
+	case m.incTiming && j.spnp:
+		res, err = m.analyzer.AnalyzeSPNP(j.tasks)
+	case m.incTiming:
+		res, err = m.analyzer.AnalyzeSPP(j.tasks)
+	case j.spnp:
+		res, err = cpa.AnalyzeSPNP(j.tasks)
+	default:
+		res, err = cpa.AnalyzeSPP(j.tasks)
+	}
+	return TimingResult{Resource: j.resource, Results: res}, err
+}
+
+// --- Stage 5: monitor plan -------------------------------------------------
+
+type monitorStage struct{ m *MCC }
+
+func (s *monitorStage) Name() Stage { return StageMonitors }
+
+func (s *monitorStage) Run(ctx *pipeline.Context) error {
+	ctx.Report.Monitors = s.m.planMonitors(ctx.Impl)
+	return nil
+}
+
+// planMonitors derives the execution-domain monitor configuration.
+func (m *MCC) planMonitors(impl *model.ImplementationModel) []MonitorSpec {
+	var out []MonitorSpec
+	for _, t := range impl.Tasks {
+		out = append(out, MonitorSpec{
+			Kind: MonitorBudget, Target: t.Name,
+			PeriodUS: t.PeriodUS, JitterUS: t.JitterUS, WCETUS: t.WCETUS,
+		})
+	}
+	for _, msg := range impl.Messages {
+		out = append(out, MonitorSpec{
+			Kind: MonitorRate, Target: msg.Name,
+			PeriodUS: msg.PeriodUS, Enforce: true,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// --- Stage 6: commit -------------------------------------------------------
+
+type commitStage struct{ m *MCC }
+
+func (s *commitStage) Name() Stage { return StageCommit }
+
+func (s *commitStage) Run(ctx *pipeline.Context) error {
+	m := s.m
+	m.deployed = ctx.Candidate
+	m.impl = ctx.Impl
+	if ctx.TimingDigests != nil {
+		m.deployedDigest = ctx.TimingDigests
+	}
+	m.deployedTiming = make(map[string]TimingResult, len(ctx.Report.Timing))
+	for _, tr := range ctx.Report.Timing {
+		m.deployedTiming[tr.Resource] = tr
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package mcc
+
+import (
+	"fmt"
+
+	"repro/internal/mcc/pipeline"
+	"repro/internal/thermal"
+)
+
+// StageThermal names the thermal-budget acceptance stage.
+const StageThermal Stage = "thermal"
+
+// ThermalBudgetStage is a custom acceptance viewpoint (registered via
+// WithStage) demonstrating how additional analyses plug into the staged
+// pipeline: it bounds each processor's steady-state junction temperature
+// using the lumped RC model of package thermal. The power draw is modeled
+// as a linear ramp between the idle and full-load envelope, scaled by the
+// utilization of the synthesized task set, so an update that overloads a
+// processor thermally is rejected before it ever reaches the vehicle —
+// the same "change as acceptance test" discipline as safety, security,
+// and timing (Section II.A; ambient temperature as a common-cause fault
+// source is Section V).
+type ThermalBudgetStage struct {
+	// MaxC is the junction temperature budget per processor.
+	MaxC float64
+	// AmbientC is the worst-case ambient temperature assumed.
+	AmbientC float64
+	// IdleW and FullW bound the per-processor power draw at 0% and 100%
+	// utilization.
+	IdleW, FullW float64
+	// RthCW is the junction-to-ambient thermal resistance.
+	RthCW float64
+}
+
+// DefaultThermalBudget returns a stage with a representative automotive
+// envelope: 85°C budget at 45°C worst-case ambient, 2..18W draw, 3°C/W.
+func DefaultThermalBudget() ThermalBudgetStage {
+	return ThermalBudgetStage{MaxC: 85, AmbientC: 45, IdleW: 2, FullW: 18, RthCW: 3}
+}
+
+// Name implements pipeline.Stage.
+func (s ThermalBudgetStage) Name() Stage { return StageThermal }
+
+// Run implements pipeline.Stage: it rejects the candidate when any
+// processor's steady-state temperature under the synthesized load exceeds
+// the budget. A misconfigured stage (non-positive thermal resistance)
+// fails the acceptance test with a finding instead of panicking the
+// controller mid-pipeline.
+func (s ThermalBudgetStage) Run(ctx *pipeline.Context) error {
+	if s.RthCW <= 0 {
+		return pipeline.Rejectf("thermal: misconfigured stage: thermal resistance %v must be positive", s.RthCW)
+	}
+	// Per-processor utilization of the synthesized tasks (WCET is already
+	// speed-scaled, so wcet/period is the busy fraction on that core).
+	utilByProc := make(map[string]int64)
+	for _, t := range ctx.Impl.Tasks {
+		if t.PeriodUS > 0 {
+			utilByProc[t.Processor] += t.WCETUS * 1_000_000 / t.PeriodUS
+		}
+	}
+	// Steady state of the lumped RC model: T = T_ambient + P * Rth (the
+	// capacitance only shapes the transient, so any positive value does).
+	rc := thermal.NewModel(s.RthCW, 1, s.AmbientC)
+	rej := &pipeline.Reject{}
+	hottest := 0.0
+	for _, pn := range procNames(ctx.Platform) {
+		util := float64(utilByProc[pn]) / 1_000_000
+		power := s.IdleW + (s.FullW-s.IdleW)*util
+		steady := rc.SteadyState(power)
+		if steady > hottest {
+			hottest = steady
+		}
+		if steady > s.MaxC {
+			rej.Findings = append(rej.Findings,
+				fmt.Sprintf("thermal: %s steady-state %.1fC exceeds budget %.1fC at %.0f%% utilization",
+					pn, steady, s.MaxC, util*100))
+		}
+	}
+	if len(rej.Findings) > 0 {
+		return rej
+	}
+	ctx.Note("hottest steady state %.1fC (budget %.1fC)", hottest, s.MaxC)
+	return nil
+}

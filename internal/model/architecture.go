@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -31,6 +32,27 @@ func (f Function) EffectiveReplicas() int {
 		return 1
 	}
 	return f.Replicas
+}
+
+// Equal reports whether two functions are identical in every field that
+// the MCC's incremental integration may depend on — i.e. all of them.
+// Slice-valued fields are compared element-wise (nil and empty are
+// equal); everything else by value, without reflection, since this runs
+// once per deployed function on every proposal. A unit test enumerates
+// the Function/Contract fields by reflection so a newly added field
+// cannot silently escape this comparison.
+func (f Function) Equal(g Function) bool {
+	return f.Name == g.Name &&
+		f.Version == g.Version &&
+		f.Replicas == g.Replicas &&
+		slices.Equal(f.Provides, g.Provides) &&
+		slices.Equal(f.Requires, g.Requires) &&
+		f.Contract.Safety == g.Contract.Safety &&
+		f.Contract.RealTime == g.Contract.RealTime &&
+		f.Contract.Resources == g.Contract.Resources &&
+		f.Contract.Domain == g.Contract.Domain &&
+		slices.Equal(f.Contract.AllowedPeers, g.Contract.AllowedPeers) &&
+		f.Contract.FailOperational == g.Contract.FailOperational
 }
 
 // Flow is a directed data flow between two functions in the functional
@@ -83,19 +105,33 @@ func (a *FunctionalArchitecture) Providers(service string) []string {
 // Validate checks structural consistency: unique names, resolvable service
 // requirements, well-formed contracts, and flow endpoints that exist.
 func (a *FunctionalArchitecture) Validate() error {
-	seen := make(map[string]bool, len(a.Functions))
+	return a.ValidateScoped(nil, nil)
+}
+
+// ValidateScoped checks the same invariants as Validate, restricting the
+// per-function contract checks and the per-flow checks to the given
+// scopes (nil = everything). The global invariants — unique non-empty
+// names and resolvable service requirements — are always checked in full,
+// since a change anywhere can break them. Incremental integration uses
+// this with the diff neighborhood as the scope, so the rule set lives in
+// exactly one place and a scoped pass can never accept what the full pass
+// rejects within its scope.
+func (a *FunctionalArchitecture) ValidateScoped(fnScope func(name string) bool, flowScope func(Flow) bool) error {
+	byName := make(map[string]*Function, len(a.Functions))
 	provided := make(map[string]bool)
 	for i := range a.Functions {
 		f := &a.Functions[i]
 		if f.Name == "" {
 			return fmt.Errorf("model: function %d has empty name", i)
 		}
-		if seen[f.Name] {
+		if byName[f.Name] != nil {
 			return fmt.Errorf("model: duplicate function %q", f.Name)
 		}
-		seen[f.Name] = true
-		if err := f.Contract.Validate(); err != nil {
-			return fmt.Errorf("model: function %q: %w", f.Name, err)
+		byName[f.Name] = f
+		if fnScope == nil || fnScope(f.Name) {
+			if err := f.Contract.Validate(); err != nil {
+				return fmt.Errorf("model: function %q: %w", f.Name, err)
+			}
 		}
 		for _, p := range f.Provides {
 			provided[p] = true
@@ -110,8 +146,11 @@ func (a *FunctionalArchitecture) Validate() error {
 		}
 	}
 	for i, fl := range a.Flows {
-		from := a.FunctionByName(fl.From)
-		to := a.FunctionByName(fl.To)
+		if flowScope != nil && !flowScope(fl) {
+			continue
+		}
+		from := byName[fl.From]
+		to := byName[fl.To]
 		if from == nil || to == nil {
 			return fmt.Errorf("model: flow %d references unknown function (%q -> %q)", i, fl.From, fl.To)
 		}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFunctionEqual(t *testing.T) {
+	base := Function{
+		Name:     "f",
+		Version:  2,
+		Provides: []string{"a"},
+		Requires: []string{"b"},
+		Replicas: 2,
+		Contract: Contract{
+			Safety:          ASILB,
+			RealTime:        RealTimeContract{PeriodUS: 1000, WCETUS: 100, JitterUS: 10, DeadlineUS: 900},
+			Resources:       ResourceContract{RAMKiB: 64, CPUShare: 0.5, NetBytesPerSec: 100},
+			Domain:          "drive",
+			AllowedPeers:    []string{"a"},
+			FailOperational: true,
+		},
+	}
+	if !base.Equal(base) {
+		t.Fatal("function not equal to itself")
+	}
+	// nil and empty slices are the same contract.
+	empty := base
+	empty.Provides = []string{}
+	base2 := base
+	base2.Provides = nil
+	if !empty.Equal(base2) {
+		t.Fatal("nil vs empty slice reported unequal")
+	}
+
+	mutations := []func(*Function){
+		func(f *Function) { f.Name = "g" },
+		func(f *Function) { f.Version++ },
+		func(f *Function) { f.Provides = []string{"a", "x"} },
+		func(f *Function) { f.Requires = []string{"x"} },
+		func(f *Function) { f.Replicas = 3 },
+		func(f *Function) { f.Contract.Safety = ASILD },
+		func(f *Function) { f.Contract.RealTime.WCETUS++ },
+		func(f *Function) { f.Contract.RealTime.PeriodUS++ },
+		func(f *Function) { f.Contract.Resources.RAMKiB++ },
+		func(f *Function) { f.Contract.Resources.CPUShare = 0.7 },
+		func(f *Function) { f.Contract.Domain = "infotainment" },
+		func(f *Function) { f.Contract.AllowedPeers = nil },
+		func(f *Function) { f.Contract.FailOperational = false },
+	}
+	for i, mutate := range mutations {
+		m := base
+		// Value copy shares slice backing arrays; re-slice before mutating.
+		m.Provides = append([]string(nil), base.Provides...)
+		m.Requires = append([]string(nil), base.Requires...)
+		m.Contract.AllowedPeers = append([]string(nil), base.Contract.AllowedPeers...)
+		mutate(&m)
+		if base.Equal(m) {
+			t.Fatalf("mutation %d not detected by Equal", i)
+		}
+	}
+}
+
+// TestFunctionEqualCoversAllFields is the drift alarm for Function.Equal:
+// it enumerates the fields of Function and Contract by reflection and
+// fails when a field exists that the hand-written comparison was not
+// updated for. Adding a field? Extend Equal, then extend these lists.
+func TestFunctionEqualCoversAllFields(t *testing.T) {
+	check := func(typ reflect.Type, covered []string) {
+		t.Helper()
+		want := make(map[string]bool, len(covered))
+		for _, f := range covered {
+			want[f] = true
+		}
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			if !want[name] {
+				t.Errorf("%s.%s is not covered by Function.Equal — update the comparison and this list", typ.Name(), name)
+			}
+			delete(want, name)
+		}
+		for name := range want {
+			t.Errorf("%s.%s listed as covered but no longer exists", typ.Name(), name)
+		}
+	}
+	check(reflect.TypeOf(Function{}), []string{
+		"Name", "Version", "Provides", "Requires", "Contract", "Replicas",
+	})
+	check(reflect.TypeOf(Contract{}), []string{
+		"Safety", "RealTime", "Resources", "Domain", "AllowedPeers", "FailOperational",
+	})
+}

@@ -125,6 +125,18 @@ type Task struct {
 	Safety SafetyLevel `json:"safety"`
 }
 
+// Validate checks the task's own shape invariants (cross-task checks like
+// priority uniqueness and platform checks live in
+// ImplementationModel.Validate). Incremental synthesis applies it to the
+// task sets it rebuilds, so the rule set cannot drift from the full
+// validation.
+func (t Task) Validate() error {
+	if t.WCETUS <= 0 && t.PeriodUS > 0 {
+		return fmt.Errorf("model: periodic task %q without WCET", t.Name)
+	}
+	return nil
+}
+
 // Message is a periodic network message in the implementation model.
 type Message struct {
 	// Name identifies the message (derived from the flow).
@@ -214,8 +226,8 @@ func (m *ImplementationModel) Validate() error {
 		if m.Tech.Platform.ProcessorByName(t.Processor) == nil {
 			return fmt.Errorf("model: task %q on unknown processor %q", t.Name, t.Processor)
 		}
-		if t.WCETUS <= 0 && t.PeriodUS > 0 {
-			return fmt.Errorf("model: periodic task %q without WCET", t.Name)
+		if err := t.Validate(); err != nil {
+			return err
 		}
 		byPrio := prioSeen[t.Processor]
 		if byPrio == nil {

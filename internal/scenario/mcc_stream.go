@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/mcc"
 	"repro/internal/model"
@@ -115,16 +117,27 @@ type MCCThroughputMode string
 // Throughput modes, from seed baseline to the full engine.
 const (
 	// ThroughputSerial is the seed behavior: every change integrated on
-	// its own, full busy-window re-analysis of every resource, one worker.
+	// its own, every pipeline stage from scratch, full busy-window
+	// re-analysis of every resource, one worker.
 	ThroughputSerial MCCThroughputMode = "serial"
-	// ThroughputParallel still integrates per change but runs the
-	// incremental timing engine: memoized analyses, dirty-resource
-	// tracking, and a GOMAXPROCS-sized worker pool.
+	// ThroughputParallel still integrates per change and runs the
+	// pre-timing stages from scratch, but uses the incremental timing
+	// engine: memoized analyses, dirty-resource tracking, and a
+	// GOMAXPROCS-sized worker pool (the PR 1 engine).
 	ThroughputParallel MCCThroughputMode = "parallel"
 	// ThroughputBatched coalesces changes into batches on top of the
-	// incremental parallel engine, bisecting on rejection.
+	// timing-incremental parallel engine, bisecting on rejection.
 	ThroughputBatched MCCThroughputMode = "batched"
+	// ThroughputFull integrates per change with every stage incremental:
+	// scoped validation, warm-started mapping, partial synthesis, and the
+	// memoized timing engine.
+	ThroughputFull MCCThroughputMode = "full-incremental"
 )
+
+// ThroughputModes lists every E12 integration strategy, baseline first.
+func ThroughputModes() []MCCThroughputMode {
+	return []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched, ThroughputFull}
+}
 
 // MCCThroughputConfig parameterizes E12: a fleet-scale stream of change
 // requests against a pre-deployed reference workload.
@@ -147,19 +160,29 @@ type MCCThroughputResult struct {
 	Config   MCCThroughputConfig
 	Accepted int
 	Rejected int
-	// Evaluations is the number of integration-pipeline runs spent on the
-	// stream (excluding the initial fleet deployment).
+	// Evaluations is the number of integration-pipeline passes spent on
+	// the stream (excluding the initial fleet deployment). Cold retries
+	// of rejected warm-start attempts count as passes, so the
+	// changes/evaluation ratio stays honest across modes.
 	Evaluations int
 	// CacheHits/CacheMisses are the timing-analyzer memoization counters.
 	CacheHits   int64
 	CacheMisses int64
 	// FinalTasks is the deployed task count after the stream.
 	FinalTasks int
+	// StageWall sums the per-stage wall-clock time over every pipeline
+	// evaluation of the stream (from Report.Stages), exposing which stages
+	// dominate each integration strategy.
+	StageWall map[mcc.Stage]time.Duration
+	// StreamWall is the wall-clock time of the change stream alone,
+	// excluding the initial fleet-baseline deployment every mode pays
+	// identically — the honest basis for changes/s comparisons.
+	StreamWall time.Duration
 }
 
 // Rows renders the E12 table.
 func (r MCCThroughputResult) Rows() []string {
-	return []string{
+	out := []string{
 		fmt.Sprintf("mode: %s, changes: %d, accepted: %d, rejected: %d",
 			r.Config.Mode, r.Config.Updates, r.Accepted, r.Rejected),
 		fmt.Sprintf("  pipeline evaluations: %d (%.2f changes/evaluation)",
@@ -167,6 +190,22 @@ func (r MCCThroughputResult) Rows() []string {
 		fmt.Sprintf("  timing cache: %d hits, %d misses", r.CacheHits, r.CacheMisses),
 		fmt.Sprintf("  deployed tasks: %d", r.FinalTasks),
 	}
+	if len(r.StageWall) > 0 {
+		stages := make([]mcc.Stage, 0, len(r.StageWall))
+		for st := range r.StageWall {
+			stages = append(stages, st)
+		}
+		sort.Slice(stages, func(i, j int) bool {
+			if r.StageWall[stages[i]] != r.StageWall[stages[j]] {
+				return r.StageWall[stages[i]] > r.StageWall[stages[j]]
+			}
+			return stages[i] < stages[j]
+		})
+		for _, st := range stages {
+			out = append(out, fmt.Sprintf("  stage %-10s: %v", st, r.StageWall[st].Round(time.Microsecond)))
+		}
+	}
+	return out
 }
 
 // FleetPlatform returns the E12 target: four ASIL-D lockstep ECUs, four
@@ -281,13 +320,20 @@ func generateFleetChange(i int) model.Function {
 
 // RunMCCThroughput executes E12: deploy the fleet baseline, then stream
 // cfg.Updates change requests through the MCC using the selected
-// integration strategy, and collect throughput statistics. All three modes
+// integration strategy, and collect throughput statistics. All modes
 // decide every change identically; only the pipeline cost differs.
 func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 	res := MCCThroughputResult{Config: cfg}
 	var opts []mcc.Option
-	if cfg.Mode == ThroughputSerial {
-		opts = append(opts, mcc.WithoutIncrementalTiming(), mcc.WithTimingWorkers(1))
+	switch cfg.Mode {
+	case ThroughputSerial:
+		opts = append(opts, mcc.WithoutIncremental(), mcc.WithTimingWorkers(1))
+	case ThroughputParallel, ThroughputBatched:
+		opts = append(opts, mcc.WithTimingOnlyIncremental())
+	case ThroughputFull:
+		// Default engine: every stage incremental.
+	default:
+		return res, fmt.Errorf("scenario: unknown throughput mode %q", cfg.Mode)
 	}
 	m, err := mcc.New(FleetPlatform(), opts...)
 	if err != nil {
@@ -298,6 +344,7 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 	}
 	baselineEvals := len(m.History)
 
+	streamStart := time.Now()
 	switch cfg.Mode {
 	case ThroughputBatched:
 		bs := cfg.BatchSize
@@ -313,7 +360,7 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 			res.Accepted += br.Accepted
 			res.Rejected += br.Rejected
 		}
-	case ThroughputSerial, ThroughputParallel:
+	default:
 		for i := 0; i < cfg.Updates; i++ {
 			rep := m.ProposeUpdate(generateFleetChange(i))
 			if rep.Accepted {
@@ -322,11 +369,16 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 				res.Rejected++
 			}
 		}
-	default:
-		return res, fmt.Errorf("scenario: unknown throughput mode %q", cfg.Mode)
 	}
 
-	res.Evaluations = len(m.History) - baselineEvals
+	res.StreamWall = time.Since(streamStart)
+	res.StageWall = make(map[mcc.Stage]time.Duration)
+	for _, rep := range m.History[baselineEvals:] {
+		res.Evaluations += rep.Passes
+		for st, d := range rep.StageWall() {
+			res.StageWall[st] += d
+		}
+	}
 	stats := m.TimingCacheStats()
 	res.CacheHits, res.CacheMisses = stats.Hits, stats.Misses
 	if impl := m.DeployedImpl(); impl != nil {

@@ -409,11 +409,12 @@ func TestScenariosDeterministic(t *testing.T) {
 	}
 }
 
-func TestE12ThroughputModesAgree(t *testing.T) {
-	// The three integration strategies may only differ in cost, never in
-	// which changes the fleet accepts.
+func TestRunMCCThroughput(t *testing.T) {
+	// Every integration strategy — serial baseline, timing-incremental
+	// parallel, batched, and full-incremental — may only differ in cost,
+	// never in which changes the fleet accepts.
 	var results []MCCThroughputResult
-	for _, mode := range []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched} {
+	for _, mode := range ThroughputModes() {
 		cfg := DefaultMCCThroughputConfig()
 		cfg.Mode = mode
 		r, err := RunMCCThroughput(cfg)
@@ -426,6 +427,13 @@ func TestE12ThroughputModesAgree(t *testing.T) {
 		if r.Rejected == 0 {
 			t.Fatalf("%s: stream contains malformed contracts, expected rejections", mode)
 		}
+		// Per-stage wall-clock telemetry must be visible for every mode.
+		if len(r.StageWall) == 0 {
+			t.Fatalf("%s: no per-stage telemetry recorded", mode)
+		}
+		if _, ok := r.StageWall[mcc.StageTiming]; !ok {
+			t.Fatalf("%s: timing stage missing from telemetry: %v", mode, r.StageWall)
+		}
 		results = append(results, r)
 	}
 	base := results[0]
@@ -436,12 +444,15 @@ func TestE12ThroughputModesAgree(t *testing.T) {
 				r.Config.Mode, r.Accepted, r.Rejected, r.FinalTasks)
 		}
 	}
-	serial, batched := results[0], results[2]
+	serial, batched, full := results[0], results[2], results[3]
 	if serial.Evaluations != serial.Config.Updates {
 		t.Fatalf("serial mode ran %d evaluations for %d changes", serial.Evaluations, serial.Config.Updates)
 	}
 	if batched.Evaluations*2 >= serial.Evaluations {
 		t.Fatalf("batching saved too little: %d vs %d evaluations", batched.Evaluations, serial.Evaluations)
+	}
+	if full.Evaluations != full.Config.Updates {
+		t.Fatalf("full-incremental mode ran %d evaluations for %d changes", full.Evaluations, full.Config.Updates)
 	}
 }
 
