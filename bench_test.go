@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/canvirt"
@@ -70,14 +71,20 @@ func BenchmarkE3_MCCIntegration(b *testing.B) {
 }
 
 // BenchmarkMCCThroughput measures the MCC's change-request throughput on
-// the fleet-scale E12 stream under the four integration strategies. The
+// the fleet-scale E12 stream under the five integration strategies. The
 // serial sub-benchmark is the seed baseline (per-change integration, every
 // stage from scratch, one worker); parallel adds the incremental timing
 // engine (PR 1); batched coalesces change windows on top of it;
 // full-incremental makes every pre-timing stage incremental too (scoped
-// validation, warm-started mapping, partial synthesis) and must beat the
-// parallel mode's changes/s.
+// validation, warm-started mapping, partial synthesis, diff-proportional
+// timing jobs and monitor splicing) and must beat the parallel mode's
+// changes/s; stream-parallel runs the change stream through the
+// mcc.StreamScheduler, fanning the deferred busy-window analyses of each
+// optimistic window out over all cores — on >= 2 cores it must beat
+// full-incremental (run with -cpu 1,2,4 for the sweep; on a single core
+// the two are expected to tie, so the comparison is only logged there).
 func BenchmarkMCCThroughput(b *testing.B) {
+	changesPerSec := make(map[scenario.MCCThroughputMode]float64)
 	for _, mode := range scenario.ThroughputModes() {
 		mode := mode
 		b.Run(string(mode), func(b *testing.B) {
@@ -94,11 +101,18 @@ func BenchmarkMCCThroughput(b *testing.B) {
 			if res.Accepted+res.Rejected != cfg.Updates {
 				b.Fatalf("decided %d/%d changes", res.Accepted+res.Rejected, cfg.Updates)
 			}
-			b.ReportMetric(float64(cfg.Updates)*float64(b.N)/b.Elapsed().Seconds(), "changes/s")
+			cps := float64(cfg.Updates) * float64(b.N) / b.Elapsed().Seconds()
+			changesPerSec[mode] = cps
+			b.ReportMetric(cps, "changes/s")
 			b.ReportMetric(float64(res.Evaluations), "evaluations")
 			b.ReportMetric(float64(res.CacheHits), "cache-hits")
+			b.ReportMetric(float64(res.TimingScans), "timing-scans")
 			logRows(b, res.Rows())
 		})
+	}
+	if full, stream := changesPerSec[scenario.ThroughputFull], changesPerSec[scenario.ThroughputStream]; full > 0 && stream > 0 {
+		b.Logf("stream-parallel/full-incremental changes/s ratio at GOMAXPROCS=%d: %.2f",
+			runtime.GOMAXPROCS(0), stream/full)
 	}
 }
 

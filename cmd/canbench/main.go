@@ -9,18 +9,25 @@
 //	canbench -experiment e1 [-probes 200]
 //	canbench -experiment e2 [-maxvf 16]
 //	canbench -experiment e12 [-changes 64]
+//	canbench -experiment e12 -cores 1,0        # GOMAXPROCS sweep (0 = all cores)
+//	canbench -experiment e12 -cache mcc.cache  # persistent timing-analyzer memo
 //	canbench -experiment all
 //	canbench -experiment all -json   # machine-readable, for BENCH_*.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/canvirt"
+	"repro/internal/cpa"
 	"repro/internal/scenario"
 )
 
@@ -44,12 +51,14 @@ type e2Row struct {
 // e12Row is one E12 integration strategy's throughput measurement.
 type e12Row struct {
 	Mode          string           `json:"mode"`
+	Cores         int              `json:"cores"`
 	Changes       int              `json:"changes"`
 	Accepted      int              `json:"accepted"`
 	Rejected      int              `json:"rejected"`
 	Evaluations   int              `json:"evaluations"`
 	CacheHits     int64            `json:"cache_hits"`
 	CacheMisses   int64            `json:"cache_misses"`
+	TimingScans   int              `json:"timing_scans"`
 	WallUS        int64            `json:"wall_us"`
 	ChangesPerSec float64          `json:"changes_per_sec"`
 	StageWallUS   map[string]int64 `json:"stage_wall_us"`
@@ -69,6 +78,8 @@ func main() {
 	probes := flag.Int("probes", 100, "round trips per E1 configuration")
 	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
 	changes := flag.Int("changes", 64, "streamed change requests per E12 strategy")
+	cores := flag.String("cores", "0", "comma-separated GOMAXPROCS values for the E12 sweep (0 = all cores)")
+	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table for E12: loaded before the runs, saved back after (warm-starts the busy-window analyses across sessions)")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
 
@@ -92,11 +103,26 @@ func main() {
 		rep.BreakEven = canvirt.BreakEvenVFs()
 	}
 	if runE12 {
-		rows, err := measureE12(*changes)
+		coreList, err := parseCores(*cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cache *e12Cache
+		if *cachePath != "" {
+			if cache, err = loadE12Cache(*cachePath); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rows, err := measureE12(*changes, coreList, cache)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rep.E12 = rows
+		if cache != nil {
+			if err := cpa.SaveCacheFile(cache.master, *cachePath); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	if *asJSON {
@@ -124,39 +150,121 @@ func main() {
 	}
 }
 
+// e12Cache carries the persistent busy-window memo across the E12 sweep.
+// Every run gets its own analyzer warm-loaded from the session-start
+// snapshot — never from the preceding runs — so the cross-mode and
+// cross-core wall-clock ratios measure the strategies, not accumulated
+// cache warmth; each run's new entries are merged into master, which is
+// what gets saved back for the next session.
+type e12Cache struct {
+	seed   []byte
+	master *cpa.Analyzer
+}
+
+// loadE12Cache reads the cache file; a missing file yields an empty seed.
+func loadE12Cache(path string) (*e12Cache, error) {
+	c := &e12Cache{master: cpa.NewAnalyzer()}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.seed = data
+	if err := cpa.LoadCache(c.master, bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// analyzerForRun returns a fresh analyzer warmed from the session-start
+// snapshot only.
+func (c *e12Cache) analyzerForRun() (*cpa.Analyzer, error) {
+	a := cpa.NewAnalyzer()
+	if len(c.seed) > 0 {
+		if err := cpa.LoadCache(a, bytes.NewReader(c.seed)); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// absorb merges one run's memo table into the master.
+func (c *e12Cache) absorb(a *cpa.Analyzer) {
+	cpa.MergeCache(c.master, a)
+}
+
+// parseCores parses the -cores sweep list; 0 means "all cores".
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid -cores entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // measureE12 streams the fleet-scale change requests through every MCC
-// integration strategy and records throughput plus the per-stage wall
-// clock, so the BENCH_*.json trajectory tracks which pipeline stages each
-// optimization step actually removes.
-func measureE12(changes int) ([]e12Row, error) {
+// integration strategy — at every requested GOMAXPROCS value — and
+// records throughput plus the per-stage wall clock, so the BENCH_*.json
+// trajectory tracks which pipeline stages each optimization step actually
+// removes and how the worker pool scales with cores. The persistent
+// cache (from -cache) warm-starts every run from the previous session's
+// memo, isolated per run so the ratios stay fair.
+func measureE12(changes int, coreList []int, cache *e12Cache) ([]e12Row, error) {
 	var rows []e12Row
-	for _, mode := range scenario.ThroughputModes() {
-		cfg := scenario.DefaultMCCThroughputConfig()
-		cfg.Mode = mode
-		cfg.Updates = changes
-		res, err := scenario.RunMCCThroughput(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("e12 %s: %w", mode, err)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, cores := range coreList {
+		n := cores
+		if n == 0 {
+			n = runtime.NumCPU()
 		}
-		// StreamWall excludes the fleet-baseline deployment every mode
-		// pays identically, so the per-mode ratios are honest.
-		elapsed := res.StreamWall
-		row := e12Row{
-			Mode:          string(mode),
-			Changes:       cfg.Updates,
-			Accepted:      res.Accepted,
-			Rejected:      res.Rejected,
-			Evaluations:   res.Evaluations,
-			CacheHits:     res.CacheHits,
-			CacheMisses:   res.CacheMisses,
-			WallUS:        elapsed.Microseconds(),
-			ChangesPerSec: float64(cfg.Updates) / elapsed.Seconds(),
-			StageWallUS:   make(map[string]int64, len(res.StageWall)),
+		runtime.GOMAXPROCS(n)
+		for _, mode := range scenario.ThroughputModes() {
+			cfg := scenario.DefaultMCCThroughputConfig()
+			cfg.Mode = mode
+			cfg.Updates = changes
+			if cache != nil {
+				a, err := cache.analyzerForRun()
+				if err != nil {
+					return nil, err
+				}
+				cfg.Analyzer = a
+			}
+			res, err := scenario.RunMCCThroughput(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("e12 %s: %w", mode, err)
+			}
+			if cache != nil {
+				cache.absorb(cfg.Analyzer)
+			}
+			// StreamWall excludes the fleet-baseline deployment every mode
+			// pays identically, so the per-mode ratios are honest.
+			elapsed := res.StreamWall
+			row := e12Row{
+				Mode:          string(mode),
+				Cores:         n,
+				Changes:       cfg.Updates,
+				Accepted:      res.Accepted,
+				Rejected:      res.Rejected,
+				Evaluations:   res.Evaluations,
+				CacheHits:     res.CacheHits,
+				CacheMisses:   res.CacheMisses,
+				TimingScans:   res.TimingScans,
+				WallUS:        elapsed.Microseconds(),
+				ChangesPerSec: float64(cfg.Updates) / elapsed.Seconds(),
+				StageWallUS:   make(map[string]int64, len(res.StageWall)),
+			}
+			for st, d := range res.StageWall {
+				row.StageWallUS[string(st)] = d.Microseconds()
+			}
+			rows = append(rows, row)
 		}
-		for st, d := range res.StageWall {
-			row.StageWallUS[string(st)] = d.Microseconds()
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -223,9 +331,9 @@ func printE2(rows []e2Row, breakEven int) {
 
 func printE12(rows []e12Row) {
 	fmt.Println("E12: MCC change-stream throughput across integration strategies")
-	fmt.Println("mode              changes  acc  rej  evals  cache-hits   wall       changes/s")
+	fmt.Println("mode              cores  changes  acc  rej  evals  cache-hits  scans   wall       changes/s")
 	for _, r := range rows {
-		fmt.Printf("%-17s %7d  %3d  %3d  %5d  %10d  %8dus  %9.0f\n",
-			r.Mode, r.Changes, r.Accepted, r.Rejected, r.Evaluations, r.CacheHits, r.WallUS, r.ChangesPerSec)
+		fmt.Printf("%-17s %5d  %7d  %3d  %3d  %5d  %10d  %5d  %8dus  %9.0f\n",
+			r.Mode, r.Cores, r.Changes, r.Accepted, r.Rejected, r.Evaluations, r.CacheHits, r.TimingScans, r.WallUS, r.ChangesPerSec)
 	}
 }

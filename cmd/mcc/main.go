@@ -11,7 +11,8 @@
 //	mcc                      # built-in E3 update stream
 //	mcc -model system.json   # integrate a system model from disk
 //	mcc -updates 48          # longer built-in stream
-//	mcc -throughput -mode batched   # fleet-scale E12 throughput run
+//	mcc -throughput -mode stream-parallel   # fleet-scale E12 throughput run
+//	mcc -throughput -cache mcc.cache        # warm-start timing analyses across sessions
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cpa"
 	"repro/internal/mcc"
 	"repro/internal/model"
 	"repro/internal/scenario"
@@ -32,18 +34,22 @@ func main() {
 	modelPath := flag.String("model", "", "path to a JSON system model")
 	updates := flag.Int("updates", 24, "number of proposals in the built-in stream")
 	throughput := flag.Bool("throughput", false, "run the fleet-scale E12 throughput scenario instead of E3")
-	mode := flag.String("mode", string(scenario.ThroughputBatched), "E12 integration strategy: serial, parallel, batched, full-incremental")
+	mode := flag.String("mode", string(scenario.ThroughputBatched), "E12 integration strategy: serial, parallel, batched, full-incremental, stream-parallel")
 	batch := flag.Int("batch", 0, "E12 coalescing window (0 = default)")
+	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table: loaded before integrating, saved back after (warm-starts busy-window analyses across sessions)")
 	flag.Parse()
 
+	analyzer, saveCache := loadCache(*cachePath)
 	if *modelPath != "" {
-		integrateFile(*modelPath)
+		integrateFile(*modelPath, analyzer)
+		saveCache()
 		return
 	}
 
 	if *throughput {
 		cfg := scenario.DefaultMCCThroughputConfig()
 		cfg.Mode = scenario.MCCThroughputMode(*mode)
+		cfg.Analyzer = analyzer
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "updates" {
 				cfg.Updates = *updates
@@ -56,6 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		saveCache()
 		fmt.Println("E12: MCC fleet-scale change-stream throughput")
 		for _, row := range res.Rows() {
 			fmt.Println(row)
@@ -65,18 +72,36 @@ func main() {
 		return
 	}
 
-	res, err := scenario.RunMCCStream(scenario.MCCStreamConfig{Updates: *updates})
+	res, err := scenario.RunMCCStream(scenario.MCCStreamConfig{Updates: *updates, Analyzer: analyzer})
 	if err != nil {
 		log.Fatal(err)
 	}
+	saveCache()
 	fmt.Println("E3: MCC in-field update stream")
 	for _, row := range res.Rows() {
 		fmt.Println(row)
 	}
 }
 
-func integrateFile(path string) {
-	rep, err := loadAndIntegrate(path)
+// loadCache prepares the persistent analyzer memo table: a nil analyzer
+// (and a no-op save) when no -cache path was given.
+func loadCache(path string) (*cpa.Analyzer, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	analyzer := cpa.NewAnalyzer()
+	if err := cpa.LoadCacheFile(analyzer, path); err != nil && !os.IsNotExist(err) {
+		log.Fatal(err)
+	}
+	return analyzer, func() {
+		if err := cpa.SaveCacheFile(analyzer, path); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func integrateFile(path string, analyzer *cpa.Analyzer) {
+	rep, err := loadAndIntegrate(path, analyzer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +113,7 @@ func integrateFile(path string) {
 
 // loadAndIntegrate parses a JSON system model and runs it through a fresh
 // MCC, returning the integration report.
-func loadAndIntegrate(path string) (*mcc.Report, error) {
+func loadAndIntegrate(path string, analyzer *cpa.Analyzer) (*mcc.Report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -100,7 +125,7 @@ func loadAndIntegrate(path string) (*mcc.Report, error) {
 	if err := sm.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid model: %w", err)
 	}
-	m, err := mcc.New(sm.Platform)
+	m, err := mcc.New(sm.Platform, mcc.WithAnalyzer(analyzer))
 	if err != nil {
 		return nil, err
 	}

@@ -4,10 +4,12 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/cpa"
 )
 
 func TestLoadAndIntegrateTestdata(t *testing.T) {
-	rep, err := loadAndIntegrate(filepath.Join("testdata", "system.json"))
+	rep, err := loadAndIntegrate(filepath.Join("testdata", "system.json"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +30,40 @@ func TestLoadAndIntegrateTestdata(t *testing.T) {
 	}
 }
 
+func TestPersistentCacheWarmStartsSecondSession(t *testing.T) {
+	// Two "sessions" integrating the same model through a cache file: the
+	// second must answer every busy-window analysis from the loaded memo.
+	model := filepath.Join("testdata", "system.json")
+	cache := filepath.Join(t.TempDir(), "mcc.cache")
+
+	first := cpa.NewAnalyzer()
+	if err := cpa.LoadCacheFile(first, cache); !os.IsNotExist(err) {
+		t.Fatalf("fresh cache load: %v", err)
+	}
+	if _, err := loadAndIntegrate(model, first); err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats(); st.Misses == 0 {
+		t.Fatalf("first session stats = %+v, want cold misses", st)
+	}
+	if err := cpa.SaveCacheFile(first, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	second := cpa.NewAnalyzer()
+	if err := cpa.LoadCacheFile(second, cache); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadAndIntegrate(model, second); err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.Misses != 0 || st.Hits == 0 {
+		t.Fatalf("second session stats = %+v, want all hits", st)
+	}
+}
+
 func TestLoadAndIntegrateMissingFile(t *testing.T) {
-	if _, err := loadAndIntegrate("testdata/nonexistent.json"); err == nil {
+	if _, err := loadAndIntegrate("testdata/nonexistent.json", nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -40,7 +74,7 @@ func TestLoadAndIntegrateGarbage(t *testing.T) {
 	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadAndIntegrate(p); err == nil {
+	if _, err := loadAndIntegrate(p, nil); err == nil {
 		t.Fatal("garbage accepted")
 	}
 	p2 := filepath.Join(dir, "invalid.json")
@@ -50,7 +84,7 @@ func TestLoadAndIntegrateGarbage(t *testing.T) {
 	// Structurally-empty model: validates (no processors is fine for an
 	// empty architecture), so integration reports acceptance of nothing,
 	// or validation rejects; either way no panic.
-	if _, err := loadAndIntegrate(p2); err != nil {
+	if _, err := loadAndIntegrate(p2, nil); err != nil {
 		t.Logf("empty model: %v", err)
 	}
 }

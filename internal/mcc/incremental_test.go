@@ -388,7 +388,8 @@ func TestSynthesizeMessagePerCrossedNetwork(t *testing.T) {
 	}
 	// Both buses must show up in the timing acceptance test.
 	resources := make(map[string]bool)
-	for _, j := range m.timingJobs(impl) {
+	jobs, _ := m.timingJobs(nil, impl)
+	for _, j := range jobs {
 		resources[j.resource] = true
 	}
 	if !resources["netA"] || !resources["netB"] {
@@ -450,7 +451,7 @@ func TestTimingAnalysisErrorSurfacedAsFinding(t *testing.T) {
 			{Name: "b#0", Processor: "only", Priority: 1, PeriodUS: 10000, WCETUS: 1000, DeadlineUS: 10000},
 		},
 	}
-	out := m.analyzeTiming(impl)
+	out := m.analyzeTiming(nil, impl)
 	if len(out.findings) == 0 {
 		t.Fatal("analysis error produced no findings")
 	}

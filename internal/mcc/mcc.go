@@ -110,6 +110,30 @@ type MCC struct {
 	// resource whose digest matches is clean and reuses the deployed table.
 	deployedDigest map[string]uint64
 	deployedTiming map[string]TimingResult
+	// deployedJobs caches the committed per-resource CPA task sets so the
+	// timing stage can splice clean resources' jobs without re-scanning
+	// the implementation model (diff-proportional job construction).
+	deployedJobs map[string]timingJob
+	// deployedMonitors is the committed monitor plan;
+	// deployedBudgetByProc groups its budget specs by hosting processor
+	// so the monitor stage can splice untouched processors' specs.
+	deployedMonitors     []MonitorSpec
+	deployedBudgetByProc map[string][]MonitorSpec
+
+	// pendingJobs is the job list of the most recent timing-stage run,
+	// handed from the timing stage to the monitor and commit stages.
+	pendingJobs []timingJob
+	// scratch holds the MCC-owned buffers the timing hot path reuses
+	// across proposals.
+	scratch timingScratch
+	// deferChecks makes newContext ask the pure verdict stages (safety,
+	// security, timing) to defer their checks (optimistic evaluation);
+	// set only by the StreamScheduler, which re-validates every deferred
+	// verdict before a window is final.
+	deferChecks bool
+	// lastDeferred is the deferred-check record of the most recent
+	// pipeline pass under deferChecks.
+	lastDeferred *deferredChecks
 
 	// custom holds acceptance stages registered via WithStage; they run
 	// between the security and timing stages.
@@ -159,6 +183,20 @@ func WithTimingOnlyIncremental() Option {
 	return func(m *MCC) { m.incPre = false }
 }
 
+// WithAnalyzer makes the MCC share (and warm-start from) an existing
+// memoizing timing analyzer instead of creating an empty one. Fleet
+// sessions use this together with cpa.SaveCache/LoadCache to carry the
+// busy-window memo table across process restarts, and the stream
+// scheduler relies on the analyzer being shared between the prefetch
+// pool and the decision pass. A nil analyzer is ignored.
+func WithAnalyzer(a *cpa.Analyzer) Option {
+	return func(m *MCC) {
+		if a != nil {
+			m.analyzer = a
+		}
+	}
+}
+
 // WithStage registers a custom acceptance stage (an additional viewpoint
 // analysis); it runs after the built-in security stage and before the
 // timing stage. Stages run in registration order. A rejection by a custom
@@ -196,8 +234,8 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 		&validateStage{m},
 		&mappingStage{m},
 		&synthStage{m},
-		&safetyStage{},
-		&securityStage{},
+		&safetyStage{m},
+		&securityStage{m},
 		&timingStage{m},
 		&monitorStage{m},
 		&commitStage{m},
@@ -213,12 +251,22 @@ func (m *MCC) Pipeline() *pipeline.Pipeline { return m.pipe }
 // TimingCacheStats exposes the analyzer's memoization counters.
 func (m *MCC) TimingCacheStats() cpa.AnalyzerStats { return m.analyzer.Stats() }
 
+// Analyzer returns the memoizing timing analyzer, e.g. to persist its
+// memo table via cpa.SaveCache at the end of a session.
+func (m *MCC) Analyzer() *cpa.Analyzer { return m.analyzer }
+
 // Deployed returns the currently deployed functional architecture.
 func (m *MCC) Deployed() *model.FunctionalArchitecture { return m.deployed }
 
 // DeployedImpl returns the currently deployed implementation model (nil
 // until the first successful integration).
 func (m *MCC) DeployedImpl() *model.ImplementationModel { return m.impl }
+
+// DeployedMonitors returns the monitor plan of the currently committed
+// configuration (nil until the first successful integration). Rejected
+// proposals never touch it — the rollback invariant the monitor splice
+// is tested against.
+func (m *MCC) DeployedMonitors() []MonitorSpec { return m.deployedMonitors }
 
 // ProposeUpdate attempts to integrate fn (a new function or a new version
 // of a deployed one) into the running configuration.
@@ -276,6 +324,7 @@ func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 	rep := &Report{}
 	defer func() { m.History = append(m.History, rep) }()
 
+	m.lastDeferred = nil
 	ctx := m.newContext(cand, rep, m.incPre)
 	m.pipe.Run(ctx)
 
@@ -283,6 +332,7 @@ func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 		// The rejected placement came from the warm-start heuristic; a
 		// full best-fit might still find a feasible configuration.
 		// Re-decide cold, keeping both passes' telemetry.
+		m.lastDeferred = nil
 		coldRep := &Report{Stages: rep.Stages, Passes: rep.Passes}
 		coldCtx := m.newContext(cand, coldRep, false)
 		m.pipe.Run(coldCtx)
@@ -310,6 +360,7 @@ func (m *MCC) newContext(cand *model.FunctionalArchitecture, rep *Report, increm
 		DeployedImpl: m.impl,
 		Report:       rep,
 		Incremental:  incremental,
+		DeferChecks:  m.deferChecks,
 	}
 	if incremental {
 		ctx.Diff = pipeline.ComputeDiff(m.deployed, cand)

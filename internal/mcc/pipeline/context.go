@@ -42,6 +42,31 @@ type Context struct {
 	// warm-started attempt cold so that rejection verdicts never depend
 	// on the warm-start heuristic.
 	WarmMapped bool
+	// PartialSynth reports that the synthesis stage rebuilt only the
+	// diff-affected artifacts and copied everything else from the deployed
+	// implementation model. When set, AffectedProcs and MessagesRebuilt
+	// describe exactly what changed, and later stages (timing-job
+	// construction, monitor planning) may splice their own cached
+	// artifacts for the untouched remainder.
+	PartialSynth bool
+	// AffectedProcs is the set of processors whose task sets the partial
+	// synthesis rebuilt (a touched function's instances were or are
+	// placed there). Only valid when PartialSynth is set.
+	AffectedProcs map[string]bool
+	// MessagesRebuilt reports that the partial synthesis re-derived the
+	// network messages (the flow set or a flow endpoint changed); when
+	// false the deployed message list was copied verbatim. Only valid
+	// when PartialSynth is set.
+	MessagesRebuilt bool
+	// DeferChecks asks the pure verdict stages (safety, security, timing)
+	// to record their inputs instead of checking them: the timing stage
+	// still constructs and digests the per-resource task sets but defers
+	// the busy-window analyses of dirty resources, and the candidate is
+	// committed optimistically with no findings raised. Only the
+	// mcc.StreamScheduler sets this — it fans the deferred checks of a
+	// whole proposal window out over the worker pool and re-validates
+	// every verdict before the window is final.
+	DeferChecks bool
 	// TimingDigests is the timing stage's artifact: the per-resource
 	// task-set digests the commit stage persists for dirty tracking.
 	TimingDigests map[string]uint64

@@ -66,6 +66,19 @@ type Report struct {
 	// from scratch (warm-start fallback) accumulates the traces of both
 	// passes.
 	Stages []StageTrace
+	// TimingScans counts the resources whose CPA task sets the timing
+	// stage rebuilt by scanning the implementation model
+	// (TasksOn/MessagesOn); with diff-proportional job construction the
+	// task sets of untouched resources are spliced from the deployed
+	// cache without any scan, so a clean-resource proposal reports 0.
+	TimingScans int
+	// TimingDirty counts the resources whose busy-window analysis
+	// actually ran (or, under deferred timing, was scheduled); clean
+	// resources reuse the committed WCRT tables.
+	TimingDirty int
+	// TimingResources is the total number of loaded resources the timing
+	// stage covered.
+	TimingResources int
 	// Passes counts the pipeline passes this report accumulated:
 	// incremented by every Pipeline.Run, so 1 normally and 2 when a
 	// rejected warm-start attempt was re-decided from scratch.
@@ -90,4 +103,3 @@ func (r *Report) StageWall() map[StageName]time.Duration {
 	}
 	return out
 }
-

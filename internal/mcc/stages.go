@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpa"
 	"repro/internal/mcc/pipeline"
@@ -592,6 +593,13 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		impl.Connections = append([]model.Connection(nil), dep.Connections...)
 	}
 
+	// Record what the partial synthesis actually rebuilt so later stages
+	// (timing-job construction, monitor planning) can splice their own
+	// cached artifacts for the untouched remainder.
+	ctx.PartialSynth = true
+	ctx.AffectedProcs = affected
+	ctx.MessagesRebuilt = rebuildMsgs
+
 	ctx.Note("reused %d/%d processors, messages %s, connections %s",
 		reusedProcs, len(m.platform.Processors), reusedWord(!rebuildMsgs), reusedWord(!rebuildConns))
 	return impl, nil
@@ -606,11 +614,18 @@ func reusedWord(reused bool) string {
 
 // --- Stage 4a: safety acceptance ------------------------------------------
 
-type safetyStage struct{}
+type safetyStage struct{ m *MCC }
 
 func (s *safetyStage) Name() Stage { return StageSafety }
 
 func (s *safetyStage) Run(ctx *pipeline.Context) error {
+	if ctx.DeferChecks {
+		// Pure verdict over the immutable mapping artifact: record the
+		// input; the stream scheduler runs the check on the pool and
+		// replays the window if it fails.
+		s.m.deferred().tech = ctx.Tech
+		return nil
+	}
 	if findings := safety.Check(ctx.Tech); len(findings) > 0 {
 		rej := &pipeline.Reject{}
 		for _, f := range findings {
@@ -623,11 +638,15 @@ func (s *safetyStage) Run(ctx *pipeline.Context) error {
 
 // --- Stage 4b: security acceptance ----------------------------------------
 
-type securityStage struct{}
+type securityStage struct{ m *MCC }
 
 func (s *securityStage) Name() Stage { return StageSecurity }
 
 func (s *securityStage) Run(ctx *pipeline.Context) error {
+	if ctx.DeferChecks {
+		s.m.deferred().impl = ctx.Impl
+		return nil
+	}
 	if findings := security.CheckDomains(ctx.Impl); len(findings) > 0 {
 		rej := &pipeline.Reject{}
 		for _, f := range findings {
@@ -645,10 +664,13 @@ type timingStage struct{ m *MCC }
 func (s *timingStage) Name() Stage { return StageTiming }
 
 func (s *timingStage) Run(ctx *pipeline.Context) error {
-	out := s.m.analyzeTiming(ctx.Impl)
+	out := s.m.analyzeTiming(ctx, ctx.Impl)
 	ctx.Report.Timing = out.results
 	ctx.TimingDigests = out.digests
-	ctx.Note("%d/%d resources dirty", out.dirty, out.total)
+	ctx.Report.TimingScans += out.scanned
+	ctx.Report.TimingDirty += out.dirty
+	ctx.Report.TimingResources += out.total
+	ctx.Note("%d/%d resources dirty, %d scanned", out.dirty, out.total, out.scanned)
 	if len(out.findings) > 0 {
 		return &pipeline.Reject{Findings: out.findings}
 	}
@@ -665,64 +687,151 @@ type timingJob struct {
 
 // timingOutcome aggregates the timing stage's results: the per-resource
 // WCRT tables, the digests to commit, the acceptance findings (deadline
-// misses and analysis errors), and the dirty/total telemetry counts.
+// misses and analysis errors), and the scanned/dirty/total telemetry
+// counts (how many resources had their task sets rebuilt by scanning the
+// implementation model, and how many were re-analyzed).
 type timingOutcome struct {
 	results  []TimingResult
 	digests  map[string]uint64
 	findings []string
+	scanned  int
 	dirty    int
 	total    int
+}
+
+// timingScratch holds the MCC-owned buffers the timing stage reuses
+// across proposals so the per-proposal hot path stops allocating: the job
+// list, the digest map, and the merge buffers of the worker pool. Task
+// slices inside committed jobs are never recycled — once a job is built
+// its task slice is immutable, so cached jobs and reports can alias it.
+type timingScratch struct {
+	jobs    []timingJob
+	digests map[string]uint64
+	results []TimingResult
+	errs    []error
+	dirty   []int
+}
+
+// buildProcJob derives one processor's CPA task set by scanning the
+// implementation model. ok is false when the processor carries no load.
+func (m *MCC) buildProcJob(impl *model.ImplementationModel, pn string) (timingJob, bool) {
+	tasks := impl.TasksOn(pn)
+	if len(tasks) == 0 {
+		return timingJob{}, false
+	}
+	ct := make([]cpa.Task, 0, len(tasks))
+	for _, t := range tasks {
+		ct = append(ct, cpa.Task{
+			Name:       t.Name,
+			Priority:   t.Priority,
+			WCETUS:     t.WCETUS,
+			Event:      cpa.EventModel{PeriodUS: t.PeriodUS, JitterUS: t.JitterUS},
+			DeadlineUS: t.DeadlineUS,
+		})
+	}
+	return timingJob{resource: pn, tasks: ct, digest: cpa.TaskSetDigest(ct)}, true
+}
+
+// buildNetJob derives one network's CPA message set by scanning the
+// implementation model. ok is false when the network carries no load.
+func (m *MCC) buildNetJob(impl *model.ImplementationModel, n *model.Network) (timingJob, bool) {
+	msgs := impl.MessagesOn(n.Name)
+	if len(msgs) == 0 {
+		return timingJob{}, false
+	}
+	ct := make([]cpa.Task, 0, len(msgs))
+	for _, msg := range msgs {
+		// Worst-case stuffed CAN frame time in µs.
+		wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
+		wcetUS := wcBits * 1_000_000 / n.BitsPerSec
+		if wcetUS < 1 {
+			wcetUS = 1
+		}
+		ct = append(ct, cpa.Task{
+			Name:       msg.Name,
+			Priority:   msg.Priority,
+			WCETUS:     wcetUS,
+			Event:      cpa.EventModel{PeriodUS: msg.PeriodUS},
+			DeadlineUS: msg.DeadlineUS,
+		})
+	}
+	return timingJob{resource: n.Name, spnp: true, tasks: ct, digest: cpa.TaskSetDigest(ct)}, true
 }
 
 // timingJobs derives the per-resource CPA task sets of the implementation
 // model in deterministic order: processors (sorted by name), then networks
 // (platform order). Resources without load are skipped.
-func (m *MCC) timingJobs(impl *model.ImplementationModel) []timingJob {
-	var jobs []timingJob
+//
+// When the context carries a partial-synthesis diff and the deployed job
+// cache is warm, construction is diff-proportional: only resources the
+// diff affected are scanned (TasksOn/MessagesOn) and re-digested, every
+// other resource's job — task slice and digest — is spliced from the
+// cache of the committed configuration without touching the
+// implementation model at all. The splice is valid because the partial
+// synthesis copied exactly those resources' tasks/messages verbatim from
+// the deployed model. ctx may be nil (always a full scan).
+func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel) (jobs []timingJob, scanned int) {
+	jobs = m.scratch.jobs[:0]
+	incremental := ctx != nil && ctx.PartialSynth && m.deployedJobs != nil
 
 	for _, pn := range procNames(m.platform) {
-		tasks := impl.TasksOn(pn)
-		if len(tasks) == 0 {
+		if incremental && !ctx.AffectedProcs[pn] {
+			// Untouched processor: its task set is byte-identical to the
+			// deployed one; splice the cached job, no scan.
+			if j, ok := m.deployedJobs[pn]; ok {
+				jobs = append(jobs, j)
+			}
 			continue
 		}
-		ct := make([]cpa.Task, 0, len(tasks))
-		for _, t := range tasks {
-			ct = append(ct, cpa.Task{
-				Name:       t.Name,
-				Priority:   t.Priority,
-				WCETUS:     t.WCETUS,
-				Event:      cpa.EventModel{PeriodUS: t.PeriodUS, JitterUS: t.JitterUS},
-				DeadlineUS: t.DeadlineUS,
-			})
+		scanned++
+		if j, ok := m.buildProcJob(impl, pn); ok {
+			jobs = append(jobs, j)
 		}
-		jobs = append(jobs, timingJob{resource: pn, tasks: ct, digest: cpa.TaskSetDigest(ct)})
 	}
 
 	for i := range m.platform.Networks {
 		n := &m.platform.Networks[i]
-		msgs := impl.MessagesOn(n.Name)
-		if len(msgs) == 0 {
+		if incremental && !ctx.MessagesRebuilt {
+			// The message list was copied verbatim from the deployed model.
+			if j, ok := m.deployedJobs[n.Name]; ok {
+				jobs = append(jobs, j)
+			}
 			continue
 		}
-		ct := make([]cpa.Task, 0, len(msgs))
-		for _, msg := range msgs {
-			// Worst-case stuffed CAN frame time in µs.
-			wcBits := int64(47 + 8*msg.Bytes + (34+8*msg.Bytes-1)/4)
-			wcetUS := wcBits * 1_000_000 / n.BitsPerSec
-			if wcetUS < 1 {
-				wcetUS = 1
-			}
-			ct = append(ct, cpa.Task{
-				Name:       msg.Name,
-				Priority:   msg.Priority,
-				WCETUS:     wcetUS,
-				Event:      cpa.EventModel{PeriodUS: msg.PeriodUS},
-				DeadlineUS: msg.DeadlineUS,
-			})
+		scanned++
+		if j, ok := m.buildNetJob(impl, n); ok {
+			jobs = append(jobs, j)
 		}
-		jobs = append(jobs, timingJob{resource: n.Name, spnp: true, tasks: ct, digest: cpa.TaskSetDigest(ct)})
 	}
-	return jobs
+	m.scratch.jobs = jobs
+	return jobs, scanned
+}
+
+// deferredChecks carries one optimistically committed proposal's deferred
+// acceptance checks (mcc.StreamScheduler): the safety/security inputs and
+// the timing jobs in deterministic resource order, with the results
+// already known for clean resources and which entries still need a
+// busy-window verdict. The failed flags are written by the scheduler's
+// prefetch pool and read after its barrier.
+type deferredChecks struct {
+	tech *model.TechnicalArchitecture
+	impl *model.ImplementationModel
+
+	jobs    []timingJob
+	results []TimingResult
+	pending []bool
+
+	safetyFailed   bool
+	securityFailed bool
+}
+
+// deferred returns the deferred-check record of the pipeline run in
+// progress, creating it on first use. integrate resets it per pass.
+func (m *MCC) deferred() *deferredChecks {
+	if m.lastDeferred == nil {
+		m.lastDeferred = &deferredChecks{}
+	}
+	return m.lastDeferred
 }
 
 // analyzeTiming runs CPA on every processor (SPP) and network (SPNP/CAN).
@@ -732,52 +841,86 @@ func (m *MCC) timingJobs(impl *model.ImplementationModel) []timingJob {
 // merged back in deterministic resource order. A resource whose analysis
 // fails (e.g. utilization >= 1, where the busy window does not terminate)
 // is surfaced as a finding naming the resource — never dropped silently.
-func (m *MCC) analyzeTiming(impl *model.ImplementationModel) timingOutcome {
-	jobs := m.timingJobs(impl)
-	digests := make(map[string]uint64, len(jobs))
-	results := make([]TimingResult, len(jobs))
-	errs := make([]error, len(jobs))
+//
+// Under ctx.DeferChecks the dirty analyses are not run at all: the jobs
+// are recorded on m.lastDeferred for the stream scheduler to batch onto
+// the worker pool and re-validate, and no findings are raised.
+func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationModel) timingOutcome {
+	jobs, scanned := m.timingJobs(ctx, impl)
+	m.pendingJobs = jobs
 
-	var dirty []int
-	for i, j := range jobs {
+	sc := &m.scratch
+	if sc.digests == nil {
+		sc.digests = make(map[string]uint64, len(jobs))
+	} else {
+		clear(sc.digests)
+	}
+	digests := sc.digests
+	for _, j := range jobs {
 		digests[j.resource] = j.digest
+	}
+	out := timingOutcome{digests: digests, scanned: scanned, total: len(jobs)}
+
+	clean := func(i int) (TimingResult, bool) {
+		j := jobs[i]
 		if m.incTiming && m.deployedDigest[j.resource] == j.digest {
-			if tr, ok := m.deployedTiming[j.resource]; ok {
-				results[i] = tr
+			tr, ok := m.deployedTiming[j.resource]
+			return tr, ok
+		}
+		return TimingResult{}, false
+	}
+
+	if ctx != nil && ctx.DeferChecks {
+		dt := m.deferred()
+		dt.jobs = append([]timingJob(nil), jobs...)
+		dt.results = make([]TimingResult, len(jobs))
+		dt.pending = make([]bool, len(jobs))
+		for i := range jobs {
+			if tr, ok := clean(i); ok {
+				dt.results[i] = tr
+				out.results = append(out.results, tr)
 				continue
 			}
+			dt.pending[i] = true
+			out.dirty++
+		}
+		return out
+	}
+
+	results := grow(&sc.results, len(jobs))
+	errs := grow(&sc.errs, len(jobs))
+	dirty := sc.dirty[:0]
+	for i := range jobs {
+		if tr, ok := clean(i); ok {
+			results[i] = tr
+			continue
 		}
 		dirty = append(dirty, i)
 	}
+	sc.dirty = dirty
 
+	// Fan dirty resources out over the worker pool. Spawn at most
+	// len(dirty)-1 extra goroutines (the proposing goroutine works too)
+	// and hand out indices via an atomic counter — no feeder, no channel
+	// teardown. Proposals dirtying only one or two resources, the common
+	// fleet case, stay entirely on the proposing goroutine: goroutine
+	// startup would cost more than the analyses.
 	workers := m.workers
 	if workers > len(dirty) {
 		workers = len(dirty)
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(dirty) <= minParallelDirty {
 		for _, i := range dirty {
 			results[i], errs[i] = m.runTimingJob(jobs[i])
 		}
 	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i], errs[i] = m.runTimingJob(jobs[i])
-				}
-			}()
-		}
-		for _, i := range dirty {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+		runParallel(len(dirty), workers, func(k int) {
+			i := dirty[k]
+			results[i], errs[i] = m.runTimingJob(jobs[i])
+		})
 	}
 
-	out := timingOutcome{digests: digests, dirty: len(dirty), total: len(jobs)}
+	out.dirty = len(dirty)
 	for i := range jobs {
 		if errs[i] != nil {
 			out.findings = append(out.findings,
@@ -794,6 +937,49 @@ func (m *MCC) analyzeTiming(impl *model.ImplementationModel) timingOutcome {
 		out.results = append(out.results, results[i])
 	}
 	return out
+}
+
+// minParallelDirty is the dirty-resource count below which the timing
+// stage analyzes inline: for one or two dirty resources the goroutine
+// startup cost dominates the busy-window iterations.
+const minParallelDirty = 2
+
+// runParallel executes run(0..n-1) on at most `workers` goroutines (the
+// calling goroutine included), handing out indices via an atomic counter
+// — no feeder goroutine, no channel teardown. Callers clamp workers and
+// decide their own inline fast path.
+func runParallel(n, workers int, run func(k int)) {
+	var next atomic.Int64
+	work := func() {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= n {
+				return
+			}
+			run(k)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// grow resizes a scratch buffer to n zeroed entries, reusing capacity.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	*buf = s
+	return s
 }
 
 // runTimingJob analyzes one resource, through the memoizing analyzer when
@@ -821,11 +1007,18 @@ type monitorStage struct{ m *MCC }
 func (s *monitorStage) Name() Stage { return StageMonitors }
 
 func (s *monitorStage) Run(ctx *pipeline.Context) error {
-	ctx.Report.Monitors = s.m.planMonitors(ctx.Impl)
+	m := s.m
+	if ctx.PartialSynth && m.deployedMonitors != nil {
+		ctx.Report.Monitors = m.spliceMonitors(ctx)
+	} else {
+		ctx.Report.Monitors = m.planMonitors(ctx.Impl)
+	}
 	return nil
 }
 
-// planMonitors derives the execution-domain monitor configuration.
+// planMonitors derives the execution-domain monitor configuration from
+// scratch. It is the reference the incremental splice is held to
+// (TestMonitorSplice* assert parity).
 func (m *MCC) planMonitors(impl *model.ImplementationModel) []MonitorSpec {
 	var out []MonitorSpec
 	for _, t := range impl.Tasks {
@@ -840,12 +1033,101 @@ func (m *MCC) planMonitors(impl *model.ImplementationModel) []MonitorSpec {
 			PeriodUS: msg.PeriodUS, Enforce: true,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
-		}
-		return out[i].Target < out[j].Target
+	sortMonitorSpecs(out)
+	return out
+}
+
+// sortMonitorSpecs orders a monitor plan canonically (kind, then target).
+func sortMonitorSpecs(specs []MonitorSpec) {
+	sort.Slice(specs, func(i, j int) bool {
+		return monitorSpecLess(specs[i], specs[j])
 	})
+}
+
+func monitorSpecLess(a, b MonitorSpec) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Target < b.Target
+}
+
+// jobMonitorSpecs derives the monitor specs of one timing job: budget
+// monitors for processor tasks, enforced rate monitors for network
+// messages. The CPA task set carries exactly the contract parameters the
+// monitors need, so the specs are identical to what planMonitors derives
+// from the implementation model.
+func jobMonitorSpecs(j timingJob) []MonitorSpec {
+	out := make([]MonitorSpec, 0, len(j.tasks))
+	for _, t := range j.tasks {
+		if j.spnp {
+			out = append(out, MonitorSpec{
+				Kind: MonitorRate, Target: t.Name,
+				PeriodUS: t.Event.PeriodUS, Enforce: true,
+			})
+		} else {
+			out = append(out, MonitorSpec{
+				Kind: MonitorBudget, Target: t.Name,
+				PeriodUS: t.Event.PeriodUS, JitterUS: t.Event.JitterUS, WCETUS: t.WCETUS,
+			})
+		}
+	}
+	sortMonitorSpecs(out)
+	return out
+}
+
+// spliceMonitors derives the monitor plan diff-proportionally: budget
+// specs are rebuilt only for processors the partial synthesis touched
+// (taken from the per-resource timing jobs, which are already
+// diff-proportional), rate specs only when the message list was
+// re-derived; everything else is spliced from the deployed plan via a
+// single linear merge. The result is element-for-element identical to
+// planMonitors on the same implementation model.
+func (m *MCC) spliceMonitors(ctx *pipeline.Context) []MonitorSpec {
+	// Targets whose deployed specs are superseded: every budget spec of
+	// an affected processor, plus every rate spec when messages rebuilt.
+	drop := make(map[string]bool)
+	for pn := range ctx.AffectedProcs {
+		for _, spec := range m.deployedBudgetByProc[pn] {
+			drop[spec.Target] = true
+		}
+	}
+
+	// Fresh specs from the rebuilt resources' timing jobs.
+	var fresh []MonitorSpec
+	rebuilt := 0
+	for _, j := range m.pendingJobs {
+		if j.spnp {
+			if !ctx.MessagesRebuilt {
+				continue
+			}
+		} else if !ctx.AffectedProcs[j.resource] {
+			continue
+		}
+		fresh = append(fresh, jobMonitorSpecs(j)...)
+		rebuilt++
+	}
+	sortMonitorSpecs(fresh)
+
+	// Linear merge of the surviving deployed specs with the fresh ones;
+	// both inputs are sorted (kind, target), so no global re-sort.
+	out := make([]MonitorSpec, 0, len(m.deployedMonitors)+len(fresh))
+	fi := 0
+	for _, spec := range m.deployedMonitors {
+		if spec.Kind == MonitorBudget && drop[spec.Target] {
+			continue
+		}
+		if spec.Kind == MonitorRate && ctx.MessagesRebuilt {
+			continue
+		}
+		for fi < len(fresh) && monitorSpecLess(fresh[fi], spec) {
+			out = append(out, fresh[fi])
+			fi++
+		}
+		out = append(out, spec)
+	}
+	out = append(out, fresh[fi:]...)
+	ctx.Note("spliced %d/%d monitors from the deployed plan (%d resources rebuilt)",
+		len(out)-len(fresh), len(out), rebuilt)
 	return out
 }
 
@@ -855,16 +1137,67 @@ type commitStage struct{ m *MCC }
 
 func (s *commitStage) Name() Stage { return StageCommit }
 
+// Run commits the accepted configuration. The per-resource caches
+// (digests, WCRT tables, timing jobs, monitor plans) are MCC-owned maps
+// refilled in place — the values they carry (task slices, result slices,
+// spec slices) are immutable once built, so reports and snapshots may
+// alias them, but the maps themselves must be deep-copied by anyone who
+// needs them to survive the next commit (see MCC.snapshot).
 func (s *commitStage) Run(ctx *pipeline.Context) error {
 	m := s.m
 	m.deployed = ctx.Candidate
 	m.impl = ctx.Impl
 	if ctx.TimingDigests != nil {
-		m.deployedDigest = ctx.TimingDigests
+		if m.deployedDigest == nil {
+			m.deployedDigest = make(map[string]uint64, len(ctx.TimingDigests))
+		}
+		clear(m.deployedDigest)
+		for k, v := range ctx.TimingDigests {
+			m.deployedDigest[k] = v
+		}
 	}
-	m.deployedTiming = make(map[string]TimingResult, len(ctx.Report.Timing))
+	if m.deployedTiming == nil {
+		m.deployedTiming = make(map[string]TimingResult, len(ctx.Report.Timing))
+	}
+	clear(m.deployedTiming)
 	for _, tr := range ctx.Report.Timing {
 		m.deployedTiming[tr.Resource] = tr
+	}
+
+	// Persist the per-resource CPA task sets so the next proposal's
+	// timing-job construction can splice clean resources without a scan.
+	if m.deployedJobs == nil {
+		m.deployedJobs = make(map[string]timingJob, len(m.pendingJobs))
+	}
+	clear(m.deployedJobs)
+	for _, j := range m.pendingJobs {
+		m.deployedJobs[j.resource] = j
+	}
+
+	// Persist the monitor plan and its per-processor budget groups for
+	// the next proposal's splice. Under partial synthesis only the
+	// affected processors' groups changed; the full rebuild is reserved
+	// for from-scratch runs, keeping the commit diff-proportional too.
+	m.deployedMonitors = ctx.Report.Monitors
+	if m.deployedBudgetByProc == nil {
+		m.deployedBudgetByProc = make(map[string][]MonitorSpec)
+	}
+	if ctx.PartialSynth {
+		for pn := range ctx.AffectedProcs {
+			delete(m.deployedBudgetByProc, pn)
+		}
+		for _, j := range m.pendingJobs {
+			if !j.spnp && ctx.AffectedProcs[j.resource] {
+				m.deployedBudgetByProc[j.resource] = jobMonitorSpecs(j)
+			}
+		}
+	} else {
+		clear(m.deployedBudgetByProc)
+		for _, j := range m.pendingJobs {
+			if !j.spnp {
+				m.deployedBudgetByProc[j.resource] = jobMonitorSpecs(j)
+			}
+		}
 	}
 	return nil
 }

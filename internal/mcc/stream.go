@@ -1,0 +1,438 @@
+package mcc
+
+import (
+	"fmt"
+	"maps"
+
+	"repro/internal/model"
+	"repro/internal/safety"
+	"repro/internal/security"
+)
+
+// StreamScheduler drives a stream of change requests through the MCC at
+// multi-core throughput while keeping every accept/reject decision
+// identical to proposing the changes serially in stream order.
+//
+// The coupling that makes a change stream inherently sequential is shared
+// platform capacity: every accepted change shifts processor loads, which
+// shifts the best-fit placement — and therefore the task sets and timing
+// verdicts — of every later change. The scheduler therefore does not
+// reorder decisions. Instead it exploits the cost structure of the accept
+// path: placement bookkeeping (validation, mapping, synthesis, monitor
+// planning) is diff-proportional and cheap, while the busy-window timing
+// analyses of dirty resources dominate. Proposals are grouped into
+// windows of independent changes (pairwise-disjoint footprints computed
+// from the function-level diff: touched function names and the services
+// they provide/require; removals and flow edits conflict with everything
+// and bound the window). Each window is processed in three phases:
+//
+//  1. Optimistic pass (serial, cheap): every change runs the full
+//     incremental pipeline in stream order, but the pure verdict checks
+//     — safety, security, and the busy-window timing analyses — are
+//     deferred (the timing stage still constructs and digests the dirty
+//     task sets) and the candidate commits optimistically.
+//  2. Prefetch (concurrent): all deferred checks of the window fan out
+//     over the bounded worker pool — one safety and one security verdict
+//     per optimistic commit, plus the dirty analyses deduplicated by
+//     task-set digest through the shared memoizing analyzer. This is
+//     where the cores are used: the window's dominant cost runs in
+//     parallel.
+//  3. Verification (serial, cheap): every deferred verdict is read back
+//     in stream order. If all pass, the optimistic pass was exactly the
+//     serial execution and the window is final. If any deferred check
+//     fails (a safety or security finding, a missed deadline, an
+//     analysis error), the window's optimistic commits are tainted: the
+//     scheduler rolls the controller back to the window-start snapshot
+//     and replays the window serially (the analyzer stays warm, so the
+//     replay re-pays only the cheap stages).
+//
+// Rejections during the optimistic pass (contract violations, infeasible
+// mappings, custom-stage findings) never commit anything and are decided
+// against exactly the state the serial order would have produced, so
+// they stand as-is. Custom stages registered via WithStage run inside
+// the optimistic pass (their verdicts are not deferred); a stage with
+// external side effects would observe optimistic (possibly replayed)
+// state and should not be combined with the scheduler.
+//
+// The scheduler owns the MCC for the duration of Run: it is not safe to
+// propose changes from other goroutines concurrently.
+type StreamScheduler struct {
+	m       *MCC
+	workers int
+	window  int
+	stats   StreamStats
+}
+
+// StreamOption configures a StreamScheduler.
+type StreamOption func(*StreamScheduler)
+
+// WithStreamWorkers bounds the pool that analyzes a window's deferred
+// timing jobs concurrently. The default is the MCC's timing worker count
+// (GOMAXPROCS unless overridden).
+func WithStreamWorkers(n int) StreamOption {
+	return func(s *StreamScheduler) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithStreamWindow bounds how many independent changes one optimistic
+// window may hold. Larger windows expose more concurrent analyses but
+// widen the replay blast radius when a deferred verdict fails.
+func WithStreamWindow(n int) StreamOption {
+	return func(s *StreamScheduler) {
+		if n > 0 {
+			s.window = n
+		}
+	}
+}
+
+// defaultStreamWindow bounds the optimistic window when the caller does
+// not choose one.
+const defaultStreamWindow = 16
+
+// StreamStats reports how a Run spent its effort.
+type StreamStats struct {
+	// Windows is the number of optimistic windows formed.
+	Windows int
+	// Speculated counts changes decided by a window whose verification
+	// passed (the optimistic pass was the serial execution).
+	Speculated int
+	// Prefetched counts deduplicated busy-window analyses fanned out
+	// over the worker pool ahead of the decision point (the deferred
+	// safety/security verdicts run on the same pool but are not counted
+	// here).
+	Prefetched int
+	// Replays counts windows whose verification failed and that were
+	// re-decided serially from the window-start snapshot.
+	Replays int
+	// DiscardedPasses counts the optimistic pipeline passes thrown away
+	// by replays: the replay re-runs every change of the window, so the
+	// true pipeline cost of a replayed window is its serial passes plus
+	// these (their per-stage wall clock is dropped with them).
+	DiscardedPasses int
+	// Conflicts counts window barriers forced by a footprint conflict
+	// (the conflicting change waits for the previous window to finalize
+	// — it is serialized against it).
+	Conflicts int
+}
+
+// NewStreamScheduler returns a scheduler driving m. The MCC should run
+// its default incremental engine; without the memoizing analyzer
+// (WithoutIncremental) the prefetch phase has nowhere to store its
+// results and the scheduler degrades to plain serial proposals.
+func NewStreamScheduler(m *MCC, opts ...StreamOption) *StreamScheduler {
+	s := &StreamScheduler{m: m, workers: m.workers, window: defaultStreamWindow}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns the effort counters of every Run so far.
+func (s *StreamScheduler) Stats() StreamStats { return s.stats }
+
+// Run decides every change in stream order and returns one report per
+// change, exactly as serial ProposeUpdate/ProposeRemoval calls would.
+func (s *StreamScheduler) Run(changes []Change) []*Report {
+	reports := make([]*Report, 0, len(changes))
+	for lo := 0; lo < len(changes); {
+		hi := s.windowEnd(changes, lo)
+		reports = append(reports, s.runWindow(changes[lo:hi])...)
+		s.stats.Windows++
+		lo = hi
+	}
+	return reports
+}
+
+// windowEnd extends the window starting at lo while the next change's
+// declared footprint stays disjoint from every change already in it.
+func (s *StreamScheduler) windowEnd(changes []Change, lo int) int {
+	fps := []footprint{declaredFootprint(s.m.deployed, changes[lo])}
+	hi := lo + 1
+	for hi < len(changes) && hi-lo < s.window {
+		fp := declaredFootprint(s.m.deployed, changes[hi])
+		conflict := false
+		for _, prev := range fps {
+			if prev.conflicts(fp) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			s.stats.Conflicts++
+			break
+		}
+		fps = append(fps, fp)
+		hi++
+	}
+	return hi
+}
+
+// runWindow decides one window of changes: optimistic pass, concurrent
+// prefetch, verification, and — only if a deferred verdict fails — the
+// serial replay from the window-start snapshot.
+func (s *StreamScheduler) runWindow(changes []Change) []*Report {
+	m := s.m
+	if len(changes) == 1 || !m.incTiming {
+		// Nothing to overlap (or no memo table to prefetch into):
+		// plain serial proposals.
+		reports := make([]*Report, 0, len(changes))
+		for _, c := range changes {
+			reports = append(reports, m.propose(c))
+		}
+		return reports
+	}
+
+	snap := m.snapshot()
+	type pend struct {
+		report *Report
+		dt     *deferredChecks
+	}
+	var pendings []pend
+	reports := make([]*Report, 0, len(changes))
+
+	m.deferChecks = true
+	for _, c := range changes {
+		rep := m.propose(c)
+		reports = append(reports, rep)
+		if rep.Accepted && m.lastDeferred != nil {
+			pendings = append(pendings, pend{rep, m.lastDeferred})
+		}
+	}
+	m.deferChecks = false
+	m.lastDeferred = nil
+
+	// Concurrent phase: run the window's deferred checks on the pool —
+	// one safety and one security verdict per optimistic commit, plus the
+	// dirty busy-window analyses deduplicated by digest (they land in the
+	// shared memo table, where verification reads them back).
+	var tasks []func()
+	seen := make(map[uint64]bool)
+	for _, p := range pendings {
+		dt := p.dt
+		tasks = append(tasks,
+			func() { dt.safetyFailed = len(safety.Check(dt.tech)) > 0 },
+			func() { dt.securityFailed = len(security.CheckDomains(dt.impl)) > 0 },
+		)
+		for i, j := range dt.jobs {
+			if dt.pending[i] && !seen[analysisKey(j)] {
+				seen[analysisKey(j)] = true
+				s.stats.Prefetched++
+				job := j
+				tasks = append(tasks, func() {
+					m.runTimingJob(job) //nolint:errcheck // memo warming only
+				})
+			}
+		}
+	}
+	s.prefetch(tasks)
+
+	// Verification: read every deferred verdict back in stream order.
+	verified := true
+	for _, p := range pendings {
+		if !s.verifyDeferred(p.report, p.dt) {
+			verified = false
+			break
+		}
+	}
+	if verified {
+		s.stats.Speculated += len(changes)
+		return reports
+	}
+
+	// A deferred verdict failed: the optimistic commits after (and
+	// including) the failing proposal are tainted. Roll back to the
+	// window-start state and replay serially — the authoritative order.
+	// The discarded passes stay on the books so throughput accounting
+	// never understates what the engine actually ran.
+	s.stats.Replays++
+	for _, rep := range reports {
+		s.stats.DiscardedPasses += rep.Passes
+	}
+	m.restore(snap)
+	reports = reports[:0]
+	for _, c := range changes {
+		reports = append(reports, m.propose(c))
+	}
+	return reports
+}
+
+// analysisKey distinguishes the SPP and SPNP analyses of identical task
+// sets for prefetch deduplication. It is local to the dedup set — the
+// analyzer derives its own cache keys — so a collision at worst skips
+// one prefetch and shifts that analysis to the verification pass.
+func analysisKey(j timingJob) uint64 {
+	if j.spnp {
+		return j.digest ^ 1
+	}
+	return j.digest
+}
+
+// prefetch runs the deferred check tasks on at most s.workers goroutines
+// (the calling goroutine included). Task results land in each proposal's
+// deferredChecks record and in the shared memo table; the barrier at the
+// end makes them visible to the verification pass.
+func (s *StreamScheduler) prefetch(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	workers := s.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	runParallel(len(tasks), workers, func(k int) { tasks[k]() })
+}
+
+// verifyDeferred re-validates one optimistically accepted proposal: the
+// prefetched safety and security verdicts are inspected, and every
+// deferred busy-window verdict is read back (a memo hit after prefetch)
+// and checked exactly as the timing stage would have. On success the
+// report's WCRT table is completed in deterministic resource order and
+// the committed tables are backfilled; on any failed check it reports
+// false and leaves the caller to replay the window.
+func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
+	if dt.safetyFailed || dt.securityFailed {
+		return false
+	}
+	m := s.m
+	results := make([]TimingResult, len(dt.jobs))
+	for i, j := range dt.jobs {
+		if !dt.pending[i] {
+			results[i] = dt.results[i]
+			continue
+		}
+		res, err := m.runTimingJob(j)
+		if err != nil {
+			return false
+		}
+		for _, r := range res.Results {
+			if !r.Schedulable {
+				return false
+			}
+		}
+		results[i] = res
+	}
+	rep.Timing = results
+	for i, j := range dt.jobs {
+		if dt.pending[i] {
+			m.deployedTiming[j.resource] = results[i]
+		}
+	}
+	return true
+}
+
+// propose decides one change through the normal integration pipeline.
+func (m *MCC) propose(c Change) *Report {
+	return m.integrate(applyChange(m.deployed, c))
+}
+
+// mccState is a rollback point for the stream scheduler: the committed
+// configuration plus deep copies of the per-resource caches the commit
+// stage refills in place. The cached values (task slices, result slices,
+// monitor spec slices) are immutable once built, so shallow map copies
+// suffice.
+type mccState struct {
+	deployed     *model.FunctionalArchitecture
+	impl         *model.ImplementationModel
+	digests      map[string]uint64
+	timing       map[string]TimingResult
+	jobs         map[string]timingJob
+	monitors     []MonitorSpec
+	budgetByProc map[string][]MonitorSpec
+	history      int
+}
+
+func (m *MCC) snapshot() mccState {
+	return mccState{
+		deployed:     m.deployed,
+		impl:         m.impl,
+		digests:      maps.Clone(m.deployedDigest),
+		timing:       maps.Clone(m.deployedTiming),
+		jobs:         maps.Clone(m.deployedJobs),
+		monitors:     m.deployedMonitors,
+		budgetByProc: maps.Clone(m.deployedBudgetByProc),
+		history:      len(m.History),
+	}
+}
+
+func (m *MCC) restore(st mccState) {
+	m.deployed = st.deployed
+	m.impl = st.impl
+	m.deployedDigest = st.digests
+	m.deployedTiming = st.timing
+	m.deployedJobs = st.jobs
+	m.deployedMonitors = st.monitors
+	m.deployedBudgetByProc = st.budgetByProc
+	m.History = m.History[:st.history]
+}
+
+// footprint is the function-level resource footprint of one change,
+// computed from the diff it would induce: the touched function names and
+// the services they provide or require. Removals (and anything that
+// would change the flow set) are global — they shift provider resolution
+// and free capacity everywhere, so they conflict with every other
+// change.
+type footprint struct {
+	names    map[string]bool
+	services map[string]bool
+	global   bool
+}
+
+// declaredFootprint derives a change's footprint against the
+// currently deployed architecture (window formation happens before the
+// window runs, so the deployed version of an updated function is the
+// pre-window one; the footprint is a scheduling heuristic, never a
+// correctness input).
+func declaredFootprint(deployed *model.FunctionalArchitecture, c Change) footprint {
+	if c.Update == nil {
+		return footprint{global: true}
+	}
+	fp := footprint{
+		names:    map[string]bool{c.Update.Name: true},
+		services: make(map[string]bool),
+	}
+	for _, svc := range c.Update.Provides {
+		fp.services[svc] = true
+	}
+	for _, svc := range c.Update.Requires {
+		fp.services[svc] = true
+	}
+	if deployed != nil {
+		if old := deployed.FunctionByName(c.Update.Name); old != nil {
+			for _, svc := range old.Provides {
+				fp.services[svc] = true
+			}
+			for _, svc := range old.Requires {
+				fp.services[svc] = true
+			}
+		}
+	}
+	return fp
+}
+
+func (a footprint) conflicts(b footprint) bool {
+	if a.global || b.global {
+		return true
+	}
+	return intersects(a.names, b.names) || intersects(a.services, b.services)
+}
+
+func intersects(a, b map[string]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders stream stats for telemetry rows.
+func (st StreamStats) String() string {
+	return fmt.Sprintf("windows %d (speculated %d, replays %d, conflicts %d, prefetched %d)",
+		st.Windows, st.Speculated, st.Replays, st.Conflicts, st.Prefetched)
+}

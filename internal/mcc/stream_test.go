@@ -1,0 +1,436 @@
+package mcc
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// --- diff-proportional timing-job construction ------------------------------
+
+func deployFlowBaseline(t *testing.T, m *MCC) {
+	t.Helper()
+	prod := fn("radar", model.ASILD, 20000, 2000, 512)
+	prod.Provides = []string{"objects"}
+	cons := fn("acc", model.ASILD, 20000, 2000, 512)
+	cons.Requires = []string{"objects"}
+	fa := &model.FunctionalArchitecture{
+		Functions: []model.Function{prod, cons, fn("infotainment", model.QM, 50000, 10000, 1024)},
+		Flows:     []model.Flow{{From: "radar", To: "acc", Service: "objects", MsgBytes: 8, PeriodUS: 20000}},
+	}
+	if rep := m.ProposeArchitecture(fa); !rep.Accepted {
+		t.Fatalf("baseline rejected: %v (%s)", rep.Findings, rep.RejectedAt)
+	}
+}
+
+func TestTimingJobsCleanProposalZeroScans(t *testing.T) {
+	// A proposal identical to the deployed configuration (empty diff)
+	// touches no resource: the timing stage must splice every cached job
+	// and perform zero TasksOn/MessagesOn scans.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployFlowBaseline(t, m)
+
+	rep := m.ProposeArchitecture(m.Deployed())
+	if !rep.Accepted {
+		t.Fatalf("no-op proposal rejected: %v (%s)", rep.Findings, rep.RejectedAt)
+	}
+	if rep.TimingScans != 0 {
+		t.Fatalf("clean proposal scanned %d resources, want 0", rep.TimingScans)
+	}
+	if rep.TimingDirty != 0 {
+		t.Fatalf("clean proposal analyzed %d resources, want 0", rep.TimingDirty)
+	}
+	if rep.TimingResources == 0 {
+		t.Fatal("no timing coverage recorded")
+	}
+}
+
+func TestTimingJobsScansOnlyAffectedResources(t *testing.T) {
+	// A serviceless, flowless addition lands on exactly one processor and
+	// leaves the message list untouched: one scan, everything else
+	// spliced from the deployed job cache.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployFlowBaseline(t, m)
+
+	rep := m.ProposeUpdate(fn("telemetry", model.QM, 100000, 2000, 64))
+	if !rep.Accepted {
+		t.Fatalf("telemetry rejected: %v (%s)", rep.Findings, rep.RejectedAt)
+	}
+	if rep.TimingScans != 1 {
+		t.Fatalf("one-processor addition scanned %d resources, want 1", rep.TimingScans)
+	}
+	tr := rep.StageTraceFor(StageTiming)
+	if tr == nil || !strings.Contains(tr.Note, "1 scanned") {
+		t.Fatalf("timing trace = %+v, want scan telemetry", tr)
+	}
+}
+
+func TestTimingJobsIncrementalMatchesFullScan(t *testing.T) {
+	// After any accepted change, the spliced job set must be
+	// digest-identical to a from-scratch scan of the deployed model —
+	// the splice may never serve a stale task set.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployFlowBaseline(t, m)
+
+	updates := []model.Function{
+		fn("telemetry", model.QM, 100000, 2000, 64),
+		withRequires(fn("acc", model.ASILD, 20000, 2500, 512), "objects"), // update a flow endpoint
+		fn("logger", model.QM, 200000, 1000, 32),
+	}
+	for _, f := range updates {
+		if rep := m.ProposeUpdate(f); !rep.Accepted {
+			t.Fatalf("%s rejected: %v (%s)", f.Name, rep.Findings, rep.RejectedAt)
+		}
+		full, _ := m.timingJobs(nil, m.DeployedImpl())
+		fromScan := make(map[string]uint64, len(full))
+		for _, j := range full {
+			fromScan[j.resource] = j.digest
+		}
+		cached := make(map[string]uint64, len(m.deployedJobs))
+		for res, j := range m.deployedJobs {
+			cached[res] = j.digest
+		}
+		if !reflect.DeepEqual(fromScan, cached) {
+			t.Fatalf("after %s: cached jobs diverge from full scan:\nscan  %v\ncache %v",
+				f.Name, fromScan, cached)
+		}
+	}
+}
+
+// --- incremental monitor planning -------------------------------------------
+
+func TestMonitorSpliceMatchesFullPlan(t *testing.T) {
+	// Across additions, updates of flow endpoints, and removals, the
+	// spliced monitor plan must be element-for-element identical to the
+	// from-scratch plan over the same implementation model.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployFlowBaseline(t, m)
+
+	steps := []struct {
+		name   string
+		run    func() *Report
+		splice bool
+	}{
+		{"add telemetry", func() *Report { return m.ProposeUpdate(fn("telemetry", model.QM, 100000, 2000, 64)) }, true},
+		{"update acc", func() *Report {
+			return m.ProposeUpdate(withRequires(fn("acc", model.ASILD, 20000, 2500, 512), "objects"))
+		}, true},
+		{"remove infotainment", func() *Report { return m.ProposeRemoval("infotainment") }, true},
+	}
+	for _, step := range steps {
+		rep := step.run()
+		if !rep.Accepted {
+			t.Fatalf("%s rejected: %v (%s)", step.name, rep.Findings, rep.RejectedAt)
+		}
+		want := m.planMonitors(m.DeployedImpl())
+		if !reflect.DeepEqual(rep.Monitors, want) {
+			t.Fatalf("%s: spliced plan diverges from full plan:\nspliced %+v\nfull    %+v",
+				step.name, rep.Monitors, want)
+		}
+		if tr := rep.StageTraceFor(StageMonitors); step.splice && (tr == nil || !strings.Contains(tr.Note, "spliced")) {
+			t.Fatalf("%s: monitor trace = %+v, want splice telemetry", step.name, tr)
+		}
+	}
+}
+
+func withRequires(f model.Function, svcs ...string) model.Function {
+	f.Requires = append(f.Requires, svcs...)
+	return f
+}
+
+func TestMonitorPlanUntouchedByRejection(t *testing.T) {
+	// A rejected proposal must leave the deployed monitor plan (and its
+	// splice caches) exactly as committed — the monitor rollback
+	// invariant.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployFlowBaseline(t, m)
+	before := append([]MonitorSpec(nil), m.DeployedMonitors()...)
+
+	rep := m.ProposeUpdate(fn("broken", model.QM, 1000, 5000, 64)) // WCET > deadline
+	if rep.Accepted {
+		t.Fatal("broken contract accepted")
+	}
+	if !reflect.DeepEqual(m.DeployedMonitors(), before) {
+		t.Fatalf("rejection changed the deployed monitor plan:\nwas %+v\nnow %+v", before, m.DeployedMonitors())
+	}
+
+	// A feasible follow-up still splices against the intact plan.
+	rep = m.ProposeUpdate(fn("telemetry", model.QM, 100000, 2000, 64))
+	if !rep.Accepted {
+		t.Fatalf("post-rejection proposal rejected: %v", rep.Findings)
+	}
+	if want := m.planMonitors(m.DeployedImpl()); !reflect.DeepEqual(rep.Monitors, want) {
+		t.Fatalf("post-rejection splice diverges from full plan")
+	}
+}
+
+// --- stream scheduler --------------------------------------------------------
+
+// streamParity runs the same change stream through a serial MCC and a
+// stream scheduler and asserts identical decisions, findings, and final
+// deployed state.
+func streamParity(t *testing.T, p *model.Platform, baseline []model.Function, changes []Change, opts ...StreamOption) (*StreamScheduler, []*Report) {
+	t.Helper()
+	mkMCC := func() *MCC {
+		m, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range baseline {
+			if rep := m.ProposeUpdate(f); !rep.Accepted {
+				t.Fatalf("baseline %s rejected: %v", f.Name, rep.Findings)
+			}
+		}
+		return m
+	}
+
+	serial := mkMCC()
+	var want []*Report
+	for _, c := range changes {
+		want = append(want, serial.propose(c))
+	}
+
+	streamed := mkMCC()
+	sched := NewStreamScheduler(streamed, opts...)
+	got := sched.Run(changes)
+
+	if len(got) != len(want) {
+		t.Fatalf("stream returned %d reports for %d changes", len(got), len(changes))
+	}
+	for i := range want {
+		if got[i].Accepted != want[i].Accepted || got[i].RejectedAt != want[i].RejectedAt {
+			t.Fatalf("change %d (%s): stream decided %v@%q, serial %v@%q",
+				i, changes[i], got[i].Accepted, got[i].RejectedAt, want[i].Accepted, want[i].RejectedAt)
+		}
+		if !reflect.DeepEqual(got[i].Findings, want[i].Findings) {
+			t.Fatalf("change %d findings diverge:\nstream %v\nserial %v", i, got[i].Findings, want[i].Findings)
+		}
+	}
+	if !reflect.DeepEqual(streamed.Deployed(), serial.Deployed()) {
+		t.Fatal("final deployed architectures diverge")
+	}
+	if !reflect.DeepEqual(streamed.DeployedImpl().Tasks, serial.DeployedImpl().Tasks) {
+		t.Fatal("final task sets diverge")
+	}
+	if !reflect.DeepEqual(streamed.deployedDigest, serial.deployedDigest) {
+		t.Fatal("final timing digests diverge")
+	}
+	if !reflect.DeepEqual(streamed.DeployedMonitors(), serial.DeployedMonitors()) {
+		t.Fatal("final monitor plans diverge")
+	}
+	if len(streamed.History) != len(serial.History) {
+		t.Fatalf("history length %d vs serial %d", len(streamed.History), len(serial.History))
+	}
+	return sched, got
+}
+
+func upd(f model.Function) Change { return Change{Update: &f} }
+
+func TestStreamSchedulerParityFeasibleStream(t *testing.T) {
+	// Independent feasible additions: one optimistic window, everything
+	// speculated, zero replays, decisions identical to serial.
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+		upd(fn("t2", model.QM, 140000, 2500, 64)),
+		upd(fn("t3", model.QM, 160000, 1000, 64)),
+	}
+	sched, _ := streamParity(t, testPlatform(), []model.Function{fn("base", model.QM, 50000, 5000, 256)}, changes)
+	st := sched.Stats()
+	if st.Replays != 0 || st.Speculated != len(changes) {
+		t.Fatalf("stats = %+v, want %d speculated, 0 replays", st, len(changes))
+	}
+	if st.Prefetched == 0 {
+		t.Fatalf("stats = %+v, want prefetched analyses", st)
+	}
+}
+
+func TestStreamSchedulerParityWithValidationRejects(t *testing.T) {
+	// Broken contracts interleaved with feasible changes are rejected
+	// inside the optimistic pass without tainting the window.
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("bad", model.QM, 1000, 5000, 64)), // WCET > deadline
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+	}
+	sched, got := streamParity(t, testPlatform(), nil, changes)
+	if got[1].Accepted || got[1].RejectedAt != StageValidate {
+		t.Fatalf("broken contract decided %v@%q", got[1].Accepted, got[1].RejectedAt)
+	}
+	if st := sched.Stats(); st.Replays != 0 {
+		t.Fatalf("validation reject caused a replay: %+v", st)
+	}
+}
+
+func TestStreamSchedulerReplayOnTimingReject(t *testing.T) {
+	// An optimistically accepted change that fails its deferred
+	// busy-window verdict taints the window: the scheduler must roll back
+	// and replay serially, ending with decisions identical to serial —
+	// including the changes after the offender in the same window.
+	p := &model.Platform{
+		Processors: []model.Processor{
+			{Name: "only", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+		},
+	}
+	baseline := []model.Function{fn("a", model.ASILD, 10000, 5200, 1)}
+	changes := []Change{
+		upd(fn("c", model.ASILD, 14000, 5200, 1)), // passes contracts, misses deadline next to a
+		upd(fn("t", model.QM, 200000, 100, 1)),    // feasible, evaluated after the offender
+	}
+	sched, got := streamParity(t, p, baseline, changes)
+	if got[0].Accepted || got[0].RejectedAt != StageTiming {
+		t.Fatalf("offender decided %v@%q, want timing rejection", got[0].Accepted, got[0].RejectedAt)
+	}
+	if !got[1].Accepted {
+		t.Fatalf("feasible follow-up rejected: %v", got[1].Findings)
+	}
+	if st := sched.Stats(); st.Replays != 1 {
+		t.Fatalf("stats = %+v, want exactly one replay", st)
+	}
+}
+
+func TestStreamSchedulerReplayOnSafetyReject(t *testing.T) {
+	// A fail-operational function that can only be deployed once passes
+	// mapping but fails the deferred safety verdict: the window must be
+	// replayed and end in a safety-stage rejection, exactly like serial.
+	failop := fn("failop", model.ASILD, 40000, 1500, 128)
+	failop.Contract.FailOperational = true // Replicas stays 1: redundancy finding
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(failop),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+	}
+	sched, got := streamParity(t, testPlatform(), nil, changes)
+	if got[1].Accepted || got[1].RejectedAt != StageSafety {
+		t.Fatalf("failop decided %v@%q, want safety rejection", got[1].Accepted, got[1].RejectedAt)
+	}
+	if st := sched.Stats(); st.Replays != 1 {
+		t.Fatalf("stats = %+v, want exactly one replay", st)
+	}
+}
+
+func TestStreamSchedulerReplayOnSecurityReject(t *testing.T) {
+	// A cross-domain session without an AllowedPeers grant fails the
+	// deferred security verdict mid-window.
+	srv := fn("acc", model.ASILC, 10000, 1000, 64)
+	srv.Provides = []string{"accel_cmd"}
+	srv.Contract.Domain = "drive"
+	cli := fn("telematics", model.QM, 50000, 1000, 64)
+	cli.Requires = []string{"accel_cmd"}
+	cli.Contract.Domain = "connectivity" // cross-domain, no permission
+	changes := []Change{
+		upd(cli),
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+	}
+	sched, got := streamParity(t, testPlatform(), []model.Function{srv}, changes)
+	if got[0].Accepted || got[0].RejectedAt != StageSecurity {
+		t.Fatalf("cross-domain client decided %v@%q, want security rejection", got[0].Accepted, got[0].RejectedAt)
+	}
+	if st := sched.Stats(); st.Replays != 1 {
+		t.Fatalf("stats = %+v, want exactly one replay", st)
+	}
+}
+
+func TestStreamSchedulerReplayKeepsDiscardedPassesOnTheBooks(t *testing.T) {
+	// The optimistic passes a replay throws away are real pipeline work;
+	// the stats must not understate them.
+	p := &model.Platform{
+		Processors: []model.Processor{
+			{Name: "only", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+		},
+	}
+	baseline := []model.Function{fn("a", model.ASILD, 10000, 5200, 1)}
+	changes := []Change{
+		upd(fn("c", model.ASILD, 14000, 5200, 1)), // deferred timing verdict fails
+		upd(fn("t", model.QM, 200000, 100, 1)),
+	}
+	sched, _ := streamParity(t, p, baseline, changes)
+	if st := sched.Stats(); st.DiscardedPasses < len(changes) {
+		t.Fatalf("stats = %+v, want >= %d discarded passes accounted", st, len(changes))
+	}
+}
+
+func TestStreamSchedulerSerializesConflictsAndRemovals(t *testing.T) {
+	// Two updates of the same function must not share a window (the
+	// second depends on the first's verdict), and a removal is global:
+	// it conflicts with everything and runs in its own window.
+	changes := []Change{
+		upd(fn("svc", model.QM, 100000, 2000, 64)),
+		upd(fn("svc", model.QM, 100000, 2500, 64)), // same name: conflict
+		upd(fn("t0", model.QM, 120000, 1500, 64)),
+		{Remove: "svc"}, // global footprint
+		upd(fn("t1", model.QM, 140000, 1000, 64)),
+	}
+	sched, got := streamParity(t, testPlatform(), nil, changes)
+	for i, rep := range got {
+		if !rep.Accepted {
+			t.Fatalf("change %d rejected: %v (%s)", i, rep.Findings, rep.RejectedAt)
+		}
+	}
+	st := sched.Stats()
+	if st.Conflicts == 0 {
+		t.Fatalf("stats = %+v, want conflict barriers", st)
+	}
+	if st.Windows < 3 {
+		t.Fatalf("stats = %+v, want the stream split across >= 3 windows", st)
+	}
+}
+
+func TestStreamSchedulerServiceFootprintConflict(t *testing.T) {
+	// A provider and a requirer of the same service must not share a
+	// window: admitting the requirer depends on the provider's verdict.
+	prov := fn("prov", model.QM, 100000, 2000, 64)
+	prov.Provides = []string{"svc"}
+	cons := fn("cons", model.QM, 100000, 2000, 64)
+	cons.Requires = []string{"svc"}
+	changes := []Change{upd(prov), upd(cons)}
+	sched, got := streamParity(t, testPlatform(), nil, changes)
+	for i, rep := range got {
+		if !rep.Accepted {
+			t.Fatalf("change %d rejected: %v (%s)", i, rep.Findings, rep.RejectedAt)
+		}
+	}
+	if st := sched.Stats(); st.Conflicts != 1 || st.Windows != 2 {
+		t.Fatalf("stats = %+v, want the service conflict to split the stream into 2 windows", st)
+	}
+}
+
+func TestStreamSchedulerLongMixedStreamParity(t *testing.T) {
+	// A longer mixed stream (additions, updates, a removal, broken
+	// contracts, an unschedulable giant) across several windows.
+	var changes []Change
+	for i := 0; i < 24; i++ {
+		switch {
+		case i == 7:
+			changes = append(changes, upd(fn("bad", model.QM, 1000, 9000, 64)))
+		case i == 13:
+			changes = append(changes, Change{Remove: "w3"})
+		case i%6 == 5: // update an earlier function
+			changes = append(changes, upd(fn(fmt.Sprintf("w%d", i-3), model.QM, 100000, 2100, 64)))
+		default:
+			changes = append(changes, upd(fn(fmt.Sprintf("w%d", i), model.QM, 100000, 2000, 64)))
+		}
+	}
+	sched, _ := streamParity(t, testPlatform(), nil, changes, WithStreamWindow(6))
+	if st := sched.Stats(); st.Windows < 4 {
+		t.Fatalf("stats = %+v, want multiple windows", st)
+	}
+}

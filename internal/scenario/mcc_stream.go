@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cpa"
 	"repro/internal/mcc"
 	"repro/internal/model"
 )
@@ -15,6 +16,10 @@ type MCCStreamConfig struct {
 	// Updates is the number of proposals (a deterministic mix of feasible
 	// and infeasible ones is generated).
 	Updates int
+	// Analyzer, when non-nil, is shared with the MCC so a persistent
+	// busy-window memo table warm-starts the timing acceptance test
+	// across sessions (cmd/mcc -cache).
+	Analyzer *cpa.Analyzer
 }
 
 // DefaultMCCStreamConfig returns the baseline E3 parameters.
@@ -72,7 +77,11 @@ func ReferencePlatform() *model.Platform {
 // giant, a security violation — and collect the acceptance statistics.
 func RunMCCStream(cfg MCCStreamConfig) (MCCStreamResult, error) {
 	res := MCCStreamResult{Config: cfg, RejectedByStage: make(map[mcc.Stage]int)}
-	m, err := mcc.New(ReferencePlatform())
+	var opts []mcc.Option
+	if cfg.Analyzer != nil {
+		opts = append(opts, mcc.WithAnalyzer(cfg.Analyzer))
+	}
+	m, err := mcc.New(ReferencePlatform(), opts...)
 	if err != nil {
 		return res, err
 	}
@@ -132,11 +141,17 @@ const (
 	// scoped validation, warm-started mapping, partial synthesis, and the
 	// memoized timing engine.
 	ThroughputFull MCCThroughputMode = "full-incremental"
+	// ThroughputStream drives the change stream through the
+	// mcc.StreamScheduler on top of the full-incremental engine:
+	// footprint-independent changes form optimistic windows whose
+	// deferred busy-window analyses fan out over all cores, with every
+	// verdict re-validated so decisions stay identical to serial order.
+	ThroughputStream MCCThroughputMode = "stream-parallel"
 )
 
 // ThroughputModes lists every E12 integration strategy, baseline first.
 func ThroughputModes() []MCCThroughputMode {
-	return []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched, ThroughputFull}
+	return []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched, ThroughputFull, ThroughputStream}
 }
 
 // MCCThroughputConfig parameterizes E12: a fleet-scale stream of change
@@ -148,6 +163,11 @@ type MCCThroughputConfig struct {
 	BatchSize int
 	// Mode selects the integration strategy.
 	Mode MCCThroughputMode
+	// Analyzer, when non-nil, is shared with the MCC so a persistent
+	// busy-window memo table (cpa.SaveCache/LoadCache) warm-starts the
+	// timing acceptance test across sessions. Cache counters in the
+	// result are deltas, so sharing does not skew per-run numbers.
+	Analyzer *cpa.Analyzer
 }
 
 // DefaultMCCThroughputConfig returns the baseline E12 parameters.
@@ -178,6 +198,16 @@ type MCCThroughputResult struct {
 	// excluding the initial fleet-baseline deployment every mode pays
 	// identically — the honest basis for changes/s comparisons.
 	StreamWall time.Duration
+	// TimingScans/TimingResources sum the timing stage's scan telemetry
+	// over the stream: how many per-resource CPA task sets were rebuilt
+	// by scanning the implementation model versus the total resource
+	// coverage. Diff-proportional job construction keeps scans at the
+	// dirty few; the serial baseline scans everything.
+	TimingScans     int
+	TimingResources int
+	// Stream carries the scheduler effort counters of the stream-parallel
+	// mode (zero value otherwise).
+	Stream mcc.StreamStats
 }
 
 // Rows renders the E12 table.
@@ -188,7 +218,11 @@ func (r MCCThroughputResult) Rows() []string {
 		fmt.Sprintf("  pipeline evaluations: %d (%.2f changes/evaluation)",
 			r.Evaluations, float64(r.Config.Updates)/float64(max(r.Evaluations, 1))),
 		fmt.Sprintf("  timing cache: %d hits, %d misses", r.CacheHits, r.CacheMisses),
+		fmt.Sprintf("  timing jobs: %d/%d resources scanned", r.TimingScans, r.TimingResources),
 		fmt.Sprintf("  deployed tasks: %d", r.FinalTasks),
+	}
+	if r.Config.Mode == ThroughputStream {
+		out = append(out, fmt.Sprintf("  scheduler: %s", r.Stream))
 	}
 	if len(r.StageWall) > 0 {
 		stages := make([]mcc.Stage, 0, len(r.StageWall))
@@ -236,10 +270,11 @@ func FleetPlatform() *model.Platform {
 
 // fleetBaseline returns the pre-deployed E12 workload: eight perception/
 // control pairs communicating over the backbone plus twelve QM
-// applications. Release jitter beyond one period (with correspondingly
+// applications. Release jitter several periods deep (with correspondingly
 // relaxed explicit deadlines) forces multi-activation busy windows, so the
-// per-resource analysis that the incremental engine memoizes away is real
-// work, as it is on production timing models.
+// per-resource analysis that the incremental engine memoizes away — and
+// the stream scheduler fans out over the cores — is real work, as it is
+// on production timing models.
 func fleetBaseline() *model.FunctionalArchitecture {
 	fa := &model.FunctionalArchitecture{}
 	for i := 0; i < 8; i++ {
@@ -250,7 +285,7 @@ func fleetBaseline() *model.FunctionalArchitecture {
 				Provides: []string{obj},
 				Contract: model.Contract{
 					Safety:    model.ASILB,
-					RealTime:  model.RealTimeContract{PeriodUS: 50000, WCETUS: 9000, JitterUS: 70000, DeadlineUS: 150000},
+					RealTime:  model.RealTimeContract{PeriodUS: 50000, WCETUS: 9000, JitterUS: 250000, DeadlineUS: 600000},
 					Resources: model.ResourceContract{RAMKiB: 1024},
 				},
 			},
@@ -259,7 +294,7 @@ func fleetBaseline() *model.FunctionalArchitecture {
 				Requires: []string{obj},
 				Contract: model.Contract{
 					Safety:    model.ASILD,
-					RealTime:  model.RealTimeContract{PeriodUS: 20000, WCETUS: 1500, JitterUS: 30000, DeadlineUS: 60000},
+					RealTime:  model.RealTimeContract{PeriodUS: 20000, WCETUS: 1500, JitterUS: 100000, DeadlineUS: 250000},
 					Resources: model.ResourceContract{RAMKiB: 128},
 				},
 			},
@@ -274,7 +309,7 @@ func fleetBaseline() *model.FunctionalArchitecture {
 			Name: fmt.Sprintf("app%d", i),
 			Contract: model.Contract{
 				Safety:    model.QM,
-				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000, JitterUS: 150000, DeadlineUS: 400000},
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000, JitterUS: 450000, DeadlineUS: 1200000},
 				Resources: model.ResourceContract{RAMKiB: 256},
 			},
 		})
@@ -302,7 +337,7 @@ func generateFleetChange(i int) model.Function {
 			Version: i,
 			Contract: model.Contract{
 				Safety:    model.QM,
-				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000 + int64(i%7)*100, JitterUS: 150000, DeadlineUS: 400000},
+				RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 8000 + int64(i%7)*100, JitterUS: 450000, DeadlineUS: 1200000},
 				Resources: model.ResourceContract{RAMKiB: 256},
 			},
 		}
@@ -330,15 +365,21 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 		opts = append(opts, mcc.WithoutIncremental(), mcc.WithTimingWorkers(1))
 	case ThroughputParallel, ThroughputBatched:
 		opts = append(opts, mcc.WithTimingOnlyIncremental())
-	case ThroughputFull:
+	case ThroughputFull, ThroughputStream:
 		// Default engine: every stage incremental.
 	default:
 		return res, fmt.Errorf("scenario: unknown throughput mode %q", cfg.Mode)
+	}
+	if cfg.Analyzer != nil {
+		opts = append(opts, mcc.WithAnalyzer(cfg.Analyzer))
 	}
 	m, err := mcc.New(FleetPlatform(), opts...)
 	if err != nil {
 		return res, err
 	}
+	// Cache counters are reported as deltas over this run, so a persistent
+	// analyzer shared across sessions (cfg.Analyzer) does not skew them.
+	statsBefore := m.TimingCacheStats()
 	if rep := m.ProposeArchitecture(fleetBaseline()); !rep.Accepted {
 		return res, fmt.Errorf("scenario: fleet baseline rejected at %s: %v", rep.RejectedAt, rep.Findings)
 	}
@@ -360,6 +401,21 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 			res.Accepted += br.Accepted
 			res.Rejected += br.Rejected
 		}
+	case ThroughputStream:
+		sched := mcc.NewStreamScheduler(m)
+		changes := make([]mcc.Change, 0, cfg.Updates)
+		for i := 0; i < cfg.Updates; i++ {
+			fn := generateFleetChange(i)
+			changes = append(changes, mcc.Change{Update: &fn})
+		}
+		for _, rep := range sched.Run(changes) {
+			if rep.Accepted {
+				res.Accepted++
+			} else {
+				res.Rejected++
+			}
+		}
+		res.Stream = sched.Stats()
 	default:
 		for i := 0; i < cfg.Updates; i++ {
 			rep := m.ProposeUpdate(generateFleetChange(i))
@@ -375,12 +431,19 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 	res.StageWall = make(map[mcc.Stage]time.Duration)
 	for _, rep := range m.History[baselineEvals:] {
 		res.Evaluations += rep.Passes
+		res.TimingScans += rep.TimingScans
+		res.TimingResources += rep.TimingResources
 		for st, d := range rep.StageWall() {
 			res.StageWall[st] += d
 		}
 	}
+	// Optimistic passes a window replay discarded are real pipeline work;
+	// count them so Evaluations never understates the scheduler's cost
+	// (their per-stage wall clock is gone with the discarded reports).
+	res.Evaluations += res.Stream.DiscardedPasses
 	stats := m.TimingCacheStats()
-	res.CacheHits, res.CacheMisses = stats.Hits, stats.Misses
+	res.CacheHits = stats.Hits - statsBefore.Hits
+	res.CacheMisses = stats.Misses - statsBefore.Misses
 	if impl := m.DeployedImpl(); impl != nil {
 		res.FinalTasks = len(impl.Tasks)
 	}

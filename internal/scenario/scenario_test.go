@@ -411,8 +411,8 @@ func TestScenariosDeterministic(t *testing.T) {
 
 func TestRunMCCThroughput(t *testing.T) {
 	// Every integration strategy — serial baseline, timing-incremental
-	// parallel, batched, and full-incremental — may only differ in cost,
-	// never in which changes the fleet accepts.
+	// parallel, batched, full-incremental, and stream-parallel — may only
+	// differ in cost, never in which changes the fleet accepts.
 	var results []MCCThroughputResult
 	for _, mode := range ThroughputModes() {
 		cfg := DefaultMCCThroughputConfig()
@@ -444,7 +444,7 @@ func TestRunMCCThroughput(t *testing.T) {
 				r.Config.Mode, r.Accepted, r.Rejected, r.FinalTasks)
 		}
 	}
-	serial, batched, full := results[0], results[2], results[3]
+	serial, batched, full, stream := results[0], results[2], results[3], results[4]
 	if serial.Evaluations != serial.Config.Updates {
 		t.Fatalf("serial mode ran %d evaluations for %d changes", serial.Evaluations, serial.Config.Updates)
 	}
@@ -453,6 +453,36 @@ func TestRunMCCThroughput(t *testing.T) {
 	}
 	if full.Evaluations != full.Config.Updates {
 		t.Fatalf("full-incremental mode ran %d evaluations for %d changes", full.Evaluations, full.Config.Updates)
+	}
+
+	// The serial baseline scans every loaded resource per proposal; the
+	// diff-proportional job construction of the incremental engine must
+	// rebuild only the dirty few and splice the rest from the deployed
+	// cache without any TasksOn/MessagesOn scan.
+	if serial.TimingScans < serial.TimingResources {
+		t.Fatalf("serial mode spliced timing jobs: %d scans < %d resources", serial.TimingScans, serial.TimingResources)
+	}
+	for _, r := range []MCCThroughputResult{full, stream} {
+		if r.TimingScans*4 > r.TimingResources {
+			t.Fatalf("%s: timing-job construction not diff-proportional: %d scans for %d resources",
+				r.Config.Mode, r.TimingScans, r.TimingResources)
+		}
+	}
+
+	// The stream scheduler must decide the whole stream through verified
+	// optimistic windows on E12 (no timing rejections => no replays), with
+	// exactly one pipeline pass per change, and its deferred analyses must
+	// come back as memo hits during verification.
+	if stream.Evaluations != stream.Config.Updates {
+		t.Fatalf("stream-parallel ran %d evaluations for %d changes", stream.Evaluations, stream.Config.Updates)
+	}
+	if stream.Stream.Replays != 0 || stream.Stream.Speculated != stream.Config.Updates {
+		t.Fatalf("stream-parallel scheduler stats = %+v, want all %d changes speculated with no replays",
+			stream.Stream, stream.Config.Updates)
+	}
+	if stream.Stream.Prefetched == 0 || stream.CacheHits < int64(stream.Stream.Prefetched) {
+		t.Fatalf("stream-parallel prefetched %d analyses but saw only %d cache hits",
+			stream.Stream.Prefetched, stream.CacheHits)
 	}
 }
 
