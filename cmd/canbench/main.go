@@ -11,8 +11,14 @@
 //	canbench -experiment e12 [-changes 64]
 //	canbench -experiment e12 -cores 1,0        # GOMAXPROCS sweep (0 = all cores)
 //	canbench -experiment e12 -cache mcc.cache  # persistent timing-analyzer memo
+//	canbench -experiment e13 [-procs 32,128,512] [-scale-changes 32]
 //	canbench -experiment all
 //	canbench -experiment all -json   # machine-readable, for BENCH_*.json
+//
+// E13 is the fleet-scale stress tier: the E12 throughput measurement on
+// generated platforms of growing processor counts, publishing the
+// scans-per-change curve that proves the accept path is diff-proportional
+// (flat for the incremental modes, linear in the platform for serial).
 package main
 
 import (
@@ -48,6 +54,25 @@ type e2Row struct {
 	VirtCheaper    bool `json:"virtualized_cheaper"`
 }
 
+// e13Row is one E13 scale-tier point: one integration strategy on one
+// generated platform size.
+type e13Row struct {
+	Procs          int              `json:"procs"`
+	Resources      int              `json:"resources"`
+	Mode           string           `json:"mode"`
+	Changes        int              `json:"changes"`
+	Accepted       int              `json:"accepted"`
+	Rejected       int              `json:"rejected"`
+	Evaluations    int              `json:"evaluations"`
+	CacheHits      int64            `json:"cache_hits"`
+	CacheMisses    int64            `json:"cache_misses"`
+	TimingScans    int              `json:"timing_scans"`
+	ScansPerChange float64          `json:"scans_per_change"`
+	WallUS         int64            `json:"wall_us"`
+	ChangesPerSec  float64          `json:"changes_per_sec"`
+	StageWallUS    map[string]int64 `json:"stage_wall_us"`
+}
+
 // e12Row is one E12 integration strategy's throughput measurement.
 type e12Row struct {
 	Mode          string           `json:"mode"`
@@ -70,15 +95,18 @@ type benchReport struct {
 	E2        []e2Row  `json:"e2,omitempty"`
 	BreakEven int      `json:"e2_break_even_vms,omitempty"`
 	E12       []e12Row `json:"e12,omitempty"`
+	E13       []e13Row `json:"e13,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
-	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e12, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e12, e13, all")
 	probes := flag.Int("probes", 100, "round trips per E1 configuration")
 	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
 	changes := flag.Int("changes", 64, "streamed change requests per E12 strategy")
 	cores := flag.String("cores", "0", "comma-separated GOMAXPROCS values for the E12 sweep (0 = all cores)")
+	procs := flag.String("procs", "32,128,512", "comma-separated platform sizes for the E13 scale sweep")
+	scaleChanges := flag.Int("scale-changes", 32, "streamed change requests per E13 point")
 	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table for E12: loaded before the runs, saved back after (warm-starts the busy-window analyses across sessions)")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
@@ -87,7 +115,8 @@ func main() {
 	runE1 := *experiment == "e1" || *experiment == "all"
 	runE2 := *experiment == "e2" || *experiment == "all"
 	runE12 := *experiment == "e12" || *experiment == "all"
-	if !runE1 && !runE2 && !runE12 {
+	runE13 := *experiment == "e13" || *experiment == "e13-scale" || *experiment == "all"
+	if !runE1 && !runE2 && !runE12 && !runE13 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
@@ -103,7 +132,7 @@ func main() {
 		rep.BreakEven = canvirt.BreakEvenVFs()
 	}
 	if runE12 {
-		coreList, err := parseCores(*cores)
+		coreList, err := parseIntList("-cores", *cores)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -123,6 +152,17 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	if runE13 {
+		procList, err := parseIntList("-procs", *procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := measureE13(procList, *scaleChanges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.E13 = rows
 	}
 
 	if *asJSON {
@@ -147,6 +187,66 @@ func main() {
 			fmt.Println()
 		}
 		printE12(rep.E12)
+	}
+	if runE13 {
+		if runE1 || runE2 || runE12 {
+			fmt.Println()
+		}
+		printE13(rep.E13)
+	}
+}
+
+// measureE13 sweeps the generated fleet platforms through the E13 scale
+// tier and flattens the scenario rows into the JSON trajectory format.
+// The headline column is scans_per_change: flat across platform sizes for
+// the incremental modes, proportional to the resource count for serial.
+func measureE13(procList []int, changes int) ([]e13Row, error) {
+	for _, p := range procList {
+		if p < 2 {
+			return nil, fmt.Errorf("invalid -procs entry %d", p)
+		}
+	}
+	cfg := scenario.DefaultMCCScaleConfig()
+	cfg.Procs = procList
+	cfg.Updates = changes
+	rows, err := scenario.RunMCCScale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]e13Row, 0, len(rows))
+	for _, r := range rows {
+		res := r.Result
+		row := e13Row{
+			Procs:          r.Procs,
+			Resources:      r.Resources,
+			Mode:           string(res.Config.Mode),
+			Changes:        res.Config.Updates,
+			Accepted:       res.Accepted,
+			Rejected:       res.Rejected,
+			Evaluations:    res.Evaluations,
+			CacheHits:      res.CacheHits,
+			CacheMisses:    res.CacheMisses,
+			TimingScans:    res.TimingScans,
+			ScansPerChange: r.ScansPerChange(),
+			WallUS:         res.StreamWall.Microseconds(),
+			ChangesPerSec:  float64(res.Config.Updates) / res.StreamWall.Seconds(),
+			StageWallUS:    make(map[string]int64, len(res.StageWall)),
+		}
+		for st, d := range res.StageWall {
+			row.StageWallUS[string(st)] = d.Microseconds()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func printE13(rows []e13Row) {
+	fmt.Println("E13: MCC change-stream throughput vs platform size (scale tier)")
+	fmt.Println("procs  resources  mode              changes  acc  rej  scans  scans/change      wall  changes/s")
+	for _, r := range rows {
+		fmt.Printf("%5d  %9d  %-17s %7d  %3d  %3d  %5d  %12.2f  %8dus  %9.0f\n",
+			r.Procs, r.Resources, r.Mode, r.Changes, r.Accepted, r.Rejected,
+			r.TimingScans, r.ScansPerChange, r.WallUS, r.ChangesPerSec)
 	}
 }
 
@@ -195,13 +295,14 @@ func (c *e12Cache) absorb(a *cpa.Analyzer) {
 	cpa.MergeCache(c.master, a)
 }
 
-// parseCores parses the -cores sweep list; 0 means "all cores".
-func parseCores(s string) ([]int, error) {
+// parseIntList parses a comma-separated sweep list for the named flag
+// (-cores, where 0 means "all cores", or -procs).
+func parseIntList(flagName, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("invalid -cores entry %q", part)
+			return nil, fmt.Errorf("invalid %s entry %q", flagName, part)
 		}
 		out = append(out, n)
 	}

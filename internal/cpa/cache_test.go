@@ -2,9 +2,11 @@ package cpa
 
 import (
 	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -91,6 +93,133 @@ func TestCacheVersionMismatchRejected(t *testing.T) {
 	// overkill; a corrupt stream must error too.
 	if err := LoadCache(NewAnalyzer(), bytes.NewReader([]byte("not a gob stream"))); err == nil {
 		t.Fatal("corrupt cache accepted")
+	}
+}
+
+// TestCacheLoadFailurePaths drives LoadCache through every way a cache
+// file goes bad in the field — truncated write, format version from a
+// different build, plain garbage, an empty file — and requires a clean
+// error that leaves the analyzer fully usable: pre-existing entries
+// intact and new analyses cached as if the load never happened.
+func TestCacheLoadFailurePaths(t *testing.T) {
+	valid := func() []byte {
+		a := NewAnalyzer()
+		if _, err := a.AnalyzeSPP(cacheTestTasks(5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AnalyzeSPNP(cacheTestTasks(4)); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveCache(a, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	wrongVersion := func() []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cacheFile{
+			Version: cacheFileVersion + 1,
+			Entries: map[uint64][]Result{42: {{Name: "x", WCRTUS: 1, Schedulable: true}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name    string
+		data    []byte
+		errLike string
+	}{
+		{"truncated", valid[:len(valid)/2], "decode"},
+		{"wrong version", wrongVersion, "version"},
+		{"garbage gob", []byte("\x07\xffgarbage-bytes-not-a-cache\x00\x01"), "decode"},
+		{"empty file", nil, "decode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAnalyzer()
+			// Pre-warm one entry: a failed load must not disturb it.
+			preTasks := cacheTestTasks(3)
+			if _, err := a.AnalyzeSPP(preTasks); err != nil {
+				t.Fatal(err)
+			}
+			before := a.Stats()
+
+			err := LoadCache(a, bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("%s cache accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+			if got := a.Stats().Entries; got != before.Entries {
+				t.Fatalf("failed load changed entry count: %d -> %d", before.Entries, got)
+			}
+
+			// The analyzer must stay fully usable: the pre-warmed entry
+			// still hits, and fresh analyses still run and cache.
+			if _, err := a.AnalyzeSPP(preTasks); err != nil {
+				t.Fatal(err)
+			}
+			if st := a.Stats(); st.Hits != before.Hits+1 {
+				t.Fatalf("pre-warmed entry lost after failed load: %+v", st)
+			}
+			fresh := cacheTestTasks(6)
+			if _, err := a.AnalyzeSPP(fresh); err != nil {
+				t.Fatalf("analyzer unusable after failed load: %v", err)
+			}
+			if _, err := a.AnalyzeSPP(fresh); err != nil {
+				t.Fatal(err)
+			}
+			if st := a.Stats(); st.Hits != before.Hits+2 {
+				t.Fatalf("post-failure analysis not cached: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCacheFileLoadFailureLeavesAnalyzerUsable covers the file-path
+// front door: a truncated on-disk cache must error without breaking the
+// analyzer or deleting the file (the next SaveCacheFile repairs it).
+func TestCacheFileLoadFailureLeavesAnalyzerUsable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cpa.cache")
+
+	a := NewAnalyzer()
+	if _, err := a.AnalyzeSPP(cacheTestTasks(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCacheFile(a, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewAnalyzer()
+	if err := LoadCacheFile(b, path); err == nil {
+		t.Fatal("truncated cache file accepted")
+	}
+	if _, err := b.AnalyzeSPP(cacheTestTasks(5)); err != nil {
+		t.Fatalf("analyzer unusable after failed file load: %v", err)
+	}
+	// A fresh save over the truncated file restores a loadable cache.
+	if err := SaveCacheFile(b, path); err != nil {
+		t.Fatal(err)
+	}
+	c := NewAnalyzer()
+	if err := LoadCacheFile(c, path); err != nil {
+		t.Fatalf("repaired cache rejected: %v", err)
+	}
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("repaired cache loaded %d entries, want 1", got)
 	}
 }
 

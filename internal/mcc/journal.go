@@ -1,0 +1,208 @@
+package mcc
+
+import (
+	"repro/internal/model"
+)
+
+// This file implements the copy-on-write rollback point of the stream
+// scheduler's optimistic windows. PR 3 snapshotted every deployed-cache
+// map with maps.Clone before each window — O(platform) per window even
+// when the window only touches two processors. The journal inverts that
+// cost: the window-start map pointers are recorded for free, the commit
+// stage writes through jset/jdel which save the prior value of every key
+// they overwrite (first write per key only), and rollback restores
+// exactly the journaled entries. Snapshot and rollback cost are therefore
+// proportional to the window's footprint, not the platform size.
+//
+// A from-scratch commit inside a window (a cold retry after a rejected
+// warm-start attempt) cannot be journaled per key: commitFull builds
+// fresh maps and swaps them in wholesale, leaving the window-start maps —
+// including every keyed journal entry recorded against them — intact, and
+// detaches the journal so later keyed writes (which hit the fresh maps)
+// are not recorded. Rollback then restores the window-start pointers and
+// reverts the pre-detach entries onto them.
+
+// prior is one journaled map entry: the value the key held before the
+// window's first write to it (existed=false marks a key that was absent).
+type prior[V any] struct {
+	val     V
+	existed bool
+}
+
+// jset writes m[k]=v, saving the prior entry into journal j first. A nil
+// journal map makes it a plain write.
+func jset[V any](j map[string]prior[V], m map[string]V, k string, v V) {
+	if j != nil {
+		if _, seen := j[k]; !seen {
+			old, ok := m[k]
+			j[k] = prior[V]{old, ok}
+		}
+	}
+	m[k] = v
+}
+
+// jdel deletes m[k], saving the prior entry into journal j first. A nil
+// journal map makes it a plain delete.
+func jdel[V any](j map[string]prior[V], m map[string]V, k string) {
+	if j != nil {
+		if _, seen := j[k]; !seen {
+			old, ok := m[k]
+			j[k] = prior[V]{old, ok}
+		}
+	}
+	delete(m, k)
+}
+
+// jrevert restores every journaled entry onto m.
+func jrevert[V any](j map[string]prior[V], m map[string]V) {
+	for k, p := range j {
+		if p.existed {
+			m[k] = p.val
+		} else {
+			delete(m, k)
+		}
+	}
+}
+
+// cacheJournal is the rollback point of one optimistic window: the
+// window-start pointers of the committed configuration and its cache
+// maps, plus the keyed undo entries of every in-place cache write the
+// window's commits performed.
+type cacheJournal struct {
+	deployed *model.FunctionalArchitecture
+	impl     *model.ImplementationModel
+	monitors []MonitorSpec
+	history  int
+
+	// Window-start map pointers. Keyed commits mutate these in place
+	// (journaled below); a from-scratch commit swaps in fresh maps and
+	// leaves these untouched.
+	digestMap map[string]uint64
+	timingMap map[string]TimingResult
+	jobsMap   map[string]timingJob
+	budgetMap map[string][]MonitorSpec
+	synth     *synthCache
+
+	// Keyed undo entries, recorded against the window-start maps.
+	digests  map[string]prior[uint64]
+	timing   map[string]prior[TimingResult]
+	jobs     map[string]prior[timingJob]
+	budgets  map[string]prior[[]MonitorSpec]
+	synFns   map[string]prior[*model.Function]
+	synIns   map[string]prior[[]model.Instance]
+	synTasks map[string]prior[[]model.Task]
+
+	// detached marks that a from-scratch commit replaced the cache maps:
+	// the window-start maps are final, keyed journaling stops.
+	detached bool
+}
+
+// The accessors below hand the commit stage the journal map to record
+// into; they are nil-receiver-safe and return nil once the journal is
+// detached (or when no window is open), which jset/jdel treat as "plain
+// write".
+
+func (j *cacheJournal) jDigests() map[string]prior[uint64] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.digests
+}
+
+func (j *cacheJournal) jTiming() map[string]prior[TimingResult] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.timing
+}
+
+func (j *cacheJournal) jJobs() map[string]prior[timingJob] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.jobs
+}
+
+func (j *cacheJournal) jBudgets() map[string]prior[[]MonitorSpec] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.budgets
+}
+
+func (j *cacheJournal) jSynFns() map[string]prior[*model.Function] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.synFns
+}
+
+func (j *cacheJournal) jSynIns() map[string]prior[[]model.Instance] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.synIns
+}
+
+func (j *cacheJournal) jSynTasks() map[string]prior[[]model.Task] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.synTasks
+}
+
+// beginWindow opens a copy-on-write rollback point: window-start pointers
+// are recorded, and every subsequent commit journals the cache entries it
+// overwrites. Cost is O(1) regardless of platform size.
+func (m *MCC) beginWindow() *cacheJournal {
+	j := &cacheJournal{
+		deployed:  m.deployed,
+		impl:      m.impl,
+		monitors:  m.deployedMonitors,
+		history:   len(m.History),
+		digestMap: m.deployedDigest,
+		timingMap: m.deployedTiming,
+		jobsMap:   m.deployedJobs,
+		budgetMap: m.deployedBudgetByProc,
+		synth:     m.deployedSynth,
+		digests:   make(map[string]prior[uint64]),
+		timing:    make(map[string]prior[TimingResult]),
+		jobs:      make(map[string]prior[timingJob]),
+		budgets:   make(map[string]prior[[]MonitorSpec]),
+		synFns:    make(map[string]prior[*model.Function]),
+		synIns:    make(map[string]prior[[]model.Instance]),
+		synTasks:  make(map[string]prior[[]model.Task]),
+	}
+	m.journal = j
+	return j
+}
+
+// commitWindow finalizes the window: the optimistic commits stand, the
+// undo entries are dropped.
+func (m *MCC) commitWindow() { m.journal = nil }
+
+// rollbackWindow restores the controller to the window-start state: the
+// configuration pointers and history length are reset, the window-start
+// cache maps are re-installed, and the journaled entries are reverted
+// onto them. Cost is proportional to the window's footprint.
+func (m *MCC) rollbackWindow(j *cacheJournal) {
+	m.journal = nil
+	m.deployed = j.deployed
+	m.impl = j.impl
+	m.deployedMonitors = j.monitors
+	m.History = m.History[:j.history]
+	m.deployedDigest = j.digestMap
+	m.deployedTiming = j.timingMap
+	m.deployedJobs = j.jobsMap
+	m.deployedBudgetByProc = j.budgetMap
+	m.deployedSynth = j.synth
+	jrevert(j.digests, m.deployedDigest)
+	jrevert(j.timing, m.deployedTiming)
+	jrevert(j.jobs, m.deployedJobs)
+	jrevert(j.budgets, m.deployedBudgetByProc)
+	if j.synth != nil {
+		jrevert(j.synFns, j.synth.fnByName)
+		jrevert(j.synIns, j.synth.instancesOf)
+		jrevert(j.synTasks, j.synth.tasksOn)
+	}
+}

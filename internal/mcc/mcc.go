@@ -114,6 +114,16 @@ type MCC struct {
 	// timing stage can splice clean resources' jobs without re-scanning
 	// the implementation model (diff-proportional job construction).
 	deployedJobs map[string]timingJob
+	// deployedSynth caches the committed synthesis lookup tables (function
+	// contracts by name, replica instances by function, per-processor task
+	// lists) next to deployedJobs, so incremental synthesis splices
+	// untouched processors' task lists without re-deriving synthLookups;
+	// commits invalidate only diff-touched entries. Maintained only while
+	// the pre-timing stages run incrementally (incPre).
+	deployedSynth *synthCache
+	// pendingSynth is the diff-sized lookup overlay of the most recent
+	// incremental synthesis, applied to deployedSynth by the commit stage.
+	pendingSynth *synthOverlay
 	// deployedMonitors is the committed monitor plan;
 	// deployedBudgetByProc groups its budget specs by hosting processor
 	// so the monitor stage can splice untouched processors' specs.
@@ -123,6 +133,18 @@ type MCC struct {
 	// pendingJobs is the job list of the most recent timing-stage run,
 	// handed from the timing stage to the monitor and commit stages.
 	pendingJobs []timingJob
+	// pendingResults holds the per-job WCRT tables of the most recent
+	// non-deferred timing run, indexed like pendingJobs (nil under
+	// deferred checks, where dirty analyses have not run yet); the keyed
+	// commit reads the results of scanned resources from it.
+	pendingResults []TimingResult
+	// procs is the platform's processor-name iteration order, sorted once
+	// at construction (the platform is immutable for the MCC's lifetime).
+	procs []string
+	// journal, when non-nil, is the open copy-on-write rollback point of a
+	// stream-scheduler window: commits record the prior value of every
+	// cache entry they overwrite instead of the window cloning whole maps.
+	journal *cacheJournal
 	// scratch holds the MCC-owned buffers the timing hot path reuses
 	// across proposals.
 	scratch timingScratch
@@ -226,6 +248,7 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 		workers:        runtime.GOMAXPROCS(0),
 		deployedDigest: make(map[string]uint64),
 		deployedTiming: make(map[string]TimingResult),
+		procs:          procNames(p),
 	}
 	for _, o := range opts {
 		o(m)

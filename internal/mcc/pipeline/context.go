@@ -58,6 +58,12 @@ type Context struct {
 	// false the deployed message list was copied verbatim. Only valid
 	// when PartialSynth is set.
 	MessagesRebuilt bool
+	// AffectedNets is the set of networks whose message list actually
+	// changed under a rebuild (a rebuilt list equal to the deployed one
+	// leaves its network clean, so untouched networks splice their cached
+	// timing jobs even when MessagesRebuilt). Only valid when
+	// MessagesRebuilt is set; nil conservatively means "every network".
+	AffectedNets map[string]bool
 	// DeferChecks asks the pure verdict stages (safety, security, timing)
 	// to record their inputs instead of checking them: the timing stage
 	// still constructs and digests the per-resource task sets but defers

@@ -2,6 +2,7 @@ package mcc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -275,7 +276,8 @@ func (s *synthStage) Name() Stage { return StageSynth }
 func (s *synthStage) Run(ctx *pipeline.Context) error {
 	var impl *model.ImplementationModel
 	var err error
-	if ctx.Incremental && ctx.WarmMapped && ctx.DeployedImpl != nil {
+	s.m.pendingSynth = nil
+	if ctx.Incremental && ctx.WarmMapped && ctx.DeployedImpl != nil && s.m.deployedSynth != nil {
 		impl, err = s.m.synthesizeIncremental(ctx)
 	} else {
 		impl, err = s.m.synthesize(ctx.Tech)
@@ -306,9 +308,121 @@ func synthLookups(tech *model.TechnicalArchitecture) (map[string]*model.Function
 	return fnByName, instancesOf
 }
 
+// synthCache holds the committed synthesis lookup tables: function
+// contracts by name, replica instances by function, and the
+// per-processor task lists of the deployed implementation model. It is
+// maintained on commit next to deployedJobs — rebuilt in full only by
+// from-scratch commits, keyed invalidation of diff-touched entries
+// otherwise — so incremental synthesis can splice untouched processors'
+// task lists without re-deriving the tables per proposal. The cache owns
+// its entries: function values are standalone copies, instance and task
+// slices are immutable once stored.
+type synthCache struct {
+	fnByName    map[string]*model.Function
+	instancesOf map[string][]model.Instance
+	tasksOn     map[string][]model.Task
+}
+
+// newSynthCache derives the full lookup tables of a committed
+// implementation model (the from-scratch commit path).
+func newSynthCache(impl *model.ImplementationModel) *synthCache {
+	fnByName, instancesOf := synthLookups(impl.Tech)
+	sc := &synthCache{
+		fnByName:    make(map[string]*model.Function, len(fnByName)),
+		instancesOf: instancesOf,
+		tasksOn:     make(map[string][]model.Task),
+	}
+	for name, f := range fnByName {
+		cp := *f
+		sc.fnByName[name] = &cp
+	}
+	// impl.Tasks is assembled processor by processor in priority order, so
+	// the grouped lists keep the order synthesizeTasksOn produces.
+	for _, t := range impl.Tasks {
+		sc.tasksOn[t.Processor] = append(sc.tasksOn[t.Processor], t)
+	}
+	return sc
+}
+
+// synthOverlay is the diff-sized patch one incremental synthesis lays
+// over the committed synthCache: an entry per diff-touched function (nil
+// marks a removal), the touched functions' new replica placements, and
+// the rebuilt task lists of affected processors. The commit stage applies
+// it to the cache with keyed (journalable) writes.
+type synthOverlay struct {
+	fns     map[string]*model.Function
+	insts   map[string][]model.Instance
+	tasksOn map[string][]model.Task
+}
+
+// synthView resolves the function/instance lookups of one synthesis run:
+// either the full tables freshly derived from the candidate (from-scratch
+// path, nil overlay) or the committed tables overlaid with the
+// diff-touched entries — O(diff) map writes instead of rebuilding both
+// tables from the technical architecture.
+type synthView struct {
+	cache *synthCache
+	over  *synthOverlay
+}
+
+func (v *synthView) fn(name string) *model.Function {
+	if v.over != nil {
+		if f, ok := v.over.fns[name]; ok {
+			return f // nil for removed functions
+		}
+	}
+	if v.cache != nil {
+		return v.cache.fnByName[name]
+	}
+	return nil
+}
+
+func (v *synthView) instances(name string) []model.Instance {
+	if v.over != nil {
+		if _, touched := v.over.fns[name]; touched {
+			return v.over.insts[name]
+		}
+	}
+	if v.cache != nil {
+		return v.cache.instancesOf[name]
+	}
+	return nil
+}
+
+// synthOverlay builds the candidate's lookup view against the committed
+// tables: one pass over the candidate functions and the mapped instances
+// collects the diff-touched entries, everything untouched resolves
+// through the cache (whose entries are value-identical under the
+// warm-started mapping). No lookup table is rebuilt.
+func (m *MCC) synthOverlay(ctx *pipeline.Context) (*synthView, *synthOverlay) {
+	d := ctx.Diff
+	over := &synthOverlay{
+		fns:     make(map[string]*model.Function, d.TouchedCount()),
+		insts:   make(map[string][]model.Instance, d.TouchedCount()),
+		tasksOn: make(map[string][]model.Task),
+	}
+	for _, name := range d.Removed {
+		over.fns[name] = nil
+	}
+	cand := ctx.Candidate
+	for i := range cand.Functions {
+		if f := &cand.Functions[i]; d.Touched(f.Name) {
+			over.fns[f.Name] = f
+		}
+	}
+	// ctx.Tech.Instances is sorted by Instance.Less, so each collected
+	// list is already replica-ascending like synthLookups produces.
+	for _, in := range ctx.Tech.Instances {
+		if d.Touched(in.Function) {
+			over.insts[in.Function] = append(over.insts[in.Function], in)
+		}
+	}
+	return &synthView{cache: m.deployedSynth, over: over}, over
+}
+
 // synthesizeTasksOn derives the deadline-monotonic task set of one
 // processor (WCET scaled by the processor speed).
-func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, fnByName map[string]*model.Function, pn string) []model.Task {
+func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, look *synthView, pn string) []model.Task {
 	p := m.platform.ProcessorByName(pn)
 	insts := tech.InstancesOn(pn)
 	type cand struct {
@@ -317,7 +431,7 @@ func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, fnByName map[
 	}
 	var cands []cand
 	for _, in := range insts {
-		f := fnByName[in.Function]
+		f := look.fn(in.Function)
 		if f == nil || !f.Contract.RealTime.HasTiming() {
 			continue
 		}
@@ -354,7 +468,7 @@ func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, fnByName map[
 // distinct network crossed (deterministic order). A flow whose replica
 // pairs cross several networks loads each of them — charging only one bus
 // would leave the others' real load out of the timing acceptance test.
-func (m *MCC) synthesizeMessages(tech *model.TechnicalArchitecture, instancesOf map[string][]model.Instance) ([]model.Message, error) {
+func (m *MCC) synthesizeMessages(tech *model.TechnicalArchitecture, look *synthView) ([]model.Message, error) {
 	type msgCand struct {
 		flow model.Flow
 		nets []string // distinct crossed networks, sorted
@@ -364,8 +478,8 @@ func (m *MCC) synthesizeMessages(tech *model.TechnicalArchitecture, instancesOf 
 		if fl.PeriodUS <= 0 {
 			continue // sporadic flows handled by rate monitors only
 		}
-		fromInsts := instancesOf[fl.From]
-		toInsts := instancesOf[fl.To]
+		fromInsts := look.instances(fl.From)
+		toInsts := look.instances(fl.To)
 		netSet := make(map[string]bool)
 		for _, fi := range fromInsts {
 			for _, ti := range toInsts {
@@ -426,7 +540,7 @@ func (m *MCC) synthesizeMessages(tech *model.TechnicalArchitecture, instancesOf 
 }
 
 // synthesizeConnections wires every requirer to the (first) provider.
-func synthesizeConnections(tech *model.TechnicalArchitecture, fnByName map[string]*model.Function, instancesOf map[string][]model.Instance) ([]model.Connection, error) {
+func synthesizeConnections(tech *model.TechnicalArchitecture, look *synthView) ([]model.Connection, error) {
 	providerOf := make(map[string]string) // service -> first provider name
 	for i := range tech.Func.Functions {
 		f := &tech.Func.Functions[i]
@@ -438,7 +552,7 @@ func synthesizeConnections(tech *model.TechnicalArchitecture, fnByName map[strin
 	}
 	var out []model.Connection
 	for _, in := range tech.Instances {
-		client := fnByName[in.Function]
+		client := look.fn(in.Function)
 		if client == nil {
 			continue
 		}
@@ -447,11 +561,11 @@ func synthesizeConnections(tech *model.TechnicalArchitecture, fnByName map[strin
 			if !ok {
 				return nil, fmt.Errorf("mcc: unprovided service %q", svc)
 			}
-			prov := instancesOf[provName]
+			prov := look.instances(provName)
 			if len(prov) == 0 {
 				return nil, fmt.Errorf("mcc: provider %q not deployed", provName)
 			}
-			server := fnByName[provName]
+			server := look.fn(provName)
 			out = append(out, model.Connection{
 				Client:      in.ID(),
 				Server:      prov[0].ID(),
@@ -470,16 +584,17 @@ func synthesizeConnections(tech *model.TechnicalArchitecture, fnByName map[strin
 func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.ImplementationModel, error) {
 	impl := &model.ImplementationModel{Tech: tech}
 	fnByName, instancesOf := synthLookups(tech)
+	look := &synthView{cache: &synthCache{fnByName: fnByName, instancesOf: instancesOf}}
 
-	for _, pn := range procNames(m.platform) {
-		impl.Tasks = append(impl.Tasks, m.synthesizeTasksOn(tech, fnByName, pn)...)
+	for _, pn := range m.procs {
+		impl.Tasks = append(impl.Tasks, m.synthesizeTasksOn(tech, look, pn)...)
 	}
-	msgs, err := m.synthesizeMessages(tech, instancesOf)
+	msgs, err := m.synthesizeMessages(tech, look)
 	if err != nil {
 		return nil, err
 	}
 	impl.Messages = msgs
-	conns, err := synthesizeConnections(tech, fnByName, instancesOf)
+	conns, err := synthesizeConnections(tech, look)
 	if err != nil {
 		return nil, err
 	}
@@ -499,34 +614,32 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 // graph. Everything else is copied from the deployed implementation.
 // Callers guarantee the placement of untouched instances is unchanged
 // (warm-started mapping), which is what makes the copies valid.
+//
+// Lookups resolve through the committed synthCache plus a diff-sized
+// overlay — the tables are not re-derived, and untouched processors'
+// task lists splice straight from the cache.
 func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.ImplementationModel, error) {
 	tech, d := ctx.Tech, ctx.Diff
 	dep := ctx.DeployedImpl
 	impl := &model.ImplementationModel{Tech: tech}
-	fnByName, instancesOf := synthLookups(tech)
+	look, over := m.synthOverlay(ctx)
 
 	// Processors affected by the diff: wherever a touched function's
-	// instances were, or now are.
+	// instances were (committed lookup), or now are (overlay).
 	affected := make(map[string]bool)
-	for _, in := range dep.Tech.Instances {
-		if d.Touched(in.Function) {
+	for name := range over.fns {
+		for _, in := range m.deployedSynth.instancesOf[name] {
 			affected[in.Processor] = true
 		}
-	}
-	for _, in := range tech.Instances {
-		if d.Touched(in.Function) {
+		for _, in := range over.insts[name] {
 			affected[in.Processor] = true
 		}
 	}
 
-	depTasks := make(map[string][]model.Task, len(m.platform.Processors))
-	for _, t := range dep.Tasks {
-		depTasks[t.Processor] = append(depTasks[t.Processor], t)
-	}
 	reusedProcs := 0
-	for _, pn := range procNames(m.platform) {
+	for _, pn := range m.procs {
 		if affected[pn] {
-			rebuilt := m.synthesizeTasksOn(tech, fnByName, pn)
+			rebuilt := m.synthesizeTasksOn(tech, look, pn)
 			// Scoped validation of the rebuilt task set (the copied ones
 			// were validated at commit time), through the same Task
 			// invariant the full impl.Validate enforces — without it, a
@@ -537,9 +650,10 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 					return nil, err
 				}
 			}
+			over.tasksOn[pn] = rebuilt
 			impl.Tasks = append(impl.Tasks, rebuilt...)
 		} else {
-			impl.Tasks = append(impl.Tasks, depTasks[pn]...)
+			impl.Tasks = append(impl.Tasks, m.deployedSynth.tasksOn[pn]...)
 			reusedProcs++
 		}
 	}
@@ -557,11 +671,16 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		}
 	}
 	if rebuildMsgs {
-		msgs, err := m.synthesizeMessages(tech, instancesOf)
+		msgs, err := m.synthesizeMessages(tech, look)
 		if err != nil {
 			return nil, err
 		}
 		impl.Messages = msgs
+		// A rebuild re-derives every message, but most networks' lists
+		// come out identical — only networks carrying a touched flow's
+		// messages (now or before) actually change. Mark those, so the
+		// timing stage splices the cached jobs of the rest.
+		ctx.AffectedNets = affectedNets(dep.Messages, msgs)
 	} else {
 		impl.Messages = append([]model.Message(nil), dep.Messages...)
 	}
@@ -571,20 +690,20 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 	rebuildConns := false
 	for _, names := range [][]string{d.Added, d.Changed} {
 		for _, name := range names {
-			if f := fnByName[name]; f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
+			if f := look.fn(name); f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
 				rebuildConns = true
 			}
 		}
 	}
 	for _, names := range [][]string{d.Removed, d.Changed} {
 		for _, name := range names {
-			if f := ctx.Deployed.FunctionByName(name); f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
+			if f := m.deployedSynth.fnByName[name]; f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
 				rebuildConns = true
 			}
 		}
 	}
 	if rebuildConns {
-		conns, err := synthesizeConnections(tech, fnByName, instancesOf)
+		conns, err := synthesizeConnections(tech, look)
 		if err != nil {
 			return nil, err
 		}
@@ -595,10 +714,12 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 
 	// Record what the partial synthesis actually rebuilt so later stages
 	// (timing-job construction, monitor planning) can splice their own
-	// cached artifacts for the untouched remainder.
+	// cached artifacts for the untouched remainder, and hand the lookup
+	// overlay to the commit stage for keyed cache invalidation.
 	ctx.PartialSynth = true
 	ctx.AffectedProcs = affected
 	ctx.MessagesRebuilt = rebuildMsgs
+	m.pendingSynth = over
 
 	ctx.Note("reused %d/%d processors, messages %s, connections %s",
 		reusedProcs, len(m.platform.Processors), reusedWord(!rebuildMsgs), reusedWord(!rebuildConns))
@@ -610,6 +731,34 @@ func reusedWord(reused bool) string {
 		return "reused"
 	}
 	return "rebuilt"
+}
+
+// affectedNets compares the rebuilt message list against the deployed one
+// network by network and returns the networks whose lists differ
+// (including networks present on only one side). Both lists are emitted
+// by synthesizeMessages in the same global order, so per-network
+// sublists compare positionally.
+func affectedNets(old, rebuilt []model.Message) map[string]bool {
+	oldBy := make(map[string][]model.Message)
+	for _, msg := range old {
+		oldBy[msg.Network] = append(oldBy[msg.Network], msg)
+	}
+	newBy := make(map[string][]model.Message)
+	for _, msg := range rebuilt {
+		newBy[msg.Network] = append(newBy[msg.Network], msg)
+	}
+	out := make(map[string]bool)
+	for n, l := range newBy {
+		if !slices.Equal(oldBy[n], l) {
+			out[n] = true
+		}
+	}
+	for n := range oldBy {
+		if _, ok := newBy[n]; !ok {
+			out[n] = true
+		}
+	}
+	return out
 }
 
 // --- Stage 4a: safety acceptance ------------------------------------------
@@ -710,6 +859,10 @@ type timingScratch struct {
 	results []TimingResult
 	errs    []error
 	dirty   []int
+	// scannedIdx records the indices (into jobs) of the resources whose
+	// task sets this proposal rebuilt by scanning; the keyed commit
+	// touches exactly these entries.
+	scannedIdx []int
 }
 
 // buildProcJob derives one processor's CPA task set by scanning the
@@ -772,9 +925,10 @@ func (m *MCC) buildNetJob(impl *model.ImplementationModel, n *model.Network) (ti
 // the deployed model. ctx may be nil (always a full scan).
 func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel) (jobs []timingJob, scanned int) {
 	jobs = m.scratch.jobs[:0]
+	m.scratch.scannedIdx = m.scratch.scannedIdx[:0]
 	incremental := ctx != nil && ctx.PartialSynth && m.deployedJobs != nil
 
-	for _, pn := range procNames(m.platform) {
+	for _, pn := range m.procs {
 		if incremental && !ctx.AffectedProcs[pn] {
 			// Untouched processor: its task set is byte-identical to the
 			// deployed one; splice the cached job, no scan.
@@ -785,14 +939,16 @@ func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel)
 		}
 		scanned++
 		if j, ok := m.buildProcJob(impl, pn); ok {
+			m.scratch.scannedIdx = append(m.scratch.scannedIdx, len(jobs))
 			jobs = append(jobs, j)
 		}
 	}
 
 	for i := range m.platform.Networks {
 		n := &m.platform.Networks[i]
-		if incremental && !ctx.MessagesRebuilt {
-			// The message list was copied verbatim from the deployed model.
+		if incremental && netClean(ctx, n.Name) {
+			// The message list was copied verbatim from the deployed
+			// model, or rebuilt identical on this network.
 			if j, ok := m.deployedJobs[n.Name]; ok {
 				jobs = append(jobs, j)
 			}
@@ -800,11 +956,22 @@ func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel)
 		}
 		scanned++
 		if j, ok := m.buildNetJob(impl, n); ok {
+			m.scratch.scannedIdx = append(m.scratch.scannedIdx, len(jobs))
 			jobs = append(jobs, j)
 		}
 	}
 	m.scratch.jobs = jobs
 	return jobs, scanned
+}
+
+// netClean reports whether a network's message list is untouched by the
+// attempt: no message rebuild at all, or a rebuild that left this
+// network's list identical (ctx.AffectedNets).
+func netClean(ctx *pipeline.Context, name string) bool {
+	if !ctx.MessagesRebuilt {
+		return true
+	}
+	return ctx.AffectedNets != nil && !ctx.AffectedNets[name]
 }
 
 // deferredChecks carries one optimistically committed proposal's deferred
@@ -848,18 +1015,24 @@ func (m *MCC) deferred() *deferredChecks {
 func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationModel) timingOutcome {
 	jobs, scanned := m.timingJobs(ctx, impl)
 	m.pendingJobs = jobs
+	m.pendingResults = nil
 
 	sc := &m.scratch
-	if sc.digests == nil {
-		sc.digests = make(map[string]uint64, len(jobs))
-	} else {
-		clear(sc.digests)
+	out := timingOutcome{scanned: scanned, total: len(jobs)}
+	if ctx == nil || !m.canCommitIncremental(ctx) {
+		// The from-scratch commit refills the digest cache wholesale and
+		// needs the full map; a keyed commit reads the digests of scanned
+		// resources straight from the jobs and never looks at it.
+		if sc.digests == nil {
+			sc.digests = make(map[string]uint64, len(jobs))
+		} else {
+			clear(sc.digests)
+		}
+		for _, j := range jobs {
+			sc.digests[j.resource] = j.digest
+		}
+		out.digests = sc.digests
 	}
-	digests := sc.digests
-	for _, j := range jobs {
-		digests[j.resource] = j.digest
-	}
-	out := timingOutcome{digests: digests, scanned: scanned, total: len(jobs)}
 
 	clean := func(i int) (TimingResult, bool) {
 		j := jobs[i]
@@ -921,6 +1094,7 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 	}
 
 	out.dirty = len(dirty)
+	m.pendingResults = results
 	for i := range jobs {
 		if errs[i] != nil {
 			out.findings = append(out.findings,
@@ -1137,67 +1311,151 @@ type commitStage struct{ m *MCC }
 
 func (s *commitStage) Name() Stage { return StageCommit }
 
-// Run commits the accepted configuration. The per-resource caches
-// (digests, WCRT tables, timing jobs, monitor plans) are MCC-owned maps
-// refilled in place — the values they carry (task slices, result slices,
-// spec slices) are immutable once built, so reports and snapshots may
-// alias them, but the maps themselves must be deep-copied by anyone who
-// needs them to survive the next commit (see MCC.snapshot).
+// canCommitIncremental reports whether the commit stage will apply this
+// attempt as keyed updates against the warm deployed caches (partial
+// synthesis ran and every cache exists) instead of a full refill. The
+// timing stage uses the same predicate to skip building the full digest
+// map a keyed commit never reads.
+func (m *MCC) canCommitIncremental(ctx *pipeline.Context) bool {
+	return ctx.PartialSynth && m.deployedJobs != nil && m.deployedSynth != nil && m.pendingSynth != nil
+}
+
+// Run commits the accepted configuration. Under partial synthesis the
+// deployed caches are updated with keyed writes touching only the
+// resources the diff affected (journaled when a stream window is open —
+// see cacheJournal); a from-scratch attempt rebuilds the caches
+// wholesale. The cached values (task slices, result slices, spec slices)
+// are immutable once built, so reports and rollback points may alias
+// them.
 func (s *commitStage) Run(ctx *pipeline.Context) error {
 	m := s.m
 	m.deployed = ctx.Candidate
 	m.impl = ctx.Impl
-	if ctx.TimingDigests != nil {
-		if m.deployedDigest == nil {
-			m.deployedDigest = make(map[string]uint64, len(ctx.TimingDigests))
-		}
-		clear(m.deployedDigest)
-		for k, v := range ctx.TimingDigests {
-			m.deployedDigest[k] = v
-		}
+	if m.canCommitIncremental(ctx) {
+		s.commitIncremental(ctx)
+	} else {
+		s.commitFull(ctx)
 	}
-	if m.deployedTiming == nil {
-		m.deployedTiming = make(map[string]TimingResult, len(ctx.Report.Timing))
+	m.deployedMonitors = ctx.Report.Monitors
+	return nil
+}
+
+// commitFull rebuilds every deployed cache from this attempt's artifacts.
+// Fresh maps are swapped in wholesale: an open window journal keeps the
+// window-start maps (with their keyed undo entries) intact and detaches,
+// so rollback simply re-installs them.
+func (s *commitStage) commitFull(ctx *pipeline.Context) {
+	m := s.m
+	if m.journal != nil {
+		m.journal.detached = true
 	}
-	clear(m.deployedTiming)
+
+	digests := make(map[string]uint64, len(ctx.TimingDigests))
+	for k, v := range ctx.TimingDigests {
+		digests[k] = v
+	}
+	m.deployedDigest = digests
+
+	timing := make(map[string]TimingResult, len(ctx.Report.Timing))
 	for _, tr := range ctx.Report.Timing {
-		m.deployedTiming[tr.Resource] = tr
+		timing[tr.Resource] = tr
 	}
+	m.deployedTiming = timing
 
 	// Persist the per-resource CPA task sets so the next proposal's
 	// timing-job construction can splice clean resources without a scan.
-	if m.deployedJobs == nil {
-		m.deployedJobs = make(map[string]timingJob, len(m.pendingJobs))
-	}
-	clear(m.deployedJobs)
+	jobs := make(map[string]timingJob, len(m.pendingJobs))
 	for _, j := range m.pendingJobs {
-		m.deployedJobs[j.resource] = j
+		jobs[j.resource] = j
+	}
+	m.deployedJobs = jobs
+
+	budgets := make(map[string][]MonitorSpec)
+	for _, j := range m.pendingJobs {
+		if !j.spnp {
+			budgets[j.resource] = jobMonitorSpecs(j)
+		}
+	}
+	m.deployedBudgetByProc = budgets
+
+	// Rebuild the synthesis lookup tables only when the incremental
+	// pre-timing stages (their sole consumer) are enabled.
+	if m.incPre && ctx.Impl != nil {
+		m.deployedSynth = newSynthCache(ctx.Impl)
+	}
+}
+
+// commitIncremental updates the deployed caches with keyed writes: only
+// the resources this attempt scanned (affected processors, plus every
+// network when messages were re-derived) and the diff-touched lookup
+// entries are written or deleted, everything else keeps its committed
+// entry by the splice invariant. Every write goes through the window
+// journal when one is open.
+func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
+	m, j := s.m, s.m.journal
+
+	// Index this attempt's freshly scanned jobs by resource.
+	fresh := make(map[string]int, len(m.scratch.scannedIdx))
+	for _, i := range m.scratch.scannedIdx {
+		fresh[m.pendingJobs[i].resource] = i
+	}
+	commitResource := func(r string) {
+		i, ok := fresh[r]
+		if !ok {
+			// Affected resource that no longer carries load.
+			jdel(j.jJobs(), m.deployedJobs, r)
+			jdel(j.jDigests(), m.deployedDigest, r)
+			jdel(j.jTiming(), m.deployedTiming, r)
+			return
+		}
+		job := m.pendingJobs[i]
+		oldDigest, had := m.deployedDigest[r]
+		jset(j.jJobs(), m.deployedJobs, r, job)
+		jset(j.jDigests(), m.deployedDigest, r, job.digest)
+		switch {
+		case m.pendingResults != nil:
+			jset(j.jTiming(), m.deployedTiming, r, m.pendingResults[i])
+		case !had || oldDigest != job.digest:
+			// Deferred checks: the dirty analysis has not run yet; drop
+			// the stale table (the stream scheduler's verification
+			// backfills it on success, the window replays on failure).
+			jdel(j.jTiming(), m.deployedTiming, r)
+		}
+	}
+	for pn := range ctx.AffectedProcs {
+		commitResource(pn)
+		if i, ok := fresh[pn]; ok && !m.pendingJobs[i].spnp {
+			jset(j.jBudgets(), m.deployedBudgetByProc, pn, jobMonitorSpecs(m.pendingJobs[i]))
+		} else {
+			jdel(j.jBudgets(), m.deployedBudgetByProc, pn)
+		}
+	}
+	if ctx.MessagesRebuilt {
+		for i := range m.platform.Networks {
+			if name := m.platform.Networks[i].Name; !netClean(ctx, name) {
+				commitResource(name)
+			}
+		}
 	}
 
-	// Persist the monitor plan and its per-processor budget groups for
-	// the next proposal's splice. Under partial synthesis only the
-	// affected processors' groups changed; the full rebuild is reserved
-	// for from-scratch runs, keeping the commit diff-proportional too.
-	m.deployedMonitors = ctx.Report.Monitors
-	if m.deployedBudgetByProc == nil {
-		m.deployedBudgetByProc = make(map[string][]MonitorSpec)
+	// Apply the synthesis lookup overlay: diff-touched functions are
+	// copied in (or dropped), affected processors' task lists replaced.
+	sc, over := m.deployedSynth, m.pendingSynth
+	for name, f := range over.fns {
+		if f == nil {
+			jdel(j.jSynFns(), sc.fnByName, name)
+			jdel(j.jSynIns(), sc.instancesOf, name)
+			continue
+		}
+		cp := *f
+		jset(j.jSynFns(), sc.fnByName, name, &cp)
+		jset(j.jSynIns(), sc.instancesOf, name, over.insts[name])
 	}
-	if ctx.PartialSynth {
-		for pn := range ctx.AffectedProcs {
-			delete(m.deployedBudgetByProc, pn)
-		}
-		for _, j := range m.pendingJobs {
-			if !j.spnp && ctx.AffectedProcs[j.resource] {
-				m.deployedBudgetByProc[j.resource] = jobMonitorSpecs(j)
-			}
-		}
-	} else {
-		clear(m.deployedBudgetByProc)
-		for _, j := range m.pendingJobs {
-			if !j.spnp {
-				m.deployedBudgetByProc[j.resource] = jobMonitorSpecs(j)
-			}
+	for pn, tasks := range over.tasksOn {
+		if len(tasks) == 0 {
+			jdel(j.jSynTasks(), sc.tasksOn, pn)
+		} else {
+			jset(j.jSynTasks(), sc.tasksOn, pn, tasks)
 		}
 	}
-	return nil
 }

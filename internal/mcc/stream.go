@@ -2,7 +2,6 @@ package mcc
 
 import (
 	"fmt"
-	"maps"
 
 	"repro/internal/model"
 	"repro/internal/safety"
@@ -185,7 +184,10 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 		return reports
 	}
 
-	snap := m.snapshot()
+	// Copy-on-write rollback point: window-start pointers now, undo
+	// entries as the window's commits touch cache keys — cost follows the
+	// window's footprint, not the platform size.
+	j := m.beginWindow()
 	type pend struct {
 		report *Report
 		dt     *deferredChecks
@@ -238,6 +240,7 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 		}
 	}
 	if verified {
+		m.commitWindow()
 		s.stats.Speculated += len(changes)
 		return reports
 	}
@@ -251,7 +254,7 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 	for _, rep := range reports {
 		s.stats.DiscardedPasses += rep.Passes
 	}
-	m.restore(snap)
+	m.rollbackWindow(j)
 	reports = reports[:0]
 	for _, c := range changes {
 		reports = append(reports, m.propose(c))
@@ -317,7 +320,9 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 	rep.Timing = results
 	for i, j := range dt.jobs {
 		if dt.pending[i] {
-			m.deployedTiming[j.resource] = results[i]
+			// The window is still open: the backfill must be journaled so
+			// a later proposal's failed verdict rolls it back too.
+			jset(m.journal.jTiming(), m.deployedTiming, j.resource, results[i])
 		}
 	}
 	return true
@@ -326,46 +331,6 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 // propose decides one change through the normal integration pipeline.
 func (m *MCC) propose(c Change) *Report {
 	return m.integrate(applyChange(m.deployed, c))
-}
-
-// mccState is a rollback point for the stream scheduler: the committed
-// configuration plus deep copies of the per-resource caches the commit
-// stage refills in place. The cached values (task slices, result slices,
-// monitor spec slices) are immutable once built, so shallow map copies
-// suffice.
-type mccState struct {
-	deployed     *model.FunctionalArchitecture
-	impl         *model.ImplementationModel
-	digests      map[string]uint64
-	timing       map[string]TimingResult
-	jobs         map[string]timingJob
-	monitors     []MonitorSpec
-	budgetByProc map[string][]MonitorSpec
-	history      int
-}
-
-func (m *MCC) snapshot() mccState {
-	return mccState{
-		deployed:     m.deployed,
-		impl:         m.impl,
-		digests:      maps.Clone(m.deployedDigest),
-		timing:       maps.Clone(m.deployedTiming),
-		jobs:         maps.Clone(m.deployedJobs),
-		monitors:     m.deployedMonitors,
-		budgetByProc: maps.Clone(m.deployedBudgetByProc),
-		history:      len(m.History),
-	}
-}
-
-func (m *MCC) restore(st mccState) {
-	m.deployed = st.deployed
-	m.impl = st.impl
-	m.deployedDigest = st.digests
-	m.deployedTiming = st.timing
-	m.deployedJobs = st.jobs
-	m.deployedMonitors = st.monitors
-	m.deployedBudgetByProc = st.budgetByProc
-	m.History = m.History[:st.history]
 }
 
 // footprint is the function-level resource footprint of one change,

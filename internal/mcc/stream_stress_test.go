@@ -1,0 +1,164 @@
+package mcc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Stress test for the stream scheduler's copy-on-write rollback: random
+// streams with overlapping footprints and planted mid-window rejections
+// (timing deadline-missers and safety findings) force optimistic windows
+// to replay, and after every stream the controller's deployed caches —
+// timing jobs, digests, WCRT tables, synthesis lookup tables, budget
+// groups, monitor plan — must be bit-identical to a fresh controller
+// that proposed the same stream serially. Run under -race in CI, this
+// also exercises the prefetch pool against the journal writes.
+
+// stressPlatform is deliberately tight: one slow safe core and one fast
+// core, so random workloads regularly fail timing mid-window.
+func stressPlatform() *model.Platform {
+	return &model.Platform{
+		Processors: []model.Processor{
+			{Name: "safe", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "fast", Policy: model.SPP, SpeedFactor: 2.0, RAMKiB: 8192, MaxSafety: model.ASILB},
+		},
+		Networks: []model.Network{
+			{Name: "bus", BitsPerSec: 500_000, Attached: []string{"safe", "fast"}, Kind: "can"},
+		},
+	}
+}
+
+// stressChange derives the i-th random change: mostly feasible additions
+// with occasionally shared services (footprint conflicts), periodically a
+// near-capacity function (deferred timing verdict fails mid-window), a
+// redundancy violation (deferred safety verdict fails), an update of an
+// earlier function, or a removal.
+func stressChange(rng *rand.Rand, i int) Change {
+	switch rng.Intn(10) {
+	case 0: // near-capacity ASIL-D load: often misses deadlines next to others
+		f := fn(fmt.Sprintf("heavy%d", i), model.ASILD, 10000, 4000+int64(rng.Intn(4))*500, 64)
+		return upd(f)
+	case 1: // fail-operational without replicas: deferred safety finding
+		f := fn(fmt.Sprintf("failop%d", i), model.ASILD, 40000, 1000, 64)
+		f.Contract.FailOperational = true
+		return upd(f)
+	case 2: // update of an earlier telemetry function (same-name conflict)
+		f := fn(fmt.Sprintf("t%d", rng.Intn(i+1)), model.QM, 100000, 1500+int64(rng.Intn(5))*200, 64)
+		f.Version = i
+		return upd(f)
+	case 3: // removal: global footprint, serializes the stream
+		return Change{Remove: fmt.Sprintf("t%d", rng.Intn(i+1))}
+	case 4: // provider/requirer pair member: service footprint overlap
+		f := fn(fmt.Sprintf("svc%d", i), model.QM, 80000, 1200, 64)
+		f.Provides = []string{fmt.Sprintf("shared%d", i%3)}
+		return upd(f)
+	default: // feasible telemetry addition
+		return upd(fn(fmt.Sprintf("t%d", i), model.QM, 100000+int64(rng.Intn(4))*20000, 1500, 64))
+	}
+}
+
+// cacheFingerprint projects every deployed cache of the controller into a
+// comparable value.
+func cacheFingerprint(m *MCC) map[string]any {
+	fns := make(map[string]model.Function)
+	insts := make(map[string][]model.Instance)
+	tasks := make(map[string][]model.Task)
+	if m.deployedSynth != nil {
+		for name, f := range m.deployedSynth.fnByName {
+			fns[name] = *f
+		}
+		for name, ins := range m.deployedSynth.instancesOf {
+			insts[name] = ins
+		}
+		for pn, ts := range m.deployedSynth.tasksOn {
+			tasks[pn] = ts
+		}
+	}
+	return map[string]any{
+		"deployed": m.deployed,
+		"tasks":    m.impl.Tasks,
+		"messages": m.impl.Messages,
+		"conns":    m.impl.Connections,
+		"digests":  m.deployedDigest,
+		"timing":   m.deployedTiming,
+		"jobs":     m.deployedJobs,
+		"budgets":  m.deployedBudgetByProc,
+		"monitors": m.deployedMonitors,
+		"synFns":   fns,
+		"synIns":   insts,
+		"synTasks": tasks,
+	}
+}
+
+func TestStreamSchedulerStressRollbackCacheParity(t *testing.T) {
+	baseline := []model.Function{
+		fn("base", model.ASILD, 10000, 3000, 128),
+		fn("aux", model.QM, 50000, 4000, 256),
+	}
+	var totalReplays, totalConflicts, totalSpeculated int
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			changes := make([]Change, 0, 32)
+			for i := 0; i < 32; i++ {
+				changes = append(changes, stressChange(rng, i))
+			}
+
+			mk := func() *MCC {
+				m, err := New(stressPlatform())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range baseline {
+					if rep := m.ProposeUpdate(f); !rep.Accepted {
+						t.Fatalf("baseline %s rejected: %v", f.Name, rep.Findings)
+					}
+				}
+				return m
+			}
+
+			streamed := mk()
+			sched := NewStreamScheduler(streamed, WithStreamWindow(8))
+			got := sched.Run(changes)
+
+			fresh := mk()
+			want := make([]*Report, 0, len(changes))
+			for _, c := range changes {
+				want = append(want, fresh.propose(c))
+			}
+
+			for i := range want {
+				if got[i].Accepted != want[i].Accepted || got[i].RejectedAt != want[i].RejectedAt {
+					t.Fatalf("change %d (%s): stream decided %v@%q, serial %v@%q",
+						i, changes[i], got[i].Accepted, got[i].RejectedAt, want[i].Accepted, want[i].RejectedAt)
+				}
+			}
+			// The rollback invariant of the issue: after replays, every
+			// cache must be bit-identical to a fresh serial commit of the
+			// same decisions.
+			sf, ff := cacheFingerprint(streamed), cacheFingerprint(fresh)
+			for key := range ff {
+				if !reflect.DeepEqual(sf[key], ff[key]) {
+					t.Errorf("cache %q diverges from a fresh serial commit:\nstream %+v\nserial %+v",
+						key, sf[key], ff[key])
+				}
+			}
+
+			st := sched.Stats()
+			totalReplays += st.Replays
+			totalConflicts += st.Conflicts
+			totalSpeculated += st.Speculated
+		})
+	}
+	// The corpus must actually exercise the machinery it guards: rollbacks,
+	// footprint conflicts, and verified speculation all have to occur.
+	if totalReplays == 0 || totalConflicts == 0 || totalSpeculated == 0 {
+		t.Fatalf("stress corpus too tame: replays=%d conflicts=%d speculated=%d, want all > 0",
+			totalReplays, totalConflicts, totalSpeculated)
+	}
+}

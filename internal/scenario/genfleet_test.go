@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mcc"
+)
+
+func TestGenFleetDeterministic(t *testing.T) {
+	// Equal specs must generate byte-identical fleets and change streams —
+	// the property every differential run and cross-mode comparison
+	// relies on.
+	spec := DefaultFleetSpec(32)
+	a, b := GenFleet(spec), GenFleet(spec)
+	if !reflect.DeepEqual(a.Platform, b.Platform) {
+		t.Fatal("platforms diverge for equal specs")
+	}
+	if !reflect.DeepEqual(a.Baseline, b.Baseline) {
+		t.Fatal("baselines diverge for equal specs")
+	}
+	if !reflect.DeepEqual(a.Changes(48), b.Changes(48)) {
+		t.Fatal("change streams diverge for equal specs")
+	}
+
+	spec2 := spec
+	spec2.Seed++
+	c := GenFleet(spec2)
+	if reflect.DeepEqual(a.Baseline, c.Baseline) {
+		t.Fatal("different seeds generated identical baselines")
+	}
+}
+
+func TestGenFleetPlatformShape(t *testing.T) {
+	for _, procs := range []int{8, 32, 128} {
+		fleet := GenFleet(DefaultFleetSpec(procs))
+		p := fleet.Platform
+		if err := p.Validate(); err != nil {
+			t.Fatalf("procs=%d: invalid platform: %v", procs, err)
+		}
+		if got := len(p.Processors); got != procs {
+			t.Fatalf("procs=%d: generated %d processors", procs, got)
+		}
+		// Every processor pair must be connectable (the backbone attaches
+		// everything), or synthesis would reject any cross-placement flow.
+		backbone := p.Networks[len(p.Networks)-1]
+		if got := len(backbone.Attached); got != procs {
+			t.Fatalf("procs=%d: backbone attaches %d processors", procs, got)
+		}
+	}
+}
+
+func TestGenFleetBaselineAcceptedAcrossSizes(t *testing.T) {
+	// The generated baseline must pass the full acceptance pipeline at
+	// every tier size — a generator that produces rejected baselines
+	// cannot anchor the scale experiment.
+	for _, procs := range []int{8, 32, 128} {
+		fleet := GenFleet(DefaultFleetSpec(procs))
+		m, err := mcc.New(fleet.Platform)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		rep := m.ProposeArchitecture(fleet.Baseline)
+		if !rep.Accepted {
+			t.Fatalf("procs=%d: baseline rejected at %s: %v", procs, rep.RejectedAt, rep.Findings)
+		}
+	}
+}
+
+func TestGenFleetChangeMixCoverage(t *testing.T) {
+	// The default mix must exercise adds, updates, removals, and broken
+	// contracts within a modest stream.
+	fleet := GenFleet(DefaultFleetSpec(16))
+	changes := fleet.Changes(64)
+	if len(changes) != 64 {
+		t.Fatalf("generated %d changes, want 64", len(changes))
+	}
+	var adds, updates, removes, broken int
+	baseline := make(map[string]bool)
+	for _, name := range fleet.baseNames {
+		baseline[name] = true
+	}
+	for _, c := range changes {
+		switch {
+		case c.Remove != "":
+			removes++
+		case c.Update.Contract.RealTime.WCETUS > c.Update.Contract.RealTime.PeriodUS:
+			broken++
+		case baseline[c.Update.Name]:
+			updates++
+		default:
+			adds++
+		}
+	}
+	if adds == 0 || updates == 0 || removes == 0 || broken == 0 {
+		t.Fatalf("mix coverage: adds=%d updates=%d removes=%d broken=%d, want all > 0",
+			adds, updates, removes, broken)
+	}
+}

@@ -358,6 +358,20 @@ func generateFleetChange(i int) model.Function {
 // integration strategy, and collect throughput statistics. All modes
 // decide every change identically; only the pipeline cost differs.
 func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
+	changes := make([]mcc.Change, 0, cfg.Updates)
+	for i := 0; i < cfg.Updates; i++ {
+		fn := generateFleetChange(i)
+		changes = append(changes, mcc.Change{Update: &fn})
+	}
+	return runChangeStream(cfg, FleetPlatform(), fleetBaseline(), changes)
+}
+
+// runChangeStream is the shared throughput core of E12 and the E13 scale
+// tier: deploy the baseline on a fresh MCC configured for cfg.Mode,
+// stream the changes through the selected integration strategy, and
+// collect the throughput/telemetry counters.
+func runChangeStream(cfg MCCThroughputConfig, platform *model.Platform, baseline *model.FunctionalArchitecture, changes []mcc.Change) (MCCThroughputResult, error) {
+	cfg.Updates = len(changes)
 	res := MCCThroughputResult{Config: cfg}
 	var opts []mcc.Option
 	switch cfg.Mode {
@@ -373,14 +387,14 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 	if cfg.Analyzer != nil {
 		opts = append(opts, mcc.WithAnalyzer(cfg.Analyzer))
 	}
-	m, err := mcc.New(FleetPlatform(), opts...)
+	m, err := mcc.New(platform, opts...)
 	if err != nil {
 		return res, err
 	}
 	// Cache counters are reported as deltas over this run, so a persistent
 	// analyzer shared across sessions (cfg.Analyzer) does not skew them.
 	statsBefore := m.TimingCacheStats()
-	if rep := m.ProposeArchitecture(fleetBaseline()); !rep.Accepted {
+	if rep := m.ProposeArchitecture(baseline); !rep.Accepted {
 		return res, fmt.Errorf("scenario: fleet baseline rejected at %s: %v", rep.RejectedAt, rep.Findings)
 	}
 	baselineEvals := len(m.History)
@@ -392,10 +406,14 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 		if bs < 1 {
 			bs = 1
 		}
-		for lo := 0; lo < cfg.Updates; lo += bs {
+		for lo := 0; lo < len(changes); lo += bs {
 			b := mcc.NewBatch()
-			for i := lo; i < lo+bs && i < cfg.Updates; i++ {
-				b.Update(generateFleetChange(i))
+			for i := lo; i < lo+bs && i < len(changes); i++ {
+				if changes[i].Update != nil {
+					b.Update(*changes[i].Update)
+				} else {
+					b.Remove(changes[i].Remove)
+				}
 			}
 			br := m.ProposeBatch(b)
 			res.Accepted += br.Accepted
@@ -403,11 +421,6 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 		}
 	case ThroughputStream:
 		sched := mcc.NewStreamScheduler(m)
-		changes := make([]mcc.Change, 0, cfg.Updates)
-		for i := 0; i < cfg.Updates; i++ {
-			fn := generateFleetChange(i)
-			changes = append(changes, mcc.Change{Update: &fn})
-		}
 		for _, rep := range sched.Run(changes) {
 			if rep.Accepted {
 				res.Accepted++
@@ -417,8 +430,13 @@ func RunMCCThroughput(cfg MCCThroughputConfig) (MCCThroughputResult, error) {
 		}
 		res.Stream = sched.Stats()
 	default:
-		for i := 0; i < cfg.Updates; i++ {
-			rep := m.ProposeUpdate(generateFleetChange(i))
+		for _, c := range changes {
+			var rep *mcc.Report
+			if c.Update != nil {
+				rep = m.ProposeUpdate(*c.Update)
+			} else {
+				rep = m.ProposeRemoval(c.Remove)
+			}
 			if rep.Accepted {
 				res.Accepted++
 			} else {
