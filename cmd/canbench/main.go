@@ -57,9 +57,29 @@ type e2Row struct {
 // e13Row is one E13 scale-tier point: one integration strategy on one
 // generated platform size.
 type e13Row struct {
-	Procs          int              `json:"procs"`
-	Resources      int              `json:"resources"`
+	Procs           int              `json:"procs"`
+	Resources       int              `json:"resources"`
+	Mode            string           `json:"mode"`
+	Changes         int              `json:"changes"`
+	Accepted        int              `json:"accepted"`
+	Rejected        int              `json:"rejected"`
+	Evaluations     int              `json:"evaluations"`
+	CacheHits       int64            `json:"cache_hits"`
+	CacheMisses     int64            `json:"cache_misses"`
+	TimingScans     int              `json:"timing_scans"`
+	ScansPerChange  float64          `json:"scans_per_change"`
+	SecurityChecks  int              `json:"security_checks"`
+	SafetyChecks    int              `json:"safety_checks"`
+	ChecksPerChange float64          `json:"checks_per_change"`
+	WallUS          int64            `json:"wall_us"`
+	ChangesPerSec   float64          `json:"changes_per_sec"`
+	StageWallUS     map[string]int64 `json:"stage_wall_us"`
+}
+
+// e12Row is one E12 integration strategy's throughput measurement.
+type e12Row struct {
 	Mode           string           `json:"mode"`
+	Cores          int              `json:"cores"`
 	Changes        int              `json:"changes"`
 	Accepted       int              `json:"accepted"`
 	Rejected       int              `json:"rejected"`
@@ -67,26 +87,11 @@ type e13Row struct {
 	CacheHits      int64            `json:"cache_hits"`
 	CacheMisses    int64            `json:"cache_misses"`
 	TimingScans    int              `json:"timing_scans"`
-	ScansPerChange float64          `json:"scans_per_change"`
+	SecurityChecks int              `json:"security_checks"`
+	SafetyChecks   int              `json:"safety_checks"`
 	WallUS         int64            `json:"wall_us"`
 	ChangesPerSec  float64          `json:"changes_per_sec"`
 	StageWallUS    map[string]int64 `json:"stage_wall_us"`
-}
-
-// e12Row is one E12 integration strategy's throughput measurement.
-type e12Row struct {
-	Mode          string           `json:"mode"`
-	Cores         int              `json:"cores"`
-	Changes       int              `json:"changes"`
-	Accepted      int              `json:"accepted"`
-	Rejected      int              `json:"rejected"`
-	Evaluations   int              `json:"evaluations"`
-	CacheHits     int64            `json:"cache_hits"`
-	CacheMisses   int64            `json:"cache_misses"`
-	TimingScans   int              `json:"timing_scans"`
-	WallUS        int64            `json:"wall_us"`
-	ChangesPerSec float64          `json:"changes_per_sec"`
-	StageWallUS   map[string]int64 `json:"stage_wall_us"`
 }
 
 // benchReport is the -json output document.
@@ -217,20 +222,23 @@ func measureE13(procList []int, changes int) ([]e13Row, error) {
 	for _, r := range rows {
 		res := r.Result
 		row := e13Row{
-			Procs:          r.Procs,
-			Resources:      r.Resources,
-			Mode:           string(res.Config.Mode),
-			Changes:        res.Config.Updates,
-			Accepted:       res.Accepted,
-			Rejected:       res.Rejected,
-			Evaluations:    res.Evaluations,
-			CacheHits:      res.CacheHits,
-			CacheMisses:    res.CacheMisses,
-			TimingScans:    res.TimingScans,
-			ScansPerChange: r.ScansPerChange(),
-			WallUS:         res.StreamWall.Microseconds(),
-			ChangesPerSec:  float64(res.Config.Updates) / res.StreamWall.Seconds(),
-			StageWallUS:    make(map[string]int64, len(res.StageWall)),
+			Procs:           r.Procs,
+			Resources:       r.Resources,
+			Mode:            string(res.Config.Mode),
+			Changes:         res.Config.Updates,
+			Accepted:        res.Accepted,
+			Rejected:        res.Rejected,
+			Evaluations:     res.Evaluations,
+			CacheHits:       res.CacheHits,
+			CacheMisses:     res.CacheMisses,
+			TimingScans:     res.TimingScans,
+			ScansPerChange:  r.ScansPerChange(),
+			SecurityChecks:  res.SecurityChecks,
+			SafetyChecks:    res.SafetyChecks,
+			ChecksPerChange: r.ChecksPerChange(),
+			WallUS:          res.StreamWall.Microseconds(),
+			ChangesPerSec:   float64(res.Config.Updates) / res.StreamWall.Seconds(),
+			StageWallUS:     make(map[string]int64, len(res.StageWall)),
 		}
 		for st, d := range res.StageWall {
 			row.StageWallUS[string(st)] = d.Microseconds()
@@ -242,11 +250,11 @@ func measureE13(procList []int, changes int) ([]e13Row, error) {
 
 func printE13(rows []e13Row) {
 	fmt.Println("E13: MCC change-stream throughput vs platform size (scale tier)")
-	fmt.Println("procs  resources  mode              changes  acc  rej  scans  scans/change      wall  changes/s")
+	fmt.Println("procs  resources  mode              changes  acc  rej  scans  scans/change  checks/change      wall  changes/s")
 	for _, r := range rows {
-		fmt.Printf("%5d  %9d  %-17s %7d  %3d  %3d  %5d  %12.2f  %8dus  %9.0f\n",
+		fmt.Printf("%5d  %9d  %-17s %7d  %3d  %3d  %5d  %12.2f  %13.2f  %8dus  %9.0f\n",
 			r.Procs, r.Resources, r.Mode, r.Changes, r.Accepted, r.Rejected,
-			r.TimingScans, r.ScansPerChange, r.WallUS, r.ChangesPerSec)
+			r.TimingScans, r.ScansPerChange, r.ChecksPerChange, r.WallUS, r.ChangesPerSec)
 	}
 }
 
@@ -348,18 +356,20 @@ func measureE12(changes int, coreList []int, cache *e12Cache) ([]e12Row, error) 
 			// pays identically, so the per-mode ratios are honest.
 			elapsed := res.StreamWall
 			row := e12Row{
-				Mode:          string(mode),
-				Cores:         n,
-				Changes:       cfg.Updates,
-				Accepted:      res.Accepted,
-				Rejected:      res.Rejected,
-				Evaluations:   res.Evaluations,
-				CacheHits:     res.CacheHits,
-				CacheMisses:   res.CacheMisses,
-				TimingScans:   res.TimingScans,
-				WallUS:        elapsed.Microseconds(),
-				ChangesPerSec: float64(cfg.Updates) / elapsed.Seconds(),
-				StageWallUS:   make(map[string]int64, len(res.StageWall)),
+				Mode:           string(mode),
+				Cores:          n,
+				Changes:        cfg.Updates,
+				Accepted:       res.Accepted,
+				Rejected:       res.Rejected,
+				Evaluations:    res.Evaluations,
+				CacheHits:      res.CacheHits,
+				CacheMisses:    res.CacheMisses,
+				TimingScans:    res.TimingScans,
+				SecurityChecks: res.SecurityChecks,
+				SafetyChecks:   res.SafetyChecks,
+				WallUS:         elapsed.Microseconds(),
+				ChangesPerSec:  float64(cfg.Updates) / elapsed.Seconds(),
+				StageWallUS:    make(map[string]int64, len(res.StageWall)),
 			}
 			for st, d := range res.StageWall {
 				row.StageWallUS[string(st)] = d.Microseconds()

@@ -31,7 +31,7 @@ type prior[V any] struct {
 
 // jset writes m[k]=v, saving the prior entry into journal j first. A nil
 // journal map makes it a plain write.
-func jset[V any](j map[string]prior[V], m map[string]V, k string, v V) {
+func jset[K comparable, V any](j map[K]prior[V], m map[K]V, k K, v V) {
 	if j != nil {
 		if _, seen := j[k]; !seen {
 			old, ok := m[k]
@@ -43,7 +43,7 @@ func jset[V any](j map[string]prior[V], m map[string]V, k string, v V) {
 
 // jdel deletes m[k], saving the prior entry into journal j first. A nil
 // journal map makes it a plain delete.
-func jdel[V any](j map[string]prior[V], m map[string]V, k string) {
+func jdel[K comparable, V any](j map[K]prior[V], m map[K]V, k K) {
 	if j != nil {
 		if _, seen := j[k]; !seen {
 			old, ok := m[k]
@@ -54,7 +54,7 @@ func jdel[V any](j map[string]prior[V], m map[string]V, k string) {
 }
 
 // jrevert restores every journaled entry onto m.
-func jrevert[V any](j map[string]prior[V], m map[string]V) {
+func jrevert[K comparable, V any](j map[K]prior[V], m map[K]V) {
 	for k, p := range j {
 		if p.existed {
 			m[k] = p.val
@@ -81,6 +81,7 @@ type cacheJournal struct {
 	timingMap map[string]TimingResult
 	jobsMap   map[string]timingJob
 	budgetMap map[string][]MonitorSpec
+	secMap    map[model.Connection]bool
 	synth     *synthCache
 
 	// Keyed undo entries, recorded against the window-start maps.
@@ -88,6 +89,7 @@ type cacheJournal struct {
 	timing   map[string]prior[TimingResult]
 	jobs     map[string]prior[timingJob]
 	budgets  map[string]prior[[]MonitorSpec]
+	sec      map[model.Connection]prior[bool]
 	synFns   map[string]prior[*model.Function]
 	synIns   map[string]prior[[]model.Instance]
 	synTasks map[string]prior[[]model.Task]
@@ -130,6 +132,13 @@ func (j *cacheJournal) jBudgets() map[string]prior[[]MonitorSpec] {
 	return j.budgets
 }
 
+func (j *cacheJournal) jSec() map[model.Connection]prior[bool] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.sec
+}
+
 func (j *cacheJournal) jSynFns() map[string]prior[*model.Function] {
 	if j == nil || j.detached {
 		return nil
@@ -164,11 +173,13 @@ func (m *MCC) beginWindow() *cacheJournal {
 		timingMap: m.deployedTiming,
 		jobsMap:   m.deployedJobs,
 		budgetMap: m.deployedBudgetByProc,
+		secMap:    m.deployedSecVerdicts,
 		synth:     m.deployedSynth,
 		digests:   make(map[string]prior[uint64]),
 		timing:    make(map[string]prior[TimingResult]),
 		jobs:      make(map[string]prior[timingJob]),
 		budgets:   make(map[string]prior[[]MonitorSpec]),
+		sec:       make(map[model.Connection]prior[bool]),
 		synFns:    make(map[string]prior[*model.Function]),
 		synIns:    make(map[string]prior[[]model.Instance]),
 		synTasks:  make(map[string]prior[[]model.Task]),
@@ -195,11 +206,13 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.deployedTiming = j.timingMap
 	m.deployedJobs = j.jobsMap
 	m.deployedBudgetByProc = j.budgetMap
+	m.deployedSecVerdicts = j.secMap
 	m.deployedSynth = j.synth
 	jrevert(j.digests, m.deployedDigest)
 	jrevert(j.timing, m.deployedTiming)
 	jrevert(j.jobs, m.deployedJobs)
 	jrevert(j.budgets, m.deployedBudgetByProc)
+	jrevert(j.sec, m.deployedSecVerdicts)
 	if j.synth != nil {
 		jrevert(j.synFns, j.synth.fnByName)
 		jrevert(j.synIns, j.synth.instancesOf)

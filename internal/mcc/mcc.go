@@ -124,6 +124,17 @@ type MCC struct {
 	// pendingSynth is the diff-sized lookup overlay of the most recent
 	// incremental synthesis, applied to deployedSynth by the commit stage.
 	pendingSynth *synthOverlay
+	// deployedSecVerdicts caches the committed per-connection security
+	// verdicts next to deployedJobs/deployedSynth. Every key is a
+	// connection of the committed implementation model that passed the
+	// cross-domain check (a configuration only commits after the security
+	// stage accepted it, so the cached verdict is always "clean"); the
+	// scoped security check re-verifies only connections whose client or
+	// server function the diff touched, or that are missing from the
+	// cache (new or rewired sessions after a connection rebuild), and
+	// splices the rest. Maintained only while the pre-timing stages run
+	// incrementally (incPre).
+	deployedSecVerdicts map[model.Connection]bool
 	// deployedMonitors is the committed monitor plan;
 	// deployedBudgetByProc groups its budget specs by hosting processor
 	// so the monitor stage can splice untouched processors' specs.

@@ -79,6 +79,20 @@ type Report struct {
 	// TimingResources is the total number of loaded resources the timing
 	// stage covered.
 	TimingResources int
+	// SecurityChecks counts the per-connection security verdicts the
+	// security stage actually computed; with the diff-scoped check only
+	// connections whose client or server function the change touched (or
+	// whose wiring is new) are re-verified, the rest splice their
+	// committed-clean verdict, so the count tracks the change footprint
+	// rather than the platform size. The from-scratch check counts every
+	// session. Mirrors TimingScans for the security viewpoint.
+	SecurityChecks int
+	// SafetyChecks counts the per-entity safety verdicts (instance
+	// placements, fail-operational redundancy groups, processor memory
+	// budgets) the safety stage actually computed; the diff-scoped check
+	// re-derives only touched functions' entities and affected
+	// processors' budgets. Mirrors TimingScans for the safety viewpoint.
+	SafetyChecks int
 	// Passes counts the pipeline passes this report accumulated:
 	// incremented by every Pipeline.Run, so 1 normally and 2 when a
 	// rejected warm-start attempt was re-decided from scratch.

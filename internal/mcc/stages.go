@@ -719,6 +719,7 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 	ctx.PartialSynth = true
 	ctx.AffectedProcs = affected
 	ctx.MessagesRebuilt = rebuildMsgs
+	ctx.ConnectionsRebuilt = rebuildConns
 	m.pendingSynth = over
 
 	ctx.Note("reused %d/%d processors, messages %s, connections %s",
@@ -763,11 +764,32 @@ func affectedNets(old, rebuilt []model.Message) map[string]bool {
 
 // --- Stage 4a: safety acceptance ------------------------------------------
 
+// The safety and security stages are pure verdicts: they mutate nothing
+// and decide on the mapping/synthesis artifacts alone. Under partial
+// synthesis both run diff-scoped — only the entities the change can have
+// altered are re-verified, everything else splices its committed-clean
+// verdict (a configuration only commits after these stages accepted it,
+// so the committed state carries no findings; the warm-started mapping
+// keeps untouched placements, so unchanged inputs imply unchanged
+// verdicts). The scoped verdict is therefore identical to the full check
+// by construction, and cheap enough to run inline even when the stream
+// scheduler asks for deferred checks — only the from-scratch fallback
+// (cold passes, cold caches) is still deferred to the prefetch pool.
+
 type safetyStage struct{ m *MCC }
 
 func (s *safetyStage) Name() Stage { return StageSafety }
 
 func (s *safetyStage) Run(ctx *pipeline.Context) error {
+	if ctx.PartialSynth {
+		findings, checked := safety.CheckScoped(ctx.Tech,
+			ctx.Diff.Touched,
+			func(pn string) bool { return ctx.AffectedProcs[pn] })
+		ctx.Report.SafetyChecks += checked
+		ctx.Note("scoped: %d verdicts for %d touched functions, %d affected processors",
+			checked, ctx.Diff.TouchedCount(), len(ctx.AffectedProcs))
+		return rejectFindings(findingStrings(findings))
+	}
 	if ctx.DeferChecks {
 		// Pure verdict over the immutable mapping artifact: record the
 		// input; the stream scheduler runs the check on the pool and
@@ -775,14 +797,9 @@ func (s *safetyStage) Run(ctx *pipeline.Context) error {
 		s.m.deferred().tech = ctx.Tech
 		return nil
 	}
-	if findings := safety.Check(ctx.Tech); len(findings) > 0 {
-		rej := &pipeline.Reject{}
-		for _, f := range findings {
-			rej.Findings = append(rej.Findings, f.String())
-		}
-		return rej
-	}
-	return nil
+	findings, checked := safety.CheckScoped(ctx.Tech, nil, nil)
+	ctx.Report.SafetyChecks += checked
+	return rejectFindings(findingStrings(findings))
 }
 
 // --- Stage 4b: security acceptance ----------------------------------------
@@ -792,18 +809,68 @@ type securityStage struct{ m *MCC }
 func (s *securityStage) Name() Stage { return StageSecurity }
 
 func (s *securityStage) Run(ctx *pipeline.Context) error {
+	m := s.m
+	if ctx.PartialSynth && m.deployedSecVerdicts != nil {
+		findings, checked := m.checkSecurityScoped(ctx)
+		ctx.Report.SecurityChecks += checked
+		ctx.Note("scoped: re-checked %d/%d connections", checked, len(ctx.Impl.Connections))
+		return rejectFindings(findingStrings(findings))
+	}
 	if ctx.DeferChecks {
-		s.m.deferred().impl = ctx.Impl
+		m.deferred().impl = ctx.Impl
 		return nil
 	}
-	if findings := security.CheckDomains(ctx.Impl); len(findings) > 0 {
-		rej := &pipeline.Reject{}
-		for _, f := range findings {
-			rej.Findings = append(rej.Findings, f.String())
+	findings, checked := security.CheckDomainsScoped(ctx.Impl, nil, nil)
+	ctx.Report.SecurityChecks += checked
+	return rejectFindings(findingStrings(findings))
+}
+
+// checkSecurityScoped runs the cross-domain check diff-proportionally: a
+// connection gets a fresh verdict only when the diff touched its client
+// or server function, or when it has no committed verdict (new or
+// rewired wiring after a connection rebuild); every other connection was
+// committed clean with unchanged contracts and splices. Function
+// resolution goes through the committed synthesis lookups plus this
+// proposal's diff overlay — no per-proposal index rebuild.
+func (m *MCC) checkSecurityScoped(ctx *pipeline.Context) ([]security.Finding, int) {
+	d := ctx.Diff
+	view := &synthView{cache: m.deployedSynth, over: m.pendingSynth}
+	resolve := func(id string) *model.Function {
+		// Mirror the full check's resolution exactly: the instance must
+		// exist before its function is looked up, so a connection
+		// referencing a dropped replica of a still-deployed function is
+		// skipped by both paths alike.
+		name := security.FunctionName(id)
+		for _, in := range view.instances(name) {
+			if in.ID() == id {
+				return view.fn(name)
+			}
 		}
-		return rej
+		return nil
 	}
-	return nil
+	dirty := func(c model.Connection) bool {
+		if !m.deployedSecVerdicts[c] {
+			return true // no committed verdict for this wiring
+		}
+		return d.Touched(security.FunctionName(c.Client)) || d.Touched(security.FunctionName(c.Server))
+	}
+	return security.CheckDomainsScoped(ctx.Impl, resolve, dirty)
+}
+
+func findingStrings[T fmt.Stringer](findings []T) []string {
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+// rejectFindings turns a non-empty findings list into a stage rejection.
+func rejectFindings(findings []string) error {
+	if len(findings) == 0 {
+		return nil
+	}
+	return &pipeline.Reject{Findings: findings}
 }
 
 // --- Stage 4c: timing acceptance ------------------------------------------
@@ -990,6 +1057,12 @@ type deferredChecks struct {
 
 	safetyFailed   bool
 	securityFailed bool
+	// safetyChecked/securityChecked record how many per-entity verdicts
+	// the deferred from-scratch checks computed (the telemetry the
+	// verification pass adds to the report). Zero when the stage decided
+	// inline via the diff-scoped check (tech/impl stay nil then).
+	safetyChecked   int
+	securityChecked int
 }
 
 // deferred returns the deferred-check record of the pipeline run in
@@ -1378,10 +1451,16 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	}
 	m.deployedBudgetByProc = budgets
 
-	// Rebuild the synthesis lookup tables only when the incremental
-	// pre-timing stages (their sole consumer) are enabled.
+	// Rebuild the synthesis lookup tables and the per-connection security
+	// verdict cache only when the incremental pre-timing stages (their
+	// sole consumers) are enabled.
 	if m.incPre && ctx.Impl != nil {
 		m.deployedSynth = newSynthCache(ctx.Impl)
+		sec := make(map[model.Connection]bool, len(ctx.Impl.Connections))
+		for _, c := range ctx.Impl.Connections {
+			sec[c] = true
+		}
+		m.deployedSecVerdicts = sec
 	}
 }
 
@@ -1434,6 +1513,29 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 		for i := range m.platform.Networks {
 			if name := m.platform.Networks[i].Name; !netClean(ctx, name) {
 				commitResource(name)
+			}
+		}
+	}
+
+	// Security verdict cache: the connection set changes only when the
+	// synthesis rebuilt the sessions; every connection of the accepted
+	// implementation model was verified clean (fresh-checked this
+	// proposal or spliced from an earlier commit), so the cache becomes
+	// exactly the new connection set — stale wiring dropped, new wiring
+	// added, untouched entries left alone.
+	if ctx.ConnectionsRebuilt && m.deployedSecVerdicts != nil {
+		next := make(map[model.Connection]bool, len(ctx.Impl.Connections))
+		for _, c := range ctx.Impl.Connections {
+			next[c] = true
+		}
+		for c := range m.deployedSecVerdicts {
+			if !next[c] {
+				jdel(j.jSec(), m.deployedSecVerdicts, c)
+			}
+		}
+		for c := range next {
+			if !m.deployedSecVerdicts[c] {
+				jset(j.jSec(), m.deployedSecVerdicts, c, true)
 			}
 		}
 	}

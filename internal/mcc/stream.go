@@ -26,13 +26,18 @@ import (
 // and bound the window). Each window is processed in three phases:
 //
 //  1. Optimistic pass (serial, cheap): every change runs the full
-//     incremental pipeline in stream order, but the pure verdict checks
-//     — safety, security, and the busy-window timing analyses — are
-//     deferred (the timing stage still constructs and digests the dirty
-//     task sets) and the candidate commits optimistically.
+//     incremental pipeline in stream order, but the expensive pure
+//     verdict checks are deferred and the candidate commits
+//     optimistically. Since the safety/security stages became
+//     diff-scoped they usually decide inline here (the scoped verdict is
+//     footprint-sized — deferring it would cost more than running it);
+//     only their from-scratch fallback (cold passes, cold caches) and
+//     the busy-window timing analyses of dirty resources are deferred
+//     (the timing stage still constructs and digests the dirty task
+//     sets).
 //  2. Prefetch (concurrent): all deferred checks of the window fan out
-//     over the bounded worker pool — one safety and one security verdict
-//     per optimistic commit, plus the dirty analyses deduplicated by
+//     over the bounded worker pool — the from-scratch safety/security
+//     verdicts still pending, plus the dirty analyses deduplicated by
 //     task-set digest through the shared memoizing analyzer. This is
 //     where the cores are used: the window's dominant cost runs in
 //     parallel.
@@ -207,17 +212,33 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 	m.lastDeferred = nil
 
 	// Concurrent phase: run the window's deferred checks on the pool —
-	// one safety and one security verdict per optimistic commit, plus the
-	// dirty busy-window analyses deduplicated by digest (they land in the
-	// shared memo table, where verification reads them back).
+	// the from-scratch safety/security verdicts of proposals that could
+	// not be decided by the inline diff-scoped checks (cold passes, cold
+	// caches), plus the dirty busy-window analyses deduplicated by digest
+	// (they land in the shared memo table, where verification reads them
+	// back).
 	var tasks []func()
 	seen := make(map[uint64]bool)
 	for _, p := range pendings {
 		dt := p.dt
-		tasks = append(tasks,
-			func() { dt.safetyFailed = len(safety.Check(dt.tech)) > 0 },
-			func() { dt.securityFailed = len(security.CheckDomains(dt.impl)) > 0 },
-		)
+		// Safety/security inputs are recorded only when the stages could
+		// not decide inline (no warm diff scope): the deferred check is
+		// the from-scratch one. Scoped verdicts were already decided
+		// during the optimistic pass and need no re-validation here.
+		if dt.tech != nil {
+			tasks = append(tasks, func() {
+				findings, checked := safety.CheckScoped(dt.tech, nil, nil)
+				dt.safetyFailed = len(findings) > 0
+				dt.safetyChecked = checked
+			})
+		}
+		if dt.impl != nil {
+			tasks = append(tasks, func() {
+				findings, checked := security.CheckDomainsScoped(dt.impl, nil, nil)
+				dt.securityFailed = len(findings) > 0
+				dt.securityChecked = checked
+			})
+		}
 		for i, j := range dt.jobs {
 			if dt.pending[i] && !seen[analysisKey(j)] {
 				seen[analysisKey(j)] = true
@@ -296,6 +317,12 @@ func (s *StreamScheduler) prefetch(tasks []func()) {
 // the committed tables are backfilled; on any failed check it reports
 // false and leaves the caller to replay the window.
 func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
+	// Deferred from-scratch safety/security verdicts count toward the
+	// report's check telemetry exactly as an inline full check would
+	// (scoped inline checks already counted themselves during the
+	// optimistic pass, and a replayed window rebuilds its reports).
+	rep.SafetyChecks += dt.safetyChecked
+	rep.SecurityChecks += dt.securityChecked
 	if dt.safetyFailed || dt.securityFailed {
 		return false
 	}

@@ -56,6 +56,16 @@ func stressChange(rng *rand.Rand, i int) Change {
 		f := fn(fmt.Sprintf("svc%d", i), model.QM, 80000, 1200, 64)
 		f.Provides = []string{fmt.Sprintf("shared%d", i%3)}
 		return upd(f)
+	case 5: // cross-domain client of the baseline gate: half granted, half
+		// violating (the scoped security check rejects inline mid-window,
+		// exercising the per-connection verdict cache under rollback)
+		f := fn(fmt.Sprintf("xd%d", i), model.QM, 90000, 1000+int64(rng.Intn(3))*200, 64)
+		f.Requires = []string{"core_svc"}
+		f.Contract.Domain = "app"
+		if rng.Intn(2) == 0 {
+			f.Contract.AllowedPeers = []string{"core_svc"}
+		}
+		return upd(f)
 	default: // feasible telemetry addition
 		return upd(fn(fmt.Sprintf("t%d", i), model.QM, 100000+int64(rng.Intn(4))*20000, 1500, 64))
 	}
@@ -80,6 +90,7 @@ func cacheFingerprint(m *MCC) map[string]any {
 	}
 	return map[string]any{
 		"deployed": m.deployed,
+		"secVerd":  m.deployedSecVerdicts,
 		"tasks":    m.impl.Tasks,
 		"messages": m.impl.Messages,
 		"conns":    m.impl.Connections,
@@ -95,11 +106,15 @@ func cacheFingerprint(m *MCC) map[string]any {
 }
 
 func TestStreamSchedulerStressRollbackCacheParity(t *testing.T) {
+	gate := fn("gate", model.QM, 80000, 1000, 64)
+	gate.Provides = []string{"core_svc"}
+	gate.Contract.Domain = "core"
 	baseline := []model.Function{
 		fn("base", model.ASILD, 10000, 3000, 128),
 		fn("aux", model.QM, 50000, 4000, 256),
+		gate,
 	}
-	var totalReplays, totalConflicts, totalSpeculated int
+	var totalReplays, totalConflicts, totalSpeculated, totalSecurityRejects int
 	for seed := int64(0); seed < 12; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -137,6 +152,13 @@ func TestStreamSchedulerStressRollbackCacheParity(t *testing.T) {
 					t.Fatalf("change %d (%s): stream decided %v@%q, serial %v@%q",
 						i, changes[i], got[i].Accepted, got[i].RejectedAt, want[i].Accepted, want[i].RejectedAt)
 				}
+				if !reflect.DeepEqual(got[i].Findings, want[i].Findings) {
+					t.Fatalf("change %d (%s): findings diverge:\nstream %v\nserial %v",
+						i, changes[i], got[i].Findings, want[i].Findings)
+				}
+				if got[i].RejectedAt == StageSecurity {
+					totalSecurityRejects++
+				}
 			}
 			// The rollback invariant of the issue: after replays, every
 			// cache must be bit-identical to a fresh serial commit of the
@@ -157,8 +179,8 @@ func TestStreamSchedulerStressRollbackCacheParity(t *testing.T) {
 	}
 	// The corpus must actually exercise the machinery it guards: rollbacks,
 	// footprint conflicts, and verified speculation all have to occur.
-	if totalReplays == 0 || totalConflicts == 0 || totalSpeculated == 0 {
-		t.Fatalf("stress corpus too tame: replays=%d conflicts=%d speculated=%d, want all > 0",
-			totalReplays, totalConflicts, totalSpeculated)
+	if totalReplays == 0 || totalConflicts == 0 || totalSpeculated == 0 || totalSecurityRejects == 0 {
+		t.Fatalf("stress corpus too tame: replays=%d conflicts=%d speculated=%d securityRejects=%d, want all > 0",
+			totalReplays, totalConflicts, totalSpeculated, totalSecurityRejects)
 	}
 }

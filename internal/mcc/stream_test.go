@@ -327,9 +327,13 @@ func TestStreamSchedulerReplayOnSafetyReject(t *testing.T) {
 	}
 }
 
-func TestStreamSchedulerReplayOnSecurityReject(t *testing.T) {
-	// A cross-domain session without an AllowedPeers grant fails the
-	// deferred security verdict mid-window.
+func TestStreamSchedulerInlineSecurityRejectWithoutReplay(t *testing.T) {
+	// A cross-domain session without an AllowedPeers grant is rejected by
+	// the diff-scoped security check inline during the optimistic pass:
+	// the verdict is footprint-sized, so it is not deferred, nothing is
+	// optimistically committed for it, and the window needs no replay —
+	// unlike the pre-scoping engine, where the deferred full check
+	// tainted the whole window.
 	srv := fn("acc", model.ASILC, 10000, 1000, 64)
 	srv.Provides = []string{"accel_cmd"}
 	srv.Contract.Domain = "drive"
@@ -344,8 +348,11 @@ func TestStreamSchedulerReplayOnSecurityReject(t *testing.T) {
 	if got[0].Accepted || got[0].RejectedAt != StageSecurity {
 		t.Fatalf("cross-domain client decided %v@%q, want security rejection", got[0].Accepted, got[0].RejectedAt)
 	}
-	if st := sched.Stats(); st.Replays != 1 {
-		t.Fatalf("stats = %+v, want exactly one replay", st)
+	if got[0].SecurityChecks == 0 {
+		t.Fatalf("security rejection recorded no SecurityChecks telemetry")
+	}
+	if st := sched.Stats(); st.Replays != 0 {
+		t.Fatalf("stats = %+v, want zero replays (scoped security decides inline)", st)
 	}
 }
 

@@ -1,0 +1,208 @@
+package mcc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/safety"
+	"repro/internal/security"
+)
+
+// Tests for the diff-scoped safety/security verdict stages: decision and
+// findings parity with the from-scratch engine across the cache
+// invalidation edges (removals, AllowedPeers revocations, domain flips on
+// functions whose victim connection belongs to an untouched client), and
+// the committed-clean oracle — after every accepted change the deployed
+// implementation model must pass the full checks, which is exactly the
+// invariant the scoped splice rests on.
+
+func domainFn(name, domain string, peers ...string) model.Function {
+	f := fn(name, model.QM, 100000, 1000, 64)
+	f.Contract.Domain = model.SecurityDomain(domain)
+	f.Contract.AllowedPeers = peers
+	return f
+}
+
+// assertSecCacheMirrorsConnections checks the committed per-connection
+// verdict cache is exactly the deployed connection set — no stale keys
+// after removals or rewiring, no missing ones after additions.
+func assertSecCacheMirrorsConnections(t *testing.T, label string, m *MCC) {
+	t.Helper()
+	if m.deployedSecVerdicts == nil {
+		t.Fatalf("%s: security verdict cache not built", label)
+	}
+	want := make(map[model.Connection]bool)
+	if impl := m.DeployedImpl(); impl != nil {
+		for _, c := range impl.Connections {
+			want[c] = true
+		}
+	}
+	if !reflect.DeepEqual(m.deployedSecVerdicts, want) {
+		t.Fatalf("%s: verdict cache diverges from deployed connections:\ncache %v\nconns %v",
+			label, m.deployedSecVerdicts, want)
+	}
+}
+
+func TestScopedVerdictCacheInvalidationEdges(t *testing.T) {
+	srv := domainFn("srv", "drive")
+	srv.Provides = []string{"cmd"}
+	cli := domainFn("cli", "conn", "cmd")
+	cli.Requires = []string{"cmd"}
+	baseline := []model.Function{srv, cli, fn("app0", model.QM, 100000, 2000, 64)}
+
+	mk := func(opts ...Option) *MCC {
+		m, err := New(testPlatform(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range baseline {
+			if rep := m.ProposeUpdate(f); !rep.Accepted {
+				t.Fatalf("baseline %s rejected: %v", f.Name, rep.Findings)
+			}
+		}
+		return m
+	}
+	inc := mk()                     // scoped verdict stages
+	ser := mk(WithoutIncremental()) // from-scratch oracle
+
+	ver := func(i int, f model.Function) model.Function { f.Version = i; return f }
+	revoked := domainFn("cli", "conn")
+	revoked.Requires = []string{"cmd"}
+	srvConn := domainFn("srv", "conn")
+	srvConn.Provides = []string{"cmd"}
+	srvDrive := domainFn("srv", "drive")
+	srvDrive.Provides = []string{"cmd"}
+	failop := fn("failop", model.ASILD, 40000, 1500, 64)
+	failop.Contract.FailOperational = true // Replicas stays 1: redundancy finding
+
+	steps := []struct {
+		label string
+		c     Change
+		// rejectAt is the expected stage ("" = accepted).
+		rejectAt Stage
+	}{
+		// Disjoint addition: no connection involves the new function and
+		// none are rebuilt — the scoped check splices everything.
+		{"disjoint-add", upd(fn("telem0", model.QM, 200000, 1500, 64)), ""},
+		// AllowedPeers revocation on the client contract: its committed
+		// connection verdict must be invalidated, not spliced.
+		{"revoke-peers", upd(ver(2, revoked)), StageSecurity},
+		// Re-granting decides clean again.
+		{"regrant", upd(ver(3, cli)), ""},
+		// Server joins the client's domain: the connection is rewired
+		// (CrossDomain flips), old cache key must die with it.
+		{"server-domain-join", upd(ver(4, srvConn)), ""},
+		// Same-domain revocation is fine.
+		{"revoke-same-domain", upd(ver(5, revoked)), ""},
+		// Domain flip on the server: the violating connection belongs to
+		// the now-untouched, peers-less client — the scoped check must
+		// still catch it via the touched server endpoint.
+		{"server-domain-leave", upd(ver(6, srvDrive)), StageSecurity},
+		// Removal with a global footprint but no service participation:
+		// connections are copied verbatim, cache keys unchanged.
+		{"remove-disjoint", Change{Remove: "telem0"}, ""},
+		// Removing the client drops its connection; the cached verdict
+		// must go with it.
+		{"remove-client", Change{Remove: "cli"}, ""},
+		// With no client left, the server may leave the shared domain
+		// (the rejected flip above never committed, so srv is still in
+		// "conn" here).
+		{"server-domain-leave-clean", upd(ver(7, srvDrive)), ""},
+		// Re-adding the peers-less client recreates the cross-domain
+		// session; a stale clean verdict would wave it through.
+		{"readd-revoked", upd(ver(8, revoked)), StageSecurity},
+		{"readd-granted", upd(ver(9, cli)), ""},
+		// Safety edge: fail-operational without replicas rejects at the
+		// safety stage on both engines with identical findings (the
+		// incremental engine re-decides the rejection cold).
+		{"failop-single", upd(failop), StageSafety},
+	}
+
+	sawSplice := false
+	for _, st := range steps {
+		ir, sr := inc.propose(st.c), ser.propose(st.c)
+		if ir.Accepted != sr.Accepted || ir.RejectedAt != sr.RejectedAt {
+			t.Fatalf("%s: incremental decided %v@%q, serial %v@%q",
+				st.label, ir.Accepted, ir.RejectedAt, sr.Accepted, sr.RejectedAt)
+		}
+		if !reflect.DeepEqual(ir.Findings, sr.Findings) {
+			t.Fatalf("%s: findings diverge:\nincremental %v\nserial      %v", st.label, ir.Findings, sr.Findings)
+		}
+		if st.rejectAt == "" && !ir.Accepted {
+			t.Fatalf("%s: rejected at %s: %v", st.label, ir.RejectedAt, ir.Findings)
+		}
+		if st.rejectAt != "" && (ir.Accepted || ir.RejectedAt != st.rejectAt) {
+			t.Fatalf("%s: decided %v@%q, want rejection at %s", st.label, ir.Accepted, ir.RejectedAt, st.rejectAt)
+		}
+		if ir.Accepted {
+			// The committed-clean oracle: the scoped splice is valid iff
+			// every committed configuration passes the full checks.
+			impl := inc.DeployedImpl()
+			if f := safety.Check(impl.Tech); len(f) > 0 {
+				t.Fatalf("%s: committed config carries safety findings: %v", st.label, f)
+			}
+			if f := security.CheckDomains(impl); len(f) > 0 {
+				t.Fatalf("%s: committed config carries security findings: %v", st.label, f)
+			}
+			assertSecCacheMirrorsConnections(t, st.label, inc)
+		}
+		if st.label == "disjoint-add" {
+			if ir.SecurityChecks != 0 {
+				t.Errorf("disjoint-add re-checked %d connections, want 0 (full splice)", ir.SecurityChecks)
+			}
+			if len(inc.DeployedImpl().Connections) == 0 {
+				t.Error("fixture lost its connections — the splice assertion is vacuous")
+			}
+			sawSplice = true
+		}
+	}
+	if !sawSplice {
+		t.Fatal("no step exercised the full-splice path")
+	}
+}
+
+func TestScopedVerdictTelemetryFootprintSized(t *testing.T) {
+	// The counters must mirror TimingScans: a from-scratch engine pays
+	// one verdict per entity per proposal, the scoped engine a handful
+	// per change regardless of how much is deployed.
+	inc, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := inc.ProposeUpdate(fn("seed", model.QM, 100000, 2000, 64)); !rep.Accepted {
+		t.Fatalf("seed rejected: %v", rep.Findings)
+	}
+	for i := 0; i < 6; i++ {
+		rep := inc.ProposeUpdate(fn(fmt.Sprintf("t%d", i), model.QM, 100000+int64(i)*10000, 1500, 64))
+		if !rep.Accepted {
+			t.Fatalf("t%d rejected: %v", i, rep.Findings)
+		}
+		// Each addition touches one function on one processor: one
+		// placement verdict + one memory budget, no redundancy groups,
+		// no connections.
+		if rep.SafetyChecks < 1 || rep.SafetyChecks > 3 {
+			t.Errorf("t%d: SafetyChecks = %d, want footprint-sized (1..3)", i, rep.SafetyChecks)
+		}
+		if rep.SecurityChecks != 0 {
+			t.Errorf("t%d: SecurityChecks = %d, want 0 (no sessions touched)", i, rep.SecurityChecks)
+		}
+	}
+
+	ser, err := New(testPlatform(), WithoutIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := ser.ProposeUpdate(fn("seed", model.QM, 100000, 2000, 64)); !rep.Accepted {
+		t.Fatalf("seed rejected: %v", rep.Findings)
+	}
+	rep := ser.ProposeUpdate(fn("t0", model.QM, 100000, 1500, 64))
+	if !rep.Accepted {
+		t.Fatalf("serial t0 rejected: %v", rep.Findings)
+	}
+	// From scratch: every instance + every loaded processor budget.
+	if rep.SafetyChecks < 3 {
+		t.Errorf("serial SafetyChecks = %d, want the full walk (>= instances + budgets)", rep.SafetyChecks)
+	}
+}

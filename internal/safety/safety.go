@@ -29,100 +29,231 @@ func (f Finding) String() string {
 	return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Subject, f.Detail)
 }
 
+// The per-entity rules below are the single source of truth shared by the
+// from-scratch checks and their diff-scoped variants, so the two paths
+// cannot drift apart: a scoped finding is a full-check finding by
+// construction wherever the splice contract of CheckScoped holds.
+
+// placementFinding applies the ASIL placement rule to one instance. Nil
+// function or processor means the instance references an entity the
+// structural validation reports; the safety viewpoint skips it.
+func placementFinding(f *model.Function, p *model.Processor, in model.Instance) (Finding, bool) {
+	if f == nil || p == nil {
+		return Finding{}, false // structural validation reports these
+	}
+	if f.Contract.Safety <= p.MaxSafety {
+		return Finding{}, false
+	}
+	return Finding{
+		Rule:    "asil-placement",
+		Subject: in.ID(),
+		Detail: fmt.Sprintf("requires %v but processor %q is certified for %v only",
+			f.Contract.Safety, p.Name, p.MaxSafety),
+	}, true
+}
+
+// redundancyFinding applies the fail-operational redundancy rule to one
+// function given the processors its replicas run on.
+func redundancyFinding(f *model.Function, replicaProcs []string) (Finding, bool) {
+	if len(replicaProcs) < 2 {
+		return Finding{
+			Rule:    "fail-operational-redundancy",
+			Subject: f.Name,
+			Detail:  fmt.Sprintf("fail-operational but deployed %d time(s); need >= 2 replicas", len(replicaProcs)),
+		}, true
+	}
+	procs := make(map[string]bool, len(replicaProcs))
+	for _, pn := range replicaProcs {
+		procs[pn] = true
+	}
+	if len(procs) < 2 {
+		return Finding{
+			Rule:    "fail-operational-redundancy",
+			Subject: f.Name,
+			Detail:  "all replicas share one processor: single point of failure",
+		}, true
+	}
+	return Finding{}, false
+}
+
+// memoryFinding applies the RAM budget rule to one processor's aggregate
+// demand.
+func memoryFinding(p *model.Processor, demandKiB int64) (Finding, bool) {
+	if p == nil || demandKiB <= p.RAMKiB {
+		return Finding{}, false
+	}
+	return Finding{
+		Rule:    "memory-budget",
+		Subject: p.Name,
+		Detail:  fmt.Sprintf("demand %d KiB exceeds capacity %d KiB", demandKiB, p.RAMKiB),
+	}, true
+}
+
+// lookups memoizes the function/processor resolution of one check pass:
+// the scoped path touches a handful of entities and resolves them lazily,
+// the full path pays one linear scan per distinct name instead of one per
+// instance.
+type lookups struct {
+	t   *model.TechnicalArchitecture
+	fns map[string]*model.Function
+	prs map[string]*model.Processor
+}
+
+func newLookups(t *model.TechnicalArchitecture) *lookups {
+	return &lookups{t: t, fns: make(map[string]*model.Function), prs: make(map[string]*model.Processor)}
+}
+
+func (l *lookups) fn(name string) *model.Function {
+	f, ok := l.fns[name]
+	if !ok {
+		f = l.t.Func.FunctionByName(name)
+		l.fns[name] = f
+	}
+	return f
+}
+
+func (l *lookups) proc(name string) *model.Processor {
+	p, ok := l.prs[name]
+	if !ok {
+		p = l.t.Platform.ProcessorByName(name)
+		l.prs[name] = p
+	}
+	return p
+}
+
+// checkPlacementScoped verifies the ASIL placement of every instance of a
+// touched function (all instances when touched is nil), in the model's
+// canonical instance order.
+func checkPlacementScoped(t *model.TechnicalArchitecture, touched func(string) bool, look *lookups) ([]Finding, int) {
+	var out []Finding
+	checked := 0
+	for _, in := range t.Instances {
+		if touched != nil && !touched(in.Function) {
+			continue
+		}
+		checked++
+		if fd, bad := placementFinding(look.fn(in.Function), look.proc(in.Processor), in); bad {
+			out = append(out, fd)
+		}
+	}
+	return out, checked
+}
+
+// checkRedundancyScoped verifies the replica separation of every touched
+// fail-operational function (all of them when touched is nil), in
+// architecture order.
+func checkRedundancyScoped(t *model.TechnicalArchitecture, touched func(string) bool, _ *lookups) ([]Finding, int) {
+	var out []Finding
+	checked := 0
+	var replicaProcs map[string][]string
+	for i := range t.Func.Functions {
+		f := &t.Func.Functions[i]
+		if touched != nil && !touched(f.Name) {
+			continue
+		}
+		if !f.Contract.FailOperational {
+			continue
+		}
+		if replicaProcs == nil {
+			// One instance pass groups the replica placements of every
+			// function; amortized over all fail-operational verdicts of
+			// this check, scoped or full.
+			replicaProcs = make(map[string][]string)
+			for _, in := range t.Instances {
+				replicaProcs[in.Function] = append(replicaProcs[in.Function], in.Processor)
+			}
+		}
+		checked++
+		if fd, bad := redundancyFinding(f, replicaProcs[f.Name]); bad {
+			out = append(out, fd)
+		}
+	}
+	return out, checked
+}
+
+// checkMemoryScoped verifies the RAM budget of every selected processor
+// (all loaded processors when procs is nil), in name order.
+func checkMemoryScoped(t *model.TechnicalArchitecture, procs func(string) bool, look *lookups) ([]Finding, int) {
+	demand := make(map[string]int64)
+	for _, in := range t.Instances {
+		if procs != nil && !procs(in.Processor) {
+			continue
+		}
+		f := look.fn(in.Function)
+		if f == nil {
+			continue
+		}
+		demand[in.Processor] += f.Contract.Resources.RAMKiB
+	}
+	names := make([]string, 0, len(demand))
+	for pn := range demand {
+		names = append(names, pn)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, pn := range names {
+		if fd, bad := memoryFinding(look.proc(pn), demand[pn]); bad {
+			out = append(out, fd)
+		}
+	}
+	return out, len(names)
+}
+
 // CheckPlacement verifies that every instance runs on a processor certified
 // for the function's safety level.
 func CheckPlacement(t *model.TechnicalArchitecture) []Finding {
-	var out []Finding
-	for _, in := range t.Instances {
-		f := t.Func.FunctionByName(in.Function)
-		p := t.Platform.ProcessorByName(in.Processor)
-		if f == nil || p == nil {
-			continue // structural validation reports these
-		}
-		if f.Contract.Safety > p.MaxSafety {
-			out = append(out, Finding{
-				Rule:    "asil-placement",
-				Subject: in.ID(),
-				Detail: fmt.Sprintf("requires %v but processor %q is certified for %v only",
-					f.Contract.Safety, p.Name, p.MaxSafety),
-			})
-		}
-	}
+	out, _ := checkPlacementScoped(t, nil, newLookups(t))
 	return out
 }
 
 // CheckRedundancy verifies that fail-operational functions are replicated
 // on disjoint processors (no single point of failure).
 func CheckRedundancy(t *model.TechnicalArchitecture) []Finding {
-	var out []Finding
-	for i := range t.Func.Functions {
-		f := &t.Func.Functions[i]
-		if !f.Contract.FailOperational {
-			continue
-		}
-		inst := t.InstancesOf(f.Name)
-		if len(inst) < 2 {
-			out = append(out, Finding{
-				Rule:    "fail-operational-redundancy",
-				Subject: f.Name,
-				Detail:  fmt.Sprintf("fail-operational but deployed %d time(s); need >= 2 replicas", len(inst)),
-			})
-			continue
-		}
-		procs := make(map[string]bool)
-		for _, in := range inst {
-			procs[in.Processor] = true
-		}
-		if len(procs) < 2 {
-			out = append(out, Finding{
-				Rule:    "fail-operational-redundancy",
-				Subject: f.Name,
-				Detail:  "all replicas share one processor: single point of failure",
-			})
-		}
-	}
+	out, _ := checkRedundancyScoped(t, nil, newLookups(t))
 	return out
 }
 
 // CheckMemoryBudgets verifies that per-processor RAM demands fit capacity.
 func CheckMemoryBudgets(t *model.TechnicalArchitecture) []Finding {
-	var out []Finding
-	demand := make(map[string]int64)
-	for _, in := range t.Instances {
-		f := t.Func.FunctionByName(in.Function)
-		if f == nil {
-			continue
-		}
-		demand[in.Processor] += f.Contract.Resources.RAMKiB
-	}
-	procs := make([]string, 0, len(demand))
-	for p := range demand {
-		procs = append(procs, p)
-	}
-	sort.Strings(procs)
-	for _, pn := range procs {
-		p := t.Platform.ProcessorByName(pn)
-		if p == nil {
-			continue
-		}
-		if demand[pn] > p.RAMKiB {
-			out = append(out, Finding{
-				Rule:    "memory-budget",
-				Subject: pn,
-				Detail:  fmt.Sprintf("demand %d KiB exceeds capacity %d KiB", demand[pn], p.RAMKiB),
-			})
-		}
-	}
+	out, _ := checkMemoryScoped(t, nil, newLookups(t))
 	return out
 }
 
 // Check runs all structural safety checks.
 func Check(t *model.TechnicalArchitecture) []Finding {
-	var out []Finding
-	out = append(out, CheckPlacement(t)...)
-	out = append(out, CheckRedundancy(t)...)
-	out = append(out, CheckMemoryBudgets(t)...)
+	out, _ := CheckScoped(t, nil, nil)
 	return out
+}
+
+// CheckScoped runs the safety checks restricted to the diff scope:
+// touched selects the function names whose contract or replica placement
+// the change can have altered (their instances are re-checked for ASIL
+// placement and their fail-operational groups for redundancy), procs the
+// processors whose memory demand it can have shifted. Everything outside
+// the scope is spliced as committed-clean — a configuration is only
+// committed after the full check passed, so an untouched entity with
+// unchanged inputs cannot carry a finding. nil predicates select
+// everything (the full check). The returned count is the number of
+// per-entity verdicts actually computed — the SafetyChecks telemetry.
+//
+// Splice contract: the findings are element-for-element identical to
+// Check(t) provided every skipped instance/function/processor belongs to
+// a committed configuration that passed the full check, with its
+// function contract, replica placements, and aggregate processor demand
+// unchanged since that commit. The MCC guarantees exactly that by
+// deriving touched from the function-level diff and procs from the
+// partial synthesis' affected-processor set under the warm-started
+// mapping (untouched instances keep their placement).
+func CheckScoped(t *model.TechnicalArchitecture, touched func(string) bool, procs func(string) bool) ([]Finding, int) {
+	look := newLookups(t)
+	out, checked := checkPlacementScoped(t, touched, look)
+	red, n := checkRedundancyScoped(t, touched, look)
+	out = append(out, red...)
+	checked += n
+	mem, n := checkMemoryScoped(t, procs, look)
+	out = append(out, mem...)
+	checked += n
+	return out, checked
 }
 
 // FailureMode is one FMEA row.

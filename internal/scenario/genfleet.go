@@ -54,6 +54,11 @@ type ChangeMix struct {
 	// Broken proposes a contract violation (WCET > deadline) the
 	// validation stage must reject.
 	Broken int
+	// CrossDomain introduces a client of a baseline chain service from a
+	// foreign security domain, granted an AllowedPeers entry about half
+	// the time — the other half must be rejected by the security stage.
+	// Degrades to Add when the baseline exposes no services.
+	CrossDomain int
 }
 
 // DefaultFleetSpec returns the E13 baseline parameters at the given
@@ -79,6 +84,9 @@ type Fleet struct {
 
 	// baseNames lists the baseline functions eligible for updates.
 	baseNames []string
+	// services lists the chain services the baseline provides, the
+	// targets of generated cross-domain clients.
+	services []string
 }
 
 // GenFleet generates the platform and baseline workload for a spec.
@@ -212,6 +220,7 @@ func (f *Fleet) genBaseline(rng *rand.Rand) *model.FunctionalArchitecture {
 			}
 			if s < spec.ChainDepth-1 {
 				fn.Provides = []string{chainSvc(c, s)}
+				f.services = append(f.services, chainSvc(c, s))
 				fa.Flows = append(fa.Flows, model.Flow{
 					From: name, To: chainFnName(c, s+1),
 					Service: chainSvc(c, s), MsgBytes: 8, PeriodUS: period,
@@ -277,7 +286,7 @@ func chainSvc(c, s int) string    { return fmt.Sprintf("ch%03d/d%d", c, s) }
 func (f *Fleet) Changes(n int) []mcc.Change {
 	rng := rand.New(rand.NewSource(f.Spec.Seed ^ 0x5f1e9a7c3b2d4e88))
 	mix := f.Spec.Mix
-	total := mix.Add + mix.Update + mix.Remove + mix.Broken
+	total := mix.Add + mix.Update + mix.Remove + mix.Broken + mix.CrossDomain
 	if total == 0 {
 		mix = ChangeMix{Add: 1}
 		total = 1
@@ -291,7 +300,13 @@ func (f *Fleet) Changes(n int) []mcc.Change {
 			out = append(out, f.genAdd(rng, i, &added))
 		case w < mix.Add+mix.Update:
 			out = append(out, f.genUpdate(rng, i))
-		case w < mix.Add+mix.Update+mix.Remove:
+		case w < mix.Add+mix.Update+mix.CrossDomain:
+			if len(f.services) == 0 {
+				out = append(out, f.genAdd(rng, i, &added))
+				continue
+			}
+			out = append(out, f.genCrossDomain(rng, i))
+		case w < mix.Add+mix.Update+mix.CrossDomain+mix.Remove:
 			if len(added) == 0 {
 				out = append(out, f.genAdd(rng, i, &added))
 				continue
@@ -327,6 +342,28 @@ func (f *Fleet) genAdd(rng *rand.Rand, i int, added *[]string) mcc.Change {
 			RealTime:  timing(rng, period, int64(2000+rng.Intn(4000))),
 			Resources: model.ResourceContract{RAMKiB: 64},
 		},
+	}
+	return mcc.Change{Update: &fn}
+}
+
+// genCrossDomain produces a foreign-domain client of a random baseline
+// chain service; about half the clients carry the AllowedPeers grant the
+// cross-domain rule demands, the rest must be rejected by the security
+// stage (diff-scoped and from-scratch alike).
+func (f *Fleet) genCrossDomain(rng *rand.Rand, i int) mcc.Change {
+	svc := f.services[rng.Intn(len(f.services))]
+	fn := model.Function{
+		Name:     fmt.Sprintf("xdom%03d", i),
+		Requires: []string{svc},
+		Contract: model.Contract{
+			Safety:    model.QM,
+			Domain:    "telematics",
+			RealTime:  timing(rng, 100000, int64(2000+rng.Intn(3000))),
+			Resources: model.ResourceContract{RAMKiB: 64},
+		},
+	}
+	if rng.Intn(2) == 0 {
+		fn.Contract.AllowedPeers = []string{svc}
 	}
 	return mcc.Change{Update: &fn}
 }

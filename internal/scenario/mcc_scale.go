@@ -12,7 +12,10 @@ import (
 // incremental engine, TimingScans per decided change must track the
 // change footprint — a couple of resources — no matter how many
 // processors the platform has, while the serial baseline's scans (and
-// wall clock) grow with the platform.
+// wall clock) grow with the platform. The same contract holds for the
+// diff-scoped safety/security verdict stages via SecurityChecks/
+// SafetyChecks (ChecksPerChange): flat for the incremental modes,
+// fleet-sized for serial.
 
 // MCCScaleConfig parameterizes the E13 sweep.
 type MCCScaleConfig struct {
@@ -59,14 +62,27 @@ func (r MCCScaleRow) ScansPerChange() float64 {
 	return float64(r.Result.TimingScans) / float64(n)
 }
 
+// ChecksPerChange is the verdict-stage analogue of ScansPerChange:
+// security per-connection plus safety per-entity verdicts computed per
+// decided change. The diff-scoped checks hold it at the change footprint
+// across platform sizes; the serial baseline re-verifies the whole
+// implementation model per evaluation, so it grows with the fleet.
+func (r MCCScaleRow) ChecksPerChange() float64 {
+	n := r.Result.Accepted + r.Result.Rejected
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Result.SecurityChecks+r.Result.SafetyChecks) / float64(n)
+}
+
 // Rows renders the E13 table.
 func ScaleRows(rows []MCCScaleRow) []string {
-	out := []string{"procs  resources  mode              changes  acc  rej  scans  scans/change  wall        changes/s"}
+	out := []string{"procs  resources  mode              changes  acc  rej  scans  scans/change  checks/change  wall        changes/s"}
 	for _, r := range rows {
 		res := r.Result
-		out = append(out, fmt.Sprintf("%5d  %9d  %-17s %7d  %3d  %3d  %5d  %12.2f  %9v  %9.0f",
+		out = append(out, fmt.Sprintf("%5d  %9d  %-17s %7d  %3d  %3d  %5d  %12.2f  %13.2f  %9v  %9.0f",
 			r.Procs, r.Resources, res.Config.Mode, res.Config.Updates,
-			res.Accepted, res.Rejected, res.TimingScans, r.ScansPerChange(),
+			res.Accepted, res.Rejected, res.TimingScans, r.ScansPerChange(), r.ChecksPerChange(),
 			res.StreamWall.Round(time.Microsecond),
 			float64(res.Config.Updates)/res.StreamWall.Seconds()))
 	}

@@ -205,6 +205,14 @@ type MCCThroughputResult struct {
 	// dirty few; the serial baseline scans everything.
 	TimingScans     int
 	TimingResources int
+	// SecurityChecks/SafetyChecks sum the verdict-stage telemetry over
+	// the stream: per-connection security verdicts and per-entity safety
+	// verdicts (placements, redundancy groups, memory budgets) actually
+	// computed. The diff-scoped checks keep both at the change footprint;
+	// the serial baseline re-verifies the whole implementation model per
+	// evaluation.
+	SecurityChecks int
+	SafetyChecks   int
 	// Stream carries the scheduler effort counters of the stream-parallel
 	// mode (zero value otherwise).
 	Stream mcc.StreamStats
@@ -219,6 +227,7 @@ func (r MCCThroughputResult) Rows() []string {
 			r.Evaluations, float64(r.Config.Updates)/float64(max(r.Evaluations, 1))),
 		fmt.Sprintf("  timing cache: %d hits, %d misses", r.CacheHits, r.CacheMisses),
 		fmt.Sprintf("  timing jobs: %d/%d resources scanned", r.TimingScans, r.TimingResources),
+		fmt.Sprintf("  verdict checks: %d security, %d safety", r.SecurityChecks, r.SafetyChecks),
 		fmt.Sprintf("  deployed tasks: %d", r.FinalTasks),
 	}
 	if r.Config.Mode == ThroughputStream {
@@ -451,6 +460,8 @@ func runChangeStream(cfg MCCThroughputConfig, platform *model.Platform, baseline
 		res.Evaluations += rep.Passes
 		res.TimingScans += rep.TimingScans
 		res.TimingResources += rep.TimingResources
+		res.SecurityChecks += rep.SecurityChecks
+		res.SafetyChecks += rep.SafetyChecks
 		for st, d := range rep.StageWall() {
 			res.StageWall[st] += d
 		}

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/mcc"
+	"repro/internal/safety"
+	"repro/internal/security"
 )
 
 // Differential parity harness: genfleet-random platforms and change
@@ -54,10 +56,11 @@ func paritySpec(seed uint64) FleetSpec {
 		FnsPerProc: 1.5 + float64(seed%5), // 1.5..5.5
 		Headroom:   0.2 + float64(seed>>5%5)*0.15,
 		Mix: ChangeMix{
-			Add:    1 + int(seed>>7%6),
-			Update: int(seed >> 9 % 4),
-			Remove: int(seed >> 11 % 3),
-			Broken: int(seed >> 13 % 3),
+			Add:         1 + int(seed>>7%6),
+			Update:      int(seed >> 9 % 4),
+			Remove:      int(seed >> 11 % 3),
+			Broken:      int(seed >> 13 % 3),
+			CrossDomain: int(seed >> 15 % 3),
 		},
 	}
 }
@@ -142,8 +145,11 @@ func runParityCase(t *testing.T, seed uint64, strict bool) {
 	}
 
 	// Serial vs incremental: strict verdict-sequence equality until the
-	// documented gap signature appears. Placements are NOT compared here:
-	// the from-scratch engine reshuffles the whole fleet on every
+	// documented gap signature appears, and — satellite of the scoped
+	// verdict stages — strict FINDINGS equality wherever the verdicts
+	// agree: a scoped safety/security rejection must name exactly the
+	// findings the from-scratch check names. Placements are NOT compared
+	// here: the from-scratch engine reshuffles the whole fleet on every
 	// proposal, so equally valid placements routinely differ while every
 	// verdict agrees — which is exactly the empirical accept-side parity
 	// the harness is quantifying.
@@ -167,17 +173,52 @@ func runParityCase(t *testing.T, seed uint64, strict bool) {
 			t.Fatalf("seed %#x: verdict divergence at change %d: serial %s, incremental %s (warm=%v)",
 				seed, i, verdict(sr), verdict(ir), warmMapped(ir))
 		}
+		if !reflect.DeepEqual(sr.Findings, ir.Findings) {
+			t.Fatalf("seed %#x: findings divergence at change %d (%s):\nserial      %v\nincremental %v",
+				seed, i, verdict(sr), sr.Findings, ir.Findings)
+		}
+		assertCommittedClean(t, seed, i, "incremental", inc)
 	}
 
-	// Incremental vs stream-parallel: strict, always.
+	// Incremental vs stream-parallel: strict, always — verdicts AND
+	// findings, including across rollback-then-recheck sequences (a
+	// window replay must reproduce the serial findings verbatim).
 	streamReports := mcc.NewStreamScheduler(streamed).Run(changes)
 	want, got := verdicts(incReports), verdicts(streamReports)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("seed %#x: stream verdicts diverge from serial proposals on the same engine:\nproposals %v\nstream    %v",
 			seed, want, got)
 	}
+	for i := range incReports {
+		if !reflect.DeepEqual(streamReports[i].Findings, incReports[i].Findings) {
+			t.Fatalf("seed %#x: stream findings diverge at change %d:\nproposals %v\nstream    %v",
+				seed, i, incReports[i].Findings, streamReports[i].Findings)
+		}
+	}
 	if !reflect.DeepEqual(placements(inc), placements(streamed)) {
 		t.Fatalf("seed %#x: stream deployment diverges from serial proposals on the same engine", seed)
+	}
+	assertCommittedClean(t, seed, len(changes)-1, "stream", streamed)
+}
+
+// assertCommittedClean runs the from-scratch safety and security checks
+// over an engine's deployed implementation model and fails on any
+// finding. This is the scoped-vs-full findings-parity oracle on the
+// accept side: the diff-scoped verdict stages splice untouched entities
+// as committed-clean, so a single finding surviving into a committed
+// configuration would mean the splice waved a violation through where
+// the full check would have rejected.
+func assertCommittedClean(t *testing.T, seed uint64, change int, label string, m *mcc.MCC) {
+	t.Helper()
+	impl := m.DeployedImpl()
+	if impl == nil {
+		return
+	}
+	if f := safety.Check(impl.Tech); len(f) > 0 {
+		t.Fatalf("seed %#x: %s engine committed safety findings after change %d: %v", seed, label, change, f)
+	}
+	if f := security.CheckDomains(impl); len(f) > 0 {
+		t.Fatalf("seed %#x: %s engine committed security findings after change %d: %v", seed, label, change, f)
 	}
 }
 

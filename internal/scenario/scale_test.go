@@ -89,6 +89,64 @@ func TestRunMCCScaleDiffProportionalScans(t *testing.T) {
 	}
 }
 
+func TestRunMCCScaleDiffProportionalVerdictChecks(t *testing.T) {
+	// The PR 5 acceptance criterion, asserted at the CI smoke sizes: with
+	// the diff-scoped safety/security stages, security+safety checks per
+	// decided change must stay flat (within 2x) as the platform grows
+	// 32 -> 128 processors, and stay footprint-sized in absolute terms,
+	// while the serial baseline re-verifies the whole implementation
+	// model per evaluation and therefore grows with the fleet.
+	cfg := MCCScaleConfig{
+		Procs:   []int{32, 128},
+		Updates: 24,
+		Modes:   []MCCThroughputMode{ThroughputFull, ThroughputStream, ThroughputSerial},
+	}
+	rows, err := RunMCCScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]MCCScaleRow)
+	for _, r := range rows {
+		byKey[string(r.Result.Config.Mode)+"@"+itoa(r.Procs)] = r
+		t.Logf("procs=%3d mode=%-16s security=%5d safety=%5d checks/change=%.2f",
+			r.Procs, r.Result.Config.Mode, r.Result.SecurityChecks, r.Result.SafetyChecks, r.ChecksPerChange())
+	}
+
+	for _, mode := range []MCCThroughputMode{ThroughputFull, ThroughputStream} {
+		small := byKey[string(mode)+"@32"]
+		big := byKey[string(mode)+"@128"]
+		// Footprint bound: a generated change touches one function's
+		// placement verdict, at most a few budget/redundancy entities,
+		// and no (or a couple of) sessions.
+		const maxChecksPerChange = 16
+		for _, r := range []MCCScaleRow{small, big} {
+			if cpc := r.ChecksPerChange(); cpc <= 0 || cpc > maxChecksPerChange {
+				t.Errorf("%s@%d: %.2f checks/change outside (0, %d]",
+					mode, r.Procs, cpc, maxChecksPerChange)
+			}
+		}
+		// Flatness: 4x the platform must stay within the 2x envelope of
+		// the acceptance criterion.
+		if big.ChecksPerChange() > 2*small.ChecksPerChange()+1 {
+			t.Errorf("%s: checks/change grew with platform size: %.2f@32 -> %.2f@128",
+				mode, small.ChecksPerChange(), big.ChecksPerChange())
+		}
+	}
+
+	// Contrast: the from-scratch verdict stages re-verify every entity per
+	// evaluation, so serial checks/change must track the platform size.
+	serialSmall := byKey[string(ThroughputSerial)+"@32"]
+	serialBig := byKey[string(ThroughputSerial)+"@128"]
+	if serialBig.ChecksPerChange() < 2*serialSmall.ChecksPerChange() {
+		t.Errorf("serial baseline checks did not grow with the platform: %.2f@32 -> %.2f@128",
+			serialSmall.ChecksPerChange(), serialBig.ChecksPerChange())
+	}
+	if serialBig.ChecksPerChange() < float64(serialBig.Procs) {
+		t.Errorf("serial baseline checks %.2f/change do not track the %d-processor fleet",
+			serialBig.ChecksPerChange(), serialBig.Procs)
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -35,6 +35,10 @@ func assertThroughputTelemetry(t *testing.T, label string, res MCCThroughputResu
 		t.Errorf("%s: no per-stage wall clock recorded", label)
 	}
 
+	if res.SafetyChecks <= 0 {
+		t.Errorf("%s: zero safety checks recorded", label)
+	}
+
 	switch res.Config.Mode {
 	case ThroughputSerial:
 		// From-scratch integration: every evaluation scans at least every
@@ -45,6 +49,17 @@ func assertThroughputTelemetry(t *testing.T, label string, res MCCThroughputResu
 		if res.CacheHits != 0 || res.CacheMisses != 0 {
 			t.Errorf("%s: serial mode moved analyzer counters (hits=%d misses=%d)",
 				label, res.CacheHits, res.CacheMisses)
+		}
+		// The from-scratch verdict stages walk every session and entity
+		// per evaluation: at least one security verdict per deployed
+		// connection-carrying evaluation, and safety verdicts well above
+		// the decided-change count.
+		if res.SecurityChecks <= 0 {
+			t.Errorf("%s: serial mode recorded no security checks", label)
+		}
+		if res.SafetyChecks <= decided {
+			t.Errorf("%s: serial mode recorded %d safety checks for %d changes — not a full walk",
+				label, res.SafetyChecks, decided)
 		}
 	case ThroughputParallel, ThroughputBatched:
 		// Timing-only incremental: the pre-timing stages run from scratch
@@ -67,6 +82,13 @@ func assertThroughputTelemetry(t *testing.T, label string, res MCCThroughputResu
 		if res.TimingScans >= res.TimingResources {
 			t.Errorf("%s: incremental mode scanned %d of %d covered resources — splice inactive",
 				label, res.TimingScans, res.TimingResources)
+		}
+		// The diff-scoped verdict stages must keep the per-change check
+		// count footprint-sized: a handful of verdicts per change, far
+		// below the serial full walk.
+		if res.SafetyChecks+res.SecurityChecks > 16*decided {
+			t.Errorf("%s: incremental mode computed %d verdict checks for %d changes — scoping inactive",
+				label, res.SafetyChecks+res.SecurityChecks, decided)
 		}
 	}
 }

@@ -1,0 +1,127 @@
+package security
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// This file implements the MCC's security acceptance check: the
+// implementation model's sessions are verified against the contracting
+// language's security domains. A connection crossing domains requires an
+// explicit AllowedPeers entry on the client's contract (default-deny,
+// mirroring the capability system of the execution domain).
+//
+// The per-connection rule lives in exactly one function
+// (ConnectionVerdict) shared by the from-scratch check and the
+// diff-scoped check, so the two can never drift apart: scoped findings
+// are full-check findings by construction wherever the splice contract
+// of CheckDomainsScoped holds.
+
+// Finding is a security-viewpoint acceptance result.
+type Finding struct {
+	Rule    string
+	Subject string
+	Detail  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Subject, f.Detail) }
+
+// ConnectionVerdict applies the cross-domain rule to one connection,
+// given its resolved client and server functions. A nil function means
+// the connection references an entity the structural validation reports;
+// the security viewpoint skips it, like the full model walk always has.
+func ConnectionVerdict(client, server *model.Function, c model.Connection) (Finding, bool) {
+	if client == nil || server == nil {
+		return Finding{}, false // structural validation reports these
+	}
+	if client.Contract.Domain == server.Contract.Domain {
+		return Finding{}, false
+	}
+	for _, p := range client.Contract.AllowedPeers {
+		if p == c.Service {
+			return Finding{}, false
+		}
+	}
+	return Finding{
+		Rule:    "cross-domain-connection",
+		Subject: fmt.Sprintf("%s -> %s", c.Client, c.Server),
+		Detail: fmt.Sprintf("client domain %q, server domain %q, service %q not in allowed peers",
+			client.Contract.Domain, server.Contract.Domain, c.Service),
+	}, true
+}
+
+// FunctionName recovers the function name from an instance ID
+// ("name#replica"). The replica suffix is a decimal integer and can never
+// contain '#', so splitting at the last '#' is unambiguous even when the
+// function name itself contains one.
+func FunctionName(instanceID string) string {
+	if i := strings.LastIndexByte(instanceID, '#'); i >= 0 {
+		return instanceID[:i]
+	}
+	return instanceID
+}
+
+// FunctionResolver maps an instance ID to its function (nil when either
+// the instance or its function does not exist).
+type FunctionResolver func(instanceID string) *model.Function
+
+// instanceFunctions prebuilds the instance-ID -> function index of an
+// implementation model in O(instances + functions). The naive per-lookup
+// scan it replaces made the full domain check
+// O(connections x instances x functions).
+func instanceFunctions(im *model.ImplementationModel) FunctionResolver {
+	fa := im.Tech.Func
+	byName := make(map[string]*model.Function, len(fa.Functions))
+	for i := range fa.Functions {
+		byName[fa.Functions[i].Name] = &fa.Functions[i]
+	}
+	idx := make(map[string]*model.Function, len(im.Tech.Instances))
+	for _, in := range im.Tech.Instances {
+		idx[in.ID()] = byName[in.Function]
+	}
+	return func(id string) *model.Function { return idx[id] }
+}
+
+// CheckDomains verifies every session of the implementation model against
+// the security domains: the from-scratch acceptance check, now
+// O(connections + instances + functions) via a prebuilt instance index.
+func CheckDomains(im *model.ImplementationModel) []Finding {
+	out, _ := CheckDomainsScoped(im, nil, nil)
+	return out
+}
+
+// CheckDomainsScoped verifies only the connections dirty selects and
+// splices every other connection's committed verdict — which is always
+// "clean", because a configuration is only committed after the full check
+// passed. resolve maps instance IDs to functions (the MCC passes its
+// committed lookup tables plus the proposal's diff overlay); nil builds
+// the index from the model. dirty == nil selects every connection (the
+// full check). The returned count is the number of per-connection
+// verdicts actually computed — the SecurityChecks telemetry.
+//
+// Splice contract: the result is element-for-element identical to
+// CheckDomains(im) provided every connection dirty skips (a) appears
+// verbatim in a committed implementation model that passed the full
+// check, and (b) has client and server functions whose contracts are
+// unchanged since that commit. The MCC derives dirty from the
+// function-level diff plus its committed per-connection verdict cache,
+// which makes exactly that guarantee.
+func CheckDomainsScoped(im *model.ImplementationModel, resolve FunctionResolver, dirty func(model.Connection) bool) ([]Finding, int) {
+	if resolve == nil {
+		resolve = instanceFunctions(im)
+	}
+	var out []Finding
+	checked := 0
+	for _, c := range im.Connections {
+		if dirty != nil && !dirty(c) {
+			continue // committed clean, inputs unchanged: splice
+		}
+		checked++
+		if f, bad := ConnectionVerdict(resolve(c.Client), resolve(c.Server), c); bad {
+			out = append(out, f)
+		}
+	}
+	return out, checked
+}

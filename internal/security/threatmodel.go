@@ -12,8 +12,6 @@ package security
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/model"
 )
 
 // AssetKind classifies what an attacker could compromise.
@@ -273,54 +271,5 @@ func (m *ThreatModel) BestMitigation(entry string) (Edge, float64, error) {
 	return best, bestRisk, nil
 }
 
-// Finding is a security-viewpoint acceptance result.
-type Finding struct {
-	Rule    string
-	Subject string
-	Detail  string
-}
-
-func (f Finding) String() string { return fmt.Sprintf("[%s] %s: %s", f.Rule, f.Subject, f.Detail) }
-
-// CheckDomains verifies the implementation model's sessions against the
-// contracting language's security domains: a connection crossing domains
-// requires an explicit AllowedPeers entry on the client's contract
-// (default-deny, mirroring the capability system of the execution domain).
-func CheckDomains(im *model.ImplementationModel) []Finding {
-	var out []Finding
-	fa := im.Tech.Func
-	fnOf := func(instanceID string) *model.Function {
-		for _, in := range im.Tech.Instances {
-			if in.ID() == instanceID {
-				return fa.FunctionByName(in.Function)
-			}
-		}
-		return nil
-	}
-	for _, c := range im.Connections {
-		client := fnOf(c.Client)
-		server := fnOf(c.Server)
-		if client == nil || server == nil {
-			continue // structural validation reports these
-		}
-		if client.Contract.Domain == server.Contract.Domain {
-			continue
-		}
-		allowed := false
-		for _, p := range client.Contract.AllowedPeers {
-			if p == c.Service {
-				allowed = true
-				break
-			}
-		}
-		if !allowed {
-			out = append(out, Finding{
-				Rule:    "cross-domain-connection",
-				Subject: fmt.Sprintf("%s -> %s", c.Client, c.Server),
-				Detail: fmt.Sprintf("client domain %q, server domain %q, service %q not in allowed peers",
-					client.Contract.Domain, server.Contract.Domain, c.Service),
-			})
-		}
-	}
-	return out
-}
+// The security acceptance check over the implementation model's sessions
+// (CheckDomains and its diff-scoped variant) lives in domains.go.
