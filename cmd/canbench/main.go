@@ -12,6 +12,7 @@
 //	canbench -experiment e12 -cores 1,0        # GOMAXPROCS sweep (0 = all cores)
 //	canbench -experiment e12 -cache mcc.cache  # persistent timing-analyzer memo
 //	canbench -experiment e13 [-procs 32,128,512] [-scale-changes 32]
+//	canbench -experiment e14 [-chaos-procs 32] [-chaos-changes 24]
 //	canbench -experiment all
 //	canbench -experiment all -json   # machine-readable, for BENCH_*.json
 //
@@ -19,6 +20,12 @@
 // generated platforms of growing processor counts, publishing the
 // scans-per-change curve that proves the accept path is diff-proportional
 // (flat for the incremental modes, linear in the platform for serial).
+//
+// E14 is the chaos tier: the generated-fleet change stream driven under a
+// deterministic fault matrix (injected analyzer errors, worker panics,
+// cache corruption, stage stalls racing the proposal deadline, journal
+// undo failures), publishing per-fault availability, recovery telemetry,
+// and the parity verdict against the clean serial oracle.
 package main
 
 import (
@@ -76,6 +83,30 @@ type e13Row struct {
 	StageWallUS     map[string]int64 `json:"stage_wall_us"`
 }
 
+// e14Row is one E14 chaos-tier point: one fault spec driven through one
+// integration strategy, with the oracle-parity verdict.
+type e14Row struct {
+	Spec            string  `json:"spec"`
+	Mode            string  `json:"mode"`
+	Procs           int     `json:"procs"`
+	Changes         int     `json:"changes"`
+	Accepted        int     `json:"accepted"`
+	Rejected        int     `json:"rejected"`
+	Degraded        int     `json:"degraded"`
+	DeadlineExpired int     `json:"deadline_expired"`
+	PanicsRecovered int     `json:"panics_recovered"`
+	RetriedAnalyses int     `json:"retried_analyses"`
+	FaultsInjected  int     `json:"faults_injected"`
+	Mismatches      int     `json:"mismatches"`
+	ParityOK        bool    `json:"parity_ok"`
+	AvailabilityPct float64 `json:"availability_pct"`
+	MeanLatencyUS   int64   `json:"mean_latency_us"`
+	P99LatencyUS    int64   `json:"p99_latency_us,omitempty"`
+	MaxLatencyUS    int64   `json:"max_latency_us,omitempty"`
+	RecoveryUS      int64   `json:"recovery_us,omitempty"`
+	WallUS          int64   `json:"wall_us"`
+}
+
 // e12Row is one E12 integration strategy's throughput measurement.
 type e12Row struct {
 	Mode           string           `json:"mode"`
@@ -101,6 +132,7 @@ type benchReport struct {
 	BreakEven int      `json:"e2_break_even_vms,omitempty"`
 	E12       []e12Row `json:"e12,omitempty"`
 	E13       []e13Row `json:"e13,omitempty"`
+	E14       []e14Row `json:"e14,omitempty"`
 }
 
 func main() {
@@ -112,6 +144,8 @@ func main() {
 	cores := flag.String("cores", "0", "comma-separated GOMAXPROCS values for the E12 sweep (0 = all cores)")
 	procs := flag.String("procs", "32,128,512", "comma-separated platform sizes for the E13 scale sweep")
 	scaleChanges := flag.Int("scale-changes", 32, "streamed change requests per E13 point")
+	chaosProcs := flag.Int("chaos-procs", 32, "platform size for the E14 chaos tier")
+	chaosChanges := flag.Int("chaos-changes", 24, "streamed change requests per E14 run")
 	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table for E12: loaded before the runs, saved back after (warm-starts the busy-window analyses across sessions)")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
@@ -121,7 +155,8 @@ func main() {
 	runE2 := *experiment == "e2" || *experiment == "all"
 	runE12 := *experiment == "e12" || *experiment == "all"
 	runE13 := *experiment == "e13" || *experiment == "e13-scale" || *experiment == "all"
-	if !runE1 && !runE2 && !runE12 && !runE13 {
+	runE14 := *experiment == "e14" || *experiment == "all"
+	if !runE1 && !runE2 && !runE12 && !runE13 && !runE14 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
@@ -169,6 +204,13 @@ func main() {
 		}
 		rep.E13 = rows
 	}
+	if runE14 {
+		rows, err := measureE14(*chaosProcs, *chaosChanges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.E14 = rows
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -198,6 +240,65 @@ func main() {
 			fmt.Println()
 		}
 		printE13(rep.E13)
+	}
+	if runE14 {
+		if runE1 || runE2 || runE12 || runE13 {
+			fmt.Println()
+		}
+		printE14(rep.E14)
+	}
+}
+
+// measureE14 runs the chaos tier and flattens the rows into the JSON
+// format. Any parity failure is a robustness regression, so it fails the
+// command, not just the row.
+func measureE14(procs, changes int) ([]e14Row, error) {
+	cfg := scenario.DefaultMCCChaosConfig()
+	cfg.Procs = procs
+	cfg.Updates = changes
+	rows, err := scenario.RunMCCChaos(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]e14Row, 0, len(rows))
+	for _, r := range rows {
+		if !r.ParityOK {
+			return nil, fmt.Errorf("e14 %s/%s: %d decision(s) diverged from the clean oracle: %s",
+				r.Spec, r.Mode, r.Mismatches, r.FirstMismatch)
+		}
+		out = append(out, e14Row{
+			Spec:            r.Spec,
+			Mode:            string(r.Mode),
+			Procs:           r.Procs,
+			Changes:         r.Changes,
+			Accepted:        r.Accepted,
+			Rejected:        r.Rejected,
+			Degraded:        r.Degraded,
+			DeadlineExpired: r.DeadlineExpired,
+			PanicsRecovered: r.PanicsRecovered,
+			RetriedAnalyses: r.RetriedAnalyses,
+			FaultsInjected:  r.FaultsInjected,
+			Mismatches:      r.Mismatches,
+			ParityOK:        r.ParityOK,
+			AvailabilityPct: r.AvailabilityPct,
+			MeanLatencyUS:   r.MeanLatencyUS,
+			P99LatencyUS:    r.P99LatencyUS,
+			MaxLatencyUS:    r.MaxLatencyUS,
+			RecoveryUS:      r.RecoveryUS,
+			WallUS:          r.WallUS,
+		})
+	}
+	return out, nil
+}
+
+func printE14(rows []e14Row) {
+	fmt.Println("E14: MCC decision parity and availability under the injected-fault matrix (chaos tier)")
+	fmt.Println("spec                  mode              changes  acc  rej  degr  ddl  panics  retries  faults  parity  avail%   mean-lat   p99-lat  recovery")
+	for _, r := range rows {
+		fmt.Printf("%-21s %-17s %7d  %3d  %3d  %4d  %3d  %6d  %7d  %6d  %6v  %5.1f%%  %7dus  %7dus  %6dus\n",
+			r.Spec, r.Mode, r.Changes, r.Accepted, r.Rejected, r.Degraded, r.DeadlineExpired,
+			r.PanicsRecovered, r.RetriedAnalyses, r.FaultsInjected, r.ParityOK,
+			r.AvailabilityPct, r.MeanLatencyUS, r.P99LatencyUS, r.RecoveryUS)
 	}
 }
 

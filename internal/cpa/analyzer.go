@@ -3,6 +3,8 @@ package cpa
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Analyzer memoizes busy-window analyses per task set. The MCC re-runs the
@@ -17,6 +19,12 @@ type Analyzer struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// inject, when non-nil, fires fault-injection hooks: "cpa.analyze"
+	// before every memoized analysis (error/slow modes) and "cpa.cache"
+	// on cache hits (corrupt mode truncates the stored entry, modeling a
+	// damaged memo table the caller must detect).
+	inject *faultinject.Injector
 }
 
 // maxCacheEntries bounds the memoization table. A fleet-scale change stream
@@ -58,6 +66,14 @@ func (a *Analyzer) Stats() AnalyzerStats {
 	return AnalyzerStats{Hits: a.hits.Load(), Misses: a.misses.Load(), Entries: n}
 }
 
+// SetInjector installs a fault injector on the analyzer's hook points
+// (nil disables injection). Call before concurrent use.
+func (a *Analyzer) SetInjector(inj *faultinject.Injector) {
+	a.mu.Lock()
+	a.inject = inj
+	a.mu.Unlock()
+}
+
 // Reset drops every cached result and zeroes the counters.
 func (a *Analyzer) Reset() {
 	a.mu.Lock()
@@ -74,9 +90,21 @@ func (a *Analyzer) analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
 		key = mix64(key ^ 0x5350_4e50) // "SPNP"
 	}
 	a.mu.Lock()
+	inj := a.inject
 	cached, ok := a.cache[key]
 	a.mu.Unlock()
+	if _, fired, err := inj.Fire(nil, "cpa.analyze", ""); fired && err != nil {
+		return nil, err
+	}
 	if ok {
+		if f, fired, _ := inj.Fire(nil, "cpa.cache", ""); fired && f.Mode == faultinject.ModeCorrupt && len(cached) > 0 {
+			a.mu.Lock()
+			if cur, still := a.cache[key]; still && len(cur) > 0 {
+				a.cache[key] = cur[:len(cur)-1]
+			}
+			cached = a.cache[key]
+			a.mu.Unlock()
+		}
 		a.hits.Add(1)
 		out := make([]Result, len(cached))
 		copy(out, cached)

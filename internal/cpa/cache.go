@@ -2,9 +2,12 @@ package cpa
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 )
 
 // This file persists the Analyzer's memo table (task-set digest -> WCRT
@@ -93,6 +96,10 @@ func MergeCache(dst, src *Analyzer) {
 
 // SaveCacheFile persists the memo table to path (written atomically via a
 // sibling temp file, so a crash mid-write never corrupts a good cache).
+// The temp file is fsynced before the rename and the parent directory
+// after it, so a power cut can never persist a truncated cache or lose
+// the rename: after a crash the path holds either the old complete cache
+// or the new complete cache.
 func SaveCacheFile(a *Analyzer, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -104,11 +111,35 @@ func SaveCacheFile(a *Analyzer, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms/filesystems refuse to sync directories; that is not a
+// durability regression over not syncing, so those errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.EBADF) {
+		return err
+	}
+	return nil
 }
 
 // LoadCacheFile merges the memo table stored at path. A missing file is

@@ -223,6 +223,64 @@ func TestCacheFileLoadFailureLeavesAnalyzerUsable(t *testing.T) {
 	}
 }
 
+// TestCacheSaveFileFailurePaths drives SaveCacheFile through its failure
+// modes: a missing parent directory (create fails) and a target that is a
+// directory (rename fails). Each must return an error, leave no stray
+// .tmp file behind, and leave any pre-existing cache at the path intact.
+func TestCacheSaveFileFailurePaths(t *testing.T) {
+	a := NewAnalyzer()
+	if _, err := a.AnalyzeSPP(cacheTestTasks(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing parent dir", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "no-such-subdir", "cpa.cache")
+		if err := SaveCacheFile(a, path); err == nil {
+			t.Fatal("save into missing directory succeeded")
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Fatal("temp file left behind after failed save")
+		}
+	})
+
+	t.Run("rename onto directory", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cpa.cache")
+		if err := os.Mkdir(path, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveCacheFile(a, path); err == nil {
+			t.Fatal("save onto a directory succeeded")
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Fatal("temp file left behind after failed rename")
+		}
+	})
+
+	t.Run("durable happy path", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cpa.cache")
+		if err := SaveCacheFile(a, path); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite with new content: the rename must atomically replace.
+		if _, err := a.AnalyzeSPNP(cacheTestTasks(3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveCacheFile(a, path); err != nil {
+			t.Fatal(err)
+		}
+		b := NewAnalyzer()
+		if err := LoadCacheFile(b, path); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Stats().Entries; got != 2 {
+			t.Fatalf("overwritten cache loaded %d entries, want 2", got)
+		}
+	})
+}
+
 func TestMergeCacheMatchesLoadSemantics(t *testing.T) {
 	a := NewAnalyzer()
 	if _, err := a.AnalyzeSPP(cacheTestTasks(3)); err != nil {

@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	f, ok, err := inj.Fire(nil, "stage.timing", "proc0")
+	if ok || err != nil || f.Mode != "" {
+		t.Fatalf("nil injector fired: %v %v %v", f, ok, err)
+	}
+	if inj.Fired() != nil || inj.TotalFired() != 0 {
+		t.Fatalf("nil injector reported fires")
+	}
+}
+
+func TestErrorModeWrapsSentinel(t *testing.T) {
+	inj := New(1, Rule{Stage: "cpa.analyze", Mode: ModeError})
+	_, ok, err := inj.Fire(nil, "cpa.analyze", "proc0")
+	if !ok || err == nil {
+		t.Fatalf("expected fire with error, got ok=%v err=%v", ok, err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "cpa.analyze") {
+		t.Fatalf("error does not name the hook: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	inj := New(1, Rule{Stage: "timing.worker", Mode: ModePanic})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	inj.Fire(nil, "timing.worker", "")
+}
+
+func TestEverySkipCountDeterminism(t *testing.T) {
+	// Skip 2, then fire every 3rd eligible call, at most 2 times:
+	// calls 1,2 skipped; eligible calls 3,4,5,6,7,8 -> fires on 5 and 8.
+	inj := New(7, Rule{Stage: "hook", Mode: ModeError, Skip: 2, Every: 3, Count: 2})
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		_, ok, _ := inj.Fire(nil, "hook", "")
+		if ok {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 5 || fires[1] != 8 {
+		t.Fatalf("expected fires at calls 5 and 8, got %v", fires)
+	}
+	if got := inj.Fired()["hook|error"]; got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+func TestRateIsSeedDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := New(42, Rule{Stage: "hook", Mode: ModeError, Rate: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			_, out[i], _ = inj.Fire(nil, "hook", "")
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rate firing not deterministic at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestWildcardAndResourceMatch(t *testing.T) {
+	inj := New(1,
+		Rule{Stage: "stage.*", Resource: "", Mode: ModeError},
+	)
+	if _, ok, _ := inj.Fire(nil, "stage.timing", "x"); !ok {
+		t.Fatalf("wildcard did not match stage.timing")
+	}
+	if _, ok, _ := inj.Fire(nil, "cpa.analyze", "x"); ok {
+		t.Fatalf("wildcard matched cpa.analyze")
+	}
+
+	inj = New(1, Rule{Stage: "timing.worker", Resource: "proc1", Mode: ModeError})
+	if _, ok, _ := inj.Fire(nil, "timing.worker", "proc0"); ok {
+		t.Fatalf("resource filter did not apply")
+	}
+	if _, ok, _ := inj.Fire(nil, "timing.worker", "proc1"); !ok {
+		t.Fatalf("resource match did not fire")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	inj := New(1,
+		Rule{Stage: "hook", Mode: ModeCorrupt},
+		Rule{Stage: "hook", Mode: ModeError},
+	)
+	f, ok, err := inj.Fire(nil, "hook", "")
+	if !ok || err != nil || f.Mode != ModeCorrupt {
+		t.Fatalf("expected first rule (corrupt) to win, got %v ok=%v err=%v", f, ok, err)
+	}
+}
+
+func TestStallBoundedByDone(t *testing.T) {
+	inj := New(1, Rule{Stage: "hook", Mode: ModeStall, StallUS: 10_000_000}) // 10s
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	_, ok, err := inj.Fire(done, "hook", "")
+	if !ok || err != nil {
+		t.Fatalf("stall did not fire: ok=%v err=%v", ok, err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("stall ignored done channel, slept %v", el)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	inj := New(1, Rule{Stage: "hook", Mode: ModeCorrupt, Every: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				inj.Fire(nil, "hook", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inj.TotalFired(); got != 4000 {
+		t.Fatalf("TotalFired = %d, want 4000 (8000 calls, every 2nd)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package mcc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,12 +89,20 @@ type BatchReport struct {
 // provider it requires) can be accepted where strictly serial proposals
 // would reject it — batching windows are atomic in that direction.
 func (m *MCC) ProposeBatch(b *Batch) *BatchReport {
+	return m.ProposeBatchContext(context.Background(), b)
+}
+
+// ProposeBatchContext is ProposeBatch bounded by ctx: every evaluation
+// (the coalesced candidate and each bisection step) runs under it, so an
+// expired deadline resolves the remaining changes as deterministic
+// deadline rejections instead of hanging the batch.
+func (m *MCC) ProposeBatchContext(ctx context.Context, b *Batch) *BatchReport {
 	br := &BatchReport{StageWall: make(map[Stage]time.Duration)}
-	m.decideChanges(b.changes, br)
+	m.decideChanges(ctx, b.changes, br)
 	return br
 }
 
-func (m *MCC) decideChanges(changes []Change, br *BatchReport) {
+func (m *MCC) decideChanges(ctx context.Context, changes []Change, br *BatchReport) {
 	if len(changes) == 0 {
 		return
 	}
@@ -101,12 +110,12 @@ func (m *MCC) decideChanges(changes []Change, br *BatchReport) {
 	for _, c := range changes {
 		cand = applyChange(cand, c)
 	}
-	rep := m.integrate(cand)
+	rep := m.integrateCtx(ctx, cand)
 	br.Evaluations += rep.Passes
 	for st, d := range rep.StageWall() {
 		br.StageWall[st] += d
 	}
-	if rep.Accepted || len(changes) == 1 {
+	if rep.Accepted || len(changes) == 1 || ctx.Err() != nil {
 		for _, c := range changes {
 			br.Outcomes = append(br.Outcomes, BatchOutcome{Change: c, Accepted: rep.Accepted, Report: rep})
 		}
@@ -118,8 +127,8 @@ func (m *MCC) decideChanges(changes []Change, br *BatchReport) {
 		return
 	}
 	mid := len(changes) / 2
-	m.decideChanges(changes[:mid], br)
-	m.decideChanges(changes[mid:], br)
+	m.decideChanges(ctx, changes[:mid], br)
+	m.decideChanges(ctx, changes[mid:], br)
 }
 
 func applyChange(fa *model.FunctionalArchitecture, c Change) *model.FunctionalArchitecture {

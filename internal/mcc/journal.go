@@ -202,6 +202,17 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.impl = j.impl
 	m.deployedMonitors = j.monitors
 	m.History = m.History[:j.history]
+	// Fault-injection hook modeling a failed keyed undo (e.g. a journal
+	// entry lost to memory corruption). The configuration pointers above
+	// are plain swaps and always succeed; what cannot be trusted after a
+	// failed undo are the incremental cache maps, so they are purged and
+	// the controller is quarantined — every subsequent proposal runs the
+	// pinned from-scratch path until an accepted commit rebuilds the
+	// caches wholesale.
+	if _, fired, err := m.inject.Fire(nil, "journal.undo", ""); fired && err != nil {
+		m.purgeIncrementalState()
+		return
+	}
 	m.deployedDigest = j.digestMap
 	m.deployedTiming = j.timingMap
 	m.deployedJobs = j.jobsMap
@@ -218,4 +229,22 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 		jrevert(j.synIns, j.synth.instancesOf)
 		jrevert(j.synTasks, j.synth.tasksOn)
 	}
+}
+
+// purgeIncrementalState is the last rung of the degradation ladder: drop
+// every incremental cache (including the analyzer memo) and quarantine
+// the controller. Proposals decided while quarantined run the pinned
+// from-scratch path — slower but dependent only on the committed
+// architecture, never on cache state — and the first accepted commit
+// rebuilds the caches wholesale (commitFull), lifting the quarantine.
+func (m *MCC) purgeIncrementalState() {
+	m.quarantined = true
+	m.deployedDigest = make(map[string]uint64)
+	m.deployedTiming = make(map[string]TimingResult)
+	m.deployedJobs = nil
+	m.deployedSynth = nil
+	m.pendingSynth = nil
+	m.deployedSecVerdicts = nil
+	m.deployedBudgetByProc = nil
+	m.analyzer.Reset()
 }

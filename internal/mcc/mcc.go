@@ -29,11 +29,16 @@
 package mcc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cpa"
+	"repro/internal/faultinject"
 	"repro/internal/mcc/pipeline"
 	"repro/internal/model"
 )
@@ -173,6 +178,30 @@ type MCC struct {
 	custom []pipeline.Stage
 	// pipe is the assembled integration pipeline.
 	pipe *pipeline.Pipeline
+
+	// inject, when non-nil, fires fault-injection hooks on every pipeline
+	// stage, the timing worker pool, the stream prefetch pool, and the
+	// window-journal undo path (the analyzer's hooks are installed in New).
+	inject *faultinject.Injector
+	// proposalDeadline, when > 0, bounds every proposal's wall clock:
+	// integrate wraps the proposal context with this timeout, and expiry
+	// rejects deterministically with a finding (never a hang).
+	proposalDeadline time.Duration
+	// quarantined marks the incremental state suspect (journal undo
+	// failure, purged caches): proposals decide on the pinned
+	// from-scratch path, reported Degraded, until an accepted commit
+	// rebuilds the caches wholesale (commitFull clears the flag).
+	quarantined bool
+	// pinned is set while the degradation ladder's from-scratch pass
+	// runs: fault injection is suppressed and the memoized analyzer is
+	// bypassed, so a pinned decision always equals the clean
+	// from-scratch oracle's.
+	pinned bool
+	// retriedAnalyses/panicsRecovered count pool-side recovery events
+	// (timing-job retries after transient errors, recovered worker and
+	// prefetch panics); integrate and the stream scheduler report deltas.
+	retriedAnalyses atomic.Int64
+	panicsRecovered atomic.Int64
 }
 
 // Option configures an MCC at construction time.
@@ -180,11 +209,37 @@ type Option func(*MCC)
 
 // WithTimingWorkers bounds the worker pool that analyzes dirty resources
 // during the timing acceptance test. 1 forces serial analysis; the default
-// is runtime.GOMAXPROCS(0).
+// is runtime.GOMAXPROCS(0). Values below 1 clamp to 1 — the clamp rule for
+// every MCC/stream sizing option is "non-positive means the serial/minimum
+// configuration", never a silent fallback to the default.
 func WithTimingWorkers(n int) Option {
 	return func(m *MCC) {
-		if n > 0 {
-			m.workers = n
+		if n < 1 {
+			n = 1
+		}
+		m.workers = n
+	}
+}
+
+// WithFaultInjector installs a deterministic fault injector on the MCC's
+// hook points ("stage.<name>" before every pipeline stage,
+// "timing.worker" per pooled analysis, "stream.prefetch" per prefetch
+// task, "journal.undo" on window rollback, plus the analyzer's
+// "cpa.analyze"/"cpa.cache" hooks). Nil disables injection (the
+// default); the hooks then cost one nil check.
+func WithFaultInjector(inj *faultinject.Injector) Option {
+	return func(m *MCC) { m.inject = inj }
+}
+
+// WithProposalDeadline bounds every proposal's wall-clock time. An
+// expired proposal is rejected deterministically with a finding naming
+// the stage the pipeline stopped at and is marked Degraded ("deadline")
+// in its Report — it never hangs and never commits past the deadline.
+// Non-positive durations are ignored (no deadline, the default).
+func WithProposalDeadline(d time.Duration) Option {
+	return func(m *MCC) {
+		if d > 0 {
+			m.proposalDeadline = d
 		}
 	}
 }
@@ -274,7 +329,36 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 		&monitorStage{m},
 		&commitStage{m},
 	).Insert(StageTiming, m.custom...)
+	if m.inject != nil {
+		m.analyzer.SetInjector(m.inject)
+		m.pipe = m.pipe.Wrap(func(s pipeline.Stage) pipeline.Stage {
+			return &faultStage{m: m, inner: s}
+		})
+	}
 	return m, nil
+}
+
+// faultStage interposes the fault injector in front of a pipeline stage.
+// Firing happens before the stage body runs, so an injected fault can
+// never interrupt a commit mid-mutation. Pinned (degradation-ladder) and
+// quarantined passes are exempt: the from-scratch fallback must be able
+// to complete, which is what makes degraded decisions equal the clean
+// oracle's.
+type faultStage struct {
+	m     *MCC
+	inner pipeline.Stage
+}
+
+func (s *faultStage) Name() Stage { return s.inner.Name() }
+
+func (s *faultStage) Run(ctx *pipeline.Context) error {
+	if !s.m.pinned && !s.m.quarantined {
+		if _, fired, err := s.m.inject.Fire(ctx.Done(), "stage."+string(s.inner.Name()), ""); fired && err != nil {
+			ctx.Report.TransientFault = true
+			return pipeline.Rejectf("%s: %v", s.inner.Name(), err)
+		}
+	}
+	return s.inner.Run(ctx)
 }
 
 // Pipeline exposes the assembled stage sequence (for introspection and
@@ -305,18 +389,35 @@ func (m *MCC) DeployedMonitors() []MonitorSpec { return m.deployedMonitors }
 // ProposeUpdate attempts to integrate fn (a new function or a new version
 // of a deployed one) into the running configuration.
 func (m *MCC) ProposeUpdate(fn model.Function) *Report {
-	return m.integrate(m.deployed.WithFunction(fn))
+	return m.ProposeUpdateContext(context.Background(), fn)
+}
+
+// ProposeUpdateContext is ProposeUpdate bounded by ctx: cancellation or
+// an expired deadline rejects the proposal deterministically (on top of
+// the per-proposal deadline from WithProposalDeadline, if any).
+func (m *MCC) ProposeUpdateContext(ctx context.Context, fn model.Function) *Report {
+	return m.integrateCtx(ctx, m.deployed.WithFunction(fn))
 }
 
 // ProposeRemoval attempts to remove a function from the configuration.
 func (m *MCC) ProposeRemoval(name string) *Report {
-	return m.integrate(m.deployed.WithoutFunction(name))
+	return m.ProposeRemovalContext(context.Background(), name)
+}
+
+// ProposeRemovalContext is ProposeRemoval bounded by ctx.
+func (m *MCC) ProposeRemovalContext(ctx context.Context, name string) *Report {
+	return m.integrateCtx(ctx, m.deployed.WithoutFunction(name))
 }
 
 // ProposeArchitecture attempts to integrate a whole architecture at once
 // (initial deployment).
 func (m *MCC) ProposeArchitecture(fa *model.FunctionalArchitecture) *Report {
-	return m.integrate(fa.Clone())
+	return m.ProposeArchitectureContext(context.Background(), fa)
+}
+
+// ProposeArchitectureContext is ProposeArchitecture bounded by ctx.
+func (m *MCC) ProposeArchitectureContext(ctx context.Context, fa *model.FunctionalArchitecture) *Report {
+	return m.integrateCtx(ctx, fa.Clone())
 }
 
 // RecordObservedWCET feeds an observed execution-time maximum (µs) for a
@@ -355,24 +456,110 @@ func (m *MCC) ReintegrateWithObservations() *Report {
 // the two engines can in principle accept different configurations.
 // TestRunMCCThroughput asserts decision equality over the E12 stream.
 func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
+	return m.integrateCtx(context.Background(), cand)
+}
+
+// integrateCtx is integrate bounded by gctx and hardened by the
+// degradation ladder:
+//
+//   - WithProposalDeadline wraps gctx per proposal; expiry rejects with
+//     a deterministic finding and marks the report Degraded ("deadline")
+//     — never a rerun, never a hang.
+//   - A rejection classified as a transient fault (injected analyzer
+//     error surviving the bounded retries, recovered stage/worker
+//     panic, detected cache corruption) quarantines the incremental
+//     state and re-decides the proposal on the pinned from-scratch path
+//     with fault injection suppressed, so the degraded verdict equals
+//     the clean from-scratch oracle's; the report is marked Degraded
+//     ("transient-fault"). The next accepted commit rebuilds every
+//     cache wholesale (commitFull) and lifts the quarantine.
+//   - While quarantined, every proposal decides on the pinned path and
+//     is marked Degraded ("quarantined").
+func (m *MCC) integrateCtx(gctx context.Context, cand *model.FunctionalArchitecture) *Report {
 	rep := &Report{}
 	defer func() { m.History = append(m.History, rep) }()
 
+	pctx := gctx
+	if m.proposalDeadline > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(gctx, m.proposalDeadline)
+		defer cancel()
+	}
+	// Pool-side recovery counters report per-proposal deltas.
+	retried0, panics0 := m.retriedAnalyses.Load(), m.panicsRecovered.Load()
+	defer func() {
+		rep.RetriedAnalyses += int(m.retriedAnalyses.Load() - retried0)
+		rep.PanicsRecovered += int(m.panicsRecovered.Load() - panics0)
+	}()
+
+	if m.quarantined {
+		m.runPinned(pctx, cand, rep)
+		rep.Degraded = true
+		rep.DegradedReasons = append(rep.DegradedReasons, "quarantined")
+		m.markDeadline(pctx, rep)
+		return rep
+	}
+
 	m.lastDeferred = nil
-	ctx := m.newContext(cand, rep, m.incPre)
+	ctx := m.newContext(pctx, cand, rep, m.incPre)
 	m.pipe.Run(ctx)
 
-	if !rep.Accepted && ctx.WarmMapped && placementDependent(rep.RejectedAt) {
+	if !rep.Accepted && pctx.Err() == nil && !rep.TransientFault &&
+		ctx.WarmMapped && placementDependent(rep.RejectedAt) {
 		// The rejected placement came from the warm-start heuristic; a
 		// full best-fit might still find a feasible configuration.
 		// Re-decide cold, keeping both passes' telemetry.
 		m.lastDeferred = nil
 		coldRep := &Report{Stages: rep.Stages, Passes: rep.Passes}
-		coldCtx := m.newContext(cand, coldRep, false)
+		coldCtx := m.newContext(pctx, cand, coldRep, false)
 		m.pipe.Run(coldCtx)
 		*rep = *coldRep
 	}
+
+	if !rep.Accepted && pctx.Err() == nil && rep.TransientFault {
+		// Degradation ladder: whether the fault hit the warm pass or the
+		// cold retry, quarantine the suspect incremental state and
+		// re-decide from scratch with injection suppressed.
+		m.quarantined = true
+		degRep := &Report{
+			Stages: rep.Stages, Passes: rep.Passes,
+			TransientFault: true,
+		}
+		m.runPinned(pctx, cand, degRep)
+		*rep = *degRep
+		rep.Degraded = true
+		rep.DegradedReasons = append(rep.DegradedReasons, "transient-fault")
+	}
+	m.markDeadline(pctx, rep)
 	return rep
+}
+
+// markDeadline marks a proposal stopped by its deadline as Degraded when
+// the expiry surfaced inside a stage (as an analysis error) rather than
+// at the pipeline's between-stage check, which marks it itself.
+func (m *MCC) markDeadline(pctx context.Context, rep *Report) {
+	if pctx.Err() != nil && !rep.Accepted && !slices.Contains(rep.DegradedReasons, "deadline") {
+		rep.Degraded = true
+		rep.DegradedReasons = append(rep.DegradedReasons, "deadline")
+	}
+}
+
+// runPinned decides cand on the pinned from-scratch path: every stage
+// from scratch, deferred checks off, fault injection suppressed, and the
+// memoized analyzer bypassed — the decision cannot depend on any
+// (possibly corrupt) incremental state and equals the clean oracle's.
+// An accepted pinned pass commits from-scratch (commitFull), rebuilding
+// every cache and lifting the quarantine.
+func (m *MCC) runPinned(pctx context.Context, cand *model.FunctionalArchitecture, rep *Report) {
+	savedDefer := m.deferChecks
+	m.deferChecks = false
+	m.pinned = true
+	m.lastDeferred = nil
+	ctx := m.newContext(pctx, cand, rep, false)
+	m.pipe.Run(ctx)
+	m.pinned = false
+	m.deferChecks = savedDefer
+	m.lastDeferred = nil
 }
 
 // placementDependent reports whether a stage's verdict can depend on the
@@ -386,7 +573,7 @@ func placementDependent(s Stage) bool {
 }
 
 // newContext assembles the pipeline context for one integration attempt.
-func (m *MCC) newContext(cand *model.FunctionalArchitecture, rep *Report, incremental bool) *pipeline.Context {
+func (m *MCC) newContext(pctx context.Context, cand *model.FunctionalArchitecture, rep *Report, incremental bool) *pipeline.Context {
 	ctx := &pipeline.Context{
 		Platform:     m.platform,
 		Candidate:    cand,
@@ -395,6 +582,7 @@ func (m *MCC) newContext(cand *model.FunctionalArchitecture, rep *Report, increm
 		Report:       rep,
 		Incremental:  incremental,
 		DeferChecks:  m.deferChecks,
+		Ctx:          pctx,
 	}
 	if incremental {
 		ctx.Diff = pipeline.ComputeDiff(m.deployed, cand)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -83,11 +84,31 @@ type Context struct {
 	// task-set digests the commit stage persists for dirty tracking.
 	TimingDigests map[string]uint64
 
+	// Ctx carries the proposal's cancellation/deadline signal. The
+	// pipeline checks it between stages and long-running stages may
+	// check it mid-work; expiry rejects the proposal deterministically
+	// (never a hang). Nil means no deadline (context.Background()).
+	Ctx context.Context
+
 	// Report is the report under construction.
 	Report *Report
 
 	artifacts map[string]any
 	note      string
+}
+
+// Done returns the proposal context's done channel, or nil when no
+// deadline/cancellation applies. Safe on a nil Ctx.
+func (c *Context) Done() <-chan struct{} {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Done()
+}
+
+// Expired reports whether the proposal's deadline/cancellation fired.
+func (c *Context) Expired() bool {
+	return c.Ctx != nil && c.Ctx.Err() != nil
 }
 
 // Put stores a named artifact for later stages (or the caller) to pick up.

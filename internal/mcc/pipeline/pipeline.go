@@ -112,6 +112,17 @@ func (p *Pipeline) Insert(at StageName, extra ...Stage) *Pipeline {
 	return &Pipeline{stages: out}
 }
 
+// Wrap returns a new pipeline with every stage replaced by wrap(stage).
+// The caller uses this to interpose cross-cutting concerns (fault
+// injection hooks) without the stages knowing.
+func (p *Pipeline) Wrap(wrap func(Stage) Stage) *Pipeline {
+	out := make([]Stage, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = wrap(s)
+	}
+	return &Pipeline{stages: out}
+}
+
 // StageNames lists the stages in execution order.
 func (p *Pipeline) StageNames() []StageName {
 	out := make([]StageName, len(p.stages))
@@ -125,12 +136,27 @@ func (p *Pipeline) StageNames() []StageName {
 // per executed stage into ctx.Report. The first stage returning an error
 // marks the report rejected at that stage and stops the pipeline; if every
 // stage passes, the report is marked accepted.
+//
+// Robustness: a panicking stage is recovered and converted into a
+// rejection at that stage (counted in Report.PanicsRecovered and marked
+// transient), and the proposal deadline (ctx.Ctx) is checked before
+// every stage — expiry rejects deterministically with a finding naming
+// the stage the pipeline stopped before, so a proposal can never hang
+// or commit past its deadline.
 func (p *Pipeline) Run(ctx *Context) {
 	rep := ctx.Report
 	rep.Passes++
 	for _, s := range p.stages {
+		if ctx.Expired() {
+			rep.RejectedAt = s.Name()
+			rep.Degraded = true
+			rep.DegradedReasons = append(rep.DegradedReasons, "deadline")
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("deadline: proposal deadline expired before stage %s (%v)", s.Name(), ctx.Ctx.Err()))
+			return
+		}
 		start := time.Now()
-		err := s.Run(ctx)
+		err := p.runStage(s, ctx)
 		rep.Stages = append(rep.Stages, StageTrace{
 			Stage: s.Name(),
 			Wall:  time.Since(start),
@@ -147,4 +173,17 @@ func (p *Pipeline) Run(ctx *Context) {
 		}
 	}
 	rep.Accepted = true
+}
+
+// runStage executes one stage, converting a panic into a rejection so a
+// faulty viewpoint cannot take the controller down.
+func (p *Pipeline) runStage(s Stage, ctx *Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctx.Report.PanicsRecovered++
+			ctx.Report.TransientFault = true
+			err = Rejectf("%s: recovered panic: %v", s.Name(), r)
+		}
+	}()
+	return s.Run(ctx)
 }

@@ -97,6 +97,28 @@ type Report struct {
 	// incremented by every Pipeline.Run, so 1 normally and 2 when a
 	// rejected warm-start attempt was re-decided from scratch.
 	Passes int
+	// Degraded reports that this proposal did not complete on the
+	// normal incremental path: its deadline expired, or a fault made
+	// the MCC quarantine its incremental state and re-decide the
+	// proposal on the pinned from-scratch path. A degraded verdict is
+	// still deterministic — the degradation ladder guarantees it equals
+	// the from-scratch oracle's decision (or is a deadline rejection).
+	Degraded bool
+	// DegradedReasons lists why the proposal degraded ("deadline",
+	// "transient-fault", "quarantined"), in the order encountered.
+	DegradedReasons []string
+	// TransientFault marks a rejection caused by a fault the
+	// degradation ladder classifies as transient (injected error,
+	// recovered worker panic, cache corruption) rather than a real
+	// acceptance failure; the MCC re-decides such proposals from
+	// scratch before the verdict stands.
+	TransientFault bool
+	// PanicsRecovered counts panics recovered on behalf of this
+	// proposal: pipeline stages and pooled timing/prefetch goroutines.
+	PanicsRecovered int
+	// RetriedAnalyses counts timing analyses retried after a transient
+	// analyzer error (bounded retry with backoff).
+	RetriedAnalyses int
 }
 
 // StageTraceFor returns the last recorded trace of the named stage, or nil.

@@ -1,0 +1,480 @@
+package mcc
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+)
+
+// Robustness tier: drive the controller through the injected-fault
+// matrix (errors, panics, stalls, cache corruption, journal undo
+// failures) and require the hard guarantees of the degradation ladder:
+// the process never crashes or hangs, every proposal resolves within its
+// deadline, and every decision either matches the clean from-scratch
+// oracle or is explicitly marked Degraded on its Report. Run under -race
+// in CI.
+
+// robustBaseline is a small deployed workload shared by the fault tests.
+func robustBaseline() []model.Function {
+	return []model.Function{
+		fn("brake", model.ASILD, 5000, 500, 128),
+		fn("acc", model.ASILC, 10000, 1500, 256),
+		fn("infotainment", model.QM, 50000, 10000, 1024),
+	}
+}
+
+// robustMCC deploys the baseline on a fresh controller with opts.
+func robustMCC(t *testing.T, opts ...Option) *MCC {
+	t.Helper()
+	m, err := New(testPlatform(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range robustBaseline() {
+		if rep := m.ProposeUpdate(f); !rep.Accepted {
+			t.Fatalf("baseline %s rejected at %s: %v", f.Name, rep.RejectedAt, rep.Findings)
+		}
+	}
+	return m
+}
+
+// oracleDecide replays changes serially on a clean from-scratch
+// controller (no incremental caches, no injection, one worker) — the
+// reference every degraded decision must still agree with.
+func oracleDecide(t *testing.T, changes []Change) []*Report {
+	t.Helper()
+	m := robustMCC(t, WithoutIncremental(), WithTimingWorkers(1))
+	reports := make([]*Report, 0, len(changes))
+	for _, c := range changes {
+		reports = append(reports, m.propose(c))
+	}
+	return reports
+}
+
+func assertDecisionParity(t *testing.T, changes []Change, got, want []*Report) {
+	t.Helper()
+	for i := range want {
+		if got[i].Accepted != want[i].Accepted || got[i].RejectedAt != want[i].RejectedAt {
+			t.Fatalf("change %d (%s): faulted run decided %v@%q, oracle %v@%q",
+				i, changes[i], got[i].Accepted, got[i].RejectedAt, want[i].Accepted, want[i].RejectedAt)
+		}
+	}
+}
+
+func TestWithTimingWorkersClampsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		m, err := New(testPlatform(), WithTimingWorkers(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.workers != 1 {
+			t.Fatalf("WithTimingWorkers(%d): workers = %d, want clamp to 1", n, m.workers)
+		}
+	}
+	m, err := New(testPlatform(), WithTimingWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.workers != 3 {
+		t.Fatalf("WithTimingWorkers(3): workers = %d", m.workers)
+	}
+}
+
+func TestStreamOptionsClampNonPositive(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamScheduler(m, WithStreamWorkers(0), WithStreamWindow(-2))
+	if s.workers != 1 || s.window != 1 {
+		t.Fatalf("clamped scheduler = %d workers, window %d, want 1/1", s.workers, s.window)
+	}
+	s = NewStreamScheduler(m, WithStreamWorkers(4), WithStreamWindow(8))
+	if s.workers != 4 || s.window != 8 {
+		t.Fatalf("scheduler = %d workers, window %d, want 4/8", s.workers, s.window)
+	}
+}
+
+// A stalled timing stage must never hang a proposal: the per-proposal
+// deadline converts the stall into a deterministic degraded rejection,
+// and the controller stays fully usable afterwards.
+func TestProposalDeadlineBoundsStalledStage(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Rule{
+		Stage: "stage.timing", Mode: faultinject.ModeStall,
+		StallUS: int64(10 * time.Second / time.Microsecond), Count: 1,
+	})
+	m, err := New(testPlatform(), WithFaultInjector(inj), WithProposalDeadline(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	rep := m.ProposeUpdate(fn("telem", model.QM, 200000, 2000, 64))
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled proposal took %v, deadline did not bound it", elapsed)
+	}
+	if rep.Accepted {
+		t.Fatal("stalled proposal accepted")
+	}
+	if !rep.Degraded || !slices.Contains(rep.DegradedReasons, "deadline") {
+		t.Fatalf("stalled proposal not marked degraded-by-deadline: %+v / %v", rep.Degraded, rep.DegradedReasons)
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("stall never fired, test exercised nothing")
+	}
+
+	// The fault was one-shot (Count:1): the same change must now go
+	// through cleanly, undegraded.
+	rep = m.ProposeUpdate(fn("telem", model.QM, 200000, 2000, 64))
+	if !rep.Accepted || rep.Degraded {
+		t.Fatalf("post-stall proposal = accepted %v, degraded %v, want clean accept (findings %v)",
+			rep.Accepted, rep.Degraded, rep.Findings)
+	}
+}
+
+// A panicking pooled analysis goroutine is recovered, the proposal is
+// re-decided on the pinned from-scratch path, and the decision matches
+// the clean serial oracle.
+func TestWorkerPanicRecoveredDecisionMatchesOracle(t *testing.T) {
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+		upd(fn("heavy", model.ASILD, 10000, 4500, 64)),
+	}
+	want := oracleDecide(t, changes)
+
+	inj := faultinject.New(7, faultinject.Rule{
+		Stage: "timing.worker", Mode: faultinject.ModePanic, Every: 2, Count: 20,
+	})
+	m := robustMCC(t, WithFaultInjector(inj))
+	got := make([]*Report, 0, len(changes))
+	for _, c := range changes {
+		got = append(got, m.propose(c))
+	}
+
+	assertDecisionParity(t, changes, got, want)
+	// Panics may land on any proposal (the baseline deploys under the
+	// same injector — its degraded-but-correct accepts are part of the
+	// corpus), so count recovery over the whole history.
+	panics, degraded := 0, 0
+	for _, rep := range m.History {
+		panics += rep.PanicsRecovered
+		if rep.Degraded {
+			degraded++
+			if !slices.Contains(rep.DegradedReasons, "transient-fault") &&
+				!slices.Contains(rep.DegradedReasons, "quarantined") {
+				t.Fatalf("degraded report without ladder reason: %v", rep.DegradedReasons)
+			}
+		}
+	}
+	if panics == 0 || degraded == 0 {
+		t.Fatalf("panics recovered = %d, degraded = %d, want both > 0 (fired %v)",
+			panics, degraded, inj.Fired())
+	}
+}
+
+// Persistent injected analyzer errors exhaust the bounded retry, the
+// ladder re-decides from scratch, and once the fault burst ends the
+// controller returns to clean, undegraded decisions.
+func TestTransientAnalyzerErrorsRetryThenDegrade(t *testing.T) {
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+	}
+	want := oracleDecide(t, changes)
+
+	inj := faultinject.New(3, faultinject.Rule{
+		Stage: "cpa.analyze", Mode: faultinject.ModeError, Count: 7,
+	})
+	m := robustMCC(t, WithFaultInjector(inj))
+	got := make([]*Report, 0, len(changes))
+	for _, c := range changes {
+		got = append(got, m.propose(c))
+	}
+	assertDecisionParity(t, changes, got, want)
+
+	// The burst may be spent on any proposal (baseline included); count
+	// the ladder's work over the whole history.
+	retried, degraded := 0, 0
+	for _, rep := range m.History {
+		retried += rep.RetriedAnalyses
+		if rep.Degraded {
+			degraded++
+		}
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("analyzer fault never fired")
+	}
+	if retried == 0 {
+		t.Fatalf("no retries recorded despite %d fires", inj.TotalFired())
+	}
+	if degraded == 0 {
+		t.Fatal("persistent analyzer faults produced no degraded proposal")
+	}
+
+	// Fault burst over (Count exhausted): the next proposal must be a
+	// clean, undegraded decision matching the oracle.
+	rep := m.ProposeUpdate(fn("t2", model.QM, 140000, 2500, 64))
+	if !rep.Accepted || rep.Degraded {
+		t.Fatalf("post-burst proposal = accepted %v, degraded %v, want clean accept (findings %v)",
+			rep.Accepted, rep.Degraded, rep.Findings)
+	}
+}
+
+// A corrupted memo entry (cache digest mismatch) is detected by the
+// result-table sanity check, the analyzer cache is rebuilt, and the
+// decision is re-derived from scratch — never trusted from the damaged
+// entry.
+func TestCacheCorruptionDetectedAndQuarantined(t *testing.T) {
+	// On the tight stress platform, "safe" is the only ASIL-D host: base
+	// and heavy1 fit, and heavy2's release jitter packs several of its
+	// activations into one busy window next to them — utilization stays
+	// under 100% (mapping passes) but the window blows its deadline, so
+	// heavy2 rejects at timing. Re-proposing it replays the same task
+	// sets — cache hits, which the injector corrupts.
+	base := fn("base", model.ASILD, 10000, 3000, 128)
+	heavy1 := fn("heavy1", model.ASILD, 10000, 4000, 64)
+	heavy2 := fn("heavy2", model.ASILD, 20000, 5000, 64)
+	heavy2.Contract.RealTime.JitterUS = 60000
+	heavy2.Contract.RealTime.DeadlineUS = 30000
+
+	mk := func(opts ...Option) *MCC {
+		m, err := New(stressPlatform(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []model.Function{base, heavy1} {
+			if rep := m.ProposeUpdate(f); !rep.Accepted {
+				t.Fatalf("baseline %s rejected at %s: %v", f.Name, rep.RejectedAt, rep.Findings)
+			}
+		}
+		return m
+	}
+
+	// Clean reference decision.
+	oracle := mk(WithoutIncremental(), WithTimingWorkers(1))
+	want := oracle.ProposeUpdate(heavy2)
+	if want.Accepted || want.RejectedAt != StageTiming {
+		t.Fatalf("heavy2 decided %v@%q on the oracle, corpus does not exercise timing rejection",
+			want.Accepted, want.RejectedAt)
+	}
+
+	inj := faultinject.New(5, faultinject.Rule{
+		Stage: "cpa.cache", Mode: faultinject.ModeCorrupt, Count: 4,
+	})
+	m := mk(WithFaultInjector(inj))
+
+	// Two rejected attempts: the first warms the memo (and may already
+	// hit it on its cold retry), the second definitely replays cached
+	// task sets. Both must decide exactly as the oracle; any attempt the
+	// corruption touched must be marked degraded, never silently wrong.
+	degraded := 0
+	for attempt := 0; attempt < 2; attempt++ {
+		rep := m.ProposeUpdate(heavy2)
+		if rep.Accepted != want.Accepted || rep.RejectedAt != want.RejectedAt {
+			t.Fatalf("attempt %d decided %v@%q, oracle %v@%q",
+				attempt, rep.Accepted, rep.RejectedAt, want.Accepted, want.RejectedAt)
+		}
+		if rep.Degraded {
+			degraded++
+		}
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("corruption never fired (no cache hits?)")
+	}
+	if degraded == 0 {
+		t.Fatal("corrupted attempts never marked degraded")
+	}
+
+	// The ladder quarantined the suspect state; the next accepted commit
+	// rebuilds the caches and later proposals are clean again.
+	rep := m.ProposeUpdate(fn("t0", model.QM, 100000, 2000, 64))
+	if !rep.Accepted {
+		t.Fatalf("post-corruption proposal rejected at %s: %v", rep.RejectedAt, rep.Findings)
+	}
+	rep = m.ProposeUpdate(fn("t1", model.QM, 120000, 1500, 64))
+	if !rep.Accepted || rep.Degraded {
+		t.Fatalf("controller did not recover: accepted %v, degraded %v", rep.Accepted, rep.Degraded)
+	}
+}
+
+// Faults on the stream prefetch pool (errors and panics) taint their
+// window: the scheduler replays it serially and every decision still
+// matches the clean serial oracle, with the recovered panics surfaced in
+// the stream stats.
+func TestStreamPrefetchFaultsTaintWindowAndReplay(t *testing.T) {
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+		upd(fn("t2", model.QM, 140000, 2500, 64)),
+		upd(fn("heavy3", model.ASILD, 10000, 4000, 64)),
+		upd(fn("t4", model.QM, 160000, 1800, 64)),
+		upd(fn("t5", model.QM, 180000, 1200, 64)),
+	}
+	want := oracleDecide(t, changes)
+
+	for _, mode := range []faultinject.Mode{faultinject.ModeError, faultinject.ModePanic} {
+		t.Run(string(mode), func(t *testing.T) {
+			inj := faultinject.New(11, faultinject.Rule{
+				Stage: "stream.prefetch", Mode: mode, Every: 2, Count: 4,
+			})
+			m := robustMCC(t, WithFaultInjector(inj))
+			sched := NewStreamScheduler(m, WithStreamWindow(8))
+			got := sched.Run(changes)
+
+			assertDecisionParity(t, changes, got, want)
+			st := sched.Stats()
+			if inj.TotalFired() == 0 {
+				t.Fatal("prefetch fault never fired")
+			}
+			if st.Replays == 0 {
+				t.Fatalf("tainted windows did not replay: %+v", st)
+			}
+			if mode == faultinject.ModePanic && st.PanicsRecovered == 0 {
+				t.Fatalf("pool panics not surfaced in stream stats: %+v", st)
+			}
+		})
+	}
+}
+
+// A failed keyed undo during window rollback purges the incremental
+// state and quarantines the controller: decisions keep matching the
+// serial oracle (pinned from-scratch path), the affected proposals are
+// marked degraded, and the first accepted commit rebuilds the caches
+// bit-identically to a fresh serial controller.
+func TestJournalUndoFaultPurgesAndRecovers(t *testing.T) {
+	changes := []Change{
+		// One window of same-platform QM additions: their optimistic
+		// commits overlap on the deployed cache keys of the processors
+		// they share, so the rollback exercises overlapping keyed undo.
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+		upd(fn("t2", model.QM, 140000, 2500, 64)),
+		upd(fn("t3", model.QM, 160000, 1800, 64)),
+	}
+	want := oracleDecide(t, changes)
+
+	inj := faultinject.New(13,
+		// Taint the first window so it rolls back...
+		faultinject.Rule{Stage: "stream.prefetch", Mode: faultinject.ModeError, Count: 1},
+		// ...and fail the keyed undo of that rollback.
+		faultinject.Rule{Stage: "journal.undo", Mode: faultinject.ModeError, Count: 1},
+	)
+	m := robustMCC(t, WithFaultInjector(inj))
+	sched := NewStreamScheduler(m, WithStreamWindow(8))
+	got := sched.Run(changes)
+
+	assertDecisionParity(t, changes, got, want)
+	if fired := inj.Fired(); fired["journal.undo|error"] == 0 {
+		t.Fatalf("journal undo fault never fired: %v", fired)
+	}
+	degraded := 0
+	for _, rep := range got {
+		if rep.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("quarantined replay produced no degraded proposal")
+	}
+	if m.quarantined {
+		t.Fatal("quarantine not lifted by an accepted from-scratch commit")
+	}
+
+	// After recovery the rebuilt caches must be bit-identical to a fresh
+	// full-incremental controller that proposed the same stream serially
+	// and then decided one more clean change.
+	post := upd(fn("t9", model.QM, 180000, 1200, 64))
+	rep := m.propose(post)
+	if !rep.Accepted || rep.Degraded {
+		t.Fatalf("post-recovery proposal = accepted %v, degraded %v", rep.Accepted, rep.Degraded)
+	}
+	fresh := robustMCC(t)
+	for _, c := range append(slices.Clone(changes), post) {
+		fresh.propose(c)
+	}
+	sf, ff := cacheFingerprint(m), cacheFingerprint(fresh)
+	for key := range ff {
+		if !reflect.DeepEqual(sf[key], ff[key]) {
+			t.Errorf("cache %q diverges after quarantine recovery:\nfaulted %+v\nserial  %+v",
+				key, sf[key], ff[key])
+		}
+	}
+}
+
+// Journal undo correctness under overlapping keyed writes: a window
+// whose changes all land on the same processors commits overlapping
+// cache keys optimistically; a mid-window deferred timing failure forces
+// the rollback + serial replay, after which every cache must equal a
+// fresh serial controller's. (The injected-fault variant of the same
+// invariant is TestJournalUndoFaultPurgesAndRecovers.)
+func TestJournalRollbackOverlappingKeyedWrites(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			changes := []Change{
+				upd(fn("a0", model.QM, 100000, 2000+500*seed, 64)),
+				upd(fn("a1", model.QM, 120000, 1500, 64)),
+				// Near-capacity ASIL-D: its deferred busy-window verdict
+				// fails next to the baseline load, tainting the window.
+				upd(fn("heavy", model.ASILD, 10000, 4200+100*seed, 64)),
+				upd(fn("a2", model.QM, 140000, 2500, 64)),
+			}
+			streamed := robustMCC(t)
+			sched := NewStreamScheduler(streamed, WithStreamWindow(8))
+			got := sched.Run(changes)
+
+			fresh := robustMCC(t)
+			want := make([]*Report, 0, len(changes))
+			for _, c := range changes {
+				want = append(want, fresh.propose(c))
+			}
+			assertDecisionParity(t, changes, got, want)
+			for i := range want {
+				if !reflect.DeepEqual(got[i].Findings, want[i].Findings) {
+					t.Fatalf("change %d findings diverge:\nstream %v\nserial %v",
+						i, got[i].Findings, want[i].Findings)
+				}
+			}
+			sf, ff := cacheFingerprint(streamed), cacheFingerprint(fresh)
+			for key := range ff {
+				if !reflect.DeepEqual(sf[key], ff[key]) {
+					t.Errorf("cache %q diverges after rollback:\nstream %+v\nserial %+v",
+						key, sf[key], ff[key])
+				}
+			}
+		})
+	}
+}
+
+// Deadline behavior composes with the batch bisection: an expired
+// context resolves every remaining change as a deterministic rejection
+// instead of hanging the batch.
+func TestBatchDeadlineResolvesAllChanges(t *testing.T) {
+	inj := faultinject.New(17, faultinject.Rule{
+		Stage: "stage.*", Mode: faultinject.ModeStall,
+		StallUS: int64(time.Second / time.Microsecond),
+	})
+	m, err := New(testPlatform(), WithFaultInjector(inj), WithProposalDeadline(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBatch()
+	for i := 0; i < 4; i++ {
+		b.Update(fn(fmt.Sprintf("b%d", i), model.QM, 100000+int64(i)*20000, 2000, 64))
+	}
+	start := time.Now()
+	br := m.ProposeBatch(b)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("batch under stalls took %v", elapsed)
+	}
+	if got := len(br.Outcomes); got != b.Len() {
+		t.Fatalf("batch resolved %d/%d changes", got, b.Len())
+	}
+}

@@ -1,13 +1,16 @@
 package mcc
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpa"
+	"repro/internal/faultinject"
 	"repro/internal/mcc/pipeline"
 	"repro/internal/model"
 	"repro/internal/safety"
@@ -887,6 +890,9 @@ func (s *timingStage) Run(ctx *pipeline.Context) error {
 	ctx.Report.TimingDirty += out.dirty
 	ctx.Report.TimingResources += out.total
 	ctx.Note("%d/%d resources dirty, %d scanned", out.dirty, out.total, out.scanned)
+	if out.transient {
+		ctx.Report.TransientFault = true
+	}
 	if len(out.findings) > 0 {
 		return &pipeline.Reject{Findings: out.findings}
 	}
@@ -913,6 +919,11 @@ type timingOutcome struct {
 	scanned  int
 	dirty    int
 	total    int
+	// transient marks that at least one finding stems from a transient
+	// fault (injected error, recovered worker panic, corrupt memo entry)
+	// rather than a real timing verdict; the degradation ladder
+	// re-decides such rejections from scratch.
+	transient bool
 }
 
 // timingScratch holds the MCC-owned buffers the timing stage reuses
@@ -1063,6 +1074,13 @@ type deferredChecks struct {
 	// inline via the diff-scoped check (tech/impl stay nil then).
 	safetyChecked   int
 	securityChecked int
+
+	// tainted marks that a prefetch task for this proposal hit a fault
+	// (injected error or recovered panic). The verification pass treats a
+	// tainted record as failed, forcing the window's serial replay — the
+	// memo table may hold partial or missing entries, so the optimistic
+	// decision cannot be trusted.
+	tainted atomic.Bool
 }
 
 // deferred returns the deferred-check record of the pipeline run in
@@ -1155,14 +1173,28 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 	if workers > len(dirty) {
 		workers = len(dirty)
 	}
+	// Every analysis is panic-isolated, the proposal deadline is checked
+	// before each job (an expired proposal stops analyzing and rejects
+	// with the context error as a finding), and stalls inside the
+	// injector are bounded by the proposal's done channel.
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	runOne := func(i int) {
+		if ctx != nil && ctx.Expired() {
+			errs[i] = ctx.Ctx.Err()
+			return
+		}
+		results[i], errs[i] = m.runTimingJobSafe(done, jobs[i])
+	}
 	if workers <= 1 || len(dirty) <= minParallelDirty {
 		for _, i := range dirty {
-			results[i], errs[i] = m.runTimingJob(jobs[i])
+			runOne(i)
 		}
 	} else {
 		runParallel(len(dirty), workers, func(k int) {
-			i := dirty[k]
-			results[i], errs[i] = m.runTimingJob(jobs[i])
+			runOne(dirty[k])
 		})
 	}
 
@@ -1170,6 +1202,9 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 	m.pendingResults = results
 	for i := range jobs {
 		if errs[i] != nil {
+			if isTransientErr(errs[i]) {
+				out.transient = true
+			}
 			out.findings = append(out.findings,
 				fmt.Sprintf("timing: analysis of %s failed: %v", jobs[i].resource, errs[i]))
 			continue
@@ -1229,22 +1264,102 @@ func grow[T any](buf *[]T, n int) []T {
 	return s
 }
 
+// Transient-fault sentinels of the timing path. A rejection caused by
+// one of these (or by faultinject.ErrInjected) is classified transient:
+// the degradation ladder re-decides the proposal from scratch instead of
+// letting a fault masquerade as a real acceptance failure.
+var (
+	// errCacheCorrupt marks a memoized analysis whose result table does
+	// not match its task set — the memo entry is corrupt. Detection
+	// resets the analyzer (dropping every suspect entry).
+	errCacheCorrupt = errors.New("mcc: timing memo entry corrupt")
+	// errWorkerPanic marks a pooled analysis goroutine that panicked and
+	// was recovered.
+	errWorkerPanic = errors.New("mcc: timing worker panicked")
+)
+
+// isTransientErr classifies an analysis error as a recoverable fault
+// rather than a real timing verdict.
+func isTransientErr(err error) bool {
+	return errors.Is(err, faultinject.ErrInjected) ||
+		errors.Is(err, errCacheCorrupt) ||
+		errors.Is(err, errWorkerPanic)
+}
+
+// maxAnalysisAttempts bounds the retry loop around one resource's
+// analysis: the first attempt plus up to two retries of injected
+// transient errors, with linear backoff between attempts.
+const maxAnalysisAttempts = 3
+
+// analyzeJob runs one resource's busy-window analysis, firing the
+// "timing.worker" injection hook first. The memoized analyzer is used
+// only on the normal incremental path; pinned and quarantined passes
+// bypass both the hook and the memo, so a degraded decision can depend
+// neither on injected faults nor on suspect cache state.
+func (m *MCC) analyzeJob(done <-chan struct{}, j timingJob) ([]cpa.Result, error) {
+	pinned := m.pinned || m.quarantined
+	if !pinned {
+		if _, fired, err := m.inject.Fire(done, "timing.worker", j.resource); fired && err != nil {
+			return nil, err
+		}
+	}
+	useMemo := m.incTiming && !pinned
+	switch {
+	case useMemo && j.spnp:
+		return m.analyzer.AnalyzeSPNP(j.tasks)
+	case useMemo:
+		return m.analyzer.AnalyzeSPP(j.tasks)
+	case j.spnp:
+		return cpa.AnalyzeSPNP(j.tasks)
+	default:
+		return cpa.AnalyzeSPP(j.tasks)
+	}
+}
+
 // runTimingJob analyzes one resource, through the memoizing analyzer when
 // incremental timing is on, or from scratch for the serial baseline.
-func (m *MCC) runTimingJob(j timingJob) (TimingResult, error) {
+// Transient injected errors are retried with linear backoff (bounded by
+// maxAnalysisAttempts, counted in the retriedAnalyses telemetry), and
+// the result table is sanity-checked against the task set — a mismatch
+// means the memo entry is corrupt: the analyzer is reset and the error
+// reported transient so the degradation ladder re-decides from scratch.
+func (m *MCC) runTimingJob(done <-chan struct{}, j timingJob) (TimingResult, error) {
 	var res []cpa.Result
 	var err error
-	switch {
-	case m.incTiming && j.spnp:
-		res, err = m.analyzer.AnalyzeSPNP(j.tasks)
-	case m.incTiming:
-		res, err = m.analyzer.AnalyzeSPP(j.tasks)
-	case j.spnp:
-		res, err = cpa.AnalyzeSPNP(j.tasks)
-	default:
-		res, err = cpa.AnalyzeSPP(j.tasks)
+	for attempt := 0; ; attempt++ {
+		res, err = m.analyzeJob(done, j)
+		if err == nil || !errors.Is(err, faultinject.ErrInjected) || attempt+1 >= maxAnalysisAttempts {
+			break
+		}
+		m.retriedAnalyses.Add(1)
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Microsecond)
 	}
-	return TimingResult{Resource: j.resource, Results: res}, err
+	if err != nil {
+		return TimingResult{Resource: j.resource}, err
+	}
+	if len(res) != len(j.tasks) {
+		// The busy-window analysis emits exactly one result per task; a
+		// shorter table can only come from a damaged memo entry.
+		m.analyzer.Reset()
+		return TimingResult{Resource: j.resource},
+			fmt.Errorf("%w: %s returned %d results for %d tasks", errCacheCorrupt, j.resource, len(res), len(j.tasks))
+	}
+	return TimingResult{Resource: j.resource, Results: res}, nil
+}
+
+// runTimingJobSafe is runTimingJob with panic isolation: a panicking
+// pooled goroutine (injected or real) is recovered, counted, and
+// surfaced as a transient errWorkerPanic instead of taking the
+// controller down.
+func (m *MCC) runTimingJobSafe(done <-chan struct{}, j timingJob) (res TimingResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panicsRecovered.Add(1)
+			res = TimingResult{Resource: j.resource}
+			err = fmt.Errorf("%w: %v", errWorkerPanic, r)
+		}
+	}()
+	return m.runTimingJob(done, j)
 }
 
 // --- Stage 5: monitor plan -------------------------------------------------
@@ -1422,6 +1537,10 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	if m.journal != nil {
 		m.journal.detached = true
 	}
+	// A wholesale rebuild replaces every incremental cache with values
+	// derived from this attempt's artifacts, so any quarantine imposed by
+	// the degradation ladder is lifted: the suspect state is gone.
+	m.quarantined = false
 
 	digests := make(map[string]uint64, len(ctx.TimingDigests))
 	for k, v := range ctx.TimingDigests {

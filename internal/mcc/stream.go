@@ -1,6 +1,7 @@
 package mcc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -72,23 +73,28 @@ type StreamOption func(*StreamScheduler)
 
 // WithStreamWorkers bounds the pool that analyzes a window's deferred
 // timing jobs concurrently. The default is the MCC's timing worker count
-// (GOMAXPROCS unless overridden).
+// (GOMAXPROCS unless overridden). Non-positive values clamp to 1 (the
+// serial configuration) — never a silent fallback to the default.
 func WithStreamWorkers(n int) StreamOption {
 	return func(s *StreamScheduler) {
-		if n > 0 {
-			s.workers = n
+		if n < 1 {
+			n = 1
 		}
+		s.workers = n
 	}
 }
 
 // WithStreamWindow bounds how many independent changes one optimistic
 // window may hold. Larger windows expose more concurrent analyses but
 // widen the replay blast radius when a deferred verdict fails.
+// Non-positive values clamp to 1 (windows of one change, i.e. serial
+// proposals) — never a silent fallback to the default.
 func WithStreamWindow(n int) StreamOption {
 	return func(s *StreamScheduler) {
-		if n > 0 {
-			s.window = n
+		if n < 1 {
+			n = 1
 		}
+		s.window = n
 	}
 }
 
@@ -120,6 +126,15 @@ type StreamStats struct {
 	// (the conflicting change waits for the previous window to finalize
 	// — it is serialized against it).
 	Conflicts int
+	// PanicsRecovered counts panics recovered on the prefetch pool and
+	// during verification (each one taints its window, forcing the
+	// serial replay). Panics recovered inside a proposal's own pipeline
+	// run are counted on that proposal's Report instead.
+	PanicsRecovered int
+	// RetriedAnalyses counts transient-fault analysis retries spent in
+	// the prefetch and verification phases (retries inside a proposal's
+	// pipeline run land on its Report).
+	RetriedAnalyses int
 }
 
 // NewStreamScheduler returns a scheduler driving m. The MCC should run
@@ -140,10 +155,19 @@ func (s *StreamScheduler) Stats() StreamStats { return s.stats }
 // Run decides every change in stream order and returns one report per
 // change, exactly as serial ProposeUpdate/ProposeRemoval calls would.
 func (s *StreamScheduler) Run(changes []Change) []*Report {
+	return s.RunContext(context.Background(), changes)
+}
+
+// RunContext is Run bounded by ctx: every proposal (optimistic pass and
+// serial replay alike) runs under it, composed with the MCC's
+// per-proposal deadline when one is configured. An expired context
+// resolves remaining proposals as deterministic deadline rejections —
+// the stream never hangs on a stalled analysis.
+func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*Report {
 	reports := make([]*Report, 0, len(changes))
 	for lo := 0; lo < len(changes); {
 		hi := s.windowEnd(changes, lo)
-		reports = append(reports, s.runWindow(changes[lo:hi])...)
+		reports = append(reports, s.runWindow(ctx, changes[lo:hi])...)
 		s.stats.Windows++
 		lo = hi
 	}
@@ -177,14 +201,15 @@ func (s *StreamScheduler) windowEnd(changes []Change, lo int) int {
 // runWindow decides one window of changes: optimistic pass, concurrent
 // prefetch, verification, and — only if a deferred verdict fails — the
 // serial replay from the window-start snapshot.
-func (s *StreamScheduler) runWindow(changes []Change) []*Report {
+func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*Report {
 	m := s.m
-	if len(changes) == 1 || !m.incTiming {
-		// Nothing to overlap (or no memo table to prefetch into):
-		// plain serial proposals.
+	if len(changes) == 1 || !m.incTiming || m.quarantined {
+		// Nothing to overlap (no memo table to prefetch into, or the
+		// controller is quarantined and every proposal takes the pinned
+		// from-scratch path anyway): plain serial proposals.
 		reports := make([]*Report, 0, len(changes))
 		for _, c := range changes {
-			reports = append(reports, m.propose(c))
+			reports = append(reports, m.proposeCtx(gctx, c))
 		}
 		return reports
 	}
@@ -202,7 +227,7 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 
 	m.deferChecks = true
 	for _, c := range changes {
-		rep := m.propose(c)
+		rep := m.proposeCtx(gctx, c)
 		reports = append(reports, rep)
 		if rep.Accepted && m.lastDeferred != nil {
 			pendings = append(pendings, pend{rep, m.lastDeferred})
@@ -219,6 +244,22 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 	// back).
 	var tasks []func()
 	seen := make(map[uint64]bool)
+	// guard isolates one prefetch task: a panic on the pool is recovered
+	// and converted into a window taint (the verification pass then fails
+	// the window and the serial replay re-decides it) — a fault on the
+	// pool can degrade throughput, never crash the process or corrupt a
+	// decision.
+	guard := func(dt *deferredChecks, fn func()) func() {
+		return func() {
+			defer func() {
+				if r := recover(); r != nil {
+					m.panicsRecovered.Add(1)
+					dt.tainted.Store(true)
+				}
+			}()
+			fn()
+		}
+	}
 	for _, p := range pendings {
 		dt := p.dt
 		// Safety/security inputs are recorded only when the stages could
@@ -226,30 +267,35 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 		// the from-scratch one. Scoped verdicts were already decided
 		// during the optimistic pass and need no re-validation here.
 		if dt.tech != nil {
-			tasks = append(tasks, func() {
+			tasks = append(tasks, guard(dt, func() {
 				findings, checked := safety.CheckScoped(dt.tech, nil, nil)
 				dt.safetyFailed = len(findings) > 0
 				dt.safetyChecked = checked
-			})
+			}))
 		}
 		if dt.impl != nil {
-			tasks = append(tasks, func() {
+			tasks = append(tasks, guard(dt, func() {
 				findings, checked := security.CheckDomainsScoped(dt.impl, nil, nil)
 				dt.securityFailed = len(findings) > 0
 				dt.securityChecked = checked
-			})
+			}))
 		}
 		for i, j := range dt.jobs {
 			if dt.pending[i] && !seen[analysisKey(j)] {
 				seen[analysisKey(j)] = true
 				s.stats.Prefetched++
 				job := j
-				tasks = append(tasks, func() {
-					m.runTimingJob(job) //nolint:errcheck // memo warming only
-				})
+				tasks = append(tasks, guard(dt, func() {
+					if _, fired, err := m.inject.Fire(nil, "stream.prefetch", job.resource); fired && err != nil {
+						dt.tainted.Store(true)
+						return
+					}
+					m.runTimingJob(nil, job) //nolint:errcheck // memo warming only
+				}))
 			}
 		}
 	}
+	retried0, panics0 := m.retriedAnalyses.Load(), m.panicsRecovered.Load()
 	s.prefetch(tasks)
 
 	// Verification: read every deferred verdict back in stream order.
@@ -260,6 +306,11 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 			break
 		}
 	}
+	// Retries and recovered panics spent outside any proposal's own
+	// pipeline run (prefetch pool, verification re-reads) are accounted
+	// on the stream stats.
+	s.stats.RetriedAnalyses += int(m.retriedAnalyses.Load() - retried0)
+	s.stats.PanicsRecovered += int(m.panicsRecovered.Load() - panics0)
 	if verified {
 		m.commitWindow()
 		s.stats.Speculated += len(changes)
@@ -278,7 +329,7 @@ func (s *StreamScheduler) runWindow(changes []Change) []*Report {
 	m.rollbackWindow(j)
 	reports = reports[:0]
 	for _, c := range changes {
-		reports = append(reports, m.propose(c))
+		reports = append(reports, m.proposeCtx(gctx, c))
 	}
 	return reports
 }
@@ -317,6 +368,12 @@ func (s *StreamScheduler) prefetch(tasks []func()) {
 // the committed tables are backfilled; on any failed check it reports
 // false and leaves the caller to replay the window.
 func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
+	// A tainted record means a prefetch task for this proposal hit a
+	// fault (injected error or recovered panic): the optimistic decision
+	// cannot be trusted, the window replays serially.
+	if dt.tainted.Load() {
+		return false
+	}
 	// Deferred from-scratch safety/security verdicts count toward the
 	// report's check telemetry exactly as an inline full check would
 	// (scoped inline checks already counted themselves during the
@@ -333,7 +390,7 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 			results[i] = dt.results[i]
 			continue
 		}
-		res, err := m.runTimingJob(j)
+		res, err := m.runTimingJobSafe(nil, j)
 		if err != nil {
 			return false
 		}
@@ -357,7 +414,13 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 
 // propose decides one change through the normal integration pipeline.
 func (m *MCC) propose(c Change) *Report {
-	return m.integrate(applyChange(m.deployed, c))
+	return m.proposeCtx(context.Background(), c)
+}
+
+// proposeCtx is propose bounded by ctx (composed with the configured
+// per-proposal deadline inside integrateCtx).
+func (m *MCC) proposeCtx(ctx context.Context, c Change) *Report {
+	return m.integrateCtx(ctx, applyChange(m.deployed, c))
 }
 
 // footprint is the function-level resource footprint of one change,

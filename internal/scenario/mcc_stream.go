@@ -216,6 +216,16 @@ type MCCThroughputResult struct {
 	// Stream carries the scheduler effort counters of the stream-parallel
 	// mode (zero value otherwise).
 	Stream mcc.StreamStats
+	// DegradedProposals counts change decisions the degradation ladder
+	// re-decided on the pinned from-scratch path (Report.Degraded) —
+	// always zero without fault injection.
+	DegradedProposals int
+	// PanicsRecovered/RetriedAnalyses sum the recovery telemetry over
+	// the stream: panics recovered on pipeline stages and pooled
+	// goroutines, and transient-fault analysis retries (per-proposal
+	// Report counters plus the stream scheduler's pool-side counters).
+	PanicsRecovered int
+	RetriedAnalyses int
 }
 
 // Rows renders the E12 table.
@@ -462,10 +472,17 @@ func runChangeStream(cfg MCCThroughputConfig, platform *model.Platform, baseline
 		res.TimingResources += rep.TimingResources
 		res.SecurityChecks += rep.SecurityChecks
 		res.SafetyChecks += rep.SafetyChecks
+		if rep.Degraded {
+			res.DegradedProposals++
+		}
+		res.PanicsRecovered += rep.PanicsRecovered
+		res.RetriedAnalyses += rep.RetriedAnalyses
 		for st, d := range rep.StageWall() {
 			res.StageWall[st] += d
 		}
 	}
+	res.PanicsRecovered += res.Stream.PanicsRecovered
+	res.RetriedAnalyses += res.Stream.RetriedAnalyses
 	// Optimistic passes a window replay discarded are real pipeline work;
 	// count them so Evaluations never understates the scheduler's cost
 	// (their per-stage wall clock is gone with the discarded reports).
