@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rows(scansBig, checksBig, cpsSmall, cpsBig float64) benchFile {
+	var bf benchFile
+	for _, mode := range incrementalModes {
+		bf.E13 = append(bf.E13,
+			e13Point{Procs: 32, Mode: mode, ScansPerChange: 0.94, ChecksPerChange: 2.0, ChangesPerSec: cpsSmall},
+			e13Point{Procs: 2048, Mode: mode, ScansPerChange: scansBig, ChecksPerChange: checksBig, ChangesPerSec: cpsBig},
+		)
+	}
+	// A collapsing serial baseline must never trip the gate.
+	bf.E13 = append(bf.E13,
+		e13Point{Procs: 32, Mode: "serial", ScansPerChange: 32, ChecksPerChange: 128, ChangesPerSec: 1500},
+		e13Point{Procs: 2048, Mode: "serial", ScansPerChange: 2048, ChecksPerChange: 7688, ChangesPerSec: 3},
+	)
+	return bf
+}
+
+func TestGatePassesOnCommittedShape(t *testing.T) {
+	baseline := rows(0.94, 2.0, 16000, 350) // ~46x collapse, flat work
+	current := rows(0.95, 2.1, 8000, 200)   // slower machine, 40x collapse
+	if fails := gate(baseline, current, 2.0, 2.0); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestGateFailsOnScanGrowth(t *testing.T) {
+	baseline := rows(0.94, 2.0, 16000, 350)
+	current := rows(4.0, 2.0, 16000, 350) // scans/change no longer flat
+	fails := gate(baseline, current, 2.0, 2.0)
+	if len(fails) == 0 || !strings.Contains(fails[0], "scans/change grew") {
+		t.Fatalf("want scans-growth failure, got %v", fails)
+	}
+}
+
+func TestGateFailsOnCollapseDegradation(t *testing.T) {
+	baseline := rows(0.94, 2.0, 16000, 350) // ~46x committed collapse
+	current := rows(0.94, 2.0, 16000, 120)  // ~133x > 2 * 46x
+	fails := gate(baseline, current, 2.0, 2.0)
+	if len(fails) == 0 || !strings.Contains(fails[0], "changes/s collapse") {
+		t.Fatalf("want collapse failure, got %v", fails)
+	}
+}
+
+func TestGateFailsOnMissingBaselineTier(t *testing.T) {
+	baseline := rows(0.94, 2.0, 16000, 350)
+	// Baseline lacks the 1024p tier the current sweep measured.
+	current := rows(0.94, 2.0, 16000, 350)
+	for i := range current.E13 {
+		if current.E13[i].Procs == 2048 {
+			current.E13[i].Procs = 1024
+		}
+	}
+	fails := gate(baseline, current, 2.0, 2.0)
+	if len(fails) == 0 || !strings.Contains(fails[0], "baseline has no") {
+		t.Fatalf("want missing-baseline failure, got %v", fails)
+	}
+}

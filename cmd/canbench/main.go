@@ -142,8 +142,9 @@ func main() {
 	maxVF := flag.Int("maxvf", 16, "largest VM count for the sweeps")
 	changes := flag.Int("changes", 64, "streamed change requests per E12 strategy")
 	cores := flag.String("cores", "0", "comma-separated GOMAXPROCS values for the E12 sweep (0 = all cores)")
-	procs := flag.String("procs", "32,128,512", "comma-separated platform sizes for the E13 scale sweep")
+	procs := flag.String("procs", "32,128,512,2048", "comma-separated platform sizes for the E13 scale sweep")
 	scaleChanges := flag.Int("scale-changes", 32, "streamed change requests per E13 point")
+	scaleModes := flag.String("scale-modes", "", "comma-separated E13 integration strategies (default serial,full-incremental,stream-parallel); the CI flatness gate selects the incremental modes only, the 2048p serial run costs seconds per point")
 	chaosProcs := flag.Int("chaos-procs", 32, "platform size for the E14 chaos tier")
 	chaosChanges := flag.Int("chaos-changes", 24, "streamed change requests per E14 run")
 	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table for E12: loaded before the runs, saved back after (warm-starts the busy-window analyses across sessions)")
@@ -198,7 +199,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, err := measureE13(procList, *scaleChanges)
+		rows, err := measureE13(procList, *scaleChanges, *scaleModes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func printE14(rows []e14Row) {
 // tier and flattens the scenario rows into the JSON trajectory format.
 // The headline column is scans_per_change: flat across platform sizes for
 // the incremental modes, proportional to the resource count for serial.
-func measureE13(procList []int, changes int) ([]e13Row, error) {
+func measureE13(procList []int, changes int, modes string) ([]e13Row, error) {
 	for _, p := range procList {
 		if p < 2 {
 			return nil, fmt.Errorf("invalid -procs entry %d", p)
@@ -315,6 +316,13 @@ func measureE13(procList []int, changes int) ([]e13Row, error) {
 	cfg := scenario.DefaultMCCScaleConfig()
 	cfg.Procs = procList
 	cfg.Updates = changes
+	if modes != "" {
+		cfg.Modes = cfg.Modes[:0]
+		for _, m := range strings.Split(modes, ",") {
+			// Unknown names surface as RunMCCScale errors.
+			cfg.Modes = append(cfg.Modes, scenario.MCCThroughputMode(strings.TrimSpace(m)))
+		}
+	}
 	rows, err := scenario.RunMCCScale(cfg)
 	if err != nil {
 		return nil, err

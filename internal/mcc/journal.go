@@ -74,6 +74,26 @@ type cacheJournal struct {
 	monitors []MonitorSpec
 	history  int
 
+	// candUndos records the in-place candidate mutations of the window's
+	// accepted fast-path proposals, in commit order. The deployed-pointer
+	// restore alone no longer rolls the architecture back — the fast path
+	// mutates the pointed-to object — so rollback replays these in
+	// reverse. Appended even after a detach: the mutations are part of
+	// the configuration, not of the cache maps a from-scratch commit
+	// replaces.
+	candUndos []candUndo
+	// flowTouch is the window-start committed flow index; commits swap in
+	// fresh maps instead of mutating it, so restoring the pointer is the
+	// whole rollback.
+	flowTouch map[string]bool
+	// loads is the window-start committed per-processor load slice;
+	// commits swap in fresh slices, so rollback restores the pointer.
+	loads []procLoad
+	// resList/resProcs are the window-start committed timing-resource
+	// list; commits build fresh slices, so rollback restores the pointer.
+	resList  []committedRes
+	resProcs int
+
 	// Window-start map pointers. Keyed commits mutate these in place
 	// (journaled below); a from-scratch commit swaps in fresh maps and
 	// leaves these untouched.
@@ -83,16 +103,19 @@ type cacheJournal struct {
 	budgetMap map[string][]MonitorSpec
 	secMap    map[model.Connection]bool
 	synth     *synthCache
+	svcMap    map[string]int
 
 	// Keyed undo entries, recorded against the window-start maps.
 	digests  map[string]prior[uint64]
 	timing   map[string]prior[TimingResult]
 	jobs     map[string]prior[timingJob]
 	budgets  map[string]prior[[]MonitorSpec]
-	sec      map[model.Connection]prior[bool]
-	synFns   map[string]prior[*model.Function]
-	synIns   map[string]prior[[]model.Instance]
-	synTasks map[string]prior[[]model.Task]
+	sec       map[model.Connection]prior[bool]
+	synFns    map[string]prior[*model.Function]
+	synIns    map[string]prior[[]model.Instance]
+	synTasks  map[string]prior[[]model.Task]
+	synInstOn map[string]prior[[]model.Instance]
+	svcProv   map[string]prior[int]
 
 	// detached marks that a from-scratch commit replaced the cache maps:
 	// the window-start maps are final, keyed journaling stops.
@@ -160,21 +183,45 @@ func (j *cacheJournal) jSynTasks() map[string]prior[[]model.Task] {
 	return j.synTasks
 }
 
+func (j *cacheJournal) jSynInstOn() map[string]prior[[]model.Instance] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.synInstOn
+}
+
+func (j *cacheJournal) jSvcProv() map[string]prior[int] {
+	if j == nil || j.detached {
+		return nil
+	}
+	return j.svcProv
+}
+
 // beginWindow opens a copy-on-write rollback point: window-start pointers
 // are recorded, and every subsequent commit journals the cache entries it
-// overwrites. Cost is O(1) regardless of platform size.
+// overwrites. Cost is O(1) regardless of platform size (amortized — the
+// history trim below moves at most historyLimit pointers once per limit
+// appends). The trim runs here, before the history length is captured,
+// because stream proposals append their reports while a window is open,
+// where trimming is forbidden (it would shift the rollback index).
 func (m *MCC) beginWindow() *cacheJournal {
+	m.trimHistory()
 	j := &cacheJournal{
 		deployed:  m.deployed,
 		impl:      m.impl,
 		monitors:  m.deployedMonitors,
 		history:   len(m.History),
+		flowTouch: m.deployedFlowTouch,
+		loads:     m.deployedLoads,
+		resList:   m.deployedResList,
+		resProcs:  m.deployedResProcs,
 		digestMap: m.deployedDigest,
 		timingMap: m.deployedTiming,
 		jobsMap:   m.deployedJobs,
 		budgetMap: m.deployedBudgetByProc,
 		secMap:    m.deployedSecVerdicts,
 		synth:     m.deployedSynth,
+		svcMap:    m.svcProviders,
 		digests:   make(map[string]prior[uint64]),
 		timing:    make(map[string]prior[TimingResult]),
 		jobs:      make(map[string]prior[timingJob]),
@@ -183,6 +230,8 @@ func (m *MCC) beginWindow() *cacheJournal {
 		synFns:    make(map[string]prior[*model.Function]),
 		synIns:    make(map[string]prior[[]model.Instance]),
 		synTasks:  make(map[string]prior[[]model.Task]),
+		synInstOn: make(map[string]prior[[]model.Instance]),
+		svcProv:   make(map[string]prior[int]),
 	}
 	m.journal = j
 	return j
@@ -202,6 +251,18 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.impl = j.impl
 	m.deployedMonitors = j.monitors
 	m.History = m.History[:j.history]
+	// Revert the in-place candidate mutations of the window's accepted
+	// fast-path proposals, newest first. This restores the deployed
+	// *architecture* — configuration, not cache — so it happens
+	// unconditionally, before the fault-injection hook below: a failed
+	// keyed cache undo can be cured by purging the caches, a corrupted
+	// architecture cannot.
+	for i := len(j.candUndos) - 1; i >= 0; i-- {
+		m.revertChange(j.candUndos[i])
+	}
+	m.deployedFlowTouch = j.flowTouch
+	m.deployedLoads = j.loads
+	m.deployedResList, m.deployedResProcs = j.resList, j.resProcs
 	// Fault-injection hook modeling a failed keyed undo (e.g. a journal
 	// entry lost to memory corruption). The configuration pointers above
 	// are plain swaps and always succeed; what cannot be trusted after a
@@ -219,15 +280,20 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.deployedBudgetByProc = j.budgetMap
 	m.deployedSecVerdicts = j.secMap
 	m.deployedSynth = j.synth
+	m.svcProviders = j.svcMap
 	jrevert(j.digests, m.deployedDigest)
 	jrevert(j.timing, m.deployedTiming)
 	jrevert(j.jobs, m.deployedJobs)
 	jrevert(j.budgets, m.deployedBudgetByProc)
 	jrevert(j.sec, m.deployedSecVerdicts)
+	if j.svcMap != nil {
+		jrevert(j.svcProv, m.svcProviders)
+	}
 	if j.synth != nil {
 		jrevert(j.synFns, j.synth.fnByName)
 		jrevert(j.synIns, j.synth.instancesOf)
 		jrevert(j.synTasks, j.synth.tasksOn)
+		jrevert(j.synInstOn, j.synth.instOn)
 	}
 }
 
@@ -242,9 +308,14 @@ func (m *MCC) purgeIncrementalState() {
 	m.deployedDigest = make(map[string]uint64)
 	m.deployedTiming = make(map[string]TimingResult)
 	m.deployedJobs = nil
+	m.deployedResList, m.deployedResProcs = nil, 0
 	m.deployedSynth = nil
 	m.pendingSynth = nil
 	m.deployedSecVerdicts = nil
 	m.deployedBudgetByProc = nil
+	m.deployedFlowTouch = nil
+	m.deployedLoads = nil
+	m.svcProviders = nil
+	m.pendingLoads = nil
 	m.analyzer.Reset()
 }

@@ -89,8 +89,17 @@ type MCC struct {
 	deployed *model.FunctionalArchitecture
 	impl     *model.ImplementationModel
 
-	// History records all integration reports.
+	// History records integration reports, newest last. It is bounded to
+	// the most recent historyLimit reports (see WithHistoryLimit): a
+	// long-lived fleet controller deciding thousands of changes must not
+	// retain every report — and its full per-resource timing table —
+	// forever. Trimming is amortized (the slice may grow to twice the
+	// limit before the newest limit reports are copied down) and never
+	// happens while a stream window is open, so the window journal's
+	// history index stays valid for rollback truncation.
 	History []*Report
+	// historyLimit bounds History; non-positive keeps every report.
+	historyLimit int
 
 	// observedWCETUS holds metric feedback from the execution domain:
 	// observed execution-time maxima per function, used to evolve
@@ -119,6 +128,18 @@ type MCC struct {
 	// timing stage can splice clean resources' jobs without re-scanning
 	// the implementation model (diff-proportional job construction).
 	deployedJobs map[string]timingJob
+	// deployedResList is the committed timing state as a flat slice in
+	// deterministic resource order (loaded processors sorted by name, then
+	// loaded networks in platform order): each entry pairs the committed
+	// CPA job with its committed WCRT table. It accelerates the maps above
+	// — a proposal's job construction merges this list against the small
+	// sorted affected set, copying untouched entries positionally without
+	// a single map lookup. The maps stay authoritative; a nil list (purge,
+	// cold controller) falls back to the map walk. Commits install a fresh
+	// slice, so a window journal rolls back by restoring the pointer.
+	// deployedResProcs is the length of the processor prefix.
+	deployedResList  []committedRes
+	deployedResProcs int
 	// deployedSynth caches the committed synthesis lookup tables (function
 	// contracts by name, replica instances by function, per-processor task
 	// lists) next to deployedJobs, so incremental synthesis splices
@@ -140,11 +161,41 @@ type MCC struct {
 	// splices the rest. Maintained only while the pre-timing stages run
 	// incrementally (incPre).
 	deployedSecVerdicts map[model.Connection]bool
+	// svcProviders counts, per service name, how many Provides occurrences
+	// the committed architecture carries. The validation fast path answers
+	// "is this required service provided" in O(1) against it; keyed
+	// commits adjust only the touched functions' occurrences (journaled),
+	// from-scratch commits rebuild it wholesale. Maintained only while the
+	// pre-timing stages run incrementally (incPre).
+	svcProviders map[string]int
+	// deployedFlowTouch maps every function name referenced by a committed
+	// flow to true. Together with deployedSynth.fnByName it is the O(1)
+	// deployed-function lookup DiffFromChange and declaredFootprint use
+	// instead of walking the architecture; rebuilt wholesale by
+	// from-scratch commits and by keyed commits whose diff changed the
+	// flow set (commits never mutate the map in place, so a window journal
+	// rolls it back by restoring the window-start pointer).
+	deployedFlowTouch map[string]bool
 	// deployedMonitors is the committed monitor plan;
 	// deployedBudgetByProc groups its budget specs by hosting processor
 	// so the monitor stage can splice untouched processors' specs.
 	deployedMonitors     []MonitorSpec
 	deployedBudgetByProc map[string][]MonitorSpec
+	// deployedLoads holds the committed per-processor residual-capacity
+	// accounting (scaled utilization and RAM), indexed by platform
+	// processor position. The warm-started mapping copies it and adjusts
+	// only the diff instead of re-accounting every kept instance. Commits
+	// swap in a fresh slice — never an in-place write — so a window
+	// journal rolls back by restoring the window-start pointer. Maintained
+	// only while the pre-timing stages run incrementally (incPre).
+	deployedLoads []procLoad
+	// loadScratch is the reusable per-proposal placer buffer; an accepted
+	// keyed commit takes ownership of it as the new deployedLoads.
+	loadScratch []procLoad
+	// pendingLoads points at the placer buffer of the most recent
+	// warm-started mapping (the final per-processor totals of the
+	// candidate placement), handed to the commit stage.
+	pendingLoads []procLoad
 
 	// pendingJobs is the job list of the most recent timing-stage run,
 	// handed from the timing stage to the monitor and commit stages.
@@ -157,6 +208,11 @@ type MCC struct {
 	// procs is the platform's processor-name iteration order, sorted once
 	// at construction (the platform is immutable for the MCC's lifetime).
 	procs []string
+	// procIdx maps a processor name to its position in
+	// platform.Processors, built once at construction; the placer and the
+	// commit stage index loads slices through it instead of scanning the
+	// processor list per lookup.
+	procIdx map[string]int
 	// journal, when non-nil, is the open copy-on-write rollback point of a
 	// stream-scheduler window: commits record the prior value of every
 	// cache entry they overwrite instead of the window cloning whole maps.
@@ -219,6 +275,22 @@ func WithTimingWorkers(n int) Option {
 		}
 		m.workers = n
 	}
+}
+
+// defaultHistoryLimit bounds MCC.History when WithHistoryLimit is not
+// given: generous enough that tests and scenario sweeps never observe a
+// trim, small enough that a fleet server deciding changes for weeks does
+// not leak a full timing table per proposal.
+const defaultHistoryLimit = 8192
+
+// WithHistoryLimit bounds MCC.History to the most recent n reports.
+// Reports are appended newest-last as before; once the slice exceeds
+// twice the limit, the newest n are copied down and the rest are dropped
+// (amortized O(1) per proposal). Non-positive n disables the bound and
+// keeps every report — the pre-PR-7 behavior. The default is
+// defaultHistoryLimit (8192).
+func WithHistoryLimit(n int) Option {
+	return func(m *MCC) { m.historyLimit = n }
 }
 
 // WithFaultInjector installs a deterministic fault injector on the MCC's
@@ -311,10 +383,12 @@ func New(p *model.Platform, opts ...Option) (*MCC, error) {
 		analyzer:       cpa.NewAnalyzer(),
 		incTiming:      true,
 		incPre:         true,
+		historyLimit:   defaultHistoryLimit,
 		workers:        runtime.GOMAXPROCS(0),
 		deployedDigest: make(map[string]uint64),
 		deployedTiming: make(map[string]TimingResult),
 		procs:          procNames(p),
+		procIdx:        procIndex(p),
 	}
 	for _, o := range opts {
 		o(m)
@@ -396,7 +470,7 @@ func (m *MCC) ProposeUpdate(fn model.Function) *Report {
 // an expired deadline rejects the proposal deterministically (on top of
 // the per-proposal deadline from WithProposalDeadline, if any).
 func (m *MCC) ProposeUpdateContext(ctx context.Context, fn model.Function) *Report {
-	return m.integrateCtx(ctx, m.deployed.WithFunction(fn))
+	return m.integrateChangeCtx(ctx, Change{Update: &fn})
 }
 
 // ProposeRemoval attempts to remove a function from the configuration.
@@ -406,7 +480,7 @@ func (m *MCC) ProposeRemoval(name string) *Report {
 
 // ProposeRemovalContext is ProposeRemoval bounded by ctx.
 func (m *MCC) ProposeRemovalContext(ctx context.Context, name string) *Report {
-	return m.integrateCtx(ctx, m.deployed.WithoutFunction(name))
+	return m.integrateChangeCtx(ctx, Change{Remove: name})
 }
 
 // ProposeArchitecture attempts to integrate a whole architecture at once
@@ -476,8 +550,36 @@ func (m *MCC) integrate(cand *model.FunctionalArchitecture) *Report {
 //   - While quarantined, every proposal decides on the pinned path and
 //     is marked Degraded ("quarantined").
 func (m *MCC) integrateCtx(gctx context.Context, cand *model.FunctionalArchitecture) *Report {
+	return m.integrateDiff(gctx, cand, nil)
+}
+
+// trimHistory enforces the history bound: once History exceeds twice the
+// limit, the newest limit reports are copied to the front and the tail is
+// cleared so dropped reports become collectable. It is a no-op while a
+// stream window is open — rollbackWindow truncates History to the
+// window-start length, and a front-trim would shift that index — so the
+// stream scheduler trims at beginWindow instead, before the index is
+// captured.
+func (m *MCC) trimHistory() {
+	if m.historyLimit <= 0 || m.journal != nil || len(m.History) < 2*m.historyLimit {
+		return
+	}
+	n := copy(m.History, m.History[len(m.History)-m.historyLimit:])
+	clear(m.History[n:])
+	m.History = m.History[:n]
+}
+
+// integrateDiff is integrateCtx with an optional precomputed diff: the
+// change-driven fast path passes the DiffFromChange result so the warm
+// pass never scans the architecture; nil keeps the ComputeDiff oracle.
+// The cold re-decision and the pinned path ignore the diff by design —
+// they run from scratch.
+func (m *MCC) integrateDiff(gctx context.Context, cand *model.FunctionalArchitecture, diff *pipeline.Diff) *Report {
 	rep := &Report{}
-	defer func() { m.History = append(m.History, rep) }()
+	defer func() {
+		m.History = append(m.History, rep)
+		m.trimHistory()
+	}()
 
 	pctx := gctx
 	if m.proposalDeadline > 0 {
@@ -501,7 +603,7 @@ func (m *MCC) integrateCtx(gctx context.Context, cand *model.FunctionalArchitect
 	}
 
 	m.lastDeferred = nil
-	ctx := m.newContext(pctx, cand, rep, m.incPre)
+	ctx := m.newContext(pctx, cand, rep, m.incPre, diff)
 	m.pipe.Run(ctx)
 
 	if !rep.Accepted && pctx.Err() == nil && !rep.TransientFault &&
@@ -511,7 +613,7 @@ func (m *MCC) integrateCtx(gctx context.Context, cand *model.FunctionalArchitect
 		// Re-decide cold, keeping both passes' telemetry.
 		m.lastDeferred = nil
 		coldRep := &Report{Stages: rep.Stages, Passes: rep.Passes}
-		coldCtx := m.newContext(pctx, cand, coldRep, false)
+		coldCtx := m.newContext(pctx, cand, coldRep, false, nil)
 		m.pipe.Run(coldCtx)
 		*rep = *coldRep
 	}
@@ -555,7 +657,7 @@ func (m *MCC) runPinned(pctx context.Context, cand *model.FunctionalArchitecture
 	m.deferChecks = false
 	m.pinned = true
 	m.lastDeferred = nil
-	ctx := m.newContext(pctx, cand, rep, false)
+	ctx := m.newContext(pctx, cand, rep, false, nil)
 	m.pipe.Run(ctx)
 	m.pinned = false
 	m.deferChecks = savedDefer
@@ -573,7 +675,10 @@ func placementDependent(s Stage) bool {
 }
 
 // newContext assembles the pipeline context for one integration attempt.
-func (m *MCC) newContext(pctx context.Context, cand *model.FunctionalArchitecture, rep *Report, incremental bool) *pipeline.Context {
+// A non-nil diff short-circuits ComputeDiff (the change-driven fast
+// path, where the candidate is the deployed architecture mutated in
+// place — scanning it against itself would yield an empty diff anyway).
+func (m *MCC) newContext(pctx context.Context, cand *model.FunctionalArchitecture, rep *Report, incremental bool, diff *pipeline.Diff) *pipeline.Context {
 	ctx := &pipeline.Context{
 		Platform:     m.platform,
 		Candidate:    cand,
@@ -584,9 +689,12 @@ func (m *MCC) newContext(pctx context.Context, cand *model.FunctionalArchitectur
 		DeferChecks:  m.deferChecks,
 		Ctx:          pctx,
 	}
-	if incremental {
+	switch {
+	case incremental && diff != nil:
+		ctx.Diff = *diff
+	case incremental:
 		ctx.Diff = pipeline.ComputeDiff(m.deployed, cand)
-	} else {
+	default:
 		ctx.Diff = pipeline.FullDiff()
 	}
 	return ctx
@@ -670,5 +778,13 @@ func procNames(p *model.Platform) []string {
 		out = append(out, p.Processors[i].Name)
 	}
 	sort.Strings(out)
+	return out
+}
+
+func procIndex(p *model.Platform) map[string]int {
+	out := make(map[string]int, len(p.Processors))
+	for i := range p.Processors {
+		out[p.Processors[i].Name] = i
+	}
 	return out
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/model"
@@ -76,6 +77,44 @@ func ComputeDiff(deployed, cand *model.FunctionalArchitecture) Diff {
 // FullDiff returns a diff that forces every stage to run from scratch.
 func FullDiff() Diff { return Diff{full: true} }
 
+// DiffFromChange builds the diff a single-function change induces without
+// scanning either architecture: the change object already names the exact
+// delta, and the committed value of that one function comes from the
+// caller's O(1) deployed-function index. upd is the new function (nil for
+// a removal of name), old is the committed function of the same name (nil
+// when not deployed), and oldFlowTouched reports whether any deployed
+// flow references the name — the only way a single-function change can
+// alter the flow set is a removal dropping the flows that touch it.
+//
+// The result is equivalent to ComputeDiff(deployed,
+// applyChange(deployed, c)) — TestDiffFromChangeEquivalence and
+// FuzzDiffFromChange hold the two to that, over generated fleets — but
+// costs O(1) plus one Function.Equal instead of two architecture walks.
+func DiffFromChange(name string, upd, old *model.Function, oldFlowTouched bool) Diff {
+	d := Diff{touched: make(map[string]bool, 1)}
+	switch {
+	case upd == nil && old == nil:
+		// Removing an unknown function: the candidate equals the deployed
+		// configuration (a valid architecture cannot have flows touching a
+		// function that does not exist).
+	case upd == nil:
+		d.Removed = []string{name}
+		d.touched[name] = true
+		// WithoutFunction drops every flow touching the name, so the flow
+		// set changes exactly when such a flow exists.
+		d.FlowsChanged = oldFlowTouched
+	case old == nil:
+		d.Added = []string{name}
+		d.touched[name] = true
+	case !old.Equal(*upd):
+		d.Changed = []string{name}
+		d.touched[name] = true
+	}
+	// An update never touches the flow slice (WithFunction copies it
+	// verbatim), so FlowsChanged stays false on the update arms.
+	return d
+}
+
 func flowsDiffer(deployed, cand *model.FunctionalArchitecture) bool {
 	var oldFlows []model.Flow
 	if deployed != nil {
@@ -83,6 +122,12 @@ func flowsDiffer(deployed, cand *model.FunctionalArchitecture) bool {
 	}
 	if len(oldFlows) != len(cand.Flows) {
 		return true
+	}
+	// Common case first: the candidate aliases or copies the deployed flow
+	// slice verbatim (single-function updates never reorder flows), so an
+	// element-wise scan settles it without building the counting map.
+	if len(oldFlows) == 0 || &oldFlows[0] == &cand.Flows[0] || slices.Equal(oldFlows, cand.Flows) {
+		return false
 	}
 	// Flow is a comparable struct; multiset comparison via counting.
 	counts := make(map[model.Flow]int, len(oldFlows))

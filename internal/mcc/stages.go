@@ -52,6 +52,9 @@ func (s *validateStage) runIncremental(ctx *pipeline.Context) error {
 		ctx.Note("no-op: candidate identical to deployed")
 		return nil
 	}
+	if done, err := s.fastVerdict(ctx); done {
+		return err
+	}
 	nb := d.Neighborhood(cand)
 	err := cand.ValidateScoped(
 		// Contracts of untouched functions were validated when they were
@@ -68,6 +71,67 @@ func (s *validateStage) runIncremental(ctx *pipeline.Context) error {
 	return nil
 }
 
+// fastVerdict decides the common single-change shapes without walking
+// the candidate: a changed function with an unchanged service surface
+// only needs its contract re-checked, an added function additionally its
+// requires resolved against the committed provider counts, a removal of
+// a provide-less function can invalidate nothing (its flows were cut
+// with it). Anything it cannot prove clean — including every suspected
+// violation — falls back to the scoped walk, which produces the exact
+// finding the from-scratch path would.
+func (s *validateStage) fastVerdict(ctx *pipeline.Context) (bool, error) {
+	m, cand, d := s.m, ctx.Candidate, ctx.Diff
+	if m.deployedSynth == nil || m.svcProviders == nil || d.TouchedCount() != 1 {
+		return false, nil
+	}
+	if d.FlowsChanged && len(d.Removed) != 1 {
+		return false, nil // arbitrary flow edits: walk the flow set
+	}
+	if len(d.Removed) == 1 {
+		old := m.deployedSynth.fnByName[d.Removed[0]]
+		if old == nil || len(old.Provides) > 0 {
+			// A dropped provider may orphan committed requirers.
+			return false, nil
+		}
+		ctx.Note("fast: removal provides no services, flows cut with it")
+		return true, nil
+	}
+	var name string
+	if len(d.Changed) == 1 {
+		name = d.Changed[0]
+	} else if len(d.Added) == 1 {
+		name = d.Added[0]
+	} else {
+		return false, nil
+	}
+	neu := cand.FunctionByName(name)
+	if neu == nil || neu.Name == "" {
+		return false, nil
+	}
+	if err := neu.Contract.Validate(); err != nil {
+		return false, nil // re-derive the exact finding via the walk
+	}
+	old := m.deployedSynth.fnByName[name]
+	if old != nil {
+		// Changed: with Provides/Requires unchanged, the committed service
+		// resolution and every committed flow check still hold verbatim.
+		if !slices.Equal(old.Provides, neu.Provides) || !slices.Equal(old.Requires, neu.Requires) {
+			return false, nil
+		}
+		ctx.Note("fast: contract re-checked, service surface unchanged")
+		return true, nil
+	}
+	// Added: no committed flow can reference the new name (flow endpoints
+	// must exist when they commit); only its requires need resolving.
+	for _, svc := range neu.Requires {
+		if m.svcProviders[svc] == 0 && !slices.Contains(neu.Provides, svc) {
+			return false, nil
+		}
+	}
+	ctx.Note("fast: added function's contract and required services verified")
+	return true, nil
+}
+
 // --- Stage 2: mapping ------------------------------------------------------
 
 type mappingStage struct{ m *MCC }
@@ -75,6 +139,7 @@ type mappingStage struct{ m *MCC }
 func (s *mappingStage) Name() Stage { return StageMapping }
 
 func (s *mappingStage) Run(ctx *pipeline.Context) error {
+	s.m.pendingLoads = nil
 	if ctx.Incremental && !ctx.Diff.Full() && ctx.DeployedImpl != nil {
 		if tech, kept, placed, ok := s.m.mapWarmStart(ctx); ok {
 			ctx.Tech = tech
@@ -95,10 +160,12 @@ func (s *mappingStage) Run(ctx *pipeline.Context) error {
 // placer tracks per-processor residual capacity during best-fit mapping.
 // Both the full mapping and the warm-start share it, so the placement
 // constraints (safety certification, utilization cap, RAM budget, replica
-// separation) live in exactly one place.
+// separation) live in exactly one place. Loads are a plain slice indexed
+// by platform processor position (via MCC.procIdx), so the best-fit scan
+// and the accounting run without a map operation per processor.
 type placer struct {
 	m     *MCC
-	loads map[string]*procLoad
+	loads []procLoad
 }
 
 type procLoad struct {
@@ -106,23 +173,52 @@ type procLoad struct {
 	ramKiB  int64
 }
 
+// newPlacer returns a placer over the reusable scratch buffer, zeroed
+// (cold start: loads accumulate from nothing).
 func (m *MCC) newPlacer() *placer {
-	loads := make(map[string]*procLoad, len(m.platform.Processors))
-	for i := range m.platform.Processors {
-		loads[m.platform.Processors[i].Name] = &procLoad{}
+	s := m.placerScratch()
+	clear(s)
+	return &placer{m: m, loads: s}
+}
+
+// newPlacerFromCommitted returns a placer over the scratch buffer
+// pre-filled with the committed per-processor loads.
+func (m *MCC) newPlacerFromCommitted() *placer {
+	s := m.placerScratch()
+	copy(s, m.deployedLoads)
+	return &placer{m: m, loads: s}
+}
+
+func (m *MCC) placerScratch() []procLoad {
+	if len(m.loadScratch) != len(m.platform.Processors) {
+		m.loadScratch = make([]procLoad, len(m.platform.Processors))
 	}
-	return &placer{m: m, loads: loads}
+	return m.loadScratch
 }
 
 // account charges one replica of f to the named processor.
 func (p *placer) account(f *model.Function, proc string) bool {
-	pr := p.m.platform.ProcessorByName(proc)
-	l := p.loads[proc]
-	if pr == nil || l == nil {
+	i, ok := p.m.procIdx[proc]
+	if !ok {
 		return false
 	}
-	l.utilPPM += scaleUtilPPM(utilPPM(f), pr.SpeedFactor)
-	l.ramKiB += f.Contract.Resources.RAMKiB
+	pr := &p.m.platform.Processors[i]
+	p.loads[i].utilPPM += scaleUtilPPM(utilPPM(f), pr.SpeedFactor)
+	p.loads[i].ramKiB += f.Contract.Resources.RAMKiB
+	return true
+}
+
+// discount removes one replica of f from the named processor — the exact
+// inverse of account (integer arithmetic, so subtracting the committed
+// charge restores the residual a re-accounting would produce).
+func (p *placer) discount(f *model.Function, proc string) bool {
+	i, ok := p.m.procIdx[proc]
+	if !ok {
+		return false
+	}
+	pr := &p.m.platform.Processors[i]
+	p.loads[i].utilPPM -= scaleUtilPPM(utilPPM(f), pr.SpeedFactor)
+	p.loads[i].ramKiB -= f.Contract.Resources.RAMKiB
 	return true
 }
 
@@ -145,7 +241,7 @@ func (p *placer) place(f *model.Function) ([]model.Instance, bool) {
 			if f.EffectiveReplicas() > 1 && usedProcs[proc.Name] {
 				continue // replica separation
 			}
-			l := p.loads[proc.Name]
+			l := &p.loads[i]
 			scaledUtil := scaleUtilPPM(utilPPM(f), proc.SpeedFactor)
 			if l.utilPPM+scaledUtil > 1_000_000 {
 				continue
@@ -194,6 +290,16 @@ func (m *MCC) mapWarmStart(ctx *pipeline.Context) (tech *model.TechnicalArchitec
 	cand, d := ctx.Candidate, ctx.Diff
 	depTech := ctx.DeployedImpl.Tech
 
+	// With committed per-processor loads the kept instances need no
+	// re-accounting at all: subtract the touched functions' committed
+	// charges, place the diff over the residual, splice the instance
+	// list. The residuals are integer-exact equal to a re-accounting, so
+	// the feasibility verdict and best-fit choices are identical to the
+	// legacy loop below.
+	if m.deployedLoads != nil && m.deployedSynth != nil {
+		return m.mapWarmFromCommitted(ctx)
+	}
+
 	fnByName := make(map[string]*model.Function, len(cand.Functions))
 	for i := range cand.Functions {
 		fnByName[cand.Functions[i].Name] = &cand.Functions[i]
@@ -234,11 +340,106 @@ func (m *MCC) mapWarmStart(ctx *pipeline.Context) (tech *model.TechnicalArchitec
 		placed += len(ins)
 	}
 	sort.Slice(instances, func(i, j int) bool { return instances[i].Less(instances[j]) })
+	m.pendingLoads = p.loads
 	// The warm-start placement is correct by construction (every kept
 	// instance was validated at commit time, every new one against the
 	// live constraints); the full structural re-validation is what the
 	// incremental path exists to avoid.
 	return &model.TechnicalArchitecture{Platform: m.platform, Func: cand, Instances: instances}, kept, placed, true
+}
+
+// mapWarmFromCommitted is the O(diff) warm start: the committed loads
+// slice is copied (one memcpy), the touched functions' committed charges
+// are subtracted, the diff is placed best-fit over the residual, and the
+// candidate instance list is spliced from the committed sorted one with
+// segment copies. No per-kept-instance work, no final O(n log n) sort.
+func (m *MCC) mapWarmFromCommitted(ctx *pipeline.Context) (tech *model.TechnicalArchitecture, kept, placed int, ok bool) {
+	cand, d := ctx.Candidate, ctx.Diff
+	dep := ctx.DeployedImpl.Tech.Instances
+
+	p := m.newPlacerFromCommitted()
+	names := make([]string, 0, d.TouchedCount())
+	names = append(names, d.Added...)
+	names = append(names, d.Changed...)
+	names = append(names, d.Removed...)
+	for _, name := range names {
+		old := m.deployedSynth.fnByName[name]
+		for _, in := range m.deployedSynth.instancesOf[name] {
+			if old == nil || !p.discount(old, in.Processor) {
+				return nil, 0, 0, false // stale committed state; decide cold
+			}
+		}
+	}
+
+	var todo []*model.Function
+	for _, nameSet := range [][]string{d.Added, d.Changed} {
+		for _, name := range nameSet {
+			if f := cand.FunctionByName(name); f != nil {
+				todo = append(todo, f)
+			}
+		}
+	}
+	sortByConstraint(todo)
+	var placedIns []model.Instance
+	for _, f := range todo {
+		ins, ok := p.place(f)
+		if !ok {
+			return nil, 0, 0, false // no room on residual capacity
+		}
+		placedIns = append(placedIns, ins...)
+		placed += len(ins)
+	}
+
+	instances := spliceInstances(dep, names, placedIns)
+	kept = len(instances) - placed
+	m.pendingLoads = p.loads
+	return &model.TechnicalArchitecture{Platform: m.platform, Func: cand, Instances: instances}, kept, placed, true
+}
+
+// spliceInstances builds the candidate instance list from the committed
+// sorted one: the touched functions' blocks are cut (contiguous under the
+// (Function, Replica) order, found by binary search) and the freshly
+// placed instances are merged in at their sorted positions, all via
+// segment copies.
+func spliceInstances(dep []model.Instance, touched []string, placed []model.Instance) []model.Instance {
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, len(touched))
+	cut := 0
+	for _, name := range touched {
+		lo := sort.Search(len(dep), func(i int) bool { return dep[i].Function >= name })
+		hi := lo
+		for hi < len(dep) && dep[hi].Function == name {
+			hi++
+		}
+		if hi > lo {
+			spans = append(spans, span{lo, hi})
+			cut += hi - lo
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+
+	base := make([]model.Instance, 0, len(dep)-cut)
+	prev := 0
+	for _, s := range spans {
+		base = append(base, dep[prev:s.lo]...)
+		prev = s.hi
+	}
+	base = append(base, dep[prev:]...)
+
+	if len(placed) == 0 {
+		return base
+	}
+	sort.Slice(placed, func(i, j int) bool { return placed[i].Less(placed[j]) })
+	out := make([]model.Instance, 0, len(base)+len(placed))
+	prev = 0
+	for _, in := range placed {
+		pos := prev + sort.Search(len(base)-prev, func(i int) bool { return in.Less(base[prev+i]) })
+		out = append(out, base[prev:pos]...)
+		out = append(out, in)
+		prev = pos
+	}
+	out = append(out, base[prev:]...)
+	return out
 }
 
 // mapToPlatform assigns every function replica to a processor:
@@ -324,6 +525,10 @@ type synthCache struct {
 	fnByName    map[string]*model.Function
 	instancesOf map[string][]model.Instance
 	tasksOn     map[string][]model.Task
+	// instOn groups the committed instances by hosting processor, so the
+	// incremental task rebuild of an affected processor starts from the
+	// committed residents instead of scanning every instance.
+	instOn map[string][]model.Instance
 }
 
 // newSynthCache derives the full lookup tables of a committed
@@ -334,10 +539,16 @@ func newSynthCache(impl *model.ImplementationModel) *synthCache {
 		fnByName:    make(map[string]*model.Function, len(fnByName)),
 		instancesOf: instancesOf,
 		tasksOn:     make(map[string][]model.Task),
+		instOn:      make(map[string][]model.Instance),
 	}
 	for name, f := range fnByName {
 		cp := *f
 		sc.fnByName[name] = &cp
+	}
+	// impl.Tech.Instances is sorted by Instance.Less, so the grouped lists
+	// keep the (Function, Replica) order InstancesOn produces.
+	for _, in := range impl.Tech.Instances {
+		sc.instOn[in.Processor] = append(sc.instOn[in.Processor], in)
 	}
 	// impl.Tasks is assembled processor by processor in priority order, so
 	// the grouped lists keep the order synthesizeTasksOn produces.
@@ -356,6 +567,10 @@ type synthOverlay struct {
 	fns     map[string]*model.Function
 	insts   map[string][]model.Instance
 	tasksOn map[string][]model.Task
+	// instsOn holds the affected processors' candidate resident lists
+	// (committed residents minus touched functions plus new placements),
+	// applied to synthCache.instOn by the commit stage.
+	instsOn map[string][]model.Instance
 }
 
 // synthView resolves the function/instance lookups of one synthesis run:
@@ -393,41 +608,60 @@ func (v *synthView) instances(name string) []model.Instance {
 }
 
 // synthOverlay builds the candidate's lookup view against the committed
-// tables: one pass over the candidate functions and the mapped instances
-// collects the diff-touched entries, everything untouched resolves
-// through the cache (whose entries are value-identical under the
-// warm-started mapping). No lookup table is rebuilt.
+// tables: the diff names its touched functions, whose candidate values
+// and placements are collected directly (binary search over the sorted
+// instance list), everything untouched resolves through the cache (whose
+// entries are value-identical under the warm-started mapping). No lookup
+// table is rebuilt and no candidate-sized scan runs — cost is
+// O(diff · log n).
 func (m *MCC) synthOverlay(ctx *pipeline.Context) (*synthView, *synthOverlay) {
 	d := ctx.Diff
 	over := &synthOverlay{
 		fns:     make(map[string]*model.Function, d.TouchedCount()),
 		insts:   make(map[string][]model.Instance, d.TouchedCount()),
 		tasksOn: make(map[string][]model.Task),
+		instsOn: make(map[string][]model.Instance),
 	}
 	for _, name := range d.Removed {
 		over.fns[name] = nil
 	}
 	cand := ctx.Candidate
-	for i := range cand.Functions {
-		if f := &cand.Functions[i]; d.Touched(f.Name) {
-			over.fns[f.Name] = f
+	for _, nameSet := range [][]string{d.Added, d.Changed} {
+		for _, name := range nameSet {
+			if f := cand.FunctionByName(name); f != nil {
+				over.fns[f.Name] = f
+			}
 		}
 	}
-	// ctx.Tech.Instances is sorted by Instance.Less, so each collected
-	// list is already replica-ascending like synthLookups produces.
-	for _, in := range ctx.Tech.Instances {
-		if d.Touched(in.Function) {
-			over.insts[in.Function] = append(over.insts[in.Function], in)
+	// ctx.Tech.Instances is sorted by Instance.Less, so each touched
+	// function's placements form one contiguous replica-ascending block —
+	// exactly the list synthLookups produces.
+	ins := ctx.Tech.Instances
+	for name, f := range over.fns {
+		if f == nil {
+			continue // removed: no candidate placements
+		}
+		lo := sort.Search(len(ins), func(i int) bool { return ins[i].Function >= name })
+		hi := lo
+		for hi < len(ins) && ins[hi].Function == name {
+			hi++
+		}
+		if hi > lo {
+			over.insts[name] = ins[lo:hi:hi]
 		}
 	}
 	return &synthView{cache: m.deployedSynth, over: over}, over
 }
 
 // synthesizeTasksOn derives the deadline-monotonic task set of one
-// processor (WCET scaled by the processor speed).
-func (m *MCC) synthesizeTasksOn(tech *model.TechnicalArchitecture, look *synthView, pn string) []model.Task {
-	p := m.platform.ProcessorByName(pn)
-	insts := tech.InstancesOn(pn)
+// processor (WCET scaled by the processor speed) from its resident
+// instance list. The list order is irrelevant: the deadline-monotonic
+// sort's comparator is total (ties break on Instance.Less).
+func (m *MCC) synthesizeTasksOn(look *synthView, pn string, insts []model.Instance) []model.Task {
+	var p *model.Processor
+	if i, ok := m.procIdx[pn]; ok {
+		p = &m.platform.Processors[i]
+	}
 	type cand struct {
 		inst model.Instance
 		fn   *model.Function
@@ -590,7 +824,7 @@ func (m *MCC) synthesize(tech *model.TechnicalArchitecture) (*model.Implementati
 	look := &synthView{cache: &synthCache{fnByName: fnByName, instancesOf: instancesOf}}
 
 	for _, pn := range m.procs {
-		impl.Tasks = append(impl.Tasks, m.synthesizeTasksOn(tech, look, pn)...)
+		impl.Tasks = append(impl.Tasks, m.synthesizeTasksOn(look, pn, tech.InstancesOn(pn))...)
 	}
 	msgs, err := m.synthesizeMessages(tech, look)
 	if err != nil {
@@ -639,37 +873,70 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		}
 	}
 
-	reusedProcs := 0
-	for _, pn := range m.procs {
-		if affected[pn] {
-			rebuilt := m.synthesizeTasksOn(tech, look, pn)
-			// Scoped validation of the rebuilt task set (the copied ones
-			// were validated at commit time), through the same Task
-			// invariant the full impl.Validate enforces — without it, a
-			// WCET that rounds to zero under speed scaling would sail
-			// through here while the from-scratch path rejects it.
-			for _, t := range rebuilt {
-				if err := t.Validate(); err != nil {
-					return nil, err
-				}
-			}
-			over.tasksOn[pn] = rebuilt
-			impl.Tasks = append(impl.Tasks, rebuilt...)
-		} else {
-			impl.Tasks = append(impl.Tasks, m.deployedSynth.tasksOn[pn]...)
-			reusedProcs++
-		}
+	// Rebuild the affected processors' task lists and splice everything
+	// else straight from the committed flat task list: dep.Tasks is
+	// grouped by processor in sorted-name order (the m.procs assembly
+	// order of every synthesis path), so each block is contiguous and
+	// binary-searchable — no per-processor walk over the platform.
+	affectedList := make([]string, 0, len(affected))
+	for pn := range affected {
+		affectedList = append(affectedList, pn)
 	}
+	sort.Strings(affectedList)
+	impl.Tasks = make([]model.Task, 0, len(dep.Tasks)+8)
+	prev := 0
+	for _, pn := range affectedList {
+		lo := sort.Search(len(dep.Tasks), func(i int) bool { return dep.Tasks[i].Processor >= pn })
+		hi := lo
+		for hi < len(dep.Tasks) && dep.Tasks[hi].Processor == pn {
+			hi++
+		}
+		impl.Tasks = append(impl.Tasks, dep.Tasks[prev:lo]...)
+		prev = hi
+		insts := m.residentInstances(pn, over)
+		over.instsOn[pn] = insts
+		rebuilt := m.synthesizeTasksOn(look, pn, insts)
+		// Scoped validation of the rebuilt task set (the spliced ones
+		// were validated at commit time), through the same Task
+		// invariant the full impl.Validate enforces — without it, a
+		// WCET that rounds to zero under speed scaling would sail
+		// through here while the from-scratch path rejects it.
+		for _, t := range rebuilt {
+			if err := t.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		over.tasksOn[pn] = rebuilt
+		impl.Tasks = append(impl.Tasks, rebuilt...)
+	}
+	impl.Tasks = append(impl.Tasks, dep.Tasks[prev:]...)
+	reusedProcs := len(m.procs) - len(affectedList)
 
 	// Messages change only when the flow set changed or a flow endpoint
 	// was touched (untouched endpoints keep their placement under the
-	// warm-started mapping).
+	// warm-started mapping). With the flow set unchanged the candidate's
+	// flows are the committed ones, so the committed flow-touch index
+	// answers "is any touched function a flow endpoint" in O(diff).
 	rebuildMsgs := d.FlowsChanged
 	if !rebuildMsgs {
-		for _, fl := range ctx.Candidate.Flows {
-			if d.Touched(fl.From) || d.Touched(fl.To) {
-				rebuildMsgs = true
-				break
+		if ft := m.deployedFlowTouch; ft != nil {
+			// A touched flow endpoint forces a rebuild only if its
+			// placement actually moved: messages derive from flows and
+			// endpoint placements alone, and flows are unchanged here, so
+			// a change that re-places every replica onto its committed
+			// processor leaves every message identical.
+			for name := range over.fns {
+				if ft[name] && placementChanged(m.deployedSynth.instancesOf[name], over.insts[name]) {
+					rebuildMsgs = true
+					break
+				}
+			}
+		} else {
+			for _, fl := range ctx.Candidate.Flows {
+				if d.Touched(fl.From) || d.Touched(fl.To) {
+					rebuildMsgs = true
+					break
+				}
 			}
 		}
 	}
@@ -685,24 +952,22 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		// timing stage splices the cached jobs of the rest.
 		ctx.AffectedNets = affectedNets(dep.Messages, msgs)
 	} else {
-		impl.Messages = append([]model.Message(nil), dep.Messages...)
+		// The committed slice is immutable once built; alias it.
+		impl.Messages = dep.Messages
 	}
 
-	// Connections change only when a touched function (in its old or new
-	// version) participates in the service graph.
+	// Connections change only when a touched function alters what it
+	// provides or requires, its trust domain, or its replica count.
+	// Everything else about a change — WCET, RAM, placement — is invisible
+	// to the session graph: connection endpoints are function#replica IDs,
+	// provider election reads only the Provides sets, and CrossDomain only
+	// the two domains, so under an unchanged service surface the rebuilt
+	// rows would come out exactly equal to the committed ones.
 	rebuildConns := false
-	for _, names := range [][]string{d.Added, d.Changed} {
-		for _, name := range names {
-			if f := look.fn(name); f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
-				rebuildConns = true
-			}
-		}
-	}
-	for _, names := range [][]string{d.Removed, d.Changed} {
-		for _, name := range names {
-			if f := m.deployedSynth.fnByName[name]; f != nil && (len(f.Provides) > 0 || len(f.Requires) > 0) {
-				rebuildConns = true
-			}
+	for name := range over.fns {
+		if connTouched(m.deployedSynth.fnByName[name], over.fns[name]) {
+			rebuildConns = true
+			break
 		}
 	}
 	if rebuildConns {
@@ -712,7 +977,7 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		}
 		impl.Connections = conns
 	} else {
-		impl.Connections = append([]model.Connection(nil), dep.Connections...)
+		impl.Connections = dep.Connections
 	}
 
 	// Record what the partial synthesis actually rebuilt so later stages
@@ -728,6 +993,67 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 	ctx.Note("reused %d/%d processors, messages %s, connections %s",
 		reusedProcs, len(m.platform.Processors), reusedWord(!rebuildMsgs), reusedWord(!rebuildConns))
 	return impl, nil
+}
+
+// residentInstances derives the candidate's instance list on one
+// affected processor: the committed residents minus the touched
+// functions' instances, plus the touched instances now placed there.
+// Cost is the processor's population, not the platform's.
+func (m *MCC) residentInstances(pn string, over *synthOverlay) []model.Instance {
+	old := m.deployedSynth.instOn[pn]
+	out := make([]model.Instance, 0, len(old)+2)
+	for _, in := range old {
+		if _, touched := over.fns[in.Function]; !touched {
+			out = append(out, in)
+		}
+	}
+	for name := range over.fns {
+		for _, in := range over.insts[name] {
+			if in.Processor == pn {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// placementChanged reports whether a touched function's replica
+// placements differ from its committed ones (both lists are
+// replica-ascending).
+func placementChanged(old, neu []model.Instance) bool {
+	if len(old) != len(neu) {
+		return true
+	}
+	for i := range old {
+		if old[i].Processor != neu[i].Processor || old[i].Replica != neu[i].Replica {
+			return true
+		}
+	}
+	return false
+}
+
+// connTouched reports whether a function change can alter the session
+// graph: the Provides/Requires sets, the trust domain, or the replica
+// count changed. Connection rows are placement-independent
+// (function#replica endpoints), so anything else cannot affect them.
+func connTouched(old, neu *model.Function) bool {
+	switch {
+	case old == nil && neu == nil:
+		return false
+	case old == nil:
+		return len(neu.Provides) > 0 || len(neu.Requires) > 0
+	case neu == nil:
+		return len(old.Provides) > 0 || len(old.Requires) > 0
+	default:
+		if !slices.Equal(old.Provides, neu.Provides) || !slices.Equal(old.Requires, neu.Requires) {
+			return true
+		}
+		if len(old.Provides) == 0 && len(old.Requires) == 0 {
+			return false
+		}
+		return old.Contract.Domain != neu.Contract.Domain ||
+			old.EffectiveReplicas() != neu.EffectiveReplicas()
+	}
 }
 
 func reusedWord(reused bool) string {
@@ -907,6 +1233,17 @@ type timingJob struct {
 	digest   uint64
 }
 
+// committedRes is one committed resource's timing artifacts — the CPA
+// job and its WCRT table — stored flat in deterministic resource order
+// (see MCC.deployedResList). res.Results == nil marks a table not yet
+// known: an optimistically committed resource whose deferred analysis
+// has not been verified; a splice of such an entry re-analyzes through
+// the memo instead of reusing the table.
+type committedRes struct {
+	job timingJob
+	res TimingResult
+}
+
 // timingOutcome aggregates the timing stage's results: the per-resource
 // WCRT tables, the digests to commit, the acceptance findings (deadline
 // misses and analysis errors), and the scanned/dirty/total telemetry
@@ -941,12 +1278,29 @@ type timingScratch struct {
 	// task sets this proposal rebuilt by scanning; the keyed commit
 	// touches exactly these entries.
 	scannedIdx []int
+	// spliceSrc, when the committed-list merge built the job list, is
+	// parallel to jobs: the deployedResList index an entry was copied
+	// from, or -1 for a freshly scanned resource. Positional result reuse
+	// and the keyed commit's list rebuild read it; the map-walk path
+	// leaves it empty (length mismatch disables it).
+	spliceSrc []int
+	// affected is the sorted affected-processor scratch of the merge.
+	affected []string
 }
 
 // buildProcJob derives one processor's CPA task set by scanning the
 // implementation model. ok is false when the processor carries no load.
 func (m *MCC) buildProcJob(impl *model.ImplementationModel, pn string) (timingJob, bool) {
 	tasks := impl.TasksOn(pn)
+	return m.buildProcJobFrom(pn, tasks)
+}
+
+// buildProcJobFrom derives one processor's CPA job from an
+// already-ordered task list. The partial synthesis hands the rebuilt
+// lists of affected processors here directly — they carry unique
+// ascending priorities, so they are element-wise what TasksOn would
+// extract and re-sort from the flat model, without the O(tasks) scan.
+func (m *MCC) buildProcJobFrom(pn string, tasks []model.Task) (timingJob, bool) {
 	if len(tasks) == 0 {
 		return timingJob{}, false
 	}
@@ -1004,7 +1358,14 @@ func (m *MCC) buildNetJob(impl *model.ImplementationModel, n *model.Network) (ti
 func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel) (jobs []timingJob, scanned int) {
 	jobs = m.scratch.jobs[:0]
 	m.scratch.scannedIdx = m.scratch.scannedIdx[:0]
+	m.scratch.spliceSrc = m.scratch.spliceSrc[:0]
 	incremental := ctx != nil && ctx.PartialSynth && m.deployedJobs != nil
+
+	if incremental && m.deployedResList != nil {
+		jobs, scanned = m.timingJobsSpliced(ctx, impl, jobs)
+		m.scratch.jobs = jobs
+		return jobs, scanned
+	}
 
 	for _, pn := range m.procs {
 		if incremental && !ctx.AffectedProcs[pn] {
@@ -1039,6 +1400,95 @@ func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel)
 		}
 	}
 	m.scratch.jobs = jobs
+	return jobs, scanned
+}
+
+// timingJobsSpliced builds the job list by merging the committed
+// resource list against the sorted affected set. Both are ordered
+// subsets of the resource iteration order (processors sorted by name,
+// then networks in platform order), so the merge emits jobs in exactly
+// the order the map walk would — but an untouched resource costs one
+// string comparison and a positional copy instead of two map lookups,
+// and its committed WCRT table is later reachable by index (spliceSrc)
+// instead of two more. Affected resources are scanned exactly as the
+// map walk scans them, including processors that newly gained load.
+func (m *MCC) timingJobsSpliced(ctx *pipeline.Context, impl *model.ImplementationModel, jobs []timingJob) ([]timingJob, int) {
+	sc := &m.scratch
+	scanned := 0
+	aff := sc.affected[:0]
+	for pn, on := range ctx.AffectedProcs {
+		if on {
+			aff = append(aff, pn)
+		}
+	}
+	sort.Strings(aff)
+	sc.affected = aff
+
+	list := m.deployedResList
+	over := m.pendingSynth
+	scanProc := func(pn string) {
+		scanned++
+		var j timingJob
+		var ok bool
+		if over != nil {
+			// The partial synthesis rebuilt exactly the affected
+			// processors' task lists; read them instead of scanning the
+			// flat model.
+			if tasks, have := over.tasksOn[pn]; have {
+				j, ok = m.buildProcJobFrom(pn, tasks)
+			} else {
+				j, ok = m.buildProcJob(impl, pn)
+			}
+		} else {
+			j, ok = m.buildProcJob(impl, pn)
+		}
+		if ok {
+			sc.scannedIdx = append(sc.scannedIdx, len(jobs))
+			jobs = append(jobs, j)
+			sc.spliceSrc = append(sc.spliceSrc, -1)
+		}
+	}
+	ai := 0
+	for li := 0; li < m.deployedResProcs; li++ {
+		r := list[li].job.resource
+		for ai < len(aff) && aff[ai] < r {
+			scanProc(aff[ai])
+			ai++
+		}
+		if ai < len(aff) && aff[ai] == r {
+			scanProc(r)
+			ai++
+			continue
+		}
+		jobs = append(jobs, list[li].job)
+		sc.spliceSrc = append(sc.spliceSrc, li)
+	}
+	for ; ai < len(aff); ai++ {
+		scanProc(aff[ai])
+	}
+
+	li := m.deployedResProcs
+	for i := range m.platform.Networks {
+		n := &m.platform.Networks[i]
+		cur := -1
+		if li < len(list) && list[li].job.resource == n.Name {
+			cur = li
+			li++
+		}
+		if netClean(ctx, n.Name) {
+			if cur >= 0 {
+				jobs = append(jobs, list[cur].job)
+				sc.spliceSrc = append(sc.spliceSrc, cur)
+			}
+			continue
+		}
+		scanned++
+		if j, ok := m.buildNetJob(impl, n); ok {
+			sc.scannedIdx = append(sc.scannedIdx, len(jobs))
+			jobs = append(jobs, j)
+			sc.spliceSrc = append(sc.spliceSrc, -1)
+		}
+	}
 	return jobs, scanned
 }
 
@@ -1110,6 +1560,9 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 
 	sc := &m.scratch
 	out := timingOutcome{scanned: scanned, total: len(jobs)}
+	if len(jobs) > 0 {
+		out.results = make([]TimingResult, 0, len(jobs))
+	}
 	if ctx == nil || !m.canCommitIncremental(ctx) {
 		// The from-scratch commit refills the digest cache wholesale and
 		// needs the full map; a keyed commit reads the digests of scanned
@@ -1125,9 +1578,26 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 		out.digests = sc.digests
 	}
 
+	spliced := len(sc.spliceSrc) == len(jobs) && len(jobs) > 0
 	clean := func(i int) (TimingResult, bool) {
+		if !m.incTiming {
+			return TimingResult{}, false
+		}
+		if spliced {
+			if k := sc.spliceSrc[i]; k >= 0 {
+				// A positionally spliced job is the committed job itself
+				// (digest-equal by construction); its committed table is
+				// one index away. A nil table marks a deferred analysis
+				// whose verified result lives only in the map (the stream
+				// scheduler backfills it there) — fall through to the map
+				// probe for those rare entries.
+				if tr := m.deployedResList[k].res; tr.Results != nil {
+					return tr, true
+				}
+			}
+		}
 		j := jobs[i]
-		if m.incTiming && m.deployedDigest[j.resource] == j.digest {
+		if m.deployedDigest[j.resource] == j.digest {
 			tr, ok := m.deployedTiming[j.resource]
 			return tr, ok
 		}
@@ -1445,49 +1915,80 @@ func jobMonitorSpecs(j timingJob) []MonitorSpec {
 // single linear merge. The result is element-for-element identical to
 // planMonitors on the same implementation model.
 func (m *MCC) spliceMonitors(ctx *pipeline.Context) []MonitorSpec {
-	// Targets whose deployed specs are superseded: every budget spec of
-	// an affected processor, plus every rate spec when messages rebuilt.
-	drop := make(map[string]bool)
+	// Targets whose deployed budget specs are superseded: every budget
+	// spec of an affected processor. Task names are instance IDs, unique
+	// across the plan, so a sorted target list merges against the sorted
+	// deployed plan without a hash lookup per spec.
+	var dropList []string
 	for pn := range ctx.AffectedProcs {
 		for _, spec := range m.deployedBudgetByProc[pn] {
-			drop[spec.Target] = true
+			dropList = append(dropList, spec.Target)
 		}
 	}
+	sort.Strings(dropList)
 
-	// Fresh specs from the rebuilt resources' timing jobs.
+	// Fresh specs from the rebuilt resources' timing jobs: exactly the
+	// jobs this proposal scanned (affected processors), plus — when the
+	// message list was re-derived — every network job, spliced or not,
+	// since the merge below supersedes the whole deployed rate section.
 	var fresh []MonitorSpec
 	rebuilt := 0
-	for _, j := range m.pendingJobs {
-		if j.spnp {
-			if !ctx.MessagesRebuilt {
-				continue
-			}
-		} else if !ctx.AffectedProcs[j.resource] {
-			continue
+	for _, i := range m.scratch.scannedIdx {
+		if j := m.pendingJobs[i]; !j.spnp {
+			fresh = append(fresh, jobMonitorSpecs(j)...)
+			rebuilt++
 		}
-		fresh = append(fresh, jobMonitorSpecs(j)...)
-		rebuilt++
+	}
+	if ctx.MessagesRebuilt {
+		for i := len(m.pendingJobs) - 1; i >= 0 && m.pendingJobs[i].spnp; i-- {
+			fresh = append(fresh, jobMonitorSpecs(m.pendingJobs[i])...)
+			rebuilt++
+		}
 	}
 	sortMonitorSpecs(fresh)
+	// fresh is (kind, target)-sorted: budget prefix, rate suffix.
+	freshRate := sort.Search(len(fresh), func(i int) bool { return fresh[i].Kind > MonitorBudget })
 
-	// Linear merge of the surviving deployed specs with the fresh ones;
-	// both inputs are sorted (kind, target), so no global re-sort.
-	out := make([]MonitorSpec, 0, len(m.deployedMonitors)+len(fresh))
-	fi := 0
-	for _, spec := range m.deployedMonitors {
-		if spec.Kind == MonitorBudget && drop[spec.Target] {
-			continue
+	// The deployed plan is (kind, target)-sorted too: a budget section
+	// then a rate section. The budget section is merged with the fresh
+	// budget specs via cut points — untouched runs are bulk-copied, the
+	// dropped and inserted targets are found by binary search — and the
+	// rate section is either copied verbatim (messages untouched) or
+	// replaced wholesale by the fresh rate specs.
+	dep := m.deployedMonitors
+	depRate := sort.Search(len(dep), func(i int) bool { return dep[i].Kind > MonitorBudget })
+	out := make([]MonitorSpec, 0, len(dep)+len(fresh))
+
+	seg, freshBud := dep[:depRate], fresh[:freshRate]
+	pos, fi, di := 0, 0, 0
+	for di < len(dropList) || fi < len(freshBud) {
+		var nextTgt string
+		useDrop := false
+		if di < len(dropList) && (fi >= len(freshBud) || dropList[di] <= freshBud[fi].Target) {
+			nextTgt, useDrop = dropList[di], true
+		} else {
+			nextTgt = freshBud[fi].Target
 		}
-		if spec.Kind == MonitorRate && ctx.MessagesRebuilt {
-			continue
-		}
-		for fi < len(fresh) && monitorSpecLess(fresh[fi], spec) {
-			out = append(out, fresh[fi])
+		cut := pos + sort.Search(len(seg)-pos, func(k int) bool { return seg[pos+k].Target >= nextTgt })
+		out = append(out, seg[pos:cut]...)
+		pos = cut
+		if useDrop {
+			if pos < len(seg) && seg[pos].Target == nextTgt {
+				pos++
+			}
+			di++
+		} else {
+			out = append(out, freshBud[fi])
 			fi++
 		}
-		out = append(out, spec)
 	}
-	out = append(out, fresh[fi:]...)
+	out = append(out, seg[pos:]...)
+
+	if ctx.MessagesRebuilt {
+		out = append(out, fresh[freshRate:]...)
+	} else {
+		out = append(out, dep[depRate:]...)
+	}
 	ctx.Note("spliced %d/%d monitors from the deployed plan (%d resources rebuilt)",
 		len(out)-len(fresh), len(out), rebuilt)
 	return out
@@ -1562,6 +2063,20 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	}
 	m.deployedJobs = jobs
 
+	// Flat committed-resource accelerator: the job list is already in
+	// deterministic resource order (processor prefix, then networks), and
+	// the timing map just built holds whatever tables are known (all of
+	// them on a verified commit, clean ones only under deferred checks).
+	list := make([]committedRes, len(m.pendingJobs))
+	procCount := 0
+	for i, jb := range m.pendingJobs {
+		if !jb.spnp {
+			procCount++
+		}
+		list[i] = committedRes{job: jb, res: timing[jb.resource]}
+	}
+	m.deployedResList, m.deployedResProcs = list, procCount
+
 	budgets := make(map[string][]MonitorSpec)
 	for _, j := range m.pendingJobs {
 		if !j.spnp {
@@ -1580,7 +2095,44 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 			sec[c] = true
 		}
 		m.deployedSecVerdicts = sec
+		m.deployedFlowTouch = flowTouchIndex(ctx.Candidate.Flows)
+		m.deployedLoads = committedLoads(m, ctx.Impl.Tech.Instances)
+		prov := make(map[string]int)
+		for i := range ctx.Candidate.Functions {
+			for _, svc := range ctx.Candidate.Functions[i].Provides {
+				prov[svc]++
+			}
+		}
+		m.svcProviders = prov
 	}
+}
+
+// committedLoads derives the per-processor load accounting of a committed
+// placement — a fresh slice, so an open window journal rolls back by
+// restoring the window-start pointer.
+func committedLoads(m *MCC, instances []model.Instance) []procLoad {
+	loads := make([]procLoad, len(m.platform.Processors))
+	for _, in := range instances {
+		i, ok := m.procIdx[in.Processor]
+		f := m.deployedSynth.fnByName[in.Function]
+		if !ok || f == nil {
+			continue
+		}
+		loads[i].utilPPM += scaleUtilPPM(utilPPM(f), m.platform.Processors[i].SpeedFactor)
+		loads[i].ramKiB += f.Contract.Resources.RAMKiB
+	}
+	return loads
+}
+
+// flowTouchIndex maps every function name a flow references to true —
+// the committed index behind DiffFromChange's removal arm.
+func flowTouchIndex(flows []model.Flow) map[string]bool {
+	out := make(map[string]bool, 2*len(flows))
+	for _, fl := range flows {
+		out[fl.From] = true
+		out[fl.To] = true
+	}
+	return out
 }
 
 // commitIncremental updates the deployed caches with keyed writes: only
@@ -1591,6 +2143,21 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 // journal when one is open.
 func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 	m, j := s.m, s.m.journal
+
+	// The committed flow index changes only with the flow set (removals
+	// cutting flows). Commits swap in a fresh map — never an in-place
+	// write — so a window journal rolls back by pointer.
+	if ctx.Diff.FlowsChanged {
+		m.deployedFlowTouch = flowTouchIndex(ctx.Candidate.Flows)
+	}
+
+	// The warm-started mapping's placer buffer already holds the final
+	// per-processor totals of the accepted placement; take ownership of it
+	// as the new committed loads. The previous slice is left intact, so a
+	// window journal rolls back by restoring the window-start pointer.
+	if m.pendingLoads != nil {
+		m.deployedLoads, m.pendingLoads, m.loadScratch = m.pendingLoads, nil, nil
+	}
 
 	// Index this attempt's freshly scanned jobs by resource.
 	fresh := make(map[string]int, len(m.scratch.scannedIdx))
@@ -1636,6 +2203,46 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 		}
 	}
 
+	// Committed-resource list: this attempt's job list is the new
+	// committed resource order. Spliced entries carry their table over by
+	// index; scanned entries take this attempt's fresh table (or none yet
+	// under deferred checks — the map probe below finds the committed
+	// table of a digest-clean rescan and misses for a dirty one, whose
+	// table the stream scheduler's verification backfills into the map).
+	// The fresh slice leaves the window-start list intact for rollback.
+	if m.deployedResList != nil && len(m.scratch.spliceSrc) == len(m.pendingJobs) {
+		list := make([]committedRes, len(m.pendingJobs))
+		procCount := 0
+		for i, jb := range m.pendingJobs {
+			if !jb.spnp {
+				procCount++
+			}
+			cr := committedRes{job: jb}
+			switch {
+			case m.scratch.spliceSrc[i] >= 0:
+				cr.res = m.deployedResList[m.scratch.spliceSrc[i]].res
+				if cr.res.Results == nil {
+					// Deferred-committed entry: heal from the map, which
+					// the verification pass backfilled (zero if still
+					// unverified).
+					cr.res = m.deployedTiming[jb.resource]
+				}
+			case m.pendingResults != nil:
+				cr.res = m.pendingResults[i]
+			default:
+				if tr, ok := m.deployedTiming[jb.resource]; ok && m.deployedDigest[jb.resource] == jb.digest {
+					cr.res = tr
+				}
+			}
+			list[i] = cr
+		}
+		m.deployedResList, m.deployedResProcs = list, procCount
+	} else {
+		// The job list was built by the map walk (cold list); drop the
+		// accelerator until the next from-scratch commit rebuilds it.
+		m.deployedResList, m.deployedResProcs = nil, 0
+	}
+
 	// Security verdict cache: the connection set changes only when the
 	// synthesis rebuilt the sessions; every connection of the accepted
 	// implementation model was verified clean (fresh-checked this
@@ -1661,8 +2268,25 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 
 	// Apply the synthesis lookup overlay: diff-touched functions are
 	// copied in (or dropped), affected processors' task lists replaced.
+	// The provider counts adjust by the same delta — decrement the
+	// committed occurrences (read before the overlay overwrites them),
+	// increment the candidate's.
 	sc, over := m.deployedSynth, m.pendingSynth
 	for name, f := range over.fns {
+		if old := sc.fnByName[name]; old != nil && m.svcProviders != nil {
+			for _, svc := range old.Provides {
+				if n := m.svcProviders[svc] - 1; n > 0 {
+					jset(j.jSvcProv(), m.svcProviders, svc, n)
+				} else {
+					jdel(j.jSvcProv(), m.svcProviders, svc)
+				}
+			}
+		}
+		if f != nil && m.svcProviders != nil {
+			for _, svc := range f.Provides {
+				jset(j.jSvcProv(), m.svcProviders, svc, m.svcProviders[svc]+1)
+			}
+		}
 		if f == nil {
 			jdel(j.jSynFns(), sc.fnByName, name)
 			jdel(j.jSynIns(), sc.instancesOf, name)
@@ -1677,6 +2301,13 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 			jdel(j.jSynTasks(), sc.tasksOn, pn)
 		} else {
 			jset(j.jSynTasks(), sc.tasksOn, pn, tasks)
+		}
+	}
+	for pn, insts := range over.instsOn {
+		if len(insts) == 0 {
+			jdel(j.jSynInstOn(), sc.instOn, pn)
+		} else {
+			jset(j.jSynInstOn(), sc.instOn, pn, insts)
 		}
 	}
 }

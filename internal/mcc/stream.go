@@ -177,10 +177,10 @@ func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*R
 // windowEnd extends the window starting at lo while the next change's
 // declared footprint stays disjoint from every change already in it.
 func (s *StreamScheduler) windowEnd(changes []Change, lo int) int {
-	fps := []footprint{declaredFootprint(s.m.deployed, changes[lo])}
+	fps := []footprint{declaredFootprint(s.m.lookupDeployedFn, changes[lo])}
 	hi := lo + 1
 	for hi < len(changes) && hi-lo < s.window {
-		fp := declaredFootprint(s.m.deployed, changes[hi])
+		fp := declaredFootprint(s.m.lookupDeployedFn, changes[hi])
 		conflict := false
 		for _, prev := range fps {
 			if prev.conflicts(fp) {
@@ -384,10 +384,12 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 		return false
 	}
 	m := s.m
-	results := make([]TimingResult, len(dt.jobs))
+	// dt.results already holds every clean resource's table; fill the
+	// pending slots in place (a memo hit after prefetch) and hand the
+	// completed slice to the report — no second O(resources) copy.
+	results := dt.results
 	for i, j := range dt.jobs {
 		if !dt.pending[i] {
-			results[i] = dt.results[i]
 			continue
 		}
 		res, err := m.runTimingJobSafe(nil, j)
@@ -418,9 +420,12 @@ func (m *MCC) propose(c Change) *Report {
 }
 
 // proposeCtx is propose bounded by ctx (composed with the configured
-// per-proposal deadline inside integrateCtx).
+// per-proposal deadline inside integrateCtx). It rides the change-driven
+// fast path when the committed indexes are warm: the candidate is the
+// deployed architecture mutated in place, the diff comes from the change
+// object, and rejection (or window rollback) reverts the mutation.
 func (m *MCC) proposeCtx(ctx context.Context, c Change) *Report {
-	return m.integrateCtx(ctx, applyChange(m.deployed, c))
+	return m.integrateChangeCtx(ctx, c)
 }
 
 // footprint is the function-level resource footprint of one change,
@@ -435,12 +440,12 @@ type footprint struct {
 	global   bool
 }
 
-// declaredFootprint derives a change's footprint against the
-// currently deployed architecture (window formation happens before the
-// window runs, so the deployed version of an updated function is the
-// pre-window one; the footprint is a scheduling heuristic, never a
-// correctness input).
-func declaredFootprint(deployed *model.FunctionalArchitecture, c Change) footprint {
+// declaredFootprint derives a change's footprint against the currently
+// deployed architecture, resolved through lookup (window formation
+// happens before the window runs, so the deployed version of an updated
+// function is the pre-window one; the footprint is a scheduling
+// heuristic, never a correctness input).
+func declaredFootprint(lookup func(string) *model.Function, c Change) footprint {
 	if c.Update == nil {
 		return footprint{global: true}
 	}
@@ -454,8 +459,8 @@ func declaredFootprint(deployed *model.FunctionalArchitecture, c Change) footpri
 	for _, svc := range c.Update.Requires {
 		fp.services[svc] = true
 	}
-	if deployed != nil {
-		if old := deployed.FunctionByName(c.Update.Name); old != nil {
+	if lookup != nil {
+		if old := lookup(c.Update.Name); old != nil {
 			for _, svc := range old.Provides {
 				fp.services[svc] = true
 			}
@@ -465,6 +470,16 @@ func declaredFootprint(deployed *model.FunctionalArchitecture, c Change) footpri
 		}
 	}
 	return fp
+}
+
+// lookupDeployedFn resolves a deployed function by name: an O(1) index
+// hit while the committed synthesis cache is warm, the linear
+// architecture walk otherwise (cold or quarantined controllers).
+func (m *MCC) lookupDeployedFn(name string) *model.Function {
+	if m.deployedSynth != nil {
+		return m.deployedSynth.fnByName[name]
+	}
+	return m.deployed.FunctionByName(name)
 }
 
 func (a footprint) conflicts(b footprint) bool {

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mcc"
+)
+
+// Per-proposal allocation flatness: the O(diff) admission path must not
+// allocate proportionally to the platform. The change-driven diff, the
+// in-place candidate mutation, and the committed-list splices keep the
+// per-proposal allocation *count* constant-ish — measured ~79 allocs at
+// 32 processors vs ~86 at 2048 (the big tables that do scale with the
+// platform, the report's timing map and monitor plan, are each one or
+// two allocations regardless of entry count). A regression that
+// reintroduces a per-function or per-resource allocation — a clone, a
+// map rebuild, a per-entry box — blows the ratio up by orders of
+// magnitude, so the 2x bound below is loose against noise yet tight
+// against any real O(platform) regression.
+
+// allocsPerProposal deploys the generated baseline at the given platform
+// size and measures the steady-state allocations of one accepted warm
+// update. The measured pair toggles one standalone app between two
+// contract variants, so every proposal is a genuine accepted change and
+// the committed state returns to the start of the pair.
+func allocsPerProposal(t *testing.T, procs int) float64 {
+	t.Helper()
+	fleet := GenFleet(DefaultFleetSpec(procs))
+	m, err := mcc.New(fleet.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := m.ProposeArchitecture(fleet.Baseline); !rep.Accepted {
+		t.Fatalf("procs=%d: baseline rejected at %s", procs, rep.RejectedAt)
+	}
+	var name string
+	for _, f := range fleet.Baseline.Functions {
+		if strings.HasPrefix(f.Name, "app") {
+			name = f.Name
+			break
+		}
+	}
+	if name == "" {
+		name = fleet.Baseline.Functions[0].Name
+	}
+	v0 := *fleet.Baseline.FunctionByName(name)
+	v1 := v0
+	v1.Contract.RealTime.WCETUS++
+	// Warm the pair once so the analyzer memo and splice caches reach
+	// steady state before measuring.
+	if !m.ProposeUpdate(v1).Accepted || !m.ProposeUpdate(v0).Accepted {
+		t.Fatalf("procs=%d: warm update pair rejected", procs)
+	}
+	return testing.AllocsPerRun(20, func() {
+		m.ProposeUpdate(v1)
+		m.ProposeUpdate(v0)
+	}) / 2
+}
+
+func TestProposalAllocsFlatAcrossPlatformSize(t *testing.T) {
+	small := allocsPerProposal(t, 32)
+	big := allocsPerProposal(t, 2048)
+	t.Logf("allocs/proposal: %.1f @32p, %.1f @2048p", small, big)
+	if small == 0 {
+		t.Fatal("implausible zero allocations at 32 processors")
+	}
+	if ratio := big / small; ratio > 2.0 {
+		t.Errorf("per-proposal allocations grew with platform size: %.1f@32p -> %.1f@2048p (%.2fx, want <= 2x over a 64x platform sweep)",
+			small, big, ratio)
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mcc"
+	"repro/internal/mcc/pipeline"
+	"repro/internal/model"
+)
+
+// Equivalence harness for the change-driven diff: pipeline.DiffFromChange
+// must be observably identical to the clone-based oracle
+// pipeline.ComputeDiff(deployed, applyChange(deployed, c)) for every
+// single-function change, because the MCC's fast path feeds the former to
+// the same incremental stages that were built against the latter. The
+// corpus sweeps the genfleet parity seeds (platform sizes, chain depths,
+// change mixes); the fuzz target explores further seeds locally. On top
+// of each generated stream, every step also probes the three edge arms a
+// generated mix rarely hits: a no-op update (candidate equal to the
+// deployed function), a removal of an unknown function, and a removal of
+// a flow endpoint (the only single-function change that alters the flow
+// set).
+
+// eqNames compares two diff name lists treating nil and empty as equal.
+func eqNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDiffEquivalence computes both diffs of one change against the
+// deployed architecture and fails on any observable divergence. It
+// returns the candidate so callers can evolve the stream. The lookups
+// feeding DiffFromChange — the committed function and the flow-touch
+// test — are derived fresh from the deployed architecture, exactly the
+// facts the MCC's committed indexes hand the production fast path.
+func checkDiffEquivalence(t *testing.T, deployed *model.FunctionalArchitecture, c mcc.Change) *model.FunctionalArchitecture {
+	t.Helper()
+	name := c.Remove
+	if c.Update != nil {
+		name = c.Update.Name
+	}
+	var old *model.Function
+	for i := range deployed.Functions {
+		if deployed.Functions[i].Name == name {
+			old = &deployed.Functions[i]
+			break
+		}
+	}
+	flowTouched := false
+	for _, fl := range deployed.Flows {
+		if fl.From == name || fl.To == name {
+			flowTouched = true
+			break
+		}
+	}
+
+	var cand *model.FunctionalArchitecture
+	if c.Update != nil {
+		cand = deployed.WithFunction(*c.Update)
+	} else {
+		cand = deployed.WithoutFunction(name)
+	}
+	want := pipeline.ComputeDiff(deployed, cand)
+	got := pipeline.DiffFromChange(name, c.Update, old, flowTouched)
+
+	// Compare every observable the stages consume: the sorted name
+	// lists, the flow flag, and the predicate methods.
+	switch {
+	case !eqNames(got.Added, want.Added):
+		t.Fatalf("change %v: Added = %v, oracle %v", c, got.Added, want.Added)
+	case !eqNames(got.Removed, want.Removed):
+		t.Fatalf("change %v: Removed = %v, oracle %v", c, got.Removed, want.Removed)
+	case !eqNames(got.Changed, want.Changed):
+		t.Fatalf("change %v: Changed = %v, oracle %v", c, got.Changed, want.Changed)
+	case got.FlowsChanged != want.FlowsChanged:
+		t.Fatalf("change %v: FlowsChanged = %v, oracle %v", c, got.FlowsChanged, want.FlowsChanged)
+	case got.Full() != want.Full():
+		t.Fatalf("change %v: Full = %v, oracle %v", c, got.Full(), want.Full())
+	case got.Empty() != want.Empty():
+		t.Fatalf("change %v: Empty = %v, oracle %v", c, got.Empty(), want.Empty())
+	case got.TouchedCount() != want.TouchedCount():
+		t.Fatalf("change %v: TouchedCount = %d, oracle %d", c, got.TouchedCount(), want.TouchedCount())
+	case got.Touched(name) != want.Touched(name):
+		t.Fatalf("change %v: Touched(%s) = %v, oracle %v", c, name, got.Touched(name), want.Touched(name))
+	}
+	return cand
+}
+
+func runDiffEquivalenceCase(t *testing.T, seed uint64) {
+	t.Helper()
+	fleet := GenFleet(paritySpec(seed))
+	deployed := fleet.Baseline
+	for i, c := range fleet.Changes(32) {
+		if n := len(deployed.Functions); n > 0 {
+			same := deployed.Functions[i%n]
+			checkDiffEquivalence(t, deployed, mcc.Change{Update: &same})
+		}
+		checkDiffEquivalence(t, deployed, mcc.Change{Remove: "no-such-fn"})
+		if len(deployed.Flows) > 0 {
+			checkDiffEquivalence(t, deployed, mcc.Change{Remove: deployed.Flows[i%len(deployed.Flows)].From})
+		}
+		deployed = checkDiffEquivalence(t, deployed, c)
+	}
+}
+
+func TestDiffFromChangeEquivalence(t *testing.T) {
+	for _, seed := range parityCorpus {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDiffEquivalenceCase(t, seed)
+		})
+	}
+}
+
+func FuzzDiffFromChange(f *testing.F) {
+	for _, seed := range parityCorpus {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		runDiffEquivalenceCase(t, seed)
+	})
+}

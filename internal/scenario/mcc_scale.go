@@ -33,7 +33,7 @@ type MCCScaleConfig struct {
 // DefaultMCCScaleConfig returns the baseline E13 parameters.
 func DefaultMCCScaleConfig() MCCScaleConfig {
 	return MCCScaleConfig{
-		Procs:   []int{32, 128, 512},
+		Procs:   []int{32, 128, 512, 2048},
 		Updates: 32,
 		Modes:   []MCCThroughputMode{ThroughputSerial, ThroughputFull, ThroughputStream},
 	}
