@@ -24,7 +24,14 @@
 //     the admission work per change is flat. See README "admission cost
 //     model".
 //
-// Usage: benchgate -baseline BENCH_PR7.json -current smoke.json
+// With -e15 the command additionally (or instead, when -current is
+// omitted) gates the E15 availability tier: every parity-checked fault
+// row must report a zero blast radius — no decision lost and no decision
+// diverging from the standalone oracle on any healthy vehicle while one
+// tenant is faulted. This is absolute, not baseline-relative: a single
+// lost healthy decision is a bulkhead regression.
+//
+// Usage: benchgate -baseline BENCH_PR7.json -current smoke.json [-e15 e15.json]
 package main
 
 import (
@@ -43,8 +50,18 @@ type e13Point struct {
 	ChangesPerSec   float64 `json:"changes_per_sec"`
 }
 
+// e15Point is the subset of the canbench e15 row the gate consumes.
+type e15Point struct {
+	Spec              string `json:"spec"`
+	ParityChecked     bool   `json:"parity_checked"`
+	HealthyLost       int    `json:"healthy_lost"`
+	HealthyMismatches int    `json:"healthy_mismatches"`
+	BlastRadiusOK     bool   `json:"blast_radius_ok"`
+}
+
 type benchFile struct {
 	E13 []e13Point `json:"e13"`
+	E15 []e15Point `json:"e15"`
 }
 
 // incrementalModes are the engines whose flatness the gate enforces; the
@@ -150,32 +167,77 @@ func gate(baseline, current benchFile, maxGrowth, maxDegrade float64) []string {
 	return fails
 }
 
+// gateE15 enforces the blast-radius property on every parity-checked
+// fault row. Rows with ParityChecked=false (the overload column, whose
+// healthy vehicles shed by design) are exempt.
+func gateE15(rows []e15Point) []string {
+	var fails []string
+	checked := 0
+	for _, r := range rows {
+		if !r.ParityChecked {
+			continue
+		}
+		checked++
+		if r.HealthyLost != 0 || r.HealthyMismatches != 0 || !r.BlastRadiusOK {
+			fails = append(fails, fmt.Sprintf(
+				"e15 %s: blast radius not zero: %d healthy decision(s) lost, %d diverged from the oracle",
+				r.Spec, r.HealthyLost, r.HealthyMismatches))
+		}
+	}
+	if checked == 0 {
+		fails = append(fails, "e15: no parity-checked rows to gate")
+	}
+	return fails
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR7.json", "committed E13 trajectory point")
 	currentPath := flag.String("current", "", "freshly measured E13 sweep (canbench -experiment e13 -json)")
+	e15Path := flag.String("e15", "", "freshly measured E15 availability tier (canbench -experiment e15 -json); gated for a zero blast radius")
 	maxGrowth := flag.Float64("max-growth", 2.0, "max small->large growth of scans/change and checks/change")
 	maxDegrade := flag.Float64("max-degrade", 2.0, "max worsening of the changes/s collapse ratio vs the baseline")
 	flag.Parse()
-	if *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+	if *currentPath == "" && *e15Path == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current or -e15 is required")
 		os.Exit(2)
 	}
-	baseline, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	var fails []string
+	gated := ""
+	if *currentPath != "" {
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fails = append(fails, gate(baseline, current, *maxGrowth, *maxDegrade)...)
+		gated = "E13 flatness"
 	}
-	current, err := load(*currentPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	if *e15Path != "" {
+		raw, err := os.ReadFile(*e15Path)
+		var bf benchFile
+		if err == nil {
+			err = json.Unmarshal(raw, &bf)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fails = append(fails, gateE15(bf.E15)...)
+		if gated != "" {
+			gated += " + "
+		}
+		gated += "E15 blast-radius"
 	}
-	fails := gate(baseline, current, *maxGrowth, *maxDegrade)
 	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Println("benchgate: E13 flatness gate passed")
+	fmt.Printf("benchgate: %s gate passed\n", gated)
 }

@@ -47,6 +47,46 @@ func TestGateFailsOnCollapseDegradation(t *testing.T) {
 	}
 }
 
+func e15Rows() []e15Point {
+	return []e15Point{
+		{Spec: "none", ParityChecked: true, BlastRadiusOK: true},
+		{Spec: "tenant-panic", ParityChecked: true, BlastRadiusOK: true},
+		{Spec: "overload", ParityChecked: false, HealthyLost: 9, BlastRadiusOK: true},
+	}
+}
+
+func TestGateE15PassesOnZeroBlastRadius(t *testing.T) {
+	if fails := gateE15(e15Rows()); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestGateE15FailsOnHealthyLoss(t *testing.T) {
+	rows := e15Rows()
+	rows[1].HealthyLost = 1
+	rows[1].BlastRadiusOK = false
+	fails := gateE15(rows)
+	if len(fails) == 0 || !strings.Contains(fails[0], "blast radius not zero") {
+		t.Fatalf("want blast-radius failure, got %v", fails)
+	}
+}
+
+func TestGateE15FailsOnMismatch(t *testing.T) {
+	rows := e15Rows()
+	rows[0].HealthyMismatches = 2
+	fails := gateE15(rows)
+	if len(fails) == 0 || !strings.Contains(fails[0], "2 diverged") {
+		t.Fatalf("want mismatch failure, got %v", fails)
+	}
+}
+
+func TestGateE15FailsWithoutParityRows(t *testing.T) {
+	fails := gateE15([]e15Point{{Spec: "overload", ParityChecked: false}})
+	if len(fails) == 0 || !strings.Contains(fails[0], "no parity-checked rows") {
+		t.Fatalf("want no-rows failure, got %v", fails)
+	}
+}
+
 func TestGateFailsOnMissingBaselineTier(t *testing.T) {
 	baseline := rows(0.94, 2.0, 16000, 350)
 	// Baseline lacks the 1024p tier the current sweep measured.

@@ -13,6 +13,7 @@
 //	canbench -experiment e12 -cache mcc.cache  # persistent timing-analyzer memo
 //	canbench -experiment e13 [-procs 32,128,512] [-scale-changes 32]
 //	canbench -experiment e14 [-chaos-procs 32] [-chaos-changes 24]
+//	canbench -experiment e15 [-fleet-vehicles 6] [-fleet-archetypes 2] [-fleet-procs 8] [-fleet-changes 12]
 //	canbench -experiment all
 //	canbench -experiment all -json   # machine-readable, for BENCH_*.json
 //
@@ -26,6 +27,12 @@
 // cache corruption, stage stalls racing the proposal deadline, journal
 // undo failures), publishing per-fault availability, recovery telemetry,
 // and the parity verdict against the clean serial oracle.
+//
+// E15 is the multi-tenant availability tier: M vehicles hosted by one
+// fleet.Server, driven concurrently under per-tenant injected faults,
+// publishing sustained throughput, decision-latency percentiles, shed
+// rate, and the blast-radius verdict (healthy vehicles bit-identical to
+// their standalone oracles while one tenant is killed, stalled, or shed).
 package main
 
 import (
@@ -107,6 +114,40 @@ type e14Row struct {
 	WallUS          int64   `json:"wall_us"`
 }
 
+// e15Row is one E15 availability-tier point: one fault spec on the
+// multi-tenant fleet server, with the blast-radius verdict.
+type e15Row struct {
+	Spec              string  `json:"spec"`
+	Vehicles          int     `json:"vehicles"`
+	Archetypes        int     `json:"archetypes"`
+	Procs             int     `json:"procs"`
+	ChangesPerVehicle int     `json:"changes_per_vehicle"`
+	Offered           int64   `json:"offered"`
+	Decided           int64   `json:"decided"`
+	Accepted          int64   `json:"accepted"`
+	Rejected          int64   `json:"rejected"`
+	Shed              int64   `json:"shed"`
+	ShedRatePct       float64 `json:"shed_rate_pct"`
+	Crashes           int64   `json:"crashes"`
+	Restarts          int64   `json:"restarts"`
+	Parked            int     `json:"parked"`
+	FaultedVehicle    string  `json:"faulted_vehicle,omitempty"`
+	FaultedLost       int     `json:"faulted_lost"`
+	ParityChecked     bool    `json:"parity_checked"`
+	HealthyLost       int     `json:"healthy_lost"`
+	HealthyMismatches int     `json:"healthy_mismatches"`
+	BlastRadiusOK     bool    `json:"blast_radius_ok"`
+	FaultsInjected    int     `json:"faults_injected"`
+	MeanLatencyUS     int64   `json:"mean_latency_us"`
+	P99LatencyUS      int64   `json:"p99_latency_us"`
+	MaxLatencyUS      int64   `json:"max_latency_us"`
+	ChangesPerSec     float64 `json:"changes_per_sec"`
+	WallUS            int64   `json:"wall_us"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	FlightWaits       int64   `json:"flight_waits"`
+}
+
 // e12Row is one E12 integration strategy's throughput measurement.
 type e12Row struct {
 	Mode           string           `json:"mode"`
@@ -133,6 +174,7 @@ type benchReport struct {
 	E12       []e12Row `json:"e12,omitempty"`
 	E13       []e13Row `json:"e13,omitempty"`
 	E14       []e14Row `json:"e14,omitempty"`
+	E15       []e15Row `json:"e15,omitempty"`
 }
 
 func main() {
@@ -147,6 +189,10 @@ func main() {
 	scaleModes := flag.String("scale-modes", "", "comma-separated E13 integration strategies (default serial,full-incremental,stream-parallel); the CI flatness gate selects the incremental modes only, the 2048p serial run costs seconds per point")
 	chaosProcs := flag.Int("chaos-procs", 32, "platform size for the E14 chaos tier")
 	chaosChanges := flag.Int("chaos-changes", 24, "streamed change requests per E14 run")
+	fleetVehicles := flag.Int("fleet-vehicles", 6, "tenant count for the E15 availability tier")
+	fleetArchetypes := flag.Int("fleet-archetypes", 2, "distinct platform archetypes across the E15 tenants")
+	fleetProcs := flag.Int("fleet-procs", 8, "platform size per E15 archetype")
+	fleetChanges := flag.Int("fleet-changes", 12, "streamed change requests per E15 vehicle")
 	cachePath := flag.String("cache", "", "persistent timing-analyzer memo table for E12: loaded before the runs, saved back after (warm-starts the busy-window analyses across sessions)")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
@@ -157,7 +203,8 @@ func main() {
 	runE12 := *experiment == "e12" || *experiment == "all"
 	runE13 := *experiment == "e13" || *experiment == "e13-scale" || *experiment == "all"
 	runE14 := *experiment == "e14" || *experiment == "all"
-	if !runE1 && !runE2 && !runE12 && !runE13 && !runE14 {
+	runE15 := *experiment == "e15" || *experiment == "all"
+	if !runE1 && !runE2 && !runE12 && !runE13 && !runE14 && !runE15 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
@@ -212,6 +259,13 @@ func main() {
 		}
 		rep.E14 = rows
 	}
+	if runE15 {
+		rows, err := measureE15(*fleetVehicles, *fleetArchetypes, *fleetProcs, *fleetChanges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.E15 = rows
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -247,6 +301,82 @@ func main() {
 			fmt.Println()
 		}
 		printE14(rep.E14)
+	}
+	if runE15 {
+		if runE1 || runE2 || runE12 || runE13 || runE14 {
+			fmt.Println()
+		}
+		printE15(rep.E15)
+	}
+}
+
+// measureE15 runs the multi-tenant availability tier and flattens the
+// rows into the JSON format. A non-zero blast radius on a parity-checked
+// row is a robustness regression, so it fails the command, not just the
+// row.
+func measureE15(vehicles, archetypes, procs, changes int) ([]e15Row, error) {
+	cfg := scenario.DefaultFleetAvailConfig()
+	cfg.Vehicles = vehicles
+	cfg.Archetypes = archetypes
+	cfg.Procs = procs
+	cfg.Updates = changes
+	rows, err := scenario.RunFleetAvail(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]e15Row, 0, len(rows))
+	for _, r := range rows {
+		if !r.BlastRadiusOK {
+			return nil, fmt.Errorf("e15 %s: blast radius not zero: %d healthy decision(s) lost, %d mismatched: %s",
+				r.Spec, r.HealthyLost, r.HealthyMismatches, r.FirstMismatch)
+		}
+		out = append(out, e15Row{
+			Spec:              r.Spec,
+			Vehicles:          r.Vehicles,
+			Archetypes:        r.Archetypes,
+			Procs:             r.Procs,
+			ChangesPerVehicle: r.ChangesPerVehicle,
+			Offered:           r.Offered,
+			Decided:           r.Decided,
+			Accepted:          r.Accepted,
+			Rejected:          r.Rejected,
+			Shed:              r.Shed,
+			ShedRatePct:       r.ShedRatePct,
+			Crashes:           r.Crashes,
+			Restarts:          r.Restarts,
+			Parked:            r.Parked,
+			FaultedVehicle:    r.FaultedVehicle,
+			FaultedLost:       r.FaultedLost,
+			ParityChecked:     r.ParityChecked,
+			HealthyLost:       r.HealthyLost,
+			HealthyMismatches: r.HealthyMismatches,
+			BlastRadiusOK:     r.BlastRadiusOK,
+			FaultsInjected:    r.FaultsInjected,
+			MeanLatencyUS:     r.MeanLatencyUS,
+			P99LatencyUS:      r.P99LatencyUS,
+			MaxLatencyUS:      r.MaxLatencyUS,
+			ChangesPerSec:     r.ChangesPerSec,
+			WallUS:            r.WallUS,
+			CacheHits:         r.CacheHits,
+			CacheMisses:       r.CacheMisses,
+			FlightWaits:       r.FlightWaits,
+		})
+	}
+	return out, nil
+}
+
+func printE15(rows []e15Row) {
+	fmt.Println("E15: multi-tenant fleet availability under per-tenant faults (blast radius must be zero)")
+	fmt.Println("spec             vehicles  offered  decided  acc  rej  shed  shed%  crash  restart  park  h-lost  h-mism  blast-ok  mean-lat   p99-lat  changes/s")
+	for _, r := range rows {
+		blast := "skip"
+		if r.ParityChecked {
+			blast = fmt.Sprintf("%v", r.BlastRadiusOK)
+		}
+		fmt.Printf("%-16s %8d  %7d  %7d  %3d  %3d  %4d  %4.1f%%  %5d  %7d  %4d  %6d  %6d  %8s  %6dus  %6dus  %9.0f\n",
+			r.Spec, r.Vehicles, r.Offered, r.Decided, r.Accepted, r.Rejected, r.Shed, r.ShedRatePct,
+			r.Crashes, r.Restarts, r.Parked, r.HealthyLost, r.HealthyMismatches, blast,
+			r.MeanLatencyUS, r.P99LatencyUS, r.ChangesPerSec)
 	}
 }
 

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/model"
+)
+
+func testPlatform() *model.Platform {
+	return &model.Platform{
+		Processors: []model.Processor{
+			{Name: "ecu-safe", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "ecu-perf", Policy: model.SPP, SpeedFactor: 2.0, RAMKiB: 8192, MaxSafety: model.ASILB},
+		},
+		Networks: []model.Network{
+			{Name: "can0", BitsPerSec: 500_000, Attached: []string{"ecu-safe", "ecu-perf"}, Kind: "can"},
+		},
+	}
+}
+
+func testBaseline() *model.FunctionalArchitecture {
+	return &model.FunctionalArchitecture{
+		Functions: []model.Function{{
+			Name: "brake",
+			Contract: model.Contract{
+				Safety:    model.ASILD,
+				RealTime:  model.RealTimeContract{PeriodUS: 5000, WCETUS: 500},
+				Resources: model.ResourceContract{RAMKiB: 128},
+			},
+		}},
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The HTTP surface end to end: register, propose (accept and reject),
+// stats, explicit verdict statuses, and post-drain behavior.
+func TestFleetdHTTPLifecycle(t *testing.T) {
+	srv, err := fleet.New(fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(srv))
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/v1/vehicles", registerRequest{
+		ID: "v0", Platform: testPlatform(), Baseline: testBaseline(),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Duplicate registration conflicts.
+	resp = postJSON(t, ts, "/v1/vehicles", registerRequest{
+		ID: "v0", Platform: testPlatform(), Baseline: testBaseline(),
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	good := model.Function{
+		Name: "telem",
+		Contract: model.Contract{
+			Safety:    model.QM,
+			RealTime:  model.RealTimeContract{PeriodUS: 100000, WCETUS: 800},
+			Resources: model.ResourceContract{RAMKiB: 64},
+		},
+	}
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "v0", Update: &good})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("propose status = %d", resp.StatusCode)
+	}
+	if d := decode[proposeResponse](t, resp); d.Verdict != string(fleet.Accepted) || d.Report == nil {
+		t.Fatalf("propose reply = %+v", d)
+	}
+
+	bad := good
+	bad.Name = "broken"
+	bad.Contract.RealTime = model.RealTimeContract{PeriodUS: 1000, WCETUS: 5000}
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "v0", Update: &bad})
+	if d := decode[proposeResponse](t, resp); d.Verdict != string(fleet.Rejected) {
+		t.Fatalf("broken contract verdict = %s", d.Verdict)
+	}
+
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "ghost", Update: &good})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown vehicle status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed: neither update nor remove.
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "v0"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty proposal status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "v0", Remove: "telem"})
+	if d := decode[proposeResponse](t, resp); d.Verdict != string(fleet.Accepted) {
+		t.Fatalf("removal verdict = %s", d.Verdict)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[fleet.Stats](t, statsResp)
+	if st.Decided != 3 || st.Accepted != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 3 decided (2 accepted, 1 rejected)", st)
+	}
+
+	vehResp, err := http.Get(ts.URL + "/v1/vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := decode[[]string](t, vehResp); len(ids) != 1 || ids[0] != "v0" {
+		t.Fatalf("vehicles = %v", ids)
+	}
+
+	// After a drain the API answers with explicit unavailability.
+	srv.Drain()
+	resp = postJSON(t, ts, "/v1/propose", proposeRequest{Vehicle: "v0", Update: &good})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain propose status = %d", resp.StatusCode)
+	}
+	if d := decode[proposeResponse](t, resp); d.Verdict != string(fleet.RejectedDraining) {
+		t.Fatalf("post-drain verdict = %s", d.Verdict)
+	}
+	resp = postJSON(t, ts, "/v1/vehicles", registerRequest{
+		ID: "late", Platform: testPlatform(), Baseline: testBaseline(),
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-drain register status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSeedFleetRegistersArchetypeVehicles(t *testing.T) {
+	srv, err := fleet.New(fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	if err := seedFleet(srv, 4, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	ids := srv.Vehicles()
+	if len(ids) != 4 || ids[0] != "a0-v00" || ids[3] != "a1-v03" {
+		t.Fatalf("seeded vehicles = %v", ids)
+	}
+}

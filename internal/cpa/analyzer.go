@@ -11,20 +11,58 @@ import (
 // timing acceptance test on every proposed change, but most resources are
 // untouched by any single change: their task sets hash to the same digest
 // and the cached []Result is returned without re-running the fixed-point
-// iterations. The Analyzer is safe for concurrent use, so the MCC can fan
-// resources out over a worker pool sharing one cache.
+// iterations.
+//
+// Thread-safety contract: an Analyzer is safe for unrestricted concurrent
+// use — one MCC fanning dirty resources over a worker pool, a stream
+// scheduler's prefetch pool, and a whole fleet of per-vehicle MCCs
+// (internal/fleet) may share a single instance. The invariants callers
+// rely on:
+//
+//   - The memo table and the in-flight table are guarded by mu; the
+//     hit/miss/wait counters are atomics, so Stats may be read
+//     concurrently with analyses and observes each counter atomically
+//     (not a consistent snapshot across counters).
+//   - Cached []Result slices are immutable once stored: AnalyzeSPP/SPNP
+//     hand every caller a fresh copy, and the injected-corruption path
+//     only reslices the stored header. Callers may retain results
+//     indefinitely.
+//   - Concurrent misses of the same digest are single-flighted: one
+//     goroutine runs the busy-window fixed point, the rest wait and
+//     share its (copied) result — identical subsystems across tenants
+//     pay analysis once fleet-wide, concurrency included. An analysis
+//     error is returned to every coalesced waiter but is never cached,
+//     so the next call retries.
+//   - SetInjector/Reset may race ongoing analyses: an analysis that was
+//     in flight across Reset stores its (fresh, correct) result into the
+//     new table, which is harmless because entries are pure functions of
+//     their digest.
 type Analyzer struct {
 	mu    sync.Mutex
 	cache map[uint64][]Result
+	// flights tracks in-progress analyses by digest for single-flight
+	// coalescing; entries are removed before the flight's done channel is
+	// closed.
+	flights map[uint64]*flight
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	waits  atomic.Int64
 
 	// inject, when non-nil, fires fault-injection hooks: "cpa.analyze"
 	// before every memoized analysis (error/slow modes) and "cpa.cache"
 	// on cache hits (corrupt mode truncates the stored entry, modeling a
 	// damaged memo table the caller must detect).
 	inject *faultinject.Injector
+}
+
+// flight is one in-progress analysis other goroutines may wait on. res
+// and err are written exactly once, before done is closed; the channel
+// close publishes them to every waiter.
+type flight struct {
+	done chan struct{}
+	res  []Result
+	err  error
 }
 
 // maxCacheEntries bounds the memoization table. A fleet-scale change stream
@@ -35,17 +73,24 @@ const maxCacheEntries = 4096
 
 // AnalyzerStats reports cache effectiveness counters.
 type AnalyzerStats struct {
-	// Hits counts analyses served from the cache.
+	// Hits counts analyses served from the cache, including analyses that
+	// waited on a concurrent in-flight computation of the same digest.
 	Hits int64
 	// Misses counts analyses that ran the busy-window iteration.
 	Misses int64
+	// FlightWaits counts the subset of Hits that coalesced onto an
+	// in-flight analysis instead of finding a completed cache entry.
+	FlightWaits int64
 	// Entries is the current number of cached task sets.
 	Entries int
 }
 
 // NewAnalyzer returns an empty memoizing analyzer.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{cache: make(map[uint64][]Result)}
+	return &Analyzer{
+		cache:   make(map[uint64][]Result),
+		flights: make(map[uint64]*flight),
+	}
 }
 
 // AnalyzeSPP is the memoized equivalent of the package-level AnalyzeSPP.
@@ -63,7 +108,12 @@ func (a *Analyzer) Stats() AnalyzerStats {
 	a.mu.Lock()
 	n := len(a.cache)
 	a.mu.Unlock()
-	return AnalyzerStats{Hits: a.hits.Load(), Misses: a.misses.Load(), Entries: n}
+	return AnalyzerStats{
+		Hits:        a.hits.Load(),
+		Misses:      a.misses.Load(),
+		FlightWaits: a.waits.Load(),
+		Entries:     n,
+	}
 }
 
 // SetInjector installs a fault injector on the analyzer's hook points
@@ -74,13 +124,15 @@ func (a *Analyzer) SetInjector(inj *faultinject.Injector) {
 	a.mu.Unlock()
 }
 
-// Reset drops every cached result and zeroes the counters.
+// Reset drops every cached result and zeroes the counters. In-flight
+// analyses complete against the new (empty) table.
 func (a *Analyzer) Reset() {
 	a.mu.Lock()
 	a.cache = make(map[uint64][]Result)
 	a.mu.Unlock()
 	a.hits.Store(0)
 	a.misses.Store(0)
+	a.waits.Store(0)
 }
 
 func (a *Analyzer) analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
@@ -110,25 +162,60 @@ func (a *Analyzer) analyze(tasks []Task, nonPreemptive bool) ([]Result, error) {
 		copy(out, cached)
 		return out, nil
 	}
+
+	// Miss. Re-check under the lock (the entry may have landed since the
+	// unlocked read) and either join an in-flight analysis of this digest
+	// or register as its owner.
+	a.mu.Lock()
+	if cached, ok = a.cache[key]; ok {
+		a.mu.Unlock()
+		a.hits.Add(1)
+		out := make([]Result, len(cached))
+		copy(out, cached)
+		return out, nil
+	}
+	if a.flights == nil {
+		a.flights = make(map[uint64]*flight)
+	}
+	if f, inFlight := a.flights[key]; inFlight {
+		a.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		a.hits.Add(1)
+		a.waits.Add(1)
+		out := make([]Result, len(f.res))
+		copy(out, f.res)
+		return out, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	a.flights[key] = f
+	a.mu.Unlock()
+
 	a.misses.Add(1)
 	res, err := analyze(tasks, nonPreemptive)
-	if err != nil {
-		return nil, err
-	}
-	stored := make([]Result, len(res))
-	copy(stored, res)
+
 	a.mu.Lock()
-	if len(a.cache) >= maxCacheEntries {
-		for k := range a.cache {
-			delete(a.cache, k)
-			if len(a.cache) < maxCacheEntries {
-				break
+	delete(a.flights, key)
+	if err == nil {
+		stored := make([]Result, len(res))
+		copy(stored, res)
+		if len(a.cache) >= maxCacheEntries {
+			for k := range a.cache {
+				delete(a.cache, k)
+				if len(a.cache) < maxCacheEntries {
+					break
+				}
 			}
 		}
+		a.cache[key] = stored
+		f.res = stored
 	}
-	a.cache[key] = stored
 	a.mu.Unlock()
-	return res, nil
+	f.err = err
+	close(f.done)
+	return res, err
 }
 
 // TaskSetDigest returns a digest of the task set that is independent of

@@ -155,3 +155,145 @@ var errDiverged = errorString("concurrent analyzer result diverged")
 type errorString string
 
 func (e errorString) Error() string { return string(e) }
+
+func TestAnalyzerConcurrentMissesCoalesce(t *testing.T) {
+	tasks := analyzerTaskSet()
+	want, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer()
+	const n = 32
+	start := make(chan struct{})
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got, err := a.AnalyzeSPP(tasks)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errc <- errDiverged
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	// Single-flight guarantees exactly one goroutine runs the fixed point
+	// no matter how the other 31 interleave; each of those either waited
+	// on the flight or found the completed entry — both count as hits.
+	if st.Misses != 1 {
+		t.Fatalf("%d concurrent identical analyses ran %d fixed points, want 1 (stats %+v)", n, st.Misses, st)
+	}
+	if st.Hits != n-1 {
+		t.Fatalf("hits = %d, want %d (stats %+v)", st.Hits, n-1, st)
+	}
+	if st.FlightWaits < 0 || st.FlightWaits > n-1 {
+		t.Fatalf("flight waits %d out of range [0,%d]", st.FlightWaits, n-1)
+	}
+}
+
+func TestAnalyzerFlightWaiterSharesResult(t *testing.T) {
+	tasks := analyzerTaskSet()
+	want, err := AnalyzeSPP(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer()
+	key := TaskSetDigest(tasks)
+
+	// Pre-register an in-flight analysis for the digest so the waiter
+	// path is exercised deterministically, then publish a result.
+	f := &flight{done: make(chan struct{})}
+	a.mu.Lock()
+	a.flights[key] = f
+	a.mu.Unlock()
+
+	type outcome struct {
+		res []Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := a.AnalyzeSPP(tasks)
+		done <- outcome{r, err}
+	}()
+
+	f.res = append([]Result(nil), want...)
+	close(f.done) // flight stays registered, so the waiter path is certain
+	out := <-done
+	a.mu.Lock()
+	delete(a.flights, key)
+	a.mu.Unlock()
+
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !reflect.DeepEqual(out.res, want) {
+		t.Fatalf("waiter result diverged:\ngot  %+v\nwant %+v", out.res, want)
+	}
+	out.res[0].WCRTUS = -1
+	if f.res[0].WCRTUS == -1 {
+		t.Fatal("waiter received the flight's own slice, not a copy")
+	}
+	st := a.Stats()
+	if st.Misses != 0 || st.Hits != 1 || st.FlightWaits != 1 {
+		t.Fatalf("stats = %+v, want 0 misses / 1 hit / 1 flight wait", st)
+	}
+}
+
+func TestAnalyzerFlightWaiterSeesError(t *testing.T) {
+	tasks := analyzerTaskSet()
+	a := NewAnalyzer()
+	key := TaskSetDigest(tasks)
+	f := &flight{done: make(chan struct{})}
+	a.mu.Lock()
+	a.flights[key] = f
+	a.mu.Unlock()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := a.AnalyzeSPP(tasks)
+		errs <- err
+	}()
+	f.err = errDiverged
+	close(f.done)
+	if err := <-errs; err != errDiverged {
+		t.Fatalf("waiter error = %v, want the flight owner's error", err)
+	}
+	a.mu.Lock()
+	delete(a.flights, key)
+	a.mu.Unlock()
+	if st := a.Stats(); st.FlightWaits != 0 || st.Hits != 0 {
+		t.Fatalf("errored flight counted as a hit: %+v", st)
+	}
+}
+
+func TestAnalyzerErrorNotCached(t *testing.T) {
+	// Duplicate priorities make the underlying analysis fail; the failure
+	// must not be memoized, so every call retries the fixed point.
+	bad := []Task{
+		{Name: "x", Priority: 1, WCETUS: 100, Event: EventModel{PeriodUS: 1000}, DeadlineUS: 1000},
+		{Name: "y", Priority: 1, WCETUS: 100, Event: EventModel{PeriodUS: 1000}, DeadlineUS: 1000},
+	}
+	a := NewAnalyzer()
+	for i := 0; i < 2; i++ {
+		if _, err := a.AnalyzeSPP(bad); err == nil {
+			t.Fatal("duplicate-priority task set analyzed without error")
+		}
+	}
+	st := a.Stats()
+	if st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("error was cached: stats %+v", st)
+	}
+}

@@ -7,8 +7,12 @@
 // Hook points are keyed by a stage string (e.g. "stage.timing",
 // "cpa.analyze", "timing.worker", "stream.prefetch", "journal.undo")
 // and an optional resource string (the processor/network the hook is
-// working on). Rules select hook points by exact stage name or a
-// trailing-* prefix wildcard and choose a fault mode:
+// working on). The multi-tenant fleet server adds its own per-tenant
+// hook points — "fleet.queue" (admission) and "fleet.worker" (the
+// decision path), with the vehicle ID as the resource — because vehicle
+// MCCs share one analyzer and must never carry injectors themselves
+// (see the fleet package comment). Rules select hook points by exact
+// stage name or a trailing-* prefix wildcard and choose a fault mode:
 //
 //   - ModeError: Fire returns an error wrapping ErrInjected.
 //   - ModePanic: Fire panics (the code under test must recover).

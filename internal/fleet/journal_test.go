@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/mcc"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	j, recovered, order, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 || len(order) != 0 {
+		t.Fatalf("fresh journal recovered %d vehicles", len(recovered))
+	}
+	p, base := fleetPlatform(), fleetBaseline()
+	changes := fleetChanges("v0", 4)
+	if err := j.append(journalRecord{Vehicle: "v0", Kind: recBaseline, Platform: p, Baseline: base}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range changes {
+		if err := j.append(journalRecord{Vehicle: "v0", Kind: recChange, Change: &changes[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recovered, order, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if !reflect.DeepEqual(order, []string{"v0"}) {
+		t.Fatalf("recovered order %v", order)
+	}
+	rv := recovered["v0"]
+	if rv == nil || !reflect.DeepEqual(rv.Platform, p) || !reflect.DeepEqual(rv.Baseline, base) {
+		t.Fatal("recovered registration diverges from what was journaled")
+	}
+	if !reflect.DeepEqual(rv.Changes, changes) {
+		t.Fatalf("recovered changes diverge:\ngot  %+v\nwant %+v", rv.Changes, changes)
+	}
+}
+
+// A torn tail (crash mid-append) must cost only the torn record: the
+// complete prefix is recovered, the garbage is truncated, and subsequent
+// appends land on a clean frame boundary.
+func TestJournalTornTailTruncatedAndAppendable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	j, _, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, base := fleetPlatform(), fleetBaseline()
+	changes := fleetChanges("v0", 3)
+	j.append(journalRecord{Vehicle: "v0", Kind: recBaseline, Platform: p, Baseline: base})
+	j.append(journalRecord{Vehicle: "v0", Kind: recChange, Change: &changes[0]})
+	j.append(journalRecord{Vehicle: "v0", Kind: recChange, Change: &changes[1]})
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	goodLen := fileSize(t, path)
+
+	// Tear the tail: a frame header promising more bytes than exist.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0xff, 0xff, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recovered, order, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail failed recovery: %v", err)
+	}
+	if !reflect.DeepEqual(order, []string{"v0"}) || len(recovered["v0"].Changes) != 2 {
+		t.Fatalf("torn-tail recovery = order %v, %d changes; want the 2-change prefix",
+			order, len(recovered["v0"].Changes))
+	}
+	if got := fileSize(t, path); got != goodLen {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", got, goodLen)
+	}
+	// Appends after recovery extend the good prefix.
+	if err := j2.append(journalRecord{Vehicle: "v0", Kind: recChange, Change: &changes[2]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, recovered, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.close()
+	if want := []mcc.Change{changes[0], changes[1], changes[2]}; !reflect.DeepEqual(recovered["v0"].Changes, want) {
+		t.Fatalf("post-recovery append lost: %+v", recovered["v0"].Changes)
+	}
+}
+
+// Garbage mid-frame (corrupt gob payload) is also a torn tail: recovery
+// keeps the records before it.
+func TestJournalCorruptPayloadDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.journal")
+	j, _, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, base := fleetPlatform(), fleetBaseline()
+	j.append(journalRecord{Vehicle: "v0", Kind: recBaseline, Platform: p, Baseline: base})
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete frame whose payload is not a gob record.
+	f.Write([]byte{0x00, 0x00, 0x00, 0x04, 0x01, 0x02, 0x03, 0x04})
+	f.Close()
+
+	j2, recovered, order, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if !reflect.DeepEqual(order, []string{"v0"}) || len(recovered["v0"].Changes) != 0 {
+		t.Fatalf("corrupt payload recovery = %v / %+v", order, recovered["v0"])
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}

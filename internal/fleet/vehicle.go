@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mcc"
+	"repro/internal/model"
+)
+
+// request is one admitted proposal waiting for its vehicle's worker.
+type request struct {
+	ctx    context.Context
+	change mcc.Change
+	reply  chan Decision
+}
+
+// vehicle is one tenant bulkhead: its own MCC, mailbox, and committed
+// trajectory. The MCC and the committed slice are owned by the worker
+// goroutine (and by the registration path before the worker starts);
+// nothing else touches them.
+type vehicle struct {
+	id       string
+	platform *model.Platform
+	baseline *model.FunctionalArchitecture
+	mbox     chan *request
+
+	m         *mcc.MCC
+	committed []mcc.Change // accepted changes since baseline, in order
+	crashes   int          // consecutive worker crashes (supervisor state)
+
+	parked atomic.Bool
+}
+
+// buildVehicle constructs the vehicle's MCC sharing the fleet analyzer,
+// deploys the baseline through the full acceptance pipeline, and replays
+// an optional committed-change trajectory (journal recovery and crash
+// rebuilds). Replaying the exact accepted sequence — rather than
+// wholesale re-proposing the final architecture — reproduces the
+// original placement trajectory, so post-rebuild decisions equal a
+// never-restarted oracle's.
+func (s *Server) buildVehicle(v *vehicle, replay []mcc.Change) error {
+	opts := append([]mcc.Option{mcc.WithAnalyzer(s.analyzer)}, s.cfg.MCCOptions...)
+	if s.cfg.ProposalDeadline > 0 {
+		opts = append(opts, mcc.WithProposalDeadline(s.cfg.ProposalDeadline))
+	}
+	m, err := mcc.New(v.platform, opts...)
+	if err != nil {
+		return fmt.Errorf("fleet: vehicle %s: %w", v.id, err)
+	}
+	if rep := m.ProposeArchitecture(v.baseline); !rep.Accepted {
+		return fmt.Errorf("fleet: vehicle %s: baseline rejected at %s: %v",
+			v.id, rep.RejectedAt, rep.Findings)
+	}
+	v.m = m
+	v.committed = v.committed[:0]
+	for _, c := range replay {
+		rep := proposeChange(context.Background(), m, c)
+		if !rep.Accepted {
+			// A previously committed change re-deciding differently means
+			// the committed state and the journal disagree; surface it
+			// rather than silently diverging.
+			return fmt.Errorf("fleet: vehicle %s: committed change %s rejected on replay at %s: %v",
+				v.id, c, rep.RejectedAt, rep.Findings)
+		}
+		v.committed = append(v.committed, c)
+	}
+	return nil
+}
+
+// proposeChange dispatches one Change through the MCC's context-bounded
+// entry points.
+func proposeChange(ctx context.Context, m *mcc.MCC, c mcc.Change) *mcc.Report {
+	if c.Update != nil {
+		return m.ProposeUpdateContext(ctx, *c.Update)
+	}
+	return m.ProposeRemovalContext(ctx, c.Remove)
+}
+
+// runVehicle is the per-vehicle worker loop with its supervisor wrapped
+// around it: decide requests until drain, recover crashes by rebuilding
+// the vehicle from its committed trajectory (redelivering the in-flight
+// request, which the crash never decided — the fleet.worker hook fires
+// before the pipeline and the MCC recovers its own internal panics, so a
+// crash cannot interrupt a commit), and park the vehicle once the crash
+// budget is spent.
+func (s *Server) runVehicle(v *vehicle) {
+	defer s.wg.Done()
+	var redelivered *request
+	for {
+		var req *request
+		if redelivered != nil {
+			req, redelivered = redelivered, nil
+		} else {
+			select {
+			case req = <-v.mbox:
+			case <-s.stopCh:
+				s.flushMbox(v, nil)
+				return
+			}
+		}
+		if !s.decideOne(v, req) {
+			v.crashes = 0
+			continue
+		}
+		// Crash: the in-flight request was not decided. Park or rebuild.
+		v.crashes++
+		s.crashes.Add(1)
+		if v.crashes > s.cfg.MaxRestarts {
+			s.park(v, req)
+			return
+		}
+		s.backoff(v.crashes)
+		if err := s.rebuild(v); err != nil {
+			// The rebuild itself failed (e.g. journal/state divergence):
+			// treat it as a terminal crash and park.
+			s.park(v, req)
+			return
+		}
+		s.restarts.Add(1)
+		redelivered = req
+	}
+}
+
+// decideOne runs one request to a reply. It returns true when the worker
+// crashed (recovered panic or injected fleet.worker fault) before
+// deciding; the caller redelivers the request.
+func (s *Server) decideOne(v *vehicle, req *request) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+		}
+	}()
+	// The per-tenant fault hook fires BEFORE the pipeline runs, so a
+	// crash here never interrupts a commit: the request is either fully
+	// decided or untouched. Stalls are bounded by the request context.
+	if _, fired, err := s.cfg.Injector.Fire(req.ctx.Done(), "fleet.worker", v.id); fired && err != nil {
+		return true
+	}
+	rep := proposeChange(req.ctx, v.m, req.change)
+	verdict := Rejected
+	if rep.Accepted {
+		verdict = Accepted
+		v.committed = append(v.committed, req.change)
+		if s.journal != nil {
+			// Journal before replying: a reply of "accepted" is only sent
+			// for changes the journal already holds, so a crash after the
+			// reply cannot lose a reported acceptance (a torn tail only
+			// drops acceptances nobody heard about).
+			s.journal.append(journalRecord{ //nolint:errcheck // best-effort durability
+				Vehicle: v.id, Kind: recChange, Change: &req.change,
+			})
+		}
+		s.accepted.Add(1)
+	} else {
+		s.rejected.Add(1)
+	}
+	s.decided.Add(1)
+	s.finish(req, Decision{Vehicle: v.id, Verdict: verdict, Report: rep})
+	return false
+}
+
+// finish replies to a request and releases its global in-flight slot.
+func (s *Server) finish(req *request, d Decision) {
+	req.reply <- d
+	<-s.slots
+}
+
+// flushMbox resolves every queued request (plus an optional redelivered
+// one) during drain: each still gets a real decision — drain loses no
+// admitted request. A crash during the flush skips the rebuild (the
+// server is going away) and resolves the remaining queue as parked.
+func (s *Server) flushMbox(v *vehicle, redelivered *request) {
+	if redelivered != nil {
+		if s.decideOne(v, redelivered) {
+			s.crashes.Add(1)
+			s.finish(redelivered, Decision{Vehicle: v.id, Verdict: RejectedParked})
+		}
+	}
+	for {
+		select {
+		case req := <-v.mbox:
+			if s.decideOne(v, req) {
+				s.crashes.Add(1)
+				s.finish(req, Decision{Vehicle: v.id, Verdict: RejectedParked})
+			}
+		default:
+			return
+		}
+	}
+}
+
+// park permanently retires a crashed vehicle: the redelivered request
+// and everything still queued resolve as RejectedParked, and future
+// Propose calls reject at admission. The rest of the fleet is untouched.
+func (s *Server) park(v *vehicle, redelivered *request) {
+	v.parked.Store(true)
+	s.parked.Add(1)
+	if redelivered != nil {
+		s.finish(redelivered, Decision{Vehicle: v.id, Verdict: RejectedParked})
+	}
+	for {
+		select {
+		case req := <-v.mbox:
+			s.finish(req, Decision{Vehicle: v.id, Verdict: RejectedParked})
+		case <-s.stopCh:
+			// Drain while parked: flush whatever raced in, then exit.
+			for {
+				select {
+				case req := <-v.mbox:
+					s.finish(req, Decision{Vehicle: v.id, Verdict: RejectedParked})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// backoff sleeps the supervisor's exponential restart delay; a drain
+// cuts it short so shutdown is never held up by a crashing tenant.
+func (s *Server) backoff(crashes int) {
+	d := s.cfg.RestartBackoff << (crashes - 1)
+	const maxBackoff = 2 * time.Second
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.stopCh:
+	}
+}
+
+// rebuild reconstructs a crashed vehicle's MCC from its baseline and
+// committed trajectory. The shared analyzer stays warm, so the replay
+// re-pays only the cheap pipeline stages.
+func (s *Server) rebuild(v *vehicle) error {
+	replay := append([]mcc.Change(nil), v.committed...)
+	return s.buildVehicle(v, replay)
+}

@@ -106,6 +106,19 @@ func (m *MCC) decideChanges(ctx context.Context, changes []Change, br *BatchRepo
 	if len(changes) == 0 {
 		return
 	}
+	if ctx.Err() != nil {
+		// The context died between bisection steps: resolve the whole
+		// group as deadline rejections without paying the candidate clone
+		// and integration setup — the report shape matches a proposal that
+		// ran and expired before its first stage.
+		rep := m.expiredReport(ctx)
+		br.Evaluations += rep.Passes
+		for _, c := range changes {
+			br.Outcomes = append(br.Outcomes, BatchOutcome{Change: c, Accepted: false, Report: rep})
+		}
+		br.Rejected += len(changes)
+		return
+	}
 	cand := m.deployed.Clone()
 	for _, c := range changes {
 		cand = applyChange(cand, c)

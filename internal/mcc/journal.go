@@ -106,10 +106,10 @@ type cacheJournal struct {
 	svcMap    map[string]int
 
 	// Keyed undo entries, recorded against the window-start maps.
-	digests  map[string]prior[uint64]
-	timing   map[string]prior[TimingResult]
-	jobs     map[string]prior[timingJob]
-	budgets  map[string]prior[[]MonitorSpec]
+	digests   map[string]prior[uint64]
+	timing    map[string]prior[TimingResult]
+	jobs      map[string]prior[timingJob]
+	budgets   map[string]prior[[]MonitorSpec]
 	sec       map[model.Connection]prior[bool]
 	synFns    map[string]prior[*model.Function]
 	synIns    map[string]prior[[]model.Instance]

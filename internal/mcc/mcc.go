@@ -636,6 +636,27 @@ func (m *MCC) integrateDiff(gctx context.Context, cand *model.FunctionalArchitec
 	return rep
 }
 
+// expiredReport resolves one change whose surrounding context is already
+// cancelled or past its deadline without cloning or mutating any
+// candidate state. The report mirrors what the pipeline's own pre-stage
+// deadline check would produce — rejected before the first stage with
+// the deterministic deadline finding — so short-circuited batch
+// bisection and stream replay steps are indistinguishable from
+// proposals that ran and expired immediately, minus the per-proposal
+// setup cost.
+func (m *MCC) expiredReport(gctx context.Context) *Report {
+	rep := &Report{Passes: 1, RejectedAt: StageValidate, Degraded: true}
+	if m.quarantined {
+		rep.DegradedReasons = append(rep.DegradedReasons, "quarantined")
+	}
+	rep.DegradedReasons = append(rep.DegradedReasons, "deadline")
+	rep.Findings = append(rep.Findings,
+		fmt.Sprintf("deadline: proposal deadline expired before stage %s (%v)", StageValidate, gctx.Err()))
+	m.History = append(m.History, rep)
+	m.trimHistory()
+	return rep
+}
+
 // markDeadline marks a proposal stopped by its deadline as Degraded when
 // the expiry surfaced inside a stage (as an analysis error) rather than
 // at the pipeline's between-stage check, which marks it itself.

@@ -1,13 +1,16 @@
 package mcc
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"slices"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/mcc/pipeline"
 	"repro/internal/model"
 )
 
@@ -476,5 +479,122 @@ func TestBatchDeadlineResolvesAllChanges(t *testing.T) {
 	}
 	if got := len(br.Outcomes); got != b.Len() {
 		t.Fatalf("batch resolved %d/%d changes", got, b.Len())
+	}
+}
+
+// assertExpiredShape checks one short-circuited report against the shape
+// the pipeline's own pre-stage deadline check produces: rejected before
+// the first stage, one pass, degraded with the deterministic finding.
+func assertExpiredShape(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Accepted || rep.RejectedAt != StageValidate || rep.Passes != 1 {
+		t.Fatalf("short-circuited report = accepted %v @%q, %d passes; want rejection at %q with 1 pass",
+			rep.Accepted, rep.RejectedAt, rep.Passes, StageValidate)
+	}
+	if !rep.Degraded || !slices.Contains(rep.DegradedReasons, "deadline") {
+		t.Fatalf("short-circuited report not marked deadline-degraded: %v %v",
+			rep.Degraded, rep.DegradedReasons)
+	}
+	if len(rep.Findings) != 1 || !strings.HasPrefix(rep.Findings[0], "deadline: proposal deadline expired before stage validate") {
+		t.Fatalf("short-circuited findings = %v", rep.Findings)
+	}
+}
+
+// A context cancelled mid-replay must stop the serial replay promptly:
+// at most the in-flight proposal runs a pipeline after cancellation, and
+// every remaining change of the window resolves as a deterministic
+// deadline rejection without any pipeline setup.
+func TestStreamCancellationStopsReplayPromptly(t *testing.T) {
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+		upd(fn("t2", model.QM, 140000, 2500, 64)),
+		upd(fn("t3", model.QM, 160000, 1800, 64)),
+		upd(fn("t4", model.QM, 180000, 1200, 64)),
+		upd(fn("t5", model.QM, 200000, 1000, 64)),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// A one-shot prefetch fault taints the only window, forcing the serial
+	// replay; the witness stage cancels the context on the first replayed
+	// proposal (Replays is incremented before the replay loop starts) and
+	// counts how many pipelines still ran after the replay began.
+	var sched *StreamScheduler
+	runsAfterReplay := 0
+	witness := pipeline.Func{
+		StageName: "cancel-witness",
+		RunFunc: func(*pipeline.Context) error {
+			if sched != nil && sched.Stats().Replays > 0 {
+				runsAfterReplay++
+				cancel()
+			}
+			return nil
+		},
+	}
+	inj := faultinject.New(23, faultinject.Rule{
+		Stage: "stream.prefetch", Mode: faultinject.ModeError, Count: 1,
+	})
+	m := robustMCC(t, WithFaultInjector(inj), WithStage(witness))
+	sched = NewStreamScheduler(m, WithStreamWindow(8))
+
+	got := sched.RunContext(ctx, changes)
+	if len(got) != len(changes) {
+		t.Fatalf("stream resolved %d/%d changes", len(got), len(changes))
+	}
+	if st := sched.Stats(); st.Replays != 1 {
+		t.Fatalf("prefetch fault did not force exactly one replay: %+v", st)
+	}
+	// Only the proposal that was in flight when the context died may have
+	// run a pipeline; everything after it short-circuits.
+	if runsAfterReplay != 1 {
+		t.Fatalf("%d pipelines ran after cancellation mid-replay, want 1", runsAfterReplay)
+	}
+	if got[0].Accepted || !got[0].Degraded || !slices.Contains(got[0].DegradedReasons, "deadline") {
+		t.Fatalf("in-flight replayed proposal = accepted %v, degraded %v %v; want deadline rejection",
+			got[0].Accepted, got[0].Degraded, got[0].DegradedReasons)
+	}
+	for i, rep := range got[1:] {
+		if rep == got[0] {
+			t.Fatalf("change %d shares the in-flight report", i+1)
+		}
+		assertExpiredShape(t, rep)
+	}
+
+	// The rolled-back controller must stay fully usable under a live
+	// context: the same feasible change is accepted cleanly.
+	rep := m.propose(changes[0])
+	if !rep.Accepted || rep.Degraded {
+		t.Fatalf("post-cancellation proposal = accepted %v, degraded %v", rep.Accepted, rep.Degraded)
+	}
+}
+
+// A context that is already dead when the batch bisection recurses must
+// resolve the whole remaining group without cloning the deployed
+// architecture: one shared deadline report, one accounted evaluation.
+func TestBatchCancelledContextShortCircuitsBisection(t *testing.T) {
+	m := robustMCC(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	b := NewBatch()
+	for i := 0; i < 4; i++ {
+		b.Update(fn(fmt.Sprintf("c%d", i), model.QM, 100000+int64(i)*20000, 2000, 64))
+	}
+	br := m.ProposeBatchContext(ctx, b)
+	if len(br.Outcomes) != b.Len() || br.Rejected != b.Len() || br.Accepted != 0 {
+		t.Fatalf("cancelled batch = %d outcomes, %d accepted, %d rejected; want all %d rejected",
+			len(br.Outcomes), br.Accepted, br.Rejected, b.Len())
+	}
+	if br.Evaluations != 1 {
+		t.Fatalf("cancelled batch spent %d evaluations, want 1 shared short-circuit", br.Evaluations)
+	}
+	shared := br.Outcomes[0].Report
+	assertExpiredShape(t, shared)
+	for i, o := range br.Outcomes {
+		if o.Accepted || o.Report != shared {
+			t.Fatalf("outcome %d = accepted %v, report shared %v; want one shared rejection report",
+				i, o.Accepted, o.Report == shared)
+		}
 	}
 }

@@ -166,6 +166,15 @@ func (s *StreamScheduler) Run(changes []Change) []*Report {
 func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*Report {
 	reports := make([]*Report, 0, len(changes))
 	for lo := 0; lo < len(changes); {
+		if ctx.Err() != nil {
+			// Stop forming windows: the remaining changes resolve as
+			// deterministic deadline rejections without footprint
+			// computation or pipeline setup.
+			for range changes[lo:] {
+				reports = append(reports, s.m.expiredReport(ctx))
+			}
+			return reports
+		}
 		hi := s.windowEnd(changes, lo)
 		reports = append(reports, s.runWindow(ctx, changes[lo:hi])...)
 		s.stats.Windows++
@@ -209,6 +218,10 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 		// from-scratch path anyway): plain serial proposals.
 		reports := make([]*Report, 0, len(changes))
 		for _, c := range changes {
+			if gctx.Err() != nil {
+				reports = append(reports, m.expiredReport(gctx))
+				continue
+			}
 			reports = append(reports, m.proposeCtx(gctx, c))
 		}
 		return reports
@@ -227,6 +240,10 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 
 	m.deferChecks = true
 	for _, c := range changes {
+		if gctx.Err() != nil {
+			reports = append(reports, m.expiredReport(gctx))
+			continue
+		}
 		rep := m.proposeCtx(gctx, c)
 		reports = append(reports, rep)
 		if rep.Accepted && m.lastDeferred != nil {
@@ -329,6 +346,14 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 	m.rollbackWindow(j)
 	reports = reports[:0]
 	for _, c := range changes {
+		// A cancelled or expired context must stop the serial replay
+		// promptly: the remaining changes of the window resolve as
+		// deadline rejections instead of paying a full pipeline setup
+		// each just to rediscover the expiry.
+		if gctx.Err() != nil {
+			reports = append(reports, m.expiredReport(gctx))
+			continue
+		}
 		reports = append(reports, m.proposeCtx(gctx, c))
 	}
 	return reports

@@ -284,7 +284,16 @@ func chainSvc(c, s int) string    { return fmt.Sprintf("ch%03d/d%d", c, s) }
 // integration mode (serial, incremental, stream-parallel) and both sides
 // of a differential run decide exactly the same requests.
 func (f *Fleet) Changes(n int) []mcc.Change {
-	rng := rand.New(rand.NewSource(f.Spec.Seed ^ 0x5f1e9a7c3b2d4e88))
+	return f.ChangesWithSeed(n, f.Spec.Seed)
+}
+
+// ChangesWithSeed is Changes with the stream seed decoupled from the
+// fleet seed: the E15 multi-tenant tier deploys many vehicles from ONE
+// archetype (same platform, same baseline, shared analyzer digests) but
+// gives each its own change stream — same mix, different draws. Equal
+// seeds reproduce Changes exactly.
+func (f *Fleet) ChangesWithSeed(n int, seed int64) []mcc.Change {
+	rng := rand.New(rand.NewSource(seed ^ 0x5f1e9a7c3b2d4e88))
 	mix := f.Spec.Mix
 	total := mix.Add + mix.Update + mix.Remove + mix.Broken + mix.CrossDomain
 	if total == 0 {
