@@ -17,12 +17,11 @@
 //     exceed the committed ratio by more than -max-degrade (default 2x).
 //     The ratio within one run cancels the speed of the machine, so the
 //     gate holds on any CI runner; absolute changes/s comparisons across
-//     machines would not. The committed ratio is not 1.0 — per-proposal
-//     report materialization (the full per-resource WCRT table and
-//     monitor plan every Report carries by contract) is O(platform), so
-//     wall-clock throughput still falls with platform size even though
-//     the admission work per change is flat. See README "admission cost
-//     model".
+//     machines would not. Under the delta-report contract an accepted
+//     proposal materializes only its change footprint (Report.TimingDelta
+//     and MonitorDelta; whole tables are copy-on-read views of the
+//     committed state), so the committed collapse ratio is close to flat
+//     and the gate keeps it there. See README "admission cost model".
 //
 // With -e15 the command additionally (or instead, when -current is
 // omitted) gates the E15 availability tier: every parity-checked fault
@@ -31,7 +30,11 @@
 // tenant is faulted. This is absolute, not baseline-relative: a single
 // lost healthy decision is a bulkhead regression.
 //
-// Usage: benchgate -baseline BENCH_PR7.json -current smoke.json [-e15 e15.json]
+// Without -baseline the gate compares against the newest committed
+// trajectory point: the highest-numbered BENCH_PR<N>.json in the working
+// directory that carries an E13 sweep.
+//
+// Usage: benchgate -current smoke.json [-baseline BENCH_PR9.json] [-e15 e15.json]
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // e13Point is the subset of the canbench e13 row the gate consumes.
@@ -81,6 +85,40 @@ func load(path string) (benchFile, error) {
 		return bf, fmt.Errorf("%s: no e13 rows", path)
 	}
 	return bf, nil
+}
+
+// discoverBaseline picks the default committed trajectory point: the
+// highest-numbered BENCH_PR<N>.json in dir whose payload carries an E13
+// sweep. Files that fail to parse or lack E13 rows are skipped, so a
+// committed point that only recorded another tier never shadows the
+// newest usable sweep. An explicit -baseline always wins over discovery.
+func discoverBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_PR%d.json", &n); err != nil || fmt.Sprintf("BENCH_PR%d.json", n) != e.Name() {
+			continue
+		}
+		if n <= bestN {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if _, err := load(path); err != nil {
+			continue
+		}
+		best, bestN = path, n
+	}
+	if best == "" {
+		return "", fmt.Errorf("%s: no BENCH_PR*.json with an e13 sweep", dir)
+	}
+	return best, nil
 }
 
 func point(rows []e13Point, procs int, mode string) (e13Point, bool) {
@@ -191,7 +229,7 @@ func gateE15(rows []e15Point) []string {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_PR7.json", "committed E13 trajectory point")
+	baselinePath := flag.String("baseline", "", "committed E13 trajectory point (default: newest BENCH_PR*.json carrying an e13 sweep)")
 	currentPath := flag.String("current", "", "freshly measured E13 sweep (canbench -experiment e13 -json)")
 	e15Path := flag.String("e15", "", "freshly measured E15 availability tier (canbench -experiment e15 -json); gated for a zero blast radius")
 	maxGrowth := flag.Float64("max-growth", 2.0, "max small->large growth of scans/change and checks/change")
@@ -204,6 +242,15 @@ func main() {
 	var fails []string
 	gated := ""
 	if *currentPath != "" {
+		if *baselinePath == "" {
+			found, err := discoverBaseline(".")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchgate:", err)
+				os.Exit(2)
+			}
+			*baselinePath = found
+			fmt.Printf("benchgate: baseline %s (auto-discovered)\n", found)
+		}
 		baseline, err := load(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,6 +86,51 @@ func TestGateE15FailsWithoutParityRows(t *testing.T) {
 	fails := gateE15([]e15Point{{Spec: "overload", ParityChecked: false}})
 	if len(fails) == 0 || !strings.Contains(fails[0], "no parity-checked rows") {
 		t.Fatalf("want no-rows failure, got %v", fails)
+	}
+}
+
+func TestDiscoverBaselinePicksNewestE13Sweep(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, payload string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e13 := `{"e13":[{"procs":32,"mode":"full-incremental","changes_per_sec":100}]}`
+	write("BENCH_PR5.json", e13)
+	write("BENCH_PR7.json", e13)
+	// Higher-numbered points without a usable E13 sweep must not shadow
+	// the newest sweep-carrying one.
+	write("BENCH_PR9.json", `{"e15":[{"spec":"none"}]}`)
+	write("BENCH_PR11.json", `{not json`)
+	// Non-matching names are ignored outright.
+	write("BENCH_PR8_notes.json", e13)
+	write("BENCH.json", e13)
+
+	got, err := discoverBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_PR7.json"); got != want {
+		t.Fatalf("discovered %s, want %s", got, want)
+	}
+
+	// Double-digit numbering beats single-digit numerically, not
+	// lexically.
+	write("BENCH_PR10.json", e13)
+	if got, err = discoverBaseline(dir); err != nil || got != filepath.Join(dir, "BENCH_PR10.json") {
+		t.Fatalf("discovered %s (err %v), want BENCH_PR10.json", got, err)
+	}
+}
+
+func TestDiscoverBaselineErrorsWithoutCandidates(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR3.json"), []byte(`{"e15":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := discoverBaseline(dir); err == nil {
+		t.Fatalf("discovered %s from a dir without e13 sweeps", got)
 	}
 }
 

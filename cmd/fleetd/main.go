@@ -61,16 +61,72 @@ type proposeRequest struct {
 type proposeResponse struct {
 	Vehicle string      `json:"vehicle"`
 	Verdict string      `json:"verdict"`
-	Report  *mcc.Report `json:"report,omitempty"`
+	Report  *reportView `json:"report,omitempty"`
 }
 
-// newMux builds the HTTP API over a fleet server.
+// reportView is the JSON projection of an integration report: the
+// verdict, the findings, and the O(change) timing/monitor deltas — not
+// the implementation model (shared with the vehicle's committed state)
+// and not the whole-platform tables (the delta contract keeps replies
+// proportional to the change, not the platform).
+type reportView struct {
+	Accepted        bool               `json:"accepted"`
+	RejectedAt      string             `json:"rejected_at,omitempty"`
+	Findings        []string           `json:"findings,omitempty"`
+	TimingDelta     []mcc.TimingResult `json:"timing_delta,omitempty"`
+	MonitorDelta    []mcc.MonitorSpec  `json:"monitor_delta,omitempty"`
+	Passes          int                `json:"passes,omitempty"`
+	Degraded        bool               `json:"degraded,omitempty"`
+	DegradedReasons []string           `json:"degraded_reasons,omitempty"`
+}
+
+func viewOf(rep *mcc.Report) *reportView {
+	if rep == nil {
+		return nil
+	}
+	return &reportView{
+		Accepted:        rep.Accepted,
+		RejectedAt:      string(rep.RejectedAt),
+		Findings:        rep.Findings,
+		TimingDelta:     rep.TimingDelta,
+		MonitorDelta:    rep.MonitorDelta,
+		Passes:          rep.Passes,
+		Degraded:        rep.Degraded,
+		DegradedReasons: rep.DegradedReasons,
+	}
+}
+
+// Request-body bounds: a registration carries a whole platform +
+// baseline architecture, a proposal one function contract.
+const (
+	maxRegisterBytes = 8 << 20
+	maxProposeBytes  = 1 << 20
+)
+
+// decodeBody decodes a bounded JSON request body, distinguishing
+// oversized bodies (413) from malformed ones (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
+		return false
+	}
+	return true
+}
+
+// newMux builds the HTTP API over a fleet server. The method-qualified
+// patterns make the mux answer wrong-method requests with 405 and an
+// Allow header on its own.
 func newMux(srv *fleet.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vehicles", func(w http.ResponseWriter, r *http.Request) {
 		var req registerRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !decodeBody(w, r, maxRegisterBytes, &req) {
 			return
 		}
 		if req.Platform == nil || req.Baseline == nil {
@@ -85,8 +141,7 @@ func newMux(srv *fleet.Server) *http.ServeMux {
 	})
 	mux.HandleFunc("POST /v1/propose", func(w http.ResponseWriter, r *http.Request) {
 		var req proposeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !decodeBody(w, r, maxProposeBytes, &req) {
 			return
 		}
 		if (req.Update == nil) == (req.Remove == "") {
@@ -103,7 +158,7 @@ func newMux(srv *fleet.Server) *http.ServeMux {
 		case fleet.RejectedDraining, fleet.RejectedParked:
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, proposeResponse{Vehicle: d.Vehicle, Verdict: string(d.Verdict), Report: d.Report})
+		writeJSON(w, status, proposeResponse{Vehicle: d.Vehicle, Verdict: string(d.Verdict), Report: viewOf(d.Report)})
 	})
 	mux.HandleFunc("GET /v1/vehicles", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Vehicles())

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/fleet"
@@ -160,6 +161,78 @@ func TestFleetdHTTPLifecycle(t *testing.T) {
 		t.Fatalf("post-drain register status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+func TestFleetdRejectsWrongMethod(t *testing.T) {
+	srv, err := fleet.New(fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(newMux(srv))
+	defer ts.Close()
+
+	// GET on the POST-only endpoint and POST on a GET-only one: the
+	// method-qualified mux patterns must answer 405 with an Allow header.
+	resp, err := http.Get(ts.URL + "/v1/propose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/propose status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("GET /v1/propose Allow = %q, want POST", allow)
+	}
+
+	resp = postJSON(t, ts, "/v1/stats", map[string]string{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("POST /v1/stats Allow = %q, want GET, HEAD", allow)
+	}
+}
+
+func TestFleetdBoundsRequestBodies(t *testing.T) {
+	srv, err := fleet.New(fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(newMux(srv))
+	defer ts.Close()
+
+	// A proposal body beyond the bound is refused as oversized, not
+	// buffered: a decoder reading an unbounded body would be a trivial
+	// memory DoS against the long-lived server.
+	huge := proposeRequest{Vehicle: "v0", Update: &model.Function{
+		Name: strings.Repeat("x", maxProposeBytes+1),
+	}}
+	resp := postJSON(t, ts, "/v1/propose", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized propose status = %d, want 413", resp.StatusCode)
+	}
+
+	hugeReg := registerRequest{ID: strings.Repeat("x", maxRegisterBytes+1)}
+	resp = postJSON(t, ts, "/v1/vehicles", hugeReg)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized register status = %d, want 413", resp.StatusCode)
+	}
+
+	// A bounded-but-malformed body is still a plain 400.
+	r, err := http.Post(ts.URL+"/v1/propose", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed propose status = %d, want 400", r.StatusCode)
+	}
 }
 
 func TestSeedFleetRegistersArchetypeVehicles(t *testing.T) {

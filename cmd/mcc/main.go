@@ -155,7 +155,10 @@ func printReport(rep *mcc.Report) {
 		fmt.Printf("tasks: %d, messages: %d, connections: %d\n",
 			len(rep.Impl.Tasks), len(rep.Impl.Messages), len(rep.Impl.Connections))
 	}
-	for _, tr := range rep.Timing {
+	// Whole-platform views, materialized on demand from the committed
+	// tables the accepted report is bound to (a rejected report shows the
+	// tables its attempt actually computed).
+	for _, tr := range rep.FullTiming() {
 		fmt.Printf("timing on %s:\n", tr.Resource)
 		for _, r := range tr.Results {
 			status := "OK"
@@ -165,9 +168,9 @@ func printReport(rep *mcc.Report) {
 			fmt.Printf("  %-24s WCRT %8dus  deadline %8dus  %s\n", r.Name, r.WCRTUS, r.DeadlineUS, status)
 		}
 	}
-	if len(rep.Monitors) > 0 {
-		fmt.Printf("monitor plan: %d monitors\n", len(rep.Monitors))
-		for _, ms := range rep.Monitors {
+	if monitors := rep.FullMonitors(); len(monitors) > 0 {
+		fmt.Printf("monitor plan: %d monitors\n", len(monitors))
+		for _, ms := range monitors {
 			fmt.Printf("  %-6s %-24s period %8dus\n", ms.Kind, ms.Target, ms.PeriodUS)
 		}
 	}

@@ -25,7 +25,7 @@ func TestLoadAndIntegrateTestdata(t *testing.T) {
 	if len(rep.Impl.Messages) == 0 {
 		t.Fatal("no CAN messages synthesized")
 	}
-	if len(rep.Monitors) == 0 {
+	if len(rep.FullMonitors()) == 0 {
 		t.Fatal("no monitors planned")
 	}
 }

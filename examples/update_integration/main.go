@@ -65,10 +65,10 @@ func main() {
 			{From: "acc", To: "brake-ctl", Service: "accel_cmd", MsgBytes: 8, PeriodUS: 20000},
 		},
 	}
-	report("initial deployment", m.ProposeArchitecture(base))
+	report(m, "initial deployment", m.ProposeArchitecture(base))
 
 	// Update 1: a new comfort function — feasible.
-	report("add park-assist (QM)", m.ProposeUpdate(model.Function{
+	report(m, "add park-assist (QM)", m.ProposeUpdate(model.Function{
 		Name: "park-assist",
 		Contract: model.Contract{
 			Safety:    model.QM,
@@ -81,11 +81,11 @@ func main() {
 	upd := *base.FunctionByName("acc")
 	upd.Version = 2
 	upd.Contract.RealTime.WCETUS = 3000
-	report("update acc to v2 (WCET 1.5ms -> 3ms)", m.ProposeUpdate(upd))
+	report(m, "update acc to v2 (WCET 1.5ms -> 3ms)", m.ProposeUpdate(upd))
 
 	// Update 3: a malicious/broken update — telematics wants the
 	// actuation service across domains without a permission.
-	report("add telematics requiring accel_cmd cross-domain", m.ProposeUpdate(model.Function{
+	report(m, "add telematics requiring accel_cmd cross-domain", m.ProposeUpdate(model.Function{
 		Name:     "telematics",
 		Requires: []string{"accel_cmd"},
 		Contract: model.Contract{
@@ -98,12 +98,12 @@ func main() {
 
 	// Update 4: run-time observations evolve the ACC contract.
 	m.RecordObservedWCET("acc", 3600)
-	report("reintegrate with observed WCET 3.6ms (model refinement)", m.ReintegrateWithObservations())
+	report(m, "reintegrate with observed WCET 3.6ms (model refinement)", m.ReintegrateWithObservations())
 
 	fmt.Printf("integration history: %d proposals processed\n", len(m.History))
 }
 
-func report(what string, rep *mcc.Report) {
+func report(m *mcc.MCC, what string, rep *mcc.Report) {
 	verdict := "ACCEPTED"
 	if !rep.Accepted {
 		verdict = fmt.Sprintf("REJECTED at %s", rep.RejectedAt)
@@ -113,8 +113,10 @@ func report(what string, rep *mcc.Report) {
 		fmt.Printf("      %s\n", f)
 	}
 	if rep.Accepted && rep.Impl != nil {
+		// Whole-platform task counts come from the committed model;
+		// rep.Impl.Tasks is unmaterialized on the incremental path.
 		fmt.Printf("      tasks=%d messages=%d monitors=%d\n",
-			len(rep.Impl.Tasks), len(rep.Impl.Messages), len(rep.Monitors))
+			len(m.DeployedImpl().Tasks), len(rep.Impl.Messages), len(rep.FullMonitors()))
 	}
 	fmt.Println()
 }

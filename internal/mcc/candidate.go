@@ -58,15 +58,39 @@ func (m *MCC) fastPathReady() bool {
 }
 
 // fnIndexOf returns the position of the named function in the deployed
-// architecture, or -1.
+// architecture, or -1. The index map is built lazily over the deployed
+// slice and maintained by the in-place mutations below (appends extend
+// it, removals shift every later position and drop it); anything that
+// replaces the slice wholesale — a clone-based commit, a window
+// rollback, a cache purge — drops it too, and the next lookup rebuilds.
 func (m *MCC) fnIndexOf(name string) int {
-	fns := m.deployed.Functions
-	for i := range fns {
-		if fns[i].Name == name {
-			return i
+	if m.fnIdx == nil {
+		fns := m.deployed.Functions
+		idx := make(map[string]int, len(fns))
+		for i := range fns {
+			idx[fns[i].Name] = i
 		}
+		m.fnIdx = idx
+	}
+	if i, ok := m.fnIdx[name]; ok {
+		return i
 	}
 	return -1
+}
+
+// candFn resolves a function of the candidate architecture by name. On
+// the fast path the candidate is the deployed slice mutated in place, so
+// the committed index answers in O(1); clone-based candidates fall back
+// to the linear scan (they already paid an O(n) clone, so the scan does
+// not change their complexity class).
+func (m *MCC) candFn(cand *model.FunctionalArchitecture, name string) *model.Function {
+	if cand == m.deployed {
+		if i := m.fnIndexOf(name); i >= 0 {
+			return &cand.Functions[i]
+		}
+		return nil
+	}
+	return cand.FunctionByName(name)
 }
 
 // applyChangeFast mutates the deployed architecture in place to become
@@ -82,6 +106,9 @@ func (m *MCC) applyChangeFast(c Change) (pipeline.Diff, candUndo) {
 		d := pipeline.DiffFromChange(name, c.Update, old, false)
 		if old == nil {
 			fa.Functions = append(fa.Functions, *c.Update)
+			if m.fnIdx != nil {
+				m.fnIdx[name] = len(fa.Functions) - 1
+			}
 			return d, candUndo{kind: candAppend, idx: len(fa.Functions) - 1}
 		}
 		idx := m.fnIndexOf(name)
@@ -98,9 +125,13 @@ func (m *MCC) applyChangeFast(c Change) (pipeline.Diff, candUndo) {
 	idx := m.fnIndexOf(name)
 	u := candUndo{kind: candRemove, idx: idx, old: fa.Functions[idx]}
 	// Order-preserving delete, so validation's first-error selection (and
-	// every other order-sensitive walk) matches the clone-based path.
+	// every other order-sensitive walk) matches the clone-based path. The
+	// memmove shifts every later position, so the index map is dropped —
+	// the next fast-path lookup rebuilds it, amortized against the O(n)
+	// delete this undo already paid for.
 	copy(fa.Functions[idx:], fa.Functions[idx+1:])
 	fa.Functions = fa.Functions[:len(fa.Functions)-1]
+	m.fnIdx = nil
 	if d.FlowsChanged {
 		u.oldFlows, u.flowsCut = fa.Flows, true
 		kept := make([]model.Flow, 0, len(fa.Flows))
@@ -114,13 +145,18 @@ func (m *MCC) applyChangeFast(c Change) (pipeline.Diff, candUndo) {
 	return d, u
 }
 
-// revertChange undoes one in-place candidate mutation.
+// revertChange undoes one in-place candidate mutation, keeping the
+// function index map in step (reinsertion shifts positions, so it is
+// dropped like the removal that preceded it).
 func (m *MCC) revertChange(u candUndo) {
 	fa := m.deployed
 	switch u.kind {
 	case candReplace:
 		fa.Functions[u.idx] = u.old
 	case candAppend:
+		if m.fnIdx != nil {
+			delete(m.fnIdx, fa.Functions[len(fa.Functions)-1].Name)
+		}
 		fa.Functions = fa.Functions[:len(fa.Functions)-1]
 	case candRemove:
 		fa.Functions = append(fa.Functions, model.Function{})
@@ -129,6 +165,7 @@ func (m *MCC) revertChange(u candUndo) {
 		if u.flowsCut {
 			fa.Flows = u.oldFlows
 		}
+		m.fnIdx = nil
 	}
 }
 

@@ -464,10 +464,10 @@ func TestTimingAnalysisErrorSurfacedAsFinding(t *testing.T) {
 	if !found {
 		t.Fatalf("no analysis-error finding naming the resource: %v", out.findings)
 	}
-	// The errored resource is excluded from the WCRT tables but the digest
+	// The errored resource is excluded from the timing delta but the digest
 	// map still covers it (so a later fix is detected as dirty).
-	if len(out.results) != 0 {
-		t.Fatalf("errored resource kept a WCRT table: %+v", out.results)
+	if len(out.delta) != 0 {
+		t.Fatalf("errored resource kept a WCRT table: %+v", out.delta)
 	}
 	if _, ok := out.digests["only"]; !ok {
 		t.Fatal("errored resource missing from digest map")

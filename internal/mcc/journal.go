@@ -71,7 +71,6 @@ func jrevert[K comparable, V any](j map[K]prior[V], m map[K]V) {
 type cacheJournal struct {
 	deployed *model.FunctionalArchitecture
 	impl     *model.ImplementationModel
-	monitors []MonitorSpec
 	history  int
 
 	// candUndos records the in-place candidate mutations of the window's
@@ -89,10 +88,16 @@ type cacheJournal struct {
 	// loads is the window-start committed per-processor load slice;
 	// commits swap in fresh slices, so rollback restores the pointer.
 	loads []procLoad
-	// resList/resProcs are the window-start committed timing-resource
-	// list; commits build fresh slices, so rollback restores the pointer.
-	resList  []committedRes
-	resProcs int
+	// resTable is the window-start committed timing-resource table;
+	// commits patch copy-on-write or build fresh tables, so rollback
+	// restores the pointer.
+	resTable *resTable
+	// connIdx is the window-start committed connection-position index;
+	// commits that rebuild the connections swap in a fresh map, so
+	// rollback restores the pointer.
+	connIdx map[string][]int
+	// instTotal is the window-start committed instance count.
+	instTotal int
 
 	// Window-start map pointers. Keyed commits mutate these in place
 	// (journaled below); a from-scratch commit swaps in fresh maps and
@@ -100,7 +105,6 @@ type cacheJournal struct {
 	digestMap map[string]uint64
 	timingMap map[string]TimingResult
 	jobsMap   map[string]timingJob
-	budgetMap map[string][]MonitorSpec
 	secMap    map[model.Connection]bool
 	synth     *synthCache
 	svcMap    map[string]int
@@ -109,7 +113,6 @@ type cacheJournal struct {
 	digests   map[string]prior[uint64]
 	timing    map[string]prior[TimingResult]
 	jobs      map[string]prior[timingJob]
-	budgets   map[string]prior[[]MonitorSpec]
 	sec       map[model.Connection]prior[bool]
 	synFns    map[string]prior[*model.Function]
 	synIns    map[string]prior[[]model.Instance]
@@ -146,13 +149,6 @@ func (j *cacheJournal) jJobs() map[string]prior[timingJob] {
 		return nil
 	}
 	return j.jobs
-}
-
-func (j *cacheJournal) jBudgets() map[string]prior[[]MonitorSpec] {
-	if j == nil || j.detached {
-		return nil
-	}
-	return j.budgets
 }
 
 func (j *cacheJournal) jSec() map[model.Connection]prior[bool] {
@@ -206,26 +202,36 @@ func (j *cacheJournal) jSvcProv() map[string]prior[int] {
 // where trimming is forbidden (it would shift the rollback index).
 func (m *MCC) beginWindow() *cacheJournal {
 	m.trimHistory()
+	// If the window can roll back into a cache purge, materialize the
+	// committed flat lists up front: the restored window-start model must
+	// then stand on its own — its only materialization source, the synth
+	// cache, is gone after the purge. The purge is reachable solely
+	// through the "journal.undo" fault-injection hook in rollbackWindow,
+	// so production windows (no rule wired at that hook) skip the
+	// materialization entirely and stay O(1); under chaos testing the
+	// cost is one pair of flat copies per committed model, not per
+	// window (memoized).
+	if m.inject.Wired("journal.undo") {
+		m.DeployedImpl()
+	}
 	j := &cacheJournal{
 		deployed:  m.deployed,
 		impl:      m.impl,
-		monitors:  m.deployedMonitors,
 		history:   len(m.History),
 		flowTouch: m.deployedFlowTouch,
 		loads:     m.deployedLoads,
-		resList:   m.deployedResList,
-		resProcs:  m.deployedResProcs,
+		resTable:  m.deployedRes,
+		connIdx:   m.deployedConnIdx,
+		instTotal: m.deployedInstTotal,
 		digestMap: m.deployedDigest,
 		timingMap: m.deployedTiming,
 		jobsMap:   m.deployedJobs,
-		budgetMap: m.deployedBudgetByProc,
 		secMap:    m.deployedSecVerdicts,
 		synth:     m.deployedSynth,
 		svcMap:    m.svcProviders,
 		digests:   make(map[string]prior[uint64]),
 		timing:    make(map[string]prior[TimingResult]),
 		jobs:      make(map[string]prior[timingJob]),
-		budgets:   make(map[string]prior[[]MonitorSpec]),
 		sec:       make(map[model.Connection]prior[bool]),
 		synFns:    make(map[string]prior[*model.Function]),
 		synIns:    make(map[string]prior[[]model.Instance]),
@@ -234,12 +240,22 @@ func (m *MCC) beginWindow() *cacheJournal {
 		svcProv:   make(map[string]prior[int]),
 	}
 	m.journal = j
+	// Fresh heal map per window: reports bound by this window's commits
+	// capture it, and the verification pass fills it with the deferred
+	// verdicts their table snapshots are still missing. Closed windows
+	// drop the controller's reference (commitWindow/rollbackWindow); the
+	// bound reports keep theirs.
+	m.windowHeals = make(map[resDigestKey]TimingResult)
 	return j
 }
 
 // commitWindow finalizes the window: the optimistic commits stand, the
-// undo entries are dropped.
-func (m *MCC) commitWindow() { m.journal = nil }
+// undo entries are dropped. The heal map stays alive only through the
+// reports bound inside the window.
+func (m *MCC) commitWindow() {
+	m.journal = nil
+	m.windowHeals = nil
+}
 
 // rollbackWindow restores the controller to the window-start state: the
 // configuration pointers and history length are reset, the window-start
@@ -247,9 +263,9 @@ func (m *MCC) commitWindow() { m.journal = nil }
 // onto them. Cost is proportional to the window's footprint.
 func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.journal = nil
+	m.windowHeals = nil
 	m.deployed = j.deployed
 	m.impl = j.impl
-	m.deployedMonitors = j.monitors
 	m.History = m.History[:j.history]
 	// Revert the in-place candidate mutations of the window's accepted
 	// fast-path proposals, newest first. This restores the deployed
@@ -262,7 +278,12 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	}
 	m.deployedFlowTouch = j.flowTouch
 	m.deployedLoads = j.loads
-	m.deployedResList, m.deployedResProcs = j.resList, j.resProcs
+	m.deployedRes = j.resTable
+	m.deployedConnIdx = j.connIdx
+	m.deployedInstTotal = j.instTotal
+	// The function index may describe mid-window slice states the replay
+	// above rewound; rebuild lazily from the restored slice.
+	m.fnIdx = nil
 	// Fault-injection hook modeling a failed keyed undo (e.g. a journal
 	// entry lost to memory corruption). The configuration pointers above
 	// are plain swaps and always succeed; what cannot be trusted after a
@@ -277,14 +298,12 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.deployedDigest = j.digestMap
 	m.deployedTiming = j.timingMap
 	m.deployedJobs = j.jobsMap
-	m.deployedBudgetByProc = j.budgetMap
 	m.deployedSecVerdicts = j.secMap
 	m.deployedSynth = j.synth
 	m.svcProviders = j.svcMap
 	jrevert(j.digests, m.deployedDigest)
 	jrevert(j.timing, m.deployedTiming)
 	jrevert(j.jobs, m.deployedJobs)
-	jrevert(j.budgets, m.deployedBudgetByProc)
 	jrevert(j.sec, m.deployedSecVerdicts)
 	if j.svcMap != nil {
 		jrevert(j.svcProv, m.svcProviders)
@@ -308,14 +327,17 @@ func (m *MCC) purgeIncrementalState() {
 	m.deployedDigest = make(map[string]uint64)
 	m.deployedTiming = make(map[string]TimingResult)
 	m.deployedJobs = nil
-	m.deployedResList, m.deployedResProcs = nil, 0
+	m.deployedRes = nil
 	m.deployedSynth = nil
 	m.pendingSynth = nil
 	m.deployedSecVerdicts = nil
-	m.deployedBudgetByProc = nil
 	m.deployedFlowTouch = nil
 	m.deployedLoads = nil
 	m.svcProviders = nil
 	m.pendingLoads = nil
+	m.pendingPlaced = nil
+	m.deployedConnIdx = nil
+	m.deployedInstTotal = 0
+	m.fnIdx = nil
 	m.analyzer.Reset()
 }

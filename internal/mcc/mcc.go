@@ -128,18 +128,28 @@ type MCC struct {
 	// timing stage can splice clean resources' jobs without re-scanning
 	// the implementation model (diff-proportional job construction).
 	deployedJobs map[string]timingJob
-	// deployedResList is the committed timing state as a flat slice in
-	// deterministic resource order (loaded processors sorted by name, then
-	// loaded networks in platform order): each entry pairs the committed
-	// CPA job with its committed WCRT table. It accelerates the maps above
-	// — a proposal's job construction merges this list against the small
-	// sorted affected set, copying untouched entries positionally without
-	// a single map lookup. The maps stay authoritative; a nil list (purge,
-	// cold controller) falls back to the map walk. Commits install a fresh
-	// slice, so a window journal rolls back by restoring the pointer.
-	// deployedResProcs is the length of the processor prefix.
-	deployedResList  []committedRes
-	deployedResProcs int
+	// deployedRes is the committed timing state as a chunked persistent
+	// table in deterministic resource order (loaded processors sorted by
+	// name, then loaded networks in platform order): each entry pairs the
+	// committed CPA job with its committed WCRT table. It accelerates the
+	// maps above — a proposal's job construction merges it against the
+	// small sorted affected set, copying untouched entries positionally
+	// without a single map lookup — and it is what accepted reports bind
+	// their whole-table views to (Report.FullTiming/FullMonitors). The
+	// maps stay authoritative; a nil table (purge, cold controller) falls
+	// back to the map walk. Keyed commits patch it copy-on-write (spine
+	// plus affected chunks, O(diff)), so the previous pointer — a window
+	// journal's rollback point, a bound report's snapshot — stays valid
+	// and shares every untouched chunk.
+	deployedRes *resTable
+	// windowHeals, while a stream window is open, collects the verified
+	// deferred timing verdicts keyed by {resource, task-set digest}.
+	// Reports committed optimistically inside the window bind their table
+	// snapshot before the deferred analyses have run; their materializers
+	// consult this map to fill the entries that were still pending at
+	// commit time. Digest-keyed because two proposals of one window can
+	// defer the same processor with different task sets.
+	windowHeals map[resDigestKey]TimingResult
 	// deployedSynth caches the committed synthesis lookup tables (function
 	// contracts by name, replica instances by function, per-processor task
 	// lists) next to deployedJobs, so incremental synthesis splices
@@ -176,11 +186,6 @@ type MCC struct {
 	// flow set (commits never mutate the map in place, so a window journal
 	// rolls it back by restoring the window-start pointer).
 	deployedFlowTouch map[string]bool
-	// deployedMonitors is the committed monitor plan;
-	// deployedBudgetByProc groups its budget specs by hosting processor
-	// so the monitor stage can splice untouched processors' specs.
-	deployedMonitors     []MonitorSpec
-	deployedBudgetByProc map[string][]MonitorSpec
 	// deployedLoads holds the committed per-processor residual-capacity
 	// accounting (scaled utilization and RAM), indexed by platform
 	// processor position. The warm-started mapping copies it and adjusts
@@ -196,6 +201,33 @@ type MCC struct {
 	// warm-started mapping (the final per-processor totals of the
 	// candidate placement), handed to the commit stage.
 	pendingLoads []procLoad
+	// pendingPlaced holds the fresh replica placements of the most recent
+	// O(diff) warm-started mapping, keyed by function (replica-ascending,
+	// the order the placer emits). The synthesis overlay reads the touched
+	// functions' placements from it, which is what lets the warm path skip
+	// materializing the platform-sized candidate instance list entirely.
+	pendingPlaced map[string][]model.Instance
+	// fnIdx is the lazily built name->position index of the deployed
+	// function slice, maintained by the fast path's in-place mutations;
+	// anything that replaces or reorders the slice wholesale (clone-based
+	// commit, window rollback, purge) drops it and the next lookup
+	// rebuilds. It turns the per-proposal O(n) fnIndexOf/FunctionByName
+	// scans of the fast path into map hits.
+	fnIdx map[string]int
+	// deployedConnIdx maps each function name to the ascending positions
+	// of the committed connections it is incident to (client or server
+	// side). While the session list is unrebuilt it aliases the committed
+	// one and every row has a committed-clean verdict, so the scoped
+	// security check walks just the touched functions' positions instead
+	// of scanning (and hashing) every connection. Rebuilt fresh — never
+	// mutated in place — by from-scratch commits and by keyed commits that
+	// rebuilt the connections, so a window journal rolls back by pointer.
+	// Maintained only while the pre-timing stages run incrementally.
+	deployedConnIdx map[string][]int
+	// deployedInstTotal is the committed instance count, maintained so the
+	// warm-started mapping can report its kept-instance telemetry without
+	// materializing the flat instance list it no longer builds.
+	deployedInstTotal int
 
 	// pendingJobs is the job list of the most recent timing-stage run,
 	// handed from the timing stage to the monitor and commit stages.
@@ -451,14 +483,71 @@ func (m *MCC) Analyzer() *cpa.Analyzer { return m.analyzer }
 func (m *MCC) Deployed() *model.FunctionalArchitecture { return m.deployed }
 
 // DeployedImpl returns the currently deployed implementation model (nil
-// until the first successful integration).
-func (m *MCC) DeployedImpl() *model.ImplementationModel { return m.impl }
+// until the first successful integration). A keyed commit leaves the
+// model's flat task and instance lists unmaterialized — the committed
+// per-processor/per-function tables are the authoritative representation
+// on the incremental path — so whole-model readers get them materialized
+// here on demand, memoized until the next commit installs a new model.
+// Messages and Connections are always present (aliased or rebuilt at
+// commit time).
+func (m *MCC) DeployedImpl() *model.ImplementationModel {
+	if m.impl != nil && m.deployedSynth != nil {
+		if m.impl.Tech != nil && m.impl.Tech.Instances == nil {
+			m.impl.Tech.Instances = m.committedInstances()
+		}
+		if m.impl.Tasks == nil {
+			m.impl.Tasks = m.committedTasks()
+		}
+	}
+	return m.impl
+}
+
+// committedTasks materializes the committed flat task list from the
+// synth cache's per-processor lists, in the m.procs assembly order every
+// synthesis path uses. Non-nil even when empty, so the memoization in
+// DeployedImpl sticks.
+func (m *MCC) committedTasks() []model.Task {
+	sc := m.deployedSynth
+	total := 0
+	for _, pn := range m.procs {
+		total += len(sc.tasksOn[pn])
+	}
+	out := make([]model.Task, 0, total)
+	for _, pn := range m.procs {
+		out = append(out, sc.tasksOn[pn]...)
+	}
+	return out
+}
+
+// committedInstances materializes the committed flat instance list from
+// the synth cache's per-function table, in the canonical (function,
+// replica) order — each per-function list is replica-ascending, so
+// concatenating them over the sorted names reproduces Instance.Less
+// order exactly.
+func (m *MCC) committedInstances() []model.Instance {
+	sc := m.deployedSynth
+	names := make([]string, 0, len(sc.instancesOf))
+	total := 0
+	for name, ins := range sc.instancesOf {
+		names = append(names, name)
+		total += len(ins)
+	}
+	sort.Strings(names)
+	out := make([]model.Instance, 0, total)
+	for _, name := range names {
+		out = append(out, sc.instancesOf[name]...)
+	}
+	return out
+}
 
 // DeployedMonitors returns the monitor plan of the currently committed
-// configuration (nil until the first successful integration). Rejected
-// proposals never touch it — the rollback invariant the monitor splice
-// is tested against.
-func (m *MCC) DeployedMonitors() []MonitorSpec { return m.deployedMonitors }
+// configuration (nil until the first successful integration), derived on
+// demand from the committed per-resource CPA jobs — the MCC no longer
+// stores a materialized plan. The returned slice is freshly allocated
+// and owned by the caller. Rejected proposals never change the committed
+// state, so the plan is unaffected by them — the rollback invariant the
+// monitor tests pin.
+func (m *MCC) DeployedMonitors() []MonitorSpec { return m.deployedRes.materializeMonitors() }
 
 // ProposeUpdate attempts to integrate fn (a new function or a new version
 // of a deployed one) into the running configuration.

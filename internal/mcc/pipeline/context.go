@@ -71,6 +71,14 @@ type Context struct {
 	// timing jobs even when MessagesRebuilt). Only valid when
 	// MessagesRebuilt is set; nil conservatively means "every network".
 	AffectedNets map[string]bool
+	// TasksFn, when set by a partial synthesis, materializes the
+	// candidate's flat task list on demand: the incremental path leaves
+	// Impl.Tasks nil (the affected processors' rebuilt lists live in
+	// stage-internal per-processor caches, everything else is committed
+	// unchanged), so a stage that genuinely needs the whole flat list — a
+	// custom viewpoint like the thermal budget — must read it through
+	// Tasks() instead of Impl.Tasks.
+	TasksFn func() []model.Task
 	// DeferChecks asks the pure verdict stages (safety, security, timing)
 	// to record their inputs instead of checking them: the timing stage
 	// still constructs and digests the per-resource task sets but defers
@@ -95,6 +103,21 @@ type Context struct {
 
 	artifacts map[string]any
 	note      string
+}
+
+// Tasks returns the candidate's flat task list, materializing it through
+// TasksFn (and memoizing into Impl.Tasks) when the partial synthesis left
+// it unmaterialized. Stages must use this accessor — not Impl.Tasks —
+// whenever they iterate the whole task set: on the incremental path a
+// direct read sees nil and silently checks nothing.
+func (c *Context) Tasks() []model.Task {
+	if c.Impl == nil {
+		return nil
+	}
+	if c.Impl.Tasks == nil && c.TasksFn != nil {
+		c.Impl.Tasks = c.TasksFn()
+	}
+	return c.Impl.Tasks
 }
 
 // Done returns the proposal context's done channel, or nil when no

@@ -55,12 +55,36 @@ type Report struct {
 	// Findings lists human-readable acceptance failures.
 	Findings []string
 	// Impl is the synthesized implementation model (nil if rejected
-	// before synthesis).
+	// before synthesis). It is a read-only view shared with the
+	// controller's committed state once the proposal is accepted; do not
+	// mutate it. On the incremental path the flat Tasks and
+	// Tech.Instances lists are unmaterialized (nil) — the change's
+	// footprint lives in the controller's per-processor/per-function
+	// tables — while Messages and Connections are always present;
+	// whole-model readers use MCC.DeployedImpl(), which materializes the
+	// committed lists on demand.
 	Impl *model.ImplementationModel
-	// Timing is the WCRT table per resource.
-	Timing []TimingResult
-	// Monitors is the monitor plan for the execution domain.
-	Monitors []MonitorSpec
+	// TimingDelta holds the WCRT tables of exactly the resources this
+	// attempt re-analyzed — the change's footprint, not the platform.
+	// Every entry (including its Results slice) is freshly allocated and
+	// owned by the report: mutating it cannot reach the controller's
+	// committed caches. Untouched resources are not repeated here; use
+	// FullTiming for the whole-platform view. On a from-scratch pass the
+	// delta covers every analyzed resource, so delta == full table.
+	TimingDelta []TimingResult
+	// MonitorDelta holds the monitor specs of exactly the resources this
+	// attempt rebuilt, freshly allocated and owned by the report. Use
+	// FullMonitors for the whole plan. On a from-scratch pass the delta
+	// is the complete plan.
+	MonitorDelta []MonitorSpec
+	// fullTiming/fullMonitors materialize the whole-platform tables from
+	// the committed state this report's commit installed. They are bound
+	// by the commit stage (BindCommitted) on accepted proposals and must
+	// return freshly allocated data. Unexported so the handle never
+	// serializes; the committed tables stay reachable only through the
+	// materializing accessors.
+	fullTiming   func() []TimingResult
+	fullMonitors func() []MonitorSpec
 	// Stages is the per-stage wall-clock/cache telemetry of every stage
 	// that ran, in execution order. A rejected attempt that was retried
 	// from scratch (warm-start fallback) accumulates the traces of both
@@ -119,6 +143,62 @@ type Report struct {
 	// RetriedAnalyses counts timing analyses retried after a transient
 	// analyzer error (bounded retry with backoff).
 	RetriedAnalyses int
+}
+
+// BindCommitted attaches the materialize-on-demand whole-table view to
+// an accepted report. Both closures must return freshly allocated
+// slices on every call (deep copies of the committed tables): the
+// report contract promises that nothing a consumer obtains from a
+// Report aliases controller state.
+func (r *Report) BindCommitted(timing func() []TimingResult, monitors func() []MonitorSpec) {
+	r.fullTiming = timing
+	r.fullMonitors = monitors
+}
+
+// FullTiming materializes the whole-platform WCRT table as of this
+// report's commit. Every call returns a fresh deep copy the caller
+// owns. On reports that never committed (rejected attempts), no
+// committed handle is bound and the materialized view is just a copy of
+// TimingDelta — the tables the attempt actually computed.
+func (r *Report) FullTiming() []TimingResult {
+	if r.fullTiming != nil {
+		return r.fullTiming()
+	}
+	return CloneTimingResults(r.TimingDelta)
+}
+
+// FullMonitors materializes the whole monitor plan as of this report's
+// commit; same ownership and rejected-report semantics as FullTiming.
+func (r *Report) FullMonitors() []MonitorSpec {
+	if r.fullMonitors != nil {
+		return r.fullMonitors()
+	}
+	out := make([]MonitorSpec, len(r.MonitorDelta))
+	copy(out, r.MonitorDelta)
+	return out
+}
+
+// CloneTimingResults deep-copies a WCRT table, including each entry's
+// Results slice; cpa.Result itself is a flat value.
+func CloneTimingResults(in []TimingResult) []TimingResult {
+	if in == nil {
+		return nil
+	}
+	out := make([]TimingResult, len(in))
+	for i, tr := range in {
+		out[i] = CloneTimingResult(tr)
+	}
+	return out
+}
+
+// CloneTimingResult deep-copies one per-resource WCRT table entry.
+func CloneTimingResult(tr TimingResult) TimingResult {
+	if tr.Results == nil {
+		return TimingResult{Resource: tr.Resource}
+	}
+	rs := make([]cpa.Result, len(tr.Results))
+	copy(rs, tr.Results)
+	return TimingResult{Resource: tr.Resource, Results: rs}
 }
 
 // StageTraceFor returns the last recorded trace of the named stage, or nil.

@@ -1,0 +1,201 @@
+package mcc
+
+import "repro/internal/mcc/pipeline"
+
+// This file implements the chunked persistent committed-resource table
+// behind the delta-report contract. PR 7's flat []committedRes slice made
+// job construction diff-proportional, but every accepted commit still
+// allocated and copied the whole slice (O(platform) memclr+copy per
+// change — the dominant term of the E13 collapse at 2048 processors).
+// The table keeps the same deterministic resource order (loaded
+// processors sorted by name, then loaded networks in platform order) in
+// fixed-size chunks behind a pointer spine: a keyed commit that touches
+// k resources copies the spine and the ceil(k/chunk) affected chunks and
+// shares every other chunk with the previous configuration — O(diff) per
+// accepted change, with the old table (a window's rollback point, or a
+// bound report's snapshot) fully intact.
+//
+// Reports bind a table pointer at commit time (Report.FullTiming /
+// FullMonitors); materialization deep-copies on every call, so nothing a
+// consumer obtains can alias chunk contents.
+
+const (
+	// resChunkShift sets the chunk size (64 entries): large enough that
+	// the spine stays tiny (32 pointers at 2048 resources), small enough
+	// that a one-resource patch copies ~6 KiB instead of the platform.
+	resChunkShift = 6
+	resChunkSize  = 1 << resChunkShift
+	resChunkMask  = resChunkSize - 1
+)
+
+// resChunk is one fixed-size run of committed resources. Chunks are
+// immutable once installed: patch copies before writing.
+type resChunk [resChunkSize]committedRes
+
+// resTable is the committed timing state in deterministic resource
+// order. n is the entry count, procs the length of the processor prefix
+// (entries [0,procs) are processors sorted by name, [procs,n) networks
+// in platform order). The zero/nil table is valid and empty.
+type resTable struct {
+	chunks []*resChunk
+	n      int
+	procs  int
+}
+
+// resUpdate is one patch instruction: replace entry idx with cr.
+type resUpdate struct {
+	idx int
+	cr  committedRes
+}
+
+// resDigestKey identifies one deferred analysis for the window heal map:
+// two proposals of a window may defer the same resource with different
+// task-set digests (disjoint function footprints sharing a processor),
+// and each bound report snapshot must only be healed by its own digest's
+// verdict.
+type resDigestKey struct {
+	res string
+	dig uint64
+}
+
+// resTableFrom builds a table from a flat list. The list entries are
+// copied into fresh chunks; the caller keeps ownership of list.
+func resTableFrom(list []committedRes, procs int) *resTable {
+	t := &resTable{
+		chunks: make([]*resChunk, (len(list)+resChunkMask)>>resChunkShift),
+		n:      len(list),
+		procs:  procs,
+	}
+	for ci := range t.chunks {
+		c := new(resChunk)
+		copy(c[:], list[ci<<resChunkShift:])
+		t.chunks[ci] = c
+	}
+	return t
+}
+
+// at returns entry i. The entry is shared, immutable storage — callers
+// must not mutate it or retain the pointer across a patch.
+func (t *resTable) at(i int) *committedRes {
+	return &t.chunks[i>>resChunkShift][i&resChunkMask]
+}
+
+// patch returns a table with the given entries replaced: the spine and
+// each affected chunk are copied, every untouched chunk is shared with
+// the receiver. The receiver is unchanged (it may be a window rollback
+// point or a bound report snapshot).
+func (t *resTable) patch(updates []resUpdate) *resTable {
+	if len(updates) == 0 {
+		return t
+	}
+	nt := &resTable{
+		chunks: make([]*resChunk, len(t.chunks)),
+		n:      t.n,
+		procs:  t.procs,
+	}
+	copy(nt.chunks, t.chunks)
+	for _, u := range updates {
+		ci := u.idx >> resChunkShift
+		if nt.chunks[ci] == t.chunks[ci] {
+			c := new(resChunk)
+			*c = *t.chunks[ci]
+			nt.chunks[ci] = c
+		}
+		nt.chunks[ci][u.idx&resChunkMask] = u.cr
+	}
+	return nt
+}
+
+// find returns the index of the named resource, or -1. The processor
+// prefix is sorted by name (binary search); the network suffix is short
+// (platform networks, typically a handful) and scanned linearly.
+func (t *resTable) find(resource string) int {
+	if t == nil {
+		return -1
+	}
+	lo, hi := 0, t.procs
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.at(mid).job.resource < resource {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < t.procs && t.at(lo).job.resource == resource {
+		return lo
+	}
+	for i := t.procs; i < t.n; i++ {
+		if t.at(i).job.resource == resource {
+			return i
+		}
+	}
+	return -1
+}
+
+// materializeTiming deep-copies the committed WCRT tables in resource
+// order. An entry whose table is not yet known (an optimistically
+// committed resource whose deferred analysis is still pending, or whose
+// verdict lives only in the window heal map) is patched from heals by
+// {resource, digest}; with no heal it is emitted with a nil Results
+// slice — truthful, and visible to the parity oracle rather than papered
+// over. Every entry, including healed ones, is freshly allocated.
+func (t *resTable) materializeTiming(heals map[resDigestKey]TimingResult) []TimingResult {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	out := make([]TimingResult, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		cr := t.at(i)
+		tr := cr.res
+		if tr.Results == nil && heals != nil {
+			if h, ok := heals[resDigestKey{cr.job.resource, cr.job.digest}]; ok {
+				tr = h
+			}
+		}
+		if tr.Resource == "" {
+			tr.Resource = cr.job.resource
+		}
+		out = append(out, pipeline.CloneTimingResult(tr))
+	}
+	return out
+}
+
+// materializeMonitors derives the committed monitor plan from the
+// committed CPA jobs: budget specs from processor tasks, enforced rate
+// specs from network messages, sorted canonically. The CPA task sets
+// carry exactly the contract parameters the monitors need (see
+// jobMonitorSpecs), so the plan is element-for-element what planMonitors
+// derives from the committed implementation model. One fresh allocation;
+// the caller owns the result.
+func (t *resTable) materializeMonitors() []MonitorSpec {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	total := 0
+	for i := 0; i < t.n; i++ {
+		total += len(t.at(i).job.tasks)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]MonitorSpec, 0, total)
+	for i := 0; i < t.n; i++ {
+		j := t.at(i).job
+		for _, ct := range j.tasks {
+			if j.spnp {
+				out = append(out, MonitorSpec{
+					Kind: MonitorRate, Target: ct.Name,
+					PeriodUS: ct.Event.PeriodUS, Enforce: true,
+				})
+			} else {
+				out = append(out, MonitorSpec{
+					Kind: MonitorBudget, Target: ct.Name,
+					PeriodUS: ct.Event.PeriodUS, JitterUS: ct.Event.JitterUS, WCETUS: ct.WCETUS,
+				})
+			}
+		}
+	}
+	sortMonitorSpecs(out)
+	return out
+}

@@ -104,12 +104,17 @@ func (s *validateStage) fastVerdict(ctx *pipeline.Context) (bool, error) {
 	} else {
 		return false, nil
 	}
-	neu := cand.FunctionByName(name)
+	neu := m.candFn(cand, name)
 	if neu == nil || neu.Name == "" {
 		return false, nil
 	}
 	if err := neu.Contract.Validate(); err != nil {
-		return false, nil // re-derive the exact finding via the walk
+		// The scoped walk's first (and only possible) finding here is this
+		// contract error: committed names are unique and non-empty, every
+		// committed contract validated when it committed, and the walk
+		// checks contracts before service resolution. Reject directly, in
+		// the walk's exact wrapping, instead of paying its O(n) map build.
+		return true, pipeline.Rejectf("model: function %q: %s", name, err)
 	}
 	old := m.deployedSynth.fnByName[name]
 	if old != nil {
@@ -140,6 +145,7 @@ func (s *mappingStage) Name() Stage { return StageMapping }
 
 func (s *mappingStage) Run(ctx *pipeline.Context) error {
 	s.m.pendingLoads = nil
+	s.m.pendingPlaced = nil
 	if ctx.Incremental && !ctx.Diff.Full() && ctx.DeployedImpl != nil {
 		if tech, kept, placed, ok := s.m.mapWarmStart(ctx); ok {
 			ctx.Tech = tech
@@ -299,6 +305,12 @@ func (m *MCC) mapWarmStart(ctx *pipeline.Context) (tech *model.TechnicalArchitec
 	if m.deployedLoads != nil && m.deployedSynth != nil {
 		return m.mapWarmFromCommitted(ctx)
 	}
+	if depTech.Instances == nil {
+		// A keyed commit leaves the flat instance list unmaterialized and
+		// always installs committed loads alongside, so this loop should
+		// be unreachable with a lazy model; decide cold if it ever is.
+		return nil, 0, 0, false
+	}
 
 	fnByName := make(map[string]*model.Function, len(cand.Functions))
 	for i := range cand.Functions {
@@ -350,20 +362,25 @@ func (m *MCC) mapWarmStart(ctx *pipeline.Context) (tech *model.TechnicalArchitec
 
 // mapWarmFromCommitted is the O(diff) warm start: the committed loads
 // slice is copied (one memcpy), the touched functions' committed charges
-// are subtracted, the diff is placed best-fit over the residual, and the
-// candidate instance list is spliced from the committed sorted one with
-// segment copies. No per-kept-instance work, no final O(n log n) sort.
+// are subtracted, and the diff is placed best-fit over the residual. The
+// candidate's flat instance list is never assembled — the fresh
+// placements are handed to the synthesis overlay through pendingPlaced,
+// everything downstream resolves instances through the committed tables
+// plus that overlay, and DeployedImpl materializes the flat list on
+// demand for whole-model readers. That removes the only remaining
+// O(platform) step (the splice and its allocation) from the warm path.
 func (m *MCC) mapWarmFromCommitted(ctx *pipeline.Context) (tech *model.TechnicalArchitecture, kept, placed int, ok bool) {
 	cand, d := ctx.Candidate, ctx.Diff
-	dep := ctx.DeployedImpl.Tech.Instances
 
 	p := m.newPlacerFromCommitted()
 	names := make([]string, 0, d.TouchedCount())
 	names = append(names, d.Added...)
 	names = append(names, d.Changed...)
 	names = append(names, d.Removed...)
+	cut := 0
 	for _, name := range names {
 		old := m.deployedSynth.fnByName[name]
+		cut += len(m.deployedSynth.instancesOf[name])
 		for _, in := range m.deployedSynth.instancesOf[name] {
 			if old == nil || !p.discount(old, in.Processor) {
 				return nil, 0, 0, false // stale committed state; decide cold
@@ -374,72 +391,28 @@ func (m *MCC) mapWarmFromCommitted(ctx *pipeline.Context) (tech *model.Technical
 	var todo []*model.Function
 	for _, nameSet := range [][]string{d.Added, d.Changed} {
 		for _, name := range nameSet {
-			if f := cand.FunctionByName(name); f != nil {
+			if f := m.candFn(cand, name); f != nil {
 				todo = append(todo, f)
 			}
 		}
 	}
 	sortByConstraint(todo)
-	var placedIns []model.Instance
+	placedBy := make(map[string][]model.Instance, len(todo))
 	for _, f := range todo {
 		ins, ok := p.place(f)
 		if !ok {
 			return nil, 0, 0, false // no room on residual capacity
 		}
-		placedIns = append(placedIns, ins...)
+		if len(ins) > 0 {
+			placedBy[f.Name] = ins
+		}
 		placed += len(ins)
 	}
 
-	instances := spliceInstances(dep, names, placedIns)
-	kept = len(instances) - placed
+	kept = m.deployedInstTotal - cut
+	m.pendingPlaced = placedBy
 	m.pendingLoads = p.loads
-	return &model.TechnicalArchitecture{Platform: m.platform, Func: cand, Instances: instances}, kept, placed, true
-}
-
-// spliceInstances builds the candidate instance list from the committed
-// sorted one: the touched functions' blocks are cut (contiguous under the
-// (Function, Replica) order, found by binary search) and the freshly
-// placed instances are merged in at their sorted positions, all via
-// segment copies.
-func spliceInstances(dep []model.Instance, touched []string, placed []model.Instance) []model.Instance {
-	type span struct{ lo, hi int }
-	spans := make([]span, 0, len(touched))
-	cut := 0
-	for _, name := range touched {
-		lo := sort.Search(len(dep), func(i int) bool { return dep[i].Function >= name })
-		hi := lo
-		for hi < len(dep) && dep[hi].Function == name {
-			hi++
-		}
-		if hi > lo {
-			spans = append(spans, span{lo, hi})
-			cut += hi - lo
-		}
-	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
-
-	base := make([]model.Instance, 0, len(dep)-cut)
-	prev := 0
-	for _, s := range spans {
-		base = append(base, dep[prev:s.lo]...)
-		prev = s.hi
-	}
-	base = append(base, dep[prev:]...)
-
-	if len(placed) == 0 {
-		return base
-	}
-	sort.Slice(placed, func(i, j int) bool { return placed[i].Less(placed[j]) })
-	out := make([]model.Instance, 0, len(base)+len(placed))
-	prev = 0
-	for _, in := range placed {
-		pos := prev + sort.Search(len(base)-prev, func(i int) bool { return in.Less(base[prev+i]) })
-		out = append(out, base[prev:pos]...)
-		out = append(out, in)
-		prev = pos
-	}
-	out = append(out, base[prev:]...)
-	return out
+	return &model.TechnicalArchitecture{Platform: m.platform, Func: cand}, kept, placed, true
 }
 
 // mapToPlatform assigns every function replica to a processor:
@@ -632,6 +605,23 @@ func (m *MCC) synthOverlay(ctx *pipeline.Context) (*synthView, *synthOverlay) {
 				over.fns[f.Name] = f
 			}
 		}
+	}
+	// The O(diff) warm start hands the fresh placements over directly,
+	// keyed by function and replica-ascending — the exact per-function
+	// lists synthLookups would produce — so no flat candidate instance
+	// list is needed at all. The binary-search fallback covers warm paths
+	// that materialized ctx.Tech.Instances instead (the legacy warm start
+	// after a from-scratch commit).
+	if m.pendingPlaced != nil {
+		for name, f := range over.fns {
+			if f == nil {
+				continue // removed: no candidate placements
+			}
+			if ins := m.pendingPlaced[name]; len(ins) > 0 {
+				over.insts[name] = ins
+			}
+		}
+		return &synthView{cache: m.deployedSynth, over: over}, over
 	}
 	// ctx.Tech.Instances is sorted by Instance.Less, so each touched
 	// function's placements form one contiguous replica-ascending block —
@@ -873,26 +863,23 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		}
 	}
 
-	// Rebuild the affected processors' task lists and splice everything
-	// else straight from the committed flat task list: dep.Tasks is
-	// grouped by processor in sorted-name order (the m.procs assembly
-	// order of every synthesis path), so each block is contiguous and
-	// binary-searchable — no per-processor walk over the platform.
+	// Rebuild the affected processors' task lists; the candidate's flat
+	// task list stays unmaterialized (impl.Tasks is nil). The rebuilt
+	// lists live in over.tasksOn, every untouched processor keeps its
+	// committed list in the synth cache, and every consumer of the
+	// incremental path reads one of the two (timing-job construction,
+	// monitor delta, custom viewpoints via ctx.Tasks()); DeployedImpl
+	// materializes the committed flat list on demand for whole-model
+	// readers. Assembling — and allocating — the platform-sized splice
+	// here was the single largest O(n) term of the accepted-change path.
+	// The sorted iteration keeps the first-error selection of the
+	// per-task validation deterministic.
 	affectedList := make([]string, 0, len(affected))
 	for pn := range affected {
 		affectedList = append(affectedList, pn)
 	}
 	sort.Strings(affectedList)
-	impl.Tasks = make([]model.Task, 0, len(dep.Tasks)+8)
-	prev := 0
 	for _, pn := range affectedList {
-		lo := sort.Search(len(dep.Tasks), func(i int) bool { return dep.Tasks[i].Processor >= pn })
-		hi := lo
-		for hi < len(dep.Tasks) && dep.Tasks[hi].Processor == pn {
-			hi++
-		}
-		impl.Tasks = append(impl.Tasks, dep.Tasks[prev:lo]...)
-		prev = hi
 		insts := m.residentInstances(pn, over)
 		over.instsOn[pn] = insts
 		rebuilt := m.synthesizeTasksOn(look, pn, insts)
@@ -907,10 +894,9 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 			}
 		}
 		over.tasksOn[pn] = rebuilt
-		impl.Tasks = append(impl.Tasks, rebuilt...)
 	}
-	impl.Tasks = append(impl.Tasks, dep.Tasks[prev:]...)
 	reusedProcs := len(m.procs) - len(affectedList)
+	ctx.TasksFn = func() []model.Task { return m.candTasks(over) }
 
 	// Messages change only when the flow set changed or a flow endpoint
 	// was touched (untouched endpoints keep their placement under the
@@ -971,6 +957,12 @@ func (m *MCC) synthesizeIncremental(ctx *pipeline.Context) (*model.Implementatio
 		}
 	}
 	if rebuildConns {
+		// The session rebuild walks every candidate instance (provider
+		// election is global); materialize the flat list for it on this
+		// rare path — the common accepted change never pays for it.
+		if tech.Instances == nil {
+			tech.Instances = m.candInstances(over)
+		}
 		conns, err := synthesizeConnections(tech, look)
 		if err != nil {
 			return nil, err
@@ -1013,6 +1005,61 @@ func (m *MCC) residentInstances(pn string, over *synthOverlay) []model.Instance 
 				out = append(out, in)
 			}
 		}
+	}
+	return out
+}
+
+// candTasks materializes the candidate's flat task list from the
+// committed per-processor lists plus the overlay's rebuilt ones, in the
+// m.procs assembly order of every synthesis path. Only consumers that
+// genuinely need the whole flat list pay for it (ctx.Tasks()).
+func (m *MCC) candTasks(over *synthOverlay) []model.Task {
+	total := 0
+	for _, pn := range m.procs {
+		if tasks, ok := over.tasksOn[pn]; ok {
+			total += len(tasks)
+		} else {
+			total += len(m.deployedSynth.tasksOn[pn])
+		}
+	}
+	out := make([]model.Task, 0, total)
+	for _, pn := range m.procs {
+		if tasks, ok := over.tasksOn[pn]; ok {
+			out = append(out, tasks...)
+			continue
+		}
+		out = append(out, m.deployedSynth.tasksOn[pn]...)
+	}
+	return out
+}
+
+// candInstances materializes the candidate's flat sorted instance list
+// from the committed per-function table plus the overlay's placements —
+// needed only by the connection-rebuild path, whose provider election
+// walks every instance. Untouched names come from the committed table,
+// touched ones from the overlay; the two sets are disjoint, and each
+// per-function list is replica-ascending, so concatenating over the
+// sorted names reproduces Instance.Less order.
+func (m *MCC) candInstances(over *synthOverlay) []model.Instance {
+	sc := m.deployedSynth
+	names := make([]string, 0, len(sc.instancesOf)+len(over.insts))
+	total := 0
+	for name, ins := range sc.instancesOf {
+		if _, touched := over.fns[name]; touched {
+			continue
+		}
+		names = append(names, name)
+		total += len(ins)
+	}
+	for name, ins := range over.insts {
+		names = append(names, name)
+		total += len(ins)
+	}
+	sort.Strings(names)
+	view := &synthView{cache: sc, over: over}
+	out := make([]model.Instance, 0, total)
+	for _, name := range names {
+		out = append(out, view.instances(name)...)
 	}
 	return out
 }
@@ -1111,9 +1158,37 @@ func (s *safetyStage) Name() Stage { return StageSafety }
 
 func (s *safetyStage) Run(ctx *pipeline.Context) error {
 	if ctx.PartialSynth {
-		findings, checked := safety.CheckScoped(ctx.Tech,
-			ctx.Diff.Touched,
-			func(pn string) bool { return ctx.AffectedProcs[pn] })
+		// Entity-driven, not predicate-filtered scans: CheckScoped walks
+		// every candidate instance and function even for a one-function
+		// change, while the footprint here is a handful of names. The
+		// touched functions resolve through the committed tables plus this
+		// proposal's overlay (the same view the synthesis used), the
+		// affected processors' candidate residents were just computed by
+		// the partial synthesis (over.instsOn) — so nothing below reads
+		// the unmaterialized flat lists, and the cost is O(diff).
+		m, d := s.m, ctx.Diff
+		touched := make([]string, 0, d.TouchedCount())
+		touched = append(touched, d.Added...)
+		touched = append(touched, d.Changed...)
+		touched = append(touched, d.Removed...)
+		sort.Strings(touched)
+		affected := make([]string, 0, len(ctx.AffectedProcs))
+		for pn := range ctx.AffectedProcs {
+			affected = append(affected, pn)
+		}
+		sort.Strings(affected)
+		over := m.pendingSynth
+		view := &synthView{cache: m.deployedSynth, over: over}
+		findings, checked := safety.CheckEntities(touched, affected,
+			view.fn,
+			func(pn string) *model.Processor {
+				if i, ok := m.procIdx[pn]; ok {
+					return &m.platform.Processors[i]
+				}
+				return nil
+			},
+			view.instances,
+			func(pn string) []model.Instance { return over.instsOn[pn] })
 		ctx.Report.SafetyChecks += checked
 		ctx.Note("scoped: %d verdicts for %d touched functions, %d affected processors",
 			checked, ctx.Diff.TouchedCount(), len(ctx.AffectedProcs))
@@ -1140,7 +1215,13 @@ func (s *securityStage) Name() Stage { return StageSecurity }
 func (s *securityStage) Run(ctx *pipeline.Context) error {
 	m := s.m
 	if ctx.PartialSynth && m.deployedSecVerdicts != nil {
-		findings, checked := m.checkSecurityScoped(ctx)
+		var findings []security.Finding
+		var checked int
+		if !ctx.ConnectionsRebuilt && m.deployedConnIdx != nil {
+			findings, checked = m.checkSecurityIndexed(ctx)
+		} else {
+			findings, checked = m.checkSecurityScoped(ctx)
+		}
 		ctx.Report.SecurityChecks += checked
 		ctx.Note("scoped: re-checked %d/%d connections", checked, len(ctx.Impl.Connections))
 		return rejectFindings(findingStrings(findings))
@@ -1163,12 +1244,25 @@ func (s *securityStage) Run(ctx *pipeline.Context) error {
 // proposal's diff overlay — no per-proposal index rebuild.
 func (m *MCC) checkSecurityScoped(ctx *pipeline.Context) ([]security.Finding, int) {
 	d := ctx.Diff
+	resolve := m.secResolver()
+	dirty := func(c model.Connection) bool {
+		if !m.deployedSecVerdicts[c] {
+			return true // no committed verdict for this wiring
+		}
+		return d.Touched(security.FunctionName(c.Client)) || d.Touched(security.FunctionName(c.Server))
+	}
+	return security.CheckDomainsScoped(ctx.Impl, resolve, dirty)
+}
+
+// secResolver builds the instance-ID -> function resolution of the
+// scoped security checks: committed synthesis lookups plus this
+// proposal's diff overlay — no per-proposal index rebuild. It mirrors
+// the full check's resolution exactly: the instance must exist before
+// its function is looked up, so a connection referencing a dropped
+// replica of a still-deployed function is skipped by both paths alike.
+func (m *MCC) secResolver() security.FunctionResolver {
 	view := &synthView{cache: m.deployedSynth, over: m.pendingSynth}
-	resolve := func(id string) *model.Function {
-		// Mirror the full check's resolution exactly: the instance must
-		// exist before its function is looked up, so a connection
-		// referencing a dropped replica of a still-deployed function is
-		// skipped by both paths alike.
+	return func(id string) *model.Function {
 		name := security.FunctionName(id)
 		for _, in := range view.instances(name) {
 			if in.ID() == id {
@@ -1177,13 +1271,48 @@ func (m *MCC) checkSecurityScoped(ctx *pipeline.Context) ([]security.Finding, in
 		}
 		return nil
 	}
-	dirty := func(c model.Connection) bool {
-		if !m.deployedSecVerdicts[c] {
-			return true // no committed verdict for this wiring
+}
+
+// checkSecurityIndexed is checkSecurityScoped without the scan: with the
+// session list unrebuilt it aliases the committed one, every row has a
+// committed-clean verdict, so the dirty set is exactly "rows incident to
+// a touched function" — which the committed connection-position index
+// answers directly. Walking the touched names' position lists (merged
+// ascending, deduplicated) visits the same rows in the same list order
+// as the scan's dirty filter, at O(diff + dirty) instead of O(conns)
+// string splits and map hashes per proposal.
+func (m *MCC) checkSecurityIndexed(ctx *pipeline.Context) ([]security.Finding, int) {
+	d := ctx.Diff
+	var pos []int
+	for _, names := range [][]string{d.Added, d.Changed, d.Removed} {
+		for _, name := range names {
+			pos = append(pos, m.deployedConnIdx[name]...)
 		}
-		return d.Touched(security.FunctionName(c.Client)) || d.Touched(security.FunctionName(c.Server))
 	}
-	return security.CheckDomainsScoped(ctx.Impl, resolve, dirty)
+	sort.Ints(pos)
+	conns := ctx.Impl.Connections
+	resolve := m.secResolver()
+	var out []security.Finding
+	checked := 0
+	prev := -1
+	for _, i := range pos {
+		if i == prev {
+			continue // client and server both touched: one verdict
+		}
+		prev = i
+		if i < 0 || i >= len(conns) {
+			// Index out of step with the committed list — should be
+			// impossible, but a wrong verdict source is never acceptable:
+			// fall back to the scan.
+			return m.checkSecurityScoped(ctx)
+		}
+		checked++
+		c := conns[i]
+		if f, bad := security.ConnectionVerdict(resolve(c.Client), resolve(c.Server), c); bad {
+			out = append(out, f)
+		}
+	}
+	return out, checked
 }
 
 func findingStrings[T fmt.Stringer](findings []T) []string {
@@ -1210,7 +1339,7 @@ func (s *timingStage) Name() Stage { return StageTiming }
 
 func (s *timingStage) Run(ctx *pipeline.Context) error {
 	out := s.m.analyzeTiming(ctx, ctx.Impl)
-	ctx.Report.Timing = out.results
+	ctx.Report.TimingDelta = out.delta
 	ctx.TimingDigests = out.digests
 	ctx.Report.TimingScans += out.scanned
 	ctx.Report.TimingDirty += out.dirty
@@ -1234,23 +1363,25 @@ type timingJob struct {
 }
 
 // committedRes is one committed resource's timing artifacts — the CPA
-// job and its WCRT table — stored flat in deterministic resource order
-// (see MCC.deployedResList). res.Results == nil marks a table not yet
-// known: an optimistically committed resource whose deferred analysis
-// has not been verified; a splice of such an entry re-analyzes through
-// the memo instead of reusing the table.
+// job and its WCRT table — stored in deterministic resource order in
+// the chunked committed table (see MCC.deployedRes). res.Results == nil
+// marks a table not yet known: an optimistically committed resource
+// whose deferred analysis has not been verified; a splice of such an
+// entry re-analyzes through the memo instead of reusing the table.
 type committedRes struct {
 	job timingJob
 	res TimingResult
 }
 
-// timingOutcome aggregates the timing stage's results: the per-resource
-// WCRT tables, the digests to commit, the acceptance findings (deadline
-// misses and analysis errors), and the scanned/dirty/total telemetry
-// counts (how many resources had their task sets rebuilt by scanning the
-// implementation model, and how many were re-analyzed).
+// timingOutcome aggregates the timing stage's results: the WCRT tables
+// of exactly the resources this attempt re-analyzed (freshly allocated,
+// report-owned — the delta contract), the digests to commit, the
+// acceptance findings (deadline misses and analysis errors), and the
+// scanned/dirty/total telemetry counts (how many resources had their
+// task sets rebuilt by scanning the implementation model, and how many
+// were re-analyzed).
 type timingOutcome struct {
-	results  []TimingResult
+	delta    []TimingResult
 	digests  map[string]uint64
 	findings []string
 	scanned  int
@@ -1278,14 +1409,24 @@ type timingScratch struct {
 	// task sets this proposal rebuilt by scanning; the keyed commit
 	// touches exactly these entries.
 	scannedIdx []int
-	// spliceSrc, when the committed-list merge built the job list, is
-	// parallel to jobs: the deployedResList index an entry was copied
+	// spliceSrc, when the committed-table merge built the job list, is
+	// parallel to jobs: the deployedRes table index an entry was copied
 	// from, or -1 for a freshly scanned resource. Positional result reuse
 	// and the keyed commit's list rebuild read it; the map-walk path
 	// leaves it empty (length mismatch disables it).
 	spliceSrc []int
 	// affected is the sorted affected-processor scratch of the merge.
 	affected []string
+	// sparse marks that timingJobsSparse built the job list: jobs holds
+	// ONLY the scanned resources, each a positional replacement of the
+	// committed entry sparsePos records, and every untouched committed
+	// entry is implicit — the job-list cost follows the change footprint
+	// instead of the platform size. analyzeTiming and the keyed commit
+	// read the flag; every other path leaves it false.
+	sparse bool
+	// sparsePos is parallel to jobs under sparse: the deployedRes index
+	// each scanned job replaces.
+	sparsePos []int
 }
 
 // buildProcJob derives one processor's CPA task set by scanning the
@@ -1359,9 +1500,21 @@ func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel)
 	jobs = m.scratch.jobs[:0]
 	m.scratch.scannedIdx = m.scratch.scannedIdx[:0]
 	m.scratch.spliceSrc = m.scratch.spliceSrc[:0]
+	m.scratch.sparse = false
 	incremental := ctx != nil && ctx.PartialSynth && m.deployedJobs != nil
 
-	if incremental && m.deployedResList != nil {
+	if incremental && m.deployedRes != nil {
+		if m.canCommitIncremental(ctx) {
+			// Footprint-sized job list: scanned resources only, each a
+			// positional replacement in the committed table. Falls back to
+			// the full splice when the resource shape changed.
+			if js, n, ok := m.timingJobsSparse(ctx, impl, jobs); ok {
+				m.scratch.jobs = js
+				return js, n
+			}
+			jobs = m.scratch.jobs[:0]
+			m.scratch.scannedIdx = m.scratch.scannedIdx[:0]
+		}
 		jobs, scanned = m.timingJobsSpliced(ctx, impl, jobs)
 		m.scratch.jobs = jobs
 		return jobs, scanned
@@ -1377,7 +1530,20 @@ func (m *MCC) timingJobs(ctx *pipeline.Context, impl *model.ImplementationModel)
 			continue
 		}
 		scanned++
-		if j, ok := m.buildProcJob(impl, pn); ok {
+		var j timingJob
+		var ok bool
+		if over := m.pendingSynth; incremental && over != nil {
+			// The partial synthesis leaves impl.Tasks unmaterialized; the
+			// affected processors' rebuilt lists live in the overlay.
+			if tasks, have := over.tasksOn[pn]; have {
+				j, ok = m.buildProcJobFrom(pn, tasks)
+			} else {
+				j, ok = m.buildProcJob(impl, pn)
+			}
+		} else {
+			j, ok = m.buildProcJob(impl, pn)
+		}
+		if ok {
 			m.scratch.scannedIdx = append(m.scratch.scannedIdx, len(jobs))
 			jobs = append(jobs, j)
 		}
@@ -1424,7 +1590,7 @@ func (m *MCC) timingJobsSpliced(ctx *pipeline.Context, impl *model.Implementatio
 	sort.Strings(aff)
 	sc.affected = aff
 
-	list := m.deployedResList
+	t := m.deployedRes
 	over := m.pendingSynth
 	scanProc := func(pn string) {
 		scanned++
@@ -1449,8 +1615,8 @@ func (m *MCC) timingJobsSpliced(ctx *pipeline.Context, impl *model.Implementatio
 		}
 	}
 	ai := 0
-	for li := 0; li < m.deployedResProcs; li++ {
-		r := list[li].job.resource
+	for li := 0; li < t.procs; li++ {
+		r := t.at(li).job.resource
 		for ai < len(aff) && aff[ai] < r {
 			scanProc(aff[ai])
 			ai++
@@ -1460,24 +1626,24 @@ func (m *MCC) timingJobsSpliced(ctx *pipeline.Context, impl *model.Implementatio
 			ai++
 			continue
 		}
-		jobs = append(jobs, list[li].job)
+		jobs = append(jobs, t.at(li).job)
 		sc.spliceSrc = append(sc.spliceSrc, li)
 	}
 	for ; ai < len(aff); ai++ {
 		scanProc(aff[ai])
 	}
 
-	li := m.deployedResProcs
+	li := t.procs
 	for i := range m.platform.Networks {
 		n := &m.platform.Networks[i]
 		cur := -1
-		if li < len(list) && list[li].job.resource == n.Name {
+		if li < t.n && t.at(li).job.resource == n.Name {
 			cur = li
 			li++
 		}
 		if netClean(ctx, n.Name) {
 			if cur >= 0 {
-				jobs = append(jobs, list[cur].job)
+				jobs = append(jobs, t.at(cur).job)
 				sc.spliceSrc = append(sc.spliceSrc, cur)
 			}
 			continue
@@ -1492,6 +1658,89 @@ func (m *MCC) timingJobsSpliced(ctx *pipeline.Context, impl *model.Implementatio
 	return jobs, scanned
 }
 
+// timingJobsSparse builds the job list of an attempt whose affected
+// resources all replace their committed table entries in place: only the
+// scanned jobs are materialized (sparsePos records the committed index
+// each one replaces), every untouched resource stays implicit in the
+// committed table, and the job-construction cost follows the change
+// footprint instead of the platform size. The committed order is
+// preserved by construction — affected processors are visited sorted,
+// networks in platform order, matching the table's layout — so findings,
+// deltas and telemetry come out exactly as the full splice would emit
+// them. Any shape change (a resource gaining its first load, losing its
+// last, or absent from the table) returns ok=false and the caller runs
+// the full splice.
+func (m *MCC) timingJobsSparse(ctx *pipeline.Context, impl *model.ImplementationModel, jobs []timingJob) ([]timingJob, int, bool) {
+	sc := &m.scratch
+	t := m.deployedRes
+	over := m.pendingSynth
+	scanned := 0
+
+	aff := sc.affected[:0]
+	for pn, on := range ctx.AffectedProcs {
+		if on {
+			aff = append(aff, pn)
+		}
+	}
+	sort.Strings(aff)
+	sc.affected = aff
+
+	pos := sc.sparsePos[:0]
+	for _, pn := range aff {
+		scanned++
+		var j timingJob
+		var ok bool
+		if over != nil {
+			if tasks, have := over.tasksOn[pn]; have {
+				j, ok = m.buildProcJobFrom(pn, tasks)
+			} else {
+				j, ok = m.buildProcJob(impl, pn)
+			}
+		} else {
+			j, ok = m.buildProcJob(impl, pn)
+		}
+		li := t.find(pn)
+		if !ok {
+			if li >= 0 {
+				return nil, 0, false // lost its last load: shape change
+			}
+			continue // no load before or after: not in the table at all
+		}
+		if li < 0 || t.at(li).job.spnp {
+			return nil, 0, false // gained its first load: shape change
+		}
+		sc.scannedIdx = append(sc.scannedIdx, len(jobs))
+		jobs = append(jobs, j)
+		pos = append(pos, li)
+	}
+	if ctx.MessagesRebuilt {
+		for i := range m.platform.Networks {
+			n := &m.platform.Networks[i]
+			if netClean(ctx, n.Name) {
+				continue
+			}
+			scanned++
+			j, ok := m.buildNetJob(impl, n)
+			li := t.find(n.Name)
+			if !ok {
+				if li >= 0 {
+					return nil, 0, false
+				}
+				continue
+			}
+			if li < 0 || !t.at(li).job.spnp {
+				return nil, 0, false
+			}
+			sc.scannedIdx = append(sc.scannedIdx, len(jobs))
+			jobs = append(jobs, j)
+			pos = append(pos, li)
+		}
+	}
+	sc.sparsePos = pos
+	sc.sparse = true
+	return jobs, scanned, true
+}
+
 // netClean reports whether a network's message list is untouched by the
 // attempt: no message rebuild at all, or a rebuild that left this
 // network's list identical (ctx.AffectedNets).
@@ -1504,17 +1753,16 @@ func netClean(ctx *pipeline.Context, name string) bool {
 
 // deferredChecks carries one optimistically committed proposal's deferred
 // acceptance checks (mcc.StreamScheduler): the safety/security inputs and
-// the timing jobs in deterministic resource order, with the results
-// already known for clean resources and which entries still need a
-// busy-window verdict. The failed flags are written by the scheduler's
-// prefetch pool and read after its barrier.
+// the dirty timing jobs — exactly the resources still needing a
+// busy-window verdict, in deterministic resource order. Clean resources'
+// tables live in the committed state and are not replicated here. The
+// failed flags are written by the scheduler's prefetch pool and read
+// after its barrier.
 type deferredChecks struct {
 	tech *model.TechnicalArchitecture
 	impl *model.ImplementationModel
 
-	jobs    []timingJob
-	results []TimingResult
-	pending []bool
+	jobs []timingJob
 
 	safetyFailed   bool
 	securityFailed bool
@@ -1560,8 +1808,11 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 
 	sc := &m.scratch
 	out := timingOutcome{scanned: scanned, total: len(jobs)}
-	if len(jobs) > 0 {
-		out.results = make([]TimingResult, 0, len(jobs))
+	if sc.sparse {
+		// The job list holds only the scanned resources; the attempt
+		// still covers every committed one (positional replacements keep
+		// the table's shape).
+		out.total = m.deployedRes.n
 	}
 	if ctx == nil || !m.canCommitIncremental(ctx) {
 		// The from-scratch commit refills the digest cache wholesale and
@@ -1578,7 +1829,7 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 		out.digests = sc.digests
 	}
 
-	spliced := len(sc.spliceSrc) == len(jobs) && len(jobs) > 0
+	spliced := !sc.sparse && len(sc.spliceSrc) == len(jobs) && len(jobs) > 0
 	clean := func(i int) (TimingResult, bool) {
 		if !m.incTiming {
 			return TimingResult{}, false
@@ -1591,7 +1842,7 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 				// whose verified result lives only in the map (the stream
 				// scheduler backfills it there) — fall through to the map
 				// probe for those rare entries.
-				if tr := m.deployedResList[k].res; tr.Results != nil {
+				if tr := m.deployedRes.at(k).res; tr.Results != nil {
 					return tr, true
 				}
 			}
@@ -1605,17 +1856,16 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 	}
 
 	if ctx != nil && ctx.DeferChecks {
+		// Record only the dirty jobs: clean resources keep their committed
+		// tables (reachable through the report's committed handle), and
+		// the delta stays empty until the verification pass fills it with
+		// the deferred verdicts.
 		dt := m.deferred()
-		dt.jobs = append([]timingJob(nil), jobs...)
-		dt.results = make([]TimingResult, len(jobs))
-		dt.pending = make([]bool, len(jobs))
 		for i := range jobs {
-			if tr, ok := clean(i); ok {
-				dt.results[i] = tr
-				out.results = append(out.results, tr)
+			if _, ok := clean(i); ok {
 				continue
 			}
-			dt.pending[i] = true
+			dt.jobs = append(dt.jobs, jobs[i])
 			out.dirty++
 		}
 		return out
@@ -1686,7 +1936,18 @@ func (m *MCC) analyzeTiming(ctx *pipeline.Context, impl *model.ImplementationMod
 						r.Name, jobs[i].resource, r.WCRTUS, r.DeadlineUS))
 			}
 		}
-		out.results = append(out.results, results[i])
+	}
+	// Report-owned delta: fresh deep copies of exactly the re-analyzed
+	// resources' tables, in job order (dirty is ascending). Clean
+	// resources' tables stay behind the committed handle. On a
+	// from-scratch pass every job is dirty, so delta == full table.
+	if len(dirty) > 0 {
+		out.delta = make([]TimingResult, 0, len(dirty))
+		for _, i := range dirty {
+			if errs[i] == nil {
+				out.delta = append(out.delta, pipeline.CloneTimingResult(results[i]))
+			}
+		}
 	}
 	return out
 }
@@ -1840,10 +2101,10 @@ func (s *monitorStage) Name() Stage { return StageMonitors }
 
 func (s *monitorStage) Run(ctx *pipeline.Context) error {
 	m := s.m
-	if ctx.PartialSynth && m.deployedMonitors != nil {
-		ctx.Report.Monitors = m.spliceMonitors(ctx)
+	if ctx.PartialSynth && m.deployedRes != nil {
+		ctx.Report.MonitorDelta = m.monitorDelta(ctx)
 	} else {
-		ctx.Report.Monitors = m.planMonitors(ctx.Impl)
+		ctx.Report.MonitorDelta = m.planMonitors(ctx.Impl)
 	}
 	return nil
 }
@@ -1907,90 +2168,44 @@ func jobMonitorSpecs(j timingJob) []MonitorSpec {
 	return out
 }
 
-// spliceMonitors derives the monitor plan diff-proportionally: budget
-// specs are rebuilt only for processors the partial synthesis touched
-// (taken from the per-resource timing jobs, which are already
-// diff-proportional), rate specs only when the message list was
-// re-derived; everything else is spliced from the deployed plan via a
-// single linear merge. The result is element-for-element identical to
-// planMonitors on the same implementation model.
-func (m *MCC) spliceMonitors(ctx *pipeline.Context) []MonitorSpec {
-	// Targets whose deployed budget specs are superseded: every budget
-	// spec of an affected processor. Task names are instance IDs, unique
-	// across the plan, so a sorted target list merges against the sorted
-	// deployed plan without a hash lookup per spec.
-	var dropList []string
-	for pn := range ctx.AffectedProcs {
-		for _, spec := range m.deployedBudgetByProc[pn] {
-			dropList = append(dropList, spec.Target)
-		}
-	}
-	sort.Strings(dropList)
-
-	// Fresh specs from the rebuilt resources' timing jobs: exactly the
-	// jobs this proposal scanned (affected processors), plus — when the
-	// message list was re-derived — every network job, spliced or not,
-	// since the merge below supersedes the whole deployed rate section.
-	var fresh []MonitorSpec
+// monitorDelta derives the monitor specs of exactly the resources this
+// attempt rebuilt: budget specs of the scanned processors' timing jobs,
+// plus — when the message list was re-derived — the rate specs of every
+// network job. The result is freshly allocated and report-owned. The
+// committed plan is never materialized here: consumers reach it through
+// the report's FullMonitors handle, which derives it on demand from the
+// committed table (see resTable.materializeMonitors), so the monitor
+// stage's cost follows the change footprint, not the platform size.
+func (m *MCC) monitorDelta(ctx *pipeline.Context) []MonitorSpec {
+	var out []MonitorSpec
 	rebuilt := 0
 	for _, i := range m.scratch.scannedIdx {
 		if j := m.pendingJobs[i]; !j.spnp {
-			fresh = append(fresh, jobMonitorSpecs(j)...)
+			out = append(out, jobMonitorSpecs(j)...)
 			rebuilt++
 		}
 	}
 	if ctx.MessagesRebuilt {
 		for i := len(m.pendingJobs) - 1; i >= 0 && m.pendingJobs[i].spnp; i-- {
-			fresh = append(fresh, jobMonitorSpecs(m.pendingJobs[i])...)
+			out = append(out, jobMonitorSpecs(m.pendingJobs[i])...)
 			rebuilt++
 		}
-	}
-	sortMonitorSpecs(fresh)
-	// fresh is (kind, target)-sorted: budget prefix, rate suffix.
-	freshRate := sort.Search(len(fresh), func(i int) bool { return fresh[i].Kind > MonitorBudget })
-
-	// The deployed plan is (kind, target)-sorted too: a budget section
-	// then a rate section. The budget section is merged with the fresh
-	// budget specs via cut points — untouched runs are bulk-copied, the
-	// dropped and inserted targets are found by binary search — and the
-	// rate section is either copied verbatim (messages untouched) or
-	// replaced wholesale by the fresh rate specs.
-	dep := m.deployedMonitors
-	depRate := sort.Search(len(dep), func(i int) bool { return dep[i].Kind > MonitorBudget })
-	out := make([]MonitorSpec, 0, len(dep)+len(fresh))
-
-	seg, freshBud := dep[:depRate], fresh[:freshRate]
-	pos, fi, di := 0, 0, 0
-	for di < len(dropList) || fi < len(freshBud) {
-		var nextTgt string
-		useDrop := false
-		if di < len(dropList) && (fi >= len(freshBud) || dropList[di] <= freshBud[fi].Target) {
-			nextTgt, useDrop = dropList[di], true
-		} else {
-			nextTgt = freshBud[fi].Target
-		}
-		cut := pos + sort.Search(len(seg)-pos, func(k int) bool { return seg[pos+k].Target >= nextTgt })
-		out = append(out, seg[pos:cut]...)
-		pos = cut
-		if useDrop {
-			if pos < len(seg) && seg[pos].Target == nextTgt {
-				pos++
+		if m.scratch.sparse {
+			// The sparse job list carries only the rebuilt networks; the
+			// delta still covers every network when messages were
+			// re-derived, so emit the clean ones' specs from their
+			// committed jobs (the network suffix of the table).
+			t := m.deployedRes
+			for li := t.procs; li < t.n; li++ {
+				if j := t.at(li).job; netClean(ctx, j.resource) {
+					out = append(out, jobMonitorSpecs(j)...)
+					rebuilt++
+				}
 			}
-			di++
-		} else {
-			out = append(out, freshBud[fi])
-			fi++
 		}
 	}
-	out = append(out, seg[pos:]...)
-
-	if ctx.MessagesRebuilt {
-		out = append(out, fresh[freshRate:]...)
-	} else {
-		out = append(out, dep[depRate:]...)
-	}
-	ctx.Note("spliced %d/%d monitors from the deployed plan (%d resources rebuilt)",
-		len(out)-len(fresh), len(out), rebuilt)
+	sortMonitorSpecs(out)
+	ctx.Note("monitor delta: %d resources rebuilt (%d specs)", rebuilt, len(out))
 	return out
 }
 
@@ -2018,6 +2233,11 @@ func (m *MCC) canCommitIncremental(ctx *pipeline.Context) bool {
 // them.
 func (s *commitStage) Run(ctx *pipeline.Context) error {
 	m := s.m
+	if m.deployed != ctx.Candidate {
+		// A clone-based candidate replaces the deployed slice wholesale;
+		// the committed function index no longer describes it.
+		m.fnIdx = nil
+	}
 	m.deployed = ctx.Candidate
 	m.impl = ctx.Impl
 	if m.canCommitIncremental(ctx) {
@@ -2025,8 +2245,27 @@ func (s *commitStage) Run(ctx *pipeline.Context) error {
 	} else {
 		s.commitFull(ctx)
 	}
-	m.deployedMonitors = ctx.Report.Monitors
+	m.bindReport(ctx.Report)
 	return nil
+}
+
+// bindReport attaches the just-committed table to the accepted report's
+// materialize-on-demand whole-table handle (Report.FullTiming /
+// FullMonitors). The table pointer is captured by value: later commits
+// install new tables without disturbing this snapshot, and the chunked
+// copy-on-write patching keeps the shared storage alive at O(diff) cost
+// per commit. The window heal map is captured alongside for reports
+// committed inside an open stream window, whose deferred analyses are
+// verified — and their tables learned — only after the commit.
+func (m *MCC) bindReport(rep *Report) {
+	t, heals := m.deployedRes, m.windowHeals
+	if t == nil {
+		return
+	}
+	rep.BindCommitted(
+		func() []TimingResult { return t.materializeTiming(heals) },
+		func() []MonitorSpec { return t.materializeMonitors() },
+	)
 }
 
 // commitFull rebuilds every deployed cache from this attempt's artifacts.
@@ -2043,16 +2282,28 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	// the degradation ladder is lifted: the suspect state is gone.
 	m.quarantined = false
 
+	// Per-resource WCRT tables of the new committed configuration, read
+	// before the old maps are replaced: a non-deferred attempt analyzed
+	// (or spliced) every job, so pendingResults is complete; a deferred
+	// attempt has no results yet — only digest-clean resources keep their
+	// tables, probed from the old committed maps.
+	timing := make(map[string]TimingResult, len(m.pendingJobs))
+	for i, jb := range m.pendingJobs {
+		switch {
+		case m.pendingResults != nil:
+			timing[jb.resource] = m.pendingResults[i]
+		case m.deployedDigest[jb.resource] == jb.digest:
+			if tr, ok := m.deployedTiming[jb.resource]; ok {
+				timing[jb.resource] = tr
+			}
+		}
+	}
+
 	digests := make(map[string]uint64, len(ctx.TimingDigests))
 	for k, v := range ctx.TimingDigests {
 		digests[k] = v
 	}
 	m.deployedDigest = digests
-
-	timing := make(map[string]TimingResult, len(ctx.Report.Timing))
-	for _, tr := range ctx.Report.Timing {
-		timing[tr.Resource] = tr
-	}
 	m.deployedTiming = timing
 
 	// Persist the per-resource CPA task sets so the next proposal's
@@ -2063,7 +2314,7 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	}
 	m.deployedJobs = jobs
 
-	// Flat committed-resource accelerator: the job list is already in
+	// Chunked committed-resource table: the job list is already in
 	// deterministic resource order (processor prefix, then networks), and
 	// the timing map just built holds whatever tables are known (all of
 	// them on a verified commit, clean ones only under deferred checks).
@@ -2075,15 +2326,7 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 		}
 		list[i] = committedRes{job: jb, res: timing[jb.resource]}
 	}
-	m.deployedResList, m.deployedResProcs = list, procCount
-
-	budgets := make(map[string][]MonitorSpec)
-	for _, j := range m.pendingJobs {
-		if !j.spnp {
-			budgets[j.resource] = jobMonitorSpecs(j)
-		}
-	}
-	m.deployedBudgetByProc = budgets
+	m.deployedRes = resTableFrom(list, procCount)
 
 	// Rebuild the synthesis lookup tables and the per-connection security
 	// verdict cache only when the incremental pre-timing stages (their
@@ -2095,6 +2338,8 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 			sec[c] = true
 		}
 		m.deployedSecVerdicts = sec
+		m.deployedConnIdx = connPosIndex(ctx.Impl.Connections)
+		m.deployedInstTotal = len(ctx.Impl.Tech.Instances)
 		m.deployedFlowTouch = flowTouchIndex(ctx.Candidate.Flows)
 		m.deployedLoads = committedLoads(m, ctx.Impl.Tech.Instances)
 		prov := make(map[string]int)
@@ -2122,6 +2367,24 @@ func committedLoads(m *MCC, instances []model.Instance) []procLoad {
 		loads[i].ramKiB += f.Contract.Resources.RAMKiB
 	}
 	return loads
+}
+
+// connPosIndex maps each function name to the ascending positions of the
+// committed connections it is incident to (client or server side) — the
+// committed index behind the indexed scoped security check. Always built
+// fresh, never mutated in place, so a window journal rolls it back by
+// restoring the window-start pointer.
+func connPosIndex(conns []model.Connection) map[string][]int {
+	out := make(map[string][]int)
+	for i, c := range conns {
+		cl := security.FunctionName(c.Client)
+		sv := security.FunctionName(c.Server)
+		out[cl] = append(out[cl], i)
+		if sv != cl {
+			out[sv] = append(out[sv], i)
+		}
+	}
+	return out
 }
 
 // flowTouchIndex maps every function name a flow references to true —
@@ -2153,10 +2416,16 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 
 	// The warm-started mapping's placer buffer already holds the final
 	// per-processor totals of the accepted placement; take ownership of it
-	// as the new committed loads. The previous slice is left intact, so a
-	// window journal rolls back by restoring the window-start pointer.
+	// as the new committed loads. The previous slice is recycled as the
+	// next proposal's placer buffer — unless a window journal holds it as
+	// its rollback pointer, in which case it must stay intact.
 	if m.pendingLoads != nil {
-		m.deployedLoads, m.pendingLoads, m.loadScratch = m.pendingLoads, nil, nil
+		old := m.deployedLoads
+		m.deployedLoads, m.pendingLoads = m.pendingLoads, nil
+		m.loadScratch = nil
+		if j == nil || len(old) == 0 || len(j.loads) == 0 || &old[0] != &j.loads[0] {
+			m.loadScratch = old
+		}
 	}
 
 	// Index this attempt's freshly scanned jobs by resource.
@@ -2189,11 +2458,6 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 	}
 	for pn := range ctx.AffectedProcs {
 		commitResource(pn)
-		if i, ok := fresh[pn]; ok && !m.pendingJobs[i].spnp {
-			jset(j.jBudgets(), m.deployedBudgetByProc, pn, jobMonitorSpecs(m.pendingJobs[i]))
-		} else {
-			jdel(j.jBudgets(), m.deployedBudgetByProc, pn)
-		}
 	}
 	if ctx.MessagesRebuilt {
 		for i := range m.platform.Networks {
@@ -2203,14 +2467,72 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 		}
 	}
 
-	// Committed-resource list: this attempt's job list is the new
-	// committed resource order. Spliced entries carry their table over by
-	// index; scanned entries take this attempt's fresh table (or none yet
-	// under deferred checks — the map probe below finds the committed
-	// table of a digest-clean rescan and misses for a dirty one, whose
-	// table the stream scheduler's verification backfills into the map).
-	// The fresh slice leaves the window-start list intact for rollback.
-	if m.deployedResList != nil && len(m.scratch.spliceSrc) == len(m.pendingJobs) {
+	// Committed-resource table: this attempt's job list is the new
+	// committed resource order. When the splice left the shape unchanged
+	// (same length, every spliced entry in place, every scanned position
+	// replacing the same resource), the table is patched copy-on-write —
+	// spine plus affected chunks, O(diff) — leaving the previous table (a
+	// window rollback point, a bound report snapshot) intact and shared.
+	// A shape change (resources gaining or losing load) or a map-walk job
+	// list rebuilds the table wholesale, O(n) but rare in steady state.
+	// Either way an accepted commit always leaves a non-nil table, so
+	// report binding and DeployedMonitors stay universally valid. Scanned
+	// entries take this attempt's fresh table (or none yet under deferred
+	// checks — the map probe finds the committed table of a digest-clean
+	// rescan and misses for a dirty one, whose table the stream
+	// scheduler's verification patches in on success).
+	t := m.deployedRes
+	if m.scratch.sparse {
+		// Sparse job list: every entry is a positional replacement of the
+		// committed index sparsePos records; patch copy-on-write exactly
+		// like the aligned splice, without ever materializing the full
+		// list. (The wholesale-rebuild branch below must not run here —
+		// it would take the footprint-sized job list for the platform.)
+		updates := make([]resUpdate, 0, len(m.scratch.scannedIdx))
+		for k, i := range m.scratch.scannedIdx {
+			jb := m.pendingJobs[i]
+			cr := committedRes{job: jb}
+			switch {
+			case m.pendingResults != nil:
+				cr.res = m.pendingResults[i]
+			default:
+				if tr, ok := m.deployedTiming[jb.resource]; ok && m.deployedDigest[jb.resource] == jb.digest {
+					cr.res = tr
+				}
+			}
+			updates = append(updates, resUpdate{m.scratch.sparsePos[k], cr})
+		}
+		m.deployedRes = t.patch(updates)
+	}
+	aligned := !m.scratch.sparse && t != nil && t.n == len(m.pendingJobs) && len(m.scratch.spliceSrc) == len(m.pendingJobs)
+	if aligned {
+		for i, src := range m.scratch.spliceSrc {
+			if src == i {
+				continue
+			}
+			if src != -1 || t.at(i).job.resource != m.pendingJobs[i].resource || t.at(i).job.spnp != m.pendingJobs[i].spnp {
+				aligned = false
+				break
+			}
+		}
+	}
+	if aligned {
+		updates := make([]resUpdate, 0, len(m.scratch.scannedIdx))
+		for _, i := range m.scratch.scannedIdx {
+			jb := m.pendingJobs[i]
+			cr := committedRes{job: jb}
+			switch {
+			case m.pendingResults != nil:
+				cr.res = m.pendingResults[i]
+			default:
+				if tr, ok := m.deployedTiming[jb.resource]; ok && m.deployedDigest[jb.resource] == jb.digest {
+					cr.res = tr
+				}
+			}
+			updates = append(updates, resUpdate{i, cr})
+		}
+		m.deployedRes = t.patch(updates)
+	} else if !m.scratch.sparse {
 		list := make([]committedRes, len(m.pendingJobs))
 		procCount := 0
 		for i, jb := range m.pendingJobs {
@@ -2219,8 +2541,8 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 			}
 			cr := committedRes{job: jb}
 			switch {
-			case m.scratch.spliceSrc[i] >= 0:
-				cr.res = m.deployedResList[m.scratch.spliceSrc[i]].res
+			case len(m.scratch.spliceSrc) == len(m.pendingJobs) && m.scratch.spliceSrc[i] >= 0:
+				cr.res = t.at(m.scratch.spliceSrc[i]).res
 				if cr.res.Results == nil {
 					// Deferred-committed entry: heal from the map, which
 					// the verification pass backfilled (zero if still
@@ -2236,11 +2558,7 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 			}
 			list[i] = cr
 		}
-		m.deployedResList, m.deployedResProcs = list, procCount
-	} else {
-		// The job list was built by the map walk (cold list); drop the
-		// accelerator until the next from-scratch commit rebuilds it.
-		m.deployedResList, m.deployedResProcs = nil, 0
+		m.deployedRes = resTableFrom(list, procCount)
 	}
 
 	// Security verdict cache: the connection set changes only when the
@@ -2264,6 +2582,11 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 				jset(j.jSec(), m.deployedSecVerdicts, c, true)
 			}
 		}
+		// The position index describes the committed list; a rebuilt list
+		// gets a fresh index (rollback restores the window-start pointer).
+		if m.deployedConnIdx != nil {
+			m.deployedConnIdx = connPosIndex(ctx.Impl.Connections)
+		}
 	}
 
 	// Apply the synthesis lookup overlay: diff-touched functions are
@@ -2272,6 +2595,13 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 	// committed occurrences (read before the overlay overwrites them),
 	// increment the candidate's.
 	sc, over := m.deployedSynth, m.pendingSynth
+	// Committed instance count: touched functions' committed replicas
+	// out, fresh placements in — read before the overlay overwrites the
+	// committed entries. Rollback restores the window-start value saved
+	// by beginWindow.
+	for name := range over.fns {
+		m.deployedInstTotal += len(over.insts[name]) - len(sc.instancesOf[name])
+	}
 	for name, f := range over.fns {
 		if old := sc.fnByName[name]; old != nil && m.svcProviders != nil {
 			for _, svc := range old.Provides {

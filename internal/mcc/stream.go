@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/mcc/pipeline"
 	"repro/internal/model"
 	"repro/internal/safety"
 	"repro/internal/security"
@@ -297,8 +298,8 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 				dt.securityChecked = checked
 			}))
 		}
-		for i, j := range dt.jobs {
-			if dt.pending[i] && !seen[analysisKey(j)] {
+		for _, j := range dt.jobs {
+			if !seen[analysisKey(j)] {
 				seen[analysisKey(j)] = true
 				s.stats.Prefetched++
 				job := j
@@ -389,8 +390,12 @@ func (s *StreamScheduler) prefetch(tasks []func()) {
 // prefetched safety and security verdicts are inspected, and every
 // deferred busy-window verdict is read back (a memo hit after prefetch)
 // and checked exactly as the timing stage would have. On success the
-// report's WCRT table is completed in deterministic resource order and
-// the committed tables are backfilled; on any failed check it reports
+// report's timing delta is filled with fresh copies of the deferred
+// verdicts, the committed timing map is backfilled (journaled, so a
+// later proposal's failed verdict rolls it back), the window heal map
+// learns the verdicts for the table snapshots bound by this window's
+// earlier commits, and the live committed table is patched copy-on-write
+// so post-window snapshots are complete. On any failed check it reports
 // false and leaves the caller to replay the window.
 func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 	// A tainted record means a prefetch task for this proposal hit a
@@ -409,15 +414,13 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 		return false
 	}
 	m := s.m
-	// dt.results already holds every clean resource's table; fill the
-	// pending slots in place (a memo hit after prefetch) and hand the
-	// completed slice to the report — no second O(resources) copy.
-	results := dt.results
-	for i, j := range dt.jobs {
-		if !dt.pending[i] {
-			continue
-		}
-		res, err := m.runTimingJobSafe(nil, j)
+	if len(dt.jobs) == 0 {
+		return true
+	}
+	delta := make([]TimingResult, 0, len(dt.jobs))
+	var updates []resUpdate
+	for _, job := range dt.jobs {
+		res, err := m.runTimingJobSafe(nil, job)
 		if err != nil {
 			return false
 		}
@@ -426,15 +429,24 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 				return false
 			}
 		}
-		results[i] = res
-	}
-	rep.Timing = results
-	for i, j := range dt.jobs {
-		if dt.pending[i] {
-			// The window is still open: the backfill must be journaled so
-			// a later proposal's failed verdict rolls it back too.
-			jset(m.journal.jTiming(), m.deployedTiming, j.resource, results[i])
+		jset(m.journal.jTiming(), m.deployedTiming, job.resource, res)
+		if m.windowHeals != nil {
+			m.windowHeals[resDigestKey{job.resource, job.digest}] = res
 		}
+		if t := m.deployedRes; t != nil {
+			if k := t.find(job.resource); k >= 0 {
+				if cr := t.at(k); cr.job.digest == job.digest && cr.res.Results == nil {
+					updates = append(updates, resUpdate{k, committedRes{job: cr.job, res: res}})
+				}
+			}
+		}
+		delta = append(delta, pipeline.CloneTimingResult(res))
+	}
+	rep.TimingDelta = delta
+	if len(updates) > 0 {
+		// The patch leaves the window-start table (the journal's rollback
+		// pointer) and every bound snapshot intact.
+		m.deployedRes = m.deployedRes.patch(updates)
 	}
 	return true
 }

@@ -88,17 +88,20 @@ func cacheFingerprint(m *MCC) map[string]any {
 			tasks[pn] = ts
 		}
 	}
+	// DeployedImpl materializes the flat Tasks/Instances lists, so a
+	// streamed (lazily committed) controller fingerprints the same as a
+	// serially rebuilt one.
+	impl := m.DeployedImpl()
 	return map[string]any{
 		"deployed": m.deployed,
 		"secVerd":  m.deployedSecVerdicts,
-		"tasks":    m.impl.Tasks,
-		"messages": m.impl.Messages,
-		"conns":    m.impl.Connections,
+		"tasks":    impl.Tasks,
+		"messages": impl.Messages,
+		"conns":    impl.Connections,
 		"digests":  m.deployedDigest,
 		"timing":   m.deployedTiming,
 		"jobs":     m.deployedJobs,
-		"budgets":  m.deployedBudgetByProc,
-		"monitors": m.deployedMonitors,
+		"monitors": m.DeployedMonitors(),
 		"synFns":   fns,
 		"synIns":   insts,
 		"synTasks": tasks,

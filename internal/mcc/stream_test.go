@@ -138,12 +138,12 @@ func TestMonitorSpliceMatchesFullPlan(t *testing.T) {
 			t.Fatalf("%s rejected: %v (%s)", step.name, rep.Findings, rep.RejectedAt)
 		}
 		want := m.planMonitors(m.DeployedImpl())
-		if !reflect.DeepEqual(rep.Monitors, want) {
-			t.Fatalf("%s: spliced plan diverges from full plan:\nspliced %+v\nfull    %+v",
-				step.name, rep.Monitors, want)
+		if got := rep.FullMonitors(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: materialized plan diverges from full plan:\nmaterialized %+v\nfull         %+v",
+				step.name, got, want)
 		}
-		if tr := rep.StageTraceFor(StageMonitors); step.splice && (tr == nil || !strings.Contains(tr.Note, "spliced")) {
-			t.Fatalf("%s: monitor trace = %+v, want splice telemetry", step.name, tr)
+		if tr := rep.StageTraceFor(StageMonitors); step.splice && (tr == nil || !strings.Contains(tr.Note, "monitor delta")) {
+			t.Fatalf("%s: monitor trace = %+v, want delta telemetry", step.name, tr)
 		}
 	}
 }
@@ -177,8 +177,8 @@ func TestMonitorPlanUntouchedByRejection(t *testing.T) {
 	if !rep.Accepted {
 		t.Fatalf("post-rejection proposal rejected: %v", rep.Findings)
 	}
-	if want := m.planMonitors(m.DeployedImpl()); !reflect.DeepEqual(rep.Monitors, want) {
-		t.Fatalf("post-rejection splice diverges from full plan")
+	if want := m.planMonitors(m.DeployedImpl()); !reflect.DeepEqual(rep.FullMonitors(), want) {
+		t.Fatalf("post-rejection monitor plan diverges from full plan")
 	}
 }
 

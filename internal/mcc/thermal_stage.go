@@ -52,8 +52,10 @@ func (s ThermalBudgetStage) Run(ctx *pipeline.Context) error {
 	}
 	// Per-processor utilization of the synthesized tasks (WCET is already
 	// speed-scaled, so wcet/period is the busy fraction on that core).
+	// ctx.Tasks(), not ctx.Impl.Tasks: the incremental path leaves the
+	// flat list unmaterialized, and a direct read would see nothing.
 	utilByProc := make(map[string]int64)
-	for _, t := range ctx.Impl.Tasks {
+	for _, t := range ctx.Tasks() {
 		if t.PeriodUS > 0 {
 			utilByProc[t.Processor] += t.WCETUS * 1_000_000 / t.PeriodUS
 		}

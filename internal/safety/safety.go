@@ -168,6 +168,12 @@ func checkRedundancyScoped(t *model.TechnicalArchitecture, touched func(string) 
 			out = append(out, fd)
 		}
 	}
+	// Name-sorted emission: the scan above visits functions in
+	// architecture order, the entity-driven variant (CheckEntities) only
+	// has the touched names — sorting both makes every path emit the same
+	// finding sequence, which the serial-vs-incremental report parity of
+	// the MCC depends on. One finding per function, so the order is total.
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
 	return out, checked
 }
 
@@ -253,6 +259,89 @@ func CheckScoped(t *model.TechnicalArchitecture, touched func(string) bool, proc
 	mem, n := checkMemoryScoped(t, procs, look)
 	out = append(out, mem...)
 	checked += n
+	return out, checked
+}
+
+// CheckEntities runs the diff-scoped safety checks driven by explicit
+// entity lists instead of architecture scans. CheckScoped restricts full
+// walks over t.Instances and t.Func.Functions with predicates — still
+// O(platform) per proposal even for a one-function change — while this
+// variant visits exactly the named entities through caller-supplied
+// resolvers, so its cost is the size of the change footprint. The
+// verdicts come from the same per-entity rules (placementFinding,
+// redundancyFinding, memoryFinding), and the emission order matches
+// CheckScoped: placement findings in canonical (function, replica) order
+// restricted to the touched functions, redundancy findings name-sorted,
+// memory findings processor-name-sorted.
+//
+// touched must be name-sorted and duplicate-free, affectedProcs
+// name-sorted. instancesOf returns a touched function's candidate
+// replicas replica-ascending (empty for a removed function); residentsOn
+// returns every candidate instance hosted on an affected processor. fn
+// and proc resolve candidate functions and platform processors by name
+// (nil for unknown, exactly like the lookup misses of the scan-based
+// path). The splice contract of CheckScoped applies unchanged: entities
+// outside the lists must be committed-clean with unchanged inputs.
+func CheckEntities(
+	touched, affectedProcs []string,
+	fn func(string) *model.Function,
+	proc func(string) *model.Processor,
+	instancesOf func(string) []model.Instance,
+	residentsOn func(string) []model.Instance,
+) ([]Finding, int) {
+	var out []Finding
+	checked := 0
+	// ASIL placement of every candidate replica of a touched function.
+	for _, name := range touched {
+		f := fn(name)
+		for _, in := range instancesOf(name) {
+			checked++
+			if fd, bad := placementFinding(f, proc(in.Processor), in); bad {
+				out = append(out, fd)
+			}
+		}
+	}
+	// Fail-operational redundancy of the touched functions still present
+	// in the candidate; touched is sorted, so the emission is name-sorted
+	// like checkRedundancyScoped's.
+	for _, name := range touched {
+		f := fn(name)
+		if f == nil || !f.Contract.FailOperational {
+			continue
+		}
+		checked++
+		ins := instancesOf(name)
+		replicaProcs := make([]string, len(ins))
+		for i, in := range ins {
+			replicaProcs[i] = in.Processor
+		}
+		if fd, bad := redundancyFinding(f, replicaProcs); bad {
+			out = append(out, fd)
+		}
+	}
+	// RAM budget of every affected processor. A processor none of whose
+	// residents resolve gets no verdict — the map-based path never creates
+	// its demand entry, so counting it here would skew the telemetry
+	// parity (and verdict a processor the full check skips).
+	for _, pn := range affectedProcs {
+		var demand int64
+		resolved := false
+		for _, in := range residentsOn(pn) {
+			f := fn(in.Function)
+			if f == nil {
+				continue
+			}
+			resolved = true
+			demand += f.Contract.Resources.RAMKiB
+		}
+		if !resolved {
+			continue
+		}
+		checked++
+		if fd, bad := memoryFinding(proc(pn), demand); bad {
+			out = append(out, fd)
+		}
+	}
 	return out, checked
 }
 

@@ -9,11 +9,11 @@ import (
 
 // Per-proposal allocation flatness: the O(diff) admission path must not
 // allocate proportionally to the platform. The change-driven diff, the
-// in-place candidate mutation, and the committed-list splices keep the
-// per-proposal allocation *count* constant-ish — measured ~79 allocs at
-// 32 processors vs ~86 at 2048 (the big tables that do scale with the
-// platform, the report's timing map and monitor plan, are each one or
-// two allocations regardless of entry count). A regression that
+// in-place candidate mutation, the committed-list splices, and the
+// delta-report contract (reports carry TimingDelta/MonitorDelta —
+// footprint-sized — and whole tables only materialize on demand) keep
+// the per-proposal allocation *count* constant-ish — measured ~71
+// allocs at 32 processors vs ~76 at 2048. A regression that
 // reintroduces a per-function or per-resource allocation — a clone, a
 // map rebuild, a per-entry box — blows the ratio up by orders of
 // magnitude, so the 2x bound below is loose against noise yet tight

@@ -91,7 +91,11 @@ func (fs *FullStack) Deploy(fa *model.FunctionalArchitecture) (*mcc.Report, erro
 // a clean re-install keeps the semantics obvious.)
 func (fs *FullStack) apply(rep *mcc.Report) error {
 	fs.deployGen++
-	impl := rep.Impl
+	// The committed model, not rep.Impl: an incrementally accepted report
+	// carries unmaterialized flat lists; DeployedImpl materializes them
+	// (apply only runs on accepted reports, where the two are the same
+	// model).
+	impl := fs.MCC.DeployedImpl()
 
 	// Fresh component/task namespace per generation would complicate
 	// bookkeeping; instead remove all known tasks first.
@@ -156,7 +160,7 @@ func (fs *FullStack) apply(rep *mcc.Report) error {
 			return err
 		}
 	}
-	for _, ms := range rep.Monitors {
+	for _, ms := range rep.FullMonitors() {
 		if ms.Kind == mcc.MonitorBudget {
 			fs.budgets[ms.Target] = monitor.NewBudgetMonitor(
 				ms.Target, sim.Time(ms.WCETUS)*sim.Microsecond, sink)

@@ -104,8 +104,8 @@ func RunMCCStream(cfg MCCStreamConfig) (MCCStreamResult, error) {
 	if len(m.History) > 0 {
 		for i := len(m.History) - 1; i >= 0; i-- {
 			if m.History[i].Accepted {
-				res.FinalMonitors = len(m.History[i].Monitors)
-				for _, tr := range m.History[i].Timing {
+				res.FinalMonitors = len(m.History[i].FullMonitors())
+				for _, tr := range m.History[i].FullTiming() {
 					for _, r := range tr.Results {
 						if r.WCRTUS > res.WorstWCRTUS {
 							res.WorstWCRTUS = r.WCRTUS

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/mcc"
+	"repro/internal/model"
 	"repro/internal/safety"
 	"repro/internal/security"
 )
@@ -133,16 +134,19 @@ func runParityCase(t *testing.T, seed uint64, strict bool) {
 	serial := newMCC(mcc.WithoutIncremental())
 	inc := newMCC()
 	streamed := newMCC()
-	sDep := serial.ProposeArchitecture(fleet.Baseline).Accepted
-	iDep := inc.ProposeArchitecture(fleet.Baseline).Accepted
-	tDep := streamed.ProposeArchitecture(fleet.Baseline).Accepted
-	if sDep != iDep || iDep != tDep {
+	sBase := serial.ProposeArchitecture(fleet.Baseline)
+	iBase := inc.ProposeArchitecture(fleet.Baseline)
+	tBase := streamed.ProposeArchitecture(fleet.Baseline)
+	if sBase.Accepted != iBase.Accepted || iBase.Accepted != tBase.Accepted {
 		t.Fatalf("seed %#x: baseline verdicts diverge: serial=%v incremental=%v stream=%v",
-			seed, sDep, iDep, tDep)
+			seed, sBase.Accepted, iBase.Accepted, tBase.Accepted)
 	}
-	if !sDep {
+	if !sBase.Accepted {
 		return // infeasible baseline: nothing to stream
 	}
+	assertReportMatchesOracle(t, seed, -1, "serial", fleet.Platform, serial, sBase)
+	assertReportMatchesOracle(t, seed, -1, "incremental", fleet.Platform, inc, iBase)
+	assertReportMatchesOracle(t, seed, -1, "stream", fleet.Platform, streamed, tBase)
 
 	// Serial vs incremental: strict verdict-sequence equality until the
 	// documented gap signature appears, and — satellite of the scoped
@@ -158,6 +162,11 @@ func runParityCase(t *testing.T, seed uint64, strict bool) {
 	for i, c := range changes {
 		sr, ir := propose(serial, c), propose(inc, c)
 		incReports = append(incReports, ir)
+		// The whole-table oracle is per-engine (each engine's accepted
+		// report against a cold analysis of ITS committed implementation),
+		// so it stays valid even downstream of a cross-engine divergence.
+		assertReportMatchesOracle(t, seed, i, "serial", fleet.Platform, serial, sr)
+		assertReportMatchesOracle(t, seed, i, "incremental", fleet.Platform, inc, ir)
 		if gapAt >= 0 {
 			continue // downstream of a diverged decision: incomparable
 		}
@@ -194,11 +203,57 @@ func runParityCase(t *testing.T, seed uint64, strict bool) {
 			t.Fatalf("seed %#x: stream findings diverge at change %d:\nproposals %v\nstream    %v",
 				seed, i, incReports[i].Findings, streamReports[i].Findings)
 		}
+		// Same engine, serial-equivalent commit order: every accepted
+		// stream report's materialized tables must reproduce the serial
+		// proposal's — bound snapshots mid-window included.
+		if streamReports[i].Accepted {
+			if !reflect.DeepEqual(streamReports[i].FullTiming(), incReports[i].FullTiming()) {
+				t.Fatalf("seed %#x: stream FullTiming diverges at change %d", seed, i)
+			}
+			if !reflect.DeepEqual(streamReports[i].FullMonitors(), incReports[i].FullMonitors()) {
+				t.Fatalf("seed %#x: stream FullMonitors diverges at change %d", seed, i)
+			}
+		}
+	}
+	// The engine state now reflects the final commit, so the from-scratch
+	// oracle applies to the last accepted stream report.
+	for i := len(streamReports) - 1; i >= 0; i-- {
+		if streamReports[i].Accepted {
+			assertReportMatchesOracle(t, seed, i, "stream", fleet.Platform, streamed, streamReports[i])
+			break
+		}
 	}
 	if !reflect.DeepEqual(placements(inc), placements(streamed)) {
 		t.Fatalf("seed %#x: stream deployment diverges from serial proposals on the same engine", seed)
 	}
 	assertCommittedClean(t, seed, len(changes)-1, "stream", streamed)
+}
+
+// assertReportMatchesOracle compares an accepted report's materialized
+// whole-table views against a cold from-scratch analysis of the engine's
+// committed implementation. This is the delta-report completeness oracle:
+// however small the report's TimingDelta/MonitorDelta, FullTiming and
+// FullMonitors must reconstruct exactly the tables a from-scratch
+// analysis of the committed configuration produces. The comparison is
+// per-engine (engines may legitimately commit different placements), so
+// it stays valid downstream of cross-engine divergences.
+func assertReportMatchesOracle(t *testing.T, seed uint64, change int, label string, p *model.Platform, m *mcc.MCC, rep *mcc.Report) {
+	t.Helper()
+	if rep == nil || !rep.Accepted {
+		return
+	}
+	wantTiming, wantMonitors, err := mcc.FromScratchTables(p, m.DeployedImpl())
+	if err != nil {
+		t.Fatalf("seed %#x: %s from-scratch oracle failed after change %d: %v", seed, label, change, err)
+	}
+	if got := rep.FullTiming(); !reflect.DeepEqual(got, wantTiming) {
+		t.Fatalf("seed %#x: %s FullTiming diverges from the from-scratch oracle after change %d:\ngot  %+v\nwant %+v",
+			seed, label, change, got, wantTiming)
+	}
+	if got := rep.FullMonitors(); !reflect.DeepEqual(got, wantMonitors) {
+		t.Fatalf("seed %#x: %s FullMonitors diverges from the from-scratch oracle after change %d:\ngot  %+v\nwant %+v",
+			seed, label, change, got, wantMonitors)
+	}
 }
 
 // assertCommittedClean runs the from-scratch safety and security checks
