@@ -17,6 +17,9 @@ import (
 // one touched slot. Stream-window rollback replays the same undo records
 // through the window journal — the copy-on-write trick the journal
 // already plays for the cache maps, extended to the candidate itself.
+// The sharded scheduler widens that rollback unit to the epoch: one
+// journal spans every partition's open window (stream_sharded.go), and
+// the same undo records rewind all of them together.
 //
 // The clone-based path stays behind ProposeArchitecture, ProposeBatch,
 // and every cold/quarantined state: it is both the from-scratch fallback

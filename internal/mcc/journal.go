@@ -282,8 +282,11 @@ func (m *MCC) rollbackWindow(j *cacheJournal) {
 	m.deployedConnIdx = j.connIdx
 	m.deployedInstTotal = j.instTotal
 	// The function index may describe mid-window slice states the replay
-	// above rewound; rebuild lazily from the restored slice.
+	// above rewound; rebuild lazily from the restored slice. The shard
+	// routing index may likewise describe placements the rollback just
+	// unwound.
 	m.fnIdx = nil
+	m.invalidateRoutes()
 	// Fault-injection hook modeling a failed keyed undo (e.g. a journal
 	// entry lost to memory corruption). The configuration pointers above
 	// are plain swaps and always succeed; what cannot be trusted after a
@@ -339,5 +342,6 @@ func (m *MCC) purgeIncrementalState() {
 	m.deployedConnIdx = nil
 	m.deployedInstTotal = 0
 	m.fnIdx = nil
+	m.invalidateRoutes()
 	m.analyzer.Reset()
 }

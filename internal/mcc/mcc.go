@@ -245,6 +245,17 @@ type MCC struct {
 	// commit stage index loads slices through it instead of scanning the
 	// processor list per lookup.
 	procIdx map[string]int
+	// parts is the lazily computed static processor partition of the
+	// platform (see partition.go); the platform is immutable, so the
+	// partition never invalidates.
+	parts *platformParts
+	// fnParts caches the sharded scheduler's function->shard routing,
+	// resolved from the committed instance placements. Keyed commits
+	// refresh the diff-touched entries; from-scratch commits, purges,
+	// and window rollbacks drop the map wholesale (invalidateRoutes) and
+	// lookups rebuild lazily. Purely a window-formation heuristic — a
+	// stale entry could only regroup a change, never change a decision.
+	fnParts map[string]int
 	// journal, when non-nil, is the open copy-on-write rollback point of a
 	// stream-scheduler window: commits record the prior value of every
 	// cache entry they overwrite instead of the window cloning whole maps.

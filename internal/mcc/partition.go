@@ -1,0 +1,184 @@
+package mcc
+
+import "hash/fnv"
+
+// This file derives the platform partition the sharded stream scheduler
+// forms its per-shard window sequences over, and the function-level
+// routing index that assigns each change to a shard.
+//
+// A partition is a connected component of processors over the CAN
+// segments that join them. A network attached to every processor is a
+// backbone: it connects everything by construction and carries the
+// cross-partition traffic, so it contributes no partition edges —
+// otherwise every fleet platform (segments plus a backbone) would
+// collapse into one shard. A platform whose only networks are backbones
+// has no isolated regions at all and stays a single partition (the
+// scheduler then falls back to the single window sequence).
+//
+// The processor partition is static — the platform is immutable for the
+// MCC's lifetime — and computed once, lazily. The function routing layer
+// on top of it follows the committed topology: entries are resolved from
+// the committed synthesis cache's instance placements, refreshed for the
+// diff-touched functions on every keyed commit, and invalidated
+// wholesale by from-scratch commits, cache purges, and window rollbacks
+// (rebuilt lazily from the restored committed state). Routing is a
+// scheduling heuristic only — it decides which shard's window a change
+// groups into, never the decision itself, which a single mutator makes
+// in stream order regardless.
+
+// partGlobal routes a change that cannot be pinned to one partition
+// (replicas spanning partitions, a processor outside every partition):
+// the sharded scheduler drains every shard and decides it through the
+// serialized global window.
+const partGlobal = -1
+
+// platformParts is the static processor partition of the platform.
+type platformParts struct {
+	// count is the number of partitions. A count of one (or zero, for an
+	// empty platform) means the platform has no disjoint segments and
+	// sharding degenerates to the single window sequence.
+	count int
+	// procPart maps each processor name to its partition id in [0,count).
+	procPart map[string]int
+}
+
+// partitions returns the platform's processor partition, computing it on
+// first use (the platform is immutable, so the result is cached for the
+// MCC's lifetime).
+func (m *MCC) partitions() *platformParts {
+	if m.parts != nil {
+		return m.parts
+	}
+	procs := m.platform.Processors
+	// A platform with no partial-coverage segment at all — only
+	// backbones, or no networks — has no isolated regions to shard over:
+	// everything shares every communication resource (or nothing does),
+	// and per-processor singletons would be a dishonest partition. It
+	// stays a single partition and the scheduler falls back to the
+	// single window sequence.
+	hasSegment := false
+	for _, net := range m.platform.Networks {
+		if len(net.Attached) < len(procs) {
+			hasSegment = true
+			break
+		}
+	}
+	if !hasSegment {
+		p := &platformParts{procPart: make(map[string]int, len(procs))}
+		if len(procs) > 0 {
+			p.count = 1
+			for i := range procs {
+				p.procPart[procs[i].Name] = 0
+			}
+		}
+		m.parts = p
+		return p
+	}
+	// Union-find over processor positions.
+	parent := make([]int, len(procs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, net := range m.platform.Networks {
+		// A full-coverage network is a backbone: it joins everything and
+		// would collapse the partition, so it contributes no edges.
+		if len(net.Attached) >= len(procs) {
+			continue
+		}
+		first := -1
+		for _, pn := range net.Attached {
+			i, ok := m.procIdx[pn]
+			if !ok {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			union(first, i)
+		}
+	}
+	// Dense partition ids in platform processor order, so the id
+	// assignment is deterministic across runs.
+	p := &platformParts{procPart: make(map[string]int, len(procs))}
+	rootID := make(map[int]int)
+	for i := range procs {
+		r := find(i)
+		id, ok := rootID[r]
+		if !ok {
+			id = p.count
+			rootID[r] = id
+			p.count++
+		}
+		p.procPart[procs[i].Name] = id
+	}
+	m.parts = p
+	return p
+}
+
+// routeChange resolves the shard a non-global change groups into. A
+// deployed function routes to the partition hosting its committed
+// replicas — replicas spanning partitions (fail-operational spreads) are
+// genuinely cross-partition and route to partGlobal, draining every
+// shard. A function with no committed instances (a fresh addition, whose
+// placement is not yet decided) routes by a deterministic name hash:
+// where it groups only affects window formation, never its decision.
+// Resolved entries are cached in m.fnParts (see partition invalidation
+// notes above).
+func (m *MCC) routeChange(c Change) int {
+	name := c.Update.Name
+	if sh, ok := m.fnParts[name]; ok {
+		return sh
+	}
+	sh := m.computeRoute(name)
+	if m.fnParts == nil {
+		m.fnParts = make(map[string]int)
+	}
+	m.fnParts[name] = sh
+	return sh
+}
+
+func (m *MCC) computeRoute(name string) int {
+	parts := m.partitions()
+	if m.deployedSynth != nil {
+		if ins := m.deployedSynth.instancesOf[name]; len(ins) > 0 {
+			sh, ok := parts.procPart[ins[0].Processor]
+			if !ok {
+				return partGlobal
+			}
+			for _, in := range ins[1:] {
+				if other, ok := parts.procPart[in.Processor]; !ok || other != sh {
+					return partGlobal
+				}
+			}
+			return sh
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name)) //nolint:errcheck // hash.Hash never errors
+	return int(h.Sum64() % uint64(parts.count))
+}
+
+// invalidateRoutes drops the function routing cache wholesale; the next
+// lookup rebuilds the queried entries from the (restored or rebuilt)
+// committed synthesis cache. Called on from-scratch commits, cache
+// purges, and window rollbacks — every path that replaces or rewinds the
+// committed placements out from under the per-entry refresh the keyed
+// commit performs.
+func (m *MCC) invalidateRoutes() {
+	m.fnParts = nil
+}

@@ -2281,6 +2281,9 @@ func (s *commitStage) commitFull(ctx *pipeline.Context) {
 	// derived from this attempt's artifacts, so any quarantine imposed by
 	// the degradation ladder is lifted: the suspect state is gone.
 	m.quarantined = false
+	// Every committed placement may have moved: the shard routing index
+	// is rebuilt lazily from the fresh synthesis cache.
+	m.invalidateRoutes()
 
 	// Per-resource WCRT tables of the new committed configuration, read
 	// before the old maps are replaced: a non-deferred attempt analyzed
@@ -2601,6 +2604,11 @@ func (s *commitStage) commitIncremental(ctx *pipeline.Context) {
 	// by beginWindow.
 	for name := range over.fns {
 		m.deployedInstTotal += len(over.insts[name]) - len(sc.instancesOf[name])
+		// Refresh the shard routing of the diff-touched functions: the
+		// keyed commit is what moves placements, so dropping exactly these
+		// entries keeps the routing index in step at O(diff) (the next
+		// lookup re-resolves from the placements committed below).
+		delete(m.fnParts, name)
 	}
 	for name, f := range over.fns {
 		if old := sc.fnByName[name]; old != nil && m.svcProviders != nil {

@@ -66,6 +66,7 @@ type StreamScheduler struct {
 	m       *MCC
 	workers int
 	window  int
+	sharded bool
 	stats   StreamStats
 }
 
@@ -97,6 +98,23 @@ func WithStreamWindow(n int) StreamOption {
 		}
 		s.window = n
 	}
+}
+
+// WithShardedWindows makes the scheduler form one optimistic window
+// sequence per platform partition (connected components of processors
+// over the CAN segments that join them, full-coverage backbone networks
+// excluded — see MCC.partitions) instead of a single global sequence.
+// Decisions stay exactly serial-order: one mutator decides every change
+// in stream order, but window formation, conflict barriers, and
+// rollback blast radius become per-shard, and accepted changes' deferred
+// busy-window analyses prefetch on a background pool that overlaps the
+// optimistic passes of later changes — the multi-core win a single
+// window sequence's per-window barrier forfeits. Cross-partition and
+// global-footprint changes drain every shard and decide through a
+// serialized global window. Platforms without disjoint segments (one
+// partition or fewer) fall back to the single-sequence scheduler.
+func WithShardedWindows() StreamOption {
+	return func(s *StreamScheduler) { s.sharded = true }
 }
 
 // defaultStreamWindow bounds the optimistic window when the caller does
@@ -136,6 +154,15 @@ type StreamStats struct {
 	// the prefetch and verification phases (retries inside a proposal's
 	// pipeline run land on its Report).
 	RetriedAnalyses int
+	// Shards is the number of platform partitions the scheduler formed
+	// concurrent window sequences over. Zero when sharding is off, or
+	// when the platform has no disjoint CAN segments and the scheduler
+	// fell back to the single window sequence.
+	Shards int
+	// GlobalWindows counts the serialized global windows of a sharded
+	// run: cross-partition and global-footprint changes drain every
+	// shard and decide alone. Each is also counted in Windows.
+	GlobalWindows int
 }
 
 // NewStreamScheduler returns a scheduler driving m. The MCC should run
@@ -165,7 +192,13 @@ func (s *StreamScheduler) Run(changes []Change) []*Report {
 // resolves remaining proposals as deterministic deadline rejections —
 // the stream never hangs on a stalled analysis.
 func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*Report {
+	if s.sharded && s.m.incTiming {
+		if parts := s.m.partitions(); parts.count > 1 {
+			return s.runSharded(ctx, changes, parts)
+		}
+	}
 	reports := make([]*Report, 0, len(changes))
+	var carry *footprint
 	for lo := 0; lo < len(changes); {
 		if ctx.Err() != nil {
 			// Stop forming windows: the remaining changes resolve as
@@ -176,7 +209,8 @@ func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*R
 			}
 			return reports
 		}
-		hi := s.windowEnd(changes, lo)
+		hi, next := s.windowEnd(changes, lo, carry)
+		carry = next
 		reports = append(reports, s.runWindow(ctx, changes[lo:hi])...)
 		s.stats.Windows++
 		lo = hi
@@ -185,9 +219,21 @@ func (s *StreamScheduler) RunContext(ctx context.Context, changes []Change) []*R
 }
 
 // windowEnd extends the window starting at lo while the next change's
-// declared footprint stays disjoint from every change already in it.
-func (s *StreamScheduler) windowEnd(changes []Change, lo int) int {
-	fps := []footprint{declaredFootprint(s.m.lookupDeployedFn, changes[lo])}
+// declared footprint stays disjoint from every change already in it. A
+// non-nil carry is the head change's footprint, computed when that change
+// conflict-broke the previous window — carried over instead of being
+// recomputed (the previous window's commits may since have shifted the
+// deployed services behind it, but the footprint is a scheduling
+// heuristic, never a correctness input). When the window closes on a
+// conflict, the conflicting change's footprint is returned as the next
+// window's carry.
+func (s *StreamScheduler) windowEnd(changes []Change, lo int, carry *footprint) (int, *footprint) {
+	head := carry
+	if head == nil {
+		fp := declaredFootprint(s.m.lookupDeployedFn, changes[lo])
+		head = &fp
+	}
+	fps := []footprint{*head}
 	hi := lo + 1
 	for hi < len(changes) && hi-lo < s.window {
 		fp := declaredFootprint(s.m.lookupDeployedFn, changes[hi])
@@ -200,12 +246,12 @@ func (s *StreamScheduler) windowEnd(changes []Change, lo int) int {
 		}
 		if conflict {
 			s.stats.Conflicts++
-			break
+			return hi, &fp
 		}
 		fps = append(fps, fp)
 		hi++
 	}
-	return hi
+	return hi, nil
 }
 
 // runWindow decides one window of changes: optimistic pass, concurrent
@@ -238,6 +284,13 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 	}
 	var pendings []pend
 	reports := make([]*Report, 0, len(changes))
+	// optimisticPasses counts the pipeline passes the optimistic phase
+	// actually ran. Deadline-expired short-circuits never enter the
+	// pipeline — their Passes field only mirrors the deterministic
+	// deadline report — so they are excluded here, and the replay's
+	// discard accounting below cannot inflate DiscardedPasses (and the
+	// Evaluations the scenario layer derives from it).
+	optimisticPasses := 0
 
 	m.deferChecks = true
 	for _, c := range changes {
@@ -247,6 +300,7 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 		}
 		rep := m.proposeCtx(gctx, c)
 		reports = append(reports, rep)
+		optimisticPasses += rep.Passes
 		if rep.Accepted && m.lastDeferred != nil {
 			pendings = append(pendings, pend{rep, m.lastDeferred})
 		}
@@ -339,11 +393,11 @@ func (s *StreamScheduler) runWindow(gctx context.Context, changes []Change) []*R
 	// including) the failing proposal are tainted. Roll back to the
 	// window-start state and replay serially — the authoritative order.
 	// The discarded passes stay on the books so throughput accounting
-	// never understates what the engine actually ran.
+	// never understates what the engine actually ran — but only the
+	// genuine optimistic pipeline passes count; deadline-expired
+	// short-circuits never ran one.
 	s.stats.Replays++
-	for _, rep := range reports {
-		s.stats.DiscardedPasses += rep.Passes
-	}
+	s.stats.DiscardedPasses += optimisticPasses
 	m.rollbackWindow(j)
 	reports = reports[:0]
 	for _, c := range changes {
@@ -398,6 +452,19 @@ func (s *StreamScheduler) prefetch(tasks []func()) {
 // so post-window snapshots are complete. On any failed check it reports
 // false and leaves the caller to replay the window.
 func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
+	return s.verifyDeferredInto(rep, dt, nil)
+}
+
+// verifyDeferredInto is verifyDeferred with an optional patch sink: a
+// non-nil sink collects the committed-table updates instead of patching
+// the live table per proposal. The sharded scheduler verifies a whole
+// epoch in stream order but batches each shard's updates, merging them
+// into one copy-on-write patch per shard at the barrier. Batching is
+// sound because only the verdict whose digest matches the entry's final
+// committed job is ever appended — an entry a later epoch commit
+// re-dirtied fails the digest probe for the earlier verdict, exactly as
+// it would have after an immediate patch.
+func (s *StreamScheduler) verifyDeferredInto(rep *Report, dt *deferredChecks, sink *[]resUpdate) bool {
 	// A tainted record means a prefetch task for this proposal hit a
 	// fault (injected error or recovered panic): the optimistic decision
 	// cannot be trusted, the window replays serially.
@@ -443,7 +510,9 @@ func (s *StreamScheduler) verifyDeferred(rep *Report, dt *deferredChecks) bool {
 		delta = append(delta, pipeline.CloneTimingResult(res))
 	}
 	rep.TimingDelta = delta
-	if len(updates) > 0 {
+	if sink != nil {
+		*sink = append(*sink, updates...)
+	} else if len(updates) > 0 {
 		// The patch leaves the window-start table (the journal's rollback
 		// pointer) and every bound snapshot intact.
 		m.deployedRes = m.deployedRes.patch(updates)
@@ -538,8 +607,17 @@ func intersects(a, b map[string]bool) bool {
 	return false
 }
 
-// String renders stream stats for telemetry rows.
+// String renders stream stats for telemetry rows. Every counter the
+// struct carries is included — in particular the fault-spend telemetry
+// (discarded passes, recovered panics, analysis retries) that chaos-tier
+// rows report; silently dropping those under-reports what the engine
+// actually ran.
 func (st StreamStats) String() string {
-	return fmt.Sprintf("windows %d (speculated %d, replays %d, conflicts %d, prefetched %d)",
-		st.Windows, st.Speculated, st.Replays, st.Conflicts, st.Prefetched)
+	s := fmt.Sprintf("windows %d (speculated %d, replays %d, conflicts %d, prefetched %d, discarded %d, panics %d, retries %d)",
+		st.Windows, st.Speculated, st.Replays, st.Conflicts, st.Prefetched,
+		st.DiscardedPasses, st.PanicsRecovered, st.RetriedAnalyses)
+	if st.Shards > 0 {
+		s += fmt.Sprintf(" [shards %d, global %d]", st.Shards, st.GlobalWindows)
+	}
+	return s
 }

@@ -1,0 +1,388 @@
+package mcc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/safety"
+	"repro/internal/security"
+)
+
+// This file implements the partition-sharded scheduling mode of the
+// StreamScheduler (WithShardedWindows). The single-sequence scheduler
+// serializes the whole platform behind one window pipeline: a conflict
+// anywhere closes the global window, and every window close is a full
+// barrier (prefetch, verify) before the next optimistic pass may run.
+// On a fleet platform of disjoint CAN segments that serialization is
+// artificial — changes confined to different segments never share a
+// footprint.
+//
+// The sharded mode keeps the one property that cannot be traded away —
+// decisions are made by a single mutator in exact stream order, so the
+// optimistic pass IS the serial execution — and shards everything else:
+//
+//   - Window formation is per partition. Each shard accumulates the
+//     footprints of its own open window; a conflict closes only that
+//     shard's window (the conflicting change's footprint carries over as
+//     the new window's head, never recomputed), and the other shards'
+//     windows keep filling.
+//   - Prefetch is eager and asynchronous. The moment the mutator
+//     optimistically accepts a change, its deferred busy-window analyses
+//     are handed to a persistent background pool and overlap the
+//     optimistic passes of every later change. The single-sequence
+//     scheduler only reaches this work at its window barrier.
+//   - The rollback point is the epoch: one cacheJournal (beginWindow)
+//     spanning every open shard window. Per-shard journals cannot be
+//     sound here — placement is a global best-fit over shared processor
+//     capacity, so a failed deferred verdict at stream position i makes
+//     every later-positioned optimistic decision in ANY shard suspect,
+//     and the committed load and cache state they built on is entangled
+//     (pointer-swapped slices, overlapping journal keys when a change
+//     places across its shard's boundary). The epoch barrier therefore
+//     verifies every pending in stream order; one failure replays the
+//     whole epoch serially (the analyzer memo stays warm, so the replay
+//     re-pays only the cheap stages). The epoch is bounded
+//     (shardEpochCap) so the blast radius — and the pending-verification
+//     backlog — cannot grow with the stream.
+//   - Each shard's committed-table updates are batched during barrier
+//     verification and merged into one copy-on-write patch per shard
+//     (mergeResUpdates), instead of one patch per verified proposal.
+//
+// Changes with a global footprint (removals, flow edits), changes whose
+// committed replicas span partitions, and every change decided while the
+// controller is quarantined drain the epoch — barrier, verify, commit or
+// replay — and then decide alone through a serialized global window,
+// exactly as the single-sequence scheduler would decide a window of one.
+
+// shardState is one partition's open window formation state.
+type shardState struct {
+	// fps holds the footprints of the changes admitted to the shard's
+	// open window.
+	fps []footprint
+	// members counts them (the window closes at the scheduler's window
+	// bound, exactly like a single-sequence window).
+	members int
+}
+
+// epochPend is one optimistically accepted change awaiting barrier
+// verification, tagged with the shard whose window admitted it.
+type epochPend struct {
+	report *Report
+	dt     *deferredChecks
+	shard  int
+}
+
+// warmTimingJob warms the memoizing analyzer with one deferred job from
+// the eager background pool. It mirrors runTimingJob's injection hook and
+// transient-retry loop, but reads no mutator-owned state: runTimingJob
+// consults m.pinned/m.quarantined, which the degradation ladder and a
+// mid-epoch from-scratch commit may write while the pool runs. A deferred
+// job only exists because a non-pinned incremental pass deferred it, so
+// the memo path is always the right one here; errors are ignored — the
+// barrier's verification re-reads every verdict on the mutator's
+// goroutine and fails the epoch deterministically if one stands.
+func (m *MCC) warmTimingJob(j timingJob) {
+	for attempt := 0; ; attempt++ {
+		err := func() error {
+			if _, fired, ferr := m.inject.Fire(nil, "timing.worker", j.resource); fired && ferr != nil {
+				return ferr
+			}
+			var aerr error
+			if j.spnp {
+				_, aerr = m.analyzer.AnalyzeSPNP(j.tasks)
+			} else {
+				_, aerr = m.analyzer.AnalyzeSPP(j.tasks)
+			}
+			return aerr
+		}()
+		if err == nil || !errors.Is(err, faultinject.ErrInjected) || attempt+1 >= maxAnalysisAttempts {
+			return
+		}
+		m.retriedAnalyses.Add(1)
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Microsecond)
+	}
+}
+
+// shardEpochCap bounds how many decisions one epoch may accumulate
+// before a forced barrier: the epoch journal is the shared rollback
+// point, so this is the worst-case serial-replay blast radius. It scales
+// with the shard count — each shard deserves room for a full window —
+// and is floored at one single-sequence window.
+func (s *StreamScheduler) shardEpochCap(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return s.window * shards
+}
+
+// runSharded decides the stream with per-partition window formation. One
+// goroutine (the caller) runs every optimistic pass in stream order;
+// only the deferred busy-window analyses run concurrently, on the
+// background pool. Returns one report per change, exactly as serial
+// proposals in stream order would.
+func (s *StreamScheduler) runSharded(gctx context.Context, changes []Change, parts *platformParts) []*Report {
+	m := s.m
+	s.stats.Shards = parts.count
+
+	// Persistent background prefetch pool, started on first use. The
+	// tasks only touch concurrency-safe state: the memoizing analyzer
+	// (single-flight), the atomic fault counters, and the pending's
+	// atomic taint flag. The deferred from-scratch safety/security
+	// checks are NOT run here — they read model state the mutator may
+	// still touch — but at the barrier, after the pool has drained.
+	var (
+		wg      sync.WaitGroup
+		tasks   chan func()
+		started bool
+	)
+	startPool := func() {
+		if started {
+			return
+		}
+		started = true
+		tasks = make(chan func(), 4*s.workers)
+		for i := 0; i < s.workers; i++ {
+			go func() {
+				for t := range tasks {
+					t()
+				}
+			}()
+		}
+	}
+	defer func() {
+		if started {
+			close(tasks)
+		}
+	}()
+	submit := func(fn func()) {
+		startPool()
+		wg.Add(1)
+		tasks <- func() {
+			defer wg.Done()
+			fn()
+		}
+	}
+	// guard converts a prefetch-task panic into a window taint, exactly
+	// like the single-sequence prefetch pool.
+	guard := func(dt *deferredChecks, fn func()) func() {
+		return func() {
+			defer func() {
+				if r := recover(); r != nil {
+					m.panicsRecovered.Add(1)
+					dt.tainted.Store(true)
+				}
+			}()
+			fn()
+		}
+	}
+
+	shards := make([]shardState, parts.count)
+	reports := make([]*Report, 0, len(changes))
+	var (
+		ej          *cacheJournal // open epoch journal (nil between epochs)
+		pendings    []epochPend   // stream-ordered, awaiting the barrier
+		seen        map[uint64]bool
+		epochStart  int // index of the epoch's first change
+		epochPasses int // genuine optimistic pipeline passes this epoch
+	)
+
+	openEpoch := func() {
+		if ej != nil {
+			return
+		}
+		ej = m.beginWindow()
+		pendings = pendings[:0]
+		seen = make(map[uint64]bool)
+		epochStart = len(reports)
+		epochPasses = 0
+	}
+
+	closeShard := func(sh int) {
+		w := &shards[sh]
+		if w.members == 0 {
+			return
+		}
+		s.stats.Windows++
+		w.fps = w.fps[:0]
+		w.members = 0
+	}
+
+	// submitPending fans the freshly accepted change's deferred analyses
+	// out to the background pool immediately (deduplicated per epoch by
+	// task-set digest): they overlap every later optimistic pass and are
+	// memo hits by the time the barrier verifies them.
+	submitPending := func(p epochPend) {
+		dt := p.dt
+		for _, jb := range dt.jobs {
+			if seen[analysisKey(jb)] {
+				continue
+			}
+			seen[analysisKey(jb)] = true
+			s.stats.Prefetched++
+			job := jb
+			submit(guard(dt, func() {
+				if _, fired, err := m.inject.Fire(nil, "stream.prefetch", job.resource); fired && err != nil {
+					dt.tainted.Store(true)
+					return
+				}
+				m.warmTimingJob(job)
+			}))
+		}
+	}
+
+	// flushEpoch is the barrier: drain the pool, run the rare deferred
+	// from-scratch safety/security checks, verify every pending in
+	// stream order, then commit the epoch — or roll it back and replay
+	// every epoch change serially.
+	flushEpoch := func() {
+		for sh := range shards {
+			closeShard(sh)
+		}
+		if ej == nil {
+			return
+		}
+		wg.Wait()
+		var barrier []func()
+		for _, p := range pendings {
+			dt := p.dt
+			if dt.tech != nil {
+				barrier = append(barrier, guard(dt, func() {
+					findings, checked := safety.CheckScoped(dt.tech, nil, nil)
+					dt.safetyFailed = len(findings) > 0
+					dt.safetyChecked = checked
+				}))
+			}
+			if dt.impl != nil {
+				barrier = append(barrier, guard(dt, func() {
+					findings, checked := security.CheckDomainsScoped(dt.impl, nil, nil)
+					dt.securityFailed = len(findings) > 0
+					dt.securityChecked = checked
+				}))
+			}
+		}
+		retried0, panics0 := m.retriedAnalyses.Load(), m.panicsRecovered.Load()
+		s.prefetch(barrier)
+
+		verified := true
+		batches := make([][]resUpdate, parts.count)
+		for _, p := range pendings {
+			if !s.verifyDeferredInto(p.report, p.dt, &batches[p.shard]) {
+				verified = false
+				break
+			}
+		}
+		s.stats.RetriedAnalyses += int(m.retriedAnalyses.Load() - retried0)
+		s.stats.PanicsRecovered += int(m.panicsRecovered.Load() - panics0)
+
+		j := ej
+		ej = nil
+		if verified {
+			// Merge each shard's batched updates into one copy-on-write
+			// patch at the barrier; untouched shards cost nothing.
+			for _, b := range batches {
+				if len(b) > 0 {
+					m.deployedRes = m.deployedRes.patch(mergeResUpdates(b))
+				}
+			}
+			m.commitWindow()
+			s.stats.Speculated += len(reports) - epochStart
+			return
+		}
+
+		// A deferred verdict failed. Load coupling makes every
+		// later-positioned optimistic decision suspect regardless of
+		// shard, so the whole epoch rolls back and replays serially in
+		// stream order — the authoritative order. Only the genuine
+		// optimistic pipeline passes are discarded; deadline-expired
+		// short-circuits never ran one.
+		s.stats.Replays++
+		s.stats.DiscardedPasses += epochPasses
+		m.rollbackWindow(j)
+		replay := changes[epochStart : epochStart+(len(reports)-epochStart)]
+		reports = reports[:epochStart]
+		for _, c := range replay {
+			if gctx.Err() != nil {
+				reports = append(reports, m.expiredReport(gctx))
+				continue
+			}
+			reports = append(reports, m.proposeCtx(gctx, c))
+		}
+	}
+
+	for i := 0; i < len(changes); {
+		if gctx.Err() != nil {
+			// Resolve the open epoch first — its optimistic commits must
+			// be verified or replayed — then short-circuit the remaining
+			// changes as deterministic deadline rejections.
+			flushEpoch()
+			for ; i < len(changes); i++ {
+				reports = append(reports, m.expiredReport(gctx))
+			}
+			break
+		}
+		c := changes[i]
+		fp := declaredFootprint(m.lookupDeployedFn, c)
+		route := partGlobal
+		if !fp.global && !m.quarantined {
+			route = m.routeChange(c)
+		}
+		if route == partGlobal {
+			// Global footprint, cross-partition replicas, or a
+			// quarantined controller: drain every shard, then decide
+			// alone through the serialized global window.
+			flushEpoch()
+			if gctx.Err() != nil {
+				reports = append(reports, m.expiredReport(gctx))
+				i++
+				continue
+			}
+			s.stats.Windows++
+			s.stats.GlobalWindows++
+			reports = append(reports, m.proposeCtx(gctx, c))
+			i++
+			continue
+		}
+
+		w := &shards[route]
+		conflict := false
+		for _, prev := range w.fps {
+			if prev.conflicts(fp) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			// Only this shard's window closes; fp (already computed) is
+			// the fresh window's head — the per-shard footprint
+			// carry-over.
+			s.stats.Conflicts++
+			closeShard(route)
+		} else if w.members >= s.window {
+			closeShard(route)
+		}
+
+		openEpoch()
+		m.deferChecks = true
+		rep := m.proposeCtx(gctx, c)
+		m.deferChecks = false
+		epochPasses += rep.Passes
+		reports = append(reports, rep)
+		if rep.Accepted && m.lastDeferred != nil {
+			p := epochPend{rep, m.lastDeferred, route}
+			pendings = append(pendings, p)
+			submitPending(p)
+		}
+		m.lastDeferred = nil
+		w.fps = append(w.fps, fp)
+		w.members++
+		i++
+		if len(reports)-epochStart >= s.shardEpochCap(parts.count) {
+			flushEpoch()
+		}
+	}
+	flushEpoch()
+	return reports
+}

@@ -1,0 +1,504 @@
+package mcc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/mcc/pipeline"
+	"repro/internal/model"
+)
+
+// shardedPlatform mirrors stressPlatform per CAN segment: two disjoint
+// segments (one slow safe core and one fast core each) joined by a
+// full-coverage backbone, so the partition derivation yields exactly two
+// shards and an ASIL-D replica pair is forced to span them.
+func shardedPlatform() *model.Platform {
+	return &model.Platform{
+		Processors: []model.Processor{
+			{Name: "safe0", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "fast0", Policy: model.SPP, SpeedFactor: 2.0, RAMKiB: 8192, MaxSafety: model.ASILB},
+			{Name: "safe1", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "fast1", Policy: model.SPP, SpeedFactor: 2.0, RAMKiB: 8192, MaxSafety: model.ASILB},
+		},
+		Networks: []model.Network{
+			{Name: "seg0", BitsPerSec: 500_000, Attached: []string{"safe0", "fast0"}, Kind: "can"},
+			{Name: "seg1", BitsPerSec: 500_000, Attached: []string{"safe1", "fast1"}, Kind: "can"},
+			{Name: "backbone", BitsPerSec: 1_000_000, Attached: []string{"safe0", "fast0", "safe1", "fast1"}, Kind: "can"},
+		},
+	}
+}
+
+// --- partition derivation ----------------------------------------------------
+
+func TestPlatformPartitionsBackboneOnlyCollapses(t *testing.T) {
+	// A platform whose only network attaches every processor has no
+	// isolated segments: it must stay one partition (sharding falls back
+	// to the single window sequence), not shatter into per-processor
+	// singletons.
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := m.partitions()
+	if parts.count != 1 {
+		t.Fatalf("backbone-only platform split into %d partitions, want 1", parts.count)
+	}
+	for _, p := range testPlatform().Processors {
+		if got := parts.procPart[p.Name]; got != 0 {
+			t.Fatalf("processor %s in partition %d, want 0", p.Name, got)
+		}
+	}
+}
+
+func TestPlatformPartitionsSegmentsExcludeBackbone(t *testing.T) {
+	m, err := New(shardedPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := m.partitions()
+	if parts.count != 2 {
+		t.Fatalf("two-segment platform split into %d partitions, want 2", parts.count)
+	}
+	// Dense ids in platform processor order: seg0 first.
+	for proc, want := range map[string]int{"safe0": 0, "fast0": 0, "safe1": 1, "fast1": 1} {
+		if got := parts.procPart[proc]; got != want {
+			t.Fatalf("processor %s in partition %d, want %d", proc, got, want)
+		}
+	}
+	// The partition is static: the cached pointer is reused.
+	if m.partitions() != parts {
+		t.Fatal("partition recomputed despite immutable platform")
+	}
+}
+
+func TestPlatformPartitionsChainedSegments(t *testing.T) {
+	// Segments sharing a processor are one connected component; a
+	// processor attached only to the backbone is its own partition.
+	p := &model.Platform{
+		Processors: []model.Processor{
+			{Name: "p0", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "p1", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "p2", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+			{Name: "p3", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 4096, MaxSafety: model.ASILD},
+		},
+		Networks: []model.Network{
+			{Name: "segA", BitsPerSec: 500_000, Attached: []string{"p0", "p1"}, Kind: "can"},
+			{Name: "segB", BitsPerSec: 500_000, Attached: []string{"p1", "p2"}, Kind: "can"},
+			{Name: "backbone", BitsPerSec: 1_000_000, Attached: []string{"p0", "p1", "p2", "p3"}, Kind: "can"},
+		},
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := m.partitions()
+	if parts.count != 2 {
+		t.Fatalf("chained segments split into %d partitions, want 2", parts.count)
+	}
+	if parts.procPart["p0"] != parts.procPart["p2"] {
+		t.Fatal("segments sharing p1 did not merge")
+	}
+	if parts.procPart["p3"] == parts.procPart["p0"] {
+		t.Fatal("backbone-only processor merged into a segment partition")
+	}
+}
+
+// --- change routing ----------------------------------------------------------
+
+func TestRouteChangeFollowsCommittedTopology(t *testing.T) {
+	m, err := New(shardedPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := m.partitions()
+
+	// An undeployed function routes by name hash into a real shard and
+	// the resolution is cached.
+	a := fn("a", model.QM, 100000, 2000, 64)
+	hashed := m.routeChange(upd(a))
+	if hashed < 0 || hashed >= parts.count {
+		t.Fatalf("undeployed function routed to %d, want a shard in [0,%d)", hashed, parts.count)
+	}
+	if _, ok := m.fnParts["a"]; !ok {
+		t.Fatal("route resolution not cached")
+	}
+
+	// The cold controller's first commit is from-scratch: it replaces the
+	// placements wholesale and must invalidate the route cache with them.
+	fa := &model.FunctionalArchitecture{Functions: []model.Function{a}}
+	if rep := m.ProposeArchitecture(fa); !rep.Accepted {
+		t.Fatalf("architecture proposal rejected: %v (%s)", rep.Findings, rep.RejectedAt)
+	}
+	if m.fnParts != nil {
+		t.Fatal("from-scratch commit left the route cache populated")
+	}
+
+	// A keyed commit touching the function drops its cache entry, and the
+	// next lookup resolves the committed placement.
+	a.Version = 2
+	if _ = m.routeChange(upd(a)); m.fnParts["a"] < 0 {
+		t.Fatal("deployed function routed global")
+	}
+	if rep := m.ProposeUpdate(a); !rep.Accepted {
+		t.Fatalf("a rejected: %v", rep.Findings)
+	}
+	if _, ok := m.fnParts["a"]; ok {
+		t.Fatal("keyed commit left a stale route cache entry for the touched function")
+	}
+	ins := m.deployedSynth.instancesOf["a"]
+	if len(ins) == 0 {
+		t.Fatal("no committed instances for a")
+	}
+	if got, want := m.routeChange(upd(a)), parts.procPart[ins[0].Processor]; got != want {
+		t.Fatalf("deployed function routed to %d, committed placement is partition %d", got, want)
+	}
+
+	// Replicas forced onto both safe cores span the partitions: the
+	// change is genuinely cross-partition and routes global.
+	b := fn("b", model.ASILD, 40000, 1000, 64)
+	b.Replicas = 2
+	if rep := m.ProposeUpdate(b); !rep.Accepted {
+		t.Fatalf("b rejected: %v", rep.Findings)
+	}
+	bi := m.deployedSynth.instancesOf["b"]
+	if len(bi) != 2 || parts.procPart[bi[0].Processor] == parts.procPart[bi[1].Processor] {
+		t.Fatalf("replica pair not spanning partitions: %+v", bi)
+	}
+	if got := m.routeChange(upd(b)); got != partGlobal {
+		t.Fatalf("cross-partition replicas routed to shard %d, want global", got)
+	}
+}
+
+// --- stream stats rendering (regression: fault telemetry was dropped) --------
+
+func TestStreamStatsStringIncludesFaultTelemetry(t *testing.T) {
+	st := StreamStats{
+		Windows: 9, Speculated: 8, Prefetched: 7, Replays: 6,
+		DiscardedPasses: 5, Conflicts: 4, PanicsRecovered: 3, RetriedAnalyses: 2,
+	}
+	want := "windows 9 (speculated 8, replays 6, conflicts 4, prefetched 7, discarded 5, panics 3, retries 2)"
+	if got := st.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	st.Shards = 2
+	st.GlobalWindows = 1
+	if got, want := st.String(), want+" [shards 2, global 1]"; got != want {
+		t.Fatalf("sharded String() = %q, want %q", got, want)
+	}
+}
+
+// --- window formation (regression: conflict footprint recomputed) ------------
+
+func TestWindowEndUsesCarriedConflictFootprint(t *testing.T) {
+	m, err := New(testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamScheduler(m)
+	changes := []Change{
+		upd(fn("a", model.QM, 100000, 2000, 64)),
+		upd(fn("zz", model.QM, 120000, 1500, 64)),
+	}
+
+	// A sentinel carry proves the head footprint is taken from the
+	// previous window's conflict, not recomputed: recomputing changes[0]
+	// ({a}) would admit zz into the window, the carried {zz} must not.
+	sentinel := footprint{names: map[string]bool{"zz": true}, services: map[string]bool{}}
+	hi, next := s.windowEnd(changes, 0, &sentinel)
+	if hi != 1 {
+		t.Fatalf("windowEnd ignored the carried footprint: window [0,%d), want [0,1)", hi)
+	}
+	if next == nil || !next.names["zz"] {
+		t.Fatalf("conflict did not return the breaking change's footprint: %+v", next)
+	}
+	if s.stats.Conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", s.stats.Conflicts)
+	}
+
+	// Without a carry the head is computed fresh and the window spans
+	// both disjoint changes.
+	if hi, next := s.windowEnd(changes, 0, nil); hi != 2 || next != nil {
+		t.Fatalf("fresh window = [0,%d) carry %+v, want [0,2) and no carry", hi, next)
+	}
+}
+
+// --- mid-window context expiry accounting ------------------------------------
+
+// cancelAfter returns a pipeline stage that cancels the given context
+// during its n-th armed run, simulating a deadline expiring while a later
+// window member is mid-pipeline.
+func cancelAfter(n int, cancel context.CancelFunc) (pipeline.Func, *bool) {
+	armed := new(bool)
+	runs := 0
+	return pipeline.Func{
+		StageName: "cancel-witness",
+		RunFunc: func(*pipeline.Context) error {
+			if !*armed {
+				return nil
+			}
+			runs++
+			if runs == n {
+				cancel()
+			}
+			return nil
+		},
+	}, armed
+}
+
+// expiryChanges is a window of four: an offender whose deferred timing
+// verdict fails (forcing the replay), two feasible additions, and a
+// fourth change the expiry short-circuits before it enters the pipeline.
+func expiryChanges() []Change {
+	return []Change{
+		upd(fn("c", model.ASILD, 14000, 5200, 1)), // deferred timing verdict fails
+		upd(fn("t", model.QM, 200000, 100, 1)),
+		upd(fn("u", model.QM, 220000, 100, 1)),
+		upd(fn("v", model.QM, 240000, 100, 1)),
+	}
+}
+
+func assertAllDeadlineRejected(t *testing.T, got []*Report) {
+	t.Helper()
+	for i, rep := range got {
+		if rep.Accepted || !rep.Degraded || !slices.Contains(rep.DegradedReasons, "deadline") {
+			t.Fatalf("change %d = accepted %v, degraded %v %v; want deterministic deadline rejection",
+				i, rep.Accepted, rep.Degraded, rep.DegradedReasons)
+		}
+	}
+}
+
+func TestStreamSchedulerMidWindowExpiryDiscardAccounting(t *testing.T) {
+	// The context dies while the third window member is mid-pipeline: the
+	// fourth short-circuits without a pipeline pass, verification fails on
+	// the offender, and the replay resolves everything as deadline
+	// rejections. DiscardedPasses must count only the three genuine
+	// optimistic passes — the expired short-circuit's mirrored Passes
+	// field must not inflate it (or the Evaluations derived from it).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stage, armed := cancelAfter(3, cancel)
+	p := &model.Platform{
+		Processors: []model.Processor{
+			{Name: "only", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+		},
+	}
+	m, err := New(p, WithStage(stage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := m.ProposeUpdate(fn("a", model.ASILD, 10000, 5200, 1)); !rep.Accepted {
+		t.Fatalf("baseline rejected: %v", rep.Findings)
+	}
+	*armed = true
+
+	changes := expiryChanges()
+	sched := NewStreamScheduler(m, WithStreamWindow(len(changes)))
+	got := sched.RunContext(ctx, changes)
+	if len(got) != len(changes) {
+		t.Fatalf("stream resolved %d/%d changes", len(got), len(changes))
+	}
+	assertAllDeadlineRejected(t, got)
+	st := sched.Stats()
+	if st.Windows != 1 || st.Replays != 1 || st.Conflicts != 0 {
+		t.Fatalf("stats = %+v, want one window, one replay, no conflicts", st)
+	}
+	if st.DiscardedPasses != 3 {
+		t.Fatalf("DiscardedPasses = %d, want exactly the 3 genuine optimistic passes", st.DiscardedPasses)
+	}
+}
+
+func TestShardedStreamMidEpochExpiryDiscardAccounting(t *testing.T) {
+	// The sharded equivalent: the near-capacity baselines make the
+	// offender's deferred verdict fail on every shard, the cancel fires
+	// while the third change is mid-pipeline, and the epoch barrier must
+	// replay with the same exact accounting.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stage, armed := cancelAfter(3, cancel)
+	p := &model.Platform{
+		Processors: []model.Processor{
+			{Name: "p0", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+			{Name: "p1", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+			{Name: "p2", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+			{Name: "p3", Policy: model.SPP, SpeedFactor: 1.0, RAMKiB: 8192, MaxSafety: model.ASILD},
+		},
+		Networks: []model.Network{
+			{Name: "seg0", BitsPerSec: 500_000, Attached: []string{"p0", "p1"}, Kind: "can"},
+			{Name: "seg1", BitsPerSec: 500_000, Attached: []string{"p2", "p3"}, Kind: "can"},
+			{Name: "backbone", BitsPerSec: 1_000_000, Attached: []string{"p0", "p1", "p2", "p3"}, Kind: "can"},
+		},
+	}
+	m, err := New(p, WithStage(stage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if rep := m.ProposeUpdate(fn(fmt.Sprintf("b%d", i), model.ASILD, 10000, 5200, 1)); !rep.Accepted {
+			t.Fatalf("baseline b%d rejected: %v", i, rep.Findings)
+		}
+	}
+	*armed = true
+
+	changes := expiryChanges()
+	sched := NewStreamScheduler(m, WithShardedWindows(), WithStreamWindow(len(changes)))
+	got := sched.RunContext(ctx, changes)
+	if len(got) != len(changes) {
+		t.Fatalf("stream resolved %d/%d changes", len(got), len(changes))
+	}
+	assertAllDeadlineRejected(t, got)
+	st := sched.Stats()
+	if st.Shards != 2 || st.Replays != 1 || st.GlobalWindows != 0 {
+		t.Fatalf("stats = %+v, want 2 shards, one epoch replay, no global windows", st)
+	}
+	if st.DiscardedPasses != 3 {
+		t.Fatalf("DiscardedPasses = %d, want exactly the 3 genuine optimistic passes", st.DiscardedPasses)
+	}
+}
+
+// --- sharded scheduler behavior ----------------------------------------------
+
+func TestShardedStreamPerShardWindowsAndGlobalDrains(t *testing.T) {
+	// A same-name conflict closes only its shard's window, a removal
+	// drains everything through a serialized global window, and the
+	// decisions stay identical to serial stream order.
+	baseline := []model.Function{fn("a", model.QM, 100000, 2000, 64)}
+	a2 := fn("a", model.QM, 100000, 2000, 64)
+	a2.Version = 2
+	a3 := fn("a", model.QM, 100000, 2000, 64)
+	a3.Version = 3
+	changes := []Change{
+		upd(a2), // routes to a's committed partition
+		upd(a3), // same shard, same name: per-shard conflict
+		upd(fn("n1", model.QM, 120000, 1500, 64)),
+		upd(fn("n2", model.QM, 140000, 1500, 64)),
+		{Remove: "a"}, // global footprint: drains every shard
+		upd(fn("n3", model.QM, 160000, 1500, 64)),
+	}
+	sched, got := streamParity(t, shardedPlatform(), baseline, changes,
+		WithShardedWindows(), WithStreamWindow(4))
+	for i, rep := range got {
+		if !rep.Accepted {
+			t.Fatalf("change %d rejected: %v (%s)", i, rep.Findings, rep.RejectedAt)
+		}
+	}
+	st := sched.Stats()
+	if st.Shards != 2 {
+		t.Fatalf("stats = %+v, want 2 shards", st)
+	}
+	if st.Conflicts != 1 {
+		t.Fatalf("stats = %+v, want exactly the same-name conflict", st)
+	}
+	if st.GlobalWindows != 1 {
+		t.Fatalf("stats = %+v, want exactly the removal's global window", st)
+	}
+	if st.Replays != 0 || st.Speculated != len(changes)-1 {
+		t.Fatalf("stats = %+v, want %d speculated epoch members and no replays", st, len(changes)-1)
+	}
+	if st.Windows < 3 {
+		t.Fatalf("stats = %+v, want the stream split across >= 3 windows", st)
+	}
+}
+
+func TestShardedStreamFallsBackWithoutSegments(t *testing.T) {
+	// On a backbone-only platform the partition collapses to one and the
+	// sharded scheduler must fall back to the single window sequence
+	// (Shards stays 0 — no dishonest "1-shard" telemetry).
+	changes := []Change{
+		upd(fn("t0", model.QM, 100000, 2000, 64)),
+		upd(fn("t1", model.QM, 120000, 1500, 64)),
+	}
+	sched, _ := streamParity(t, testPlatform(), nil, changes, WithShardedWindows())
+	if st := sched.Stats(); st.Shards != 0 || st.GlobalWindows != 0 {
+		t.Fatalf("stats = %+v, want single-sequence fallback", st)
+	}
+}
+
+// TestShardedStreamStressRollbackCacheParity is the sharded twin of the
+// single-sequence stress test: random overlapping streams with planted
+// mid-epoch rejections on a two-segment platform, decisions and every
+// deployed cache compared against a fresh serial controller. Run under
+// -race in CI, this also races the eager background prefetch pool against
+// the mutator's optimistic passes and journal writes — concurrency the
+// single-sequence scheduler never has.
+func TestShardedStreamStressRollbackCacheParity(t *testing.T) {
+	gate := fn("gate", model.QM, 80000, 1000, 64)
+	gate.Provides = []string{"core_svc"}
+	gate.Contract.Domain = "core"
+	baseline := []model.Function{
+		fn("base", model.ASILD, 10000, 3000, 128),
+		fn("aux", model.QM, 50000, 4000, 256),
+		gate,
+	}
+	var totalReplays, totalConflicts, totalSpeculated, totalGlobal int
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			changes := make([]Change, 0, 48)
+			for i := 0; i < 48; i++ {
+				changes = append(changes, stressChange(rng, i))
+			}
+
+			mk := func() *MCC {
+				m, err := New(shardedPlatform())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range baseline {
+					if rep := m.ProposeUpdate(f); !rep.Accepted {
+						t.Fatalf("baseline %s rejected: %v", f.Name, rep.Findings)
+					}
+				}
+				return m
+			}
+
+			streamed := mk()
+			sched := NewStreamScheduler(streamed, WithShardedWindows(), WithStreamWindow(8))
+			got := sched.Run(changes)
+
+			fresh := mk()
+			want := make([]*Report, 0, len(changes))
+			for _, c := range changes {
+				want = append(want, fresh.propose(c))
+			}
+
+			for i := range want {
+				if got[i].Accepted != want[i].Accepted || got[i].RejectedAt != want[i].RejectedAt {
+					t.Fatalf("change %d (%s): sharded decided %v@%q, serial %v@%q",
+						i, changes[i], got[i].Accepted, got[i].RejectedAt, want[i].Accepted, want[i].RejectedAt)
+				}
+				if !reflect.DeepEqual(got[i].Findings, want[i].Findings) {
+					t.Fatalf("change %d (%s): findings diverge:\nsharded %v\nserial %v",
+						i, changes[i], got[i].Findings, want[i].Findings)
+				}
+			}
+			sf, ff := cacheFingerprint(streamed), cacheFingerprint(fresh)
+			for key := range ff {
+				if !reflect.DeepEqual(sf[key], ff[key]) {
+					t.Errorf("cache %q diverges from a fresh serial commit:\nsharded %+v\nserial %+v",
+						key, sf[key], ff[key])
+				}
+			}
+
+			st := sched.Stats()
+			if st.Shards != 2 {
+				t.Fatalf("stats = %+v, want 2 shards", st)
+			}
+			totalReplays += st.Replays
+			totalConflicts += st.Conflicts
+			totalSpeculated += st.Speculated
+			totalGlobal += st.GlobalWindows
+		})
+	}
+	// The corpus must exercise every sharded mechanism it guards: epoch
+	// replays, per-shard conflicts, verified speculation, and global
+	// drains all have to occur.
+	if totalReplays == 0 || totalConflicts == 0 || totalSpeculated == 0 || totalGlobal == 0 {
+		t.Fatalf("sharded stress corpus too tame: replays=%d conflicts=%d speculated=%d global=%d, want all > 0",
+			totalReplays, totalConflicts, totalSpeculated, totalGlobal)
+	}
+}

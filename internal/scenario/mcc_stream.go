@@ -147,11 +147,18 @@ const (
 	// deferred busy-window analyses fan out over all cores, with every
 	// verdict re-validated so decisions stay identical to serial order.
 	ThroughputStream MCCThroughputMode = "stream-parallel"
+	// ThroughputSharded drives the stream through the partition-sharded
+	// scheduler (mcc.WithShardedWindows) on the full-incremental engine:
+	// one optimistic window sequence per platform partition, eager
+	// background prefetch of accepted changes' deferred analyses, and a
+	// shared epoch journal as the rollback point. On platforms without
+	// disjoint CAN segments it falls back to stream-parallel behavior.
+	ThroughputSharded MCCThroughputMode = "sharded"
 )
 
 // ThroughputModes lists every E12 integration strategy, baseline first.
 func ThroughputModes() []MCCThroughputMode {
-	return []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched, ThroughputFull, ThroughputStream}
+	return []MCCThroughputMode{ThroughputSerial, ThroughputParallel, ThroughputBatched, ThroughputFull, ThroughputStream, ThroughputSharded}
 }
 
 // MCCThroughputConfig parameterizes E12: a fleet-scale stream of change
@@ -240,7 +247,7 @@ func (r MCCThroughputResult) Rows() []string {
 		fmt.Sprintf("  verdict checks: %d security, %d safety", r.SecurityChecks, r.SafetyChecks),
 		fmt.Sprintf("  deployed tasks: %d", r.FinalTasks),
 	}
-	if r.Config.Mode == ThroughputStream {
+	if r.Config.Mode == ThroughputStream || r.Config.Mode == ThroughputSharded {
 		out = append(out, fmt.Sprintf("  scheduler: %s", r.Stream))
 	}
 	if len(r.StageWall) > 0 {
@@ -398,7 +405,7 @@ func runChangeStream(cfg MCCThroughputConfig, platform *model.Platform, baseline
 		opts = append(opts, mcc.WithoutIncremental(), mcc.WithTimingWorkers(1))
 	case ThroughputParallel, ThroughputBatched:
 		opts = append(opts, mcc.WithTimingOnlyIncremental())
-	case ThroughputFull, ThroughputStream:
+	case ThroughputFull, ThroughputStream, ThroughputSharded:
 		// Default engine: every stage incremental.
 	default:
 		return res, fmt.Errorf("scenario: unknown throughput mode %q", cfg.Mode)
@@ -438,8 +445,12 @@ func runChangeStream(cfg MCCThroughputConfig, platform *model.Platform, baseline
 			res.Accepted += br.Accepted
 			res.Rejected += br.Rejected
 		}
-	case ThroughputStream:
-		sched := mcc.NewStreamScheduler(m)
+	case ThroughputStream, ThroughputSharded:
+		var sopts []mcc.StreamOption
+		if cfg.Mode == ThroughputSharded {
+			sopts = append(sopts, mcc.WithShardedWindows())
+		}
+		sched := mcc.NewStreamScheduler(m, sopts...)
 		for _, rep := range sched.Run(changes) {
 			if rep.Accepted {
 				res.Accepted++
